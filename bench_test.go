@@ -1,0 +1,289 @@
+package padres_test
+
+// One benchmark per table/figure of the paper's evaluation (Sec. 5), plus
+// micro-benchmarks of the routing substrate's hot paths. The figure
+// benchmarks run a scaled-down replica of the corresponding experiment and
+// report the paper's metrics (movement latency in ms, messages per
+// movement) via b.ReportMetric; an experiment iteration takes seconds, so
+// go test -bench typically runs each once. Full-scale runs are available
+// through cmd/experiments.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"padres/internal/core"
+	"padres/internal/experiment"
+	"padres/internal/matching"
+	"padres/internal/message"
+	"padres/internal/predicate"
+	"padres/internal/workload"
+)
+
+// benchScale shrinks the experiments to a few seconds each while keeping
+// the regime that separates the protocols (see EXPERIMENTS.md).
+func benchScale() experiment.Scale {
+	s := experiment.QuickScale()
+	s.Duration = 2500 * time.Millisecond
+	return s
+}
+
+func reportPair(b *testing.B, name string, rec, cov *experiment.Result) {
+	b.ReportMetric(float64(rec.MeanLatency.Microseconds())/1000, name+"-reconfig-ms")
+	b.ReportMetric(float64(cov.MeanLatency.Microseconds())/1000, name+"-covering-ms")
+	b.ReportMetric(rec.MsgsPerMovement, name+"-reconfig-msgs/move")
+	b.ReportMetric(cov.MsgsPerMovement, name+"-covering-msgs/move")
+}
+
+// BenchmarkFig08MovementLatencyOverTime regenerates Fig. 8(a)/(b): the
+// latency-over-time series for both protocols with the covered and tree
+// workloads on the two movement corridors.
+func BenchmarkFig08MovementLatencyOverTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rec, err := experiment.Fig8(benchScale(), core.ProtocolReconfig)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cov, err := experiment.Fig8(benchScale(), core.ProtocolEndToEnd)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportPair(b, "fig8", rec, cov)
+		}
+	}
+}
+
+// BenchmarkFig09SubscriptionWorkload regenerates Fig. 9(a)/(b): the
+// workload sweep (distinct, chained, tree, covered) for both protocols.
+func BenchmarkFig09SubscriptionWorkload(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := experiment.Fig9(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, p := range points {
+				reportPair(b, fmt.Sprintf("cov%d", p.CoveredCount), p.Reconfig, p.Covering)
+			}
+		}
+	}
+}
+
+// BenchmarkFig10NumberOfClients regenerates Fig. 10(a)/(b): the moving
+// client count sweep (1x to 2.5x the base population).
+func BenchmarkFig10NumberOfClients(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := experiment.Fig10(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, p := range points {
+				reportPair(b, fmt.Sprintf("n%d", p.Clients), p.Reconfig, p.Covering)
+			}
+		}
+	}
+}
+
+// BenchmarkFig11SingleClient regenerates Fig. 11(a)/(b): only the covered
+// workload's root subscription moves.
+func BenchmarkFig11SingleClient(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Fig11(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportPair(b, "fig11", res.Reconfig, res.Covering)
+		}
+	}
+}
+
+// BenchmarkFig12IncrementalMovement regenerates Fig. 12(a)/(b): the number
+// of movers grows in the paper's covering-ordered increments.
+func BenchmarkFig12IncrementalMovement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := experiment.Fig12(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			first, last := points[0], points[len(points)-1]
+			reportPair(b, fmt.Sprintf("m%d", first.Moving), first.Reconfig, first.Covering)
+			reportPair(b, fmt.Sprintf("m%d", last.Moving), last.Reconfig, last.Covering)
+		}
+	}
+}
+
+// BenchmarkFig13TopologySize regenerates Fig. 13(a)/(b): the overlay grows
+// from 14 to 26 brokers at constant movement path length.
+func BenchmarkFig13TopologySize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := experiment.Fig13(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, p := range points {
+				reportPair(b, fmt.Sprintf("b%d", p.Brokers), p.Reconfig, p.Covering)
+			}
+		}
+	}
+}
+
+// BenchmarkFig14PlanetLab regenerates Fig. 14(a)-(d): the wide-area
+// deployment; timelines for both protocols plus the workload sweep.
+func BenchmarkFig14PlanetLab(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rec, err := experiment.Fig14Timeline(benchScale(), core.ProtocolReconfig)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cov, err := experiment.Fig14Timeline(benchScale(), core.ProtocolEndToEnd)
+		if err != nil {
+			b.Fatal(err)
+		}
+		points, err := experiment.Fig14Workloads(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportPair(b, "fig14ab", rec, cov)
+			for _, p := range points {
+				reportPair(b, fmt.Sprintf("wan-cov%d", p.CoveredCount), p.Reconfig, p.Covering)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationCovering compares the end-to-end protocol with covering
+// on/off against reconfiguration (design-decision ablation).
+func BenchmarkAblationCovering(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, err := experiment.AblationCovering(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range results {
+				b.ReportMetric(float64(r.MeanLatency.Microseconds())/1000, r.Label+"-ms")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationPropagationWait measures what the end-to-end protocol's
+// delivery guarantee costs (the propagation-completion wait).
+func BenchmarkAblationPropagationWait(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, err := experiment.AblationPropagationWait(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range results {
+				b.ReportMetric(float64(r.MeanLatency.Microseconds())/1000, r.Label+"-ms")
+			}
+		}
+	}
+}
+
+// --- substrate micro-benchmarks ---------------------------------------------
+
+func BenchmarkFilterMatch(b *testing.B) {
+	f := predicate.MustParse("[class,=,'stock'],[price,>,100],[price,<=,200],[volume,>,0]")
+	e := predicate.MustParseEvent("[class,'stock'],[price,150],[volume,10]")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !f.Matches(e) {
+			b.Fatal("no match")
+		}
+	}
+}
+
+func BenchmarkFilterCovers(b *testing.B) {
+	f1 := predicate.MustParse("[class,=,'stock'],[price,>,0]")
+	f2 := predicate.MustParse("[class,=,'stock'],[price,>,100],[price,<=,200]")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !f1.Covers(f2) {
+			b.Fatal("no covering")
+		}
+	}
+}
+
+func BenchmarkFilterIntersects(b *testing.B) {
+	f1 := predicate.MustParse("[class,=,'stock'],[price,>,50]")
+	f2 := predicate.MustParse("[class,=,'stock'],[price,<,150]")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !f1.Intersects(f2) {
+			b.Fatal("no intersection")
+		}
+	}
+}
+
+func BenchmarkParseFilter(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := predicate.Parse("[class,=,'stock'],[price,>,100],[sym,str-prefix,'IB']"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCountingMatch measures the PRT counting-index matcher with a
+// realistic table: 1000 subscriptions drawn from the paper's workloads.
+func BenchmarkCountingMatch(b *testing.B) {
+	prt := matching.NewPRT()
+	n := 0
+	for block := 0; block < 25; block++ {
+		for _, k := range workload.Kinds() {
+			for i, f := range workload.Subscriptions(k, "w", block) {
+				prt.Insert(message.SubID(fmt.Sprintf("s%d-%d", n, i)), "c", f, "b1")
+				n++
+			}
+		}
+	}
+	e := workload.Publication("w", 1250)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prt.Match(e)
+	}
+}
+
+// BenchmarkCoveringScan measures the linear covering query on the same
+// table (the operation covering-enabled brokers run per forwarded filter).
+func BenchmarkCoveringScan(b *testing.B) {
+	prt := matching.NewPRT()
+	n := 0
+	for block := 0; block < 25; block++ {
+		for _, k := range workload.Kinds() {
+			for i, f := range workload.Subscriptions(k, "w", block) {
+				prt.Insert(message.SubID(fmt.Sprintf("s%d-%d", n, i)), "c", f, "b1")
+				n++
+			}
+		}
+	}
+	probe := workload.Subscriptions(workload.Covered, "w", 10)[3]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prt.Covering(probe, "none")
+	}
+}
+
+func BenchmarkCodecRoundTrip(b *testing.B) {
+	f := predicate.MustParse("[class,=,'stock'],[price,>,100]")
+	env := message.Envelope{From: "b1", Msg: message.Subscribe{ID: "s1", Client: "c1", Filter: f}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := message.Marshal(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := message.Unmarshal(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,250 @@
+// Command experiments reproduces the paper's evaluation figures on the
+// in-process testbed and prints paper-style tables.
+//
+// Usage:
+//
+//	experiments -fig 9                  # quick scale (seconds per run)
+//	experiments -fig 8 -scale paper     # 400 clients, 10 s pauses
+//	experiments -fig all -clients 80 -duration 10s
+//	experiments -fig ablation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"padres/internal/core"
+	"padres/internal/experiment"
+)
+
+// csvDir, when set, receives one CSV file per figure for external plotting.
+var csvDir string
+
+func writeCSV(name string, write func(f *os.File) error) {
+	if csvDir == "" {
+		return
+	}
+	path := filepath.Join(csvDir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "csv:", err)
+		return
+	}
+	defer func() { _ = f.Close() }()
+	if err := write(f); err != nil {
+		fmt.Fprintln(os.Stderr, "csv:", err)
+		return
+	}
+	fmt.Printf("(wrote %s)\n", path)
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		fig      = fs.String("fig", "9", "figure to reproduce: 8, 9, 10, 11, 12, 13, 14, all, or ablation")
+		scale    = fs.String("scale", "quick", "experiment scale: quick or paper")
+		clients  = fs.Int("clients", 0, "override client count")
+		duration = fs.Duration("duration", 0, "override measurement window")
+		pause    = fs.Duration("pause", 0, "override dwell time between movements")
+		service  = fs.Duration("service", 0, "override per-message broker processing cost")
+		seed     = fs.Int64("seed", 0, "override workload seed")
+		buckets  = fs.Int("buckets", 10, "time buckets for latency-over-time figures")
+		csvOut   = fs.String("csv", "", "directory to write per-figure CSV data into")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var s experiment.Scale
+	switch *scale {
+	case "quick":
+		s = experiment.QuickScale()
+	case "paper":
+		s = experiment.PaperScale()
+	default:
+		return fmt.Errorf("unknown scale %q", *scale)
+	}
+	if *clients > 0 {
+		s.Clients = *clients
+	}
+	if *duration > 0 {
+		s.Duration = *duration
+	}
+	if *pause > 0 {
+		s.Pause = *pause
+	}
+	if *service > 0 {
+		s.ServiceTime = *service
+	}
+	if *seed != 0 {
+		s.Seed = *seed
+	}
+	csvDir = *csvOut
+
+	figures := map[string]func(experiment.Scale, int) error{
+		"8":  fig8,
+		"9":  fig9,
+		"10": fig10,
+		"11": fig11,
+		"12": fig12,
+		"13": fig13,
+		"14": fig14,
+	}
+	switch *fig {
+	case "all":
+		for _, name := range []string{"8", "9", "10", "11", "12", "13", "14"} {
+			fmt.Printf("==== Figure %s ====\n", name)
+			if err := figures[name](s, *buckets); err != nil {
+				return fmt.Errorf("figure %s: %w", name, err)
+			}
+		}
+		return nil
+	case "ablation":
+		return ablations(s)
+	default:
+		f, ok := figures[*fig]
+		if !ok {
+			return fmt.Errorf("unknown figure %q", *fig)
+		}
+		return f(s, *buckets)
+	}
+}
+
+func fig8(s experiment.Scale, buckets int) error {
+	var results []*experiment.Result
+	for _, protocol := range []core.Protocol{core.ProtocolReconfig, core.ProtocolEndToEnd} {
+		res, err := experiment.Fig8(s, protocol)
+		if err != nil {
+			return err
+		}
+		results = append(results, res)
+		fmt.Printf("-- Fig 8 (%s): movement latency over time --\n", protocol)
+		fmt.Print(experiment.RenderTimeline(res, buckets))
+		fmt.Print(experiment.RenderResult(res))
+		fmt.Println()
+	}
+	writeCSV("fig8_timeline.csv", func(f *os.File) error {
+		return experiment.WriteTimelineCSV(f, results...)
+	})
+	return nil
+}
+
+func fig9(s experiment.Scale, _ int) error {
+	points, err := experiment.Fig9(s)
+	if err != nil {
+		return err
+	}
+	fmt.Println("-- Fig 9: subscription workload sweep --")
+	fmt.Print(experiment.RenderFig9(points))
+	writeCSV("fig9_workloads.csv", func(f *os.File) error {
+		return experiment.WriteFig9CSV(f, points)
+	})
+	return nil
+}
+
+func fig10(s experiment.Scale, _ int) error {
+	points, err := experiment.Fig10(s)
+	if err != nil {
+		return err
+	}
+	fmt.Println("-- Fig 10: number of moving clients --")
+	fmt.Print(experiment.RenderFig10(points))
+	writeCSV("fig10_clients.csv", func(f *os.File) error {
+		return experiment.WriteFig10CSV(f, points)
+	})
+	return nil
+}
+
+func fig11(s experiment.Scale, _ int) error {
+	res, err := experiment.Fig11(s)
+	if err != nil {
+		return err
+	}
+	fmt.Println("-- Fig 11: single moving (root) client --")
+	fmt.Print(experiment.RenderFig11(res))
+	return nil
+}
+
+func fig12(s experiment.Scale, _ int) error {
+	points, err := experiment.Fig12(s)
+	if err != nil {
+		return err
+	}
+	fmt.Println("-- Fig 12: incremental movement --")
+	fmt.Print(experiment.RenderFig12(points))
+	writeCSV("fig12_incremental.csv", func(f *os.File) error {
+		return experiment.WriteFig12CSV(f, points)
+	})
+	return nil
+}
+
+func fig13(s experiment.Scale, _ int) error {
+	points, err := experiment.Fig13(s)
+	if err != nil {
+		return err
+	}
+	fmt.Println("-- Fig 13: topology size --")
+	fmt.Print(experiment.RenderFig13(points))
+	writeCSV("fig13_topology.csv", func(f *os.File) error {
+		return experiment.WriteFig13CSV(f, points)
+	})
+	return nil
+}
+
+func fig14(s experiment.Scale, buckets int) error {
+	for _, protocol := range []core.Protocol{core.ProtocolReconfig, core.ProtocolEndToEnd} {
+		res, err := experiment.Fig14Timeline(s, protocol)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("-- Fig 14(a/b) (%s): wide-area latency over time --\n", protocol)
+		fmt.Print(experiment.RenderTimeline(res, buckets))
+		fmt.Println()
+	}
+	points, err := experiment.Fig14Workloads(s)
+	if err != nil {
+		return err
+	}
+	fmt.Println("-- Fig 14(c/d): wide-area workload sweep --")
+	fmt.Print(experiment.RenderFig9(points))
+	writeCSV("fig14_workloads.csv", func(f *os.File) error {
+		return experiment.WriteFig9CSV(f, points)
+	})
+	return nil
+}
+
+func ablations(s experiment.Scale) error {
+	start := time.Now()
+	cov, err := experiment.AblationCovering(s)
+	if err != nil {
+		return err
+	}
+	fmt.Println("-- Ablation: covering optimization under mobility --")
+	fmt.Print(experiment.RenderAblation(cov))
+
+	wait, err := experiment.AblationPropagationWait(s)
+	if err != nil {
+		return err
+	}
+	fmt.Println("-- Ablation: end-to-end propagation wait --")
+	fmt.Print(experiment.RenderAblation(wait))
+
+	svc, err := experiment.AblationServiceTime(s)
+	if err != nil {
+		return err
+	}
+	fmt.Println("-- Ablation: broker processing cost --")
+	fmt.Print(experiment.RenderAblation(svc))
+	fmt.Printf("(ablations took %v)\n", time.Since(start).Round(time.Second))
+	return nil
+}

@@ -1,0 +1,159 @@
+// Command padres-broker runs one content-based pub/sub broker as a
+// standalone process, connected to its overlay neighbors over TCP.
+//
+// Every broker in the deployment is given the same -topology edge list so
+// it can compute its neighbors and next-hop routes; it dials the peers
+// listed in -peers (typically its already-running neighbors) and accepts
+// connections from the rest, as well as from remote clients
+// (padres-client).
+//
+//	padres-broker -id b1 -listen :7001 -topology b1-b2,b2-b3
+//	padres-broker -id b2 -listen :7002 -topology b1-b2,b2-b3 -peers b1=localhost:7001
+//	padres-broker -id b3 -listen :7003 -topology b1-b2,b2-b3 -peers b2=localhost:7002
+//
+// Remote clients are stationary: transactional mobility applies to clients
+// hosted in a broker's mobile container (see the examples and the padres
+// package API).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"padres/internal/broker"
+	"padres/internal/message"
+	"padres/internal/metrics"
+	"padres/internal/overlay"
+	"padres/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "padres-broker:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("padres-broker", flag.ContinueOnError)
+	var (
+		id       = fs.String("id", "", "broker ID, e.g. b1 (required)")
+		listen   = fs.String("listen", ":7001", "TCP listen address")
+		topoSpec = fs.String("topology", "", "overlay edge list, e.g. b1-b2,b2-b3 (required)")
+		peerSpec = fs.String("peers", "", "peers to dial: b2=host:port,b3=host:port")
+		covering = fs.Bool("covering", false, "enable the covering optimization")
+		service  = fs.Duration("service", 0, "simulated per-message processing cost")
+		statsSec = fs.Duration("stats", 30*time.Second, "traffic stats reporting interval (0 disables)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == "" || *topoSpec == "" {
+		return fmt.Errorf("-id and -topology are required")
+	}
+
+	top, err := parseTopology(*topoSpec)
+	if err != nil {
+		return err
+	}
+	self := message.BrokerID(*id)
+	if !top.HasBroker(self) {
+		return fmt.Errorf("broker %s is not in the topology", self)
+	}
+	hops, err := top.NextHops(self)
+	if err != nil {
+		return err
+	}
+
+	reg := metrics.NewRegistry()
+	net := transport.NewNetwork(reg)
+	b := broker.New(broker.Config{
+		ID:          self,
+		Net:         net,
+		Neighbors:   top.Neighbors(self),
+		NextHops:    hops,
+		Covering:    *covering,
+		ServiceTime: *service,
+	})
+	b.Start()
+	defer b.Stop()
+	defer net.Close()
+
+	gw, err := transport.NewGateway(transport.GatewayConfig{
+		Net:    net,
+		Local:  self.Node(),
+		Broker: b,
+		Listen: *listen,
+	})
+	if err != nil {
+		return err
+	}
+	defer gw.Close()
+	fmt.Printf("broker %s listening on %s (covering=%v, neighbors=%v)\n",
+		self, gw.Addr(), *covering, top.Neighbors(self))
+
+	if *peerSpec != "" {
+		for _, p := range strings.Split(*peerSpec, ",") {
+			name, addr, ok := strings.Cut(strings.TrimSpace(p), "=")
+			if !ok {
+				return fmt.Errorf("bad peer spec %q (want id=host:port)", p)
+			}
+			node := message.NodeID(name)
+			if err := gw.DialPeer(node, addr); err != nil {
+				return err
+			}
+			if err := gw.StartPeerReader(node); err != nil {
+				return err
+			}
+			fmt.Printf("connected to peer %s at %s\n", name, addr)
+		}
+	}
+
+	if *statsSec > 0 {
+		go func() {
+			ticker := time.NewTicker(*statsSec)
+			defer ticker.Stop()
+			for range ticker.C {
+				fmt.Printf("[%s] srt=%d prt=%d queue=%d traffic=%d dropped=%d\n",
+					self, len(b.SRTSnapshot()), len(b.PRTSnapshot()),
+					b.QueueLen(), reg.TotalMessages(), b.DroppedPublications())
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	return nil
+}
+
+func parseTopology(spec string) (*overlay.Topology, error) {
+	top := overlay.New()
+	add := func(id message.BrokerID) {
+		if !top.HasBroker(id) {
+			_ = top.AddBroker(id)
+		}
+	}
+	for _, edge := range strings.Split(spec, ",") {
+		a, b, ok := strings.Cut(strings.TrimSpace(edge), "-")
+		if !ok || a == "" || b == "" {
+			return nil, fmt.Errorf("bad edge %q (want a-b)", edge)
+		}
+		ba, bb := message.BrokerID(a), message.BrokerID(b)
+		add(ba)
+		add(bb)
+		if err := top.Connect(ba, bb); err != nil {
+			return nil, fmt.Errorf("edge %q: %w", edge, err)
+		}
+	}
+	if err := top.Validate(); err != nil {
+		return nil, err
+	}
+	return top, nil
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseTopology(t *testing.T) {
+	top, err := parseTopology("b1-b2,b2-b3, b3-b4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.Len() != 4 {
+		t.Fatalf("brokers = %d, want 4", top.Len())
+	}
+	path, err := top.Path("b1", "b4")
+	if err != nil || len(path) != 4 {
+		t.Fatalf("path = %v, %v", path, err)
+	}
+}
+
+func TestParseTopologyErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing dash":  "b1b2",
+		"cycle":         "b1-b2,b2-b3,b3-b1",
+		"self loop":     "b1-b1",
+		"duplicate":     "b1-b2,b1-b2",
+		"disconnected?": "b1-b2,b3-b4",
+	}
+	for name, spec := range cases {
+		if _, err := parseTopology(spec); err == nil {
+			t.Errorf("%s: parseTopology(%q) succeeded", name, spec)
+		}
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	if err := run([]string{"-listen", ":0"}); err == nil || !strings.Contains(err.Error(), "required") {
+		t.Errorf("missing -id/-topology = %v", err)
+	}
+	if err := run([]string{"-id", "b9", "-topology", "b1-b2", "-listen", "127.0.0.1:0"}); err == nil {
+		t.Error("broker not in topology accepted")
+	}
+	if err := run([]string{"-id", "b1", "-topology", "b1-", "-listen", "127.0.0.1:0"}); err == nil {
+		t.Error("malformed topology accepted")
+	}
+	if err := run([]string{"-id", "b1", "-topology", "b1b2", "-listen", "127.0.0.1:0"}); err == nil {
+		t.Error("edge without dash accepted")
+	}
+	if err := run([]string{"-id", "b1", "-topology", "b1-b2", "-listen", "127.0.0.1:0", "-peers", "bogus"}); err == nil {
+		t.Error("malformed peer spec accepted")
+	}
+}

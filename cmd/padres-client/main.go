@@ -1,0 +1,127 @@
+// Command padres-client is a stationary remote pub/sub client that talks to
+// a padres-broker over TCP. It can advertise, subscribe, publish, and print
+// received notifications.
+//
+//	padres-client -broker localhost:7001 -id pub1 \
+//	    -advertise "[class,=,'stock'],[price,>,0]" \
+//	    -publish "[class,'stock'],[price,150]" -count 10 -interval 500ms
+//
+//	padres-client -broker localhost:7003 -id sub1 \
+//	    -subscribe "[class,=,'stock'],[price,>,100]" -watch 30s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"padres/internal/message"
+	"padres/internal/predicate"
+	"padres/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "padres-client:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("padres-client", flag.ContinueOnError)
+	var (
+		brokerAddr = fs.String("broker", "localhost:7001", "broker address")
+		id         = fs.String("id", "", "client ID (required)")
+		advertise  = fs.String("advertise", "", "advertisement filter to issue")
+		subscribe  = fs.String("subscribe", "", "subscription filter to issue")
+		publish    = fs.String("publish", "", "publication event to issue")
+		count      = fs.Int("count", 1, "number of publications")
+		interval   = fs.Duration("interval", time.Second, "delay between publications")
+		watch      = fs.Duration("watch", 0, "print notifications for this long")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == "" {
+		return fmt.Errorf("-id is required")
+	}
+
+	conn, err := net.Dial("tcp", *brokerAddr)
+	if err != nil {
+		return fmt.Errorf("connect to broker: %w", err)
+	}
+	defer func() { _ = conn.Close() }()
+	enc := message.NewEncoder(conn)
+	dec := message.NewDecoder(conn)
+	node := message.NodeID(*id)
+	clientID := message.ClientID(*id)
+	gen := message.NewIDGen(*id)
+
+	if err := enc.Encode(message.Envelope{From: node, Msg: transport.ClientHello(node)}); err != nil {
+		return fmt.Errorf("handshake: %w", err)
+	}
+
+	send := func(m message.Message) error {
+		return enc.Encode(message.Envelope{From: node, Msg: m})
+	}
+
+	if *advertise != "" {
+		f, err := predicate.Parse(*advertise)
+		if err != nil {
+			return fmt.Errorf("advertisement: %w", err)
+		}
+		advID := message.AdvID(gen.Next("a"))
+		if err := send(message.Advertise{ID: advID, Client: clientID, Filter: f}); err != nil {
+			return err
+		}
+		fmt.Printf("advertised %s: %s\n", advID, f)
+	}
+	if *subscribe != "" {
+		f, err := predicate.Parse(*subscribe)
+		if err != nil {
+			return fmt.Errorf("subscription: %w", err)
+		}
+		subID := message.SubID(gen.Next("s"))
+		if err := send(message.Subscribe{ID: subID, Client: clientID, Filter: f}); err != nil {
+			return err
+		}
+		fmt.Printf("subscribed %s: %s\n", subID, f)
+	}
+	if *publish != "" {
+		e, err := predicate.ParseEvent(*publish)
+		if err != nil {
+			return fmt.Errorf("publication: %w", err)
+		}
+		for i := 0; i < *count; i++ {
+			pubID := message.PubID(gen.Next("p"))
+			if err := send(message.Publish{ID: pubID, Client: clientID, Event: e}); err != nil {
+				return err
+			}
+			fmt.Printf("published %s: %s\n", pubID, e)
+			if i < *count-1 {
+				time.Sleep(*interval)
+			}
+		}
+	}
+
+	if *watch > 0 {
+		fmt.Printf("watching for notifications for %v...\n", *watch)
+		deadline := time.Now().Add(*watch)
+		_ = conn.SetReadDeadline(deadline)
+		for {
+			env, err := dec.Decode()
+			if err != nil {
+				if time.Now().After(deadline) {
+					return nil
+				}
+				return fmt.Errorf("read: %w", err)
+			}
+			if pub, ok := env.Msg.(message.Publish); ok {
+				fmt.Printf("notification %s from %s: %s\n", pub.ID, pub.Client, pub.Event)
+			}
+		}
+	}
+	return nil
+}

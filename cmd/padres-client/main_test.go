@@ -1,0 +1,105 @@
+package main
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"padres/internal/message"
+)
+
+func TestRunRequiresID(t *testing.T) {
+	if err := run([]string{"-broker", "localhost:1"}); err == nil || !strings.Contains(err.Error(), "-id") {
+		t.Errorf("missing id = %v", err)
+	}
+}
+
+func TestRunConnectFailure(t *testing.T) {
+	if err := run([]string{"-id", "c1", "-broker", "127.0.0.1:1"}); err == nil {
+		t.Error("unreachable broker accepted")
+	}
+}
+
+func TestRunBadFilters(t *testing.T) {
+	// A fake broker that accepts the connection and discards everything.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ln.Close() }()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				dec := message.NewDecoder(conn)
+				for {
+					if _, err := dec.Decode(); err != nil {
+						_ = conn.Close()
+						return
+					}
+				}
+			}()
+		}
+	}()
+	addr := ln.Addr().String()
+
+	if err := run([]string{"-id", "c1", "-broker", addr, "-advertise", "[[["}); err == nil {
+		t.Error("bad advertisement accepted")
+	}
+	if err := run([]string{"-id", "c1", "-broker", addr, "-subscribe", "nope"}); err == nil {
+		t.Error("bad subscription accepted")
+	}
+	if err := run([]string{"-id", "c1", "-broker", addr, "-publish", "nope"}); err == nil {
+		t.Error("bad publication accepted")
+	}
+}
+
+func TestRunPublishFlow(t *testing.T) {
+	// A fake broker that counts decoded envelopes.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ln.Close() }()
+	got := make(chan message.Message, 16)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		dec := message.NewDecoder(conn)
+		for {
+			env, err := dec.Decode()
+			if err != nil {
+				return
+			}
+			got <- env.Msg
+		}
+	}()
+
+	err = run([]string{
+		"-id", "c1", "-broker", ln.Addr().String(),
+		"-advertise", "[x,>,0]",
+		"-publish", "[x,5]", "-count", "2", "-interval", "1ms",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := make([]message.Kind, 0, 4)
+	timeout := time.After(5 * time.Second)
+	for len(kinds) < 4 { // hello + advertise + 2 publishes
+		select {
+		case m := <-got:
+			kinds = append(kinds, m.Kind())
+		case <-timeout:
+			t.Fatalf("received only %v", kinds)
+		}
+	}
+	if kinds[1] != message.KindAdvertise || kinds[2] != message.KindPublish || kinds[3] != message.KindPublish {
+		t.Errorf("message sequence = %v", kinds)
+	}
+}

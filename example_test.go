@@ -1,0 +1,75 @@
+package padres_test
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"padres"
+)
+
+// Example demonstrates the full public API: building a network, wiring a
+// publisher and a subscriber, and transactionally moving the subscriber.
+func Example() {
+	net, err := padres.NewNetwork(padres.Options{
+		LinkLatency: 100 * time.Microsecond,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	defer net.Stop()
+
+	pub, _ := net.NewClient("quotes", "b1")
+	sub, _ := net.NewClient("trader", "b14")
+
+	_, _ = pub.Advertise(padres.MustParseFilter("[class,=,'stock'],[price,>,0]"))
+	_ = net.SettleFor(10 * time.Second)
+	_, _ = sub.Subscribe(padres.MustParseFilter("[class,=,'stock'],[price,>,100]"))
+	_ = net.SettleFor(10 * time.Second)
+
+	_, _ = pub.Publish(padres.MustParseEvent("[class,'stock'],[price,150]"))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	n, _ := sub.Receive(ctx)
+	fmt.Println("received:", n.Event)
+
+	if err := sub.Move(ctx, "b7"); err == nil {
+		fmt.Println("moved to:", sub.Broker())
+	}
+
+	_, _ = pub.Publish(padres.MustParseEvent("[class,'stock'],[price,175]"))
+	n, _ = sub.Receive(ctx)
+	fmt.Println("received after move:", n.Event)
+
+	// Output:
+	// received: [class,'stock'],[price,150]
+	// moved to: b7
+	// received after move: [class,'stock'],[price,175]
+}
+
+// ExampleParseFilter shows the textual filter language.
+func ExampleParseFilter() {
+	f, err := padres.ParseFilter("[class,=,'stock'],[price,>,100],[sym,str-prefix,'IB']")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	e := padres.MustParseEvent("[class,'stock'],[price,150],[sym,'IBM']")
+	fmt.Println("matches:", f.Matches(e))
+	// Output:
+	// matches: true
+}
+
+// ExampleFilter_Covers shows the covering relation that drives the routing
+// optimization.
+func ExampleFilter_Covers() {
+	wide := padres.MustParseFilter("[price,>,0]")
+	narrow := padres.MustParseFilter("[price,>,100],[price,<=,200]")
+	fmt.Println("wide covers narrow:", wide.Covers(narrow))
+	fmt.Println("narrow covers wide:", narrow.Covers(wide))
+	// Output:
+	// wide covers narrow: true
+	// narrow covers wide: false
+}

@@ -1,0 +1,132 @@
+// Gameserver: a multiplayer-game world is partitioned into zones, each
+// managed by a zone component that publishes the zone's game events.
+// Players subscribe to the zones they can see. When a zone becomes
+// congested at its current site, the zone component migrates to a broker
+// with more capacity — transactionally, so no player misses an event and
+// no event is applied twice (the motivating scenario of Sec. 1).
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"padres"
+)
+
+const eventsPerPhase = 10
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "gameserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	net, err := padres.NewNetwork(padres.Options{})
+	if err != nil {
+		return err
+	}
+	defer net.Stop()
+
+	// The zone component starts at the "west" data centre (b1).
+	zone, err := net.NewClient("zone-highlands", "b1")
+	if err != nil {
+		return err
+	}
+	if _, err := zone.Advertise(padres.MustParseFilter("[zone,=,'highlands'],[tick,>,0]")); err != nil {
+		return err
+	}
+	if err := net.SettleFor(10 * time.Second); err != nil {
+		return err
+	}
+
+	// Players watch the zone from different access brokers.
+	playerBrokers := []padres.BrokerID{"b6", "b10", "b14"}
+	players := make([]*padres.Client, 0, len(playerBrokers))
+	for i, at := range playerBrokers {
+		p, err := net.NewClient(padres.ClientID(fmt.Sprintf("player-%d", i+1)), at)
+		if err != nil {
+			return err
+		}
+		if _, err := p.Subscribe(padres.MustParseFilter("[zone,=,'highlands'],[tick,>,0]")); err != nil {
+			return err
+		}
+		players = append(players, p)
+	}
+	if err := net.SettleFor(10 * time.Second); err != nil {
+		return err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	// Each player consumes events concurrently and counts ticks.
+	var wg sync.WaitGroup
+	counts := make([]int, len(players))
+	var mu sync.Mutex
+	consume := func(i int, p *padres.Client, total int) {
+		defer wg.Done()
+		for n := 0; n < total; n++ {
+			if _, err := p.Receive(ctx); err != nil {
+				return
+			}
+			mu.Lock()
+			counts[i]++
+			mu.Unlock()
+		}
+	}
+
+	publishPhase := func(base int) error {
+		for t := 1; t <= eventsPerPhase; t++ {
+			_, err := zone.Publish(padres.Event{
+				"zone": padres.String("highlands"),
+				"tick": padres.Number(float64(base + t)),
+			})
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	for i, p := range players {
+		wg.Add(1)
+		go consume(i, p, 3*eventsPerPhase)
+	}
+
+	fmt.Println("phase 1: zone runs at b1")
+	if err := publishPhase(0); err != nil {
+		return err
+	}
+
+	// Load spikes in the west; migrate the zone to the east data centre.
+	// Game events keep flowing during the migration.
+	fmt.Println("phase 2: migrating zone b1 -> b12 while publishing")
+	moveDone := make(chan error, 1)
+	go func() { moveDone <- zone.Move(ctx, "b12") }()
+	if err := publishPhase(eventsPerPhase); err != nil {
+		return err
+	}
+	if err := <-moveDone; err != nil {
+		return fmt.Errorf("zone migration: %w", err)
+	}
+	fmt.Printf("zone component now hosted at %s\n", zone.Broker())
+
+	fmt.Println("phase 3: zone runs at b12")
+	if err := publishPhase(2 * eventsPerPhase); err != nil {
+		return err
+	}
+
+	wg.Wait()
+	for i, c := range counts {
+		fmt.Printf("player-%d received %d/%d events (exactly once)\n", i+1, c, 3*eventsPerPhase)
+		if c != 3*eventsPerPhase {
+			return fmt.Errorf("player-%d lost events", i+1)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+// Quickstart: build a broker overlay, connect a publisher and a subscriber,
+// deliver notifications, and perform one transactional client movement.
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"padres"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// The default overlay is the paper's 14-broker topology.
+	net, err := padres.NewNetwork(padres.Options{})
+	if err != nil {
+		return err
+	}
+	defer net.Stop()
+	fmt.Printf("started %d brokers: %v\n", len(net.Brokers()), net.Brokers())
+
+	pub, err := net.NewClient("quotes", "b1")
+	if err != nil {
+		return err
+	}
+	sub, err := net.NewClient("trader", "b14")
+	if err != nil {
+		return err
+	}
+
+	// The publisher announces what it will publish; the subscriber
+	// registers a conjunctive filter.
+	if _, err := pub.Advertise(padres.MustParseFilter("[class,=,'stock'],[price,>,0]")); err != nil {
+		return err
+	}
+	if err := net.SettleFor(10 * time.Second); err != nil {
+		return err
+	}
+	if _, err := sub.Subscribe(padres.MustParseFilter("[class,=,'stock'],[price,>,100]")); err != nil {
+		return err
+	}
+	if err := net.SettleFor(10 * time.Second); err != nil {
+		return err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// Publish two events; only the one above the threshold is delivered.
+	if _, err := pub.Publish(padres.MustParseEvent("[class,'stock'],[price,95]")); err != nil {
+		return err
+	}
+	if _, err := pub.Publish(padres.MustParseEvent("[class,'stock'],[price,150]")); err != nil {
+		return err
+	}
+	n, err := sub.Receive(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trader received: %s\n", n.Event)
+
+	// Transactional movement: the trader relocates from b14 to b7.
+	// Publications issued while it moves are not lost and not duplicated.
+	fmt.Println("moving trader b14 -> b7 ...")
+	moveDone := make(chan error, 1)
+	go func() { moveDone <- sub.Move(ctx, "b7") }()
+	for i := 0; i < 5; i++ {
+		if _, err := pub.Publish(padres.Event{
+			"class": padres.String("stock"),
+			"price": padres.Number(float64(150 + i)),
+		}); err != nil {
+			return err
+		}
+	}
+	if err := <-moveDone; err != nil {
+		return fmt.Errorf("move: %w", err)
+	}
+	fmt.Printf("trader now at %s\n", sub.Broker())
+
+	for i := 0; i < 5; i++ {
+		n, err := sub.Receive(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("received across the move: %s\n", n.Event)
+	}
+	stats := net.Movements()
+	fmt.Printf("movements: %d committed, mean latency %v\n", stats.Committed, stats.Mean.Round(time.Millisecond))
+	return nil
+}

@@ -1,0 +1,132 @@
+// Streamproc: an adaptive stream-processing engine runs a dataflow operator
+// as a pub/sub client — it consumes a source stream and publishes a derived
+// stream. The engine relocates the operator to a machine with more memory
+// while the stream is flowing (the operator-migration scenario of Sec. 1);
+// the derived stream observed downstream must have no gaps and no
+// duplicates.
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"padres"
+)
+
+const samples = 24
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "streamproc:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	net, err := padres.NewNetwork(padres.Options{})
+	if err != nil {
+		return err
+	}
+	defer net.Stop()
+
+	source, err := net.NewClient("sensor-feed", "b6")
+	if err != nil {
+		return err
+	}
+	operator, err := net.NewClient("op-threshold", "b4")
+	if err != nil {
+		return err
+	}
+	sink, err := net.NewClient("alert-sink", "b14")
+	if err != nil {
+		return err
+	}
+
+	// Dataflow: sensor-feed --(readings)--> op-threshold --(alerts)--> sink.
+	if _, err := source.Advertise(padres.MustParseFilter("[stream,=,'readings'],[seq,>,0]")); err != nil {
+		return err
+	}
+	if _, err := operator.Advertise(padres.MustParseFilter("[stream,=,'alerts'],[seq,>,0]")); err != nil {
+		return err
+	}
+	if err := net.SettleFor(10 * time.Second); err != nil {
+		return err
+	}
+	if _, err := operator.Subscribe(padres.MustParseFilter("[stream,=,'readings']")); err != nil {
+		return err
+	}
+	if _, err := sink.Subscribe(padres.MustParseFilter("[stream,=,'alerts']")); err != nil {
+		return err
+	}
+	if err := net.SettleFor(10 * time.Second); err != nil {
+		return err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	// Operator loop: transform readings above the threshold into alerts.
+	go func() {
+		for {
+			in, err := operator.Receive(ctx)
+			if err != nil {
+				return
+			}
+			v := in.Event["value"].Number64()
+			if v <= 50 {
+				continue
+			}
+			_, _ = operator.Publish(padres.Event{
+				"stream": padres.String("alerts"),
+				"seq":    in.Event["seq"],
+				"value":  padres.Number(v),
+				"site":   padres.String(string(operator.Broker())),
+			})
+		}
+	}()
+
+	// Source loop: every reading exceeds the threshold so each sample
+	// yields exactly one alert.
+	go func() {
+		for seq := 1; seq <= samples; seq++ {
+			_, _ = source.Publish(padres.Event{
+				"stream": padres.String("readings"),
+				"seq":    padres.Number(float64(seq)),
+				"value":  padres.Number(float64(60 + seq)),
+			})
+			time.Sleep(15 * time.Millisecond)
+			if seq == samples/2 {
+				fmt.Println("engine: relocating op-threshold b4 -> b9 (more memory)")
+				if err := operator.Move(ctx, "b9"); err != nil {
+					fmt.Fprintln(os.Stderr, "relocation failed:", err)
+				} else {
+					fmt.Printf("engine: operator now at %s\n", operator.Broker())
+				}
+			}
+		}
+	}()
+
+	// The sink verifies the derived stream is gapless and duplicate-free.
+	seenAt := make(map[int]string, samples)
+	for len(seenAt) < samples {
+		alert, err := sink.Receive(ctx)
+		if err != nil {
+			return fmt.Errorf("sink receive: %w", err)
+		}
+		seq := int(alert.Event["seq"].Number64())
+		if prev, dup := seenAt[seq]; dup {
+			return fmt.Errorf("alert %d duplicated (%s, %s)", seq, prev, alert.Event["site"].Str())
+		}
+		seenAt[seq] = alert.Event["site"].Str()
+	}
+	migrated := 0
+	for seq := 1; seq <= samples; seq++ {
+		if seenAt[seq] == "b9" {
+			migrated++
+		}
+	}
+	fmt.Printf("sink received %d alerts exactly once (%d produced at the new site)\n", samples, migrated)
+	return nil
+}

@@ -1,0 +1,135 @@
+// Workflow: a distributed process-execution system schedules task agents at
+// workflow engines (brokers). A dispatcher publishes task assignments; an
+// agent subscribes to its own task queue, executes tasks, and publishes
+// completion reports the dispatcher subscribes to. The scheduler then
+// reassigns the agent to a less loaded engine mid-stream — the movement is
+// transactional, so no task is lost or executed twice (the distributed
+// process execution scenario of Sec. 1).
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"padres"
+)
+
+const totalTasks = 12
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "workflow:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	net, err := padres.NewNetwork(padres.Options{})
+	if err != nil {
+		return err
+	}
+	defer net.Stop()
+
+	dispatcher, err := net.NewClient("dispatcher", "b8")
+	if err != nil {
+		return err
+	}
+	agent, err := net.NewClient("agent-42", "b1")
+	if err != nil {
+		return err
+	}
+
+	// Dispatcher publishes tasks for the agent; agent publishes reports.
+	if _, err := dispatcher.Advertise(padres.MustParseFilter("[kind,=,'task'],[agent,=,'agent-42'],[seq,>,0]")); err != nil {
+		return err
+	}
+	if _, err := agent.Advertise(padres.MustParseFilter("[kind,=,'report'],[agent,=,'agent-42'],[seq,>,0]")); err != nil {
+		return err
+	}
+	if err := net.SettleFor(10 * time.Second); err != nil {
+		return err
+	}
+	if _, err := agent.Subscribe(padres.MustParseFilter("[kind,=,'task'],[agent,=,'agent-42']")); err != nil {
+		return err
+	}
+	if _, err := dispatcher.Subscribe(padres.MustParseFilter("[kind,=,'report'],[agent,=,'agent-42']")); err != nil {
+		return err
+	}
+	if err := net.SettleFor(10 * time.Second); err != nil {
+		return err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	// The agent's execution loop: receive a task, execute, report.
+	agentDone := make(chan error, 1)
+	go func() {
+		for {
+			task, err := agent.Receive(ctx)
+			if err != nil {
+				agentDone <- err
+				return
+			}
+			seq := task.Event["seq"].Number64()
+			_, err = agent.Publish(padres.Event{
+				"kind":   padres.String("report"),
+				"agent":  padres.String("agent-42"),
+				"seq":    padres.Number(seq),
+				"engine": padres.String(string(agent.Broker())),
+			})
+			if err != nil {
+				agentDone <- err
+				return
+			}
+			if int(seq) == totalTasks {
+				agentDone <- nil
+				return
+			}
+		}
+	}()
+
+	// The dispatcher feeds tasks and collects reports; midway, the
+	// scheduler migrates the agent to engine b13.
+	go func() {
+		for seq := 1; seq <= totalTasks; seq++ {
+			_, _ = dispatcher.Publish(padres.Event{
+				"kind":  padres.String("task"),
+				"agent": padres.String("agent-42"),
+				"seq":   padres.Number(float64(seq)),
+			})
+			time.Sleep(20 * time.Millisecond)
+			if seq == totalTasks/2 {
+				fmt.Println("scheduler: reassigning agent-42 from b1 to b13")
+				if err := agent.Move(ctx, "b13"); err != nil {
+					fmt.Fprintln(os.Stderr, "reassignment failed:", err)
+				} else {
+					fmt.Printf("scheduler: agent-42 now executing at %s\n", agent.Broker())
+				}
+			}
+		}
+	}()
+
+	// Collect the reports; every task must be reported exactly once.
+	seen := make(map[int]string, totalTasks)
+	for len(seen) < totalTasks {
+		rep, err := dispatcher.Receive(ctx)
+		if err != nil {
+			return fmt.Errorf("dispatcher receive: %w", err)
+		}
+		seq := int(rep.Event["seq"].Number64())
+		engine := rep.Event["engine"].Str()
+		if prev, dup := seen[seq]; dup {
+			return fmt.Errorf("task %d reported twice (%s and %s)", seq, prev, engine)
+		}
+		seen[seq] = engine
+		fmt.Printf("task %2d completed on %s\n", seq, engine)
+	}
+	if err := <-agentDone; err != nil {
+		return fmt.Errorf("agent: %w", err)
+	}
+	fmt.Printf("all %d tasks completed exactly once across the reassignment\n", totalTasks)
+	return nil
+}

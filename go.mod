@@ -1,0 +1,3 @@
+module padres
+
+go 1.22

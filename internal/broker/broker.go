@@ -1,0 +1,375 @@
+// Package broker implements a content-based publish/subscribe broker in the
+// PADRES style: a Subscription Routing Table (SRT) of advertisements routes
+// subscriptions toward publishers, and a Publication Routing Table (PRT) of
+// subscriptions routes publications toward subscribers, hop-by-hop over an
+// acyclic overlay.
+//
+// The broker supports two features central to the paper:
+//
+//   - The covering optimization (Sec. 2): forwarding of subscriptions
+//     (advertisements) already covered by previously forwarded ones is
+//     quenched, and retracting a covering filter un-quenches — and therefore
+//     floods — the filters it covered. This un-quenching cascade is the
+//     pathology the paper attributes to the traditional covering-based
+//     movement protocol.
+//
+//   - The hop-by-hop routing reconfiguration protocol (Sec. 4.4): brokers on
+//     the unique path between a movement's source and target brokers prepare
+//     a revised routing configuration rc(adv') next to the existing rc(adv),
+//     keeping both active until the movement transaction commits (delete old)
+//     or aborts (delete revised), which confines movement traffic to the
+//     path.
+//
+// Each broker runs a single goroutine that drains an unbounded FIFO inbox;
+// an optional per-message service time models broker processing cost so
+// that propagation bursts congest the broker queues, as they do in the
+// paper's testbed.
+package broker
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"padres/internal/matching"
+	"padres/internal/message"
+	"padres/internal/transport"
+)
+
+// ControlSink receives movement control messages whose destination is this
+// broker's coordinator. The callback runs on the broker's processing
+// goroutine and must not block.
+type ControlSink func(env message.Envelope)
+
+// ClientDeliver receives notifications for a client co-located with the
+// broker (in its mobile container). Delivery is synchronous with the
+// broker's message processing, which mirrors the paper's model of clients
+// living inside the container: a notification handed to the client is
+// ordered with respect to the coordinator actions that stop the client.
+type ClientDeliver func(pub message.Publish)
+
+// Config configures a broker.
+type Config struct {
+	ID message.BrokerID
+	// Net is the transport the broker sends and receives through.
+	Net *transport.Network
+	// Neighbors are the broker's overlay neighbors.
+	Neighbors []message.BrokerID
+	// NextHops maps every other broker to the neighbor toward it; used to
+	// forward movement control messages. Computed from the topology via
+	// overlay.Topology.NextHops.
+	NextHops map[message.BrokerID]message.BrokerID
+	// Covering enables the subscription/advertisement covering
+	// optimization.
+	Covering bool
+	// ServiceTime is the simulated processing cost per routing message
+	// (publication, subscription, advertisement, or retraction), which is
+	// dominated by matching against the routing tables. Movement control
+	// messages cost a quarter of it: forwarding them is a routing-table
+	// lookup, not a matching pass.
+	ServiceTime time.Duration
+}
+
+// Broker is one content-based pub/sub broker.
+type Broker struct {
+	cfg Config
+
+	srt *matching.SRT
+	prt *matching.PRT
+
+	mu        sync.Mutex
+	inbox     []message.Envelope
+	cond      *sync.Cond
+	stopped   bool
+	paused    bool
+	clients   map[message.NodeID]ClientDeliver
+	sentSubs  map[message.SubID]map[message.NodeID]bool
+	sentAdvs  map[message.AdvID]map[message.NodeID]bool
+	reconfigs map[message.TxID]*reconfigTx
+	controlFn ControlSink
+	neighbors map[message.BrokerID]bool
+	done      chan struct{}
+	dropped   int64 // publications with no matching advertisement
+}
+
+// New creates a broker and registers it with the transport. Call Start to
+// begin processing and Stop to shut down.
+func New(cfg Config) *Broker {
+	b := &Broker{
+		cfg:       cfg,
+		srt:       matching.NewSRT(),
+		prt:       matching.NewPRT(),
+		clients:   make(map[message.NodeID]ClientDeliver),
+		sentSubs:  make(map[message.SubID]map[message.NodeID]bool),
+		sentAdvs:  make(map[message.AdvID]map[message.NodeID]bool),
+		reconfigs: make(map[message.TxID]*reconfigTx),
+		neighbors: make(map[message.BrokerID]bool, len(cfg.Neighbors)),
+		done:      make(chan struct{}),
+	}
+	b.cond = sync.NewCond(&b.mu)
+	for _, n := range cfg.Neighbors {
+		b.neighbors[n] = true
+	}
+	cfg.Net.Register(cfg.ID.Node(), b.enqueue)
+	return b
+}
+
+// ID returns the broker's identifier.
+func (b *Broker) ID() message.BrokerID { return b.cfg.ID }
+
+// Covering reports whether the covering optimization is enabled.
+func (b *Broker) Covering() bool { return b.cfg.Covering }
+
+// SetControlSink installs the coordinator callback for control messages
+// addressed to this broker.
+func (b *Broker) SetControlSink(fn ControlSink) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.controlFn = fn
+}
+
+// Start launches the processing goroutine.
+func (b *Broker) Start() {
+	go b.run()
+}
+
+// Stop terminates the processing goroutine and waits for it to exit.
+// Messages remaining in the inbox are released without processing.
+func (b *Broker) Stop() {
+	b.mu.Lock()
+	if b.stopped {
+		b.mu.Unlock()
+		<-b.done
+		return
+	}
+	b.stopped = true
+	for _, env := range b.inbox {
+		b.cfg.Net.Done(env.Msg)
+	}
+	b.inbox = nil
+	b.cond.Signal()
+	b.mu.Unlock()
+	<-b.done
+}
+
+// Pause freezes message processing without dropping anything: inbound
+// messages keep queueing. Models an arbitrarily slow broker (the unbounded
+// message-delay regime of Sec. 4.1). Unpause resumes processing.
+func (b *Broker) Pause() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.paused = true
+}
+
+// Unpause resumes processing after Pause.
+func (b *Broker) Unpause() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.paused = false
+	b.cond.Signal()
+}
+
+// AttachClient registers a locally connected client by its
+// location-qualified node identity (see message.ClientNode), with the
+// callback that receives its notifications.
+func (b *Broker) AttachClient(n message.NodeID, deliver func(pub message.Publish)) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.clients[n] = deliver
+}
+
+// DetachClient removes a locally connected client. Its routing state is not
+// retracted; callers retract or move it explicitly.
+func (b *Broker) DetachClient(n message.NodeID) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.clients, n)
+}
+
+// HasClient reports whether the client node is attached here.
+func (b *Broker) HasClient(n message.NodeID) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	_, ok := b.clients[n]
+	return ok
+}
+
+// QueueLen returns the current inbox length (used by admission control and
+// tests).
+func (b *Broker) QueueLen() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.inbox)
+}
+
+// DroppedPublications returns the number of publications discarded because
+// no advertisement matched them.
+func (b *Broker) DroppedPublications() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dropped
+}
+
+// SRTSnapshot returns a copy of the advertisement table records.
+func (b *Broker) SRTSnapshot() []*matching.Record { return b.srt.All() }
+
+// PRTSnapshot returns a copy of the subscription table records.
+func (b *Broker) PRTSnapshot() []*matching.Record { return b.prt.All() }
+
+// enqueue is the transport handler: it appends to the FIFO inbox.
+func (b *Broker) enqueue(env message.Envelope) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.stopped {
+		b.cfg.Net.Done(env.Msg)
+		return
+	}
+	b.inbox = append(b.inbox, env)
+	b.cond.Signal()
+}
+
+func (b *Broker) run() {
+	defer close(b.done)
+	for {
+		b.mu.Lock()
+		for (len(b.inbox) == 0 || b.paused) && !b.stopped {
+			b.cond.Wait()
+		}
+		if b.stopped {
+			b.mu.Unlock()
+			return
+		}
+		env := b.inbox[0]
+		b.inbox = b.inbox[1:]
+		b.mu.Unlock()
+
+		if b.cfg.ServiceTime > 0 {
+			cost := b.cfg.ServiceTime
+			if env.Msg.Kind().IsControl() {
+				cost /= 4
+			}
+			time.Sleep(cost)
+		}
+		b.process(env)
+		b.cfg.Net.Done(env.Msg)
+	}
+}
+
+// process dispatches one message. It runs on the broker goroutine.
+func (b *Broker) process(env message.Envelope) {
+	switch m := env.Msg.(type) {
+	case message.Advertise:
+		b.handleAdvertise(m, env.From)
+	case message.Unadvertise:
+		b.handleUnadvertise(m, env.From)
+	case message.Subscribe:
+		b.handleSubscribe(m, env.From)
+	case message.Unsubscribe:
+		b.handleUnsubscribe(m, env.From)
+	case message.Publish:
+		b.handlePublish(m, env.From)
+	case message.MoveApprove:
+		b.handleMoveApprove(m, env.From)
+	case message.MoveAck:
+		b.handleMoveAck(m, env.From)
+	case message.MoveAbort:
+		b.handleMoveAbort(m, env.From)
+	case message.MoveNegotiate, message.MoveReject, message.MoveState:
+		b.forwardOrDeliverControl(env)
+	default:
+		// Unknown message kinds are dropped.
+	}
+}
+
+// send transmits a message to a directly connected node (neighbor broker or
+// local client).
+func (b *Broker) send(to message.NodeID, m message.Message) {
+	if err := b.cfg.Net.Send(b.cfg.ID.Node(), to, m); err != nil {
+		// A send can only fail when the destination detached concurrently
+		// (e.g. a moving client); the message is dropped, which the paper's
+		// model treats as a masked transient fault.
+		return
+	}
+}
+
+// isNeighbor reports whether the node is a neighboring broker.
+func (b *Broker) isNeighbor(n message.NodeID) bool {
+	return b.neighbors[message.BrokerID(n)]
+}
+
+// localClient returns the delivery callback for a locally attached client,
+// or nil.
+func (b *Broker) localClient(n message.NodeID) ClientDeliver {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.clients[n]
+}
+
+// nextHopToward returns the neighbor on the path toward the given broker.
+func (b *Broker) nextHopToward(dest message.BrokerID) (message.BrokerID, error) {
+	if dest == b.cfg.ID {
+		return "", fmt.Errorf("broker %s: no next hop toward self", b.cfg.ID)
+	}
+	hop, ok := b.cfg.NextHops[dest]
+	if !ok {
+		return "", fmt.Errorf("broker %s: no route toward %s", b.cfg.ID, dest)
+	}
+	return hop, nil
+}
+
+// CanRoute reports whether this broker has a next-hop route toward the
+// given broker (itself included).
+func (b *Broker) CanRoute(dest message.BrokerID) bool {
+	if dest == b.cfg.ID {
+		return true
+	}
+	_, ok := b.cfg.NextHops[dest]
+	return ok
+}
+
+// SendControl injects a movement control message originated by this
+// broker's coordinator. The message always passes through this broker's own
+// inbox first, so that any per-hop routing work it requires (preparing,
+// committing, or aborting a reconfiguration at the originating broker,
+// which is itself on the path) runs uniformly with the other hops; the
+// message handler then forwards it toward its destination.
+func (b *Broker) SendControl(m message.Message) error {
+	b.Inject(b.cfg.ID.Node(), m)
+	return nil
+}
+
+// Inject enqueues a message into this broker's inbox as if it had arrived
+// from the given node. The co-located mobile container uses it to issue and
+// retract filters on behalf of the clients it manages without racing the
+// lifetime of their access links.
+func (b *Broker) Inject(from message.NodeID, m message.Message) {
+	b.cfg.Net.Registry().MsgEnqueued(m)
+	b.enqueue(message.Envelope{From: from, Msg: m})
+}
+
+// forwardOrDeliverControl moves a control message one hop toward its
+// destination, or hands it to the local coordinator when it has arrived.
+func (b *Broker) forwardOrDeliverControl(env message.Envelope) {
+	dest, ok := message.Dest(env.Msg)
+	if !ok {
+		return
+	}
+	if dest == b.cfg.ID {
+		b.deliverControl(env)
+		return
+	}
+	hop, err := b.nextHopToward(dest)
+	if err != nil {
+		return
+	}
+	b.send(hop.Node(), env.Msg)
+}
+
+func (b *Broker) deliverControl(env message.Envelope) {
+	b.mu.Lock()
+	fn := b.controlFn
+	b.mu.Unlock()
+	if fn != nil {
+		fn(env)
+	}
+}

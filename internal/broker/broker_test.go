@@ -1,0 +1,775 @@
+package broker
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"padres/internal/matching"
+	"padres/internal/message"
+	"padres/internal/metrics"
+	"padres/internal/overlay"
+	"padres/internal/predicate"
+	"padres/internal/transport"
+)
+
+// testNet wires a topology of brokers over an in-process transport with
+// zero-latency links, plus client collectors.
+type testNet struct {
+	t       *testing.T
+	reg     *metrics.Registry
+	net     *transport.Network
+	top     *overlay.Topology
+	brokers map[message.BrokerID]*Broker
+
+	mu     sync.Mutex
+	inbox  map[message.ClientID][]message.Publish
+	contrl map[message.BrokerID][]message.Message
+}
+
+func buildNet(t *testing.T, top *overlay.Topology, covering bool) *testNet {
+	t.Helper()
+	tn := &testNet{
+		t:       t,
+		reg:     metrics.NewRegistry(),
+		top:     top,
+		brokers: make(map[message.BrokerID]*Broker),
+		inbox:   make(map[message.ClientID][]message.Publish),
+		contrl:  make(map[message.BrokerID][]message.Message),
+	}
+	tn.net = transport.NewNetwork(tn.reg)
+	for _, id := range top.Brokers() {
+		hops, err := top.NextHops(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := New(Config{
+			ID:        id,
+			Net:       tn.net,
+			Neighbors: top.Neighbors(id),
+			NextHops:  hops,
+			Covering:  covering,
+		})
+		bid := id
+		b.SetControlSink(func(env message.Envelope) {
+			tn.mu.Lock()
+			defer tn.mu.Unlock()
+			tn.contrl[bid] = append(tn.contrl[bid], env.Msg)
+		})
+		tn.brokers[id] = b
+	}
+	for _, id := range top.Brokers() {
+		for _, n := range top.Neighbors(id) {
+			if id < n {
+				if err := tn.net.AddLink(id.Node(), n.Node(), transport.LinkOptions{CountTraffic: true}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	for _, b := range tn.brokers {
+		b.Start()
+	}
+	t.Cleanup(func() {
+		for _, b := range tn.brokers {
+			b.Stop()
+		}
+		tn.net.Close()
+	})
+	return tn
+}
+
+// attach connects a client collector to a broker under the client's
+// location-qualified node identity.
+func (tn *testNet) attach(c message.ClientID, at message.BrokerID) {
+	tn.t.Helper()
+	node := message.ClientNode(c, at)
+	tn.brokers[at].AttachClient(node, func(pub message.Publish) {
+		tn.mu.Lock()
+		tn.inbox[c] = append(tn.inbox[c], pub)
+		tn.mu.Unlock()
+	})
+}
+
+// send issues a message from a client to its broker.
+func (tn *testNet) send(c message.ClientID, at message.BrokerID, m message.Message) {
+	tn.t.Helper()
+	tn.brokers[at].Inject(message.ClientNode(c, at), m)
+}
+
+// settle waits for total message quiescence.
+func (tn *testNet) settle() {
+	tn.t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := tn.reg.AwaitQuiescent(ctx); err != nil {
+		tn.t.Fatalf("network did not quiesce: %v (inflight=%d)", err, tn.reg.Inflight())
+	}
+}
+
+func (tn *testNet) received(c message.ClientID) []message.Publish {
+	tn.mu.Lock()
+	defer tn.mu.Unlock()
+	out := make([]message.Publish, len(tn.inbox[c]))
+	copy(out, tn.inbox[c])
+	return out
+}
+
+func (tn *testNet) controlAt(b message.BrokerID) []message.Message {
+	tn.mu.Lock()
+	defer tn.mu.Unlock()
+	out := make([]message.Message, len(tn.contrl[b]))
+	copy(out, tn.contrl[b])
+	return out
+}
+
+func srtIDs(b *Broker) map[string]message.NodeID {
+	out := make(map[string]message.NodeID)
+	for _, r := range b.SRTSnapshot() {
+		out[r.ID] = r.LastHop
+	}
+	return out
+}
+
+func prtIDs(b *Broker) map[string]message.NodeID {
+	out := make(map[string]message.NodeID)
+	for _, r := range b.PRTSnapshot() {
+		out[r.ID] = r.LastHop
+	}
+	return out
+}
+
+func linear5(t *testing.T) *overlay.Topology {
+	top, err := overlay.Linear(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return top
+}
+
+func TestAdvertisementFloods(t *testing.T) {
+	tn := buildNet(t, linear5(t), false)
+	tn.attach("pub", "b1")
+	tn.send("pub", "b1", message.Advertise{ID: "a1", Client: "pub", Filter: predicate.MustParse("[x,>,0]")})
+	tn.settle()
+	for id, b := range tn.brokers {
+		if _, ok := srtIDs(b)["a1"]; !ok {
+			t.Errorf("broker %s missing advertisement a1", id)
+		}
+	}
+	// Last hops point back toward b1.
+	if srtIDs(tn.brokers["b3"])["a1"] != "b2" {
+		t.Errorf("b3 lasthop = %v, want b2", srtIDs(tn.brokers["b3"])["a1"])
+	}
+	if srtIDs(tn.brokers["b1"])["a1"] != "pub@b1" {
+		t.Errorf("b1 lasthop = %v, want pub@b1", srtIDs(tn.brokers["b1"])["a1"])
+	}
+}
+
+func TestSubscriptionRoutedTowardAdvertiser(t *testing.T) {
+	tn := buildNet(t, linear5(t), false)
+	tn.attach("pub", "b1")
+	tn.attach("sub", "b5")
+	tn.send("pub", "b1", message.Advertise{ID: "a1", Client: "pub", Filter: predicate.MustParse("[x,>,0]")})
+	tn.settle()
+	tn.send("sub", "b5", message.Subscribe{ID: "s1", Client: "sub", Filter: predicate.MustParse("[x,>,10]")})
+	tn.settle()
+	// Subscription installed along the whole path with last hops toward b5.
+	for _, bid := range []message.BrokerID{"b1", "b2", "b3", "b4", "b5"} {
+		if _, ok := prtIDs(tn.brokers[bid])["s1"]; !ok {
+			t.Errorf("broker %s missing subscription s1", bid)
+		}
+	}
+	if prtIDs(tn.brokers["b2"])["s1"] != "b3" {
+		t.Errorf("b2 sub lasthop = %v, want b3", prtIDs(tn.brokers["b2"])["s1"])
+	}
+}
+
+func TestSubscriptionNotFloodedWithoutAdv(t *testing.T) {
+	tn := buildNet(t, linear5(t), false)
+	tn.attach("sub", "b3")
+	tn.send("sub", "b3", message.Subscribe{ID: "s1", Client: "sub", Filter: predicate.MustParse("[x,>,0]")})
+	tn.settle()
+	for _, bid := range []message.BrokerID{"b1", "b2", "b4", "b5"} {
+		if _, ok := prtIDs(tn.brokers[bid])["s1"]; ok {
+			t.Errorf("subscription leaked to %s with no advertisement", bid)
+		}
+	}
+}
+
+func TestPublicationDelivery(t *testing.T) {
+	tn := buildNet(t, linear5(t), false)
+	tn.attach("pub", "b1")
+	tn.attach("sub", "b5")
+	tn.attach("other", "b3")
+	tn.send("pub", "b1", message.Advertise{ID: "a1", Client: "pub", Filter: predicate.MustParse("[x,>,0]")})
+	tn.settle()
+	tn.send("sub", "b5", message.Subscribe{ID: "s1", Client: "sub", Filter: predicate.MustParse("[x,>,10]")})
+	tn.send("other", "b3", message.Subscribe{ID: "s2", Client: "other", Filter: predicate.MustParse("[x,>,100]")})
+	tn.settle()
+
+	tn.send("pub", "b1", message.Publish{ID: "p1", Client: "pub", Event: predicate.Event{"x": predicate.Number(50)}})
+	tn.settle()
+
+	if got := tn.received("sub"); len(got) != 1 || got[0].ID != "p1" {
+		t.Errorf("sub received %v, want [p1]", got)
+	}
+	if got := tn.received("other"); len(got) != 0 {
+		t.Errorf("other received %v, want none (x=50 <= 100)", got)
+	}
+
+	tn.send("pub", "b1", message.Publish{ID: "p2", Client: "pub", Event: predicate.Event{"x": predicate.Number(500)}})
+	tn.settle()
+	if got := tn.received("other"); len(got) != 1 || got[0].ID != "p2" {
+		t.Errorf("other received %v, want [p2]", got)
+	}
+	if got := tn.received("sub"); len(got) != 2 {
+		t.Errorf("sub received %d publications, want 2", len(got))
+	}
+}
+
+func TestPublicationDroppedWithoutAdvertisement(t *testing.T) {
+	tn := buildNet(t, linear5(t), false)
+	tn.attach("pub", "b1")
+	tn.send("pub", "b1", message.Publish{ID: "p1", Client: "pub", Event: predicate.Event{"x": predicate.Number(1)}})
+	tn.settle()
+	if tn.brokers["b1"].DroppedPublications() != 1 {
+		t.Errorf("dropped = %d, want 1", tn.brokers["b1"].DroppedPublications())
+	}
+}
+
+func TestUnsubscribePropagates(t *testing.T) {
+	tn := buildNet(t, linear5(t), false)
+	tn.attach("pub", "b1")
+	tn.attach("sub", "b5")
+	tn.send("pub", "b1", message.Advertise{ID: "a1", Client: "pub", Filter: predicate.MustParse("[x,>,0]")})
+	tn.settle()
+	tn.send("sub", "b5", message.Subscribe{ID: "s1", Client: "sub", Filter: predicate.MustParse("[x,>,0]")})
+	tn.settle()
+	tn.send("sub", "b5", message.Unsubscribe{ID: "s1", Client: "sub"})
+	tn.settle()
+	for bid, b := range tn.brokers {
+		if _, ok := prtIDs(b)["s1"]; ok {
+			t.Errorf("broker %s still has s1 after unsubscribe", bid)
+		}
+	}
+}
+
+func TestUnadvertisePropagates(t *testing.T) {
+	tn := buildNet(t, linear5(t), false)
+	tn.attach("pub", "b1")
+	tn.send("pub", "b1", message.Advertise{ID: "a1", Client: "pub", Filter: predicate.MustParse("[x,>,0]")})
+	tn.settle()
+	tn.send("pub", "b1", message.Unadvertise{ID: "a1", Client: "pub"})
+	tn.settle()
+	for bid, b := range tn.brokers {
+		if _, ok := srtIDs(b)["a1"]; ok {
+			t.Errorf("broker %s still has a1 after unadvertise", bid)
+		}
+	}
+}
+
+// --- covering optimization ---------------------------------------------------
+
+func TestCoveringQuenchesSubscription(t *testing.T) {
+	tn := buildNet(t, linear5(t), true)
+	tn.attach("pub", "b1")
+	tn.attach("s1", "b5")
+	tn.attach("s2", "b5")
+	tn.send("pub", "b1", message.Advertise{ID: "a1", Client: "pub", Filter: predicate.MustParse("[x,>,0]")})
+	tn.settle()
+	// Root covers leaf; root forwarded first.
+	tn.send("s1", "b5", message.Subscribe{ID: "root", Client: "s1", Filter: predicate.MustParse("[x,>,0]")})
+	tn.settle()
+	tn.send("s2", "b5", message.Subscribe{ID: "leaf", Client: "s2", Filter: predicate.MustParse("[x,>,10]")})
+	tn.settle()
+
+	// The leaf subscription must be quenched at b5: present in b5's PRT but
+	// nowhere upstream.
+	if _, ok := prtIDs(tn.brokers["b5"])["leaf"]; !ok {
+		t.Fatal("b5 missing leaf subscription")
+	}
+	for _, bid := range []message.BrokerID{"b1", "b2", "b3", "b4"} {
+		if _, ok := prtIDs(tn.brokers[bid])["leaf"]; ok {
+			t.Errorf("leaf subscription leaked to %s despite covering", bid)
+		}
+	}
+	// Notifications still reach the leaf subscriber through the covering
+	// subscription's path.
+	tn.send("pub", "b1", message.Publish{ID: "p1", Client: "pub", Event: predicate.Event{"x": predicate.Number(50)}})
+	tn.settle()
+	if got := tn.received("s2"); len(got) != 1 {
+		t.Errorf("leaf subscriber received %d, want 1", len(got))
+	}
+}
+
+func TestUncoveringCascade(t *testing.T) {
+	tn := buildNet(t, linear5(t), true)
+	tn.attach("pub", "b1")
+	tn.attach("s1", "b5")
+	tn.attach("s2", "b5")
+	tn.send("pub", "b1", message.Advertise{ID: "a1", Client: "pub", Filter: predicate.MustParse("[x,>,0]")})
+	tn.settle()
+	tn.send("s1", "b5", message.Subscribe{ID: "root", Client: "s1", Filter: predicate.MustParse("[x,>,0]")})
+	tn.settle()
+	tn.send("s2", "b5", message.Subscribe{ID: "leaf", Client: "s2", Filter: predicate.MustParse("[x,>,10]")})
+	tn.settle()
+
+	before := tn.reg.TotalMessages()
+	tn.send("s1", "b5", message.Unsubscribe{ID: "root", Client: "s1"})
+	tn.settle()
+	after := tn.reg.TotalMessages()
+
+	// The retraction of the covering root must have propagated the leaf
+	// subscription (the un-quenching cascade): leaf now installed upstream.
+	for _, bid := range []message.BrokerID{"b1", "b2", "b3", "b4"} {
+		if _, ok := prtIDs(tn.brokers[bid])["leaf"]; !ok {
+			t.Errorf("leaf subscription not propagated to %s after root retraction", bid)
+		}
+		if _, ok := prtIDs(tn.brokers[bid])["root"]; ok {
+			t.Errorf("root subscription still at %s", bid)
+		}
+	}
+	// The cascade costs both unsubscribes and subscribes: at least 2 per
+	// upstream link.
+	if cost := after - before; cost < 8 {
+		t.Errorf("cascade cost = %d messages, want >= 8", cost)
+	}
+	// Deliveries keep working for the leaf.
+	tn.send("pub", "b1", message.Publish{ID: "p1", Client: "pub", Event: predicate.Event{"x": predicate.Number(50)}})
+	tn.settle()
+	if got := tn.received("s2"); len(got) != 1 {
+		t.Errorf("leaf subscriber received %d, want 1", len(got))
+	}
+}
+
+func TestAdvertisementCoveringQuench(t *testing.T) {
+	tn := buildNet(t, linear5(t), true)
+	tn.attach("p1", "b1")
+	tn.attach("p2", "b1")
+	// Narrow advertisement floods first.
+	tn.send("p1", "b1", message.Advertise{ID: "narrow", Client: "p1", Filter: predicate.MustParse("[x,>,10]")})
+	tn.settle()
+	before := tn.reg.TotalMessages()
+	// The wide advertisement covers the narrow one: flooding it triggers
+	// unadvertisements of the narrow one over every link (the paper's
+	// pathological interaction).
+	tn.send("p2", "b1", message.Advertise{ID: "wide", Client: "p2", Filter: predicate.MustParse("[x,>,0]")})
+	tn.settle()
+	delta := tn.reg.TotalMessages() - before
+	// 4 links: 4 advertises + 4 unadvertises.
+	if delta != 8 {
+		t.Errorf("wide advertisement cost %d messages, want 8 (4 adv + 4 unadv)", delta)
+	}
+	for _, bid := range []message.BrokerID{"b2", "b3", "b4", "b5"} {
+		ids := srtIDs(tn.brokers[bid])
+		if _, ok := ids["wide"]; !ok {
+			t.Errorf("broker %s missing wide advertisement", bid)
+		}
+		if _, ok := ids["narrow"]; ok {
+			t.Errorf("broker %s still has quenched narrow advertisement", bid)
+		}
+	}
+}
+
+func TestCoveringDisabledNoQuench(t *testing.T) {
+	tn := buildNet(t, linear5(t), false)
+	tn.attach("pub", "b1")
+	tn.attach("s1", "b5")
+	tn.attach("s2", "b5")
+	tn.send("pub", "b1", message.Advertise{ID: "a1", Client: "pub", Filter: predicate.MustParse("[x,>,0]")})
+	tn.settle()
+	tn.send("s1", "b5", message.Subscribe{ID: "root", Client: "s1", Filter: predicate.MustParse("[x,>,0]")})
+	tn.send("s2", "b5", message.Subscribe{ID: "leaf", Client: "s2", Filter: predicate.MustParse("[x,>,10]")})
+	tn.settle()
+	for _, bid := range []message.BrokerID{"b1", "b2", "b3", "b4"} {
+		if _, ok := prtIDs(tn.brokers[bid])["leaf"]; !ok {
+			t.Errorf("leaf not propagated to %s with covering disabled", bid)
+		}
+	}
+}
+
+// --- control message routing -------------------------------------------------
+
+func TestControlMessageRouting(t *testing.T) {
+	tn := buildNet(t, linear5(t), false)
+	hdr := message.MoveHeader{Tx: "tx1", Client: "c1", Source: "b1", Target: "b5"}
+	if err := tn.brokers["b1"].SendControl(message.MoveNegotiate{MoveHeader: hdr}); err != nil {
+		t.Fatal(err)
+	}
+	tn.settle()
+	got := tn.controlAt("b5")
+	if len(got) != 1 || got[0].Kind() != message.KindMoveNegotiate {
+		t.Fatalf("b5 control = %v, want one negotiate", got)
+	}
+	for _, bid := range []message.BrokerID{"b2", "b3", "b4"} {
+		if len(tn.controlAt(bid)) != 0 {
+			t.Errorf("intermediate broker %s received control delivery", bid)
+		}
+	}
+}
+
+func TestControlLocalDelivery(t *testing.T) {
+	tn := buildNet(t, linear5(t), false)
+	hdr := message.MoveHeader{Tx: "tx1", Client: "c1", Source: "b3", Target: "b3"}
+	if err := tn.brokers["b3"].SendControl(message.MoveReject{MoveHeader: hdr}); err != nil {
+		t.Fatal(err)
+	}
+	tn.settle()
+	if got := tn.controlAt("b3"); len(got) != 1 {
+		t.Fatalf("local control delivery failed: %v", got)
+	}
+}
+
+// --- reconfiguration protocol (routing layer) ---------------------------------
+
+// prepareMove sets up a subscriber at source with an installed subscription
+// and returns the testNet.
+func prepareSubscriberMove(t *testing.T) *testNet {
+	tn := buildNet(t, linear5(t), false)
+	tn.attach("pub", "b1")
+	tn.attach("mover", "b2")
+	tn.send("pub", "b1", message.Advertise{ID: "a1", Client: "pub", Filter: predicate.MustParse("[x,>,0]")})
+	tn.settle()
+	tn.send("mover", "b2", message.Subscribe{ID: "s1", Client: "mover", Filter: predicate.MustParse("[x,>,5]")})
+	tn.settle()
+	return tn
+}
+
+func moveApprove(tx message.TxID, src, tgt message.BrokerID) message.MoveApprove {
+	return message.MoveApprove{
+		MoveHeader:  message.MoveHeader{Tx: tx, Client: "mover", Source: src, Target: tgt},
+		Subs:        []message.SubEntry{{ID: "s1", Filter: predicate.MustParse("[x,>,5]")}},
+		Reconfigure: true,
+	}
+}
+
+func TestReconfigPrepareCreatesShadows(t *testing.T) {
+	tn := prepareSubscriberMove(t)
+	// Move from b2 to b5; approve travels b5 -> b2.
+	if err := tn.brokers["b5"].SendControl(moveApprove("tx1", "b2", "b5")); err != nil {
+		t.Fatal(err)
+	}
+	tn.settle()
+
+	// Every broker on the route must hold a prepared transaction.
+	for _, bid := range []message.BrokerID{"b2", "b3", "b4", "b5"} {
+		if tn.brokers[bid].ReconfigCount() != 1 {
+			t.Errorf("broker %s reconfig count = %d, want 1", bid, tn.brokers[bid].ReconfigCount())
+		}
+	}
+	// b1 is off the route and must be untouched.
+	if tn.brokers["b1"].ReconfigCount() != 0 {
+		t.Error("off-route broker b1 has prepared state")
+	}
+	// Dual configuration at b2 (source): canonical points at client, shadow
+	// toward b3.
+	ids := prtIDs(tn.brokers["b2"])
+	if ids["s1"] != "mover@b2" {
+		t.Errorf("b2 canonical lasthop = %v, want mover@b2", ids["s1"])
+	}
+	if ids[shadowID("s1", "tx1")] != "b3" {
+		t.Errorf("b2 shadow lasthop = %v, want b3", ids[shadowID("s1", "tx1")])
+	}
+	// Insertion case at b4 (sub never travelled b2->b5 direction): shadow
+	// only, pointing toward b5.
+	ids4 := prtIDs(tn.brokers["b4"])
+	if _, ok := ids4["s1"]; ok {
+		t.Error("b4 unexpectedly has canonical s1")
+	}
+	if ids4[shadowID("s1", "tx1")] != "b5" {
+		t.Errorf("b4 shadow lasthop = %v, want b5", ids4[shadowID("s1", "tx1")])
+	}
+	// At the target b5 the shadow points at the client's target-side node.
+	if prtIDs(tn.brokers["b5"])[shadowID("s1", "tx1")] != "mover@b5" {
+		t.Errorf("b5 shadow lasthop = %v, want mover@b5", prtIDs(tn.brokers["b5"])[shadowID("s1", "tx1")])
+	}
+	// The source coordinator received the approve.
+	ctl := tn.controlAt("b2")
+	if len(ctl) != 1 || ctl[0].Kind() != message.KindMoveApprove {
+		t.Fatalf("source control = %v, want approve", ctl)
+	}
+}
+
+func TestReconfigCommit(t *testing.T) {
+	tn := prepareSubscriberMove(t)
+	if err := tn.brokers["b5"].SendControl(moveApprove("tx1", "b2", "b5")); err != nil {
+		t.Fatal(err)
+	}
+	tn.settle()
+	ack := message.MoveAck{
+		MoveHeader:  message.MoveHeader{Tx: "tx1", Client: "mover", Source: "b2", Target: "b5"},
+		Reconfigure: true,
+	}
+	if err := tn.brokers["b5"].SendControl(ack); err != nil {
+		t.Fatal(err)
+	}
+	tn.settle()
+
+	// All prepared state consumed; canonical records now point toward b5.
+	wantHops := map[message.BrokerID]message.NodeID{
+		"b2": "b3", "b3": "b4", "b4": "b5", "b5": "mover@b5",
+	}
+	for bid, want := range wantHops {
+		b := tn.brokers[bid]
+		if b.ReconfigCount() != 0 {
+			t.Errorf("broker %s still has prepared state after commit", bid)
+		}
+		ids := prtIDs(b)
+		if got := ids["s1"]; got != want {
+			t.Errorf("broker %s s1 lasthop = %v, want %v", bid, got, want)
+		}
+		if _, ok := ids[shadowID("s1", "tx1")]; ok {
+			t.Errorf("broker %s still has shadow record", bid)
+		}
+	}
+	// Claim 1: off-route broker b1 keeps its original configuration.
+	if got := prtIDs(tn.brokers["b1"])["s1"]; got != "b2" {
+		t.Errorf("b1 s1 lasthop = %v, want b2 (unchanged)", got)
+	}
+}
+
+func TestReconfigCommitDelivery(t *testing.T) {
+	tn := prepareSubscriberMove(t)
+	// The client shell is created at the target: same identity, new access
+	// link (the mobile container re-homes the client).
+	tn.attach("mover", "b5")
+	if err := tn.brokers["b5"].SendControl(moveApprove("tx1", "b2", "b5")); err != nil {
+		t.Fatal(err)
+	}
+	tn.settle()
+	tn.send("pub", "b1", message.Publish{ID: "pDual", Client: "pub", Event: predicate.Event{"x": predicate.Number(7)}})
+	tn.settle()
+	got := tn.received("mover")
+	if len(got) != 2 {
+		t.Errorf("dual-config delivery count = %d, want 2 (source copy + target copy)", len(got))
+	}
+	ack := message.MoveAck{
+		MoveHeader:  message.MoveHeader{Tx: "tx1", Client: "mover", Source: "b2", Target: "b5"},
+		Reconfigure: true,
+	}
+	if err := tn.brokers["b5"].SendControl(ack); err != nil {
+		t.Fatal(err)
+	}
+	tn.settle()
+	tn.brokers["b2"].DetachClient(message.ClientNode("mover", "b2"))
+	// After commit only the target side receives.
+	tn.send("pub", "b1", message.Publish{ID: "pAfter", Client: "pub", Event: predicate.Event{"x": predicate.Number(8)}})
+	tn.settle()
+	after := tn.received("mover")
+	count := 0
+	for _, p := range after {
+		if p.ID == "pAfter" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("post-commit delivery count = %d, want exactly 1", count)
+	}
+}
+
+func TestReconfigAbortRestores(t *testing.T) {
+	tn := prepareSubscriberMove(t)
+
+	// Capture routing state before the movement.
+	before := make(map[message.BrokerID]map[string]message.NodeID)
+	for bid, b := range tn.brokers {
+		before[bid] = prtIDs(b)
+	}
+
+	if err := tn.brokers["b5"].SendControl(moveApprove("tx1", "b2", "b5")); err != nil {
+		t.Fatal(err)
+	}
+	tn.settle()
+	abort := message.MoveAbort{
+		MoveHeader:  message.MoveHeader{Tx: "tx1", Client: "mover", Source: "b2", Target: "b5"},
+		To:          "b2",
+		Reason:      "test abort",
+		Reconfigure: true,
+	}
+	if err := tn.brokers["b5"].SendControl(abort); err != nil {
+		t.Fatal(err)
+	}
+	tn.settle()
+
+	// Routing-layer isolation: the tables equal their pre-movement state.
+	for bid, b := range tn.brokers {
+		after := prtIDs(b)
+		if len(after) != len(before[bid]) {
+			t.Errorf("broker %s PRT size changed: %d -> %d", bid, len(before[bid]), len(after))
+			continue
+		}
+		for id, hop := range before[bid] {
+			if after[id] != hop {
+				t.Errorf("broker %s record %s: %v -> %v", bid, id, hop, after[id])
+			}
+		}
+		if b.ReconfigCount() != 0 {
+			t.Errorf("broker %s still has prepared state after abort", bid)
+		}
+	}
+	// The abort reached the source coordinator.
+	ctl := tn.controlAt("b2")
+	foundAbort := false
+	for _, m := range ctl {
+		if m.Kind() == message.KindMoveAbort {
+			foundAbort = true
+		}
+	}
+	if !foundAbort {
+		t.Error("source coordinator did not receive abort")
+	}
+}
+
+func TestReconfigPublisherMoveForwardsSubs(t *testing.T) {
+	// Publisher at b1 moves to b5; a subscriber hangs at b3 (mid-route).
+	// Case 1 of Sec. 4.4: its subscription must be forwarded toward the
+	// target so publications from the new position reach it.
+	tn := buildNet(t, linear5(t), false)
+	tn.attach("mover", "b1")
+	tn.attach("sub", "b3")
+	advFilter := predicate.MustParse("[x,>,0]")
+	tn.send("mover", "b1", message.Advertise{ID: "a1", Client: "mover", Filter: advFilter})
+	tn.settle()
+	tn.send("sub", "b3", message.Subscribe{ID: "s1", Client: "sub", Filter: predicate.MustParse("[x,>,5]")})
+	tn.settle()
+	// Before the move, s1 lives at b3 (toward b1); b4/b5 have no s1.
+	if _, ok := prtIDs(tn.brokers["b4"])["s1"]; ok {
+		t.Fatal("precondition failed: s1 already at b4")
+	}
+
+	approve := message.MoveApprove{
+		MoveHeader:  message.MoveHeader{Tx: "tx1", Client: "mover", Source: "b1", Target: "b5"},
+		Advs:        []message.AdvEntry{{ID: "a1", Filter: advFilter}},
+		Reconfigure: true,
+	}
+	if err := tn.brokers["b5"].SendControl(approve); err != nil {
+		t.Fatal(err)
+	}
+	tn.settle()
+	ack := message.MoveAck{
+		MoveHeader:  message.MoveHeader{Tx: "tx1", Client: "mover", Source: "b1", Target: "b5"},
+		Reconfigure: true,
+	}
+	if err := tn.brokers["b5"].SendControl(ack); err != nil {
+		t.Fatal(err)
+	}
+	tn.settle()
+
+	// The subscription has been pushed toward the new publisher position.
+	for _, bid := range []message.BrokerID{"b4", "b5"} {
+		if _, ok := prtIDs(tn.brokers[bid])["s1"]; !ok {
+			t.Errorf("broker %s missing forwarded subscription s1", bid)
+		}
+	}
+	// Publications from the new location reach the subscriber.
+	tn.brokers["b1"].DetachClient(message.ClientNode("mover", "b1"))
+	tn.attach("mover", "b5")
+	tn.send("mover", "b5", message.Publish{ID: "p1", Client: "mover", Event: predicate.Event{"x": predicate.Number(10)}})
+	tn.settle()
+	if got := tn.received("sub"); len(got) != 1 {
+		t.Errorf("subscriber received %d publications from moved publisher, want 1", len(got))
+	}
+	// Claim 2: advertisement last hops along the route flipped toward b5.
+	wantHops := map[message.BrokerID]message.NodeID{
+		"b1": "b2", "b2": "b3", "b3": "b4", "b4": "b5", "b5": "mover@b5",
+	}
+	for bid, want := range wantHops {
+		if got := srtIDs(tn.brokers[bid])["a1"]; got != want {
+			t.Errorf("broker %s a1 lasthop = %v, want %v", bid, got, want)
+		}
+	}
+}
+
+func TestReconfigIsolationOtherClients(t *testing.T) {
+	// Moving one client must not disturb other clients' routing entries
+	// (routing-layer isolation, Sec. 3.5).
+	tn := buildNet(t, linear5(t), false)
+	tn.attach("pub", "b1")
+	tn.attach("mover", "b2")
+	tn.attach("bystander", "b4")
+	tn.send("pub", "b1", message.Advertise{ID: "a1", Client: "pub", Filter: predicate.MustParse("[x,>,0]")})
+	tn.settle()
+	tn.send("mover", "b2", message.Subscribe{ID: "s1", Client: "mover", Filter: predicate.MustParse("[x,>,5]")})
+	tn.send("bystander", "b4", message.Subscribe{ID: "s2", Client: "bystander", Filter: predicate.MustParse("[x,>,7]")})
+	tn.settle()
+
+	// Record every broker's view of s2 and a1 (the bystanders).
+	type snap struct {
+		s2  message.NodeID
+		s2k bool
+		a1  message.NodeID
+	}
+	before := make(map[message.BrokerID]snap)
+	for bid, b := range tn.brokers {
+		p := prtIDs(b)
+		s := srtIDs(b)
+		hop, ok := p["s2"]
+		before[bid] = snap{s2: hop, s2k: ok, a1: s["a1"]}
+	}
+
+	if err := tn.brokers["b5"].SendControl(moveApprove("tx1", "b2", "b5")); err != nil {
+		t.Fatal(err)
+	}
+	tn.settle()
+	ack := message.MoveAck{
+		MoveHeader:  message.MoveHeader{Tx: "tx1", Client: "mover", Source: "b2", Target: "b5"},
+		Reconfigure: true,
+	}
+	if err := tn.brokers["b5"].SendControl(ack); err != nil {
+		t.Fatal(err)
+	}
+	tn.settle()
+
+	for bid, b := range tn.brokers {
+		p := prtIDs(b)
+		s := srtIDs(b)
+		hop, ok := p["s2"]
+		if ok != before[bid].s2k || (ok && hop != before[bid].s2) {
+			t.Errorf("broker %s bystander sub changed: %v/%v -> %v/%v", bid, before[bid].s2, before[bid].s2k, hop, ok)
+		}
+		if s["a1"] != before[bid].a1 {
+			t.Errorf("broker %s bystander adv changed: %v -> %v", bid, before[bid].a1, s["a1"])
+		}
+	}
+}
+
+func TestReconfigDuplicateApproveIgnored(t *testing.T) {
+	tn := prepareSubscriberMove(t)
+	ap := moveApprove("tx1", "b2", "b5")
+	if err := tn.brokers["b5"].SendControl(ap); err != nil {
+		t.Fatal(err)
+	}
+	tn.settle()
+	if err := tn.brokers["b5"].SendControl(ap); err != nil {
+		t.Fatal(err)
+	}
+	tn.settle()
+	if got := tn.brokers["b3"].ReconfigCount(); got != 1 {
+		t.Errorf("duplicate approve created %d transactions, want 1", got)
+	}
+}
+
+func TestCommitWithoutPrepareIgnored(t *testing.T) {
+	tn := buildNet(t, linear5(t), false)
+	ack := message.MoveAck{
+		MoveHeader:  message.MoveHeader{Tx: "ghost", Client: "c", Source: "b1", Target: "b5"},
+		Reconfigure: true,
+	}
+	if err := tn.brokers["b5"].SendControl(ack); err != nil {
+		t.Fatal(err)
+	}
+	tn.settle()
+	// Nothing to assert beyond "no panic, no stuck messages".
+}
+
+func TestBrokerStopReleasesInbox(t *testing.T) {
+	tn := buildNet(t, linear5(t), false)
+	tn.attach("pub", "b1")
+	tn.brokers["b3"].Stop()
+	tn.send("pub", "b1", message.Advertise{ID: "a1", Client: "pub", Filter: predicate.MustParse("[x,>,0]")})
+	tn.settle() // must not hang even though b3 is stopped
+}
+
+var _ = matching.Record{} // keep import for test helpers

@@ -1,0 +1,208 @@
+package broker
+
+import (
+	"padres/internal/message"
+)
+
+// reconfigTx is the per-broker prepared state of one movement transaction:
+// which of the moving client's records existed here (flipped) versus were
+// newly created (inserted), plus the path directions at this broker.
+type reconfigTx struct {
+	client message.ClientID
+	// preHop points toward the movement's source; sucHop toward the
+	// target. At the endpoint brokers the respective hop is the client's
+	// own node.
+	preHop message.NodeID
+	sucHop message.NodeID
+
+	flippedSubs  []message.SubID
+	insertedSubs []message.SubID
+	flippedAdvs  []message.AdvID
+	insertedAdvs []message.AdvID
+}
+
+// ReconfigCount returns the number of movement transactions currently
+// prepared at this broker (for tests and introspection).
+func (b *Broker) ReconfigCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.reconfigs)
+}
+
+// handleMoveApprove processes message (2). With Reconfigure set, this
+// broker is on RouteS2T and prepares the revised routing configuration
+// before forwarding the approval toward the source.
+func (b *Broker) handleMoveApprove(m message.MoveApprove, from message.NodeID) {
+	if m.Reconfigure {
+		b.prepareReconfig(m)
+	}
+	if m.Source == b.cfg.ID {
+		b.deliverControl(message.Envelope{From: from, Msg: m})
+		return
+	}
+	if hop, err := b.nextHopToward(m.Source); err == nil {
+		b.send(hop.Node(), m)
+	}
+}
+
+// handleMoveAck processes message (5). With Reconfigure set, the commit is
+// applied hop-by-hop: the old routing configuration is deleted and the
+// prepared one becomes canonical, as the acknowledgement travels from the
+// target back to the source.
+func (b *Broker) handleMoveAck(m message.MoveAck, from message.NodeID) {
+	if m.Reconfigure {
+		b.commitReconfig(m.Tx)
+	}
+	if m.Source == b.cfg.ID {
+		b.deliverControl(message.Envelope{From: from, Msg: m})
+		return
+	}
+	if hop, err := b.nextHopToward(m.Source); err == nil {
+		b.send(hop.Node(), m)
+	}
+}
+
+// handleMoveAbort rolls back a prepared movement hop-by-hop: the revised
+// routing configuration rc(adv') is deleted, leaving rc(adv) untouched.
+func (b *Broker) handleMoveAbort(m message.MoveAbort, from message.NodeID) {
+	if m.Reconfigure {
+		b.abortReconfig(m.Tx)
+	}
+	if m.To == b.cfg.ID {
+		b.deliverControl(message.Envelope{From: from, Msg: m})
+		return
+	}
+	if hop, err := b.nextHopToward(m.To); err == nil {
+		b.send(hop.Node(), m)
+	}
+}
+
+// prepareReconfig builds the revised routing configuration at this broker
+// (Sec. 4.4): for each of the moving client's advertisements and
+// subscriptions, a shadow record pointing toward the movement target is
+// added next to the existing record (if any), keeping both configurations
+// active until commit or abort. For moving advertisements, other clients'
+// intersecting subscriptions are forwarded toward the target as required by
+// the three PRT cases of the paper.
+func (b *Broker) prepareReconfig(m message.MoveApprove) {
+	b.mu.Lock()
+	if _, dup := b.reconfigs[m.Tx]; dup {
+		b.mu.Unlock()
+		return
+	}
+	b.mu.Unlock()
+
+	tx := &reconfigTx{client: m.Client}
+	if b.cfg.ID == m.Source {
+		tx.preHop = message.ClientNode(m.Client, m.Source)
+	} else if hop, err := b.nextHopToward(m.Source); err == nil {
+		tx.preHop = hop.Node()
+	}
+	if b.cfg.ID == m.Target {
+		tx.sucHop = message.ClientNode(m.Client, m.Target)
+	} else if hop, err := b.nextHopToward(m.Target); err == nil {
+		tx.sucHop = hop.Node()
+	}
+
+	for _, se := range m.Subs {
+		if b.prt.Get(se.ID) != nil {
+			tx.flippedSubs = append(tx.flippedSubs, se.ID)
+		} else {
+			tx.insertedSubs = append(tx.insertedSubs, se.ID)
+		}
+		sid := message.SubID(shadowID(string(se.ID), m.Tx))
+		b.prt.Insert(sid, m.Client, se.Filter, tx.sucHop)
+	}
+
+	for _, ae := range m.Advs {
+		if b.srt.Get(ae.ID) != nil {
+			tx.flippedAdvs = append(tx.flippedAdvs, ae.ID)
+		} else {
+			tx.insertedAdvs = append(tx.insertedAdvs, ae.ID)
+		}
+		aid := message.AdvID(shadowID(string(ae.ID), m.Tx))
+		b.srt.Insert(aid, m.Client, ae.Filter, tx.sucHop)
+
+		// PRT cases (1) and (3): subscriptions intersecting the moved
+		// advertisement whose last hop is not the new direction must be
+		// forwarded toward the target so publications from the client's
+		// new position can reach them. Case (2) entries (last hop already
+		// toward the target) become stale, which the paper's consistency
+		// definition permits.
+		if !b.isNeighbor(tx.sucHop) {
+			continue
+		}
+		for _, rec := range b.prt.Intersecting(ae.Filter) {
+			if isShadowID(rec.ID) || rec.Client == m.Client || rec.LastHop == tx.sucHop {
+				continue
+			}
+			id := message.SubID(canonicalID(rec.ID))
+			b.maybeSendSub(id, rec.Client, rec.Filter, tx.sucHop, m.Tx)
+		}
+	}
+
+	b.mu.Lock()
+	b.reconfigs[m.Tx] = tx
+	b.mu.Unlock()
+}
+
+// commitReconfig deletes the old routing configuration and renames the
+// shadow records to their canonical identifiers.
+func (b *Broker) commitReconfig(tx message.TxID) {
+	b.mu.Lock()
+	st, ok := b.reconfigs[tx]
+	if !ok {
+		b.mu.Unlock()
+		return
+	}
+	delete(b.reconfigs, tx)
+	b.mu.Unlock()
+
+	promoteSub := func(id message.SubID) {
+		sh := b.prt.Remove(message.SubID(shadowID(string(id), tx)))
+		if sh != nil {
+			b.prt.Insert(id, st.client, sh.Filter, sh.LastHop)
+		}
+	}
+	for _, id := range st.flippedSubs {
+		b.prt.Remove(id)
+		promoteSub(id)
+	}
+	for _, id := range st.insertedSubs {
+		promoteSub(id)
+	}
+
+	promoteAdv := func(id message.AdvID) {
+		sh := b.srt.Remove(message.AdvID(shadowID(string(id), tx)))
+		if sh != nil {
+			b.srt.Insert(id, st.client, sh.Filter, sh.LastHop)
+		}
+	}
+	for _, id := range st.flippedAdvs {
+		b.srt.Remove(id)
+		promoteAdv(id)
+	}
+	for _, id := range st.insertedAdvs {
+		promoteAdv(id)
+	}
+}
+
+// abortReconfig deletes the prepared shadow records, restoring the routing
+// tables to exactly their pre-movement content (routing-layer isolation).
+func (b *Broker) abortReconfig(tx message.TxID) {
+	b.mu.Lock()
+	st, ok := b.reconfigs[tx]
+	if !ok {
+		b.mu.Unlock()
+		return
+	}
+	delete(b.reconfigs, tx)
+	b.mu.Unlock()
+
+	for _, id := range append(append([]message.SubID{}, st.flippedSubs...), st.insertedSubs...) {
+		b.prt.Remove(message.SubID(shadowID(string(id), tx)))
+	}
+	for _, id := range append(append([]message.AdvID{}, st.flippedAdvs...), st.insertedAdvs...) {
+		b.srt.Remove(message.AdvID(shadowID(string(id), tx)))
+	}
+}

@@ -1,0 +1,341 @@
+package broker
+
+import (
+	"strings"
+
+	"padres/internal/matching"
+	"padres/internal/message"
+	"padres/internal/predicate"
+)
+
+// shadowSep separates a canonical record ID from the movement transaction
+// that created its shadow (the prepared revised routing configuration).
+const shadowSep = "~"
+
+func shadowID(id string, tx message.TxID) string { return id + shadowSep + string(tx) }
+
+func isShadowID(id string) bool { return strings.Contains(id, shadowSep) }
+
+func canonicalID(id string) string {
+	if i := strings.Index(id, shadowSep); i >= 0 {
+		return id[:i]
+	}
+	return id
+}
+
+// --- sent-tracking ----------------------------------------------------------
+
+func (b *Broker) wasSentSub(id message.SubID, n message.NodeID) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sentSubs[id][n]
+}
+
+func (b *Broker) markSentSub(id message.SubID, n message.NodeID) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	set, ok := b.sentSubs[id]
+	if !ok {
+		set = make(map[message.NodeID]bool)
+		b.sentSubs[id] = set
+	}
+	set[n] = true
+}
+
+func (b *Broker) clearSentSub(id message.SubID, n message.NodeID) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.sentSubs[id], n)
+}
+
+func (b *Broker) sentSubTargets(id message.SubID) []message.NodeID {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]message.NodeID, 0, len(b.sentSubs[id]))
+	for n, ok := range b.sentSubs[id] {
+		if ok {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func (b *Broker) dropSentSub(id message.SubID) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.sentSubs, id)
+}
+
+func (b *Broker) wasSentAdv(id message.AdvID, n message.NodeID) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sentAdvs[id][n]
+}
+
+func (b *Broker) markSentAdv(id message.AdvID, n message.NodeID) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	set, ok := b.sentAdvs[id]
+	if !ok {
+		set = make(map[message.NodeID]bool)
+		b.sentAdvs[id] = set
+	}
+	set[n] = true
+}
+
+func (b *Broker) clearSentAdv(id message.AdvID, n message.NodeID) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.sentAdvs[id], n)
+}
+
+func (b *Broker) sentAdvTargets(id message.AdvID) []message.NodeID {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]message.NodeID, 0, len(b.sentAdvs[id]))
+	for n, ok := range b.sentAdvs[id] {
+		if ok {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func (b *Broker) dropSentAdv(id message.AdvID) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.sentAdvs, id)
+}
+
+// --- advertisement handling -------------------------------------------------
+
+func (b *Broker) handleAdvertise(m message.Advertise, from message.NodeID) {
+	b.srt.Insert(m.ID, m.Client, m.Filter, from)
+
+	// Advertisements flood: forward to every neighbor except the one the
+	// advertisement came from (modulo covering quench).
+	for n := range b.neighbors {
+		if n.Node() == from {
+			continue
+		}
+		b.maybeSendAdv(m.ID, m.Client, m.Filter, n.Node(), m.TxTag)
+	}
+
+	// Subscriptions that intersect the new advertisement must be forwarded
+	// toward it (the advertisement's last hop), unless it was issued by a
+	// local client, in which case its publications originate here.
+	if !b.isNeighbor(from) {
+		return
+	}
+	for _, rec := range b.prt.Intersecting(m.Filter) {
+		if rec.LastHop == from {
+			continue
+		}
+		id := message.SubID(canonicalID(rec.ID))
+		b.maybeSendSub(id, rec.Client, rec.Filter, from, m.TxTag)
+	}
+}
+
+func (b *Broker) handleUnadvertise(m message.Unadvertise, from message.NodeID) {
+	rec := b.srt.Remove(m.ID)
+	if rec == nil {
+		return
+	}
+	targets := b.sentAdvTargets(m.ID)
+
+	// Un-quench first: advertisements that were covered by the retracted
+	// one must now be forwarded, before the unadvertise propagates, so
+	// downstream brokers never observe a gap (links are FIFO).
+	if b.cfg.Covering {
+		for _, n := range targets {
+			for _, covered := range b.srt.CoveredBy(rec.Filter, m.ID) {
+				if isShadowID(covered.ID) || covered.LastHop == n {
+					continue
+				}
+				b.maybeSendAdv(message.AdvID(covered.ID), covered.Client, covered.Filter, n, m.TxTag)
+			}
+		}
+	}
+
+	for _, n := range targets {
+		b.send(n, message.Unadvertise{ID: m.ID, Client: m.Client, TxTag: m.TxTag})
+	}
+	b.dropSentAdv(m.ID)
+}
+
+// maybeSendAdv forwards an advertisement to neighbor n unless it was
+// already sent, n is its last hop, or (with covering) a covering
+// advertisement was already sent to n. When it does forward and covering is
+// enabled, previously forwarded advertisements covered by this one are
+// unadvertised over the link — the behaviour that makes covering expensive
+// under mobility (Sec. 4.4).
+func (b *Broker) maybeSendAdv(id message.AdvID, client message.ClientID, f *predicate.Filter, n message.NodeID, tag message.TxID) {
+	if !b.isNeighbor(n) {
+		return
+	}
+	if b.wasSentAdv(id, n) {
+		return
+	}
+	if rec := b.srt.Get(id); rec != nil && rec.LastHop == n {
+		return
+	}
+	if b.cfg.Covering {
+		for _, cov := range b.srt.Covering(f, id) {
+			if isShadowID(cov.ID) || cov.LastHop == n {
+				continue
+			}
+			if b.wasSentAdv(message.AdvID(cov.ID), n) {
+				return // quenched by a covering advertisement
+			}
+		}
+	}
+	b.send(n, message.Advertise{ID: id, Client: client, Filter: f, TxTag: tag})
+	b.markSentAdv(id, n)
+	if b.cfg.Covering {
+		for _, covered := range b.srt.CoveredBy(f, id) {
+			if isShadowID(covered.ID) {
+				continue
+			}
+			cid := message.AdvID(covered.ID)
+			if b.wasSentAdv(cid, n) {
+				b.send(n, message.Unadvertise{ID: cid, Client: covered.Client, TxTag: tag})
+				b.clearSentAdv(cid, n)
+			}
+		}
+	}
+}
+
+// --- subscription handling --------------------------------------------------
+
+func (b *Broker) handleSubscribe(m message.Subscribe, from message.NodeID) {
+	b.prt.Insert(m.ID, m.Client, m.Filter, from)
+
+	// Forward toward the last hops of all intersecting advertisements
+	// (including prepared shadow configurations, so that movements in
+	// progress keep both routes alive).
+	seen := make(map[message.NodeID]bool)
+	for _, adv := range b.srt.Intersecting(m.Filter) {
+		d := adv.LastHop
+		if d == from || seen[d] {
+			continue
+		}
+		seen[d] = true
+		b.maybeSendSub(m.ID, m.Client, m.Filter, d, m.TxTag)
+	}
+}
+
+func (b *Broker) handleUnsubscribe(m message.Unsubscribe, from message.NodeID) {
+	rec := b.prt.Remove(m.ID)
+	if rec == nil {
+		return
+	}
+	targets := b.sentSubTargets(m.ID)
+
+	// Un-quench before propagating the unsubscription: subscriptions that
+	// were covered by the retracted one — and therefore never forwarded —
+	// must now be sent wherever they are needed. With covering enabled this
+	// is the cascade that makes moving a covering (root) subscription
+	// expensive.
+	if b.cfg.Covering {
+		for _, n := range targets {
+			for _, covered := range b.prt.CoveredBy(rec.Filter, m.ID) {
+				if isShadowID(covered.ID) || covered.LastHop == n {
+					continue
+				}
+				if !b.subNeedsHop(covered, n) {
+					continue
+				}
+				id := message.SubID(canonicalID(covered.ID))
+				b.maybeSendSub(id, covered.Client, covered.Filter, n, m.TxTag)
+			}
+		}
+	}
+
+	for _, n := range targets {
+		b.send(n, message.Unsubscribe{ID: m.ID, Client: m.Client, TxTag: m.TxTag})
+	}
+	b.dropSentSub(m.ID)
+}
+
+// subNeedsHop reports whether the subscription must be forwarded to n to
+// reach some advertisement whose last hop is n.
+func (b *Broker) subNeedsHop(rec *matching.Record, n message.NodeID) bool {
+	for _, adv := range b.srt.Intersecting(rec.Filter) {
+		if adv.LastHop == n {
+			return true
+		}
+	}
+	return false
+}
+
+// maybeSendSub forwards a subscription to neighbor n unless it was already
+// sent, n is its last hop, or (with covering) a covering subscription was
+// already forwarded to n. When it does forward with covering enabled,
+// previously forwarded subscriptions covered by this one are unsubscribed
+// over the link.
+func (b *Broker) maybeSendSub(id message.SubID, client message.ClientID, f *predicate.Filter, n message.NodeID, tag message.TxID) {
+	if !b.isNeighbor(n) {
+		return
+	}
+	if b.wasSentSub(id, n) {
+		return
+	}
+	if rec := b.prt.Get(id); rec != nil && rec.LastHop == n {
+		return
+	}
+	if b.cfg.Covering {
+		for _, cov := range b.prt.Covering(f, id) {
+			if isShadowID(cov.ID) || cov.LastHop == n {
+				continue
+			}
+			if b.wasSentSub(message.SubID(cov.ID), n) {
+				return // quenched by a covering subscription
+			}
+		}
+	}
+	b.send(n, message.Subscribe{ID: id, Client: client, Filter: f, TxTag: tag})
+	b.markSentSub(id, n)
+	if b.cfg.Covering {
+		for _, covered := range b.prt.CoveredBy(f, id) {
+			if isShadowID(covered.ID) {
+				continue
+			}
+			cid := message.SubID(covered.ID)
+			if b.wasSentSub(cid, n) {
+				b.send(n, message.Unsubscribe{ID: cid, Client: covered.Client, TxTag: tag})
+				b.clearSentSub(cid, n)
+			}
+		}
+	}
+}
+
+// --- publication handling ---------------------------------------------------
+
+func (b *Broker) handlePublish(m message.Publish, from message.NodeID) {
+	// A publication is valid only if some advertisement (from its
+	// publisher's flooded advertisement tree) matches it.
+	if len(b.srt.Match(m.Event)) == 0 {
+		b.mu.Lock()
+		b.dropped++
+		b.mu.Unlock()
+		return
+	}
+	seen := make(map[message.NodeID]bool)
+	for _, sub := range b.prt.Match(m.Event) {
+		d := sub.LastHop
+		if d == from || seen[d] {
+			continue
+		}
+		seen[d] = true
+		switch {
+		case b.isNeighbor(d):
+			b.send(d, m)
+		default:
+			if deliver := b.localClient(d); deliver != nil {
+				deliver(m)
+			}
+			// Otherwise the last hop is stale (e.g. a detached client):
+			// drop silently.
+		}
+	}
+}

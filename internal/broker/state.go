@@ -1,0 +1,122 @@
+package broker
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"padres/internal/message"
+	"padres/internal/predicate"
+)
+
+// This file implements the durability sketch of Sec. 3.5: a broker's
+// algorithmic state — the advertisements and subscriptions in its routing
+// tables plus the per-link forwarding sets the covering optimization
+// depends on — can be exported (persisted) and restored into a replacement
+// broker, so that a crashed broker resumes routing where it left off.
+// Queue state (in-flight messages) is the transport's concern; the paper's
+// model recovers it with persistent queues, which the in-process harness
+// approximates by re-delivering through the protocols' retry/abort paths.
+
+// RecordState is one serialized routing-table record.
+type RecordState struct {
+	ID      string
+	Client  message.ClientID
+	Filter  *predicate.Filter
+	LastHop message.NodeID
+}
+
+// State is a broker's serializable algorithmic state.
+type State struct {
+	ID       message.BrokerID
+	SRT      []RecordState
+	PRT      []RecordState
+	SentSubs map[message.SubID][]message.NodeID
+	SentAdvs map[message.AdvID][]message.NodeID
+}
+
+// ExportState snapshots the broker's algorithmic state. Safe to call while
+// the broker is running; the snapshot is consistent per table.
+func (b *Broker) ExportState() *State {
+	st := &State{
+		ID:       b.cfg.ID,
+		SentSubs: make(map[message.SubID][]message.NodeID),
+		SentAdvs: make(map[message.AdvID][]message.NodeID),
+	}
+	for _, rec := range b.srt.All() {
+		st.SRT = append(st.SRT, RecordState{
+			ID: rec.ID, Client: rec.Client, Filter: rec.Filter, LastHop: rec.LastHop,
+		})
+	}
+	for _, rec := range b.prt.All() {
+		st.PRT = append(st.PRT, RecordState{
+			ID: rec.ID, Client: rec.Client, Filter: rec.Filter, LastHop: rec.LastHop,
+		})
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for id, set := range b.sentSubs {
+		for n, ok := range set {
+			if ok {
+				st.SentSubs[id] = append(st.SentSubs[id], n)
+			}
+		}
+	}
+	for id, set := range b.sentAdvs {
+		for n, ok := range set {
+			if ok {
+				st.SentAdvs[id] = append(st.SentAdvs[id], n)
+			}
+		}
+	}
+	return st
+}
+
+// RestoreState loads a snapshot into the broker. Call before Start, on a
+// fresh broker that replaces a crashed one.
+func (b *Broker) RestoreState(st *State) error {
+	if st.ID != b.cfg.ID {
+		return fmt.Errorf("state belongs to broker %s, not %s", st.ID, b.cfg.ID)
+	}
+	for _, rec := range st.SRT {
+		b.srt.Insert(message.AdvID(rec.ID), rec.Client, rec.Filter, rec.LastHop)
+	}
+	for _, rec := range st.PRT {
+		b.prt.Insert(message.SubID(rec.ID), rec.Client, rec.Filter, rec.LastHop)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for id, nodes := range st.SentSubs {
+		set := make(map[message.NodeID]bool, len(nodes))
+		for _, n := range nodes {
+			set[n] = true
+		}
+		b.sentSubs[id] = set
+	}
+	for id, nodes := range st.SentAdvs {
+		set := make(map[message.NodeID]bool, len(nodes))
+		for _, n := range nodes {
+			set[n] = true
+		}
+		b.sentAdvs[id] = set
+	}
+	return nil
+}
+
+// Marshal serializes the state for stable storage.
+func (st *State) Marshal() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, fmt.Errorf("marshal broker state: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalState deserializes a broker state snapshot.
+func UnmarshalState(data []byte) (*State, error) {
+	var st State
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return nil, fmt.Errorf("unmarshal broker state: %w", err)
+	}
+	return &st, nil
+}

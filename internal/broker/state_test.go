@@ -1,0 +1,71 @@
+package broker
+
+import (
+	"testing"
+
+	"padres/internal/message"
+	"padres/internal/overlay"
+	"padres/internal/predicate"
+)
+
+func TestExportRestoreRoundTrip(t *testing.T) {
+	tn := buildNet(t, linear5(t), true)
+	tn.attach("pub", "b1")
+	tn.attach("sub", "b5")
+	tn.send("pub", "b1", message.Advertise{ID: "a1", Client: "pub", Filter: predicate.MustParse("[x,>,0]")})
+	tn.settle()
+	tn.send("sub", "b5", message.Subscribe{ID: "s1", Client: "sub", Filter: predicate.MustParse("[x,>,5]")})
+	tn.settle()
+
+	st := tn.brokers["b3"].ExportState()
+	if st.ID != "b3" || len(st.SRT) != 1 || len(st.PRT) != 1 {
+		t.Fatalf("snapshot = %+v", st)
+	}
+	data, err := st.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := UnmarshalState(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st2.SRT) != 1 || len(st2.PRT) != 1 || len(st2.SentAdvs) == 0 {
+		t.Fatalf("decoded snapshot = %+v", st2)
+	}
+
+	// Restore into a fresh broker and compare routing tables.
+	top := linear5(t)
+	hops, _ := top.NextHops("b3")
+	nb := New(Config{ID: "b3", Net: tn.net, Neighbors: top.Neighbors("b3"), NextHops: hops})
+	if err := nb.RestoreState(st2); err != nil {
+		t.Fatal(err)
+	}
+	if got := srtIDs(nb)["a1"]; got != srtIDs(tn.brokers["b3"])["a1"] {
+		t.Errorf("restored SRT lasthop = %v", got)
+	}
+	if got := prtIDs(nb)["s1"]; got != prtIDs(tn.brokers["b3"])["s1"] {
+		t.Errorf("restored PRT lasthop = %v", got)
+	}
+	if !nb.wasSentAdv("a1", "b4") {
+		t.Error("sent-advertisement tracking not restored")
+	}
+}
+
+func TestRestoreWrongBroker(t *testing.T) {
+	tn := buildNet(t, linear5(t), false)
+	st := tn.brokers["b1"].ExportState()
+	top := linear5(t)
+	hops, _ := top.NextHops("b2")
+	nb := New(Config{ID: "b2", Net: tn.net, Neighbors: top.Neighbors("b2"), NextHops: hops})
+	if err := nb.RestoreState(st); err == nil {
+		t.Fatal("restore into wrong broker should fail")
+	}
+}
+
+func TestUnmarshalStateGarbage(t *testing.T) {
+	if _, err := UnmarshalState([]byte("garbage")); err == nil {
+		t.Fatal("garbage should not decode")
+	}
+}
+
+var _ = overlay.Default14

@@ -1,0 +1,382 @@
+// Package client implements the pub/sub stub layer of a mobile client
+// (Sec. 3.2): the component that interfaces application logic with a
+// broker, manages the client's movement states (Fig. 4), queues commands
+// issued while a movement is in progress, and merges — exactly once — the
+// notifications received at the source and target brokers across a move.
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"padres/internal/message"
+	"padres/internal/predicate"
+)
+
+// State is a client state from the paper's Fig. 4.
+type State int
+
+// Client states. A stationary connected client is Started. During a
+// movement the source copy walks Started → PauseMove → PrepareStop →
+// Cleaned (or back to Started on abort), while the target copy walks Init →
+// Created → Started.
+const (
+	StateInit State = iota + 1
+	StateCreated
+	StateStarted
+	StatePauseOper
+	StatePauseMove
+	StatePrepareStop
+	StateCleaned
+)
+
+var stateNames = map[State]string{
+	StateInit:        "init",
+	StateCreated:     "created",
+	StateStarted:     "started",
+	StatePauseOper:   "pause_oper",
+	StatePauseMove:   "pause_move",
+	StatePrepareStop: "prepare_stop",
+	StateCleaned:     "cleaned",
+}
+
+// String returns the state name.
+func (s State) String() string {
+	if n, ok := stateNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Errors reported by client operations.
+var (
+	ErrNotStarted  = errors.New("client is not started")
+	ErrMoving      = errors.New("client movement already in progress")
+	ErrClosed      = errors.New("client is closed")
+	ErrUnknownSub  = errors.New("unknown subscription")
+	ErrUnknownAdv  = errors.New("unknown advertisement")
+	ErrSameBroker  = errors.New("target broker equals current broker")
+	ErrNoContainer = errors.New("client has no mobility container")
+)
+
+// Mover is implemented by the mobile container hosting the client; it
+// executes the movement protocol on the client's behalf.
+type Mover interface {
+	// RequestMove starts a movement transaction toward the target broker
+	// and returns a channel that yields the transaction outcome once.
+	RequestMove(c *Client, target message.BrokerID) (<-chan error, error)
+}
+
+// Sender carries a client-issued message into the client's current broker.
+// The container wires it to the co-located broker's inbox, so commands are
+// ordered with the broker's other processing.
+type Sender func(from message.NodeID, m message.Message)
+
+// Client is the pub/sub stub of one (mobile) application client.
+type Client struct {
+	id  message.ClientID
+	gen *message.IDGen
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	state    State
+	broker   message.BrokerID
+	node     message.NodeID
+	mover    Mover
+	send     Sender
+	subs     map[message.SubID]*predicate.Filter
+	advs     map[message.AdvID]*predicate.Filter
+	seen     map[message.PubID]bool
+	queue    []message.Publish // app-facing notification queue
+	transfer []message.Publish // notifications buffered during a move
+	pending  []message.Message // commands queued while not started
+	closed   bool
+}
+
+// New creates a client stub in state Init. Containers call Attach to home
+// it at a broker and start it.
+func New(id message.ClientID) *Client {
+	c := &Client{
+		id:    id,
+		gen:   message.NewIDGen(string(id)),
+		state: StateInit,
+		subs:  make(map[message.SubID]*predicate.Filter),
+		advs:  make(map[message.AdvID]*predicate.Filter),
+		seen:  make(map[message.PubID]bool),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// ID returns the client identifier.
+func (c *Client) ID() message.ClientID { return c.id }
+
+// State returns the current movement state.
+func (c *Client) State() State {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.state
+}
+
+// Broker returns the broker the client is currently homed at.
+func (c *Client) Broker() message.BrokerID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.broker
+}
+
+// Node returns the client's current location-qualified transport identity.
+func (c *Client) Node() message.NodeID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.node
+}
+
+// SetMover installs the mobility container responsible for this client.
+func (c *Client) SetMover(m Mover) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mover = m
+}
+
+// SetSender installs the path from the client into its current broker.
+func (c *Client) SetSender(s Sender) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.send = s
+}
+
+// DeliverLocal receives one notification from the co-located broker.
+// Depending on the movement state, it goes to the application queue or to
+// the transfer buffer that accompanies the movement transaction.
+func (c *Client) DeliverLocal(pub message.Publish) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch c.state {
+	case StatePauseMove, StatePrepareStop:
+		// Buffered for the state-transfer message; duplicates are resolved
+		// at merge time.
+		c.transfer = append(c.transfer, pub)
+	default:
+		c.enqueueLocked(pub)
+	}
+}
+
+// enqueueLocked appends a notification to the application queue exactly
+// once per publication ID.
+func (c *Client) enqueueLocked(pub message.Publish) {
+	if c.seen[pub.ID] {
+		return
+	}
+	c.seen[pub.ID] = true
+	c.queue = append(c.queue, pub)
+	c.cond.Broadcast()
+}
+
+// Receive blocks until a notification is available or the context is done.
+func (c *Client) Receive(ctx context.Context) (message.Publish, error) {
+	stop := context.AfterFunc(ctx, func() {
+		c.mu.Lock()
+		c.cond.Broadcast()
+		c.mu.Unlock()
+	})
+	defer stop()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.queue) == 0 {
+		if c.closed {
+			return message.Publish{}, ErrClosed
+		}
+		if ctx.Err() != nil {
+			return message.Publish{}, ctx.Err()
+		}
+		c.cond.Wait()
+	}
+	pub := c.queue[0]
+	c.queue = c.queue[1:]
+	return pub, nil
+}
+
+// TryReceive returns a queued notification if one is available.
+func (c *Client) TryReceive() (message.Publish, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.queue) == 0 {
+		return message.Publish{}, false
+	}
+	pub := c.queue[0]
+	c.queue = c.queue[1:]
+	return pub, true
+}
+
+// QueueLen returns the number of notifications waiting for the application.
+func (c *Client) QueueLen() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.queue)
+}
+
+// ReceivedIDs returns the set of publication IDs delivered to the
+// application queue so far (used by the experiment harness to verify
+// exactly-once delivery).
+func (c *Client) ReceivedIDs() []message.PubID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]message.PubID, 0, len(c.seen))
+	for id := range c.seen {
+		out = append(out, id)
+	}
+	return out
+}
+
+// --- application operations -------------------------------------------------
+
+// Subscribe installs a subscription. While a movement is in progress the
+// command is queued and issued at the new broker after the move completes.
+func (c *Client) Subscribe(f *predicate.Filter) (message.SubID, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.operationalLocked(); err != nil {
+		return "", err
+	}
+	id := message.SubID(c.gen.Next("s"))
+	c.subs[id] = f
+	c.issueLocked(message.Subscribe{ID: id, Client: c.id, Filter: f})
+	return id, nil
+}
+
+// Unsubscribe retracts a subscription.
+func (c *Client) Unsubscribe(id message.SubID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.operationalLocked(); err != nil {
+		return err
+	}
+	if _, ok := c.subs[id]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownSub, id)
+	}
+	delete(c.subs, id)
+	c.issueLocked(message.Unsubscribe{ID: id, Client: c.id})
+	return nil
+}
+
+// Advertise announces the publications this client will issue.
+func (c *Client) Advertise(f *predicate.Filter) (message.AdvID, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.operationalLocked(); err != nil {
+		return "", err
+	}
+	id := message.AdvID(c.gen.Next("a"))
+	c.advs[id] = f
+	c.issueLocked(message.Advertise{ID: id, Client: c.id, Filter: f})
+	return id, nil
+}
+
+// Unadvertise retracts an advertisement.
+func (c *Client) Unadvertise(id message.AdvID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.operationalLocked(); err != nil {
+		return err
+	}
+	if _, ok := c.advs[id]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownAdv, id)
+	}
+	delete(c.advs, id)
+	c.issueLocked(message.Unadvertise{ID: id, Client: c.id})
+	return nil
+}
+
+// Publish issues a publication. While moving, the publication is queued
+// and issued at the new broker, preserving the isolation property that a
+// client's output is independent of its movements.
+func (c *Client) Publish(e predicate.Event) (message.PubID, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.operationalLocked(); err != nil {
+		return "", err
+	}
+	id := message.PubID(c.gen.Next("p"))
+	c.issueLocked(message.Publish{ID: id, Client: c.id, Event: e.Clone()})
+	return id, nil
+}
+
+// operationalLocked reports whether application commands may be accepted
+// (immediately or queued).
+func (c *Client) operationalLocked() error {
+	if c.closed {
+		return ErrClosed
+	}
+	switch c.state {
+	case StateStarted, StatePauseOper, StatePauseMove, StatePrepareStop:
+		return nil
+	default:
+		return fmt.Errorf("%w (state %s)", ErrNotStarted, c.state)
+	}
+}
+
+// issueLocked sends a command to the current broker, or queues it while the
+// client is not in the started state.
+func (c *Client) issueLocked(m message.Message) {
+	if c.state != StateStarted {
+		c.pending = append(c.pending, m)
+		return
+	}
+	c.sendLocked(m)
+}
+
+func (c *Client) sendLocked(m message.Message) {
+	if c.send != nil {
+		c.send(c.node, m)
+	}
+}
+
+// Move relocates the client to the target broker with transactional
+// guarantees. It blocks until the movement transaction commits or aborts.
+func (c *Client) Move(ctx context.Context, target message.BrokerID) error {
+	c.mu.Lock()
+	mover := c.mover
+	cur := c.broker
+	c.mu.Unlock()
+	if target == cur {
+		return ErrSameBroker
+	}
+	if mover == nil {
+		return ErrNoContainer
+	}
+	done, err := mover.RequestMove(c, target)
+	if err != nil {
+		return err
+	}
+	select {
+	case err := <-done:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Subs returns a snapshot of the installed subscriptions.
+func (c *Client) Subs() map[message.SubID]*predicate.Filter {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[message.SubID]*predicate.Filter, len(c.subs))
+	for id, f := range c.subs {
+		out[id] = f
+	}
+	return out
+}
+
+// Advs returns a snapshot of the installed advertisements.
+func (c *Client) Advs() map[message.AdvID]*predicate.Filter {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[message.AdvID]*predicate.Filter, len(c.advs))
+	for id, f := range c.advs {
+		out[id] = f
+	}
+	return out
+}

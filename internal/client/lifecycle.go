@@ -1,0 +1,211 @@
+package client
+
+import (
+	"fmt"
+
+	"padres/internal/message"
+)
+
+// This file contains the lifecycle operations invoked by the mobile
+// container (the coordinator). They correspond to the client-side
+// transitions of Fig. 4 and are not meant to be called by applications.
+
+// Attach homes the client at a broker and starts it. Valid from Init (a
+// fresh client) only; movements re-home clients through CompleteMove.
+func (c *Client) Attach(b message.BrokerID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.state != StateInit {
+		return fmt.Errorf("attach in state %s", c.state)
+	}
+	c.broker = b
+	c.node = message.ClientNode(c.id, b)
+	c.state = StateStarted
+	return nil
+}
+
+// BeginMove transitions Started → PauseMove at the start of a movement
+// transaction. Commands issued by the application are queued from here on,
+// and incoming notifications divert to the transfer buffer.
+func (c *Client) BeginMove() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	if c.state != StateStarted {
+		return fmt.Errorf("%w: state %s", ErrMoving, c.state)
+	}
+	c.state = StatePauseMove
+	return nil
+}
+
+// PrepareStop transitions PauseMove → PrepareStop when the movement is
+// approved, and returns a snapshot of the notifications buffered since
+// BeginMove for the state-transfer message. The buffer is retained so that
+// an abort can re-deliver it locally.
+func (c *Client) PrepareStop() ([]message.Publish, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.state != StatePauseMove {
+		return nil, fmt.Errorf("prepare stop in state %s", c.state)
+	}
+	c.state = StatePrepareStop
+	out := make([]message.Publish, len(c.transfer))
+	copy(out, c.transfer)
+	return out, nil
+}
+
+// Resume aborts the movement locally: the client returns to Started at its
+// source broker, and the notifications buffered during the attempt are
+// delivered to the application (exactly once). Queued commands flush to the
+// current broker.
+func (c *Client) Resume() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.state != StatePauseMove && c.state != StatePrepareStop {
+		return
+	}
+	c.state = StateStarted
+	for _, pub := range c.transfer {
+		c.enqueueLocked(pub)
+	}
+	c.transfer = nil
+	c.flushPendingLocked()
+}
+
+// CompleteMove commits the movement: the client re-homes to the target
+// broker, merges the transferred notifications with those the target shell
+// buffered (deduplicating by publication ID), flushes queued commands at
+// the new broker, and returns to Started.
+//
+// The transferred slice is the payload of the MoveState message (the
+// notifications the source buffered); shell is what the target shell
+// received while the movement was in flight.
+func (c *Client) CompleteMove(target message.BrokerID, transferred, shell []message.Publish) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.state != StatePauseMove && c.state != StatePrepareStop {
+		return fmt.Errorf("complete move in state %s", c.state)
+	}
+	c.broker = target
+	c.node = message.ClientNode(c.id, target)
+	c.state = StateStarted
+	for _, pub := range transferred {
+		c.enqueueLocked(pub)
+	}
+	for _, pub := range shell {
+		c.enqueueLocked(pub)
+	}
+	// The stub's own transfer buffer may hold notifications that raced the
+	// handler swap at the target; per-ID deduplication makes merging it
+	// unconditionally safe.
+	for _, pub := range c.transfer {
+		c.enqueueLocked(pub)
+	}
+	c.transfer = nil
+	c.flushPendingLocked()
+	return nil
+}
+
+// flushPendingLocked sends commands queued during the movement from the
+// client's (possibly new) location, in order.
+func (c *Client) flushPendingLocked() {
+	for _, m := range c.pending {
+		c.sendLocked(m)
+	}
+	c.pending = nil
+}
+
+// RenameEntries substitutes subscription and advertisement identifiers
+// after an end-to-end movement re-issued them under fresh IDs.
+func (c *Client) RenameEntries(subs map[message.SubID]message.SubID, advs map[message.AdvID]message.AdvID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for old, new_ := range subs {
+		if f, ok := c.subs[old]; ok {
+			delete(c.subs, old)
+			c.subs[new_] = f
+		}
+	}
+	for old, new_ := range advs {
+		if f, ok := c.advs[old]; ok {
+			delete(c.advs, old)
+			c.advs[new_] = f
+		}
+	}
+}
+
+// EntriesSnapshot returns the client's current subscriptions and
+// advertisements as movement message entries, sorted by ID.
+func (c *Client) EntriesSnapshot() ([]message.SubEntry, []message.AdvEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	subs := make([]message.SubEntry, 0, len(c.subs))
+	for id, f := range c.subs {
+		subs = append(subs, message.SubEntry{ID: id, Filter: f})
+	}
+	advs := make([]message.AdvEntry, 0, len(c.advs))
+	for id, f := range c.advs {
+		advs = append(advs, message.AdvEntry{ID: id, Filter: f})
+	}
+	sortSubEntries(subs)
+	sortAdvEntries(advs)
+	return subs, advs
+}
+
+func sortSubEntries(s []message.SubEntry) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j].ID < s[j-1].ID; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func sortAdvEntries(s []message.AdvEntry) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j].ID < s[j-1].ID; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// Close marks the client cleaned; pending notifications remain readable
+// until consumed, but blocked Receive calls return ErrClosed.
+func (c *Client) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	c.state = StateCleaned
+	c.cond.Broadcast()
+}
+
+// PauseOperations transitions Started → PauseOper (Fig. 4's application
+// `pause`): commands issued by the application are queued, while
+// notifications keep flowing. Unlike a movement pause, this is entirely
+// client-local.
+func (c *Client) PauseOperations() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	if c.state != StateStarted {
+		return fmt.Errorf("pause operations in state %s", c.state)
+	}
+	c.state = StatePauseOper
+	return nil
+}
+
+// ResumeOperations transitions PauseOper → Started and flushes the queued
+// commands in order.
+func (c *Client) ResumeOperations() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.state != StatePauseOper {
+		return fmt.Errorf("resume operations in state %s", c.state)
+	}
+	c.state = StateStarted
+	c.flushPendingLocked()
+	return nil
+}

@@ -1,0 +1,92 @@
+package client
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"padres/internal/message"
+	"padres/internal/predicate"
+)
+
+// The client stub's state can be serialized into the MoveState message's
+// AppState payload, which is how the paper's protocol actually ships a
+// client between sites. In-process deployments short-circuit through a
+// shared directory; across processes (the TCP deployment) the target
+// coordinator reconstructs the stub from this serialized form.
+
+// stubState is the serializable part of a client stub.
+type stubState struct {
+	ID      message.ClientID
+	Subs    map[message.SubID]*predicate.Filter
+	Advs    map[message.AdvID]*predicate.Filter
+	Seen    []message.PubID
+	Queue   []message.Publish
+	Pending []message.Envelope
+	IDCount uint64
+}
+
+// Serialize captures the stub's application-relevant state: installed
+// filters, the exactly-once delivery history, undelivered notifications,
+// queued commands, and the identifier counter. It is valid while the client
+// is stopped for a movement (PauseMove or PrepareStop).
+func (c *Client) Serialize() ([]byte, error) {
+	message.RegisterGobTypes()
+	c.mu.Lock()
+	st := stubState{
+		ID:      c.id,
+		Subs:    make(map[message.SubID]*predicate.Filter, len(c.subs)),
+		Advs:    make(map[message.AdvID]*predicate.Filter, len(c.advs)),
+		Seen:    make([]message.PubID, 0, len(c.seen)),
+		Queue:   append([]message.Publish(nil), c.queue...),
+		IDCount: c.gen.Count(),
+	}
+	for id, f := range c.subs {
+		st.Subs[id] = f
+	}
+	for id, f := range c.advs {
+		st.Advs[id] = f
+	}
+	for id := range c.seen {
+		st.Seen = append(st.Seen, id)
+	}
+	for _, m := range c.pending {
+		st.Pending = append(st.Pending, message.Envelope{Msg: m})
+	}
+	c.mu.Unlock()
+
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&st); err != nil {
+		return nil, fmt.Errorf("serialize client %s: %w", st.ID, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Deserialize reconstructs a client stub from its serialized state, in
+// PauseMove state, ready for CompleteMove at the target broker.
+func Deserialize(data []byte) (*Client, error) {
+	message.RegisterGobTypes()
+	var st stubState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return nil, fmt.Errorf("deserialize client state: %w", err)
+	}
+	c := New(st.ID)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.state = StatePauseMove
+	for id, f := range st.Subs {
+		c.subs[id] = f
+	}
+	for id, f := range st.Advs {
+		c.advs[id] = f
+	}
+	for _, id := range st.Seen {
+		c.seen[id] = true
+	}
+	c.queue = append(c.queue, st.Queue...)
+	for _, env := range st.Pending {
+		c.pending = append(c.pending, env.Msg)
+	}
+	c.gen.SetCount(st.IDCount)
+	return c, nil
+}

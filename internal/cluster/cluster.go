@@ -1,0 +1,244 @@
+// Package cluster assembles a complete in-process pub/sub deployment: an
+// acyclic broker overlay over the latency-modelling transport, a mobile
+// container per broker, and client management. It is the foundation of the
+// test suites, the examples, and the experiment harness.
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"padres/internal/broker"
+	"padres/internal/client"
+	"padres/internal/core"
+	"padres/internal/message"
+	"padres/internal/metrics"
+	"padres/internal/overlay"
+	"padres/internal/transport"
+)
+
+// Options configures a cluster.
+type Options struct {
+	// Topology is the broker overlay; defaults to the paper's 14-broker
+	// topology (Fig. 6).
+	Topology *overlay.Topology
+	// Profile models the deployment environment; defaults to the local
+	// data-centre cluster profile.
+	Profile transport.Profile
+	// Protocol selects the movement protocol; defaults to
+	// core.ProtocolReconfig.
+	Protocol core.Protocol
+	// Covering enables the brokers' covering optimization. The paper's
+	// "covering" baseline runs the end-to-end protocol with this enabled;
+	// the reconfiguration protocol runs without it.
+	Covering bool
+	// ServiceTime is the per-message broker processing cost.
+	ServiceTime time.Duration
+	// MoveTimeout arms the non-blocking movement variant (0 = blocking).
+	MoveTimeout time.Duration
+	// Admission is the target-side admission policy (nil accepts all).
+	Admission core.AdmissionFunc
+	// SkipPropagationWait disables the end-to-end protocol's propagation
+	// wait (ablation only).
+	SkipPropagationWait bool
+}
+
+// Cluster is a running in-process deployment.
+type Cluster struct {
+	reg  *metrics.Registry
+	net  *transport.Network
+	top  *overlay.Topology
+	dir  *core.Directory
+	opts Options
+
+	mu         sync.RWMutex
+	brokers    map[message.BrokerID]*broker.Broker
+	containers map[message.BrokerID]*core.Container
+}
+
+// New builds a cluster. Call Start before use and Stop when done.
+func New(opts Options) (*Cluster, error) {
+	if opts.Topology == nil {
+		opts.Topology = overlay.Default14()
+	}
+	if opts.Profile == nil {
+		opts.Profile = transport.DefaultCluster()
+	}
+	if opts.Protocol == 0 {
+		opts.Protocol = core.ProtocolReconfig
+	}
+	if err := opts.Topology.Validate(); err != nil {
+		return nil, fmt.Errorf("topology: %w", err)
+	}
+
+	c := &Cluster{
+		reg:        metrics.NewRegistry(),
+		top:        opts.Topology,
+		dir:        core.NewDirectory(),
+		brokers:    make(map[message.BrokerID]*broker.Broker),
+		containers: make(map[message.BrokerID]*core.Container),
+		opts:       opts,
+	}
+	c.net = transport.NewNetwork(c.reg)
+
+	for _, id := range c.top.Brokers() {
+		hops, err := c.top.NextHops(id)
+		if err != nil {
+			return nil, err
+		}
+		b := broker.New(broker.Config{
+			ID:          id,
+			Net:         c.net,
+			Neighbors:   c.top.Neighbors(id),
+			NextHops:    hops,
+			Covering:    opts.Covering,
+			ServiceTime: opts.ServiceTime,
+		})
+		c.brokers[id] = b
+		c.containers[id] = core.NewContainer(core.Config{
+			Broker:              b,
+			Net:                 c.net,
+			Directory:           c.dir,
+			Protocol:            opts.Protocol,
+			MoveTimeout:         opts.MoveTimeout,
+			Admission:           opts.Admission,
+			SkipPropagationWait: opts.SkipPropagationWait,
+		})
+	}
+	for _, id := range c.top.Brokers() {
+		for _, n := range c.top.Neighbors(id) {
+			if id < n {
+				if err := c.net.AddLink(id.Node(), n.Node(), opts.Profile.LinkFor(id, n)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return c, nil
+}
+
+// Start launches all broker goroutines.
+func (c *Cluster) Start() {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, b := range c.brokers {
+		b.Start()
+	}
+}
+
+// Stop shuts containers, brokers, and the transport down.
+func (c *Cluster) Stop() {
+	c.mu.RLock()
+	for _, ct := range c.containers {
+		ct.Shutdown()
+	}
+	for _, b := range c.brokers {
+		b.Stop()
+	}
+	c.mu.RUnlock()
+	c.net.Close()
+}
+
+// Registry returns the metrics registry.
+func (c *Cluster) Registry() *metrics.Registry { return c.reg }
+
+// Network returns the transport network.
+func (c *Cluster) Network() *transport.Network { return c.net }
+
+// Topology returns the broker overlay.
+func (c *Cluster) Topology() *overlay.Topology { return c.top }
+
+// Broker returns the broker with the given ID (nil if absent).
+func (c *Cluster) Broker(id message.BrokerID) *broker.Broker {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.brokers[id]
+}
+
+// Container returns the mobile container at the given broker (nil if
+// absent).
+func (c *Cluster) Container(id message.BrokerID) *core.Container {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.containers[id]
+}
+
+// RestartBroker replaces a broker with a fresh instance, optionally
+// restored from a previously exported state snapshot (the durability model
+// of Sec. 3.5: a crashed broker recovers its persisted algorithmic state).
+// The replacement reuses the overlay links; clients that were hosted in the
+// old broker's container share its crash fate, per the paper's failure
+// model, and are not resurrected.
+func (c *Cluster) RestartBroker(id message.BrokerID, st *broker.State) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	old, ok := c.brokers[id]
+	if !ok {
+		return fmt.Errorf("unknown broker %s", id)
+	}
+	if st != nil && st.ID != id {
+		// Validate before tearing anything down: a foreign snapshot must
+		// not leave the broker stopped.
+		return fmt.Errorf("snapshot belongs to broker %s, not %s", st.ID, id)
+	}
+	old.Stop()
+	c.containers[id].Shutdown()
+
+	hops, err := c.top.NextHops(id)
+	if err != nil {
+		return err
+	}
+	nb := broker.New(broker.Config{
+		ID:          id,
+		Net:         c.net,
+		Neighbors:   c.top.Neighbors(id),
+		NextHops:    hops,
+		Covering:    c.opts.Covering,
+		ServiceTime: c.opts.ServiceTime,
+	})
+	if st != nil {
+		if err := nb.RestoreState(st); err != nil {
+			return err
+		}
+	}
+	c.brokers[id] = nb
+	c.containers[id] = core.NewContainer(core.Config{
+		Broker:              nb,
+		Net:                 c.net,
+		Directory:           c.dir,
+		Protocol:            c.opts.Protocol,
+		MoveTimeout:         c.opts.MoveTimeout,
+		Admission:           c.opts.Admission,
+		SkipPropagationWait: c.opts.SkipPropagationWait,
+	})
+	nb.Start()
+	return nil
+}
+
+// Brokers returns all broker IDs in sorted order.
+func (c *Cluster) Brokers() []message.BrokerID { return c.top.Brokers() }
+
+// NewClient creates a client homed at the given broker.
+func (c *Cluster) NewClient(id message.ClientID, at message.BrokerID) (*client.Client, error) {
+	c.mu.RLock()
+	ct, ok := c.containers[at]
+	c.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("unknown broker %s", at)
+	}
+	return ct.NewClient(id)
+}
+
+// Settle blocks until no message is in flight anywhere, or ctx expires.
+func (c *Cluster) Settle(ctx context.Context) error {
+	return c.reg.AwaitQuiescent(ctx)
+}
+
+// SettleFor is Settle with a fresh timeout.
+func (c *Cluster) SettleFor(d time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	return c.Settle(ctx)
+}

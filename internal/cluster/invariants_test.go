@@ -1,0 +1,100 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"padres/internal/client"
+	"padres/internal/core"
+	"padres/internal/message"
+	"padres/internal/predicate"
+)
+
+// buildConsistencyScenario deploys two publishers and four subscribers
+// spread over the default topology and returns the cluster plus the
+// subscriber handles.
+func buildConsistencyScenario(t *testing.T, proto core.Protocol, covering bool) (*Cluster, map[string]*client.Client) {
+	t.Helper()
+	c, err := New(Options{Protocol: proto, Covering: covering})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+	c.Start()
+
+	pub1, err := c.NewClient("pub1", "b7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub2, err := c.NewClient("pub2", "b11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pub1.Advertise(predicate.MustParse("[class,=,'a'],[x,>,0]")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pub2.Advertise(predicate.MustParse("[class,=,'b'],[x,>,0]")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SettleFor(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	placement := map[string]message.BrokerID{
+		"s1": "b1", "s2": "b2", "s3": "b13", "s4": "b6",
+	}
+	handles := make(map[string]*client.Client, len(placement))
+	for id, at := range placement {
+		cl, err := c.NewClient(message.ClientID(id), at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		class := "a"
+		if id == "s2" || id == "s4" {
+			class = "b"
+		}
+		if _, err := cl.Subscribe(predicate.MustParse("[class,=,'" + class + "'],[x,>,5]")); err != nil {
+			t.Fatal(err)
+		}
+		handles[id] = cl
+	}
+	if err := c.SettleFor(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return c, handles
+}
+
+func TestRoutingConsistencyInvariant(t *testing.T) {
+	c, _ := buildConsistencyScenario(t, core.ProtocolReconfig, false)
+	if err := c.CheckRoutingConsistency(); err != nil {
+		t.Fatalf("steady-state routing inconsistent: %v", err)
+	}
+}
+
+// TestRoutingConsistencyAcrossMoves re-verifies the Sec. 3.5 consistency
+// property after every movement, for both protocols: whatever the protocol
+// did to the tables, the delivery paths from every publisher to every
+// intersecting subscriber must be intact once the network settles.
+func TestRoutingConsistencyAcrossMoves(t *testing.T) {
+	for _, proto := range []core.Protocol{core.ProtocolReconfig, core.ProtocolEndToEnd} {
+		t.Run(proto.String(), func(t *testing.T) {
+			c, handles := buildConsistencyScenario(t, proto, proto == core.ProtocolEndToEnd)
+			mover := handles["s1"]
+			for _, target := range []message.BrokerID{"b13", "b14", "b1"} {
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				if err := mover.Move(ctx, target); err != nil {
+					cancel()
+					t.Fatalf("move to %s: %v", target, err)
+				}
+				cancel()
+				if err := c.SettleFor(20 * time.Second); err != nil {
+					t.Fatal(err)
+				}
+				if err := c.CheckRoutingConsistency(); err != nil {
+					t.Fatalf("routing inconsistent after move to %s: %v", target, err)
+				}
+			}
+		})
+	}
+}

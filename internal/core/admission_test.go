@@ -1,0 +1,132 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"padres/internal/cluster"
+	"padres/internal/core"
+	"padres/internal/message"
+	"padres/internal/predicate"
+)
+
+func TestAdmitAll(t *testing.T) {
+	if err := core.AdmitAll()(message.MoveNegotiate{}); err != nil {
+		t.Fatalf("AdmitAll rejected: %v", err)
+	}
+}
+
+func TestDenyClients(t *testing.T) {
+	policy := core.DenyClients("bad", "worse")
+	if err := policy(message.MoveNegotiate{MoveHeader: message.MoveHeader{Client: "bad"}}); err == nil {
+		t.Error("denied client accepted")
+	}
+	if err := policy(message.MoveNegotiate{MoveHeader: message.MoveHeader{Client: "fine"}}); err != nil {
+		t.Errorf("allowed client rejected: %v", err)
+	}
+}
+
+func TestMaxEntriesAdmission(t *testing.T) {
+	policy := core.MaxEntriesAdmission(2)
+	small := message.MoveNegotiate{Subs: []message.SubEntry{{ID: "s1"}}}
+	if err := policy(small); err != nil {
+		t.Errorf("small client rejected: %v", err)
+	}
+	big := message.MoveNegotiate{
+		Subs: []message.SubEntry{{ID: "s1"}, {ID: "s2"}},
+		Advs: []message.AdvEntry{{ID: "a1"}},
+	}
+	if err := policy(big); err == nil {
+		t.Error("oversized client accepted")
+	}
+}
+
+func TestCombineAdmission(t *testing.T) {
+	calls := 0
+	counting := func(message.MoveNegotiate) error { calls++; return nil }
+	policy := core.CombineAdmission(nil, counting, core.DenyClients("bad"), counting)
+	if err := policy(message.MoveNegotiate{MoveHeader: message.MoveHeader{Client: "bad"}}); err == nil {
+		t.Error("combined policy accepted a denied client")
+	}
+	if calls != 1 {
+		t.Errorf("policies after the rejection ran: calls = %d", calls)
+	}
+	calls = 0
+	if err := policy(message.MoveNegotiate{MoveHeader: message.MoveHeader{Client: "ok"}}); err != nil {
+		t.Errorf("combined policy rejected: %v", err)
+	}
+	if calls != 2 {
+		t.Errorf("not all policies ran: calls = %d", calls)
+	}
+}
+
+func TestDenyClientsEndToEnd(t *testing.T) {
+	opts := cluster.Options{
+		Protocol:  core.ProtocolReconfig,
+		Admission: core.DenyClients("pariah"),
+	}
+	c := newCluster(t, opts)
+	cl, err := c.NewClient("pariah", "b1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := c.NewClient("citizen", "b1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := cl.Move(ctx, "b13"); !errors.Is(err, core.ErrRejected) {
+		t.Fatalf("denied client move = %v, want ErrRejected", err)
+	}
+	if err := ok.Move(ctx, "b13"); err != nil {
+		t.Fatalf("allowed client move = %v", err)
+	}
+}
+
+// TestPerPublisherOrdering verifies the notification-layer guarantee that a
+// stationary subscriber observes one publisher's notifications in
+// publication order (acyclic overlay + FIFO links), and that the order is
+// preserved for the prefix delivered before a movement and re-established
+// after it.
+func TestPerPublisherOrdering(t *testing.T) {
+	c := newCluster(t, moveOpts(core.ProtocolReconfig))
+	pub, err := c.NewClient("pub", "b5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pub.Advertise(predicate.MustParse("[x,>,0]")); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := c.NewClient("sub", "b1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sub.Subscribe(predicate.MustParse("[x,>,0]")); err != nil {
+		t.Fatal(err)
+	}
+	settle(t, c)
+
+	const n = 50
+	for i := 1; i <= n; i++ {
+		if _, err := pub.Publish(predicate.Event{"x": predicate.Number(float64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	settle(t, c)
+
+	last := 0.0
+	for i := 0; i < n; i++ {
+		got, ok := sub.TryReceive()
+		if !ok {
+			t.Fatalf("only %d of %d notifications delivered", i, n)
+		}
+		x := got.Event["x"].Number64()
+		if x <= last {
+			t.Fatalf("ordering violated: %v after %v", x, last)
+		}
+		last = x
+	}
+}

@@ -1,0 +1,631 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"padres/internal/client"
+	"padres/internal/cluster"
+	"padres/internal/core"
+	"padres/internal/message"
+	"padres/internal/overlay"
+	"padres/internal/predicate"
+)
+
+func newCluster(t *testing.T, opts cluster.Options) *cluster.Cluster {
+	t.Helper()
+	c, err := cluster.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	t.Cleanup(c.Stop)
+	return c
+}
+
+func settle(t *testing.T, c *cluster.Cluster) {
+	t.Helper()
+	if err := c.SettleFor(20 * time.Second); err != nil {
+		t.Fatalf("cluster did not settle: %v (inflight=%d)", err, c.Registry().Inflight())
+	}
+}
+
+func mustMove(t *testing.T, cl *client.Client, target message.BrokerID) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := cl.Move(ctx, target); err != nil {
+		t.Fatalf("move to %s: %v", target, err)
+	}
+}
+
+// publishN issues n publications [x, base+i] and returns their IDs.
+func publishN(t *testing.T, pub *client.Client, n, base int) []message.PubID {
+	t.Helper()
+	ids := make([]message.PubID, 0, n)
+	for i := 0; i < n; i++ {
+		id, err := pub.Publish(predicate.Event{"x": predicate.Number(float64(base + i))})
+		if err != nil {
+			t.Fatalf("publish: %v", err)
+		}
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+func assertReceivedExactly(t *testing.T, cl *client.Client, want []message.PubID) {
+	t.Helper()
+	got := make(map[message.PubID]bool)
+	for _, id := range cl.ReceivedIDs() {
+		got[id] = true
+	}
+	for _, id := range want {
+		if !got[id] {
+			t.Errorf("notification %s lost", id)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("received %d distinct notifications, want %d", len(got), len(want))
+	}
+	if cl.QueueLen() != len(want) {
+		t.Errorf("app queue has %d entries, want %d (duplicates would inflate this)", cl.QueueLen(), len(want))
+	}
+}
+
+func moveOpts(p core.Protocol) cluster.Options {
+	return cluster.Options{
+		Protocol: p,
+		Covering: p == core.ProtocolEndToEnd,
+	}
+}
+
+func TestSubscriberMoveCommits(t *testing.T) {
+	for _, proto := range []core.Protocol{core.ProtocolReconfig, core.ProtocolEndToEnd} {
+		t.Run(proto.String(), func(t *testing.T) {
+			c := newCluster(t, moveOpts(proto))
+			pub, err := c.NewClient("pub", "b5")
+			if err != nil {
+				t.Fatal(err)
+			}
+			sub, err := c.NewClient("sub", "b1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := pub.Advertise(predicate.MustParse("[x,>,0]")); err != nil {
+				t.Fatal(err)
+			}
+			settle(t, c)
+			if _, err := sub.Subscribe(predicate.MustParse("[x,>,10]")); err != nil {
+				t.Fatal(err)
+			}
+			settle(t, c)
+
+			before := publishN(t, pub, 3, 100)
+			settle(t, c)
+
+			mustMove(t, sub, "b13")
+			settle(t, c)
+			if got := sub.Broker(); got != "b13" {
+				t.Fatalf("client homed at %s, want b13", got)
+			}
+			if !c.Container("b13").Hosts("sub") {
+				t.Error("target container does not host the client")
+			}
+			if c.Container("b1").Hosts("sub") {
+				t.Error("source container still hosts the client")
+			}
+
+			after := publishN(t, pub, 3, 200)
+			settle(t, c)
+			assertReceivedExactly(t, sub, append(before, after...))
+
+			moves := c.Registry().Movements()
+			if len(moves) != 1 || !moves[0].Committed {
+				t.Fatalf("movements = %+v, want one committed", moves)
+			}
+			if moves[0].Protocol != proto.String() {
+				t.Errorf("recorded protocol = %s, want %s", moves[0].Protocol, proto)
+			}
+		})
+	}
+}
+
+func TestPublisherMoveCommits(t *testing.T) {
+	for _, proto := range []core.Protocol{core.ProtocolReconfig, core.ProtocolEndToEnd} {
+		t.Run(proto.String(), func(t *testing.T) {
+			c := newCluster(t, moveOpts(proto))
+			pub, err := c.NewClient("pub", "b1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			sub, err := c.NewClient("sub", "b7")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := pub.Advertise(predicate.MustParse("[x,>,0]")); err != nil {
+				t.Fatal(err)
+			}
+			settle(t, c)
+			if _, err := sub.Subscribe(predicate.MustParse("[x,>,0]")); err != nil {
+				t.Fatal(err)
+			}
+			settle(t, c)
+
+			before := publishN(t, pub, 2, 10)
+			settle(t, c)
+
+			mustMove(t, pub, "b14")
+			settle(t, c)
+
+			after := publishN(t, pub, 2, 20)
+			settle(t, c)
+			assertReceivedExactly(t, sub, append(before, after...))
+		})
+	}
+}
+
+func TestNoLossDuringContinuousPublishing(t *testing.T) {
+	// The notification consistency property (Sec. 3.4): a subscriber moving
+	// while a publisher streams publications must receive every one of
+	// them, exactly once, across repeated movements.
+	for _, proto := range []core.Protocol{core.ProtocolReconfig, core.ProtocolEndToEnd} {
+		t.Run(proto.String(), func(t *testing.T) {
+			c := newCluster(t, moveOpts(proto))
+			pub, err := c.NewClient("pub", "b5")
+			if err != nil {
+				t.Fatal(err)
+			}
+			sub, err := c.NewClient("sub", "b1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := pub.Advertise(predicate.MustParse("[x,>,0]")); err != nil {
+				t.Fatal(err)
+			}
+			settle(t, c)
+			if _, err := sub.Subscribe(predicate.MustParse("[x,>,0]")); err != nil {
+				t.Fatal(err)
+			}
+			settle(t, c)
+
+			// Publisher streams in the background while the subscriber
+			// bounces b1 -> b13 -> b2 -> b14.
+			var (
+				mu  sync.Mutex
+				ids []message.PubID
+			)
+			stop := make(chan struct{})
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				i := 0
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					id, err := pub.Publish(predicate.Event{"x": predicate.Number(float64(i + 1))})
+					if err == nil {
+						mu.Lock()
+						ids = append(ids, id)
+						mu.Unlock()
+					}
+					i++
+					time.Sleep(2 * time.Millisecond)
+				}
+			}()
+
+			for _, target := range []message.BrokerID{"b13", "b2", "b14"} {
+				mustMove(t, sub, target)
+			}
+			close(stop)
+			<-done
+			settle(t, c)
+
+			mu.Lock()
+			want := append([]message.PubID{}, ids...)
+			mu.Unlock()
+			assertReceivedExactly(t, sub, want)
+		})
+	}
+}
+
+func TestMoveRejectedByAdmission(t *testing.T) {
+	opts := moveOpts(core.ProtocolReconfig)
+	opts.Admission = func(m message.MoveNegotiate) error {
+		if m.Target == "b13" {
+			return errors.New("broker overloaded")
+		}
+		return nil
+	}
+	c := newCluster(t, opts)
+	pub, err := c.NewClient("pub", "b5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := c.NewClient("sub", "b1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pub.Advertise(predicate.MustParse("[x,>,0]")); err != nil {
+		t.Fatal(err)
+	}
+	settle(t, c)
+	if _, err := sub.Subscribe(predicate.MustParse("[x,>,0]")); err != nil {
+		t.Fatal(err)
+	}
+	settle(t, c)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := sub.Move(ctx, "b13"); !errors.Is(err, core.ErrRejected) {
+		t.Fatalf("Move = %v, want ErrRejected", err)
+	}
+	// Client stays at the source, fully operational (movement atomicity:
+	// the failed transaction leaves the client at its source).
+	if sub.Broker() != "b1" || sub.State() != client.StateStarted {
+		t.Fatalf("client at %s in state %s after rejection", sub.Broker(), sub.State())
+	}
+	want := publishN(t, pub, 3, 50)
+	settle(t, c)
+	assertReceivedExactly(t, sub, want)
+
+	// A later move to an admissible broker still works.
+	mustMove(t, sub, "b14")
+	more := publishN(t, pub, 2, 80)
+	settle(t, c)
+	assertReceivedExactly(t, sub, append(want, more...))
+}
+
+func TestMoveTimeoutAbortsAndResumes(t *testing.T) {
+	opts := moveOpts(core.ProtocolReconfig)
+	opts.MoveTimeout = 300 * time.Millisecond
+	c := newCluster(t, opts)
+	pub, err := c.NewClient("pub", "b5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := c.NewClient("sub", "b1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pub.Advertise(predicate.MustParse("[x,>,0]")); err != nil {
+		t.Fatal(err)
+	}
+	settle(t, c)
+	if _, err := sub.Subscribe(predicate.MustParse("[x,>,0]")); err != nil {
+		t.Fatal(err)
+	}
+	settle(t, c)
+
+	// Kill the target broker so the negotiate message dies; the source
+	// coordinator's timeout must fire (non-blocking variant).
+	c.Broker("b13").Stop()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := sub.Move(ctx, "b13"); !errors.Is(err, core.ErrMoveTimeout) {
+		t.Fatalf("Move = %v, want ErrMoveTimeout", err)
+	}
+	if sub.Broker() != "b1" || sub.State() != client.StateStarted {
+		t.Fatalf("client at %s in state %s after timeout", sub.Broker(), sub.State())
+	}
+	// Notifications published during and after the failed attempt arrive.
+	want := publishN(t, pub, 3, 10)
+	settle(t, c)
+	assertReceivedExactly(t, sub, want)
+
+	moves := c.Registry().Movements()
+	if len(moves) != 1 || moves[0].Committed {
+		t.Fatalf("movements = %+v, want one aborted", moves)
+	}
+}
+
+func TestCommandsQueuedDuringMove(t *testing.T) {
+	c := newCluster(t, moveOpts(core.ProtocolReconfig))
+	pub, err := c.NewClient("pub", "b5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mover, err := c.NewClient("mover", "b1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pub.Advertise(predicate.MustParse("[x,>,0]")); err != nil {
+		t.Fatal(err)
+	}
+	settle(t, c)
+
+	// Subscribe while a movement is in flight: the command must be queued
+	// and issued at the target broker after the move commits.
+	moveDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+		defer cancel()
+		moveDone <- mover.Move(ctx, "b13")
+	}()
+	// Wait until the move has started (client paused).
+	deadline := time.Now().Add(5 * time.Second)
+	for mover.State() == client.StateStarted {
+		if time.Now().After(deadline) {
+			t.Fatal("move never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := mover.Subscribe(predicate.MustParse("[x,>,0]")); err != nil {
+		t.Fatalf("subscribe during move: %v", err)
+	}
+	if _, err := mover.Publish(predicate.Event{"x": predicate.Number(1)}); err == nil {
+		// Publications are also queued; the client has no advertisement so
+		// the publication will be dropped by the broker, which is fine.
+		_ = err
+	}
+	if err := <-moveDone; err != nil {
+		t.Fatalf("move: %v", err)
+	}
+	settle(t, c)
+
+	// The queued subscription took effect at the new broker.
+	want := publishN(t, pub, 2, 100)
+	settle(t, c)
+	assertReceivedExactly(t, mover, want)
+}
+
+func TestConcurrentMovers(t *testing.T) {
+	for _, proto := range []core.Protocol{core.ProtocolReconfig, core.ProtocolEndToEnd} {
+		t.Run(proto.String(), func(t *testing.T) {
+			c := newCluster(t, moveOpts(proto))
+			pub, err := c.NewClient("pub", "b5")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := pub.Advertise(predicate.MustParse("[x,>,0]")); err != nil {
+				t.Fatal(err)
+			}
+			settle(t, c)
+
+			const n = 8
+			subs := make([]*client.Client, n)
+			for i := range subs {
+				cl, err := c.NewClient(message.ClientID(fmt.Sprintf("c%d", i)), "b1")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := cl.Subscribe(predicate.MustParse(fmt.Sprintf("[x,>,%d]", i))); err != nil {
+					t.Fatal(err)
+				}
+				subs[i] = cl
+			}
+			settle(t, c)
+
+			var wg sync.WaitGroup
+			targets := []message.BrokerID{"b13", "b14", "b7", "b11"}
+			for i, cl := range subs {
+				wg.Add(1)
+				go func(i int, cl *client.Client) {
+					defer wg.Done()
+					ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+					defer cancel()
+					if err := cl.Move(ctx, targets[i%len(targets)]); err != nil {
+						t.Errorf("client %d move: %v", i, err)
+					}
+				}(i, cl)
+			}
+			wg.Wait()
+			settle(t, c)
+
+			want := publishN(t, pub, 3, 100)
+			settle(t, c)
+			for i, cl := range subs {
+				got := cl.ReceivedIDs()
+				if len(got) != len(want) {
+					t.Errorf("client %d received %d notifications, want %d", i, len(got), len(want))
+				}
+			}
+			stats := c.Registry().Stats()
+			if stats.Committed != n {
+				t.Errorf("committed movements = %d, want %d", stats.Committed, n)
+			}
+		})
+	}
+}
+
+func TestMoveToSameBrokerFails(t *testing.T) {
+	c := newCluster(t, moveOpts(core.ProtocolReconfig))
+	cl, err := c.NewClient("c1", "b1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := cl.Move(ctx, "b1"); !errors.Is(err, client.ErrSameBroker) {
+		t.Errorf("Move to own broker = %v, want ErrSameBroker", err)
+	}
+}
+
+func TestSecondMoveWhileMovingFails(t *testing.T) {
+	c := newCluster(t, moveOpts(core.ProtocolReconfig))
+	cl, err := c.NewClient("c1", "b1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+		defer cancel()
+		done <- cl.Move(ctx, "b13")
+	}()
+	// Race a second move against the first. The two may interleave either
+	// way, but the invariants are: at most one may fail, a failure must be
+	// ErrMoving (the concurrency guard), and at least one must commit.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	err2 := cl.Move(ctx, "b14")
+	err1 := <-done
+	var failures int
+	for _, err := range []error{err1, err2} {
+		if err != nil {
+			failures++
+			if !errors.Is(err, client.ErrMoving) {
+				t.Fatalf("unexpected move error: %v", err)
+			}
+		}
+	}
+	if failures > 1 {
+		t.Fatalf("both moves failed: %v / %v", err1, err2)
+	}
+	if got := cl.Broker(); got != "b13" && got != "b14" {
+		t.Fatalf("client ended at %s", got)
+	}
+}
+
+func TestDisconnectRetractsState(t *testing.T) {
+	c := newCluster(t, moveOpts(core.ProtocolReconfig))
+	pub, err := c.NewClient("pub", "b1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pub.Advertise(predicate.MustParse("[x,>,0]")); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := c.NewClient("sub", "b13")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sub.Subscribe(predicate.MustParse("[x,>,0]")); err != nil {
+		t.Fatal(err)
+	}
+	settle(t, c)
+
+	if err := c.Container("b13").Disconnect(sub); err != nil {
+		t.Fatal(err)
+	}
+	settle(t, c)
+	for _, bid := range c.Brokers() {
+		for _, rec := range c.Broker(bid).PRTSnapshot() {
+			if rec.Client == "sub" {
+				t.Errorf("broker %s still has subscription %s after disconnect", bid, rec.ID)
+			}
+		}
+	}
+	if _, err := sub.Subscribe(predicate.MustParse("[x,>,0]")); !errors.Is(err, client.ErrClosed) {
+		t.Errorf("Subscribe after disconnect = %v, want ErrClosed", err)
+	}
+}
+
+func TestRoutingIsolationAcrossMove(t *testing.T) {
+	// Sec. 3.5 isolation: a movement only touches the moving client's
+	// routing entries. Checked here through the full protocol stack.
+	c := newCluster(t, moveOpts(core.ProtocolReconfig))
+	pub, err := c.NewClient("pub", "b5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pub.Advertise(predicate.MustParse("[x,>,0]")); err != nil {
+		t.Fatal(err)
+	}
+	mover, err := c.NewClient("mover", "b1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mover.Subscribe(predicate.MustParse("[x,>,5]")); err != nil {
+		t.Fatal(err)
+	}
+	bystander, err := c.NewClient("bystander", "b7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bystander.Subscribe(predicate.MustParse("[x,>,3]")); err != nil {
+		t.Fatal(err)
+	}
+	settle(t, c)
+
+	type entry struct {
+		hop message.NodeID
+		ok  bool
+	}
+	before := make(map[message.BrokerID]map[string]entry)
+	for _, bid := range c.Brokers() {
+		m := make(map[string]entry)
+		for _, rec := range c.Broker(bid).PRTSnapshot() {
+			if rec.Client != "mover" {
+				m[rec.ID] = entry{hop: rec.LastHop, ok: true}
+			}
+		}
+		for _, rec := range c.Broker(bid).SRTSnapshot() {
+			if rec.Client != "mover" {
+				m["adv:"+rec.ID] = entry{hop: rec.LastHop, ok: true}
+			}
+		}
+		before[bid] = m
+	}
+
+	mustMove(t, mover, "b13")
+	settle(t, c)
+
+	for _, bid := range c.Brokers() {
+		after := make(map[string]entry)
+		for _, rec := range c.Broker(bid).PRTSnapshot() {
+			if rec.Client != "mover" {
+				after[rec.ID] = entry{hop: rec.LastHop, ok: true}
+			}
+		}
+		for _, rec := range c.Broker(bid).SRTSnapshot() {
+			if rec.Client != "mover" {
+				after["adv:"+rec.ID] = entry{hop: rec.LastHop, ok: true}
+			}
+		}
+		if len(after) != len(before[bid]) {
+			t.Errorf("broker %s: bystander entry count changed %d -> %d", bid, len(before[bid]), len(after))
+			continue
+		}
+		for id, e := range before[bid] {
+			if after[id] != e {
+				t.Errorf("broker %s: bystander entry %s changed %v -> %v", bid, id, e, after[id])
+			}
+		}
+	}
+}
+
+func TestRepeatedOscillation(t *testing.T) {
+	// A client oscillating many times (the experiment workload) must stay
+	// consistent and keep exactly-once delivery.
+	c := newCluster(t, moveOpts(core.ProtocolReconfig))
+	pub, err := c.NewClient("pub", "b5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pub.Advertise(predicate.MustParse("[x,>,0]")); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := c.NewClient("sub", "b1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sub.Subscribe(predicate.MustParse("[x,>,0]")); err != nil {
+		t.Fatal(err)
+	}
+	settle(t, c)
+
+	var want []message.PubID
+	targets := []message.BrokerID{"b13", "b1", "b13", "b1", "b13"}
+	for round, target := range targets {
+		want = append(want, publishN(t, pub, 2, 100*(round+1))...)
+		mustMove(t, sub, target)
+	}
+	settle(t, c)
+	want = append(want, publishN(t, pub, 2, 9000)...)
+	settle(t, c)
+	assertReceivedExactly(t, sub, want)
+
+	stats := c.Registry().Stats()
+	if stats.Committed != len(targets) {
+		t.Errorf("committed = %d, want %d", stats.Committed, len(targets))
+	}
+}
+
+var _ = overlay.Default14 // referenced to keep the import for future tests

@@ -1,0 +1,126 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"padres/internal/client"
+	"padres/internal/core"
+	"padres/internal/message"
+	"padres/internal/predicate"
+)
+
+// TestEndToEndAbortRollsBackReissuedSubs: when an end-to-end movement
+// aborts after the target has already re-issued the client's subscriptions
+// under fresh IDs, the rollback must retract them everywhere — otherwise
+// routing tables leak an entry per failed movement.
+func TestEndToEndAbortRollsBackReissuedSubs(t *testing.T) {
+	opts := moveOpts(core.ProtocolEndToEnd)
+	opts.MoveTimeout = 250 * time.Millisecond
+	c := newCluster(t, opts)
+	pub, err := c.NewClient("pub", "b5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pub.Advertise(predicate.MustParse("[x,>,0]")); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := c.NewClient("sub", "b1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sub.Subscribe(predicate.MustParse("[x,>,0]")); err != nil {
+		t.Fatal(err)
+	}
+	settle(t, c)
+
+	// Freeze a broker on the control path: the negotiate stalls, the
+	// source times out, and the abort chases the negotiate through the
+	// same FIFO links — so the target prepares (re-issuing the
+	// subscriptions) and then rolls back.
+	c.Broker("b3").Pause()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	err = sub.Move(ctx, "b13")
+	if !errors.Is(err, core.ErrMoveTimeout) {
+		t.Fatalf("move = %v, want ErrMoveTimeout", err)
+	}
+	c.Broker("b3").Unpause()
+	settle(t, c)
+
+	// The client is operational at the source.
+	if sub.Broker() != "b1" || sub.State() != client.StateStarted {
+		t.Fatalf("client %s at %s after abort", sub.State(), sub.Broker())
+	}
+	// No epoch-reissued subscription survives anywhere (IDs carry '#').
+	for _, bid := range c.Brokers() {
+		for _, rec := range c.Broker(bid).PRTSnapshot() {
+			if rec.Client == "sub" && strings.Contains(rec.ID, "#") {
+				t.Errorf("broker %s leaked re-issued subscription %s after abort", bid, rec.ID)
+			}
+		}
+	}
+	// Delivery still works at the source.
+	id, err := pub.Publish(predicate.Event{"x": predicate.Number(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	settle(t, c)
+	found := false
+	for _, got := range sub.ReceivedIDs() {
+		if got == id {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("notification lost after aborted end-to-end move")
+	}
+}
+
+// TestEndToEndRepeatedMovesNoLeak: repeated end-to-end movements must not
+// accumulate routing state — each move's fresh-ID subscription replaces the
+// previous epoch everywhere.
+func TestEndToEndRepeatedMovesNoLeak(t *testing.T) {
+	c := newCluster(t, moveOpts(core.ProtocolEndToEnd))
+	pub, err := c.NewClient("pub", "b5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pub.Advertise(predicate.MustParse("[x,>,0]")); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := c.NewClient("sub", "b1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sub.Subscribe(predicate.MustParse("[x,>,0]")); err != nil {
+		t.Fatal(err)
+	}
+	settle(t, c)
+
+	for i, target := range []string{"b13", "b1", "b13", "b1"} {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		if err := sub.Move(ctx, message.BrokerID(target)); err != nil {
+			cancel()
+			t.Fatalf("move %d: %v", i, err)
+		}
+		cancel()
+	}
+	settle(t, c)
+
+	// At most one subscription record for the client per broker.
+	for _, bid := range c.Brokers() {
+		count := 0
+		for _, rec := range c.Broker(bid).PRTSnapshot() {
+			if rec.Client == "sub" {
+				count++
+			}
+		}
+		if count > 1 {
+			t.Errorf("broker %s holds %d subscription records for the client (epoch leak)", bid, count)
+		}
+	}
+}

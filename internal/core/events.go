@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"padres/internal/message"
+)
+
+// Movement transactions emit typed events at every protocol step. An
+// EventSink receives them; the Trace helper collects them for tests,
+// debugging, and tooling. Event emission is disabled (zero cost beyond a
+// nil check) unless a sink is installed.
+
+// EventKind identifies a protocol step.
+type EventKind int
+
+// Protocol steps, in the order of a successful movement. Reject, abort and
+// timeout steps interleave on failure paths.
+const (
+	EventMoveRequested EventKind = iota + 1
+	EventNegotiateSent
+	EventNegotiateReceived
+	EventRejectSent
+	EventApproveSent
+	EventApproveReceived
+	EventRejectReceived
+	EventStateSent
+	EventStateReceived
+	EventAckSent
+	EventAckReceived
+	EventAbortSent
+	EventAbortReceived
+	EventSourceTimeout
+	EventTargetTimeout
+	EventCommitted
+	EventAborted
+)
+
+var eventNames = map[EventKind]string{
+	EventMoveRequested:     "move-requested",
+	EventNegotiateSent:     "negotiate-sent",
+	EventNegotiateReceived: "negotiate-received",
+	EventRejectSent:        "reject-sent",
+	EventApproveSent:       "approve-sent",
+	EventApproveReceived:   "approve-received",
+	EventRejectReceived:    "reject-received",
+	EventStateSent:         "state-sent",
+	EventStateReceived:     "state-received",
+	EventAckSent:           "ack-sent",
+	EventAckReceived:       "ack-received",
+	EventAbortSent:         "abort-sent",
+	EventAbortReceived:     "abort-received",
+	EventSourceTimeout:     "source-timeout",
+	EventTargetTimeout:     "target-timeout",
+	EventCommitted:         "committed",
+	EventAborted:           "aborted",
+}
+
+// String returns the event name.
+func (k EventKind) String() string {
+	if n, ok := eventNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("event(%d)", int(k))
+}
+
+// Event is one protocol step observed at one coordinator.
+type Event struct {
+	Kind   EventKind
+	Tx     message.TxID
+	Client message.ClientID
+	Broker message.BrokerID // the coordinator that observed the step
+	At     time.Time
+	Detail string
+}
+
+// String renders the event for logs.
+func (e Event) String() string {
+	s := fmt.Sprintf("%s tx=%s client=%s at=%s", e.Kind, e.Tx, e.Client, e.Broker)
+	if e.Detail != "" {
+		s += " (" + e.Detail + ")"
+	}
+	return s
+}
+
+// EventSink receives protocol events. Sinks run on coordinator goroutines
+// and must not block.
+type EventSink func(Event)
+
+// SetEventSink installs (or, with nil, removes) the container's sink.
+func (ct *Container) SetEventSink(sink EventSink) {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	ct.events = sink
+}
+
+// emit sends an event to the sink, if any.
+func (ct *Container) emit(kind EventKind, tx message.TxID, cl message.ClientID, detail string) {
+	ct.mu.Lock()
+	sink := ct.events
+	ct.mu.Unlock()
+	if sink == nil {
+		return
+	}
+	sink(Event{
+		Kind:   kind,
+		Tx:     tx,
+		Client: cl,
+		Broker: ct.cfg.Broker.ID(),
+		At:     time.Now(),
+		Detail: detail,
+	})
+}
+
+// Trace is a threadsafe event collector.
+type Trace struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace { return &Trace{} }
+
+// Sink returns an EventSink appending into the trace.
+func (tr *Trace) Sink() EventSink {
+	return func(e Event) {
+		tr.mu.Lock()
+		defer tr.mu.Unlock()
+		tr.events = append(tr.events, e)
+	}
+}
+
+// Events returns a copy of the collected events in arrival order.
+func (tr *Trace) Events() []Event {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	out := make([]Event, len(tr.events))
+	copy(out, tr.events)
+	return out
+}
+
+// ForTx returns the events of one movement transaction, in order.
+func (tr *Trace) ForTx(tx message.TxID) []Event {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	var out []Event
+	for _, e := range tr.events {
+		if e.Tx == tx {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Kinds returns the event kinds of one transaction in order — convenient
+// for asserting protocol sequences in tests.
+func (tr *Trace) Kinds(tx message.TxID) []EventKind {
+	events := tr.ForTx(tx)
+	out := make([]EventKind, len(events))
+	for i, e := range events {
+		out[i] = e.Kind
+	}
+	return out
+}
+
+// Reset clears the trace.
+func (tr *Trace) Reset() {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	tr.events = nil
+}

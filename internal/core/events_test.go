@@ -1,0 +1,181 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"padres/internal/cluster"
+	"padres/internal/core"
+	"padres/internal/message"
+)
+
+// installTrace attaches one trace to every container of the cluster.
+func installTrace(c *cluster.Cluster) *core.Trace {
+	tr := core.NewTrace()
+	for _, bid := range c.Brokers() {
+		c.Container(bid).SetEventSink(tr.Sink())
+	}
+	return tr
+}
+
+func kindsEqual(got []core.EventKind, want []core.EventKind) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func singleTx(t *testing.T, tr *core.Trace) message.TxID {
+	t.Helper()
+	events := tr.Events()
+	if len(events) == 0 {
+		t.Fatal("no events recorded")
+	}
+	tx := events[0].Tx
+	for _, e := range events {
+		if e.Tx != tx {
+			t.Fatalf("multiple transactions in trace: %s and %s", tx, e.Tx)
+		}
+	}
+	return tx
+}
+
+// TestEventSequenceCommit asserts the happy-path protocol sequence of
+// Fig. 3: (1) negotiate, (2) approve, (4) state, (5) ack, committed.
+func TestEventSequenceCommit(t *testing.T) {
+	c := newCluster(t, moveOpts(core.ProtocolReconfig))
+	tr := installTrace(c)
+	cl, err := c.NewClient("c1", "b1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustMove(t, cl, "b13")
+	settle(t, c)
+
+	tx := singleTx(t, tr)
+	want := []core.EventKind{
+		core.EventMoveRequested,
+		core.EventNegotiateSent,
+		core.EventNegotiateReceived,
+		core.EventApproveSent,
+		core.EventApproveReceived,
+		core.EventStateSent,
+		core.EventStateReceived,
+		core.EventAckSent,
+		core.EventAckReceived,
+		core.EventCommitted,
+	}
+	if got := tr.Kinds(tx); !kindsEqual(got, want) {
+		t.Fatalf("protocol sequence:\n got %v\nwant %v", got, want)
+	}
+	// Source-side events at b1, target-side at b13.
+	for _, e := range tr.ForTx(tx) {
+		switch e.Kind {
+		case core.EventMoveRequested, core.EventNegotiateSent, core.EventApproveReceived,
+			core.EventStateSent, core.EventAckReceived, core.EventCommitted:
+			if e.Broker != "b1" {
+				t.Errorf("%s observed at %s, want b1", e.Kind, e.Broker)
+			}
+		default:
+			if e.Broker != "b13" {
+				t.Errorf("%s observed at %s, want b13", e.Kind, e.Broker)
+			}
+		}
+	}
+}
+
+// TestEventSequenceReject asserts the rejection path: negotiate, reject,
+// aborted.
+func TestEventSequenceReject(t *testing.T) {
+	opts := moveOpts(core.ProtocolReconfig)
+	opts.Admission = core.DenyClients("c1")
+	c := newCluster(t, opts)
+	tr := installTrace(c)
+	cl, err := c.NewClient("c1", "b1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := cl.Move(ctx, "b13"); !errors.Is(err, core.ErrRejected) {
+		t.Fatalf("move = %v", err)
+	}
+	settle(t, c)
+
+	tx := singleTx(t, tr)
+	want := []core.EventKind{
+		core.EventMoveRequested,
+		core.EventNegotiateSent,
+		core.EventNegotiateReceived,
+		core.EventRejectSent,
+		core.EventRejectReceived,
+		core.EventAborted,
+	}
+	if got := tr.Kinds(tx); !kindsEqual(got, want) {
+		t.Fatalf("rejection sequence:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestEventSequenceTimeout asserts the non-blocking variant's timeout path.
+func TestEventSequenceTimeout(t *testing.T) {
+	opts := moveOpts(core.ProtocolReconfig)
+	opts.MoveTimeout = 200 * time.Millisecond
+	c := newCluster(t, opts)
+	tr := installTrace(c)
+	cl, err := c.NewClient("c1", "b1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Broker("b13").Stop() // target dead: negotiate dies, source times out
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := cl.Move(ctx, "b13"); !errors.Is(err, core.ErrMoveTimeout) {
+		t.Fatalf("move = %v", err)
+	}
+	settle(t, c)
+
+	tx := singleTx(t, tr)
+	want := []core.EventKind{
+		core.EventMoveRequested,
+		core.EventNegotiateSent,
+		core.EventSourceTimeout,
+		core.EventAbortSent,
+		core.EventAborted,
+	}
+	if got := tr.Kinds(tx); !kindsEqual(got, want) {
+		t.Fatalf("timeout sequence:\n got %v\nwant %v", got, want)
+	}
+}
+
+func TestTraceHelpers(t *testing.T) {
+	tr := core.NewTrace()
+	sink := tr.Sink()
+	sink(core.Event{Kind: core.EventCommitted, Tx: "t1"})
+	sink(core.Event{Kind: core.EventAborted, Tx: "t2", Detail: "boom"})
+	if len(tr.Events()) != 2 {
+		t.Fatalf("events = %d", len(tr.Events()))
+	}
+	if got := tr.ForTx("t2"); len(got) != 1 || got[0].Detail != "boom" {
+		t.Errorf("ForTx = %v", got)
+	}
+	if s := tr.Events()[1].String(); s == "" {
+		t.Error("empty event string")
+	}
+	tr.Reset()
+	if len(tr.Events()) != 0 {
+		t.Error("reset did not clear")
+	}
+	if core.EventKind(99).String() != "event(99)" {
+		t.Error("unknown kind string")
+	}
+	if core.EventCommitted.String() != "committed" {
+		t.Error("committed string")
+	}
+}

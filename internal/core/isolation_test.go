@@ -1,0 +1,154 @@
+package core_test
+
+import (
+	"context"
+	"sort"
+	"testing"
+	"time"
+
+	"padres/internal/client"
+	"padres/internal/cluster"
+	"padres/internal/core"
+	"padres/internal/message"
+	"padres/internal/predicate"
+)
+
+// runBystanderScenario runs a fixed scenario — a publisher streams a fixed
+// sequence while a third client either moves or stays — and returns the
+// sorted notification IDs observed by the bystander subscriber.
+func runBystanderScenario(t *testing.T, proto core.Protocol, moverMoves bool) []message.PubID {
+	t.Helper()
+	c := newCluster(t, moveOpts(proto))
+	pub, err := c.NewClient("pub", "b5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pub.Advertise(predicate.MustParse("[x,>,0]")); err != nil {
+		t.Fatal(err)
+	}
+	settle(t, c)
+
+	bystander, err := c.NewClient("bystander", "b7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bystander.Subscribe(predicate.MustParse("[x,>,0],[x,<,50]")); err != nil {
+		t.Fatal(err)
+	}
+	mover, err := c.NewClient("mover", "b1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mover.Subscribe(predicate.MustParse("[x,>,25]")); err != nil {
+		t.Fatal(err)
+	}
+	settle(t, c)
+
+	// Fixed publication sequence; the mover relocates midway (or not).
+	for i := 1; i <= 40; i++ {
+		if _, err := pub.Publish(predicate.Event{"x": predicate.Number(float64(i))}); err != nil {
+			t.Fatal(err)
+		}
+		if i == 20 && moverMoves {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			if err := mover.Move(ctx, "b13"); err != nil {
+				cancel()
+				t.Fatalf("mover: %v", err)
+			}
+			cancel()
+		}
+	}
+	settle(t, c)
+
+	ids := bystander.ReceivedIDs()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// TestNotificationIsolation verifies the Sec. 3.4 isolation property: the
+// notifications received by a bystander client are identical whether or not
+// another client performs a movement transaction.
+func TestNotificationIsolation(t *testing.T) {
+	for _, proto := range []core.Protocol{core.ProtocolReconfig, core.ProtocolEndToEnd} {
+		t.Run(proto.String(), func(t *testing.T) {
+			withMove := runBystanderScenario(t, proto, true)
+			withoutMove := runBystanderScenario(t, proto, false)
+			if len(withMove) != len(withoutMove) {
+				t.Fatalf("bystander saw %d notifications with the move, %d without",
+					len(withMove), len(withoutMove))
+			}
+			for i := range withMove {
+				if withMove[i] != withoutMove[i] {
+					t.Fatalf("bystander streams diverge at %d: %s vs %s",
+						i, withMove[i], withoutMove[i])
+				}
+			}
+			// Sanity: the bystander received the x<50 subset (all 40 here).
+			if len(withMove) != 40 {
+				t.Fatalf("bystander received %d of 40", len(withMove))
+			}
+		})
+	}
+}
+
+// TestMoveToUnknownBroker exercises the control-routing failure path: the
+// negotiate cannot be routed, so the move fails fast.
+func TestMoveToUnknownBroker(t *testing.T) {
+	c := newCluster(t, moveOpts(core.ProtocolReconfig))
+	cl, err := c.NewClient("c1", "b1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	err = cl.Move(ctx, "b99")
+	if err == nil {
+		t.Fatal("move to unknown broker succeeded")
+	}
+	// The failure is upfront (no transaction started) and the client is
+	// fully operational afterwards.
+	if cl.State() != client.StateStarted {
+		t.Fatalf("client state after failed move = %s", cl.State())
+	}
+	if _, err := cl.Subscribe(predicate.MustParse("[x,>,0]")); err != nil {
+		t.Fatalf("client unusable after failed move: %v", err)
+	}
+}
+
+// TestMoveAfterDisconnect verifies a disconnected client cannot move.
+func TestMoveAfterDisconnect(t *testing.T) {
+	c := newCluster(t, moveOpts(core.ProtocolReconfig))
+	cl, err := c.NewClient("c1", "b1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Container("b1").Disconnect(cl); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := cl.Move(ctx, "b13"); err == nil {
+		t.Fatal("disconnected client moved")
+	}
+}
+
+// TestHostedCount tracks container ownership across a move.
+func TestHostedCount(t *testing.T) {
+	c := newCluster(t, moveOpts(core.ProtocolReconfig))
+	cl, err := c.NewClient("c1", "b1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Container("b1").HostedCount(); got != 1 {
+		t.Fatalf("source hosted = %d", got)
+	}
+	mustMove(t, cl, "b13")
+	settle(t, c)
+	if got := c.Container("b1").HostedCount(); got != 0 {
+		t.Errorf("source hosted after move = %d", got)
+	}
+	if got := c.Container("b13").HostedCount(); got != 1 {
+		t.Errorf("target hosted after move = %d", got)
+	}
+}
+
+var _ = cluster.Options{}

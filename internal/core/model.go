@@ -1,0 +1,321 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"padres/internal/client"
+)
+
+// This file is an executable model of the movement protocol's state
+// machines (the paper's Fig. 4) and of the reachable global state graph
+// derived from them (Fig. 5). The model is independent of the runtime
+// implementation; the tests exhaustively enumerate its reachable states and
+// verify the two properties the paper's correctness proofs rest on:
+//
+//	(1) in a final global state, exactly one client copy is started and
+//	    the other is cleaned (or was never created, on abort); and
+//	(2) in every reachable global state, at most one client copy is
+//	    started.
+
+// CoordState is a coordinator state from Fig. 4.
+type CoordState int
+
+// Coordinator states.
+const (
+	CoordInit CoordState = iota + 1
+	CoordWait
+	CoordPrepare
+	CoordAbort
+	CoordCommit
+)
+
+var coordNames = map[CoordState]string{
+	CoordInit:    "init",
+	CoordWait:    "wait",
+	CoordPrepare: "prepare",
+	CoordAbort:   "abort",
+	CoordCommit:  "commit",
+}
+
+// String returns the coordinator state name.
+func (s CoordState) String() string {
+	if n, ok := coordNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("coord(%d)", int(s))
+}
+
+// ModelMsg is a coordinator-to-coordinator message in the model.
+type ModelMsg int
+
+// Protocol messages (1)-(5) of Fig. 3, plus the aborts exchanged by the
+// non-blocking variant.
+const (
+	MsgNego ModelMsg = iota + 1
+	MsgApprove
+	MsgReject
+	MsgState
+	MsgAck
+	MsgAbortToTarget
+	MsgAbortToSource
+)
+
+var msgNames = map[ModelMsg]string{
+	MsgNego:          "nego",
+	MsgApprove:       "approve",
+	MsgReject:        "reject",
+	MsgState:         "state",
+	MsgAck:           "ack",
+	MsgAbortToTarget: "abort>tgt",
+	MsgAbortToSource: "abort>src",
+}
+
+// String returns the message name.
+func (m ModelMsg) String() string {
+	if n, ok := msgNames[m]; ok {
+		return n
+	}
+	return fmt.Sprintf("msg(%d)", int(m))
+}
+
+// GlobalState is one vertex of the reachable global state graph: the local
+// states of both coordinators and both client copies, plus the multiset of
+// outstanding messages.
+type GlobalState struct {
+	Src       CoordState
+	Tgt       CoordState
+	SrcClient client.State
+	TgtClient client.State
+	Msgs      string // canonical sorted encoding of the outstanding multiset
+}
+
+// Key returns a printable canonical form, e.g. "wS,iT|pause_move,init|nego".
+func (g GlobalState) Key() string {
+	return fmt.Sprintf("%sS,%sT|%s,%s|%s",
+		g.Src.String()[:1], g.Tgt.String()[:1], g.SrcClient, g.TgtClient, g.Msgs)
+}
+
+// Final reports whether no outstanding message remains and both
+// coordinators are in a terminal state.
+func (g GlobalState) Final() bool {
+	if g.Msgs != "" {
+		return false
+	}
+	srcDone := g.Src == CoordCommit || g.Src == CoordAbort
+	tgtDone := g.Tgt == CoordCommit || g.Tgt == CoordAbort ||
+		(g.Tgt == CoordInit && g.Src == CoordAbort) // source timed out before target ever heard
+	return srcDone && tgtDone
+}
+
+func addMsg(msgs string, m ModelMsg) string {
+	parts := splitMsgs(msgs)
+	parts = append(parts, m.String())
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+func removeMsg(msgs string, m ModelMsg) (string, bool) {
+	parts := splitMsgs(msgs)
+	for i, p := range parts {
+		if p == m.String() {
+			parts = append(parts[:i], parts[i+1:]...)
+			return strings.Join(parts, ","), true
+		}
+	}
+	return msgs, false
+}
+
+func splitMsgs(msgs string) []string {
+	if msgs == "" {
+		return nil
+	}
+	return strings.Split(msgs, ",")
+}
+
+// Model configures the exploration.
+type Model struct {
+	// AllowReject lets the target coordinator reject the negotiate
+	// message.
+	AllowReject bool
+	// AllowTimeout adds the non-blocking variant's timeout transitions: a
+	// waiting source and a prepared target may abort spontaneously.
+	AllowTimeout bool
+}
+
+// Graph is the reachable global state graph.
+type Graph struct {
+	States map[string]GlobalState
+	Edges  map[string][]string
+	Finals []GlobalState
+}
+
+// Explore enumerates every reachable global state starting from the moment
+// the application issues the move command.
+func (m Model) Explore() *Graph {
+	initial := GlobalState{
+		Src:       CoordWait,
+		Tgt:       CoordInit,
+		SrcClient: client.StatePauseMove,
+		TgtClient: client.StateInit,
+		Msgs:      addMsg("", MsgNego),
+	}
+	g := &Graph{
+		States: map[string]GlobalState{initial.Key(): initial},
+		Edges:  make(map[string][]string),
+	}
+	queue := []GlobalState{initial}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, next := range m.successors(cur) {
+			g.Edges[cur.Key()] = append(g.Edges[cur.Key()], next.Key())
+			if _, seen := g.States[next.Key()]; !seen {
+				g.States[next.Key()] = next
+				queue = append(queue, next)
+			}
+		}
+	}
+	for _, st := range g.States {
+		if st.Final() {
+			g.Finals = append(g.Finals, st)
+		}
+	}
+	sort.Slice(g.Finals, func(i, j int) bool { return g.Finals[i].Key() < g.Finals[j].Key() })
+	return g
+}
+
+// successors returns every global state reachable by one local transition:
+// the delivery of one outstanding message, or (if enabled) one timeout.
+func (m Model) successors(g GlobalState) []GlobalState {
+	var out []GlobalState
+
+	deliver := func(msg ModelMsg, apply func(GlobalState) []GlobalState) {
+		rest, ok := removeMsg(g.Msgs, msg)
+		if !ok {
+			return
+		}
+		next := g
+		next.Msgs = rest
+		out = append(out, apply(next)...)
+	}
+
+	// Target: negotiate arrives.
+	deliver(MsgNego, func(s GlobalState) []GlobalState {
+		if s.Tgt != CoordInit {
+			return nil
+		}
+		var res []GlobalState
+		accept := s
+		accept.Tgt = CoordPrepare
+		accept.TgtClient = client.StateCreated // [create]
+		accept.Msgs = addMsg(accept.Msgs, MsgApprove)
+		res = append(res, accept)
+		if m.AllowReject {
+			reject := s
+			reject.Tgt = CoordAbort
+			reject.Msgs = addMsg(reject.Msgs, MsgReject)
+			res = append(res, reject)
+		}
+		return res
+	})
+
+	// Source: approval arrives.
+	deliver(MsgApprove, func(s GlobalState) []GlobalState {
+		switch s.Src {
+		case CoordWait:
+			s.Src = CoordPrepare
+			s.SrcClient = client.StatePrepareStop // [prepare-stop]
+			s.Msgs = addMsg(s.Msgs, MsgState)
+			return []GlobalState{s}
+		case CoordAbort:
+			// Source already aborted (timeout): undo the target.
+			s.Msgs = addMsg(s.Msgs, MsgAbortToTarget)
+			return []GlobalState{s}
+		default:
+			return nil
+		}
+	})
+
+	// Source: rejection arrives.
+	deliver(MsgReject, func(s GlobalState) []GlobalState {
+		if s.Src == CoordWait {
+			s.Src = CoordAbort
+			s.SrcClient = client.StateStarted // [resume]
+			return []GlobalState{s}
+		}
+		if s.Src == CoordAbort {
+			return []GlobalState{s} // duplicate outcome after timeout
+		}
+		return nil
+	})
+
+	// Target: state transfer arrives.
+	deliver(MsgState, func(s GlobalState) []GlobalState {
+		switch s.Tgt {
+		case CoordPrepare:
+			s.Tgt = CoordCommit
+			s.TgtClient = client.StateStarted // [state] + start
+			s.Msgs = addMsg(s.Msgs, MsgAck)
+			return []GlobalState{s}
+		case CoordAbort:
+			// Target timed out earlier; tell the source to resume.
+			s.Msgs = addMsg(s.Msgs, MsgAbortToSource)
+			return []GlobalState{s}
+		default:
+			return nil
+		}
+	})
+
+	// Source: acknowledgement arrives.
+	deliver(MsgAck, func(s GlobalState) []GlobalState {
+		if s.Src == CoordPrepare {
+			s.Src = CoordCommit
+			s.SrcClient = client.StateCleaned // [clean]
+			return []GlobalState{s}
+		}
+		return nil
+	})
+
+	// Abort travelling to the target.
+	deliver(MsgAbortToTarget, func(s GlobalState) []GlobalState {
+		if s.Tgt == CoordPrepare {
+			s.Tgt = CoordAbort
+			s.TgtClient = client.StateCleaned
+			return []GlobalState{s}
+		}
+		return []GlobalState{s} // no-op elsewhere
+	})
+
+	// Abort travelling to the source.
+	deliver(MsgAbortToSource, func(s GlobalState) []GlobalState {
+		switch s.Src {
+		case CoordWait, CoordPrepare:
+			s.Src = CoordAbort
+			s.SrcClient = client.StateStarted
+			return []GlobalState{s}
+		default:
+			return []GlobalState{s} // no-op elsewhere
+		}
+	})
+
+	// Timeouts (non-blocking variant).
+	if m.AllowTimeout {
+		if g.Src == CoordWait {
+			s := g
+			s.Src = CoordAbort
+			s.SrcClient = client.StateStarted
+			s.Msgs = addMsg(s.Msgs, MsgAbortToTarget)
+			out = append(out, s)
+		}
+		if g.Tgt == CoordPrepare {
+			s := g
+			s.Tgt = CoordAbort
+			s.TgtClient = client.StateCleaned
+			s.Msgs = addMsg(s.Msgs, MsgAbortToSource)
+			out = append(out, s)
+		}
+	}
+	return out
+}

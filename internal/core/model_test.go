@@ -1,0 +1,194 @@
+package core
+
+import (
+	"testing"
+
+	"padres/internal/client"
+)
+
+// started counts how many client copies are started in a global state.
+func started(g GlobalState) int {
+	n := 0
+	if g.SrcClient == client.StateStarted {
+		n++
+	}
+	if g.TgtClient == client.StateStarted {
+		n++
+	}
+	return n
+}
+
+// TestGlobalStateGraphHappyPath explores the protocol without rejections or
+// timeouts: the only final state is the committed one.
+func TestGlobalStateGraphHappyPath(t *testing.T) {
+	g := Model{}.Explore()
+	if len(g.Finals) != 1 {
+		t.Fatalf("finals = %d, want 1: %v", len(g.Finals), finalsOf(g))
+	}
+	f := g.Finals[0]
+	if f.Src != CoordCommit || f.Tgt != CoordCommit {
+		t.Errorf("final coordinators = %s/%s, want commit/commit", f.Src, f.Tgt)
+	}
+	if f.SrcClient != client.StateCleaned || f.TgtClient != client.StateStarted {
+		t.Errorf("final clients = %s/%s, want cleaned/started", f.SrcClient, f.TgtClient)
+	}
+	// The happy path of Fig. 5 visits 5 global coordinator states
+	// (wS,iT -> wS,pT -> pS,pT -> pS,cT -> cS,cT).
+	if len(g.States) != 5 {
+		t.Errorf("reachable states = %d, want 5: %v", len(g.States), keysOf(g))
+	}
+}
+
+// TestGlobalStateGraphWithReject reproduces Fig. 5: acceptance and
+// rejection paths, two final states.
+func TestGlobalStateGraphWithReject(t *testing.T) {
+	g := Model{AllowReject: true}.Explore()
+	if len(g.Finals) != 2 {
+		t.Fatalf("finals = %d, want 2: %v", len(g.Finals), finalsOf(g))
+	}
+	var sawCommit, sawAbort bool
+	for _, f := range g.Finals {
+		switch {
+		case f.Src == CoordCommit && f.Tgt == CoordCommit:
+			sawCommit = true
+			if f.SrcClient != client.StateCleaned || f.TgtClient != client.StateStarted {
+				t.Errorf("commit final clients = %s/%s", f.SrcClient, f.TgtClient)
+			}
+		case f.Src == CoordAbort && f.Tgt == CoordAbort:
+			sawAbort = true
+			if f.SrcClient != client.StateStarted {
+				t.Errorf("abort final source client = %s, want started", f.SrcClient)
+			}
+			if f.TgtClient == client.StateStarted {
+				t.Errorf("abort final target client started")
+			}
+		default:
+			t.Errorf("unexpected final %s", f.Key())
+		}
+	}
+	if !sawCommit || !sawAbort {
+		t.Errorf("missing outcome: commit=%v abort=%v", sawCommit, sawAbort)
+	}
+	// Fig. 5's graph has 7 coordinator-level states; our encoding also
+	// tracks client states and message multisets but collapses to the same
+	// set of seven coordinator combinations.
+	coordStates := make(map[string]bool)
+	for _, st := range g.States {
+		coordStates[st.Src.String()+"/"+st.Tgt.String()] = true
+	}
+	want := map[string]bool{
+		"wait/init":       true,
+		"wait/prepare":    true,
+		"prepare/prepare": true,
+		"prepare/commit":  true,
+		"commit/commit":   true,
+		"abort/abort":     true,
+		"wait/abort":      true,
+	}
+	for k := range want {
+		if !coordStates[k] {
+			t.Errorf("coordinator state %s unreachable", k)
+		}
+	}
+	for k := range coordStates {
+		if !want[k] {
+			t.Errorf("unexpected coordinator state %s", k)
+		}
+	}
+}
+
+// TestGlobalStatePropertyAtMostOneStarted verifies property (2) of Sec. 4.2
+// over every reachable state, in every model variant: at most one client
+// copy is ever started, and in intermediate states of a movement that has
+// passed the negotiate step, publications cannot be issued from both sides.
+func TestGlobalStatePropertyAtMostOneStarted(t *testing.T) {
+	variants := []Model{
+		{},
+		{AllowReject: true},
+		{AllowTimeout: true},
+		{AllowReject: true, AllowTimeout: true},
+	}
+	for _, m := range variants {
+		g := m.Explore()
+		for key, st := range g.States {
+			if started(st) > 1 {
+				t.Errorf("model %+v: state %s has two started clients", m, key)
+			}
+		}
+	}
+}
+
+// TestGlobalStatePropertyFinalExactlyOne verifies property (1): every final
+// state has exactly one live client copy — started at the target on commit,
+// started at the source on abort.
+func TestGlobalStatePropertyFinalExactlyOne(t *testing.T) {
+	variants := []Model{
+		{},
+		{AllowReject: true},
+		{AllowTimeout: true},
+		{AllowReject: true, AllowTimeout: true},
+	}
+	for _, m := range variants {
+		g := m.Explore()
+		if len(g.Finals) == 0 {
+			t.Fatalf("model %+v has no final states", m)
+		}
+		for _, f := range g.Finals {
+			if started(f) != 1 {
+				t.Errorf("model %+v: final %s has %d started clients, want 1", m, f.Key(), started(f))
+			}
+			committed := f.Src == CoordCommit
+			if committed && f.TgtClient != client.StateStarted {
+				t.Errorf("model %+v: committed final %s target not started", m, f.Key())
+			}
+			if !committed && f.SrcClient != client.StateStarted {
+				t.Errorf("model %+v: aborted final %s source not started", m, f.Key())
+			}
+		}
+	}
+}
+
+// TestGlobalStateGraphTimeoutTerminates: with timeouts enabled every
+// execution path still ends in a final state (no deadlocked intermediate
+// states without outgoing transitions).
+func TestGlobalStateGraphTimeoutTerminates(t *testing.T) {
+	g := Model{AllowReject: true, AllowTimeout: true}.Explore()
+	for key, st := range g.States {
+		if st.Final() {
+			continue
+		}
+		if len(g.Edges[key]) == 0 {
+			t.Errorf("non-final state %s has no outgoing transitions (protocol can block)", key)
+		}
+	}
+}
+
+// TestModelStrings exercises the display helpers.
+func TestModelStrings(t *testing.T) {
+	if CoordWait.String() != "wait" || CoordState(99).String() != "coord(99)" {
+		t.Error("CoordState.String wrong")
+	}
+	if MsgNego.String() != "nego" || ModelMsg(99).String() != "msg(99)" {
+		t.Error("ModelMsg.String wrong")
+	}
+	g := GlobalState{Src: CoordWait, Tgt: CoordInit, SrcClient: client.StatePauseMove, TgtClient: client.StateInit, Msgs: "nego"}
+	if g.Key() != "wS,iT|pause_move,init|nego" {
+		t.Errorf("Key() = %q", g.Key())
+	}
+}
+
+func finalsOf(g *Graph) []string {
+	out := make([]string, 0, len(g.Finals))
+	for _, f := range g.Finals {
+		out = append(out, f.Key())
+	}
+	return out
+}
+
+func keysOf(g *Graph) []string {
+	out := make([]string, 0, len(g.States))
+	for k := range g.States {
+		out = append(out, k)
+	}
+	return out
+}

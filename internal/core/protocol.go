@@ -1,0 +1,464 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"padres/internal/client"
+	"padres/internal/message"
+	"padres/internal/metrics"
+)
+
+// epochSep separates the stable part of a subscription/advertisement ID
+// from the movement transaction under which the end-to-end protocol
+// re-issued it. Using a dedicated separator keeps re-issued IDs from
+// growing across repeated movements.
+const epochSep = "#"
+
+func epochBase(id string) string {
+	if i := strings.Index(id, epochSep); i >= 0 {
+		return id[:i]
+	}
+	return id
+}
+
+func epochID(id string, tx message.TxID) string {
+	return epochBase(id) + epochSep + string(tx)
+}
+
+// --- target-side handlers ---------------------------------------------------
+
+// onNegotiate processes message (1) at the target coordinator: admission
+// control, client shell creation, and either hop-by-hop reconfiguration
+// (via the approve message) or end-to-end re-subscription.
+func (ct *Container) onNegotiate(m message.MoveNegotiate) {
+	reply := func(msg message.Message) { _ = ct.cfg.Broker.SendControl(msg) }
+	ct.emit(EventNegotiateReceived, m.Tx, m.Client, "")
+
+	if ct.cfg.Admission != nil {
+		if err := ct.cfg.Admission(m); err != nil {
+			ct.emit(EventRejectSent, m.Tx, m.Client, err.Error())
+			reply(message.MoveReject{MoveHeader: m.MoveHeader, Reason: err.Error()})
+			return
+		}
+	}
+
+	ct.mu.Lock()
+	if ct.closed {
+		ct.mu.Unlock()
+		reply(message.MoveReject{MoveHeader: m.MoveHeader, Reason: "target container shut down"})
+		return
+	}
+	if _, dup := ct.target[m.Tx]; dup {
+		ct.mu.Unlock()
+		return
+	}
+	ttx := &targetTx{
+		tx:        m.Tx,
+		clientID:  m.Client,
+		source:    m.Source,
+		shellNode: message.ClientNode(m.Client, ct.cfg.Broker.ID()),
+	}
+	ct.target[m.Tx] = ttx
+	ct.mu.Unlock()
+
+	// Create the client shell: a local identity at the target broker that
+	// buffers notifications until the client state arrives. It must exist
+	// before any routing for the client points here.
+	ct.cfg.Broker.AttachClient(ttx.shellNode, ttx.shellDeliver)
+
+	approve := message.MoveApprove{MoveHeader: m.MoveHeader}
+
+	switch ct.cfg.Protocol {
+	case ProtocolReconfig:
+		// The approve message carries the client's filters and performs
+		// the routing reconfiguration at every broker along the path,
+		// starting with this one.
+		approve.Subs = m.Subs
+		approve.Advs = m.Advs
+		approve.Reconfigure = true
+		ct.emit(EventApproveSent, m.Tx, m.Client, "reconfigure")
+		_ = ct.cfg.Broker.SendControl(approve)
+		ct.armTargetTimer(ttx)
+
+	case ProtocolEndToEnd:
+		// Re-issue the client's filters under fresh identifiers from the
+		// target. The approval is only sent after the subscription
+		// propagation has quiesced: the traditional protocol cannot
+		// guarantee gapless delivery before the new routing state is in
+		// place, and this wait is the dominant cost the paper measures.
+		ttx.subIDMap = make(map[message.SubID]message.SubID, len(m.Subs))
+		ttx.advIDMap = make(map[message.AdvID]message.AdvID, len(m.Advs))
+		for _, se := range m.Subs {
+			newID := message.SubID(epochID(string(se.ID), m.Tx))
+			ttx.subIDMap[se.ID] = newID
+			ct.cfg.Broker.Inject(ttx.shellNode, message.Subscribe{
+				ID: newID, Client: m.Client, Filter: se.Filter, TxTag: m.Tx,
+			})
+		}
+		for _, ae := range m.Advs {
+			newID := message.AdvID(epochID(string(ae.ID), m.Tx))
+			ttx.advIDMap[ae.ID] = newID
+			ct.cfg.Broker.Inject(ttx.shellNode, message.Advertise{
+				ID: newID, Client: m.Client, Filter: ae.Filter, TxTag: m.Tx,
+			})
+		}
+		ct.spawn(func(ctx context.Context) {
+			if err := ct.reg.AwaitTag(ctx, m.Tx); err != nil {
+				return // shutdown; the transaction resolves via timeouts
+			}
+			ct.emit(EventApproveSent, m.Tx, m.Client, "end-to-end, propagation quiesced")
+			_ = ct.cfg.Broker.SendControl(approve)
+			ct.mu.Lock()
+			if cur, ok := ct.target[m.Tx]; ok {
+				ct.armTargetTimerLocked(cur)
+			}
+			ct.mu.Unlock()
+		})
+	}
+}
+
+// onState processes message (4) at the target coordinator: the client state
+// has arrived; merge notifications, start the client, and acknowledge.
+func (ct *Container) onState(m message.MoveState) {
+	ct.emit(EventStateReceived, m.Tx, m.Client, "")
+	ct.mu.Lock()
+	ttx, ok := ct.target[m.Tx]
+	if !ok {
+		ct.mu.Unlock()
+		// The transaction was aborted here (e.g. a timeout); tell the
+		// source so it resumes the client.
+		_ = ct.cfg.Broker.SendControl(message.MoveAbort{
+			MoveHeader:  m.MoveHeader,
+			To:          m.Source,
+			Reason:      "state transfer for unknown transaction",
+			Reconfigure: ct.cfg.Protocol == ProtocolReconfig,
+		})
+		return
+	}
+	delete(ct.target, m.Tx)
+	ct.mu.Unlock()
+	if ttx.timer != nil {
+		ttx.timer.Stop()
+	}
+
+	c := ct.cfg.Directory.Get(m.Client)
+	if c == nil && len(m.AppState) > 0 {
+		// The client is not in this process (TCP deployment): reconstruct
+		// its stub from the state payload.
+		restored, err := client.Deserialize(m.AppState)
+		if err == nil && restored.ID() == m.Client {
+			c = restored
+			ct.cfg.Directory.Put(c)
+		}
+	}
+	if c == nil {
+		// Unrecoverable inconsistency; abort both sides.
+		ct.teardownShell(ttx)
+		_ = ct.cfg.Broker.SendControl(message.MoveAbort{
+			MoveHeader: m.MoveHeader, To: m.Source, Reason: "client not found", Reconfigure: ct.cfg.Protocol == ProtocolReconfig,
+		})
+		return
+	}
+
+	// Hand the shell's identity to the real client stub, then merge all
+	// notification sources exactly once.
+	ct.cfg.Broker.AttachClient(ttx.shellNode, c.DeliverLocal)
+	shell := ttx.drainShell()
+	if ct.cfg.Protocol == ProtocolEndToEnd {
+		c.RenameEntries(ttx.subIDMap, ttx.advIDMap)
+	}
+	ct.mu.Lock()
+	ct.hosted[m.Client] = c
+	ct.mu.Unlock()
+	c.SetMover(ct)
+	c.SetSender(ct.cfg.Broker.Inject)
+	_ = c.CompleteMove(ct.cfg.Broker.ID(), m.Buffered, shell)
+
+	ct.emit(EventAckSent, m.Tx, m.Client, "")
+	_ = ct.cfg.Broker.SendControl(message.MoveAck{
+		MoveHeader:  m.MoveHeader,
+		Reconfigure: ct.cfg.Protocol == ProtocolReconfig,
+	})
+}
+
+// --- source-side handlers ---------------------------------------------------
+
+// onApprove processes message (2) at the source coordinator. The broker has
+// already applied this hop's routing reconfiguration (if any) before
+// delivering the message here. The client is stopped and its state shipped.
+func (ct *Container) onApprove(m message.MoveApprove) {
+	ct.emit(EventApproveReceived, m.Tx, m.Client, "")
+	ct.mu.Lock()
+	st, ok := ct.source[m.Tx]
+	if !ok || st.state != sourceWait {
+		ct.mu.Unlock()
+		if !ok {
+			// Already aborted locally (e.g. timeout): undo the target's
+			// preparation along the path.
+			_ = ct.cfg.Broker.SendControl(message.MoveAbort{
+				MoveHeader: m.MoveHeader, To: m.Target, Reason: "movement already aborted at source", Reconfigure: m.Reconfigure,
+			})
+		}
+		return
+	}
+	st.state = sourcePrepared
+	ct.mu.Unlock()
+	if st.timer != nil {
+		st.timer.Stop()
+	}
+
+	buffered, err := st.c.PrepareStop()
+	if err != nil {
+		return
+	}
+
+	if ct.cfg.Protocol == ProtocolEndToEnd {
+		// Retract the old filters from the source; the target's re-issued
+		// ones are fully propagated by now (the approval is sent only
+		// after their propagation quiesced).
+		srcNode := message.ClientNode(m.Client, ct.cfg.Broker.ID())
+		for _, se := range st.subs {
+			ct.cfg.Broker.Inject(srcNode, message.Unsubscribe{
+				ID: se.ID, Client: m.Client, TxTag: m.Tx,
+			})
+		}
+		for _, ae := range st.advs {
+			ct.cfg.Broker.Inject(srcNode, message.Unadvertise{
+				ID: ae.ID, Client: m.Client, TxTag: m.Tx,
+			})
+		}
+	}
+
+	// Ship the full stub state: in-process targets resolve the client via
+	// the shared directory, but a remote target (TCP deployment)
+	// reconstructs the stub from this payload — message (4) is the actual
+	// vehicle of the client's state, as in the paper.
+	appState, err := st.c.Serialize()
+	if err != nil {
+		appState = nil
+	}
+	ct.emit(EventStateSent, m.Tx, m.Client, fmt.Sprintf("%d buffered notifications", len(buffered)))
+	_ = ct.cfg.Broker.SendControl(message.MoveState{
+		MoveHeader: m.MoveHeader,
+		Buffered:   buffered,
+		AppState:   appState,
+	})
+	// After the prepared point the source must wait for the outcome
+	// (commit via ack, or abort): unilateral rollback is no longer safe
+	// because the target may already have started the client.
+}
+
+// onReject processes message (3) at the source coordinator.
+func (ct *Container) onReject(m message.MoveReject) {
+	ct.emit(EventRejectReceived, m.Tx, m.Client, m.Reason)
+	ct.mu.Lock()
+	st, ok := ct.source[m.Tx]
+	if ok {
+		delete(ct.source, m.Tx)
+	}
+	ct.mu.Unlock()
+	if !ok {
+		return
+	}
+	if st.timer != nil {
+		st.timer.Stop()
+	}
+	st.c.Resume()
+	ct.recordMovement(st, false)
+	ct.emit(EventAborted, m.Tx, m.Client, "rejected: "+m.Reason)
+	st.finish(ErrRejected)
+}
+
+// onAck processes message (5) at the source coordinator: the movement has
+// committed; clean up the source copy.
+func (ct *Container) onAck(m message.MoveAck) {
+	ct.emit(EventAckReceived, m.Tx, m.Client, "")
+	ct.mu.Lock()
+	st, ok := ct.source[m.Tx]
+	if ok {
+		delete(ct.source, m.Tx)
+		delete(ct.hosted, m.Client)
+	}
+	ct.mu.Unlock()
+	if !ok {
+		return
+	}
+	if st.timer != nil {
+		st.timer.Stop()
+	}
+
+	srcNode := message.ClientNode(m.Client, ct.cfg.Broker.ID())
+	ct.cfg.Broker.DetachClient(srcNode)
+
+	if ct.cfg.Protocol == ProtocolEndToEnd && !ct.cfg.SkipPropagationWait {
+		// The traditional movement is complete only when the retraction
+		// cascade it triggered has settled.
+		ct.spawn(func(ctx context.Context) {
+			if err := ct.reg.AwaitTag(ctx, m.Tx); err != nil {
+				st.finish(ErrShutdown)
+				return
+			}
+			ct.reg.DropTag(m.Tx)
+			ct.recordMovement(st, true)
+			ct.emit(EventCommitted, m.Tx, m.Client, "after propagation quiescence")
+			st.finish(nil)
+		})
+		return
+	}
+	ct.recordMovement(st, true)
+	ct.emit(EventCommitted, m.Tx, m.Client, "")
+	st.finish(nil)
+}
+
+// onAbort handles an abort arriving at either coordinator.
+func (ct *Container) onAbort(m message.MoveAbort) {
+	ct.emit(EventAbortReceived, m.Tx, m.Client, m.Reason)
+	ct.mu.Lock()
+	st, isSource := ct.source[m.Tx]
+	ttx, isTarget := ct.target[m.Tx]
+	delete(ct.source, m.Tx)
+	delete(ct.target, m.Tx)
+	ct.mu.Unlock()
+
+	if isSource {
+		if st.timer != nil {
+			st.timer.Stop()
+		}
+		st.c.Resume()
+		ct.recordMovement(st, false)
+		ct.emit(EventAborted, m.Tx, m.Client, m.Reason)
+		st.finish(ErrAborted)
+	}
+	if isTarget {
+		if ttx.timer != nil {
+			ttx.timer.Stop()
+		}
+		ct.rollbackTarget(ttx)
+	}
+}
+
+// --- timeouts (non-blocking variant) -----------------------------------------
+
+func (ct *Container) sourceTimeout(tx message.TxID) {
+	ct.mu.Lock()
+	st, ok := ct.source[tx]
+	if !ok || st.state != sourceWait {
+		ct.mu.Unlock()
+		return
+	}
+	delete(ct.source, tx)
+	ct.mu.Unlock()
+	ct.emit(EventSourceTimeout, tx, st.c.ID(), "")
+	ct.emit(EventAbortSent, tx, st.c.ID(), "source timeout")
+
+	// Clean up whatever the target may have prepared along the path.
+	_ = ct.cfg.Broker.SendControl(message.MoveAbort{
+		MoveHeader:  message.MoveHeader{Tx: tx, Client: st.c.ID(), Source: ct.cfg.Broker.ID(), Target: st.target},
+		To:          st.target,
+		Reason:      "source timeout waiting for approval",
+		Reconfigure: ct.cfg.Protocol == ProtocolReconfig,
+	})
+	st.c.Resume()
+	ct.recordMovement(st, false)
+	ct.emit(EventAborted, tx, st.c.ID(), "source timeout")
+	st.finish(ErrMoveTimeout)
+}
+
+func (ct *Container) armTargetTimer(ttx *targetTx) {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	ct.armTargetTimerLocked(ttx)
+}
+
+func (ct *Container) armTargetTimerLocked(ttx *targetTx) {
+	if ct.cfg.MoveTimeout <= 0 {
+		return
+	}
+	ttx.timer = time.AfterFunc(ct.cfg.MoveTimeout, func() { ct.targetTimeout(ttx.tx) })
+}
+
+func (ct *Container) targetTimeout(tx message.TxID) {
+	ct.mu.Lock()
+	ttx, ok := ct.target[tx]
+	if !ok {
+		ct.mu.Unlock()
+		return
+	}
+	delete(ct.target, tx)
+	ct.mu.Unlock()
+	ct.emit(EventTargetTimeout, tx, ttx.clientID, "")
+	ct.emit(EventAbortSent, tx, ttx.clientID, "target timeout")
+
+	_ = ct.cfg.Broker.SendControl(message.MoveAbort{
+		MoveHeader:  message.MoveHeader{Tx: tx, Client: ttx.clientID, Source: ttx.source, Target: ct.cfg.Broker.ID()},
+		To:          ttx.source,
+		Reason:      "target timeout waiting for state transfer",
+		Reconfigure: ct.cfg.Protocol == ProtocolReconfig,
+	})
+	ct.rollbackTarget(ttx)
+}
+
+// rollbackTarget undoes the target-side preparation: retract re-issued
+// filters (end-to-end) and tear the shell down.
+func (ct *Container) rollbackTarget(ttx *targetTx) {
+	if ct.cfg.Protocol == ProtocolEndToEnd {
+		for _, newID := range ttx.subIDMap {
+			ct.cfg.Broker.Inject(ttx.shellNode, message.Unsubscribe{
+				ID: newID, Client: ttx.clientID, TxTag: ttx.tx,
+			})
+		}
+		for _, newID := range ttx.advIDMap {
+			ct.cfg.Broker.Inject(ttx.shellNode, message.Unadvertise{
+				ID: newID, Client: ttx.clientID, TxTag: ttx.tx,
+			})
+		}
+	}
+	ct.teardownShell(ttx)
+}
+
+func (ct *Container) teardownShell(ttx *targetTx) {
+	ct.cfg.Broker.DetachClient(ttx.shellNode)
+}
+
+// --- helpers ------------------------------------------------------------------
+
+func (ct *Container) recordMovement(st *sourceTx, committed bool) {
+	ct.reg.RecordMovement(metrics.Movement{
+		Tx:        st.tx,
+		Client:    st.c.ID(),
+		Source:    ct.cfg.Broker.ID(),
+		Target:    st.target,
+		Protocol:  ct.cfg.Protocol.String(),
+		Start:     st.start,
+		End:       time.Now(),
+		Committed: committed,
+	})
+}
+
+// spawn runs fn on a container-managed goroutine whose context is cancelled
+// at shutdown.
+func (ct *Container) spawn(fn func(ctx context.Context)) {
+	ct.mu.Lock()
+	if ct.closed {
+		ct.mu.Unlock()
+		return
+	}
+	ct.wg.Add(1)
+	ct.mu.Unlock()
+	go func() {
+		defer ct.wg.Done()
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		go func() {
+			select {
+			case <-ct.stop:
+				cancel()
+			case <-ctx.Done():
+			}
+		}()
+		fn(ctx)
+	}()
+}

@@ -1,0 +1,243 @@
+package core_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"padres/internal/broker"
+	"padres/internal/client"
+	"padres/internal/core"
+	"padres/internal/message"
+	"padres/internal/metrics"
+	"padres/internal/overlay"
+	"padres/internal/predicate"
+	"padres/internal/transport"
+)
+
+// procBroker is one process-equivalent: its own registry, network, broker,
+// container with its own directory, and a TCP gateway. Nothing is shared
+// with the other brokers except sockets.
+type procBroker struct {
+	id  message.BrokerID
+	b   *broker.Broker
+	ct  *core.Container
+	dir *core.Directory
+	net *transport.Network
+	gw  *transport.Gateway
+}
+
+func startProcBroker(t *testing.T, id message.BrokerID, top *overlay.Topology) *procBroker {
+	t.Helper()
+	reg := metrics.NewRegistry()
+	nw := transport.NewNetwork(reg)
+	hops, err := top.NextHops(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := broker.New(broker.Config{
+		ID:        id,
+		Net:       nw,
+		Neighbors: top.Neighbors(id),
+		NextHops:  hops,
+	})
+	dir := core.NewDirectory()
+	ct := core.NewContainer(core.Config{
+		Broker:    b,
+		Net:       nw,
+		Directory: dir,
+		Protocol:  core.ProtocolReconfig,
+	})
+	b.Start()
+	gw, err := transport.NewGateway(transport.GatewayConfig{
+		Net:    nw,
+		Local:  id.Node(),
+		Broker: b,
+		Listen: "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb := &procBroker{id: id, b: b, ct: ct, dir: dir, net: nw, gw: gw}
+	t.Cleanup(func() {
+		gw.Close()
+		ct.Shutdown()
+		b.Stop()
+		nw.Close()
+	})
+	return pb
+}
+
+func await(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestCrossProcessMobility moves a client between brokers that share
+// nothing but TCP connections: the client's stub state travels inside the
+// MoveState message and is reconstructed at the target, as the paper's
+// protocol prescribes.
+func TestCrossProcessMobility(t *testing.T) {
+	top, err := overlay.Linear(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1 := startProcBroker(t, "b1", top)
+	b2 := startProcBroker(t, "b2", top)
+	b3 := startProcBroker(t, "b3", top)
+	for _, pair := range []struct {
+		from *procBroker
+		to   *procBroker
+	}{{b1, b2}, {b3, b2}} {
+		if err := pair.from.gw.DialPeer(pair.to.id.Node(), pair.to.gw.Addr()); err != nil {
+			t.Fatal(err)
+		}
+		if err := pair.from.gw.StartPeerReader(pair.to.id.Node()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Publisher lives at b3's container; the mobile subscriber at b1's.
+	pub, err := b3.ct.NewClient("pub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pub.Advertise(predicate.MustParse("[x,>,0]")); err != nil {
+		t.Fatal(err)
+	}
+	await(t, "advertisement at b1", func() bool { return len(b1.b.SRTSnapshot()) == 1 })
+
+	sub, err := b1.ct.NewClient("sub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sub.Subscribe(predicate.MustParse("[x,>,0]")); err != nil {
+		t.Fatal(err)
+	}
+	await(t, "subscription at b3", func() bool { return len(b3.b.PRTSnapshot()) >= 1 })
+
+	if _, err := pub.Publish(predicate.Event{"x": predicate.Number(1)}); err != nil {
+		t.Fatal(err)
+	}
+	await(t, "first notification", func() bool { return sub.QueueLen() == 1 })
+
+	// Move the subscriber b1 -> b3 across process boundaries.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := sub.Move(ctx, "b3"); err != nil {
+		t.Fatalf("cross-process move: %v", err)
+	}
+
+	// The client now lives in b3's directory as a reconstructed stub.
+	moved := b3.dir.Get("sub")
+	if moved == nil {
+		t.Fatal("client not reconstructed at the target process")
+	}
+	if moved == sub {
+		t.Fatal("client object shared across processes; state transfer not exercised")
+	}
+	await(t, "client started at b3", func() bool {
+		return moved.State() == client.StateStarted && moved.Broker() == "b3"
+	})
+	if !b3.ct.Hosts("sub") {
+		t.Error("target container does not host the client")
+	}
+	// The delivery history travelled with the stub: the pre-move
+	// notification is not re-delivered, and its queue content moved over.
+	if got := moved.QueueLen(); got != 1 {
+		t.Errorf("reconstructed queue = %d, want 1 (undelivered notification)", got)
+	}
+
+	// New publications reach the client at its new home, exactly once.
+	if _, err := pub.Publish(predicate.Event{"x": predicate.Number(2)}); err != nil {
+		t.Fatal(err)
+	}
+	await(t, "post-move notification", func() bool { return moved.QueueLen() == 2 })
+	if len(moved.ReceivedIDs()) != 2 {
+		t.Errorf("delivery history = %d entries, want 2", len(moved.ReceivedIDs()))
+	}
+
+	// The subscriber can issue commands from its new process.
+	if _, err := moved.Publish(predicate.Event{"y": predicate.Number(1)}); err != nil {
+		t.Errorf("reconstructed client cannot publish: %v", err)
+	}
+}
+
+// TestClientStateSerializationRoundTrip unit-tests the stub serialization.
+func TestClientStateSerializationRoundTrip(t *testing.T) {
+	c := client.New("c1")
+	if err := c.Attach("b1"); err != nil {
+		t.Fatal(err)
+	}
+	sent := 0
+	c.SetSender(func(message.NodeID, message.Message) { sent++ })
+	subID, err := c.Subscribe(predicate.MustParse("[x,>,0]"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Advertise(predicate.MustParse("[y,>,0]")); err != nil {
+		t.Fatal(err)
+	}
+	c.DeliverLocal(message.Publish{ID: "p1"})
+	if err := c.BeginMove(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Publish(predicate.Event{"x": predicate.Number(1)}); err != nil {
+		t.Fatal(err) // queued while moving
+	}
+
+	data, err := c.Serialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := client.Deserialize(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.ID() != "c1" || c2.State() != client.StatePauseMove {
+		t.Fatalf("restored: %s in %s", c2.ID(), c2.State())
+	}
+	if _, ok := c2.Subs()[subID]; !ok {
+		t.Error("subscription lost in serialization")
+	}
+	if len(c2.Advs()) != 1 {
+		t.Error("advertisement lost")
+	}
+	if c2.QueueLen() != 1 {
+		t.Errorf("queue = %d, want 1", c2.QueueLen())
+	}
+	// Dedup history survived: re-delivering p1 must be dropped.
+	c2.DeliverLocal(message.Publish{ID: "p1"})
+	// (delivered during pause -> transfer buffer; complete and check)
+	flushed := 0
+	c2.SetSender(func(message.NodeID, message.Message) { flushed++ })
+	if err := c2.CompleteMove("b9", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if c2.QueueLen() != 1 {
+		t.Errorf("duplicate crossed serialization: queue = %d", c2.QueueLen())
+	}
+	if flushed != 1 {
+		t.Errorf("pending commands flushed = %d, want 1", flushed)
+	}
+	// ID generator continued, no collisions with pre-move IDs.
+	id2, err := c2.Publish(predicate.Event{"x": predicate.Number(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id2 == "c1-p3" {
+		// p3 was issued pre-serialization (s1, a2, p3... counter must be
+		// beyond it). Exact value depends on the counter; just ensure the
+		// counter moved past the pre-move publish.
+		t.Errorf("identifier collision after restore: %s", id2)
+	}
+	if _, err := client.Deserialize([]byte("junk")); err == nil {
+		t.Error("garbage deserialized")
+	}
+}

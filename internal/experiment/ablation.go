@@ -1,0 +1,117 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"padres/internal/core"
+	"padres/internal/workload"
+)
+
+// This file holds ablation experiments for the design decisions DESIGN.md
+// calls out. They are not figures from the paper, but probe the mechanisms
+// behind its results:
+//
+//   - the covering optimization's effect on the end-to-end protocol (the
+//     paper's "surprising observation" that covering can hurt mobility);
+//   - the end-to-end protocol's propagation wait (what the movement
+//     transaction pays for its delivery guarantee); and
+//   - broker processing cost (the congestion knob behind the covering
+//     protocol's latency blow-up).
+
+// AblationCovering compares the end-to-end movement protocol with the
+// covering optimization on and off, and the reconfiguration protocol, all
+// on the covered workload. The paper argues covering's quench saves leaf
+// movements but its un-quench cascades make root movements pathologically
+// expensive; without covering every movement pays full propagation.
+func AblationCovering(scale Scale) ([]*Result, error) {
+	type variant struct {
+		label    string
+		protocol core.Protocol
+		covering bool
+	}
+	variants := []variant{
+		{"end-to-end/covering-on", core.ProtocolEndToEnd, true},
+		{"end-to-end/covering-off", core.ProtocolEndToEnd, false},
+		{"reconfig", core.ProtocolReconfig, false},
+	}
+	var out []*Result
+	for _, v := range variants {
+		pubs, clients := buildPopulation(workload.Covered, defaultCorridors(), scale, true)
+		res, err := Run(Config{
+			Label:      "ablation-covering/" + v.label,
+			Protocol:   v.protocol,
+			Covering:   v.covering,
+			Scale:      scale,
+			Publishers: pubs,
+			Clients:    clients,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Label = v.label
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// AblationPropagationWait compares the end-to-end protocol with and without
+// its propagation-completion wait. Skipping the wait reports the paper's
+// naive "reconnect and go" latency, but forfeits the gapless-delivery
+// guarantee (the movement can complete before the re-issued subscriptions
+// are in force).
+func AblationPropagationWait(scale Scale) ([]*Result, error) {
+	var out []*Result
+	for _, skip := range []bool{false, true} {
+		pubs, clients := buildPopulation(workload.Covered, defaultCorridors(), scale, true)
+		label := "end-to-end/wait"
+		if skip {
+			label = "end-to-end/no-wait"
+		}
+		res, err := Run(Config{
+			Label:               "ablation-wait/" + label,
+			Protocol:            core.ProtocolEndToEnd,
+			Covering:            true,
+			Scale:               scale,
+			Publishers:          pubs,
+			Clients:             clients,
+			SkipPropagationWait: skip,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Label = label
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// AblationServiceTime sweeps the broker processing cost for both protocols
+// on the covered workload, exposing how congestion amplifies the covering
+// protocol's cascades while the path-local reconfiguration protocol
+// degrades gracefully.
+func AblationServiceTime(scale Scale) ([]*Result, error) {
+	var out []*Result
+	for _, mult := range []int{1, 2, 4} {
+		s := scale
+		s.ServiceTime = scale.ServiceTime * time.Duration(mult)
+		for _, protocol := range []core.Protocol{core.ProtocolReconfig, core.ProtocolEndToEnd} {
+			proto, covering := protoConfig(protocol)
+			pubs, clients := buildPopulation(workload.Covered, defaultCorridors(), s, true)
+			res, err := Run(Config{
+				Label:      fmt.Sprintf("service=%v/%s", s.ServiceTime, protocol),
+				Protocol:   proto,
+				Covering:   covering,
+				Scale:      s,
+				Publishers: pubs,
+				Clients:    clients,
+			})
+			if err != nil {
+				return nil, err
+			}
+			res.Label = fmt.Sprintf("service=%v/%s", s.ServiceTime, protocol)
+			out = append(out, res)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,126 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// CSV exports for external plotting. Each writer emits one figure's data in
+// a tidy long format (one observation per row) so any plotting tool can
+// regenerate the paper's plots.
+
+func fmtMs(d time.Duration) string {
+	return strconv.FormatFloat(float64(d.Microseconds())/1000.0, 'f', 3, 64)
+}
+
+// WriteTimelineCSV emits one row per movement: offset_s, latency_ms,
+// source, target, protocol (Figs. 8 and 14 a/b).
+func WriteTimelineCSV(w io.Writer, results ...*Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"offset_s", "latency_ms", "source", "target", "protocol"}); err != nil {
+		return err
+	}
+	for _, res := range results {
+		for _, tm := range res.Timeline {
+			rec := []string{
+				strconv.FormatFloat(tm.Offset.Seconds(), 'f', 3, 64),
+				fmtMs(tm.Latency),
+				string(tm.Source),
+				string(tm.Target),
+				res.Protocol,
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// sweepRow is one (x, protocol) observation of a sweep figure.
+type sweepRow struct {
+	x        string
+	protocol string
+	res      *Result
+}
+
+func writeSweepCSV(w io.Writer, xName string, rows []sweepRow) error {
+	cw := csv.NewWriter(w)
+	header := []string{xName, "protocol", "mean_ms", "p95_ms", "max_ms", "msgs_per_move", "movements", "moves_per_s"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.x,
+			r.protocol,
+			fmtMs(r.res.MeanLatency),
+			fmtMs(r.res.P95Latency),
+			fmtMs(r.res.MaxLatency),
+			strconv.FormatFloat(r.res.MsgsPerMovement, 'f', 2, 64),
+			strconv.Itoa(r.res.Committed),
+			strconv.FormatFloat(r.res.ThroughputPerSec, 'f', 2, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig9CSV emits the workload sweep (Figs. 9, 14 c/d).
+func WriteFig9CSV(w io.Writer, points []Fig9Point) error {
+	var rows []sweepRow
+	for _, p := range points {
+		x := fmt.Sprintf("%d", p.CoveredCount)
+		rows = append(rows,
+			sweepRow{x, "reconfig", p.Reconfig},
+			sweepRow{x, "covering", p.Covering},
+		)
+	}
+	return writeSweepCSV(w, "covered_count", rows)
+}
+
+// WriteFig10CSV emits the client-count sweep.
+func WriteFig10CSV(w io.Writer, points []Fig10Point) error {
+	var rows []sweepRow
+	for _, p := range points {
+		x := strconv.Itoa(p.Clients)
+		rows = append(rows,
+			sweepRow{x, "reconfig", p.Reconfig},
+			sweepRow{x, "covering", p.Covering},
+		)
+	}
+	return writeSweepCSV(w, "clients", rows)
+}
+
+// WriteFig12CSV emits the incremental movement sweep.
+func WriteFig12CSV(w io.Writer, points []Fig12Point) error {
+	var rows []sweepRow
+	for _, p := range points {
+		x := strconv.Itoa(p.Moving)
+		rows = append(rows,
+			sweepRow{x, "reconfig", p.Reconfig},
+			sweepRow{x, "covering", p.Covering},
+		)
+	}
+	return writeSweepCSV(w, "moving", rows)
+}
+
+// WriteFig13CSV emits the topology-size sweep.
+func WriteFig13CSV(w io.Writer, points []Fig13Point) error {
+	var rows []sweepRow
+	for _, p := range points {
+		x := strconv.Itoa(p.Brokers)
+		rows = append(rows,
+			sweepRow{x, "reconfig", p.Reconfig},
+			sweepRow{x, "covering", p.Covering},
+		)
+	}
+	return writeSweepCSV(w, "brokers", rows)
+}

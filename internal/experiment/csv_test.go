@@ -1,0 +1,81 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"padres/internal/workload"
+)
+
+func mkResult(proto string) *Result {
+	return &Result{
+		Protocol:         proto,
+		MeanLatency:      10 * time.Millisecond,
+		P95Latency:       15 * time.Millisecond,
+		MaxLatency:       20 * time.Millisecond,
+		MsgsPerMovement:  12.5,
+		Committed:        7,
+		ThroughputPerSec: 3.5,
+		Timeline: []TimedMove{
+			{Offset: 100 * time.Millisecond, Latency: 9 * time.Millisecond, Source: "b1", Target: "b13"},
+		},
+	}
+}
+
+func TestWriteTimelineCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteTimelineCSV(&sb, mkResult("reconfig"), mkResult("covering")); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "offset_s,latency_ms,source,target,protocol" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "0.100,9.000,b1,b13,reconfig") {
+		t.Errorf("row = %q", lines[1])
+	}
+}
+
+func TestWriteSweepCSVs(t *testing.T) {
+	checks := []struct {
+		name  string
+		write func(w *strings.Builder) error
+		xCol  string
+		xVal  string
+	}{
+		{"fig9", func(w *strings.Builder) error {
+			return WriteFig9CSV(w, []Fig9Point{{Workload: workload.Covered, CoveredCount: 9, Reconfig: mkResult("reconfig"), Covering: mkResult("covering")}})
+		}, "covered_count", "9"},
+		{"fig10", func(w *strings.Builder) error {
+			return WriteFig10CSV(w, []Fig10Point{{Clients: 400, Reconfig: mkResult("reconfig"), Covering: mkResult("covering")}})
+		}, "clients", "400"},
+		{"fig12", func(w *strings.Builder) error {
+			return WriteFig12CSV(w, []Fig12Point{{Moving: 10, Reconfig: mkResult("reconfig"), Covering: mkResult("covering")}})
+		}, "moving", "10"},
+		{"fig13", func(w *strings.Builder) error {
+			return WriteFig13CSV(w, []Fig13Point{{Brokers: 26, Reconfig: mkResult("reconfig"), Covering: mkResult("covering")}})
+		}, "brokers", "26"},
+	}
+	for _, c := range checks {
+		var sb strings.Builder
+		if err := c.write(&sb); err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		out := sb.String()
+		lines := strings.Split(strings.TrimSpace(out), "\n")
+		if len(lines) != 3 {
+			t.Fatalf("%s rows = %d:\n%s", c.name, len(lines), out)
+		}
+		if !strings.HasPrefix(lines[0], c.xCol+",protocol,mean_ms") {
+			t.Errorf("%s header = %q", c.name, lines[0])
+		}
+		if !strings.HasPrefix(lines[1], c.xVal+",reconfig,10.000") {
+			t.Errorf("%s row = %q", c.name, lines[1])
+		}
+	}
+}

@@ -1,0 +1,237 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"padres/internal/core"
+	"padres/internal/message"
+	"padres/internal/metrics"
+	"padres/internal/predicate"
+	"padres/internal/workload"
+)
+
+// tinyScale keeps experiment tests to a couple of seconds.
+func tinyScale() Scale {
+	return Scale{
+		Clients:         12,
+		Pause:           40 * time.Millisecond,
+		Duration:        1200 * time.Millisecond,
+		PublishInterval: 60 * time.Millisecond,
+		ServiceTime:     200 * time.Microsecond,
+		Seed:            1,
+	}
+}
+
+func TestRunBasic(t *testing.T) {
+	for _, protocol := range []core.Protocol{core.ProtocolReconfig, core.ProtocolEndToEnd} {
+		t.Run(protocol.String(), func(t *testing.T) {
+			proto, covering := protoConfig(protocol)
+			pubs, clients := buildPopulation(workload.Covered, defaultCorridors(), tinyScale(), true)
+			res, err := Run(Config{
+				Label:      "test/" + protocol.String(),
+				Protocol:   proto,
+				Covering:   covering,
+				Scale:      tinyScale(),
+				Publishers: pubs,
+				Clients:    clients,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Committed == 0 {
+				t.Fatal("no movements committed")
+			}
+			if res.Aborted != 0 {
+				t.Errorf("aborted = %d, want 0 in the failure-free run", res.Aborted)
+			}
+			if res.MeanLatency <= 0 || res.MsgsPerMovement <= 0 || res.ThroughputPerSec <= 0 {
+				t.Errorf("metrics missing: %+v", res)
+			}
+			if len(res.Timeline) != res.Committed {
+				t.Errorf("timeline %d entries, want %d", len(res.Timeline), res.Committed)
+			}
+			if res.Protocol != protocol.String() {
+				t.Errorf("protocol label = %s", res.Protocol)
+			}
+		})
+	}
+}
+
+func TestRunRequiresClients(t *testing.T) {
+	if _, err := Run(Config{Label: "empty"}); err == nil {
+		t.Fatal("Run without clients should fail")
+	}
+}
+
+func TestBuildPopulation(t *testing.T) {
+	s := tinyScale()
+	pubs, clients := buildPopulation(workload.Covered, defaultCorridors(), s, true)
+	if len(clients) != s.Clients {
+		t.Fatalf("clients = %d, want %d", len(clients), s.Clients)
+	}
+	// Three publishers per corridor.
+	if len(pubs) != 6 {
+		t.Fatalf("publishers = %d, want 6", len(pubs))
+	}
+	// Both corridors populated evenly.
+	perHome := make(map[message.BrokerID]int)
+	for _, c := range clients {
+		perHome[c.Home]++
+		if !c.Moves {
+			t.Errorf("client %s not moving despite allMove", c.ID)
+		}
+		if c.Sub == nil {
+			t.Errorf("client %s has no subscription", c.ID)
+		}
+	}
+	if perHome["b1"] != s.Clients/2 || perHome["b2"] != s.Clients/2 {
+		t.Errorf("home distribution = %v", perHome)
+	}
+}
+
+func TestClassOf(t *testing.T) {
+	f := workload.Subscriptions(workload.Covered, "w7", 0)[0]
+	if got := classOf(f); got != "w7" {
+		t.Errorf("classOf = %q, want w7", got)
+	}
+	plain := predicate.MustParse("[x,>,0]")
+	if got := classOf(plain); got != "" {
+		t.Errorf("classOf(no class) = %q, want empty", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	start := time.Now()
+	moves := []metrics.Movement{
+		{Tx: "a", Source: "b1", Target: "b13", Start: start, End: start.Add(10 * time.Millisecond), Committed: true},
+		{Tx: "b", Source: "b2", Target: "b14", Start: start.Add(time.Second), End: start.Add(time.Second + 30*time.Millisecond), Committed: true},
+		{Tx: "c", Source: "b1", Target: "b13", Start: start, End: start.Add(time.Hour), Committed: false},
+	}
+	cfg := Config{Label: "t", Protocol: core.ProtocolReconfig}
+	res := summarize(cfg, moves, 100, start, 2*time.Second)
+	if res.Committed != 2 || res.Aborted != 1 {
+		t.Fatalf("committed/aborted = %d/%d", res.Committed, res.Aborted)
+	}
+	if res.MeanLatency != 20*time.Millisecond {
+		t.Errorf("mean = %v", res.MeanLatency)
+	}
+	if res.MsgsPerMovement != 50 {
+		t.Errorf("msgs/move = %v", res.MsgsPerMovement)
+	}
+	if res.ThroughputPerSec != 1 {
+		t.Errorf("throughput = %v", res.ThroughputPerSec)
+	}
+	if len(res.Timeline) != 2 || res.Timeline[0].Latency != 10*time.Millisecond {
+		t.Errorf("timeline = %+v", res.Timeline)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	res := summarize(Config{Protocol: core.ProtocolReconfig}, nil, 0, time.Now(), time.Second)
+	if res.Committed != 0 || res.MeanLatency != 0 {
+		t.Errorf("empty summary = %+v", res)
+	}
+}
+
+func TestRenderResult(t *testing.T) {
+	res := &Result{
+		Label:            "x",
+		Protocol:         "reconfig",
+		Duration:         time.Second,
+		Committed:        5,
+		MeanLatency:      12 * time.Millisecond,
+		MsgsPerMovement:  33.5,
+		ThroughputPerSec: 5,
+	}
+	out := RenderResult(res)
+	for _, want := range []string{"reconfig", "12.0 ms", "33.5", "5 committed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("RenderResult missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderTimeline(t *testing.T) {
+	res := &Result{
+		Duration: 2 * time.Second,
+		Timeline: []TimedMove{
+			{Offset: 100 * time.Millisecond, Latency: 10 * time.Millisecond, Source: "b1", Target: "b13"},
+			{Offset: 1500 * time.Millisecond, Latency: 20 * time.Millisecond, Source: "b2", Target: "b14"},
+		},
+	}
+	out := RenderTimeline(res, 2)
+	if !strings.Contains(out, "b1->b13") || !strings.Contains(out, "b2->b14") {
+		t.Errorf("timeline missing groups:\n%s", out)
+	}
+	if RenderTimeline(&Result{}, 2) != "(no movements)\n" {
+		t.Error("empty timeline rendering wrong")
+	}
+}
+
+func TestRenderSweeps(t *testing.T) {
+	mk := func(label string) *Result {
+		return &Result{Label: label, MeanLatency: time.Millisecond, MaxLatency: 2 * time.Millisecond, MsgsPerMovement: 10, Committed: 3, ThroughputPerSec: 1}
+	}
+	fig9 := RenderFig9([]Fig9Point{{Workload: workload.Covered, CoveredCount: 9, Reconfig: mk("r"), Covering: mk("c")}})
+	if !strings.Contains(fig9, "covered(9)") {
+		t.Errorf("fig9 render:\n%s", fig9)
+	}
+	fig10 := RenderFig10([]Fig10Point{{Clients: 400, Reconfig: mk("r"), Covering: mk("c")}})
+	if !strings.Contains(fig10, "400") {
+		t.Errorf("fig10 render:\n%s", fig10)
+	}
+	fig11 := RenderFig11(&Fig11Result{Reconfig: mk("r"), Covering: mk("c")})
+	if !strings.Contains(fig11, "root-only") {
+		t.Errorf("fig11 render:\n%s", fig11)
+	}
+	fig12 := RenderFig12([]Fig12Point{{Moving: 10, Reconfig: mk("r"), Covering: mk("c")}})
+	if !strings.Contains(fig12, "10") {
+		t.Errorf("fig12 render:\n%s", fig12)
+	}
+	fig13 := RenderFig13([]Fig13Point{{Brokers: 14, Reconfig: mk("r"), Covering: mk("c")}})
+	if !strings.Contains(fig13, "14") {
+		t.Errorf("fig13 render:\n%s", fig13)
+	}
+	abl := RenderAblation([]*Result{mk("variant-a")})
+	if !strings.Contains(abl, "variant-a") {
+		t.Errorf("ablation render:\n%s", abl)
+	}
+}
+
+func TestFig12PopulationSelection(t *testing.T) {
+	// At a scale with one block per group, the increments must pick roots
+	// first: with 40 clients the first step moves exactly the covered
+	// group's single root.
+	s := tinyScale()
+	s.Clients = 40
+	s.Duration = 600 * time.Millisecond
+	points, err := Fig12(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 6 {
+		t.Fatalf("fig12 points = %d, want 6", len(points))
+	}
+	if points[0].Moving != 1 {
+		t.Errorf("first increment moves %d clients, want 1 (the covered root)", points[0].Moving)
+	}
+	last := points[len(points)-1].Moving
+	if last <= points[0].Moving {
+		t.Errorf("moving counts do not increase: %d .. %d", points[0].Moving, last)
+	}
+	for _, p := range points {
+		if p.Reconfig == nil || p.Covering == nil {
+			t.Fatalf("point %d missing results", p.Moving)
+		}
+	}
+}
+
+func TestFig12RequiresEnoughClients(t *testing.T) {
+	s := tinyScale()
+	s.Clients = 8
+	if _, err := Fig12(s); err == nil {
+		t.Fatal("Fig12 with too few clients should fail")
+	}
+}

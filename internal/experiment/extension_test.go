@@ -1,0 +1,24 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPublisherMobilityTiny(t *testing.T) {
+	s := tinyScale()
+	s.Duration = 1500 * time.Millisecond
+	results, err := PublisherMobility(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for _, r := range results {
+		if r.Committed == 0 {
+			t.Errorf("%s: no movements committed", r.Label)
+		}
+		t.Logf("%s: moves=%d mean=%v msgs/move=%.1f", r.Label, r.Committed, r.MeanLatency, r.MsgsPerMovement)
+	}
+}

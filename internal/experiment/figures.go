@@ -1,0 +1,534 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+
+	"padres/internal/core"
+	"padres/internal/message"
+	"padres/internal/overlay"
+	"padres/internal/transport"
+	"padres/internal/workload"
+)
+
+// corridor is one movement lane of the default setup: clients oscillate
+// home <-> away, subscribed to a workload published from pub (off the
+// movement path, so subscriptions stretch over several hops from both
+// ends).
+type corridor struct {
+	home message.BrokerID
+	away message.BrokerID
+	pubs []message.BrokerID
+}
+
+// defaultCorridors are the paper's two lanes: Broker 1 <-> Broker 13 and
+// Broker 2 <-> Broker 14 (Sec. 5, subscription workload experiment). Each
+// lane's workload has publishers spread across the overlay, so
+// subscriptions propagate over most of the network — which is what makes
+// end-to-end re-subscription expensive.
+func defaultCorridors() []corridor {
+	return []corridor{
+		{home: "b1", away: "b13", pubs: []message.BrokerID{"b7", "b11", "b2"}},
+		{home: "b2", away: "b14", pubs: []message.BrokerID{"b6", "b10", "b1"}},
+	}
+}
+
+// publisherSpecs builds one publisher per location of a corridor's class.
+func publisherSpecs(ci int, cor corridor) []PublisherSpec {
+	class := fmt.Sprintf("w%d", ci+1)
+	out := make([]PublisherSpec, 0, len(cor.pubs))
+	for pi, b := range cor.pubs {
+		out = append(out, PublisherSpec{
+			ID:     message.ClientID(fmt.Sprintf("pub%d-%d", ci+1, pi+1)),
+			Class:  class,
+			Broker: b,
+		})
+	}
+	return out
+}
+
+// protoConfig returns the protocol and broker-covering setting for one of
+// the two evaluated protocols: the reconfiguration protocol runs without
+// the covering optimization (its movement traffic is path-local), while the
+// traditional end-to-end protocol runs with covering enabled, as in the
+// paper's "covering" baseline.
+func protoConfig(p core.Protocol) (core.Protocol, bool) {
+	return p, p == core.ProtocolEndToEnd
+}
+
+// buildPopulation distributes scale.Clients subscribers over the corridors
+// with subscriptions drawn from the workload (client i joins corridor
+// i mod C and receives subscription (i/C) mod 10 of its corridor's
+// instance).
+func buildPopulation(k workload.Kind, corridors []corridor, scale Scale, allMove bool) ([]PublisherSpec, []ClientSpec) {
+	r := rand.New(rand.NewSource(scale.Seed))
+	pubs := make([]PublisherSpec, 0, len(corridors))
+	perCorridor := make([][]ClientSpec, len(corridors))
+	for ci, cor := range corridors {
+		class := fmt.Sprintf("w%d", ci+1)
+		pubs = append(pubs, publisherSpecs(ci, cor)...)
+		n := scale.Clients / len(corridors)
+		if ci < scale.Clients%len(corridors) {
+			n++
+		}
+		filters := workload.Assign(k, class, n, r)
+		for i := 0; i < n; i++ {
+			perCorridor[ci] = append(perCorridor[ci], ClientSpec{
+				ID:    message.ClientID(fmt.Sprintf("c%d-%d", ci+1, i)),
+				Sub:   filters[i],
+				Home:  cor.home,
+				Away:  cor.away,
+				Moves: allMove,
+			})
+		}
+	}
+	var clients []ClientSpec
+	for _, cs := range perCorridor {
+		clients = append(clients, cs...)
+	}
+	return pubs, clients
+}
+
+// Fig8 reproduces the latency-over-time experiment (Fig. 8): clients
+// oscillate along both corridors, with the covered workload on corridor 1
+// and the tree workload on corridor 2 (odd/even assignment in the paper).
+// The caller plots Result.Timeline.
+func Fig8(scale Scale, protocol core.Protocol) (*Result, error) {
+	proto, covering := protoConfig(protocol)
+	cors := defaultCorridors()
+	r := rand.New(rand.NewSource(scale.Seed))
+	var pubs []PublisherSpec
+	var clients []ClientSpec
+	kinds := []workload.Kind{workload.Covered, workload.Tree}
+	for ci, cor := range cors {
+		class := fmt.Sprintf("w%d", ci+1)
+		pubs = append(pubs, publisherSpecs(ci, cor)...)
+		n := scale.Clients / len(cors)
+		filters := workload.Assign(kinds[ci], class, n, r)
+		for i := 0; i < n; i++ {
+			clients = append(clients, ClientSpec{
+				ID:    message.ClientID(fmt.Sprintf("c%d-%d", ci+1, i)),
+				Sub:   filters[i],
+				Home:  cor.home,
+				Away:  cor.away,
+				Moves: true,
+			})
+		}
+	}
+	return Run(Config{
+		Label:      fmt.Sprintf("fig8/%s", protocol),
+		Protocol:   proto,
+		Covering:   covering,
+		Scale:      scale,
+		Publishers: pubs,
+		Clients:    clients,
+	})
+}
+
+// Fig9Point is one x-position of the workload sweep (Fig. 9).
+type Fig9Point struct {
+	Workload     workload.Kind
+	CoveredCount int
+	Reconfig     *Result
+	Covering     *Result
+}
+
+// Fig9 reproduces the subscription workload sweep (Fig. 9): for each
+// workload shape, both protocols run the two-corridor oscillation; the
+// figure plots mean latency and messages per movement against the
+// workload's covering count.
+func Fig9(scale Scale) ([]Fig9Point, error) {
+	var points []Fig9Point
+	for _, k := range workload.Kinds() {
+		point := Fig9Point{Workload: k, CoveredCount: workload.CoveredCount(k)}
+		for _, protocol := range []core.Protocol{core.ProtocolReconfig, core.ProtocolEndToEnd} {
+			proto, covering := protoConfig(protocol)
+			pubs, clients := buildPopulation(k, defaultCorridors(), scale, true)
+			res, err := Run(Config{
+				Label:      fmt.Sprintf("fig9/%s/%s", k, protocol),
+				Protocol:   proto,
+				Covering:   covering,
+				Scale:      scale,
+				Publishers: pubs,
+				Clients:    clients,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if protocol == core.ProtocolReconfig {
+				point.Reconfig = res
+			} else {
+				point.Covering = res
+			}
+		}
+		points = append(points, point)
+	}
+	return points, nil
+}
+
+// Fig10Point is one x-position of the client-count sweep (Fig. 10).
+type Fig10Point struct {
+	Clients  int
+	Reconfig *Result
+	Covering *Result
+}
+
+// Fig10 reproduces the scalability experiment (Fig. 10): the number of
+// moving clients grows from 1x to 2.5x the scale's client count (the paper
+// sweeps 400 to 1000), using the random workload mix.
+func Fig10(scale Scale) ([]Fig10Point, error) {
+	base := scale.Clients
+	var points []Fig10Point
+	for _, mult := range []float64{1, 1.5, 2, 2.5} {
+		n := int(float64(base) * mult)
+		s := scale.Scaled(n)
+		point := Fig10Point{Clients: n}
+		for _, protocol := range []core.Protocol{core.ProtocolReconfig, core.ProtocolEndToEnd} {
+			proto, covering := protoConfig(protocol)
+			pubs, clients := buildPopulation(workload.Random, defaultCorridors(), s, true)
+			res, err := Run(Config{
+				Label:      fmt.Sprintf("fig10/%d/%s", n, protocol),
+				Protocol:   proto,
+				Covering:   covering,
+				Scale:      s,
+				Publishers: pubs,
+				Clients:    clients,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if protocol == core.ProtocolReconfig {
+				point.Reconfig = res
+			} else {
+				point.Covering = res
+			}
+		}
+		points = append(points, point)
+	}
+	return points, nil
+}
+
+// Fig11Result pairs the two protocols for the single-client experiment.
+type Fig11Result struct {
+	Reconfig *Result
+	Covering *Result
+}
+
+// Fig11 reproduces the single-client experiment (Fig. 11): with the covered
+// workload deployed on both corridors, only the root subscription of
+// corridor 1 moves; everything else is stationary. This isolates the
+// covering protocol's pathological case.
+func Fig11(scale Scale) (*Fig11Result, error) {
+	out := &Fig11Result{}
+	for _, protocol := range []core.Protocol{core.ProtocolReconfig, core.ProtocolEndToEnd} {
+		proto, covering := protoConfig(protocol)
+		pubs, clients := buildPopulation(workload.Covered, defaultCorridors(), scale, false)
+		// Client 0 of corridor 1 holds subscription 1, the covering root.
+		moved := false
+		for i := range clients {
+			if clients[i].ID == "c1-0" {
+				clients[i].Moves = true
+				moved = true
+			}
+		}
+		if !moved {
+			return nil, fmt.Errorf("fig11: root client not found")
+		}
+		res, err := Run(Config{
+			Label:      fmt.Sprintf("fig11/%s", protocol),
+			Protocol:   proto,
+			Covering:   covering,
+			Scale:      scale,
+			Publishers: pubs,
+			Clients:    clients,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if protocol == core.ProtocolReconfig {
+			out.Reconfig = res
+		} else {
+			out.Covering = res
+		}
+	}
+	return out, nil
+}
+
+// Fig12Point is one x-position of the incremental movement sweep (Fig. 12).
+type Fig12Point struct {
+	Moving   int
+	Reconfig *Result
+	Covering *Result
+}
+
+// Fig12 reproduces the incremental movement experiment (Fig. 12): the
+// population mixes all four workloads in equal groups; successive
+// increments of movers are chosen with decreasing covering impact — covered
+// roots, tree roots, chained roots, random leaves from those groups, then
+// distinct subscriptions, then more leaves.
+func Fig12(scale Scale) ([]Fig12Point, error) {
+	kinds := []workload.Kind{workload.Covered, workload.Tree, workload.Chained, workload.Distinct}
+	groupSize := scale.Clients / len(kinds)
+	if groupSize < workload.Size {
+		return nil, fmt.Errorf("fig12 needs at least %d clients, got %d", len(kinds)*workload.Size, scale.Clients)
+	}
+
+	// One corridor per workload group keeps the groups independent, as in
+	// the paper where each workload's covering structure matters
+	// separately. Four lanes over the default topology.
+	lanes := []corridor{
+		{home: "b1", away: "b13", pubs: []message.BrokerID{"b7", "b11"}},
+		{home: "b2", away: "b14", pubs: []message.BrokerID{"b6", "b10"}},
+		{home: "b6", away: "b13", pubs: []message.BrokerID{"b1", "b10"}},
+		{home: "b10", away: "b14", pubs: []message.BrokerID{"b2", "b7"}},
+	}
+
+	type member struct {
+		spec     ClientSpec
+		kind     workload.Kind
+		subIndex int
+	}
+	r := rand.New(rand.NewSource(scale.Seed))
+	var pubs []PublisherSpec
+	var members []member
+	for gi, k := range kinds {
+		class := fmt.Sprintf("w%d", gi+1)
+		lane := lanes[gi]
+		pubs = append(pubs, publisherSpecs(gi, lane)...)
+		subs := workload.Assign(k, class, groupSize, r)
+		for i := 0; i < groupSize; i++ {
+			members = append(members, member{
+				spec: ClientSpec{
+					ID:   message.ClientID(fmt.Sprintf("c%d-%d", gi+1, i)),
+					Sub:  subs[i],
+					Home: lane.home,
+					Away: lane.away,
+				},
+				kind:     k,
+				subIndex: i % workload.Size,
+			})
+		}
+	}
+
+	// Build the paper's six increments. Each increment has one mover per
+	// block of ten in a group (10 movers per increment at paper scale).
+	inc := groupSize / workload.Size
+	rootsOf := func(k workload.Kind) []int {
+		var idx []int
+		for i, m := range members {
+			if m.kind == k && m.subIndex == 0 {
+				idx = append(idx, i)
+			}
+		}
+		return idx
+	}
+	leavesOf := func(ks ...workload.Kind) []int {
+		set := make(map[workload.Kind]bool)
+		for _, k := range ks {
+			set[k] = true
+		}
+		var idx []int
+		for i, m := range members {
+			if set[m.kind] && m.subIndex != 0 {
+				idx = append(idx, i)
+			}
+		}
+		r.Shuffle(len(idx), func(a, b int) { idx[a], idx[b] = idx[b], idx[a] })
+		return idx
+	}
+	distinctIdx := func() []int {
+		var idx []int
+		for i, m := range members {
+			if m.kind == workload.Distinct {
+				idx = append(idx, i)
+			}
+		}
+		return idx
+	}
+	leafPool := leavesOf(workload.Covered, workload.Tree, workload.Chained)
+	increments := [][]int{
+		rootsOf(workload.Covered),
+		rootsOf(workload.Tree),
+		rootsOf(workload.Chained),
+		leafPool[:inc],
+		distinctIdx()[:inc],
+		leafPool[inc : 2*inc],
+	}
+
+	var points []Fig12Point
+	moving := 0
+	markedThrough := 0
+	for _, step := range increments {
+		markedThrough += len(step)
+		moving = markedThrough
+		point := Fig12Point{Moving: moving}
+		for _, protocol := range []core.Protocol{core.ProtocolReconfig, core.ProtocolEndToEnd} {
+			proto, covering := protoConfig(protocol)
+			clients := make([]ClientSpec, len(members))
+			seen := 0
+			for _, stepIdx := range increments {
+				if seen >= markedThrough {
+					break
+				}
+				for _, mi := range stepIdx {
+					if seen >= markedThrough {
+						break
+					}
+					members[mi].spec.Moves = true
+					seen++
+				}
+			}
+			for i, m := range members {
+				clients[i] = m.spec
+			}
+			res, err := Run(Config{
+				Label:      fmt.Sprintf("fig12/%d/%s", moving, protocol),
+				Protocol:   proto,
+				Covering:   covering,
+				Scale:      scale,
+				Publishers: pubs,
+				Clients:    clients,
+			})
+			// Reset the Moves flags for the next protocol/step.
+			for i := range members {
+				members[i].spec.Moves = false
+			}
+			if err != nil {
+				return nil, err
+			}
+			if protocol == core.ProtocolReconfig {
+				point.Reconfig = res
+			} else {
+				point.Covering = res
+			}
+		}
+		points = append(points, point)
+	}
+	return points, nil
+}
+
+// Fig13Point is one x-position of the topology-size sweep (Fig. 13).
+type Fig13Point struct {
+	Brokers  int
+	Reconfig *Result
+	Covering *Result
+}
+
+// Fig13 reproduces the topology-size experiment (Fig. 13): the overlay
+// grows from 14 to 26 brokers while the movement corridors (b1<->b12 and
+// b2<->b14, per the paper) keep a constant path length; the covered
+// workload exaggerates any effect.
+func Fig13(scale Scale) ([]Fig13Point, error) {
+	cors := []corridor{
+		{home: "b1", away: "b12", pubs: []message.BrokerID{"b7", "b11", "b2"}},
+		{home: "b2", away: "b14", pubs: []message.BrokerID{"b6", "b10", "b1"}},
+	}
+	var points []Fig13Point
+	for _, n := range []int{14, 18, 22, 26} {
+		top, err := overlay.Extended(n)
+		if err != nil {
+			return nil, err
+		}
+		point := Fig13Point{Brokers: n}
+		for _, protocol := range []core.Protocol{core.ProtocolReconfig, core.ProtocolEndToEnd} {
+			proto, covering := protoConfig(protocol)
+			pubs, clients := buildPopulation(workload.Covered, cors, scale, true)
+			res, err := Run(Config{
+				Label:      fmt.Sprintf("fig13/%d/%s", n, protocol),
+				Protocol:   proto,
+				Covering:   covering,
+				Topology:   top,
+				Scale:      scale,
+				Publishers: pubs,
+				Clients:    clients,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if protocol == core.ProtocolReconfig {
+				point.Reconfig = res
+			} else {
+				point.Covering = res
+			}
+		}
+		points = append(points, point)
+	}
+	return points, nil
+}
+
+// Fig14Timeline reproduces Figs. 14(a)/(b): the Fig. 8 experiment over the
+// wide-area (PlanetLab-like) latency profile with a quarter of the client
+// population (the paper uses 100 of 400).
+func Fig14Timeline(scale Scale, protocol core.Protocol) (*Result, error) {
+	proto, covering := protoConfig(protocol)
+	s := scale.Scaled(maxInt(scale.Clients/4, 2*len(defaultCorridors())))
+	r := rand.New(rand.NewSource(s.Seed))
+	cors := defaultCorridors()
+	var pubs []PublisherSpec
+	var clients []ClientSpec
+	kinds := []workload.Kind{workload.Covered, workload.Tree}
+	for ci, cor := range cors {
+		class := fmt.Sprintf("w%d", ci+1)
+		pubs = append(pubs, publisherSpecs(ci, cor)...)
+		n := s.Clients / len(cors)
+		filters := workload.Assign(kinds[ci], class, n, r)
+		for i := 0; i < n; i++ {
+			clients = append(clients, ClientSpec{
+				ID:    message.ClientID(fmt.Sprintf("c%d-%d", ci+1, i)),
+				Sub:   filters[i],
+				Home:  cor.home,
+				Away:  cor.away,
+				Moves: true,
+			})
+		}
+	}
+	return Run(Config{
+		Label:      fmt.Sprintf("fig14ab/%s", protocol),
+		Protocol:   proto,
+		Covering:   covering,
+		Profile:    transport.DefaultPlanetLab(s.Seed),
+		Scale:      s,
+		Publishers: pubs,
+		Clients:    clients,
+	})
+}
+
+// Fig14Workloads reproduces Figs. 14(c)/(d): the Fig. 9 workload sweep over
+// the wide-area profile.
+func Fig14Workloads(scale Scale) ([]Fig9Point, error) {
+	s := scale.Scaled(maxInt(scale.Clients/4, 2*len(defaultCorridors())))
+	var points []Fig9Point
+	for _, k := range workload.Kinds() {
+		point := Fig9Point{Workload: k, CoveredCount: workload.CoveredCount(k)}
+		for _, protocol := range []core.Protocol{core.ProtocolReconfig, core.ProtocolEndToEnd} {
+			proto, covering := protoConfig(protocol)
+			pubs, clients := buildPopulation(k, defaultCorridors(), s, true)
+			res, err := Run(Config{
+				Label:      fmt.Sprintf("fig14cd/%s/%s", k, protocol),
+				Protocol:   proto,
+				Covering:   covering,
+				Profile:    transport.DefaultPlanetLab(s.Seed),
+				Scale:      s,
+				Publishers: pubs,
+				Clients:    clients,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if protocol == core.ProtocolReconfig {
+				point.Reconfig = res
+			} else {
+				point.Covering = res
+			}
+		}
+		points = append(points, point)
+	}
+	return points, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,172 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"padres/internal/core"
+	"padres/internal/workload"
+)
+
+// microScale is the smallest scale at which every figure still runs: it
+// exists to exercise the figure builders end to end, not to reproduce
+// shapes (the benchmarks do that).
+func microScale() Scale {
+	return Scale{
+		Clients:         12,
+		Pause:           30 * time.Millisecond,
+		Duration:        700 * time.Millisecond,
+		PublishInterval: 100 * time.Millisecond,
+		ServiceTime:     100 * time.Microsecond,
+		Seed:            1,
+	}
+}
+
+func checkResult(t *testing.T, label string, r *Result) {
+	t.Helper()
+	if r == nil {
+		t.Fatalf("%s: nil result", label)
+	}
+	if r.Committed == 0 {
+		t.Errorf("%s: no committed movements", label)
+	}
+	if r.MeanLatency <= 0 {
+		t.Errorf("%s: no latency recorded", label)
+	}
+}
+
+func TestFig8Micro(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure suite skipped in -short mode")
+	}
+	for _, proto := range []core.Protocol{core.ProtocolReconfig, core.ProtocolEndToEnd} {
+		res, err := Fig8(microScale(), proto)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkResult(t, "fig8/"+proto.String(), res)
+	}
+}
+
+func TestFig9Micro(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure suite skipped in -short mode")
+	}
+	points, err := Fig9(microScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("points = %d", len(points))
+	}
+	seen := make(map[workload.Kind]bool)
+	for _, p := range points {
+		seen[p.Workload] = true
+		checkResult(t, "fig9/"+p.Workload.String()+"/reconfig", p.Reconfig)
+		checkResult(t, "fig9/"+p.Workload.String()+"/covering", p.Covering)
+	}
+	for _, k := range workload.Kinds() {
+		if !seen[k] {
+			t.Errorf("workload %v missing", k)
+		}
+	}
+}
+
+func TestFig10Micro(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure suite skipped in -short mode")
+	}
+	points, err := Fig10(microScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("points = %d", len(points))
+	}
+	if points[0].Clients >= points[3].Clients {
+		t.Errorf("client counts not increasing: %d..%d", points[0].Clients, points[3].Clients)
+	}
+	for _, p := range points {
+		checkResult(t, "fig10/reconfig", p.Reconfig)
+		checkResult(t, "fig10/covering", p.Covering)
+	}
+}
+
+func TestFig11Micro(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure suite skipped in -short mode")
+	}
+	s := microScale()
+	s.Duration = 1200 * time.Millisecond // a single mover needs a few cycles
+	res, err := Fig11(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, "fig11/reconfig", res.Reconfig)
+	checkResult(t, "fig11/covering", res.Covering)
+}
+
+func TestFig13Micro(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure suite skipped in -short mode")
+	}
+	points, err := Fig13(microScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 || points[0].Brokers != 14 || points[3].Brokers != 26 {
+		t.Fatalf("points = %+v", points)
+	}
+	for _, p := range points {
+		checkResult(t, "fig13/reconfig", p.Reconfig)
+		checkResult(t, "fig13/covering", p.Covering)
+	}
+}
+
+func TestFig14Micro(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure suite skipped in -short mode")
+	}
+	s := microScale()
+	s.Clients = 16 // quartered by the wide-area experiment
+	s.Duration = 1500 * time.Millisecond
+	res, err := Fig14Timeline(s, core.ProtocolReconfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, "fig14ab/reconfig", res)
+	points, err := Fig14Workloads(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("points = %d", len(points))
+	}
+}
+
+func TestAblationsMicro(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure suite skipped in -short mode")
+	}
+	cov, err := AblationCovering(microScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cov) != 3 {
+		t.Fatalf("covering ablation variants = %d", len(cov))
+	}
+	wait, err := AblationPropagationWait(microScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wait) != 2 {
+		t.Fatalf("wait ablation variants = %d", len(wait))
+	}
+	svc, err := AblationServiceTime(microScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(svc) != 6 {
+		t.Fatalf("service ablation variants = %d", len(svc))
+	}
+}

@@ -1,0 +1,183 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+)
+
+// ms renders a duration as fractional milliseconds, the unit of the paper's
+// local-testbed plots.
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.1f", float64(d.Microseconds())/1000.0)
+}
+
+// RenderResult formats one run as a key/value block.
+func RenderResult(r *Result) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "experiment\t%s\n", r.Label)
+	fmt.Fprintf(w, "protocol\t%s\n", r.Protocol)
+	fmt.Fprintf(w, "duration\t%v\n", r.Duration.Round(time.Millisecond))
+	fmt.Fprintf(w, "movements\t%d committed, %d aborted\n", r.Committed, r.Aborted)
+	fmt.Fprintf(w, "latency mean\t%s ms\n", ms(r.MeanLatency))
+	fmt.Fprintf(w, "latency min/p95/max\t%s / %s / %s ms\n", ms(r.MinLatency), ms(r.P95Latency), ms(r.MaxLatency))
+	fmt.Fprintf(w, "messages\t%d total, %.1f per movement\n", r.Messages, r.MsgsPerMovement)
+	fmt.Fprintf(w, "throughput\t%.1f movements/s\n", r.ThroughputPerSec)
+	_ = w.Flush()
+	return b.String()
+}
+
+// RenderTimeline formats a latency-over-time series (Figs. 8(a)/(b) and
+// 14(a)/(b)): the measurement window is split into buckets and the mean
+// latency per source-broker group is reported, mirroring the paper's four
+// per-broker traces.
+func RenderTimeline(r *Result, buckets int) string {
+	if buckets < 1 || len(r.Timeline) == 0 {
+		return "(no movements)\n"
+	}
+	groups := make(map[string]bool)
+	for _, tm := range r.Timeline {
+		groups[string(tm.Source)+"->"+string(tm.Target)] = true
+	}
+	names := make([]string, 0, len(groups))
+	for g := range groups {
+		names = append(names, g)
+	}
+	sort.Strings(names)
+
+	span := r.Duration / time.Duration(buckets)
+	if span <= 0 {
+		span = time.Second
+	}
+	type cell struct {
+		sum time.Duration
+		n   int
+	}
+	table := make([]map[string]*cell, buckets)
+	for i := range table {
+		table[i] = make(map[string]*cell)
+	}
+	for _, tm := range r.Timeline {
+		i := int(tm.Offset / span)
+		if i >= buckets {
+			i = buckets - 1
+		}
+		g := string(tm.Source) + "->" + string(tm.Target)
+		c := table[i][g]
+		if c == nil {
+			c = &cell{}
+			table[i][g] = c
+		}
+		c.sum += tm.Latency
+		c.n++
+	}
+
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 4, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(w, "t(s)\t")
+	for _, g := range names {
+		fmt.Fprintf(w, "%s(ms)\t", g)
+	}
+	fmt.Fprintln(w)
+	for i := 0; i < buckets; i++ {
+		fmt.Fprintf(w, "%.1f\t", (time.Duration(i) * span).Seconds())
+		for _, g := range names {
+			if c := table[i][g]; c != nil && c.n > 0 {
+				fmt.Fprintf(w, "%s\t", ms(c.sum/time.Duration(c.n)))
+			} else {
+				fmt.Fprintf(w, "-\t")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	_ = w.Flush()
+	return b.String()
+}
+
+// pairRows renders the recurring two-protocol comparison table used by the
+// sweep figures.
+func pairRows(w *tabwriter.Writer, x string, rec, cov *Result) {
+	fmt.Fprintf(w, "%s\treconfig\t%s\t%s\t%.1f\t%d\t%.1f\n",
+		x, ms(rec.MeanLatency), ms(rec.MaxLatency), rec.MsgsPerMovement, rec.Committed, rec.ThroughputPerSec)
+	fmt.Fprintf(w, "%s\tcovering\t%s\t%s\t%.1f\t%d\t%.1f\n",
+		x, ms(cov.MeanLatency), ms(cov.MaxLatency), cov.MsgsPerMovement, cov.Committed, cov.ThroughputPerSec)
+}
+
+func sweepHeader(w *tabwriter.Writer, xName string) {
+	fmt.Fprintf(w, "%s\tprotocol\tmean(ms)\tmax(ms)\tmsgs/move\tmoves\tmoves/s\n", xName)
+}
+
+// RenderFig9 formats the workload sweep (Figs. 9(a)/(b), 14(c)/(d)).
+func RenderFig9(points []Fig9Point) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 4, 4, 2, ' ', 0)
+	sweepHeader(w, "workload(covered#)")
+	for _, p := range points {
+		x := fmt.Sprintf("%s(%d)", p.Workload, p.CoveredCount)
+		pairRows(w, x, p.Reconfig, p.Covering)
+	}
+	_ = w.Flush()
+	return b.String()
+}
+
+// RenderFig10 formats the client-count sweep (Figs. 10(a)/(b)).
+func RenderFig10(points []Fig10Point) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 4, 4, 2, ' ', 0)
+	sweepHeader(w, "clients")
+	for _, p := range points {
+		pairRows(w, fmt.Sprintf("%d", p.Clients), p.Reconfig, p.Covering)
+	}
+	_ = w.Flush()
+	return b.String()
+}
+
+// RenderFig11 formats the single-client experiment (Figs. 11(a)/(b)).
+func RenderFig11(r *Fig11Result) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 4, 4, 2, ' ', 0)
+	sweepHeader(w, "moving")
+	pairRows(w, "root-only", r.Reconfig, r.Covering)
+	_ = w.Flush()
+	return b.String()
+}
+
+// RenderFig12 formats the incremental movement sweep (Figs. 12(a)/(b)).
+func RenderFig12(points []Fig12Point) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 4, 4, 2, ' ', 0)
+	sweepHeader(w, "moving")
+	for _, p := range points {
+		pairRows(w, fmt.Sprintf("%d", p.Moving), p.Reconfig, p.Covering)
+	}
+	_ = w.Flush()
+	return b.String()
+}
+
+// RenderFig13 formats the topology-size sweep (Figs. 13(a)/(b)).
+func RenderFig13(points []Fig13Point) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 4, 4, 2, ' ', 0)
+	sweepHeader(w, "brokers")
+	for _, p := range points {
+		pairRows(w, fmt.Sprintf("%d", p.Brokers), p.Reconfig, p.Covering)
+	}
+	_ = w.Flush()
+	return b.String()
+}
+
+// RenderAblation formats a labelled list of runs side by side.
+func RenderAblation(results []*Result) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 4, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "variant\tmean(ms)\tmax(ms)\tmsgs/move\tmoves\tmoves/s\n")
+	for _, r := range results {
+		fmt.Fprintf(w, "%s\t%s\t%s\t%.1f\t%d\t%.1f\n",
+			r.Label, ms(r.MeanLatency), ms(r.MaxLatency), r.MsgsPerMovement, r.Committed, r.ThroughputPerSec)
+	}
+	_ = w.Flush()
+	return b.String()
+}

@@ -1,0 +1,377 @@
+// Package experiment reproduces the paper's evaluation (Sec. 5): one
+// scenario per figure, each built on a generic runner that deploys a broker
+// topology, populates it with publishers and (moving) subscribers, drives
+// the movement pattern for a configured duration, and reports the paper's
+// three metrics — movement latency, per-movement message overhead, and
+// movement throughput.
+//
+// The experiments run at a configurable scale. QuickScale keeps test and
+// benchmark runs to seconds by shrinking client counts, pauses, and
+// durations; PaperScale approximates the published setup (400 clients,
+// 10 s pauses) for full runs via cmd/experiments.
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"padres/internal/client"
+	"padres/internal/cluster"
+	"padres/internal/core"
+	"padres/internal/message"
+	"padres/internal/metrics"
+	"padres/internal/overlay"
+	"padres/internal/predicate"
+	"padres/internal/transport"
+	"padres/internal/workload"
+)
+
+// Scale sets the knobs that trade fidelity for wall-clock time.
+type Scale struct {
+	// Clients is the number of subscriber clients (the paper's default is
+	// 400).
+	Clients int
+	// Pause is the dwell time at each broker between movements (paper:
+	// 10 s).
+	Pause time.Duration
+	// Duration is the steady-state measurement window.
+	Duration time.Duration
+	// PublishInterval is the period of each background publisher
+	// (0 disables background publications).
+	PublishInterval time.Duration
+	// ServiceTime is the per-message broker processing cost, which makes
+	// propagation bursts congest broker queues as on real hardware.
+	ServiceTime time.Duration
+	// MoveTimeout arms the non-blocking variant when > 0.
+	MoveTimeout time.Duration
+	// Seed drives workload assignment and publication generation.
+	Seed int64
+}
+
+// QuickScale is small enough for unit tests and benchmarks (seconds per
+// experiment) while preserving every qualitative effect.
+func QuickScale() Scale {
+	return Scale{
+		Clients:         40,
+		Pause:           150 * time.Millisecond,
+		Duration:        5 * time.Second,
+		PublishInterval: 40 * time.Millisecond,
+		ServiceTime:     2 * time.Millisecond,
+		Seed:            1,
+	}
+}
+
+// PaperScale approximates the published experimental setup. A full figure
+// at this scale takes on the order of the paper's experiment durations
+// (tens of minutes); use cmd/experiments.
+func PaperScale() Scale {
+	return Scale{
+		Clients:         400,
+		Pause:           10 * time.Second,
+		Duration:        1000 * time.Second,
+		PublishInterval: 250 * time.Millisecond,
+		ServiceTime:     2 * time.Millisecond,
+		Seed:            1,
+	}
+}
+
+// Scaled returns the scale with the client count replaced.
+func (s Scale) Scaled(clients int) Scale {
+	s.Clients = clients
+	return s
+}
+
+// PublisherSpec places one background publisher.
+type PublisherSpec struct {
+	ID     message.ClientID
+	Class  string
+	Broker message.BrokerID
+}
+
+// ClientSpec places one subscriber client.
+type ClientSpec struct {
+	ID    message.ClientID
+	Sub   *predicate.Filter
+	Home  message.BrokerID
+	Away  message.BrokerID
+	Moves bool
+}
+
+// Config is a fully specified experiment run.
+type Config struct {
+	Label      string
+	Protocol   core.Protocol
+	Covering   bool
+	Topology   *overlay.Topology
+	Profile    transport.Profile
+	Scale      Scale
+	Publishers []PublisherSpec
+	Clients    []ClientSpec
+	// SkipPropagationWait disables the end-to-end protocol's propagation
+	// wait (ablation only).
+	SkipPropagationWait bool
+}
+
+// TimedMove is one movement for latency-over-time plots (Figs. 8 and 14).
+type TimedMove struct {
+	Offset  time.Duration
+	Latency time.Duration
+	Source  message.BrokerID
+	Target  message.BrokerID
+}
+
+// Result aggregates one run.
+type Result struct {
+	Label            string
+	Protocol         string
+	Duration         time.Duration
+	Movements        int
+	Committed        int
+	Aborted          int
+	MeanLatency      time.Duration
+	MinLatency       time.Duration
+	MaxLatency       time.Duration
+	P95Latency       time.Duration
+	Messages         int64
+	MsgsPerMovement  float64
+	ThroughputPerSec float64
+	Timeline         []TimedMove
+}
+
+// Run executes one experiment configuration: the subscriber clients whose
+// Moves flag is set oscillate between their home and away brokers.
+func Run(cfg Config) (*Result, error) {
+	return runCustom(cfg, func(h *harness) error {
+		for i, cs := range cfg.Clients {
+			if cs.Moves {
+				h.oscillate(h.subscribers[i], cs.Home, cs.Away)
+			}
+		}
+		return nil
+	})
+}
+
+// harness is a deployed experiment mid-run; custom experiments use it to
+// drive their own movement patterns.
+type harness struct {
+	cfg         Config
+	cl          *cluster.Cluster
+	publishers  []*client.Client
+	subscribers []*client.Client
+	ctx         context.Context
+	wg          sync.WaitGroup
+	staggerRand *rand.Rand
+	staggerMu   sync.Mutex
+}
+
+// runCustom deploys the configuration, lets setup install movement
+// drivers, runs the measurement window, and summarizes.
+func runCustom(cfg Config, setup func(h *harness) error) (*Result, error) {
+	if len(cfg.Clients) == 0 {
+		return nil, fmt.Errorf("experiment %q has no clients", cfg.Label)
+	}
+	cl, err := cluster.New(cluster.Options{
+		Topology:            cfg.Topology,
+		Profile:             cfg.Profile,
+		Protocol:            cfg.Protocol,
+		Covering:            cfg.Covering,
+		ServiceTime:         cfg.Scale.ServiceTime,
+		MoveTimeout:         cfg.Scale.MoveTimeout,
+		SkipPropagationWait: cfg.SkipPropagationWait,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cl.Start()
+	defer cl.Stop()
+
+	h := &harness{
+		cfg:         cfg,
+		cl:          cl,
+		staggerRand: rand.New(rand.NewSource(cfg.Scale.Seed + 7919)),
+	}
+
+	// Publishers advertise first so subscriptions have routes to follow.
+	for _, ps := range cfg.Publishers {
+		p, err := cl.NewClient(ps.ID, ps.Broker)
+		if err != nil {
+			return nil, fmt.Errorf("publisher %s: %w", ps.ID, err)
+		}
+		if _, err := p.Advertise(workload.Advertisement(ps.Class)); err != nil {
+			return nil, fmt.Errorf("advertise %s: %w", ps.ID, err)
+		}
+		h.publishers = append(h.publishers, p)
+	}
+	if err := cl.SettleFor(60 * time.Second); err != nil {
+		return nil, fmt.Errorf("settle after advertisements: %w", err)
+	}
+
+	// Subscribers connect at their home brokers.
+	for _, cs := range cfg.Clients {
+		c, err := cl.NewClient(cs.ID, cs.Home)
+		if err != nil {
+			return nil, fmt.Errorf("client %s: %w", cs.ID, err)
+		}
+		if _, err := c.Subscribe(cs.Sub); err != nil {
+			return nil, fmt.Errorf("subscribe %s: %w", cs.ID, err)
+		}
+		h.subscribers = append(h.subscribers, c)
+	}
+	if err := cl.SettleFor(120 * time.Second); err != nil {
+		return nil, fmt.Errorf("settle after subscriptions: %w", err)
+	}
+
+	// Steady state starts here: exclude the setup phase from the metrics,
+	// as the paper does.
+	reg := cl.Registry()
+	reg.ResetTraffic()
+	reg.ResetMovements()
+	start := time.Now()
+
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.Scale.Duration)
+	defer cancel()
+	h.ctx = ctx
+
+	h.startPublishing()
+	if err := setup(h); err != nil {
+		return nil, err
+	}
+
+	h.wg.Wait()
+	if err := cl.SettleFor(10 * time.Minute); err != nil {
+		return nil, fmt.Errorf("settle after experiment: %w", err)
+	}
+	elapsed := time.Since(start)
+
+	return summarize(cfg, reg.Movements(), reg.TotalMessages(), start, elapsed), nil
+}
+
+// startPublishing launches the background publishers. Each covers the
+// x-spans of all the workload blocks deployed on its class.
+func (h *harness) startPublishing() {
+	if h.cfg.Scale.PublishInterval <= 0 {
+		return
+	}
+	perClass := make(map[string]int)
+	for i := range h.cfg.Clients {
+		perClass[classOf(h.cfg.Clients[i].Sub)]++
+	}
+	for i, ps := range h.cfg.Publishers {
+		blocks := workload.Blocks(perClass[ps.Class])
+		h.wg.Add(1)
+		go func(p *client.Client, class string, blocks int, seed int64) {
+			defer h.wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			ticker := time.NewTicker(h.cfg.Scale.PublishInterval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-h.ctx.Done():
+					return
+				case <-ticker.C:
+					_, _ = p.Publish(workload.RandomPublication(class, blocks, r))
+				}
+			}
+		}(h.publishers[i], ps.Class, blocks, h.cfg.Scale.Seed+int64(i))
+	}
+}
+
+// oscillate drives one client between home and away with the configured
+// pause, starting after a random stagger so movers do not run in
+// synchronized convoys.
+func (h *harness) oscillate(c *client.Client, home, away message.BrokerID) {
+	var stagger time.Duration
+	if h.cfg.Scale.Pause > 0 {
+		h.staggerMu.Lock()
+		stagger = time.Duration(h.staggerRand.Int63n(int64(h.cfg.Scale.Pause)))
+		h.staggerMu.Unlock()
+	}
+	h.wg.Add(1)
+	go func() {
+		defer h.wg.Done()
+		select {
+		case <-h.ctx.Done():
+			return
+		case <-time.After(stagger):
+		}
+		for {
+			select {
+			case <-h.ctx.Done():
+				return
+			default:
+			}
+			// Oscillate relative to the client's actual position, so a
+			// rejected or timed-out movement does not desynchronize the
+			// pattern.
+			target := away
+			if c.Broker() == away {
+				target = home
+			}
+			moveCtx, moveCancel := context.WithTimeout(context.Background(), 10*time.Minute)
+			err := c.Move(moveCtx, target)
+			moveCancel()
+			if err != nil && h.ctx.Err() != nil {
+				return
+			}
+			select {
+			case <-h.ctx.Done():
+				return
+			case <-time.After(h.cfg.Scale.Pause):
+			}
+		}
+	}()
+}
+
+func summarize(cfg Config, moves []metrics.Movement, messages int64, start time.Time, elapsed time.Duration) *Result {
+	res := &Result{
+		Label:    cfg.Label,
+		Protocol: cfg.Protocol.String(),
+		Duration: elapsed,
+		Messages: messages,
+	}
+	var durations []time.Duration
+	for _, m := range moves {
+		res.Movements++
+		if !m.Committed {
+			res.Aborted++
+			continue
+		}
+		res.Committed++
+		durations = append(durations, m.Duration())
+		res.Timeline = append(res.Timeline, TimedMove{
+			Offset:  m.Start.Sub(start),
+			Latency: m.Duration(),
+			Source:  m.Source,
+			Target:  m.Target,
+		})
+	}
+	if len(durations) > 0 {
+		sort.Slice(durations, func(i, j int) bool { return durations[i] < durations[j] })
+		var sum time.Duration
+		for _, d := range durations {
+			sum += d
+		}
+		res.MeanLatency = sum / time.Duration(len(durations))
+		res.MinLatency = durations[0]
+		res.MaxLatency = durations[len(durations)-1]
+		res.P95Latency = durations[(len(durations)-1)*95/100]
+		res.MsgsPerMovement = float64(messages) / float64(res.Committed)
+		res.ThroughputPerSec = float64(res.Committed) / elapsed.Seconds()
+	}
+	sort.Slice(res.Timeline, func(i, j int) bool { return res.Timeline[i].Offset < res.Timeline[j].Offset })
+	return res
+}
+
+// classOf extracts the workload class a subscription filter belongs to.
+func classOf(f *predicate.Filter) string {
+	for _, p := range f.Predicates() {
+		if p.Attr == "class" && p.Op == predicate.OpEq {
+			return p.Value.Str()
+		}
+	}
+	return ""
+}

@@ -1,0 +1,147 @@
+// Package failure injects the failure modes of the paper's system model
+// (Sec. 4.1) into a running cluster: crash-stop of a broker (and, since
+// coordinator and clients share the container's fate, of its coordinator),
+// and unbounded message delay (a frozen broker whose queue keeps growing).
+// The movement protocol's non-blocking variant must abort cleanly under
+// both; the blocking variant must resume once delays end.
+package failure
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"padres/internal/broker"
+	"padres/internal/cluster"
+	"padres/internal/message"
+)
+
+// Injector applies failures to a cluster.
+type Injector struct {
+	c      *cluster.Cluster
+	frozen map[message.BrokerID]bool
+	dead   map[message.BrokerID]bool
+}
+
+// New returns an injector for the cluster.
+func New(c *cluster.Cluster) *Injector {
+	return &Injector{
+		c:      c,
+		frozen: make(map[message.BrokerID]bool),
+		dead:   make(map[message.BrokerID]bool),
+	}
+}
+
+// Crash stops the broker permanently (crash-stop). Messages addressed to it
+// are dropped, as with a failed node whose recovery is outside the
+// experiment's horizon.
+func (in *Injector) Crash(id message.BrokerID) error {
+	b := in.c.Broker(id)
+	if b == nil {
+		return fmt.Errorf("unknown broker %s", id)
+	}
+	if in.dead[id] {
+		return fmt.Errorf("broker %s already crashed", id)
+	}
+	in.dead[id] = true
+	b.Stop()
+	return nil
+}
+
+// Freeze suspends the broker's processing; inbound messages queue up
+// (unbounded delay). Thaw resumes it.
+func (in *Injector) Freeze(id message.BrokerID) error {
+	b := in.c.Broker(id)
+	if b == nil {
+		return fmt.Errorf("unknown broker %s", id)
+	}
+	if in.dead[id] {
+		return fmt.Errorf("broker %s crashed; cannot freeze", id)
+	}
+	in.frozen[id] = true
+	b.Pause()
+	return nil
+}
+
+// Thaw resumes a frozen broker.
+func (in *Injector) Thaw(id message.BrokerID) error {
+	b := in.c.Broker(id)
+	if b == nil {
+		return fmt.Errorf("unknown broker %s", id)
+	}
+	if !in.frozen[id] {
+		return fmt.Errorf("broker %s is not frozen", id)
+	}
+	delete(in.frozen, id)
+	b.Unpause()
+	return nil
+}
+
+// FreezeFor freezes the broker, thaws it after d on a background timer, and
+// returns immediately.
+func (in *Injector) FreezeFor(id message.BrokerID, d time.Duration) error {
+	if err := in.Freeze(id); err != nil {
+		return err
+	}
+	time.AfterFunc(d, func() { _ = in.Thaw(id) })
+	return nil
+}
+
+// Frozen reports whether the broker is currently frozen.
+func (in *Injector) Frozen(id message.BrokerID) bool { return in.frozen[id] }
+
+// Crashed reports whether the broker was crashed.
+func (in *Injector) Crashed(id message.BrokerID) bool { return in.dead[id] }
+
+// ChaosOptions configures a random freeze/thaw storm.
+type ChaosOptions struct {
+	// Brokers eligible for freezing; empty means all.
+	Brokers []message.BrokerID
+	// FreezeFor is the duration of each freeze.
+	FreezeFor time.Duration
+	// Between is the pause between consecutive freezes.
+	Between time.Duration
+	// Rounds is the number of freeze/thaw cycles.
+	Rounds int
+	// Seed drives broker selection.
+	Seed int64
+}
+
+// Chaos runs a synchronous storm of freeze/thaw cycles against random
+// brokers. It blocks until all rounds finished and every broker is thawed.
+func (in *Injector) Chaos(opts ChaosOptions) error {
+	brokers := opts.Brokers
+	if len(brokers) == 0 {
+		brokers = in.c.Brokers()
+	}
+	r := rand.New(rand.NewSource(opts.Seed))
+	for round := 0; round < opts.Rounds; round++ {
+		id := brokers[r.Intn(len(brokers))]
+		if in.dead[id] || in.frozen[id] {
+			continue
+		}
+		if err := in.Freeze(id); err != nil {
+			return err
+		}
+		time.Sleep(opts.FreezeFor)
+		if err := in.Thaw(id); err != nil {
+			return err
+		}
+		time.Sleep(opts.Between)
+	}
+	return nil
+}
+
+// Restart replaces a crashed (or running) broker with a fresh instance
+// restored from the snapshot, modelling the paper's recovery of persisted
+// algorithmic state. A nil snapshot restarts the broker empty, which
+// deliberately loses routing state — useful to demonstrate why persistence
+// is part of the fault-tolerance model.
+func (in *Injector) Restart(id message.BrokerID, st *broker.State) error {
+	if err := in.c.RestartBroker(id, st); err != nil {
+		return err
+	}
+	delete(in.dead, id)
+	delete(in.frozen, id)
+	return nil
+}

@@ -1,0 +1,323 @@
+// Package matching implements the broker routing tables of a content-based
+// pub/sub broker: the Subscription Routing Table (SRT) holding
+// {advertisement, lasthop} records used to route subscriptions, and the
+// Publication Routing Table (PRT) holding {subscription, lasthop} records
+// used to route publications.
+//
+// Publication matching uses the counting algorithm (Fabret et al., SIGMOD
+// 2001): a per-attribute inverted index lets a publication touch only the
+// records that constrain one of its attributes; a record matches when all
+// its attribute constraints are satisfied. Covering and intersection
+// queries, which are far less frequent, scan linearly.
+package matching
+
+import (
+	"sort"
+	"sync"
+
+	"padres/internal/message"
+	"padres/internal/predicate"
+)
+
+// Record is one routing table entry: a filter installed by a client,
+// together with the link it arrived on (the last hop).
+type Record struct {
+	ID      string
+	Client  message.ClientID
+	Filter  *predicate.Filter
+	LastHop message.NodeID
+}
+
+// table is the shared implementation of SRT and PRT: an ID-keyed record map
+// plus a per-attribute inverted index for counting-based matching.
+type table struct {
+	mu      sync.RWMutex
+	records map[string]*Record
+	byAttr  map[string][]*Record
+}
+
+func newTable() *table {
+	return &table{
+		records: make(map[string]*Record),
+		byAttr:  make(map[string][]*Record),
+	}
+}
+
+// Insert adds or replaces a record by ID.
+func (t *table) Insert(rec *Record) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if old, ok := t.records[rec.ID]; ok {
+		t.removeFromIndexLocked(old)
+	}
+	t.records[rec.ID] = rec
+	for _, attr := range rec.Filter.Attrs() {
+		t.byAttr[attr] = append(t.byAttr[attr], rec)
+	}
+}
+
+// Remove deletes a record by ID, returning it (nil if absent).
+func (t *table) Remove(id string) *Record {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rec, ok := t.records[id]
+	if !ok {
+		return nil
+	}
+	delete(t.records, id)
+	t.removeFromIndexLocked(rec)
+	return rec
+}
+
+func (t *table) removeFromIndexLocked(rec *Record) {
+	for _, attr := range rec.Filter.Attrs() {
+		list := t.byAttr[attr]
+		for i, r := range list {
+			if r == rec {
+				list[i] = list[len(list)-1]
+				t.byAttr[attr] = list[:len(list)-1]
+				break
+			}
+		}
+		if len(t.byAttr[attr]) == 0 {
+			delete(t.byAttr, attr)
+		}
+	}
+}
+
+// Get returns the record with the given ID, or nil.
+func (t *table) Get(id string) *Record {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.records[id]
+}
+
+// SetLastHop updates the last hop of a record in place. It reports whether
+// the record exists.
+func (t *table) SetLastHop(id string, hop message.NodeID) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rec, ok := t.records[id]
+	if !ok {
+		return false
+	}
+	rec.LastHop = hop
+	return true
+}
+
+// Len returns the number of records.
+func (t *table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.records)
+}
+
+// All returns every record sorted by ID for deterministic iteration.
+func (t *table) All() []*Record {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]*Record, 0, len(t.records))
+	for _, rec := range t.records {
+		out = append(out, rec)
+	}
+	sortRecords(out)
+	return out
+}
+
+// Match returns the records whose filters match the event, using the
+// counting algorithm: only records constraining at least one event
+// attribute are examined, and a record matches when the number of satisfied
+// attribute constraints equals its total constraint count.
+func (t *table) Match(e predicate.Event) []*Record {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	counts := make(map[*Record]int)
+	for attr, v := range e {
+		for _, rec := range t.byAttr[attr] {
+			if rec.Filter.MatchesAttr(attr, v) {
+				counts[rec]++
+			}
+		}
+	}
+	var out []*Record
+	for rec, n := range counts {
+		if n == rec.Filter.AttrCount() {
+			out = append(out, rec)
+		}
+	}
+	sortRecords(out)
+	return out
+}
+
+// Intersecting returns records whose filters intersect f.
+func (t *table) Intersecting(f *predicate.Filter) []*Record {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []*Record
+	for _, rec := range t.records {
+		if rec.Filter.Intersects(f) {
+			out = append(out, rec)
+		}
+	}
+	sortRecords(out)
+	return out
+}
+
+// Covering returns records whose filters cover f, excluding the record with
+// the given ID.
+func (t *table) Covering(f *predicate.Filter, excludeID string) []*Record {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []*Record
+	for id, rec := range t.records {
+		if id == excludeID {
+			continue
+		}
+		if rec.Filter.Covers(f) {
+			out = append(out, rec)
+		}
+	}
+	sortRecords(out)
+	return out
+}
+
+// CoveredBy returns records whose filters are covered by f, excluding the
+// record with the given ID.
+func (t *table) CoveredBy(f *predicate.Filter, excludeID string) []*Record {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []*Record
+	for id, rec := range t.records {
+		if id == excludeID {
+			continue
+		}
+		if f.Covers(rec.Filter) {
+			out = append(out, rec)
+		}
+	}
+	sortRecords(out)
+	return out
+}
+
+// ByClient returns the records installed by the given client.
+func (t *table) ByClient(c message.ClientID) []*Record {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []*Record
+	for _, rec := range t.records {
+		if rec.Client == c {
+			out = append(out, rec)
+		}
+	}
+	sortRecords(out)
+	return out
+}
+
+func sortRecords(recs []*Record) {
+	sort.Slice(recs, func(i, j int) bool { return recs[i].ID < recs[j].ID })
+}
+
+// SRT is the Subscription Routing Table: it stores advertisements with
+// their last hops and answers "which advertisements does this subscription
+// intersect?" to decide where subscriptions are forwarded.
+type SRT struct {
+	t *table
+}
+
+// NewSRT returns an empty SRT.
+func NewSRT() *SRT { return &SRT{t: newTable()} }
+
+// Insert adds an advertisement record.
+func (s *SRT) Insert(id message.AdvID, client message.ClientID, f *predicate.Filter, lastHop message.NodeID) {
+	s.t.Insert(&Record{ID: string(id), Client: client, Filter: f, LastHop: lastHop})
+}
+
+// Remove deletes the advertisement, returning its record (nil if absent).
+func (s *SRT) Remove(id message.AdvID) *Record { return s.t.Remove(string(id)) }
+
+// Get returns the advertisement record, or nil.
+func (s *SRT) Get(id message.AdvID) *Record { return s.t.Get(string(id)) }
+
+// SetLastHop rewires the advertisement's last hop (used by the hop-by-hop
+// reconfiguration protocol).
+func (s *SRT) SetLastHop(id message.AdvID, hop message.NodeID) bool {
+	return s.t.SetLastHop(string(id), hop)
+}
+
+// Len returns the number of advertisements.
+func (s *SRT) Len() int { return s.t.Len() }
+
+// All returns every advertisement sorted by ID.
+func (s *SRT) All() []*Record { return s.t.All() }
+
+// Intersecting returns advertisements intersecting the subscription filter.
+func (s *SRT) Intersecting(sub *predicate.Filter) []*Record { return s.t.Intersecting(sub) }
+
+// Covering returns advertisements covering f, excluding id.
+func (s *SRT) Covering(f *predicate.Filter, exclude message.AdvID) []*Record {
+	return s.t.Covering(f, string(exclude))
+}
+
+// CoveredBy returns advertisements covered by f, excluding id.
+func (s *SRT) CoveredBy(f *predicate.Filter, exclude message.AdvID) []*Record {
+	return s.t.CoveredBy(f, string(exclude))
+}
+
+// ByClient returns advertisements installed by the client.
+func (s *SRT) ByClient(c message.ClientID) []*Record { return s.t.ByClient(c) }
+
+// Match returns advertisements matching a publication; a publication is
+// valid only if the issuing publisher advertised it.
+func (s *SRT) Match(e predicate.Event) []*Record { return s.t.Match(e) }
+
+// PRT is the Publication Routing Table: it stores subscriptions with their
+// last hops and answers "which subscriptions match this publication?" to
+// route publications hop-by-hop toward subscribers.
+type PRT struct {
+	t *table
+}
+
+// NewPRT returns an empty PRT.
+func NewPRT() *PRT { return &PRT{t: newTable()} }
+
+// Insert adds a subscription record.
+func (p *PRT) Insert(id message.SubID, client message.ClientID, f *predicate.Filter, lastHop message.NodeID) {
+	p.t.Insert(&Record{ID: string(id), Client: client, Filter: f, LastHop: lastHop})
+}
+
+// Remove deletes the subscription, returning its record (nil if absent).
+func (p *PRT) Remove(id message.SubID) *Record { return p.t.Remove(string(id)) }
+
+// Get returns the subscription record, or nil.
+func (p *PRT) Get(id message.SubID) *Record { return p.t.Get(string(id)) }
+
+// SetLastHop rewires the subscription's last hop (used by the hop-by-hop
+// reconfiguration protocol).
+func (p *PRT) SetLastHop(id message.SubID, hop message.NodeID) bool {
+	return p.t.SetLastHop(string(id), hop)
+}
+
+// Len returns the number of subscriptions.
+func (p *PRT) Len() int { return p.t.Len() }
+
+// All returns every subscription sorted by ID.
+func (p *PRT) All() []*Record { return p.t.All() }
+
+// Match returns subscriptions matching the publication.
+func (p *PRT) Match(e predicate.Event) []*Record { return p.t.Match(e) }
+
+// Intersecting returns subscriptions intersecting the advertisement filter.
+func (p *PRT) Intersecting(adv *predicate.Filter) []*Record { return p.t.Intersecting(adv) }
+
+// Covering returns subscriptions covering f, excluding id.
+func (p *PRT) Covering(f *predicate.Filter, exclude message.SubID) []*Record {
+	return p.t.Covering(f, string(exclude))
+}
+
+// CoveredBy returns subscriptions covered by f, excluding id.
+func (p *PRT) CoveredBy(f *predicate.Filter, exclude message.SubID) []*Record {
+	return p.t.CoveredBy(f, string(exclude))
+}
+
+// ByClient returns subscriptions installed by the client.
+func (p *PRT) ByClient(c message.ClientID) []*Record { return p.t.ByClient(c) }

@@ -1,0 +1,265 @@
+package matching
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"padres/internal/message"
+	"padres/internal/predicate"
+)
+
+func TestPRTInsertRemove(t *testing.T) {
+	prt := NewPRT()
+	f := predicate.MustParse("[x,>,5]")
+	prt.Insert("s1", "c1", f, "b2")
+	if prt.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", prt.Len())
+	}
+	rec := prt.Get("s1")
+	if rec == nil || rec.Client != "c1" || rec.LastHop != "b2" {
+		t.Fatalf("Get returned %+v", rec)
+	}
+	removed := prt.Remove("s1")
+	if removed == nil || removed.ID != "s1" {
+		t.Fatalf("Remove returned %+v", removed)
+	}
+	if prt.Len() != 0 {
+		t.Fatalf("Len after remove = %d", prt.Len())
+	}
+	if prt.Remove("s1") != nil {
+		t.Error("second Remove should return nil")
+	}
+	if prt.Get("s1") != nil {
+		t.Error("Get after remove should return nil")
+	}
+}
+
+func TestPRTInsertReplaces(t *testing.T) {
+	prt := NewPRT()
+	prt.Insert("s1", "c1", predicate.MustParse("[x,>,5]"), "b2")
+	prt.Insert("s1", "c1", predicate.MustParse("[y,<,3]"), "b3")
+	if prt.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 after replace", prt.Len())
+	}
+	// The index must not retain the old filter's attributes.
+	matches := prt.Match(predicate.Event{"x": predicate.Number(10)})
+	if len(matches) != 0 {
+		t.Errorf("old filter still matching after replace: %v", matches)
+	}
+	matches = prt.Match(predicate.Event{"y": predicate.Number(1)})
+	if len(matches) != 1 || matches[0].LastHop != "b3" {
+		t.Errorf("new filter not matching after replace: %v", matches)
+	}
+}
+
+func TestPRTMatchCounting(t *testing.T) {
+	prt := NewPRT()
+	prt.Insert("s1", "c1", predicate.MustParse("[class,=,'stock']"), "b1")
+	prt.Insert("s2", "c2", predicate.MustParse("[class,=,'stock'],[price,>,100]"), "b2")
+	prt.Insert("s3", "c3", predicate.MustParse("[class,=,'bond']"), "b3")
+	prt.Insert("s4", "c4", predicate.MustParse("[volume,>,0]"), "b4")
+
+	e := predicate.MustParseEvent("[class,'stock'],[price,150]")
+	got := prt.Match(e)
+	ids := make([]string, len(got))
+	for i, r := range got {
+		ids[i] = r.ID
+	}
+	want := []string{"s1", "s2"}
+	if len(ids) != len(want) {
+		t.Fatalf("Match = %v, want %v", ids, want)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("Match = %v, want %v (sorted)", ids, want)
+		}
+	}
+
+	// Partial satisfaction must not match: s2 needs both attributes.
+	e2 := predicate.MustParseEvent("[class,'stock'],[price,50]")
+	got2 := prt.Match(e2)
+	if len(got2) != 1 || got2[0].ID != "s1" {
+		t.Errorf("Match with low price = %v, want only s1", got2)
+	}
+}
+
+func TestSRTIntersecting(t *testing.T) {
+	srt := NewSRT()
+	srt.Insert("a1", "p1", predicate.MustParse("[class,=,'stock'],[price,>,0]"), "b1")
+	srt.Insert("a2", "p2", predicate.MustParse("[class,=,'bond']"), "b2")
+
+	sub := predicate.MustParse("[class,=,'stock'],[price,>,100]")
+	got := srt.Intersecting(sub)
+	if len(got) != 1 || got[0].ID != "a1" {
+		t.Fatalf("Intersecting = %v, want [a1]", got)
+	}
+}
+
+func TestCoveringQueries(t *testing.T) {
+	prt := NewPRT()
+	root := predicate.MustParse("[x,>,0]")
+	mid := predicate.MustParse("[x,>,5]")
+	leaf := predicate.MustParse("[x,>,10]")
+	prt.Insert("root", "c1", root, "b1")
+	prt.Insert("mid", "c2", mid, "b1")
+	prt.Insert("leaf", "c3", leaf, "b1")
+
+	cov := prt.Covering(leaf, "leaf")
+	if len(cov) != 2 {
+		t.Fatalf("Covering(leaf) = %d records, want 2", len(cov))
+	}
+	covBy := prt.CoveredBy(root, "root")
+	if len(covBy) != 2 {
+		t.Fatalf("CoveredBy(root) = %d records, want 2", len(covBy))
+	}
+	if got := prt.Covering(root, "root"); len(got) != 0 {
+		t.Errorf("Covering(root) = %v, want none", got)
+	}
+}
+
+func TestByClient(t *testing.T) {
+	srt := NewSRT()
+	srt.Insert("a1", "c1", predicate.MustParse("[x,>,0]"), "b1")
+	srt.Insert("a2", "c1", predicate.MustParse("[y,>,0]"), "b1")
+	srt.Insert("a3", "c2", predicate.MustParse("[z,>,0]"), "b1")
+	got := srt.ByClient("c1")
+	if len(got) != 2 {
+		t.Fatalf("ByClient(c1) = %d records, want 2", len(got))
+	}
+	if got[0].ID != "a1" || got[1].ID != "a2" {
+		t.Errorf("ByClient not sorted: %v, %v", got[0].ID, got[1].ID)
+	}
+}
+
+func TestSetLastHop(t *testing.T) {
+	prt := NewPRT()
+	prt.Insert("s1", "c1", predicate.MustParse("[x,>,0]"), "b1")
+	if !prt.SetLastHop("s1", "b9") {
+		t.Fatal("SetLastHop returned false for existing record")
+	}
+	if prt.Get("s1").LastHop != "b9" {
+		t.Errorf("LastHop = %v, want b9", prt.Get("s1").LastHop)
+	}
+	if prt.SetLastHop("nope", "b9") {
+		t.Error("SetLastHop returned true for missing record")
+	}
+}
+
+func TestSRTMatchValidatesPublications(t *testing.T) {
+	srt := NewSRT()
+	srt.Insert("a1", "p1", predicate.MustParse("[class,=,'stock']"), "b1")
+	if len(srt.Match(predicate.MustParseEvent("[class,'stock'],[price,1]"))) != 1 {
+		t.Error("publication should match its advertisement")
+	}
+	if len(srt.Match(predicate.MustParseEvent("[class,'bond']"))) != 0 {
+		t.Error("unadvertised publication should not match")
+	}
+}
+
+// TestPropertyCountingMatchesBruteForce cross-checks the counting index
+// against a brute-force scan on random tables and events.
+func TestPropertyCountingMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	attrs := []string{"a", "b", "c", "d"}
+	randFilter := func() *predicate.Filter {
+		for {
+			n := r.Intn(3) + 1
+			preds := make([]predicate.Predicate, 0, n)
+			for i := 0; i < n; i++ {
+				attr := attrs[r.Intn(len(attrs))]
+				lo := float64(r.Intn(10))
+				preds = append(preds, predicate.Predicate{
+					Attr: attr, Op: predicate.OpGt, Value: predicate.Number(lo),
+				})
+			}
+			if f, err := predicate.NewFilter(preds...); err == nil {
+				return f
+			}
+		}
+	}
+	for trial := 0; trial < 50; trial++ {
+		prt := NewPRT()
+		var filters []*predicate.Filter
+		for i := 0; i < 20; i++ {
+			f := randFilter()
+			filters = append(filters, f)
+			prt.Insert(message.SubID(fmt.Sprintf("s%02d", i)), "c", f, "b")
+		}
+		for j := 0; j < 20; j++ {
+			e := make(predicate.Event)
+			for _, a := range attrs {
+				if r.Intn(3) > 0 {
+					e[a] = predicate.Number(float64(r.Intn(12)))
+				}
+			}
+			if len(e) == 0 {
+				continue
+			}
+			got := prt.Match(e)
+			gotSet := make(map[string]bool, len(got))
+			for _, rec := range got {
+				gotSet[rec.ID] = true
+			}
+			for i, f := range filters {
+				id := fmt.Sprintf("s%02d", i)
+				if f.Matches(e) != gotSet[id] {
+					t.Fatalf("counting mismatch for %s on %s: brute=%v index=%v",
+						f, e, f.Matches(e), gotSet[id])
+				}
+			}
+		}
+	}
+}
+
+// TestQuickInsertRemoveInvariant uses testing/quick to verify that any
+// sequence of inserts and removes leaves Len consistent with the live IDs.
+func TestQuickInsertRemoveInvariant(t *testing.T) {
+	f := func(ops []uint8) bool {
+		prt := NewPRT()
+		live := make(map[message.SubID]bool)
+		filter := predicate.MustParse("[x,>,0]")
+		for _, op := range ops {
+			id := message.SubID(fmt.Sprintf("s%d", op%16))
+			if op%2 == 0 {
+				prt.Insert(id, "c", filter, "b")
+				live[id] = true
+			} else {
+				prt.Remove(id)
+				delete(live, id)
+			}
+		}
+		if prt.Len() != len(live) {
+			return false
+		}
+		for id := range live {
+			if prt.Get(id) == nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	prt := NewPRT()
+	filter := predicate.MustParse("[x,>,0]")
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 500; i++ {
+			prt.Insert(message.SubID(fmt.Sprintf("s%d", i%10)), "c", filter, "b")
+			prt.Remove(message.SubID(fmt.Sprintf("s%d", (i+5)%10)))
+		}
+	}()
+	e := predicate.Event{"x": predicate.Number(1)}
+	for i := 0; i < 500; i++ {
+		prt.Match(e)
+		prt.All()
+	}
+	<-done
+}

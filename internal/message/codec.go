@@ -1,0 +1,90 @@
+package message
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// Envelope frames a message for the wire together with the sending node,
+// which the receiver uses as the message's last hop.
+type Envelope struct {
+	From NodeID
+	Msg  Message
+}
+
+// RegisterGobTypes registers all concrete message types with the standard
+// library's global gob registry. Encoder/Decoder call it implicitly; other
+// packages embedding Message values in their own gob streams (e.g. the
+// client stub's state serialization) call it explicitly.
+func RegisterGobTypes() { registerGob() }
+
+// registerGob registers all concrete message types with a gob registry.
+func registerGob() {
+	gob.Register(Advertise{})
+	gob.Register(Unadvertise{})
+	gob.Register(Subscribe{})
+	gob.Register(Unsubscribe{})
+	gob.Register(Publish{})
+	gob.Register(MoveNegotiate{})
+	gob.Register(MoveApprove{})
+	gob.Register(MoveReject{})
+	gob.Register(MoveState{})
+	gob.Register(MoveAck{})
+	gob.Register(MoveAbort{})
+}
+
+// Encoder writes envelopes to a stream using gob with length framing
+// implicit in gob's own stream format.
+type Encoder struct {
+	enc *gob.Encoder
+}
+
+// NewEncoder returns an Encoder writing to w.
+func NewEncoder(w io.Writer) *Encoder {
+	registerGob()
+	return &Encoder{enc: gob.NewEncoder(w)}
+}
+
+// Encode writes one envelope.
+func (e *Encoder) Encode(env Envelope) error {
+	if err := e.enc.Encode(&env); err != nil {
+		return fmt.Errorf("encode %s: %w", env.Msg.Kind(), err)
+	}
+	return nil
+}
+
+// Decoder reads envelopes from a stream.
+type Decoder struct {
+	dec *gob.Decoder
+}
+
+// NewDecoder returns a Decoder reading from r.
+func NewDecoder(r io.Reader) *Decoder {
+	registerGob()
+	return &Decoder{dec: gob.NewDecoder(r)}
+}
+
+// Decode reads one envelope. It returns io.EOF when the stream ends.
+func (d *Decoder) Decode() (Envelope, error) {
+	var env Envelope
+	if err := d.dec.Decode(&env); err != nil {
+		return Envelope{}, err
+	}
+	return env, nil
+}
+
+// Marshal serializes one envelope to bytes; the inverse of Unmarshal.
+func Marshal(env Envelope) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := NewEncoder(&buf).Encode(env); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Unmarshal deserializes one envelope from bytes.
+func Unmarshal(data []byte) (Envelope, error) {
+	return NewDecoder(bytes.NewReader(data)).Decode()
+}

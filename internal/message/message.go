@@ -1,0 +1,312 @@
+// Package message defines the wire-level message model of the pub/sub
+// system: identifiers, the routing messages (advertise, subscribe, publish
+// and their retractions), and the movement-transaction control messages
+// exchanged by mobile-client coordinators (messages (1)-(5) of the paper's
+// Fig. 3 plus abort).
+//
+// Every message implements the Message interface. Routing messages carry an
+// optional Tag naming the movement transaction that caused them; the tag is
+// inherited by covering-induced cascades so that the harness can detect when
+// the propagation triggered by an end-to-end movement has quiesced.
+package message
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"padres/internal/predicate"
+)
+
+// Identifier types. All are strings so that they serialize trivially and
+// appear readable in traces.
+type (
+	// BrokerID identifies a broker in the overlay.
+	BrokerID string
+	// ClientID identifies a pub/sub client.
+	ClientID string
+	// NodeID identifies any transport endpoint (broker or client).
+	NodeID string
+	// SubID identifies a subscription.
+	SubID string
+	// AdvID identifies an advertisement.
+	AdvID string
+	// PubID identifies a publication.
+	PubID string
+	// TxID identifies a movement transaction.
+	TxID string
+)
+
+// Node converts a broker ID to its transport node ID.
+func (b BrokerID) Node() NodeID { return NodeID(b) }
+
+// Node converts a client ID to its transport node ID.
+func (c ClientID) Node() NodeID { return NodeID(c) }
+
+// ClientNode returns the location-qualified transport node ID of a client
+// attached at the given broker. Qualified identities let the source and
+// target copies of a moving client coexist (and both receive notifications)
+// during a movement transaction's dual-configuration window.
+func ClientNode(c ClientID, b BrokerID) NodeID {
+	return NodeID(string(c) + "@" + string(b))
+}
+
+// Kind discriminates message types.
+type Kind int
+
+// Message kinds. Routing messages come first, then the movement control
+// messages of the client-movement protocol.
+const (
+	KindAdvertise Kind = iota + 1
+	KindUnadvertise
+	KindSubscribe
+	KindUnsubscribe
+	KindPublish
+	KindMoveNegotiate
+	KindMoveApprove
+	KindMoveReject
+	KindMoveState
+	KindMoveAck
+	KindMoveAbort
+)
+
+var kindNames = map[Kind]string{
+	KindAdvertise:     "advertise",
+	KindUnadvertise:   "unadvertise",
+	KindSubscribe:     "subscribe",
+	KindUnsubscribe:   "unsubscribe",
+	KindPublish:       "publish",
+	KindMoveNegotiate: "move-negotiate",
+	KindMoveApprove:   "move-approve",
+	KindMoveReject:    "move-reject",
+	KindMoveState:     "move-state",
+	KindMoveAck:       "move-ack",
+	KindMoveAbort:     "move-abort",
+}
+
+// String returns the kind name.
+func (k Kind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// IsControl reports whether the kind belongs to the movement protocol
+// rather than content-based routing.
+func (k Kind) IsControl() bool { return k >= KindMoveNegotiate }
+
+// Message is the interface implemented by everything that travels over
+// overlay links.
+type Message interface {
+	Kind() Kind
+	// Tag returns the movement transaction that caused this message, or ""
+	// for ordinary client-issued traffic.
+	Tag() TxID
+}
+
+// --- Routing messages ------------------------------------------------------
+
+// Advertise announces the publications a client will issue.
+type Advertise struct {
+	ID     AdvID
+	Client ClientID
+	Filter *predicate.Filter
+	TxTag  TxID
+}
+
+// Unadvertise retracts an advertisement.
+type Unadvertise struct {
+	ID     AdvID
+	Client ClientID
+	TxTag  TxID
+}
+
+// Subscribe registers interest in publications matching Filter.
+type Subscribe struct {
+	ID     SubID
+	Client ClientID
+	Filter *predicate.Filter
+	TxTag  TxID
+}
+
+// Unsubscribe retracts a subscription.
+type Unsubscribe struct {
+	ID     SubID
+	Client ClientID
+	TxTag  TxID
+}
+
+// Publish carries a publication; the same structure is delivered to
+// subscribers as a notification.
+type Publish struct {
+	ID     PubID
+	Client ClientID
+	Event  predicate.Event
+	TxTag  TxID
+}
+
+// Kind implementations.
+func (Advertise) Kind() Kind   { return KindAdvertise }
+func (Unadvertise) Kind() Kind { return KindUnadvertise }
+func (Subscribe) Kind() Kind   { return KindSubscribe }
+func (Unsubscribe) Kind() Kind { return KindUnsubscribe }
+func (Publish) Kind() Kind     { return KindPublish }
+
+// Tag implementations.
+func (m Advertise) Tag() TxID   { return m.TxTag }
+func (m Unadvertise) Tag() TxID { return m.TxTag }
+func (m Subscribe) Tag() TxID   { return m.TxTag }
+func (m Unsubscribe) Tag() TxID { return m.TxTag }
+func (m Publish) Tag() TxID     { return m.TxTag }
+
+// --- Movement control messages --------------------------------------------
+
+// SubEntry is a subscription snapshot carried by movement messages.
+type SubEntry struct {
+	ID     SubID
+	Filter *predicate.Filter
+}
+
+// AdvEntry is an advertisement snapshot carried by movement messages.
+type AdvEntry struct {
+	ID     AdvID
+	Filter *predicate.Filter
+}
+
+// MoveHeader is the common header of all movement control messages.
+// Control messages are routed hop-by-hop through the overlay between the
+// source and target coordinators.
+type MoveHeader struct {
+	Tx     TxID
+	Client ClientID
+	Source BrokerID
+	Target BrokerID
+}
+
+// Tag returns the movement transaction ID; control messages are always
+// attributed to their transaction.
+func (h MoveHeader) Tag() TxID { return h.Tx }
+
+// MoveNegotiate is message (1): source asks target to accept the client,
+// carrying the client's subscriptions and advertisements.
+type MoveNegotiate struct {
+	MoveHeader
+	Subs []SubEntry
+	Advs []AdvEntry
+}
+
+// MoveApprove is message (2): target accepts. It travels hop-by-hop from
+// target to source; in the reconfiguration protocol each broker along the
+// path prepares the revised routing configuration as it forwards the
+// message.
+type MoveApprove struct {
+	MoveHeader
+	Subs []SubEntry
+	Advs []AdvEntry
+	// Reconfigure selects the hop-by-hop reconfiguration protocol; false
+	// selects the traditional end-to-end covering protocol in which the
+	// approve message performs no per-hop routing work.
+	Reconfigure bool
+}
+
+// MoveReject is message (3): target declines the client.
+type MoveReject struct {
+	MoveHeader
+	Reason string
+}
+
+// MoveState is message (4): source transfers the stopped client's state,
+// including publications buffered during the movement.
+type MoveState struct {
+	MoveHeader
+	Buffered []Publish
+	AppState []byte
+}
+
+// MoveAck is message (5): target confirms the client has started. In the
+// reconfiguration protocol it commits the transaction hop-by-hop, deleting
+// the old routing configuration as it travels back to the source.
+type MoveAck struct {
+	MoveHeader
+	Reconfigure bool
+}
+
+// MoveAbort rolls a prepared movement back. It travels along the path
+// deleting the revised routing configuration prepared by MoveApprove.
+type MoveAbort struct {
+	MoveHeader
+	// To is the broker the abort travels toward (the end opposite the
+	// originator); aborts can originate at either side.
+	To          BrokerID
+	Reason      string
+	Reconfigure bool
+}
+
+// Kind implementations for control messages.
+func (MoveNegotiate) Kind() Kind { return KindMoveNegotiate }
+func (MoveApprove) Kind() Kind   { return KindMoveApprove }
+func (MoveReject) Kind() Kind    { return KindMoveReject }
+func (MoveState) Kind() Kind     { return KindMoveState }
+func (MoveAck) Kind() Kind       { return KindMoveAck }
+func (MoveAbort) Kind() Kind     { return KindMoveAbort }
+
+// Dest returns the broker a control message is travelling toward.
+// Negotiate, state: source → target. Approve, reject, ack: target → source.
+// Abort is originated by either side toward the other, so the caller tracks
+// its destination explicitly; Dest reports the side opposite the origin
+// given by from.
+func Dest(m Message) (BrokerID, bool) {
+	switch c := m.(type) {
+	case MoveNegotiate:
+		return c.Target, true
+	case MoveState:
+		return c.Target, true
+	case MoveApprove:
+		return c.Source, true
+	case MoveReject:
+		return c.Source, true
+	case MoveAck:
+		return c.Source, true
+	default:
+		return "", false
+	}
+}
+
+// Interface compliance checks.
+var (
+	_ Message = Advertise{}
+	_ Message = Unadvertise{}
+	_ Message = Subscribe{}
+	_ Message = Unsubscribe{}
+	_ Message = Publish{}
+	_ Message = MoveNegotiate{}
+	_ Message = MoveApprove{}
+	_ Message = MoveReject{}
+	_ Message = MoveState{}
+	_ Message = MoveAck{}
+	_ Message = MoveAbort{}
+)
+
+// IDGen produces process-unique identifiers with a fixed prefix, e.g.
+// "c12-p37" for the 37th publication of client c12.
+type IDGen struct {
+	prefix string
+	n      atomic.Uint64
+}
+
+// NewIDGen returns a generator whose IDs start with prefix.
+func NewIDGen(prefix string) *IDGen {
+	return &IDGen{prefix: prefix}
+}
+
+// Next returns the next identifier with the given type letter.
+func (g *IDGen) Next(typ string) string {
+	return fmt.Sprintf("%s-%s%d", g.prefix, typ, g.n.Add(1))
+}
+
+// Count returns the number of identifiers issued so far.
+func (g *IDGen) Count() uint64 { return g.n.Load() }
+
+// SetCount fast-forwards the generator, so identifiers issued after a
+// deserialized restart do not collide with earlier ones.
+func (g *IDGen) SetCount(n uint64) { g.n.Store(n) }

@@ -1,0 +1,316 @@
+// Package metrics collects the three quantities the paper's evaluation
+// reports — network traffic (messages per overlay link), movement duration,
+// and movement throughput — plus the in-flight accounting the harness uses
+// to detect when the message propagation caused by a movement transaction
+// has quiesced (needed to time the end-to-end covering protocol, whose
+// (un)subscription cascades complete asynchronously).
+package metrics
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+
+	"padres/internal/message"
+)
+
+// LinkKey identifies a directed overlay link.
+type LinkKey struct {
+	From message.NodeID
+	To   message.NodeID
+}
+
+// Movement records one completed movement transaction.
+type Movement struct {
+	Tx        message.TxID
+	Client    message.ClientID
+	Source    message.BrokerID
+	Target    message.BrokerID
+	Protocol  string
+	Start     time.Time
+	End       time.Time
+	Committed bool
+}
+
+// Duration returns the movement's wall-clock duration.
+func (m Movement) Duration() time.Duration { return m.End.Sub(m.Start) }
+
+// Registry aggregates measurements for one experiment. All methods are safe
+// for concurrent use.
+type Registry struct {
+	mu        sync.Mutex
+	links     map[LinkKey]map[message.Kind]int64
+	movements []Movement
+
+	inflight int64
+	tags     map[message.TxID]*tagState
+	quiesced chan struct{} // closed when inflight hits 0; replaced on rise
+}
+
+type tagState struct {
+	count int64
+	done  chan struct{}
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	r := &Registry{
+		links: make(map[LinkKey]map[message.Kind]int64),
+		tags:  make(map[message.TxID]*tagState),
+	}
+	r.quiesced = closedChan()
+	return r
+}
+
+func closedChan() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}
+
+// CountSend records one message of the given kind sent over the directed
+// link from->to.
+func (r *Registry) CountSend(from, to message.NodeID, kind message.Kind) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key := LinkKey{From: from, To: to}
+	byKind, ok := r.links[key]
+	if !ok {
+		byKind = make(map[message.Kind]int64)
+		r.links[key] = byKind
+	}
+	byKind[kind]++
+}
+
+// TotalMessages returns the number of messages sent over all links since
+// the last Reset.
+func (r *Registry) TotalMessages() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var total int64
+	for _, byKind := range r.links {
+		for _, n := range byKind {
+			total += n
+		}
+	}
+	return total
+}
+
+// MessagesByKind returns totals per message kind.
+func (r *Registry) MessagesByKind() map[message.Kind]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[message.Kind]int64)
+	for _, byKind := range r.links {
+		for k, n := range byKind {
+			out[k] += n
+		}
+	}
+	return out
+}
+
+// LinkTraffic returns a copy of the full traffic matrix.
+func (r *Registry) LinkTraffic() map[LinkKey]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[LinkKey]int64, len(r.links))
+	for key, byKind := range r.links {
+		var n int64
+		for _, c := range byKind {
+			n += c
+		}
+		out[key] = n
+	}
+	return out
+}
+
+// ResetTraffic zeroes the traffic matrix (movement records are kept). Used
+// to exclude the setup phase from steady-state measurements, as the paper
+// does.
+func (r *Registry) ResetTraffic() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.links = make(map[LinkKey]map[message.Kind]int64)
+}
+
+// ResetMovements clears recorded movements.
+func (r *Registry) ResetMovements() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.movements = nil
+}
+
+// RecordMovement appends a completed movement transaction.
+func (r *Registry) RecordMovement(m Movement) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.movements = append(r.movements, m)
+}
+
+// Movements returns a copy of the recorded movements sorted by start time.
+func (r *Registry) Movements() []Movement {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Movement, len(r.movements))
+	copy(out, r.movements)
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}
+
+// MovementStats summarizes recorded movements.
+type MovementStats struct {
+	Count     int
+	Committed int
+	Mean      time.Duration
+	Min       time.Duration
+	Max       time.Duration
+	P95       time.Duration
+}
+
+// Stats computes summary statistics over committed movements recorded so
+// far. The zero MovementStats is returned when nothing was recorded.
+func (r *Registry) Stats() MovementStats {
+	moves := r.Movements()
+	var s MovementStats
+	s.Count = len(moves)
+	var durations []time.Duration
+	for _, m := range moves {
+		if !m.Committed {
+			continue
+		}
+		s.Committed++
+		durations = append(durations, m.Duration())
+	}
+	if len(durations) == 0 {
+		return s
+	}
+	sort.Slice(durations, func(i, j int) bool { return durations[i] < durations[j] })
+	var sum time.Duration
+	for _, d := range durations {
+		sum += d
+	}
+	s.Mean = sum / time.Duration(len(durations))
+	s.Min = durations[0]
+	s.Max = durations[len(durations)-1]
+	s.P95 = durations[(len(durations)-1)*95/100]
+	return s
+}
+
+// Throughput returns committed movements per second over the given window.
+func (r *Registry) Throughput(window time.Duration) float64 {
+	if window <= 0 {
+		return 0
+	}
+	s := r.Stats()
+	return float64(s.Committed) / window.Seconds()
+}
+
+// --- In-flight accounting --------------------------------------------------
+
+// MsgEnqueued records that a message entered the network (or a broker
+// queue). If the message carries a movement tag, the tag's outstanding
+// count rises too. Must be paired with MsgDone after the message has been
+// fully processed and any messages it caused have been enqueued.
+func (r *Registry) MsgEnqueued(m message.Message) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.inflight++
+	if r.inflight == 1 {
+		r.quiesced = make(chan struct{})
+	}
+	if tag := m.Tag(); tag != "" {
+		st, ok := r.tags[tag]
+		if !ok {
+			st = &tagState{done: make(chan struct{})}
+			r.tags[tag] = st
+		} else if st.count == 0 {
+			// Reopen: the tag went quiet and is active again.
+			select {
+			case <-st.done:
+				st.done = make(chan struct{})
+			default:
+			}
+		}
+		st.count++
+	}
+}
+
+// MsgDone records that a message finished processing. Any messages caused
+// by it must have been enqueued (MsgEnqueued) before MsgDone is called, so
+// counters can only reach zero at true quiescence.
+func (r *Registry) MsgDone(m message.Message) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.inflight--
+	if r.inflight == 0 {
+		close(r.quiesced)
+	}
+	if tag := m.Tag(); tag != "" {
+		st := r.tags[tag]
+		if st != nil {
+			st.count--
+			if st.count == 0 {
+				close(st.done)
+			}
+		}
+	}
+}
+
+// Inflight returns the number of messages currently in flight.
+func (r *Registry) Inflight() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.inflight
+}
+
+// AwaitTag blocks until no message tagged with tx is in flight, or the
+// context is cancelled. A tag that was never seen is already quiescent.
+func (r *Registry) AwaitTag(ctx context.Context, tx message.TxID) error {
+	for {
+		r.mu.Lock()
+		st, ok := r.tags[tx]
+		if !ok || st.count == 0 {
+			r.mu.Unlock()
+			return nil
+		}
+		done := st.done
+		r.mu.Unlock()
+		select {
+		case <-done:
+			// Loop: the tag may have been re-activated between the close
+			// and our wake-up.
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// AwaitQuiescent blocks until no message at all is in flight, re-checking
+// to tolerate momentary dips, or until the context is cancelled.
+func (r *Registry) AwaitQuiescent(ctx context.Context) error {
+	for {
+		r.mu.Lock()
+		if r.inflight == 0 {
+			r.mu.Unlock()
+			return nil
+		}
+		q := r.quiesced
+		r.mu.Unlock()
+		select {
+		case <-q:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// DropTag forgets a tag's state (used after a transaction fully completes
+// to bound memory in long experiments).
+func (r *Registry) DropTag(tx message.TxID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if st, ok := r.tags[tx]; ok && st.count == 0 {
+		delete(r.tags, tx)
+	}
+}

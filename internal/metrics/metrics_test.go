@@ -1,0 +1,190 @@
+package metrics
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"padres/internal/message"
+)
+
+func TestCountSendAndTotals(t *testing.T) {
+	r := NewRegistry()
+	r.CountSend("b1", "b2", message.KindPublish)
+	r.CountSend("b1", "b2", message.KindPublish)
+	r.CountSend("b2", "b1", message.KindSubscribe)
+	if got := r.TotalMessages(); got != 3 {
+		t.Fatalf("TotalMessages = %d, want 3", got)
+	}
+	byKind := r.MessagesByKind()
+	if byKind[message.KindPublish] != 2 || byKind[message.KindSubscribe] != 1 {
+		t.Errorf("MessagesByKind = %v", byKind)
+	}
+	traffic := r.LinkTraffic()
+	if traffic[LinkKey{From: "b1", To: "b2"}] != 2 {
+		t.Errorf("LinkTraffic = %v", traffic)
+	}
+	r.ResetTraffic()
+	if r.TotalMessages() != 0 {
+		t.Error("ResetTraffic did not zero counters")
+	}
+}
+
+func TestMovementStats(t *testing.T) {
+	r := NewRegistry()
+	base := time.Now()
+	for i, d := range []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 30 * time.Millisecond} {
+		r.RecordMovement(Movement{
+			Tx:        message.TxID(rune('a' + i)),
+			Start:     base.Add(time.Duration(i) * time.Second),
+			End:       base.Add(time.Duration(i)*time.Second + d),
+			Committed: true,
+		})
+	}
+	r.RecordMovement(Movement{Tx: "fail", Start: base, End: base.Add(time.Hour), Committed: false})
+
+	s := r.Stats()
+	if s.Count != 4 || s.Committed != 3 {
+		t.Fatalf("Count=%d Committed=%d", s.Count, s.Committed)
+	}
+	if s.Mean != 20*time.Millisecond {
+		t.Errorf("Mean = %v, want 20ms", s.Mean)
+	}
+	if s.Min != 10*time.Millisecond || s.Max != 30*time.Millisecond {
+		t.Errorf("Min/Max = %v/%v", s.Min, s.Max)
+	}
+	if got := r.Throughput(3 * time.Second); got != 1.0 {
+		t.Errorf("Throughput = %v, want 1.0", got)
+	}
+	moves := r.Movements()
+	if len(moves) != 4 || moves[0].Tx != "a" {
+		t.Errorf("Movements not sorted by start: %v", moves)
+	}
+	r.ResetMovements()
+	if len(r.Movements()) != 0 {
+		t.Error("ResetMovements did not clear")
+	}
+}
+
+func TestStatsEmpty(t *testing.T) {
+	r := NewRegistry()
+	s := r.Stats()
+	if s.Count != 0 || s.Mean != 0 {
+		t.Errorf("empty stats = %+v", s)
+	}
+	if r.Throughput(0) != 0 {
+		t.Error("Throughput with zero window should be 0")
+	}
+}
+
+func TestInflightTracking(t *testing.T) {
+	r := NewRegistry()
+	m := message.Publish{ID: "p1"}
+	r.MsgEnqueued(m)
+	if r.Inflight() != 1 {
+		t.Fatalf("Inflight = %d", r.Inflight())
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := r.AwaitQuiescent(ctx); err == nil {
+		t.Fatal("AwaitQuiescent returned while a message was in flight")
+	}
+	r.MsgDone(m)
+	ctx2, cancel2 := context.WithTimeout(context.Background(), time.Second)
+	defer cancel2()
+	if err := r.AwaitQuiescent(ctx2); err != nil {
+		t.Fatalf("AwaitQuiescent after done: %v", err)
+	}
+}
+
+func TestTagTermination(t *testing.T) {
+	r := NewRegistry()
+	tagged := message.Subscribe{ID: "s1", TxTag: "tx1"}
+	child := message.Subscribe{ID: "s2", TxTag: "tx1"}
+
+	r.MsgEnqueued(tagged)
+
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		done <- r.AwaitTag(ctx, "tx1")
+	}()
+
+	// Processing the first message spawns a child before completing; the
+	// tag must not be considered terminated in between.
+	time.Sleep(10 * time.Millisecond)
+	r.MsgEnqueued(child)
+	r.MsgDone(tagged)
+	select {
+	case err := <-done:
+		t.Fatalf("AwaitTag returned early: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	r.MsgDone(child)
+	if err := <-done; err != nil {
+		t.Fatalf("AwaitTag: %v", err)
+	}
+}
+
+func TestAwaitTagUnknownTag(t *testing.T) {
+	r := NewRegistry()
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if err := r.AwaitTag(ctx, "never-seen"); err != nil {
+		t.Fatalf("unknown tag should be quiescent: %v", err)
+	}
+}
+
+func TestTagReactivation(t *testing.T) {
+	r := NewRegistry()
+	m := message.Subscribe{ID: "s1", TxTag: "tx1"}
+	r.MsgEnqueued(m)
+	r.MsgDone(m)
+	// Tag goes quiet, then becomes active again.
+	r.MsgEnqueued(m)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := r.AwaitTag(ctx, "tx1"); err == nil {
+		t.Fatal("AwaitTag returned while reactivated tag in flight")
+	}
+	r.MsgDone(m)
+	ctx2, cancel2 := context.WithTimeout(context.Background(), time.Second)
+	defer cancel2()
+	if err := r.AwaitTag(ctx2, "tx1"); err != nil {
+		t.Fatalf("AwaitTag after final done: %v", err)
+	}
+	r.DropTag("tx1")
+}
+
+func TestConcurrentCounting(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	const workers = 8
+	const perWorker = 200
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m := message.Publish{ID: "p"}
+			for i := 0; i < perWorker; i++ {
+				r.CountSend("a", "b", message.KindPublish)
+				r.MsgEnqueued(m)
+				r.MsgDone(m)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.TotalMessages(); got != workers*perWorker {
+		t.Errorf("TotalMessages = %d, want %d", got, workers*perWorker)
+	}
+	if r.Inflight() != 0 {
+		t.Errorf("Inflight = %d, want 0", r.Inflight())
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := r.AwaitQuiescent(ctx); err != nil {
+		t.Fatalf("AwaitQuiescent: %v", err)
+	}
+}

@@ -1,0 +1,141 @@
+package overlay
+
+import (
+	"fmt"
+	"math/rand"
+
+	"padres/internal/message"
+)
+
+// BrokerName returns the canonical broker ID for index i (1-based), "b1".
+func BrokerName(i int) message.BrokerID {
+	return message.BrokerID(fmt.Sprintf("b%d", i))
+}
+
+// Default14 builds the paper's default 14-broker topology (Fig. 6): a
+// backbone b3-b4-b8-b12 with edge brokers b1, b2 attached to b3; b5 (with
+// leaves b6, b7) attached to b4; b9 (with leaves b10, b11) attached to b8;
+// and b13, b14 attached to b12. The movement endpoints used throughout the
+// evaluation, b1↔b13 and b2↔b14, are five hops apart.
+func Default14() *Topology {
+	t := New()
+	for i := 1; i <= 14; i++ {
+		mustAdd(t, BrokerName(i))
+	}
+	edges := [][2]int{
+		{1, 3}, {2, 3}, // west edge brokers
+		{3, 4}, {4, 8}, {8, 12}, // backbone
+		{5, 4}, {6, 5}, {7, 5}, // northwest subtree
+		{9, 8}, {10, 9}, {11, 9}, // northeast subtree
+		{13, 12}, {14, 12}, // east edge brokers
+	}
+	for _, e := range edges {
+		mustConnect(t, BrokerName(e[0]), BrokerName(e[1]))
+	}
+	return t
+}
+
+// Extended builds the Default14 topology grown to n >= 14 brokers for the
+// topology-size experiment (Fig. 13). Extra brokers attach alternately
+// under b5 and b9, off the movement paths, so path lengths between the
+// movement endpoints stay constant.
+func Extended(n int) (*Topology, error) {
+	if n < 14 {
+		return nil, fmt.Errorf("extended topology needs at least 14 brokers, got %d", n)
+	}
+	t := Default14()
+	anchors := []message.BrokerID{BrokerName(5), BrokerName(9), BrokerName(6), BrokerName(10)}
+	for i := 15; i <= n; i++ {
+		id := BrokerName(i)
+		mustAdd(t, id)
+		mustConnect(t, id, anchors[(i-15)%len(anchors)])
+	}
+	return t, nil
+}
+
+// Linear builds a chain b1-b2-...-bn.
+func Linear(n int) (*Topology, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("linear topology needs at least 1 broker, got %d", n)
+	}
+	t := New()
+	for i := 1; i <= n; i++ {
+		mustAdd(t, BrokerName(i))
+	}
+	for i := 1; i < n; i++ {
+		mustConnect(t, BrokerName(i), BrokerName(i+1))
+	}
+	return t, nil
+}
+
+// Star builds a hub b1 with n-1 leaves.
+func Star(n int) (*Topology, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("star topology needs at least 1 broker, got %d", n)
+	}
+	t := New()
+	for i := 1; i <= n; i++ {
+		mustAdd(t, BrokerName(i))
+	}
+	for i := 2; i <= n; i++ {
+		mustConnect(t, BrokerName(1), BrokerName(i))
+	}
+	return t, nil
+}
+
+// BalancedTree builds a rooted tree with the given fanout and depth
+// (depth 0 is a single broker).
+func BalancedTree(fanout, depth int) (*Topology, error) {
+	if fanout < 1 || depth < 0 {
+		return nil, fmt.Errorf("balanced tree needs fanout >= 1, depth >= 0")
+	}
+	t := New()
+	next := 1
+	mustAdd(t, BrokerName(next))
+	level := []message.BrokerID{BrokerName(next)}
+	next++
+	for d := 0; d < depth; d++ {
+		var nextLevel []message.BrokerID
+		for _, parent := range level {
+			for f := 0; f < fanout; f++ {
+				id := BrokerName(next)
+				next++
+				mustAdd(t, id)
+				mustConnect(t, parent, id)
+				nextLevel = append(nextLevel, id)
+			}
+		}
+		level = nextLevel
+	}
+	return t, nil
+}
+
+// RandomTree builds a uniformly random labelled tree over n brokers using
+// the given seed (random attachment).
+func RandomTree(n int, seed int64) (*Topology, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("random tree needs at least 1 broker, got %d", n)
+	}
+	t := New()
+	r := rand.New(rand.NewSource(seed))
+	mustAdd(t, BrokerName(1))
+	for i := 2; i <= n; i++ {
+		id := BrokerName(i)
+		mustAdd(t, id)
+		parent := BrokerName(r.Intn(i-1) + 1)
+		mustConnect(t, id, parent)
+	}
+	return t, nil
+}
+
+func mustAdd(t *Topology, id message.BrokerID) {
+	if err := t.AddBroker(id); err != nil {
+		panic(err)
+	}
+}
+
+func mustConnect(t *Topology, a, b message.BrokerID) {
+	if err := t.Connect(a, b); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,267 @@
+// Package overlay models the acyclic broker overlay network: the topology
+// graph, validation (connected, acyclic), unique-path computation between
+// brokers (RouteS2T in the paper), and next-hop routing tables used to
+// forward movement control messages hop-by-hop.
+package overlay
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"padres/internal/message"
+)
+
+// Errors reported by topology operations.
+var (
+	ErrDuplicateBroker = errors.New("broker already exists")
+	ErrUnknownBroker   = errors.New("unknown broker")
+	ErrDuplicateEdge   = errors.New("edge already exists")
+	ErrSelfLoop        = errors.New("self loop")
+	ErrCycle           = errors.New("edge would create a cycle")
+	ErrDisconnected    = errors.New("topology is not connected")
+	ErrNoPath          = errors.New("no path between brokers")
+)
+
+// Topology is an undirected acyclic graph of brokers. The zero value is not
+// usable; construct with New.
+type Topology struct {
+	neighbors map[message.BrokerID][]message.BrokerID
+}
+
+// New returns an empty topology.
+func New() *Topology {
+	return &Topology{neighbors: make(map[message.BrokerID][]message.BrokerID)}
+}
+
+// AddBroker registers a broker with no edges.
+func (t *Topology) AddBroker(id message.BrokerID) error {
+	if _, ok := t.neighbors[id]; ok {
+		return fmt.Errorf("%w: %s", ErrDuplicateBroker, id)
+	}
+	t.neighbors[id] = nil
+	return nil
+}
+
+// HasBroker reports whether the broker exists.
+func (t *Topology) HasBroker(id message.BrokerID) bool {
+	_, ok := t.neighbors[id]
+	return ok
+}
+
+// Connect adds an undirected edge. It fails if either broker is missing,
+// the edge exists, or the edge would close a cycle (the overlay must stay
+// acyclic for the hop-by-hop protocols to be correct).
+func (t *Topology) Connect(a, b message.BrokerID) error {
+	if a == b {
+		return fmt.Errorf("%w: %s", ErrSelfLoop, a)
+	}
+	if !t.HasBroker(a) {
+		return fmt.Errorf("%w: %s", ErrUnknownBroker, a)
+	}
+	if !t.HasBroker(b) {
+		return fmt.Errorf("%w: %s", ErrUnknownBroker, b)
+	}
+	for _, n := range t.neighbors[a] {
+		if n == b {
+			return fmt.Errorf("%w: %s-%s", ErrDuplicateEdge, a, b)
+		}
+	}
+	// a and b already connected through some path => adding the edge
+	// closes a cycle.
+	if p, _ := t.Path(a, b); p != nil {
+		return fmt.Errorf("%w: %s-%s", ErrCycle, a, b)
+	}
+	t.neighbors[a] = insertSorted(t.neighbors[a], b)
+	t.neighbors[b] = insertSorted(t.neighbors[b], a)
+	return nil
+}
+
+func insertSorted(list []message.BrokerID, id message.BrokerID) []message.BrokerID {
+	i := sort.Search(len(list), func(i int) bool { return list[i] >= id })
+	list = append(list, "")
+	copy(list[i+1:], list[i:])
+	list[i] = id
+	return list
+}
+
+// Neighbors returns the broker's neighbors in sorted order (copy).
+func (t *Topology) Neighbors(id message.BrokerID) []message.BrokerID {
+	src := t.neighbors[id]
+	out := make([]message.BrokerID, len(src))
+	copy(out, src)
+	return out
+}
+
+// Brokers returns all broker IDs in sorted order.
+func (t *Topology) Brokers() []message.BrokerID {
+	out := make([]message.BrokerID, 0, len(t.neighbors))
+	for id := range t.neighbors {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Len returns the number of brokers.
+func (t *Topology) Len() int { return len(t.neighbors) }
+
+// Validate checks that the topology is connected (acyclicity is enforced
+// edge by edge in Connect).
+func (t *Topology) Validate() error {
+	if len(t.neighbors) == 0 {
+		return nil
+	}
+	var start message.BrokerID
+	for id := range t.neighbors {
+		start = id
+		break
+	}
+	seen := map[message.BrokerID]bool{start: true}
+	queue := []message.BrokerID{start}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, n := range t.neighbors[cur] {
+			if !seen[n] {
+				seen[n] = true
+				queue = append(queue, n)
+			}
+		}
+	}
+	if len(seen) != len(t.neighbors) {
+		return fmt.Errorf("%w: reached %d of %d brokers", ErrDisconnected, len(seen), len(t.neighbors))
+	}
+	return nil
+}
+
+// Path returns the unique path from a to b inclusive, or ErrNoPath. In an
+// acyclic overlay the path is unique; this is RouteS2T when a is the source
+// and b the target of a movement.
+func (t *Topology) Path(a, b message.BrokerID) ([]message.BrokerID, error) {
+	if !t.HasBroker(a) {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownBroker, a)
+	}
+	if !t.HasBroker(b) {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownBroker, b)
+	}
+	if a == b {
+		return []message.BrokerID{a}, nil
+	}
+	parent := map[message.BrokerID]message.BrokerID{a: a}
+	queue := []message.BrokerID{a}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, n := range t.neighbors[cur] {
+			if _, ok := parent[n]; ok {
+				continue
+			}
+			parent[n] = cur
+			if n == b {
+				var path []message.BrokerID
+				for x := b; ; x = parent[x] {
+					path = append(path, x)
+					if x == a {
+						break
+					}
+				}
+				reverse(path)
+				return path, nil
+			}
+			queue = append(queue, n)
+		}
+	}
+	return nil, fmt.Errorf("%w: %s to %s", ErrNoPath, a, b)
+}
+
+func reverse(p []message.BrokerID) {
+	for i, j := 0, len(p)-1; i < j; i, j = i+1, j-1 {
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
+// NextHops returns, for the given broker, a map from every other broker to
+// the neighbor on the unique path toward it. Brokers use this table to
+// forward movement control messages.
+func (t *Topology) NextHops(from message.BrokerID) (map[message.BrokerID]message.BrokerID, error) {
+	if !t.HasBroker(from) {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownBroker, from)
+	}
+	hops := make(map[message.BrokerID]message.BrokerID, len(t.neighbors)-1)
+	// BFS from each neighbor claims the subtree behind it.
+	for _, n := range t.neighbors[from] {
+		seen := map[message.BrokerID]bool{from: true, n: true}
+		queue := []message.BrokerID{n}
+		hops[n] = n
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, nn := range t.neighbors[cur] {
+				if !seen[nn] {
+					seen[nn] = true
+					hops[nn] = n
+					queue = append(queue, nn)
+				}
+			}
+		}
+	}
+	return hops, nil
+}
+
+// Route describes the path between a movement's source and target brokers.
+type Route struct {
+	brokers []message.BrokerID
+	index   map[message.BrokerID]int
+}
+
+// NewRoute wraps a path as computed by Path.
+func NewRoute(path []message.BrokerID) *Route {
+	r := &Route{brokers: path, index: make(map[message.BrokerID]int, len(path))}
+	for i, b := range path {
+		r.index[b] = i
+	}
+	return r
+}
+
+// Contains reports whether the broker lies on the route.
+func (r *Route) Contains(b message.BrokerID) bool {
+	_, ok := r.index[b]
+	return ok
+}
+
+// Pre returns the predecessor of b on the route (toward the source);
+// ok is false at the source end or off the route.
+func (r *Route) Pre(b message.BrokerID) (message.BrokerID, bool) {
+	i, ok := r.index[b]
+	if !ok || i == 0 {
+		return "", false
+	}
+	return r.brokers[i-1], true
+}
+
+// Suc returns the successor of b on the route (toward the target);
+// ok is false at the target end or off the route.
+func (r *Route) Suc(b message.BrokerID) (message.BrokerID, bool) {
+	i, ok := r.index[b]
+	if !ok || i == len(r.brokers)-1 {
+		return "", false
+	}
+	return r.brokers[i+1], true
+}
+
+// Source returns the first broker of the route.
+func (r *Route) Source() message.BrokerID { return r.brokers[0] }
+
+// Target returns the last broker of the route.
+func (r *Route) Target() message.BrokerID { return r.brokers[len(r.brokers)-1] }
+
+// Brokers returns the route's brokers in order (copy).
+func (r *Route) Brokers() []message.BrokerID {
+	out := make([]message.BrokerID, len(r.brokers))
+	copy(out, r.brokers)
+	return out
+}
+
+// Len returns the number of brokers on the route.
+func (r *Route) Len() int { return len(r.brokers) }

@@ -1,0 +1,273 @@
+package overlay
+
+import (
+	"errors"
+	"testing"
+
+	"padres/internal/message"
+)
+
+func TestAddBrokerAndConnect(t *testing.T) {
+	top := New()
+	if err := top.AddBroker("b1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := top.AddBroker("b1"); !errors.Is(err, ErrDuplicateBroker) {
+		t.Errorf("duplicate add = %v, want ErrDuplicateBroker", err)
+	}
+	if err := top.AddBroker("b2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := top.Connect("b1", "b2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := top.Connect("b1", "b2"); !errors.Is(err, ErrDuplicateEdge) {
+		t.Errorf("duplicate edge = %v, want ErrDuplicateEdge", err)
+	}
+	if err := top.Connect("b1", "b1"); !errors.Is(err, ErrSelfLoop) {
+		t.Errorf("self loop = %v, want ErrSelfLoop", err)
+	}
+	if err := top.Connect("b1", "bx"); !errors.Is(err, ErrUnknownBroker) {
+		t.Errorf("unknown broker = %v, want ErrUnknownBroker", err)
+	}
+}
+
+func TestCycleRejected(t *testing.T) {
+	top := New()
+	for _, id := range []message.BrokerID{"b1", "b2", "b3"} {
+		if err := top.AddBroker(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := top.Connect("b1", "b2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := top.Connect("b2", "b3"); err != nil {
+		t.Fatal(err)
+	}
+	if err := top.Connect("b1", "b3"); !errors.Is(err, ErrCycle) {
+		t.Errorf("cycle edge = %v, want ErrCycle", err)
+	}
+}
+
+func TestValidateConnectivity(t *testing.T) {
+	top := New()
+	for _, id := range []message.BrokerID{"b1", "b2", "b3"} {
+		_ = top.AddBroker(id)
+	}
+	_ = top.Connect("b1", "b2")
+	if err := top.Validate(); !errors.Is(err, ErrDisconnected) {
+		t.Errorf("Validate = %v, want ErrDisconnected", err)
+	}
+	_ = top.Connect("b2", "b3")
+	if err := top.Validate(); err != nil {
+		t.Errorf("Validate = %v, want nil", err)
+	}
+}
+
+func TestPath(t *testing.T) {
+	top := Default14()
+	path, err := top.Path("b1", "b13")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []message.BrokerID{"b1", "b3", "b4", "b8", "b12", "b13"}
+	if len(path) != len(want) {
+		t.Fatalf("path = %v, want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+	self, err := top.Path("b5", "b5")
+	if err != nil || len(self) != 1 || self[0] != "b5" {
+		t.Errorf("self path = %v, %v", self, err)
+	}
+}
+
+func TestPathSymmetricLength(t *testing.T) {
+	top := Default14()
+	// The two movement corridors of the evaluation are the same length.
+	p1, _ := top.Path("b1", "b13")
+	p2, _ := top.Path("b2", "b14")
+	if len(p1) != len(p2) {
+		t.Errorf("corridor lengths differ: %d vs %d", len(p1), len(p2))
+	}
+}
+
+func TestNextHops(t *testing.T) {
+	top := Default14()
+	hops, err := top.NextHops("b1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hops) != 13 {
+		t.Fatalf("NextHops covers %d brokers, want 13", len(hops))
+	}
+	// Everything is behind b3 from b1's perspective.
+	for dest, hop := range hops {
+		if hop != "b3" {
+			t.Errorf("NextHops[b1][%s] = %s, want b3", dest, hop)
+		}
+	}
+	hops8, _ := top.NextHops("b8")
+	if hops8["b13"] != "b12" || hops8["b1"] != "b4" || hops8["b10"] != "b9" {
+		t.Errorf("NextHops(b8) wrong: %v", hops8)
+	}
+}
+
+func TestNextHopsConsistentWithPath(t *testing.T) {
+	top := Default14()
+	brokers := top.Brokers()
+	for _, from := range brokers {
+		hops, err := top.NextHops(from)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, to := range brokers {
+			if to == from {
+				continue
+			}
+			path, err := top.Path(from, to)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if hops[to] != path[1] {
+				t.Errorf("NextHops[%s][%s] = %s, path says %s", from, to, hops[to], path[1])
+			}
+		}
+	}
+}
+
+func TestRoute(t *testing.T) {
+	top := Default14()
+	path, _ := top.Path("b1", "b13")
+	r := NewRoute(path)
+	if r.Source() != "b1" || r.Target() != "b13" {
+		t.Fatalf("route endpoints %s..%s", r.Source(), r.Target())
+	}
+	if r.Len() != 6 {
+		t.Fatalf("route len = %d", r.Len())
+	}
+	if !r.Contains("b8") || r.Contains("b5") {
+		t.Error("Contains wrong")
+	}
+	pre, ok := r.Pre("b8")
+	if !ok || pre != "b4" {
+		t.Errorf("Pre(b8) = %s, %v", pre, ok)
+	}
+	suc, ok := r.Suc("b8")
+	if !ok || suc != "b12" {
+		t.Errorf("Suc(b8) = %s, %v", suc, ok)
+	}
+	if _, ok := r.Pre("b1"); ok {
+		t.Error("Pre(source) should not exist")
+	}
+	if _, ok := r.Suc("b13"); ok {
+		t.Error("Suc(target) should not exist")
+	}
+	if _, ok := r.Pre("b5"); ok {
+		t.Error("Pre(off-route) should not exist")
+	}
+}
+
+func TestDefault14Shape(t *testing.T) {
+	top := Default14()
+	if top.Len() != 14 {
+		t.Fatalf("Default14 has %d brokers", top.Len())
+	}
+	if err := top.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// A tree over n nodes has n-1 edges; count degrees.
+	deg := 0
+	for _, b := range top.Brokers() {
+		deg += len(top.Neighbors(b))
+	}
+	if deg != 2*(14-1) {
+		t.Errorf("degree sum = %d, want %d", deg, 2*13)
+	}
+}
+
+func TestBuilders(t *testing.T) {
+	tests := []struct {
+		name  string
+		build func() (*Topology, error)
+		n     int
+	}{
+		{"linear", func() (*Topology, error) { return Linear(5) }, 5},
+		{"star", func() (*Topology, error) { return Star(6) }, 6},
+		{"tree", func() (*Topology, error) { return BalancedTree(2, 3) }, 15},
+		{"random", func() (*Topology, error) { return RandomTree(20, 42) }, 20},
+		{"extended", func() (*Topology, error) { return Extended(26) }, 26},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			top, err := tt.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if top.Len() != tt.n {
+				t.Fatalf("%s has %d brokers, want %d", tt.name, top.Len(), tt.n)
+			}
+			if err := top.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	if _, err := Linear(0); err == nil {
+		t.Error("Linear(0) should fail")
+	}
+	if _, err := Star(0); err == nil {
+		t.Error("Star(0) should fail")
+	}
+	if _, err := BalancedTree(0, 1); err == nil {
+		t.Error("BalancedTree(0,1) should fail")
+	}
+	if _, err := RandomTree(0, 1); err == nil {
+		t.Error("RandomTree(0) should fail")
+	}
+	if _, err := Extended(10); err == nil {
+		t.Error("Extended(10) should fail")
+	}
+}
+
+func TestExtendedPreservesCorridors(t *testing.T) {
+	for _, n := range []int{14, 18, 22, 26} {
+		top, err := Extended(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p1, err := top.Path("b1", "b12")
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, err := top.Path("b2", "b14")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(p1) != 5 || len(p2) != 6 {
+			t.Errorf("n=%d corridor lengths changed: %d, %d", n, len(p1), len(p2))
+		}
+	}
+}
+
+func TestRandomTreeDeterministic(t *testing.T) {
+	t1, _ := RandomTree(15, 99)
+	t2, _ := RandomTree(15, 99)
+	for _, b := range t1.Brokers() {
+		n1, n2 := t1.Neighbors(b), t2.Neighbors(b)
+		if len(n1) != len(n2) {
+			t.Fatalf("seeded trees differ at %s", b)
+		}
+		for i := range n1 {
+			if n1[i] != n2[i] {
+				t.Fatalf("seeded trees differ at %s", b)
+			}
+		}
+	}
+}

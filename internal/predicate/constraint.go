@@ -1,0 +1,345 @@
+package predicate
+
+import "strings"
+
+// bound is one endpoint of a per-attribute interval. inf marks an unbounded
+// endpoint (-inf for lower bounds, +inf for upper bounds); open marks an
+// exclusive endpoint.
+type bound struct {
+	v    Value
+	open bool
+	inf  bool
+}
+
+// Constraint is the normalized form of all predicates on one attribute of a
+// filter: an interval over the attribute's value domain plus a finite set of
+// excluded points. A Constraint with kind 0 only requires the attribute to
+// be present (any value of any kind satisfies it).
+//
+// Normalization makes covering and intersection decisions exact: a numeric
+// prefix-free conjunction like (> 10) ∧ (<= 20) ∧ (<> 15) becomes the
+// interval (10, 20] minus {15}, and str-prefix 'ab' becomes the string
+// interval ['ab', 'ac').
+type Constraint struct {
+	kind  Kind // 0 = presence only
+	lo    bound
+	hi    bound
+	neq   []Value
+	empty bool // true if a kind conflict made the constraint unsatisfiable
+}
+
+// newConstraint returns the unbounded presence-only constraint.
+func newConstraint() *Constraint {
+	return &Constraint{lo: bound{inf: true}, hi: bound{inf: true}}
+}
+
+// setKind narrows the constraint to values of kind k. Conflicting kinds make
+// the constraint empty.
+func (c *Constraint) setKind(k Kind) {
+	switch c.kind {
+	case 0:
+		c.kind = k
+	case k:
+	default:
+		c.empty = true
+	}
+}
+
+// add tightens the constraint with one predicate. OpPresent is a no-op
+// (presence is implied by every constraint).
+func (c *Constraint) add(p Predicate) {
+	if p.Op == OpPresent {
+		return
+	}
+	c.setKind(p.Value.Kind())
+	if c.empty {
+		return
+	}
+	switch p.Op {
+	case OpEq:
+		c.tightenLo(bound{v: p.Value})
+		c.tightenHi(bound{v: p.Value})
+	case OpNeq:
+		c.addNeq(p.Value)
+	case OpLt:
+		c.tightenHi(bound{v: p.Value, open: true})
+	case OpLe:
+		c.tightenHi(bound{v: p.Value})
+	case OpGt:
+		c.tightenLo(bound{v: p.Value, open: true})
+	case OpGe:
+		c.tightenLo(bound{v: p.Value})
+	case OpPrefix:
+		c.tightenLo(bound{v: p.Value})
+		if succ, ok := stringSuccessor(p.Value.Str()); ok {
+			c.tightenHi(bound{v: String(succ), open: true})
+		}
+	}
+}
+
+func (c *Constraint) addNeq(v Value) {
+	for _, x := range c.neq {
+		if x.Equal(v) {
+			return
+		}
+	}
+	c.neq = append(c.neq, v)
+}
+
+// tightenLo replaces the lower bound if b is more restrictive.
+func (c *Constraint) tightenLo(b bound) {
+	if c.lo.inf {
+		c.lo = b
+		return
+	}
+	cmp, ok := b.v.Compare(c.lo.v)
+	if !ok {
+		c.empty = true // mixed kinds on one attribute
+		return
+	}
+	if cmp > 0 || (cmp == 0 && b.open && !c.lo.open) {
+		c.lo = b
+	}
+}
+
+// tightenHi replaces the upper bound if b is more restrictive.
+func (c *Constraint) tightenHi(b bound) {
+	if c.hi.inf {
+		c.hi = b
+		return
+	}
+	cmp, ok := b.v.Compare(c.hi.v)
+	if !ok {
+		c.empty = true
+		return
+	}
+	if cmp < 0 || (cmp == 0 && b.open && !c.hi.open) {
+		c.hi = b
+	}
+}
+
+// matches reports whether a publication value satisfies the constraint.
+func (c *Constraint) matches(v Value) bool {
+	if c.empty || !v.IsValid() {
+		return false
+	}
+	if c.kind == 0 {
+		return true
+	}
+	if v.Kind() != c.kind {
+		return false
+	}
+	if !c.lo.inf {
+		cmp, _ := v.Compare(c.lo.v)
+		if cmp < 0 || (cmp == 0 && c.lo.open) {
+			return false
+		}
+	}
+	if !c.hi.inf {
+		cmp, _ := v.Compare(c.hi.v)
+		if cmp > 0 || (cmp == 0 && c.hi.open) {
+			return false
+		}
+	}
+	for _, x := range c.neq {
+		if v.Equal(x) {
+			return false
+		}
+	}
+	return true
+}
+
+// satisfiable reports whether any value matches the constraint.
+func (c *Constraint) satisfiable() bool {
+	if c.empty {
+		return false
+	}
+	if c.kind == 0 || c.lo.inf || c.hi.inf {
+		// Unbounded on at least one side: infinitely many candidates, and
+		// only finitely many exclusions.
+		return true
+	}
+	cmp, ok := c.lo.v.Compare(c.hi.v)
+	if !ok {
+		return false
+	}
+	if cmp > 0 {
+		return false
+	}
+	if cmp == 0 {
+		return !c.lo.open && !c.hi.open && !c.excludes(c.lo.v)
+	}
+	switch c.kind {
+	case KindNumber:
+		// A non-degenerate real interval contains uncountably many points;
+		// the finite exclusion set cannot empty it.
+		return true
+	case KindString:
+		// The string order is not dense: successors of s are s+"\x00"^k.
+		// Probe the first len(neq)+1 candidates above the lower bound.
+		cand := c.lo.v.Str()
+		if c.lo.open {
+			cand += "\x00"
+		}
+		for i := 0; i <= len(c.neq); i++ {
+			v := String(cand)
+			if c.matches(v) {
+				return true
+			}
+			cand += "\x00"
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// excludes reports whether v is in the constraint's exclusion set.
+func (c *Constraint) excludes(v Value) bool {
+	for _, x := range c.neq {
+		if v.Equal(x) {
+			return true
+		}
+	}
+	return false
+}
+
+// loAllowsAllOf reports whether c's lower bound admits every value admitted
+// by o's lower bound (i.e. c's lower bound is no more restrictive).
+func (c *Constraint) loAllowsAllOf(o *Constraint) bool {
+	if c.lo.inf {
+		return true
+	}
+	if o.lo.inf {
+		return false
+	}
+	cmp, ok := c.lo.v.Compare(o.lo.v)
+	if !ok {
+		return false
+	}
+	if cmp != 0 {
+		return cmp < 0
+	}
+	return !c.lo.open || o.lo.open
+}
+
+// hiAllowsAllOf is the upper-bound analogue of loAllowsAllOf.
+func (c *Constraint) hiAllowsAllOf(o *Constraint) bool {
+	if c.hi.inf {
+		return true
+	}
+	if o.hi.inf {
+		return false
+	}
+	cmp, ok := c.hi.v.Compare(o.hi.v)
+	if !ok {
+		return false
+	}
+	if cmp != 0 {
+		return cmp > 0
+	}
+	return !c.hi.open || o.hi.open
+}
+
+// covers reports whether every value matching o also matches c.
+// An unsatisfiable o is covered by anything (vacuously).
+func (c *Constraint) covers(o *Constraint) bool {
+	if !o.satisfiable() {
+		return true
+	}
+	if c.empty {
+		return false
+	}
+	if c.kind == 0 {
+		return true // presence-only admits every valid value
+	}
+	if o.kind != c.kind {
+		// o admits values of another kind (or of any kind) that c rejects.
+		return false
+	}
+	if !c.loAllowsAllOf(o) || !c.hiAllowsAllOf(o) {
+		return false
+	}
+	// Every point c excludes must already be impossible under o.
+	for _, x := range c.neq {
+		if o.matches(x) {
+			return false
+		}
+	}
+	return true
+}
+
+// intersect returns the conjunction of two constraints on the same
+// attribute. The result may be unsatisfiable.
+func (c *Constraint) intersect(o *Constraint) *Constraint {
+	out := newConstraint()
+	out.empty = c.empty || o.empty
+	for _, src := range []*Constraint{c, o} {
+		if src.kind != 0 {
+			out.setKind(src.kind)
+		}
+		if out.empty {
+			return out
+		}
+		if !src.lo.inf {
+			out.tightenLo(src.lo)
+		}
+		if !src.hi.inf {
+			out.tightenHi(src.hi)
+		}
+		for _, x := range src.neq {
+			out.addNeq(x)
+		}
+	}
+	return out
+}
+
+// intersects reports whether some value satisfies both constraints.
+func (c *Constraint) intersects(o *Constraint) bool {
+	return c.intersect(o).satisfiable()
+}
+
+// stringSuccessor returns the smallest string greater than every string with
+// prefix p, i.e. the exclusive upper bound of the prefix interval [p, succ).
+// ok is false when no such string exists (p is all 0xFF bytes), in which
+// case the prefix interval is unbounded above.
+func stringSuccessor(p string) (succ string, ok bool) {
+	b := []byte(p)
+	for i := len(b) - 1; i >= 0; i-- {
+		if b[i] != 0xFF {
+			b[i]++
+			return string(b[:i+1]), true
+		}
+	}
+	return "", false
+}
+
+// describe renders the constraint for debugging.
+func (c *Constraint) describe() string {
+	if c.empty {
+		return "⊥"
+	}
+	if c.kind == 0 {
+		return "present"
+	}
+	var sb strings.Builder
+	if c.lo.inf {
+		sb.WriteString("(-inf")
+	} else if c.lo.open {
+		sb.WriteString("(" + c.lo.v.String())
+	} else {
+		sb.WriteString("[" + c.lo.v.String())
+	}
+	sb.WriteString(", ")
+	if c.hi.inf {
+		sb.WriteString("+inf)")
+	} else if c.hi.open {
+		sb.WriteString(c.hi.v.String() + ")")
+	} else {
+		sb.WriteString(c.hi.v.String() + "]")
+	}
+	for _, x := range c.neq {
+		sb.WriteString(" \\ " + x.String())
+	}
+	return sb.String()
+}

@@ -1,0 +1,202 @@
+package predicate
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a filter in the PADRES-style textual language: a comma
+// separated list of bracketed triples, e.g.
+//
+//	[class,=,'stock'],[symbol,str-prefix,'IB'],[price,>,100]
+//
+// Presence predicates omit the value: [volume,isPresent].
+func Parse(s string) (*Filter, error) {
+	items, err := splitBrackets(s)
+	if err != nil {
+		return nil, err
+	}
+	preds := make([]Predicate, 0, len(items))
+	for _, item := range items {
+		p, err := parsePredicate(item)
+		if err != nil {
+			return nil, err
+		}
+		preds = append(preds, p)
+	}
+	return NewFilter(preds...)
+}
+
+// MustParse is Parse that panics on error; for tests and static workloads.
+func MustParse(s string) *Filter {
+	f, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// ParseEvent reads a publication in the textual language: a comma separated
+// list of bracketed pairs, e.g. [class,'stock'],[price,120.5].
+func ParseEvent(s string) (Event, error) {
+	items, err := splitBrackets(s)
+	if err != nil {
+		return nil, err
+	}
+	e := make(Event, len(items))
+	for _, item := range items {
+		fields, err := splitFields(item)
+		if err != nil {
+			return nil, err
+		}
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("event pair %q: want [attr,value]", item)
+		}
+		v, err := parseValue(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("event pair %q: %w", item, err)
+		}
+		e[fields[0]] = v
+	}
+	if len(e) == 0 {
+		return nil, fmt.Errorf("empty event")
+	}
+	return e, nil
+}
+
+// MustParseEvent is ParseEvent that panics on error.
+func MustParseEvent(s string) Event {
+	e, err := ParseEvent(s)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+func parsePredicate(item string) (Predicate, error) {
+	fields, err := splitFields(item)
+	if err != nil {
+		return Predicate{}, err
+	}
+	switch len(fields) {
+	case 2:
+		op, err := ParseOp(fields[1])
+		if err != nil || op != OpPresent {
+			return Predicate{}, fmt.Errorf("predicate %q: two-field form requires isPresent", item)
+		}
+		return Predicate{Attr: fields[0], Op: OpPresent}, nil
+	case 3:
+		op, err := ParseOp(fields[1])
+		if err != nil {
+			return Predicate{}, fmt.Errorf("predicate %q: %w", item, err)
+		}
+		v, err := parseValue(fields[2])
+		if err != nil {
+			return Predicate{}, fmt.Errorf("predicate %q: %w", item, err)
+		}
+		return Predicate{Attr: fields[0], Op: op, Value: v}, nil
+	default:
+		return Predicate{}, fmt.Errorf("predicate %q: want [attr,op,value]", item)
+	}
+}
+
+func parseValue(s string) (Value, error) {
+	if len(s) >= 2 && s[0] == '\'' && s[len(s)-1] == '\'' {
+		body := s[1 : len(s)-1]
+		return String(strings.ReplaceAll(body, `\'`, "'")), nil
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return Value{}, fmt.Errorf("value %q is neither a quoted string nor a number", s)
+	}
+	return Number(f), nil
+}
+
+// splitBrackets splits "[a],[b],[c]" into the bracket bodies, respecting
+// quoted strings (which may contain brackets and commas).
+func splitBrackets(s string) ([]string, error) {
+	var items []string
+	i := 0
+	n := len(s)
+	for i < n {
+		// Skip separators and whitespace between items.
+		for i < n && (s[i] == ',' || s[i] == ' ' || s[i] == '\t' || s[i] == '\n') {
+			i++
+		}
+		if i >= n {
+			break
+		}
+		if s[i] != '[' {
+			return nil, fmt.Errorf("position %d: expected '[', got %q", i, s[i])
+		}
+		i++
+		start := i
+		inQuote := false
+		for i < n {
+			c := s[i]
+			if inQuote {
+				if c == '\\' && i+1 < n {
+					i += 2
+					continue
+				}
+				if c == '\'' {
+					inQuote = false
+				}
+			} else if c == '\'' {
+				inQuote = true
+			} else if c == ']' {
+				break
+			}
+			i++
+		}
+		if i >= n {
+			return nil, fmt.Errorf("unterminated bracket starting at %d", start-1)
+		}
+		items = append(items, s[start:i])
+		i++ // consume ']'
+	}
+	if len(items) == 0 {
+		return nil, fmt.Errorf("no bracketed items in %q", s)
+	}
+	return items, nil
+}
+
+// splitFields splits a bracket body on commas, respecting quoted strings,
+// and trims surrounding whitespace from each field.
+func splitFields(body string) ([]string, error) {
+	var fields []string
+	var cur strings.Builder
+	inQuote := false
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		switch {
+		case inQuote:
+			cur.WriteByte(c)
+			if c == '\\' && i+1 < len(body) {
+				i++
+				cur.WriteByte(body[i])
+			} else if c == '\'' {
+				inQuote = false
+			}
+		case c == '\'':
+			inQuote = true
+			cur.WriteByte(c)
+		case c == ',':
+			fields = append(fields, strings.TrimSpace(cur.String()))
+			cur.Reset()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	if inQuote {
+		return nil, fmt.Errorf("unterminated quote in %q", body)
+	}
+	fields = append(fields, strings.TrimSpace(cur.String()))
+	for _, f := range fields {
+		if f == "" {
+			return nil, fmt.Errorf("empty field in %q", body)
+		}
+	}
+	return fields, nil
+}

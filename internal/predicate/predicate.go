@@ -1,0 +1,151 @@
+package predicate
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Op is a predicate operator.
+type Op int
+
+// Supported operators. OpPresent constrains only the presence of an
+// attribute (any value of any kind); the ordering operators apply to both
+// kinds using each kind's natural order; OpPrefix applies to strings only.
+const (
+	OpEq Op = iota + 1
+	OpNeq
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpPrefix
+	OpPresent
+)
+
+var opNames = map[Op]string{
+	OpEq:      "=",
+	OpNeq:     "<>",
+	OpLt:      "<",
+	OpLe:      "<=",
+	OpGt:      ">",
+	OpGe:      ">=",
+	OpPrefix:  "str-prefix",
+	OpPresent: "isPresent",
+}
+
+var opByName = map[string]Op{
+	"=":          OpEq,
+	"eq":         OpEq,
+	"<>":         OpNeq,
+	"!=":         OpNeq,
+	"neq":        OpNeq,
+	"<":          OpLt,
+	"lt":         OpLt,
+	"<=":         OpLe,
+	"le":         OpLe,
+	">":          OpGt,
+	"gt":         OpGt,
+	">=":         OpGe,
+	"ge":         OpGe,
+	"str-prefix": OpPrefix,
+	"prefix":     OpPrefix,
+	"isPresent":  OpPresent,
+	"present":    OpPresent,
+}
+
+// String returns the canonical operator spelling.
+func (o Op) String() string {
+	if n, ok := opNames[o]; ok {
+		return n
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// ParseOp resolves an operator name (canonical or alias) to an Op.
+func ParseOp(s string) (Op, error) {
+	if op, ok := opByName[s]; ok {
+		return op, nil
+	}
+	return 0, fmt.Errorf("unknown operator %q", s)
+}
+
+// Valid reports whether the operator is one of the supported constants.
+func (o Op) Valid() bool { return o >= OpEq && o <= OpPresent }
+
+// Predicate is a single (attribute, operator, value) triple. For OpPresent
+// the Value field is ignored and may be the zero Value.
+type Predicate struct {
+	Attr  string `json:"attr"`
+	Op    Op     `json:"op"`
+	Value Value  `json:"value"`
+}
+
+// Errors reported by predicate validation.
+var (
+	ErrEmptyAttr     = errors.New("predicate has empty attribute name")
+	ErrInvalidOp     = errors.New("predicate has invalid operator")
+	ErrInvalidValue  = errors.New("predicate has invalid value")
+	ErrKindMismatch  = errors.New("operator is not applicable to value kind")
+	ErrUnsatisfiable = errors.New("filter is unsatisfiable")
+)
+
+// Validate checks structural validity of the predicate.
+func (p Predicate) Validate() error {
+	if p.Attr == "" {
+		return ErrEmptyAttr
+	}
+	if !p.Op.Valid() {
+		return fmt.Errorf("%w: attribute %q", ErrInvalidOp, p.Attr)
+	}
+	if p.Op == OpPresent {
+		return nil
+	}
+	if !p.Value.IsValid() {
+		return fmt.Errorf("%w: attribute %q", ErrInvalidValue, p.Attr)
+	}
+	if p.Op == OpPrefix && p.Value.Kind() != KindString {
+		return fmt.Errorf("%w: str-prefix on %s attribute %q", ErrKindMismatch, p.Value.Kind(), p.Attr)
+	}
+	return nil
+}
+
+// Matches reports whether a single value satisfies the predicate.
+func (p Predicate) Matches(v Value) bool {
+	switch p.Op {
+	case OpPresent:
+		return v.IsValid()
+	case OpEq:
+		return v.Equal(p.Value)
+	case OpNeq:
+		return v.Kind() == p.Value.Kind() && !v.Equal(p.Value)
+	case OpPrefix:
+		return v.Kind() == KindString && strings.HasPrefix(v.Str(), p.Value.Str())
+	case OpLt, OpLe, OpGt, OpGe:
+		cmp, ok := v.Compare(p.Value)
+		if !ok {
+			return false
+		}
+		switch p.Op {
+		case OpLt:
+			return cmp < 0
+		case OpLe:
+			return cmp <= 0
+		case OpGt:
+			return cmp > 0
+		default:
+			return cmp >= 0
+		}
+	default:
+		return false
+	}
+}
+
+// String renders the predicate in the textual language, e.g.
+// [price,>=,100] or [class,=,'stock'].
+func (p Predicate) String() string {
+	if p.Op == OpPresent {
+		return fmt.Sprintf("[%s,isPresent]", p.Attr)
+	}
+	return fmt.Sprintf("[%s,%s,%s]", p.Attr, p.Op, p.Value)
+}

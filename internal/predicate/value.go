@@ -1,0 +1,176 @@
+// Package predicate implements the PADRES content-based language model:
+// typed values, (attribute, operator, value) predicates, and conjunctive
+// filters with the match, covering, and intersection relations that drive
+// content-based routing.
+//
+// A subscription is a conjunction of predicates, an advertisement is a
+// conjunction of predicates describing the publications a publisher will
+// issue, and a publication is a set of (attribute, value) pairs. The three
+// relations exposed by this package are:
+//
+//   - Filter.Matches(Event): does a publication satisfy a subscription?
+//   - Filter.Covers(Filter): does every publication matching f2 match f1?
+//   - Intersects(sub, adv): can any publication match both?
+//
+// Covering and intersection are decided on a normalized per-attribute
+// constraint representation (numeric intervals with exclusions, and string
+// equality/prefix constraints), so they are exact for the supported
+// operator set rather than heuristic.
+package predicate
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind identifies the runtime type of a Value.
+type Kind int
+
+// Supported value kinds. Kinds start at one so that the zero Value is
+// recognizably invalid.
+const (
+	KindString Kind = iota + 1
+	KindNumber
+)
+
+// String returns a human-readable kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindString:
+		return "string"
+	case KindNumber:
+		return "number"
+	default:
+		return "invalid"
+	}
+}
+
+// Value is an immutable tagged union of the types that may appear in
+// publications and predicates. The zero Value is invalid.
+type Value struct {
+	// Exported for gob/json codecs; treat as read-only.
+	K   Kind    `json:"k"`
+	S   string  `json:"s,omitempty"`
+	Num float64 `json:"n,omitempty"`
+}
+
+// String constructs a string Value.
+func String(s string) Value { return Value{K: KindString, S: s} }
+
+// Number constructs a numeric Value.
+func Number(f float64) Value { return Value{K: KindNumber, Num: f} }
+
+// Int constructs a numeric Value from an integer.
+func Int(i int) Value { return Number(float64(i)) }
+
+// Kind reports the value's kind.
+func (v Value) Kind() Kind { return v.K }
+
+// IsValid reports whether the value was constructed by String or Number.
+func (v Value) IsValid() bool { return v.K == KindString || v.K == KindNumber }
+
+// Str returns the string payload. It is only meaningful for KindString.
+func (v Value) Str() string { return v.S }
+
+// Number64 returns the numeric payload. It is only meaningful for KindNumber.
+func (v Value) Number64() float64 { return v.Num }
+
+// Equal reports whether two values have the same kind and payload.
+func (v Value) Equal(o Value) bool {
+	if v.K != o.K {
+		return false
+	}
+	switch v.K {
+	case KindString:
+		return v.S == o.S
+	case KindNumber:
+		return v.Num == o.Num
+	default:
+		return true
+	}
+}
+
+// Compare orders two values of the same kind: -1 if v < o, 0 if equal,
+// +1 if v > o. Values of different kinds are incomparable and Compare
+// reports ok=false.
+func (v Value) Compare(o Value) (cmp int, ok bool) {
+	if v.K != o.K {
+		return 0, false
+	}
+	switch v.K {
+	case KindString:
+		return strings.Compare(v.S, o.S), true
+	case KindNumber:
+		switch {
+		case v.Num < o.Num:
+			return -1, true
+		case v.Num > o.Num:
+			return 1, true
+		default:
+			return 0, true
+		}
+	default:
+		return 0, false
+	}
+}
+
+// String renders the value in the textual predicate language: strings are
+// single-quoted, numbers use the shortest representation that round-trips.
+func (v Value) String() string {
+	switch v.K {
+	case KindString:
+		return "'" + strings.ReplaceAll(v.S, "'", `\'`) + "'"
+	case KindNumber:
+		if v.Num == math.Trunc(v.Num) && math.Abs(v.Num) < 1e15 {
+			return strconv.FormatInt(int64(v.Num), 10)
+		}
+		return strconv.FormatFloat(v.Num, 'g', -1, 64)
+	default:
+		return "<invalid>"
+	}
+}
+
+// Event is a publication payload: a set of attribute/value pairs.
+type Event map[string]Value
+
+// Clone returns an independent copy of the event.
+func (e Event) Clone() Event {
+	if e == nil {
+		return nil
+	}
+	out := make(Event, len(e))
+	for k, v := range e {
+		out[k] = v
+	}
+	return out
+}
+
+// String renders the event in the textual language, with attributes in
+// deterministic (sorted) order.
+func (e Event) String() string {
+	attrs := make([]string, 0, len(e))
+	for a := range e {
+		attrs = append(attrs, a)
+	}
+	sortStrings(attrs)
+	var b strings.Builder
+	for i, a := range attrs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "[%s,%s]", a, e[a])
+	}
+	return b.String()
+}
+
+// sortStrings is a tiny insertion sort to avoid importing sort in the hot
+// path packages; events are small (a handful of attributes).
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package transport
+
+import (
+	"math/rand"
+	"time"
+
+	"padres/internal/message"
+)
+
+// Profile assigns link options per overlay edge, modelling a deployment
+// environment.
+type Profile interface {
+	// LinkFor returns the options for the overlay edge a-b.
+	LinkFor(a, b message.BrokerID) LinkOptions
+	// ClientLink returns the options for a client access link at a broker.
+	ClientLink(broker message.BrokerID, client message.ClientID) LinkOptions
+	// Name identifies the profile in reports.
+	Name() string
+}
+
+// ClusterProfile models the paper's local data-centre testbed: uniform
+// low-latency links with negligible jitter.
+type ClusterProfile struct {
+	// Latency is the broker-broker link latency; the paper's cluster is a
+	// LAN, so ~1 ms is representative.
+	Latency time.Duration
+}
+
+// DefaultCluster returns the cluster profile used by the experiments.
+func DefaultCluster() *ClusterProfile {
+	return &ClusterProfile{Latency: time.Millisecond}
+}
+
+// LinkFor implements Profile.
+func (p *ClusterProfile) LinkFor(a, b message.BrokerID) LinkOptions {
+	return LinkOptions{Latency: p.Latency, CountTraffic: true}
+}
+
+// ClientLink implements Profile.
+func (p *ClusterProfile) ClientLink(message.BrokerID, message.ClientID) LinkOptions {
+	return LinkOptions{Latency: p.Latency / 4}
+}
+
+// Name implements Profile.
+func (p *ClusterProfile) Name() string { return "cluster" }
+
+// PlanetLabProfile models the wide-area testbed: heterogeneous per-link
+// base latencies drawn from [MinLatency, MaxLatency] with per-message
+// jitter, reproducing the paper's observation that wide-area latencies are
+// larger and more variable but preserve the protocols' relative ordering.
+type PlanetLabProfile struct {
+	MinLatency time.Duration
+	MaxLatency time.Duration
+	Jitter     time.Duration
+	Seed       int64
+}
+
+// DefaultPlanetLab returns the wide-area profile used by the experiments,
+// scaled so full experiments stay tractable in CI while keeping an order of
+// magnitude between cluster and wide-area latencies.
+func DefaultPlanetLab(seed int64) *PlanetLabProfile {
+	return &PlanetLabProfile{
+		MinLatency: 10 * time.Millisecond,
+		MaxLatency: 60 * time.Millisecond,
+		Jitter:     10 * time.Millisecond,
+		Seed:       seed,
+	}
+}
+
+// LinkFor implements Profile. The base latency for an edge is deterministic
+// in (Seed, a, b) so repeated builds of a topology agree.
+func (p *PlanetLabProfile) LinkFor(a, b message.BrokerID) LinkOptions {
+	r := rand.New(rand.NewSource(p.Seed ^ int64(hashNodes(a.Node(), b.Node()))))
+	span := int64(p.MaxLatency - p.MinLatency)
+	base := p.MinLatency
+	if span > 0 {
+		base += time.Duration(r.Int63n(span))
+	}
+	return LinkOptions{
+		Latency:      base,
+		Jitter:       p.Jitter,
+		Seed:         p.Seed,
+		CountTraffic: true,
+	}
+}
+
+// ClientLink implements Profile.
+func (p *PlanetLabProfile) ClientLink(message.BrokerID, message.ClientID) LinkOptions {
+	return LinkOptions{Latency: p.MinLatency / 2, Jitter: p.Jitter / 2, Seed: p.Seed}
+}
+
+// Name implements Profile.
+func (p *PlanetLabProfile) Name() string { return "planetlab" }
+
+// Interface compliance.
+var (
+	_ Profile = (*ClusterProfile)(nil)
+	_ Profile = (*PlanetLabProfile)(nil)
+)

@@ -1,0 +1,273 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"padres/internal/message"
+)
+
+// The TCP gateway bridges one broker's in-process Network to remote peers,
+// turning the library into a multi-process deployment: remote brokers
+// appear as proxy nodes whose handler writes to a socket, and inbound
+// envelopes are injected as if they had arrived over an in-process link.
+// Remote (stationary) clients connect the same way and receive their
+// notifications over the socket.
+
+// PeerKind labels a TCP connection's role in the handshake.
+type PeerKind string
+
+// Connection roles.
+const (
+	PeerBroker PeerKind = "broker"
+	PeerClient PeerKind = "client"
+)
+
+// Hello is the first frame on every connection: it identifies the dialing
+// node.
+type Hello struct {
+	Node message.NodeID
+	Kind PeerKind
+}
+
+// BrokerPort is the interface the gateway needs from the local broker; the
+// broker package's Broker satisfies it.
+type BrokerPort interface {
+	Inject(from message.NodeID, m message.Message)
+	AttachClient(n message.NodeID, deliver func(pub message.Publish))
+	DetachClient(n message.NodeID)
+}
+
+// GatewayConfig configures a TCP gateway.
+type GatewayConfig struct {
+	// Net is the broker's in-process network (for peer proxy registration
+	// and accounting).
+	Net *Network
+	// Local is the local broker's node ID.
+	Local message.NodeID
+	// Broker is the local broker the gateway feeds.
+	Broker BrokerPort
+	// Listen is the TCP listen address, e.g. ":7001".
+	Listen string
+}
+
+// Gateway bridges the local broker to TCP peers.
+type Gateway struct {
+	cfg GatewayConfig
+	ln  net.Listener
+
+	mu     sync.Mutex
+	peers  map[message.NodeID]*peerConn
+	closed bool
+	wg     sync.WaitGroup
+}
+
+type peerConn struct {
+	node message.NodeID
+	kind PeerKind
+	conn net.Conn
+	enc  *message.Encoder
+	mu   sync.Mutex
+}
+
+func (p *peerConn) write(env message.Envelope) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.enc.Encode(env)
+}
+
+// NewGateway starts listening and accepting connections.
+func NewGateway(cfg GatewayConfig) (*Gateway, error) {
+	ln, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("gateway listen: %w", err)
+	}
+	g := &Gateway{
+		cfg:   cfg,
+		ln:    ln,
+		peers: make(map[message.NodeID]*peerConn),
+	}
+	g.wg.Add(1)
+	go g.acceptLoop()
+	return g, nil
+}
+
+// Addr returns the gateway's bound address.
+func (g *Gateway) Addr() string { return g.ln.Addr().String() }
+
+// Close stops the listener and all peer connections.
+func (g *Gateway) Close() {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return
+	}
+	g.closed = true
+	peers := make([]*peerConn, 0, len(g.peers))
+	for _, p := range g.peers {
+		peers = append(peers, p)
+	}
+	g.mu.Unlock()
+	_ = g.ln.Close()
+	for _, p := range peers {
+		_ = p.conn.Close()
+	}
+	g.wg.Wait()
+}
+
+// DialPeer connects to a remote broker gateway and installs it as an
+// overlay neighbor proxy.
+func (g *Gateway) DialPeer(node message.NodeID, addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("dial peer %s: %w", node, err)
+	}
+	enc := message.NewEncoder(conn)
+	if err := enc.Encode(message.Envelope{From: g.cfg.Local, Msg: helloMsg(g.cfg.Local, PeerBroker)}); err != nil {
+		_ = conn.Close()
+		return fmt.Errorf("handshake with %s: %w", node, err)
+	}
+	g.installPeer(&peerConn{node: node, kind: PeerBroker, conn: conn, enc: enc})
+	return nil
+}
+
+// helloMsg encodes the handshake inside a MoveNegotiate frame so that no
+// extra wire type is needed: the Tx field carries the kind and the Client
+// field the node. It is consumed by the gateway layer and never reaches a
+// broker.
+func helloMsg(node message.NodeID, kind PeerKind) message.Message {
+	return message.MoveNegotiate{MoveHeader: message.MoveHeader{
+		Tx:     message.TxID("hello/" + string(kind)),
+		Client: message.ClientID(node),
+	}}
+}
+
+// ClientHello returns the handshake frame a remote client sends as its
+// first envelope on a broker connection.
+func ClientHello(node message.NodeID) message.Message {
+	return helloMsg(node, PeerClient)
+}
+
+func parseHello(env message.Envelope) (Hello, bool) {
+	nego, ok := env.Msg.(message.MoveNegotiate)
+	if !ok {
+		return Hello{}, false
+	}
+	switch nego.Tx {
+	case "hello/" + message.TxID(PeerBroker):
+		return Hello{Node: message.NodeID(nego.Client), Kind: PeerBroker}, true
+	case "hello/" + message.TxID(PeerClient):
+		return Hello{Node: message.NodeID(nego.Client), Kind: PeerClient}, true
+	default:
+		return Hello{}, false
+	}
+}
+
+func (g *Gateway) acceptLoop() {
+	defer g.wg.Done()
+	for {
+		conn, err := g.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		g.wg.Add(1)
+		go func() {
+			defer g.wg.Done()
+			g.handleInbound(conn)
+		}()
+	}
+}
+
+func (g *Gateway) handleInbound(conn net.Conn) {
+	dec := message.NewDecoder(conn)
+	env, err := dec.Decode()
+	if err != nil {
+		_ = conn.Close()
+		return
+	}
+	hello, ok := parseHello(env)
+	if !ok {
+		_ = conn.Close()
+		return
+	}
+	p := &peerConn{node: hello.Node, kind: hello.Kind, conn: conn, enc: message.NewEncoder(conn)}
+	g.installPeer(p)
+	g.readLoop(p, dec)
+}
+
+// installPeer wires a peer into the local network and starts its read loop
+// for dialled connections (accepted connections continue on the accepting
+// goroutine).
+func (g *Gateway) installPeer(p *peerConn) {
+	g.mu.Lock()
+	if old, ok := g.peers[p.node]; ok {
+		_ = old.conn.Close()
+	}
+	g.peers[p.node] = p
+	g.mu.Unlock()
+
+	switch p.kind {
+	case PeerBroker:
+		// Local sends to the peer's node ID are written to the socket.
+		g.cfg.Net.Register(p.node, func(env message.Envelope) {
+			defer g.cfg.Net.Done(env.Msg)
+			if err := p.write(env); err != nil {
+				g.dropPeer(p)
+			}
+		})
+		if !g.cfg.Net.HasLink(g.cfg.Local, p.node) {
+			_ = g.cfg.Net.AddLink(g.cfg.Local, p.node, LinkOptions{CountTraffic: true})
+		}
+	case PeerClient:
+		g.cfg.Broker.AttachClient(p.node, func(pub message.Publish) {
+			if err := p.write(message.Envelope{From: g.cfg.Local, Msg: pub}); err != nil {
+				g.dropPeer(p)
+			}
+		})
+	}
+}
+
+func (g *Gateway) dropPeer(p *peerConn) {
+	g.mu.Lock()
+	if g.peers[p.node] == p {
+		delete(g.peers, p.node)
+	}
+	g.mu.Unlock()
+	_ = p.conn.Close()
+	if p.kind == PeerClient {
+		g.cfg.Broker.DetachClient(p.node)
+	}
+}
+
+// readLoop injects inbound envelopes into the local broker.
+func (g *Gateway) readLoop(p *peerConn, dec *message.Decoder) {
+	defer g.dropPeer(p)
+	for {
+		env, err := dec.Decode()
+		if err != nil {
+			return
+		}
+		// The remote sender is the last hop, regardless of what the
+		// envelope claims.
+		g.cfg.Broker.Inject(p.node, env.Msg)
+	}
+}
+
+// StartPeerReader begins reading from a dialled peer connection. DialPeer
+// callers invoke this once after the handshake.
+func (g *Gateway) StartPeerReader(node message.NodeID) error {
+	g.mu.Lock()
+	p, ok := g.peers[node]
+	g.mu.Unlock()
+	if !ok {
+		return errors.New("unknown peer " + string(node))
+	}
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		g.readLoop(p, message.NewDecoder(p.conn))
+	}()
+	return nil
+}

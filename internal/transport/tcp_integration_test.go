@@ -1,0 +1,171 @@
+package transport_test
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"padres/internal/broker"
+	"padres/internal/message"
+	"padres/internal/metrics"
+	"padres/internal/overlay"
+	"padres/internal/predicate"
+	"padres/internal/transport"
+)
+
+// tcpBroker is one standalone broker process-equivalent: its own metrics
+// registry, its own in-process network, a broker, and a TCP gateway.
+type tcpBroker struct {
+	id  message.BrokerID
+	b   *broker.Broker
+	net *transport.Network
+	gw  *transport.Gateway
+}
+
+func startTCPBroker(t *testing.T, id message.BrokerID, top *overlay.Topology) *tcpBroker {
+	t.Helper()
+	reg := metrics.NewRegistry()
+	nw := transport.NewNetwork(reg)
+	hops, err := top.NextHops(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := broker.New(broker.Config{
+		ID:        id,
+		Net:       nw,
+		Neighbors: top.Neighbors(id),
+		NextHops:  hops,
+	})
+	b.Start()
+	gw, err := transport.NewGateway(transport.GatewayConfig{
+		Net:    nw,
+		Local:  id.Node(),
+		Broker: b,
+		Listen: "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := &tcpBroker{id: id, b: b, net: nw, gw: gw}
+	t.Cleanup(func() {
+		gw.Close()
+		b.Stop()
+		nw.Close()
+	})
+	return tb
+}
+
+// TestThreeBrokerTCPDeployment runs the full stack over real sockets: a
+// b1-b2-b3 chain of standalone brokers, a remote TCP subscriber at b3, and
+// a remote TCP publisher at b1.
+func TestThreeBrokerTCPDeployment(t *testing.T) {
+	top, err := overlay.Linear(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1 := startTCPBroker(t, "b1", top)
+	b2 := startTCPBroker(t, "b2", top)
+	b3 := startTCPBroker(t, "b3", top)
+
+	// Wire the chain: b2 dials both ends' gateways... no — b1 and b3 each
+	// dial b2, matching how operators would bring up a chain.
+	if err := b1.gw.DialPeer("b2", b2.gw.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := b1.gw.StartPeerReader("b2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b3.gw.DialPeer("b2", b2.gw.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := b3.gw.StartPeerReader("b2"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Remote subscriber connects to b3 over TCP.
+	subConn, err := net.Dial("tcp", b3.gw.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = subConn.Close() }()
+	subEnc := message.NewEncoder(subConn)
+	subDec := message.NewDecoder(subConn)
+	if err := subEnc.Encode(message.Envelope{From: "sub", Msg: transport.ClientHello("sub")}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Remote publisher connects to b1 over TCP.
+	pubConn, err := net.Dial("tcp", b1.gw.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = pubConn.Close() }()
+	pubEnc := message.NewEncoder(pubConn)
+	if err := pubEnc.Encode(message.Envelope{From: "pub", Msg: transport.ClientHello("pub")}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Advertise from the publisher and wait for the flood to reach b3.
+	f := predicate.MustParse("[class,=,'stock'],[price,>,0]")
+	if err := pubEnc.Encode(message.Envelope{From: "pub", Msg: message.Advertise{
+		ID: "a1", Client: "pub", Filter: f,
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for len(b3.b.SRTSnapshot()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("advertisement never reached b3 over TCP")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Subscribe at b3 and wait for the subscription to install at b1.
+	if err := subEnc.Encode(message.Envelope{From: "sub", Msg: message.Subscribe{
+		ID: "s1", Client: "sub", Filter: predicate.MustParse("[class,=,'stock'],[price,>,100]"),
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	for len(b1.b.PRTSnapshot()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("subscription never reached b1 over TCP")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Publish; the notification must arrive at the remote subscriber.
+	if err := pubEnc.Encode(message.Envelope{From: "pub", Msg: message.Publish{
+		ID: "p1", Client: "pub",
+		Event: predicate.MustParseEvent("[class,'stock'],[price,150]"),
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := subConn.SetReadDeadline(time.Now().Add(10 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	env, err := subDec.Decode()
+	if err != nil {
+		t.Fatalf("remote subscriber read: %v", err)
+	}
+	pub, ok := env.Msg.(message.Publish)
+	if !ok || pub.ID != "p1" {
+		t.Fatalf("remote subscriber received %v", env.Msg)
+	}
+	if pub.Event["price"].Number64() != 150 {
+		t.Errorf("event = %s", pub.Event)
+	}
+
+	// A below-threshold publication must not be delivered.
+	if err := pubEnc.Encode(message.Envelope{From: "pub", Msg: message.Publish{
+		ID: "p2", Client: "pub",
+		Event: predicate.MustParseEvent("[class,'stock'],[price,50]"),
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := subConn.SetReadDeadline(time.Now().Add(300 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if env, err := subDec.Decode(); err == nil {
+		t.Fatalf("non-matching publication delivered: %v", env.Msg)
+	}
+}

@@ -1,0 +1,175 @@
+package transport
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"padres/internal/message"
+	"padres/internal/metrics"
+	"padres/internal/predicate"
+)
+
+// fakeBroker records injected messages and attached clients.
+type fakeBroker struct {
+	mu       sync.Mutex
+	net      *Network
+	injected []message.Message
+	clients  map[message.NodeID]func(message.Publish)
+}
+
+func newFakeBroker(net *Network) *fakeBroker {
+	return &fakeBroker{net: net, clients: make(map[message.NodeID]func(message.Publish))}
+}
+
+func (f *fakeBroker) Inject(from message.NodeID, m message.Message) {
+	f.mu.Lock()
+	f.injected = append(f.injected, m)
+	f.mu.Unlock()
+}
+
+func (f *fakeBroker) AttachClient(n message.NodeID, deliver func(pub message.Publish)) {
+	f.mu.Lock()
+	f.clients[n] = deliver
+	f.mu.Unlock()
+}
+
+func (f *fakeBroker) DetachClient(n message.NodeID) {
+	f.mu.Lock()
+	delete(f.clients, n)
+	f.mu.Unlock()
+}
+
+func (f *fakeBroker) injectedCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.injected)
+}
+
+func (f *fakeBroker) deliver(n message.NodeID, pub message.Publish) bool {
+	f.mu.Lock()
+	d, ok := f.clients[n]
+	f.mu.Unlock()
+	if ok {
+		d(pub)
+	}
+	return ok
+}
+
+func newGateway(t *testing.T, local message.NodeID) (*Gateway, *fakeBroker, *Network) {
+	t.Helper()
+	reg := metrics.NewRegistry()
+	net := NewNetwork(reg)
+	net.Register(local, func(env message.Envelope) { net.Done(env.Msg) })
+	fb := newFakeBroker(net)
+	g, err := NewGateway(GatewayConfig{Net: net, Local: local, Broker: fb, Listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		g.Close()
+		net.Close()
+	})
+	return g, fb, net
+}
+
+func awaitInjected(t *testing.T, fb *fakeBroker, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for fb.injectedCount() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %d injected messages, have %d", n, fb.injectedCount())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestGatewayBrokerToBroker(t *testing.T) {
+	g1, fb1, net1 := newGateway(t, "b1")
+	g2, fb2, _ := newGateway(t, "b2")
+
+	if err := g1.DialPeer("b2", g2.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := g1.StartPeerReader("b2"); err != nil {
+		t.Fatal(err)
+	}
+
+	// b1 sends a subscription to its neighbor proxy b2; it must arrive at
+	// b2's broker as an injected message from b1.
+	f := predicate.MustParse("[x,>,1]")
+	if err := net1.Send("b1", "b2", message.Subscribe{ID: "s1", Client: "c1", Filter: f}); err != nil {
+		t.Fatal(err)
+	}
+	awaitInjected(t, fb2, 1)
+
+	// And the reverse direction over the accepted connection: b2's
+	// gateway learned b1 from the handshake and installed its proxy.
+	if err := g2.cfg.Net.Send("b2", "b1", message.Publish{ID: "p1"}); err != nil {
+		t.Fatal(err)
+	}
+	awaitInjected(t, fb1, 1)
+}
+
+func TestGatewayClientConnection(t *testing.T) {
+	g, fb, _ := newGateway(t, "b1")
+
+	// Simulate a remote client: dial, send the client hello, subscribe.
+	conn, err := dialRaw(g.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = conn.Close() }()
+	enc := message.NewEncoder(conn)
+	dec := message.NewDecoder(conn)
+	if err := enc.Encode(message.Envelope{From: "c9", Msg: helloMsg("c9", PeerClient)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Encode(message.Envelope{From: "c9", Msg: message.Subscribe{
+		ID: "s1", Client: "c9", Filter: predicate.MustParse("[x,>,0]"),
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	awaitInjected(t, fb, 1)
+
+	// The broker delivers a notification to the remote client through the
+	// attached gateway callback; it must arrive on the socket.
+	deadline := time.Now().Add(5 * time.Second)
+	for !fb.deliver("c9", message.Publish{ID: "p1", Event: predicate.Event{"x": predicate.Number(2)}}) {
+		if time.Now().After(deadline) {
+			t.Fatal("client was never attached")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	env, err := dec.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, ok := env.Msg.(message.Publish)
+	if !ok || pub.ID != "p1" {
+		t.Fatalf("client received %v", env.Msg)
+	}
+}
+
+func TestParseHello(t *testing.T) {
+	h, ok := parseHello(message.Envelope{Msg: helloMsg("b7", PeerBroker)})
+	if !ok || h.Node != "b7" || h.Kind != PeerBroker {
+		t.Errorf("parseHello = %+v, %v", h, ok)
+	}
+	h, ok = parseHello(message.Envelope{Msg: helloMsg("c1", PeerClient)})
+	if !ok || h.Kind != PeerClient {
+		t.Errorf("client hello = %+v, %v", h, ok)
+	}
+	if _, ok := parseHello(message.Envelope{Msg: message.Publish{ID: "p"}}); ok {
+		t.Error("non-hello parsed as hello")
+	}
+	if _, ok := parseHello(message.Envelope{Msg: message.MoveNegotiate{MoveHeader: message.MoveHeader{Tx: "real-tx"}}}); ok {
+		t.Error("real negotiate parsed as hello")
+	}
+}
+
+// dialRaw opens a plain TCP connection for tests.
+func dialRaw(addr string) (net.Conn, error) {
+	return net.Dial("tcp", addr)
+}

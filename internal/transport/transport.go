@@ -1,0 +1,299 @@
+// Package transport provides point-to-point messaging between overlay
+// nodes. The primary implementation is an in-process network whose links
+// impose configurable latency and jitter while preserving per-link FIFO
+// order, which lets the harness emulate both the paper's local data-centre
+// cluster (uniform ~1 ms links) and its wide-area PlanetLab deployment
+// (heterogeneous tens-to-hundreds of ms links) without leaving the process.
+//
+// Every Send is recorded in a metrics.Registry, both in the per-link
+// traffic matrix (for broker-broker links) and in the in-flight accounting
+// used to detect message-propagation quiescence. The final consumer of a
+// message must call Done exactly once after fully processing it.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"padres/internal/message"
+	"padres/internal/metrics"
+)
+
+// Errors reported by the in-process network.
+var (
+	ErrUnknownNode = errors.New("unknown node")
+	ErrNoLink      = errors.New("no link between nodes")
+	ErrClosed      = errors.New("network is closed")
+	ErrDupLink     = errors.New("link already exists")
+)
+
+// Handler consumes inbound envelopes. Handlers must not block for long; a
+// broker handler typically enqueues into the broker's own inbox.
+type Handler func(env message.Envelope)
+
+// LinkOptions configures one bidirectional link.
+type LinkOptions struct {
+	// Latency is the fixed propagation delay in each direction.
+	Latency time.Duration
+	// Jitter adds a uniform random delay in [0, Jitter) per message;
+	// delivery order per link is still FIFO.
+	Jitter time.Duration
+	// Seed seeds the link's jitter source; links with the same seed and
+	// traffic are reproducible.
+	Seed int64
+	// CountTraffic includes the link in the metrics traffic matrix. Broker
+	// to broker overlay links set this; client access links do not, to
+	// match the paper's definition of network traffic.
+	CountTraffic bool
+}
+
+// Network is an in-process transport connecting registered nodes through
+// latency-imposing FIFO links.
+type Network struct {
+	reg *metrics.Registry
+
+	mu     sync.Mutex
+	nodes  map[message.NodeID]Handler
+	links  map[linkID]*link
+	closed bool
+	wg     sync.WaitGroup
+}
+
+type linkID struct {
+	from message.NodeID
+	to   message.NodeID
+}
+
+// NewNetwork returns an empty network reporting into reg.
+func NewNetwork(reg *metrics.Registry) *Network {
+	return &Network{
+		reg:   reg,
+		nodes: make(map[message.NodeID]Handler),
+		links: make(map[linkID]*link),
+	}
+}
+
+// Registry returns the metrics registry the network reports into.
+func (n *Network) Registry() *metrics.Registry { return n.reg }
+
+// Register attaches a node handler. Re-registering replaces the handler
+// (used when a mobile client re-materializes at a new broker).
+func (n *Network) Register(id message.NodeID, h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.nodes[id] = h
+}
+
+// Unregister detaches a node. In-flight deliveries to it are dropped.
+func (n *Network) Unregister(id message.NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.nodes, id)
+}
+
+// AddLink creates a bidirectional link between two registered nodes.
+func (n *Network) AddLink(a, b message.NodeID, opts LinkOptions) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return ErrClosed
+	}
+	if _, ok := n.nodes[a]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownNode, a)
+	}
+	if _, ok := n.nodes[b]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownNode, b)
+	}
+	if _, ok := n.links[linkID{a, b}]; ok {
+		return fmt.Errorf("%w: %s-%s", ErrDupLink, a, b)
+	}
+	n.links[linkID{a, b}] = n.newLink(a, b, opts)
+	n.links[linkID{b, a}] = n.newLink(b, a, opts)
+	return nil
+}
+
+// RemoveLink tears down both directions of a link.
+func (n *Network) RemoveLink(a, b message.NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, id := range []linkID{{a, b}, {b, a}} {
+		if l, ok := n.links[id]; ok {
+			l.stop()
+			delete(n.links, id)
+		}
+	}
+}
+
+// HasLink reports whether a directed link exists.
+func (n *Network) HasLink(from, to message.NodeID) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	_, ok := n.links[linkID{from, to}]
+	return ok
+}
+
+// Send transmits a message over the direct link from->to. The message is
+// recorded as in flight until the receiver calls Done.
+func (n *Network) Send(from, to message.NodeID, msg message.Message) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrClosed
+	}
+	l, ok := n.links[linkID{from, to}]
+	n.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s -> %s", ErrNoLink, from, to)
+	}
+	if l.opts.CountTraffic {
+		n.reg.CountSend(from, to, msg.Kind())
+	}
+	n.reg.MsgEnqueued(msg)
+	l.enqueue(message.Envelope{From: from, Msg: msg})
+	return nil
+}
+
+// Done marks a previously sent message as fully processed. Each delivered
+// message must be Done'd exactly once by its final consumer.
+func (n *Network) Done(msg message.Message) {
+	n.reg.MsgDone(msg)
+}
+
+// Close stops all link goroutines and waits for them to exit. Messages
+// still queued on links are dropped (and their in-flight accounting
+// released).
+func (n *Network) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	links := make([]*link, 0, len(n.links))
+	for _, l := range n.links {
+		links = append(links, l)
+	}
+	n.mu.Unlock()
+	for _, l := range links {
+		l.stop()
+	}
+	n.wg.Wait()
+}
+
+// deliver hands an envelope to the destination handler if it is still
+// registered; otherwise the message is dropped and its accounting freed.
+func (n *Network) deliver(to message.NodeID, env message.Envelope) {
+	n.mu.Lock()
+	h, ok := n.nodes[to]
+	n.mu.Unlock()
+	if !ok {
+		n.reg.MsgDone(env.Msg)
+		return
+	}
+	h(env)
+}
+
+// link is one direction of a connection: an unbounded FIFO queue drained by
+// a dedicated goroutine that enforces per-message delivery times.
+type link struct {
+	net  *Network
+	to   message.NodeID
+	opts LinkOptions
+	rng  *rand.Rand
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []timedEnvelope
+	lastAt  time.Time
+	stopped bool
+}
+
+type timedEnvelope struct {
+	env       message.Envelope
+	deliverAt time.Time
+}
+
+func (n *Network) newLink(from, to message.NodeID, opts LinkOptions) *link {
+	l := &link{
+		net:  n,
+		to:   to,
+		opts: opts,
+		rng:  rand.New(rand.NewSource(opts.Seed ^ int64(hashNodes(from, to)))),
+	}
+	l.cond = sync.NewCond(&l.mu)
+	n.wg.Add(1)
+	go l.run()
+	return l
+}
+
+func hashNodes(a, b message.NodeID) uint64 {
+	const prime = 1099511628211
+	var h uint64 = 14695981039346656037
+	for _, s := range []message.NodeID{a, b} {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime
+		}
+		h ^= '/'
+		h *= prime
+	}
+	return h
+}
+
+func (l *link) enqueue(env message.Envelope) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.stopped {
+		l.net.reg.MsgDone(env.Msg)
+		return
+	}
+	delay := l.opts.Latency
+	if l.opts.Jitter > 0 {
+		delay += time.Duration(l.rng.Int63n(int64(l.opts.Jitter)))
+	}
+	at := time.Now().Add(delay)
+	// FIFO: never deliver before an earlier message on the same link.
+	if at.Before(l.lastAt) {
+		at = l.lastAt
+	}
+	l.lastAt = at
+	l.queue = append(l.queue, timedEnvelope{env: env, deliverAt: at})
+	l.cond.Signal()
+}
+
+func (l *link) stop() {
+	l.mu.Lock()
+	l.stopped = true
+	// Release accounting for anything still queued.
+	for _, te := range l.queue {
+		l.net.reg.MsgDone(te.env.Msg)
+	}
+	l.queue = nil
+	l.cond.Signal()
+	l.mu.Unlock()
+}
+
+func (l *link) run() {
+	defer l.net.wg.Done()
+	for {
+		l.mu.Lock()
+		for len(l.queue) == 0 && !l.stopped {
+			l.cond.Wait()
+		}
+		if l.stopped {
+			l.mu.Unlock()
+			return
+		}
+		te := l.queue[0]
+		l.queue = l.queue[1:]
+		l.mu.Unlock()
+
+		if d := time.Until(te.deliverAt); d > 0 {
+			time.Sleep(d)
+		}
+		l.net.deliver(l.to, te.env)
+	}
+}

@@ -1,0 +1,182 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// coveringEdges returns pairs (i, j) with subs[i] covering subs[j], i != j.
+func coveringEdges(k Kind) [][2]int {
+	subs := Subscriptions(k, "w", 0)
+	var edges [][2]int
+	for i := range subs {
+		for j := range subs {
+			if i != j && subs[i].Covers(subs[j]) {
+				edges = append(edges, [2]int{i, j})
+			}
+		}
+	}
+	return edges
+}
+
+func TestCoveredShape(t *testing.T) {
+	subs := Subscriptions(Covered, "w", 0)
+	if len(subs) != Size {
+		t.Fatalf("size = %d", len(subs))
+	}
+	for j := 1; j < Size; j++ {
+		if !subs[0].Covers(subs[j]) {
+			t.Errorf("root does not cover subscription %d", j+1)
+		}
+	}
+	// Non-root subscriptions are mutually unrelated.
+	for i := 1; i < Size; i++ {
+		for j := 1; j < Size; j++ {
+			if i != j && subs[i].Covers(subs[j]) {
+				t.Errorf("non-root %d covers %d", i+1, j+1)
+			}
+		}
+	}
+}
+
+func TestChainedShape(t *testing.T) {
+	subs := Subscriptions(Chained, "w", 0)
+	for i := 0; i < Size-1; i++ {
+		if !subs[i].Covers(subs[i+1]) {
+			t.Errorf("subscription %d does not cover %d", i+1, i+2)
+		}
+		if subs[i+1].Covers(subs[i]) {
+			t.Errorf("chain inverted at %d", i+1)
+		}
+	}
+}
+
+func TestTreeShape(t *testing.T) {
+	subs := Subscriptions(Tree, "w", 0)
+	parentOf := map[int]int{2: 1, 3: 1, 4: 2, 5: 2, 6: 3, 7: 3, 8: 4, 9: 4, 10: 5}
+	for child, parent := range parentOf {
+		if !subs[parent-1].Covers(subs[child-1]) {
+			t.Errorf("tree parent %d does not cover child %d", parent, child)
+		}
+	}
+	// Siblings must not cover each other.
+	siblings := [][2]int{{2, 3}, {4, 5}, {6, 7}, {8, 9}}
+	for _, s := range siblings {
+		if subs[s[0]-1].Covers(subs[s[1]-1]) || subs[s[1]-1].Covers(subs[s[0]-1]) {
+			t.Errorf("siblings %v cover each other", s)
+		}
+	}
+}
+
+func TestDistinctShape(t *testing.T) {
+	if edges := coveringEdges(Distinct); len(edges) != 0 {
+		t.Errorf("distinct workload has covering edges: %v", edges)
+	}
+}
+
+func TestCoveredCount(t *testing.T) {
+	tests := map[Kind]int{Covered: 9, Chained: 1, Tree: 3, Distinct: 0, Random: 0}
+	for k, want := range tests {
+		if got := CoveredCount(k); got != want {
+			t.Errorf("CoveredCount(%v) = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestAdvertisementCoversAllSubscriptions(t *testing.T) {
+	adv := Advertisement("w")
+	for _, k := range Kinds() {
+		for i, sub := range Subscriptions(k, "w", 0) {
+			if !sub.Intersects(adv) {
+				t.Errorf("%v subscription %d does not intersect the advertisement", k, i+1)
+			}
+		}
+	}
+}
+
+func TestPublicationsReachSubscriptions(t *testing.T) {
+	// Every subscription of every workload must be matched by at least one
+	// publication from the generator's domain.
+	adv := Advertisement("w")
+	for _, k := range Kinds() {
+		for i, sub := range Subscriptions(k, "w", 0) {
+			matched := false
+			for x := 0; x < 100; x++ {
+				e := Publication("w", float64(x))
+				if !adv.Matches(e) {
+					t.Fatalf("publication x=%d does not match the advertisement", x)
+				}
+				if sub.Matches(e) {
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				t.Errorf("%v subscription %d matched by no publication", k, i+1)
+			}
+		}
+	}
+}
+
+func TestClassIsolation(t *testing.T) {
+	// Workload instances with different classes never cover or intersect
+	// each other.
+	a := Subscriptions(Covered, "a", 0)
+	b := Subscriptions(Covered, "b", 0)
+	for i := range a {
+		for j := range b {
+			if a[i].Covers(b[j]) || a[i].Intersects(b[j]) {
+				t.Errorf("cross-class relation between a[%d] and b[%d]", i, j)
+			}
+		}
+	}
+	if Advertisement("a").Matches(Publication("b", 5)) {
+		t.Error("class-a advertisement matches class-b publication")
+	}
+}
+
+func TestAssignDeterministic(t *testing.T) {
+	subs := Assign(Covered, "w", 25, nil)
+	if len(subs) != 25 {
+		t.Fatalf("assigned %d", len(subs))
+	}
+	for i, f := range subs {
+		fixed := Subscriptions(Covered, "w", i/Size)
+		if !f.Equal(fixed[i%Size]) {
+			t.Errorf("client %d got %s, want %s", i, f, fixed[i%Size])
+		}
+	}
+}
+
+func TestAssignRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	subs := Assign(Random, "w", 40, r)
+	if len(subs) != 40 {
+		t.Fatalf("assigned %d", len(subs))
+	}
+	// Same seed reproduces the same assignment.
+	r2 := rand.New(rand.NewSource(5))
+	subs2 := Assign(Random, "w", 40, r2)
+	for i := range subs {
+		if !subs[i].Equal(subs2[i]) {
+			t.Fatalf("random assignment not reproducible at %d", i)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Covered.String() != "covered" || Kind(99).String() != "workload(99)" {
+		t.Error("Kind.String wrong")
+	}
+}
+
+func TestRandomPublicationInDomain(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	adv := Advertisement("w")
+	for i := 0; i < 100; i++ {
+		e := RandomPublication("w", 1, r)
+		if !adv.Matches(e) {
+			t.Fatalf("random publication %v escapes the advertisement", e)
+		}
+	}
+}

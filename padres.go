@@ -1,0 +1,226 @@
+// Package padres is a distributed content-based publish/subscribe system
+// with transactional client mobility, reproducing "Transactional Mobility
+// in Distributed Content-Based Publish/Subscribe Systems" (ICDCS 2009).
+//
+// A Network is an overlay of content-based brokers. Clients connect to a
+// broker, advertise the publications they will issue, subscribe with
+// conjunctive filters, publish events, and receive notifications. The
+// distinguishing feature is Client.Move: a client relocates to another
+// broker under ACID-style guarantees — it ends up at exactly one broker,
+// loses no notifications, delivers no duplicates, and its movement is
+// invisible to every other client.
+//
+// Two movement protocols are available: ProtocolReconfig (the paper's
+// hop-by-hop routing reconfiguration, the default) and ProtocolEndToEnd
+// (the traditional unsubscribe/resubscribe baseline, usually paired with
+// the covering optimization).
+//
+// Quick start:
+//
+//	net, _ := padres.NewNetwork(padres.Options{})
+//	defer net.Stop()
+//	pub, _ := net.NewClient("pub", "b1")
+//	sub, _ := net.NewClient("sub", "b14")
+//	pub.Advertise(padres.MustParseFilter("[class,=,'stock'],[price,>,0]"))
+//	sub.Subscribe(padres.MustParseFilter("[class,=,'stock'],[price,>,100]"))
+//	net.Settle(ctx)
+//	pub.Publish(padres.MustParseEvent("[class,'stock'],[price,150]"))
+//	n, _ := sub.Receive(ctx)       // the notification
+//	sub.Move(ctx, "b7")            // transactional relocation
+package padres
+
+import (
+	"context"
+	"time"
+
+	"padres/internal/client"
+	"padres/internal/cluster"
+	"padres/internal/core"
+	"padres/internal/message"
+	"padres/internal/metrics"
+	"padres/internal/overlay"
+	"padres/internal/predicate"
+	"padres/internal/transport"
+)
+
+// Core identifier and data types, re-exported for the public API.
+type (
+	// BrokerID identifies a broker in the overlay.
+	BrokerID = message.BrokerID
+	// ClientID identifies a client.
+	ClientID = message.ClientID
+	// Event is a publication: attribute/value pairs.
+	Event = predicate.Event
+	// Filter is a conjunctive subscription or advertisement filter.
+	Filter = predicate.Filter
+	// Client is a (mobile) pub/sub client handle.
+	Client = client.Client
+	// Notification is a received publication.
+	Notification = message.Publish
+	// Topology is an acyclic broker overlay graph.
+	Topology = overlay.Topology
+	// Protocol selects the movement protocol.
+	Protocol = core.Protocol
+	// MovementStats summarizes recorded movement transactions.
+	MovementStats = metrics.MovementStats
+	// MovementTrace collects movement-protocol events for debugging and
+	// tooling.
+	MovementTrace = core.Trace
+	// MovementEvent is one observed protocol step.
+	MovementEvent = core.Event
+)
+
+// Movement protocols.
+const (
+	// ProtocolReconfig is the paper's hop-by-hop reconfiguration protocol.
+	ProtocolReconfig = core.ProtocolReconfig
+	// ProtocolEndToEnd is the traditional end-to-end baseline.
+	ProtocolEndToEnd = core.ProtocolEndToEnd
+)
+
+// Movement outcome errors.
+var (
+	// ErrMoveRejected is returned by Client.Move when the target broker
+	// declines the client.
+	ErrMoveRejected = core.ErrRejected
+	// ErrMoveAborted is returned when the movement transaction aborts.
+	ErrMoveAborted = core.ErrAborted
+	// ErrMoveTimeout is returned by the non-blocking variant on timeout.
+	ErrMoveTimeout = core.ErrMoveTimeout
+)
+
+// Filter and event constructors.
+var (
+	// ParseFilter reads a filter in the textual language, e.g.
+	// "[class,=,'stock'],[price,>,100]".
+	ParseFilter = predicate.Parse
+	// MustParseFilter is ParseFilter that panics on error.
+	MustParseFilter = predicate.MustParse
+	// ParseEvent reads a publication, e.g. "[class,'stock'],[price,150]".
+	ParseEvent = predicate.ParseEvent
+	// MustParseEvent is ParseEvent that panics on error.
+	MustParseEvent = predicate.MustParseEvent
+	// String constructs a string attribute value.
+	String = predicate.String
+	// Number constructs a numeric attribute value.
+	Number = predicate.Number
+)
+
+// Topology builders.
+var (
+	// DefaultTopology is the paper's 14-broker overlay (Fig. 6).
+	DefaultTopology = overlay.Default14
+	// LinearTopology builds a chain of n brokers.
+	LinearTopology = overlay.Linear
+	// StarTopology builds a hub with n-1 leaves.
+	StarTopology = overlay.Star
+	// TreeTopology builds a balanced tree.
+	TreeTopology = overlay.BalancedTree
+	// NewTopology builds an empty topology for manual construction.
+	NewTopology = overlay.New
+)
+
+// Options configures a Network.
+type Options struct {
+	// Topology defaults to the 14-broker overlay of the paper.
+	Topology *Topology
+	// Protocol defaults to ProtocolReconfig.
+	Protocol Protocol
+	// Covering enables the covering routing optimization.
+	Covering bool
+	// LinkLatency is the overlay link latency (default 1 ms).
+	LinkLatency time.Duration
+	// LinkJitter adds uniform per-message jitter to links.
+	LinkJitter time.Duration
+	// ServiceTime is the per-message broker processing cost (default 0).
+	ServiceTime time.Duration
+	// MoveTimeout arms the non-blocking movement variant; zero selects the
+	// blocking variant.
+	MoveTimeout time.Duration
+}
+
+// Network is a running in-process broker overlay.
+type Network struct {
+	c *cluster.Cluster
+}
+
+// NewNetwork builds and starts a broker network.
+func NewNetwork(opts Options) (*Network, error) {
+	latency := opts.LinkLatency
+	if latency == 0 {
+		latency = time.Millisecond
+	}
+	profile := &jitterProfile{latency: latency, jitter: opts.LinkJitter}
+	c, err := cluster.New(cluster.Options{
+		Topology:    opts.Topology,
+		Profile:     profile,
+		Protocol:    opts.Protocol,
+		Covering:    opts.Covering,
+		ServiceTime: opts.ServiceTime,
+		MoveTimeout: opts.MoveTimeout,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.Start()
+	return &Network{c: c}, nil
+}
+
+// jitterProfile adapts the public latency knobs to a transport profile.
+type jitterProfile struct {
+	latency time.Duration
+	jitter  time.Duration
+}
+
+func (p *jitterProfile) LinkFor(a, b BrokerID) transport.LinkOptions {
+	return transport.LinkOptions{Latency: p.latency, Jitter: p.jitter, CountTraffic: true}
+}
+
+func (p *jitterProfile) ClientLink(BrokerID, ClientID) transport.LinkOptions {
+	return transport.LinkOptions{Latency: p.latency / 4}
+}
+
+func (p *jitterProfile) Name() string { return "custom" }
+
+// Stop shuts the network down. Clients become unusable afterwards.
+func (n *Network) Stop() { n.c.Stop() }
+
+// Brokers lists the broker IDs in sorted order.
+func (n *Network) Brokers() []BrokerID { return n.c.Brokers() }
+
+// NewClient creates a client hosted in the mobile container at the given
+// broker, in the started state.
+func (n *Network) NewClient(id ClientID, at BrokerID) (*Client, error) {
+	return n.c.NewClient(id, at)
+}
+
+// Disconnect retracts a client's subscriptions and advertisements and
+// detaches it from its current broker.
+func (n *Network) Disconnect(c *Client) error {
+	return n.c.Container(c.Broker()).Disconnect(c)
+}
+
+// Settle blocks until no message is in flight anywhere in the network —
+// useful in tests and examples to wait for propagation.
+func (n *Network) Settle(ctx context.Context) error { return n.c.Settle(ctx) }
+
+// SettleFor is Settle with a timeout.
+func (n *Network) SettleFor(d time.Duration) error { return n.c.SettleFor(d) }
+
+// TotalMessages returns the number of messages carried by overlay links.
+func (n *Network) TotalMessages() int64 { return n.c.Registry().TotalMessages() }
+
+// Movements summarizes the movement transactions executed so far.
+func (n *Network) Movements() MovementStats { return n.c.Registry().Stats() }
+
+// TraceMovements installs (and returns) a protocol event trace across every
+// broker's coordinator: each step of every movement transaction — the
+// negotiate/approve/state/ack conversation, rejections, timeouts, commits,
+// aborts — is recorded with its transaction, client, and observing broker.
+func (n *Network) TraceMovements() *MovementTrace {
+	tr := core.NewTrace()
+	for _, bid := range n.c.Brokers() {
+		n.c.Container(bid).SetEventSink(tr.Sink())
+	}
+	return tr
+}

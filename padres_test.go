@@ -1,0 +1,239 @@
+package padres_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"padres"
+)
+
+func newNet(t *testing.T, opts padres.Options) *padres.Network {
+	t.Helper()
+	n, err := padres.NewNetwork(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(n.Stop)
+	return n
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	net := newNet(t, padres.Options{})
+	if got := len(net.Brokers()); got != 14 {
+		t.Fatalf("default topology has %d brokers, want 14", got)
+	}
+
+	pub, err := net.NewClient("pub", "b1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := net.NewClient("sub", "b14")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pub.Advertise(padres.MustParseFilter("[class,=,'stock'],[price,>,0]")); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.SettleFor(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sub.Subscribe(padres.MustParseFilter("[class,=,'stock'],[price,>,100]")); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.SettleFor(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := pub.Publish(padres.MustParseEvent("[class,'stock'],[price,150]")); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	got, err := sub.Receive(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Event["price"].Number64() != 150 {
+		t.Errorf("received price %v", got.Event["price"])
+	}
+
+	// Transactional move, then delivery continues.
+	if err := sub.Move(ctx, "b7"); err != nil {
+		t.Fatalf("move: %v", err)
+	}
+	if _, err := pub.Publish(padres.MustParseEvent("[class,'stock'],[price,200]")); err != nil {
+		t.Fatal(err)
+	}
+	got2, err := sub.Receive(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.Event["price"].Number64() != 200 {
+		t.Errorf("post-move notification price %v", got2.Event["price"])
+	}
+	stats := net.Movements()
+	if stats.Committed != 1 {
+		t.Errorf("movements committed = %d, want 1", stats.Committed)
+	}
+	if net.TotalMessages() == 0 {
+		t.Error("no overlay traffic recorded")
+	}
+}
+
+func TestCustomTopologyAndProtocol(t *testing.T) {
+	top, err := padres.LinearTopology(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := newNet(t, padres.Options{
+		Topology:    top,
+		Protocol:    padres.ProtocolEndToEnd,
+		Covering:    true,
+		LinkLatency: 200 * time.Microsecond,
+	})
+	pub, err := net.NewClient("p", "b1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := net.NewClient("s", "b4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pub.Advertise(padres.MustParseFilter("[x,>,0]")); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.SettleFor(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sub.Subscribe(padres.MustParseFilter("[x,>,0]")); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.SettleFor(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := sub.Move(ctx, "b2"); err != nil {
+		t.Fatalf("end-to-end move: %v", err)
+	}
+	if _, err := pub.Publish(padres.Event{"x": padres.Number(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sub.Receive(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMoveErrorsExported(t *testing.T) {
+	net := newNet(t, padres.Options{})
+	c, err := net.NewClient("c", "b1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	err = c.Move(ctx, "b1")
+	if err == nil {
+		t.Fatal("move to same broker should fail")
+	}
+	// The exported sentinel errors are usable with errors.Is.
+	if errors.Is(err, padres.ErrMoveRejected) || errors.Is(err, padres.ErrMoveTimeout) {
+		t.Errorf("unexpected sentinel match for %v", err)
+	}
+}
+
+func TestDisconnect(t *testing.T) {
+	net := newNet(t, padres.Options{})
+	c, err := net.NewClient("c", "b3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Subscribe(padres.MustParseFilter("[x,>,0]")); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.SettleFor(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Disconnect(c); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Subscribe(padres.MustParseFilter("[x,>,0]")); err == nil {
+		t.Error("subscribe after disconnect should fail")
+	}
+}
+
+func TestJitteredNetwork(t *testing.T) {
+	net := newNet(t, padres.Options{
+		LinkLatency: 300 * time.Microsecond,
+		LinkJitter:  200 * time.Microsecond,
+		ServiceTime: 50 * time.Microsecond,
+		MoveTimeout: 5 * time.Second,
+	})
+	pub, err := net.NewClient("p", "b1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := net.NewClient("s", "b13")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pub.Advertise(padres.MustParseFilter("[x,>,0]")); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.SettleFor(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sub.Subscribe(padres.MustParseFilter("[x,>,0]")); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.SettleFor(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := sub.Move(ctx, "b7"); err != nil {
+		t.Fatalf("move over jittered links: %v", err)
+	}
+	if _, err := pub.Publish(padres.Event{"x": padres.Number(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sub.Receive(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if net.Movements().Committed != 1 {
+		t.Error("movement not recorded")
+	}
+}
+
+func TestInvalidTopologyRejected(t *testing.T) {
+	top := padres.NewTopology()
+	if _, err := padres.NewNetwork(padres.Options{Topology: top}); err != nil {
+		t.Fatalf("empty topology should build: %v", err) // vacuously connected
+	}
+}
+
+func TestTraceMovements(t *testing.T) {
+	net := newNet(t, padres.Options{})
+	tr := net.TraceMovements()
+	cl, err := net.NewClient("c1", "b1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := cl.Move(ctx, "b13"); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.SettleFor(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	events := tr.Events()
+	if len(events) < 6 {
+		t.Fatalf("trace has %d events, want the full conversation", len(events))
+	}
+	last := events[len(events)-1]
+	if last.Kind.String() != "committed" {
+		t.Errorf("last event = %s, want committed", last.Kind)
+	}
+}

@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: all vet build test race ci
+
+all: ci
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+ci: vet build race

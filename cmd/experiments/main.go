@@ -131,10 +131,15 @@ func fig8(s experiment.Scale, buckets int) error {
 		fmt.Printf("-- Fig 8 (%s): movement latency over time --\n", protocol)
 		fmt.Print(experiment.RenderTimeline(res, buckets))
 		fmt.Print(experiment.RenderResult(res))
+		fmt.Printf("-- Fig 8 (%s): 3PC phase breakdown --\n", protocol)
+		fmt.Print(experiment.RenderPhaseSummary(res))
 		fmt.Println()
 	}
 	writeCSV("fig8_timeline.csv", func(f *os.File) error {
 		return experiment.WriteTimelineCSV(f, results...)
+	})
+	writeCSV("fig8_phases.csv", func(f *os.File) error {
+		return experiment.WritePhaseCSV(f, results...)
 	})
 	return nil
 }

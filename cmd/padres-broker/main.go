@@ -11,6 +11,11 @@
 //	padres-broker -id b2 -listen :7002 -topology b1-b2,b2-b3 -peers b1=localhost:7001
 //	padres-broker -id b3 -listen :7003 -topology b1-b2,b2-b3 -peers b2=localhost:7002
 //
+// With -metrics-addr the broker additionally serves an observability
+// endpoint: Prometheus metrics at /metrics, liveness at /healthz,
+// hop-by-hop message traces at /traces, and the Go profiler under
+// /debug/pprof/.
+//
 // Remote clients are stationary: transactional mobility applies to clients
 // hosted in a broker's mobile container (see the examples and the padres
 // package API).
@@ -19,6 +24,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strings"
@@ -29,6 +35,7 @@ import (
 	"padres/internal/message"
 	"padres/internal/metrics"
 	"padres/internal/overlay"
+	"padres/internal/telemetry"
 	"padres/internal/transport"
 )
 
@@ -49,6 +56,8 @@ func run(args []string) error {
 		covering = fs.Bool("covering", false, "enable the covering optimization")
 		service  = fs.Duration("service", 0, "simulated per-message processing cost")
 		statsSec = fs.Duration("stats", 30*time.Second, "traffic stats reporting interval (0 disables)")
+		metAddr  = fs.String("metrics-addr", "", "HTTP observability listen address, e.g. :9090 (empty disables)")
+		logSpec  = fs.String("log", "info", "log levels: default[,component=level...], e.g. info,broker=debug")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -56,6 +65,10 @@ func run(args []string) error {
 	if *id == "" || *topoSpec == "" {
 		return fmt.Errorf("-id and -topology are required")
 	}
+	if err := telemetry.ConfigureLogLevels(*logSpec); err != nil {
+		return err
+	}
+	log := telemetry.Logger("padres-broker")
 
 	top, err := parseTopology(*topoSpec)
 	if err != nil {
@@ -84,6 +97,16 @@ func run(args []string) error {
 	defer b.Stop()
 	defer net.Close()
 
+	tel := buildTelemetry(self, b, net, reg)
+	if *metAddr != "" {
+		srv, err := tel.Serve(*metAddr)
+		if err != nil {
+			return fmt.Errorf("metrics endpoint: %w", err)
+		}
+		defer srv.Close()
+		log.Info("observability endpoint up", "addr", srv.Addr())
+	}
+
 	gw, err := transport.NewGateway(transport.GatewayConfig{
 		Net:    net,
 		Local:  self.Node(),
@@ -94,8 +117,9 @@ func run(args []string) error {
 		return err
 	}
 	defer gw.Close()
-	fmt.Printf("broker %s listening on %s (covering=%v, neighbors=%v)\n",
-		self, gw.Addr(), *covering, top.Neighbors(self))
+	log.Info("broker listening",
+		"broker", string(self), "addr", gw.Addr(),
+		"covering", *covering, "neighbors", fmt.Sprint(top.Neighbors(self)))
 
 	if *peerSpec != "" {
 		for _, p := range strings.Split(*peerSpec, ",") {
@@ -110,7 +134,7 @@ func run(args []string) error {
 			if err := gw.StartPeerReader(node); err != nil {
 				return err
 			}
-			fmt.Printf("connected to peer %s at %s\n", name, addr)
+			log.Info("connected to peer", "peer", name, "addr", addr)
 		}
 	}
 
@@ -119,9 +143,7 @@ func run(args []string) error {
 			ticker := time.NewTicker(*statsSec)
 			defer ticker.Stop()
 			for range ticker.C {
-				fmt.Printf("[%s] srt=%d prt=%d queue=%d traffic=%d dropped=%d\n",
-					self, len(b.SRTSnapshot()), len(b.PRTSnapshot()),
-					b.QueueLen(), reg.TotalMessages(), b.DroppedPublications())
+				fmt.Println(statusLine(self, b, reg))
 			}
 		}()
 	}
@@ -129,8 +151,42 @@ func run(args []string) error {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Println("shutting down")
+	log.Info("shutting down", "broker", string(self))
 	return nil
+}
+
+// buildTelemetry wires the broker's runtime metrics, the transport's hop
+// tracer, and the link-traffic matrix into one exposition registry.
+func buildTelemetry(self message.BrokerID, b *broker.Broker, net *transport.Network, reg *metrics.Registry) *telemetry.Registry {
+	tel := telemetry.NewRegistry()
+	tel.RegisterBroker(self, b.Metrics())
+	net.SetTracer(tel.Traces())
+	tel.AddExposition(func(w io.Writer) {
+		links := reg.LinkSnapshot()
+		if len(links) == 0 {
+			return
+		}
+		fmt.Fprintln(w, "# HELP padres_link_messages_total Messages sent per directed overlay link.")
+		fmt.Fprintln(w, "# TYPE padres_link_messages_total counter")
+		for _, l := range links {
+			fmt.Fprintf(w, "padres_link_messages_total{from=%q,to=%q} %d\n", l.From, l.To, l.Count)
+		}
+	})
+	return tel
+}
+
+// statusLine renders the periodic status report from one broker-stats
+// snapshot; link traffic is listed in deterministic order.
+func statusLine(self message.BrokerID, b *broker.Broker, reg *metrics.Registry) string {
+	st := b.Stats()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "[%s] srt=%d prt=%d queue=%d (hi=%d) processed=%d dropped=%d traffic=%d",
+		self, st.SRTSize, st.PRTSize, st.QueueDepth, st.QueueHighWater,
+		st.Processed, st.DroppedPublications, reg.TotalMessages())
+	for _, l := range reg.LinkSnapshot() {
+		fmt.Fprintf(&sb, " %s->%s=%d", l.From, l.To, l.Count)
+	}
+	return sb.String()
 }
 
 func parseTopology(spec string) (*overlay.Topology, error) {

@@ -1,8 +1,18 @@
 package main
 
 import (
+	"context"
+	"io"
+	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
+
+	"padres/internal/broker"
+	"padres/internal/message"
+	"padres/internal/metrics"
+	"padres/internal/predicate"
+	"padres/internal/transport"
 )
 
 func TestParseTopology(t *testing.T) {
@@ -49,5 +59,96 @@ func TestRunFlagValidation(t *testing.T) {
 	}
 	if err := run([]string{"-id", "b1", "-topology", "b1-b2", "-listen", "127.0.0.1:0", "-peers", "bogus"}); err == nil {
 		t.Error("malformed peer spec accepted")
+	}
+}
+
+func TestBuildTelemetryWiring(t *testing.T) {
+	reg := metrics.NewRegistry()
+	net := transport.NewNetwork(reg)
+	defer net.Close()
+	top, err := parseTopology("b1-b2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hops, err := top.NextHops("b1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := broker.New(broker.Config{
+		ID:        "b1",
+		Net:       net,
+		Neighbors: top.Neighbors("b1"),
+		NextHops:  hops,
+	})
+	b.Start()
+	defer b.Stop()
+
+	tel := buildTelemetry("b1", b, net, reg)
+	if net.Tracer() != tel.Traces() {
+		t.Fatal("transport tracer not wired to the telemetry trace store")
+	}
+
+	// Drive one subscription through the broker so every layer reports.
+	b.Inject("c1@b1", message.Subscribe{ID: "s1", Client: "c1", Filter: predicate.MustParse("[x,>,0]")})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := reg.AwaitQuiescent(ctx); err != nil {
+		t.Fatal(err)
+	}
+	reg.CountSend("b1", "b2", message.KindPublish)
+
+	srv := httptest.NewServer(tel.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(body)
+	for _, want := range []string{
+		`padres_broker_processed_total{broker="b1"} 1`,
+		`padres_broker_prt_size{broker="b1"} 1`,
+		`padres_link_messages_total{from="b1",to="b2"} 1`,
+		"padres_traces_stored 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, out)
+		}
+	}
+
+	if tr, ok := tel.Traces().Get("sub:s1"); !ok || len(tr.Hops) == 0 {
+		t.Errorf("subscribe injection left no trace: %+v ok=%v", tr, ok)
+	}
+}
+
+func TestStatusLineDeterministic(t *testing.T) {
+	reg := metrics.NewRegistry()
+	net := transport.NewNetwork(reg)
+	defer net.Close()
+	top, err := parseTopology("b1-b2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hops, err := top.NextHops("b1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := broker.New(broker.Config{ID: "b1", Net: net, Neighbors: top.Neighbors("b1"), NextHops: hops})
+	reg.CountSend("b2", "b1", message.KindPublish)
+	reg.CountSend("b1", "b2", message.KindPublish)
+
+	line := statusLine("b1", b, reg)
+	if !strings.Contains(line, "traffic=2") {
+		t.Errorf("status line = %q", line)
+	}
+	if strings.Index(line, "b1->b2=1") > strings.Index(line, "b2->b1=1") {
+		t.Errorf("links not in deterministic order: %q", line)
+	}
+	if line != statusLine("b1", b, reg) {
+		t.Error("status line not stable across calls")
 	}
 }

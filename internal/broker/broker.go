@@ -33,6 +33,7 @@ import (
 
 	"padres/internal/matching"
 	"padres/internal/message"
+	"padres/internal/telemetry"
 	"padres/internal/transport"
 )
 
@@ -73,6 +74,7 @@ type Config struct {
 // Broker is one content-based pub/sub broker.
 type Broker struct {
 	cfg Config
+	tel *telemetry.BrokerMetrics
 
 	srt *matching.SRT
 	prt *matching.PRT
@@ -89,7 +91,6 @@ type Broker struct {
 	controlFn ControlSink
 	neighbors map[message.BrokerID]bool
 	done      chan struct{}
-	dropped   int64 // publications with no matching advertisement
 }
 
 // New creates a broker and registers it with the transport. Call Start to
@@ -97,6 +98,7 @@ type Broker struct {
 func New(cfg Config) *Broker {
 	b := &Broker{
 		cfg:       cfg,
+		tel:       telemetry.NewBrokerMetrics(),
 		srt:       matching.NewSRT(),
 		prt:       matching.NewPRT(),
 		clients:   make(map[message.NodeID]ClientDeliver),
@@ -147,6 +149,7 @@ func (b *Broker) Stop() {
 		b.cfg.Net.Done(env.Msg)
 	}
 	b.inbox = nil
+	b.tel.QueueDepth.Set(0)
 	b.cond.Signal()
 	b.mu.Unlock()
 	<-b.done
@@ -194,20 +197,50 @@ func (b *Broker) HasClient(n message.NodeID) bool {
 	return ok
 }
 
-// QueueLen returns the current inbox length (used by admission control and
-// tests).
+// QueueLen returns the current inbox length (used by admission control; for
+// a full snapshot of the broker's runtime counters use Stats).
 func (b *Broker) QueueLen() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return len(b.inbox)
 }
 
-// DroppedPublications returns the number of publications discarded because
-// no advertisement matched them.
-func (b *Broker) DroppedPublications() int64 {
+// Metrics returns the broker's lock-free runtime instruments, for
+// registration with a telemetry.Registry.
+func (b *Broker) Metrics() *telemetry.BrokerMetrics { return b.tel }
+
+// Stats is a point-in-time snapshot of one broker's runtime state.
+type Stats struct {
+	ID                  message.BrokerID
+	QueueDepth          int
+	QueueHighWater      int64
+	Processed           int64
+	DroppedPublications int64
+	SRTSize             int
+	PRTSize             int
+	SendsByKind         map[message.Kind]int64
+	TotalSends          int64
+	DispatchLatency     telemetry.HistogramSnapshot
+}
+
+// Stats aggregates the broker's runtime gauges and counters into one
+// consistent-enough snapshot for operators and tests.
+func (b *Broker) Stats() Stats {
 	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.dropped
+	depth := len(b.inbox)
+	b.mu.Unlock()
+	return Stats{
+		ID:                  b.cfg.ID,
+		QueueDepth:          depth,
+		QueueHighWater:      b.tel.QueueHighWater.Value(),
+		Processed:           b.tel.Processed.Value(),
+		DroppedPublications: b.tel.DroppedPublications.Value(),
+		SRTSize:             b.srt.Len(),
+		PRTSize:             b.prt.Len(),
+		SendsByKind:         b.tel.SendsByKind(),
+		TotalSends:          b.tel.TotalSends(),
+		DispatchLatency:     b.tel.DispatchLatency.Snapshot(),
+	}
 }
 
 // SRTSnapshot returns a copy of the advertisement table records.
@@ -225,6 +258,9 @@ func (b *Broker) enqueue(env message.Envelope) {
 		return
 	}
 	b.inbox = append(b.inbox, env)
+	depth := int64(len(b.inbox))
+	b.tel.QueueDepth.Set(depth)
+	b.tel.QueueHighWater.Observe(depth)
 	b.cond.Signal()
 }
 
@@ -241,6 +277,7 @@ func (b *Broker) run() {
 		}
 		env := b.inbox[0]
 		b.inbox = b.inbox[1:]
+		b.tel.QueueDepth.Set(int64(len(b.inbox)))
 		b.mu.Unlock()
 
 		if b.cfg.ServiceTime > 0 {
@@ -250,7 +287,14 @@ func (b *Broker) run() {
 			}
 			time.Sleep(cost)
 		}
+		// Measure the real dispatch cost (matching and forwarding), not the
+		// simulated service delay above.
+		t0 := time.Now()
 		b.process(env)
+		b.tel.DispatchLatency.Observe(time.Since(t0))
+		b.tel.Processed.Inc()
+		b.tel.SRTSize.Set(int64(b.srt.Len()))
+		b.tel.PRTSize.Set(int64(b.prt.Len()))
 		b.cfg.Net.Done(env.Msg)
 	}
 }
@@ -284,6 +328,7 @@ func (b *Broker) process(env message.Envelope) {
 // send transmits a message to a directly connected node (neighbor broker or
 // local client).
 func (b *Broker) send(to message.NodeID, m message.Message) {
+	b.tel.CountSend(m.Kind())
 	if err := b.cfg.Net.Send(b.cfg.ID.Node(), to, m); err != nil {
 		// A send can only fail when the destination detached concurrently
 		// (e.g. a moving client); the message is dropped, which the paper's
@@ -344,7 +389,12 @@ func (b *Broker) SendControl(m message.Message) error {
 // lifetime of their access links.
 func (b *Broker) Inject(from message.NodeID, m message.Message) {
 	b.cfg.Net.Registry().MsgEnqueued(m)
-	b.enqueue(message.Envelope{From: from, Msg: m})
+	env := message.Envelope{From: from, Msg: m}
+	if ts := b.cfg.Net.Tracer(); ts != nil {
+		env.Trace = message.TraceOf(m)
+		ts.RecordHop(env.Trace, from, b.cfg.ID.Node(), m.Kind(), time.Now())
+	}
+	b.enqueue(env)
 }
 
 // forwardOrDeliverControl moves a control message one hop toward its

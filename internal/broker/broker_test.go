@@ -234,8 +234,8 @@ func TestPublicationDroppedWithoutAdvertisement(t *testing.T) {
 	tn.attach("pub", "b1")
 	tn.send("pub", "b1", message.Publish{ID: "p1", Client: "pub", Event: predicate.Event{"x": predicate.Number(1)}})
 	tn.settle()
-	if tn.brokers["b1"].DroppedPublications() != 1 {
-		t.Errorf("dropped = %d, want 1", tn.brokers["b1"].DroppedPublications())
+	if st := tn.brokers["b1"].Stats(); st.DroppedPublications != 1 {
+		t.Errorf("dropped = %d, want 1", st.DroppedPublications)
 	}
 }
 

@@ -2,6 +2,7 @@ package broker
 
 import (
 	"strings"
+	"time"
 
 	"padres/internal/matching"
 	"padres/internal/message"
@@ -312,16 +313,18 @@ func (b *Broker) maybeSendSub(id message.SubID, client message.ClientID, f *pred
 // --- publication handling ---------------------------------------------------
 
 func (b *Broker) handlePublish(m message.Publish, from message.NodeID) {
+	t0 := time.Now()
 	// A publication is valid only if some advertisement (from its
 	// publisher's flooded advertisement tree) matches it.
 	if len(b.srt.Match(m.Event)) == 0 {
-		b.mu.Lock()
-		b.dropped++
-		b.mu.Unlock()
+		b.tel.MatchLatency.Observe(time.Since(t0))
+		b.tel.DroppedPublications.Inc()
 		return
 	}
+	matched := b.prt.Match(m.Event)
+	b.tel.MatchLatency.Observe(time.Since(t0))
 	seen := make(map[message.NodeID]bool)
-	for _, sub := range b.prt.Match(m.Event) {
+	for _, sub := range matched {
 		d := sub.LastHop
 		if d == from || seen[d] {
 			continue

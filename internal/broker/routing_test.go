@@ -122,9 +122,9 @@ func TestPauseQueuesWithoutLoss(t *testing.T) {
 	}
 	// Give the flood time to pile up at the frozen broker.
 	deadline := time.Now().Add(5 * time.Second)
-	for tn.brokers["b3"].QueueLen() < 5 {
+	for tn.brokers["b3"].Stats().QueueDepth < 5 {
 		if time.Now().After(deadline) {
-			t.Fatalf("queue = %d, want 5", tn.brokers["b3"].QueueLen())
+			t.Fatalf("queue = %d, want 5", tn.brokers["b3"].Stats().QueueDepth)
 		}
 		time.Sleep(time.Millisecond)
 	}
@@ -204,8 +204,8 @@ func TestReconfigMixedClientEntries(t *testing.T) {
 func TestQueueLenAndSnapshotAccessors(t *testing.T) {
 	tn := buildNet(t, linear5(t), false)
 	b := tn.brokers["b1"]
-	if b.QueueLen() != 0 {
-		t.Errorf("fresh queue = %d", b.QueueLen())
+	if st := b.Stats(); st.QueueDepth != 0 {
+		t.Errorf("fresh queue = %d", st.QueueDepth)
 	}
 	if b.Covering() {
 		t.Error("covering should be off")

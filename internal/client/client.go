@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"padres/internal/message"
 	"padres/internal/predicate"
@@ -74,6 +75,11 @@ type Mover interface {
 // ordered with the broker's other processing.
 type Sender func(from message.NodeID, m message.Message)
 
+// StateObserver is notified of every state transition of the client's
+// movement state machine (Fig. 4). Observers run with the client's lock
+// held: they must not block and must not call back into the client.
+type StateObserver func(id message.ClientID, from, to State, at time.Time)
+
 // Client is the pub/sub stub of one (mobile) application client.
 type Client struct {
 	id  message.ClientID
@@ -82,6 +88,7 @@ type Client struct {
 	mu       sync.Mutex
 	cond     *sync.Cond
 	state    State
+	stateObs StateObserver
 	broker   message.BrokerID
 	node     message.NodeID
 	mover    Mover
@@ -139,6 +146,27 @@ func (c *Client) SetMover(m Mover) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.mover = m
+}
+
+// SetStateObserver installs (or, with nil, removes) the transition
+// observer. The telemetry layer uses it to log and trace the client state
+// machine alongside the coordinator's movement spans.
+func (c *Client) SetStateObserver(obs StateObserver) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stateObs = obs
+}
+
+// setStateLocked performs a state transition and notifies the observer.
+func (c *Client) setStateLocked(s State) {
+	if s == c.state {
+		return
+	}
+	from := c.state
+	c.state = s
+	if c.stateObs != nil {
+		c.stateObs(c.id, from, s, time.Now())
+	}
 }
 
 // SetSender installs the path from the client into its current broker.

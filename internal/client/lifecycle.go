@@ -20,7 +20,7 @@ func (c *Client) Attach(b message.BrokerID) error {
 	}
 	c.broker = b
 	c.node = message.ClientNode(c.id, b)
-	c.state = StateStarted
+	c.setStateLocked(StateStarted)
 	return nil
 }
 
@@ -36,7 +36,7 @@ func (c *Client) BeginMove() error {
 	if c.state != StateStarted {
 		return fmt.Errorf("%w: state %s", ErrMoving, c.state)
 	}
-	c.state = StatePauseMove
+	c.setStateLocked(StatePauseMove)
 	return nil
 }
 
@@ -50,7 +50,7 @@ func (c *Client) PrepareStop() ([]message.Publish, error) {
 	if c.state != StatePauseMove {
 		return nil, fmt.Errorf("prepare stop in state %s", c.state)
 	}
-	c.state = StatePrepareStop
+	c.setStateLocked(StatePrepareStop)
 	out := make([]message.Publish, len(c.transfer))
 	copy(out, c.transfer)
 	return out, nil
@@ -66,7 +66,7 @@ func (c *Client) Resume() {
 	if c.state != StatePauseMove && c.state != StatePrepareStop {
 		return
 	}
-	c.state = StateStarted
+	c.setStateLocked(StateStarted)
 	for _, pub := range c.transfer {
 		c.enqueueLocked(pub)
 	}
@@ -90,7 +90,7 @@ func (c *Client) CompleteMove(target message.BrokerID, transferred, shell []mess
 	}
 	c.broker = target
 	c.node = message.ClientNode(c.id, target)
-	c.state = StateStarted
+	c.setStateLocked(StateStarted)
 	for _, pub := range transferred {
 		c.enqueueLocked(pub)
 	}
@@ -176,7 +176,7 @@ func (c *Client) Close() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.closed = true
-	c.state = StateCleaned
+	c.setStateLocked(StateCleaned)
 	c.cond.Broadcast()
 }
 
@@ -193,7 +193,7 @@ func (c *Client) PauseOperations() error {
 	if c.state != StateStarted {
 		return fmt.Errorf("pause operations in state %s", c.state)
 	}
-	c.state = StatePauseOper
+	c.setStateLocked(StatePauseOper)
 	return nil
 }
 
@@ -205,7 +205,7 @@ func (c *Client) ResumeOperations() error {
 	if c.state != StatePauseOper {
 		return fmt.Errorf("resume operations in state %s", c.state)
 	}
-	c.state = StateStarted
+	c.setStateLocked(StateStarted)
 	c.flushPendingLocked()
 	return nil
 }

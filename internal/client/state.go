@@ -73,7 +73,7 @@ func Deserialize(data []byte) (*Client, error) {
 	c := New(st.ID)
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.state = StatePauseMove
+	c.setStateLocked(StatePauseMove)
 	for id, f := range st.Subs {
 		c.subs[id] = f
 	}

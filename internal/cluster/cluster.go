@@ -56,6 +56,7 @@ type Cluster struct {
 	mu         sync.RWMutex
 	brokers    map[message.BrokerID]*broker.Broker
 	containers map[message.BrokerID]*core.Container
+	sink       core.EventSink
 }
 
 // New builds a cluster. Call Start before use and Stop when done.
@@ -165,6 +166,18 @@ func (c *Cluster) Container(id message.BrokerID) *core.Container {
 	return c.containers[id]
 }
 
+// SetEventSink installs a movement-event sink on every container in the
+// cluster (nil removes it). The sink survives broker restarts: a container
+// created by RestartBroker inherits it.
+func (c *Cluster) SetEventSink(sink core.EventSink) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sink = sink
+	for _, ct := range c.containers {
+		ct.SetEventSink(sink)
+	}
+}
+
 // RestartBroker replaces a broker with a fresh instance, optionally
 // restored from a previously exported state snapshot (the durability model
 // of Sec. 3.5: a crashed broker recovers its persisted algorithmic state).
@@ -213,6 +226,9 @@ func (c *Cluster) RestartBroker(id message.BrokerID, st *broker.State) error {
 		Admission:           c.opts.Admission,
 		SkipPropagationWait: c.opts.SkipPropagationWait,
 	})
+	if c.sink != nil {
+		c.containers[id].SetEventSink(c.sink)
+	}
 	nb.Start()
 	return nil
 }

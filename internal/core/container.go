@@ -30,6 +30,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"padres/internal/broker"
@@ -137,12 +138,16 @@ type Container struct {
 	cfg Config
 	reg *metrics.Registry
 
+	// events holds the installed EventSink; it is read lock-free because
+	// sinks are invoked from contexts that may hold the client stub's lock
+	// (state-transition observers), where taking ct.mu could deadlock.
+	events atomic.Pointer[EventSink]
+
 	mu     sync.Mutex
 	hosted map[message.ClientID]*client.Client
 	source map[message.TxID]*sourceTx
 	target map[message.TxID]*targetTx
 	txgen  *message.IDGen
-	events EventSink
 	stop   chan struct{}
 	wg     sync.WaitGroup
 	closed bool
@@ -272,6 +277,7 @@ func (ct *Container) NewClient(id message.ClientID) (*client.Client, error) {
 	}
 	c.SetMover(ct)
 	c.SetSender(ct.cfg.Broker.Inject)
+	ct.installStateObserver(c)
 	ct.cfg.Directory.Put(c)
 	ct.mu.Lock()
 	ct.hosted[id] = c
@@ -354,13 +360,10 @@ func (ct *Container) RequestMove(c *client.Client, target message.BrokerID) (<-c
 	return st.done, nil
 }
 
-// emitLocked emits while ct.mu is held (emit re-locks, so route around it).
+// emitLocked emits while ct.mu is held (emit takes no lock, so this is now
+// just an alias kept for call-site clarity).
 func (ct *Container) emitLocked(kind EventKind, tx message.TxID, cl message.ClientID, detail string) {
-	sink := ct.events
-	if sink == nil {
-		return
-	}
-	sink(Event{Kind: kind, Tx: tx, Client: cl, Broker: ct.cfg.Broker.ID(), At: time.Now(), Detail: detail})
+	ct.emit(kind, tx, cl, detail)
 }
 
 // handleControl is the broker's control sink (runs on the broker

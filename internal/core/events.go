@@ -36,6 +36,10 @@ const (
 	EventTargetTimeout
 	EventCommitted
 	EventAborted
+	// EventClientState reports a client stub state transition (Fig. 4);
+	// Detail carries "from->to". It is emitted outside any movement
+	// transaction scope, so Tx is empty.
+	EventClientState
 )
 
 var eventNames = map[EventKind]string{
@@ -56,6 +60,7 @@ var eventNames = map[EventKind]string{
 	EventTargetTimeout:     "target-timeout",
 	EventCommitted:         "committed",
 	EventAborted:           "aborted",
+	EventClientState:       "client-state",
 }
 
 // String returns the event name.
@@ -91,20 +96,22 @@ type EventSink func(Event)
 
 // SetEventSink installs (or, with nil, removes) the container's sink.
 func (ct *Container) SetEventSink(sink EventSink) {
-	ct.mu.Lock()
-	defer ct.mu.Unlock()
-	ct.events = sink
-}
-
-// emit sends an event to the sink, if any.
-func (ct *Container) emit(kind EventKind, tx message.TxID, cl message.ClientID, detail string) {
-	ct.mu.Lock()
-	sink := ct.events
-	ct.mu.Unlock()
 	if sink == nil {
+		ct.events.Store(nil)
 		return
 	}
-	sink(Event{
+	ct.events.Store(&sink)
+}
+
+// emit sends an event to the sink, if any. It takes no container lock, so
+// it is safe from any calling context (including client state observers
+// that run under the client stub's lock).
+func (ct *Container) emit(kind EventKind, tx message.TxID, cl message.ClientID, detail string) {
+	p := ct.events.Load()
+	if p == nil {
+		return
+	}
+	(*p)(Event{
 		Kind:   kind,
 		Tx:     tx,
 		Client: cl,

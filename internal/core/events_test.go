@@ -34,15 +34,21 @@ func kindsEqual(got []core.EventKind, want []core.EventKind) bool {
 
 func singleTx(t *testing.T, tr *core.Trace) message.TxID {
 	t.Helper()
-	events := tr.Events()
-	if len(events) == 0 {
-		t.Fatal("no events recorded")
-	}
-	tx := events[0].Tx
-	for _, e := range events {
-		if e.Tx != tx {
+	var tx message.TxID
+	for _, e := range tr.Events() {
+		if e.Tx == "" {
+			// Client state transitions are emitted outside any movement
+			// transaction.
+			continue
+		}
+		if tx == "" {
+			tx = e.Tx
+		} else if e.Tx != tx {
 			t.Fatalf("multiple transactions in trace: %s and %s", tx, e.Tx)
 		}
+	}
+	if tx == "" {
+		t.Fatal("no transaction events recorded")
 	}
 	return tx
 }

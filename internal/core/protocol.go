@@ -175,6 +175,7 @@ func (ct *Container) onState(m message.MoveState) {
 	ct.mu.Unlock()
 	c.SetMover(ct)
 	c.SetSender(ct.cfg.Broker.Inject)
+	ct.installStateObserver(c)
 	_ = c.CompleteMove(ct.cfg.Broker.ID(), m.Buffered, shell)
 
 	ct.emit(EventAckSent, m.Tx, m.Client, "")

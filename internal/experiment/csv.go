@@ -41,6 +41,38 @@ func WriteTimelineCSV(w io.Writer, results ...*Result) error {
 	return cw.Error()
 }
 
+// WritePhaseCSV emits one row per movement phase: protocol, tx, client,
+// outcome, phase, offset of the phase start within the movement, and the
+// phase duration. This is the per-movement 3PC breakdown (Figs. 4/5 phase
+// timing) recorded by the telemetry span recorder.
+func WritePhaseCSV(w io.Writer, results ...*Result) error {
+	cw := csv.NewWriter(w)
+	header := []string{"protocol", "tx", "client", "outcome", "phase", "offset_ms", "duration_ms"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, res := range results {
+		for _, tl := range res.Phases {
+			for _, p := range tl.Phases {
+				rec := []string{
+					res.Protocol,
+					tl.Tx,
+					tl.Client,
+					tl.Outcome,
+					p.Phase,
+					fmtMs(p.Start.Sub(tl.Start)),
+					fmtMs(p.Duration()),
+				}
+				if err := cw.Write(rec); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
 // sweepRow is one (x, protocol) observation of a sweep figure.
 type sweepRow struct {
 	x        string

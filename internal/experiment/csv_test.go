@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"padres/internal/telemetry"
 	"padres/internal/workload"
 )
 
@@ -77,5 +78,68 @@ func TestWriteSweepCSVs(t *testing.T) {
 		if !strings.HasPrefix(lines[1], c.xVal+",reconfig,10.000") {
 			t.Errorf("%s row = %q", c.name, lines[1])
 		}
+	}
+}
+
+func mkPhasedResult() *Result {
+	base := time.Unix(4000, 0)
+	res := mkResult("reconfig")
+	res.Phases = []telemetry.MovementTimeline{
+		{
+			Tx: "x1", Client: "c1", Outcome: "committed",
+			Start: base, End: base.Add(10 * time.Millisecond),
+			Phases: []telemetry.PhaseSpan{
+				{Phase: telemetry.PhaseInit, Start: base, End: base.Add(time.Millisecond)},
+				{Phase: telemetry.PhasePrepare, Start: base.Add(time.Millisecond), End: base.Add(4 * time.Millisecond)},
+				{Phase: telemetry.PhasePrecommit, Start: base.Add(4 * time.Millisecond), End: base.Add(8 * time.Millisecond)},
+				{Phase: telemetry.PhaseCommit, Start: base.Add(8 * time.Millisecond), End: base.Add(10 * time.Millisecond)},
+			},
+		},
+		{
+			Tx: "x2", Client: "c2", Outcome: "aborted",
+			Start: base, End: base.Add(3 * time.Millisecond),
+			Phases: []telemetry.PhaseSpan{
+				{Phase: telemetry.PhaseInit, Start: base, End: base.Add(time.Millisecond)},
+				{Phase: telemetry.PhaseAbort, Start: base.Add(time.Millisecond), End: base.Add(3 * time.Millisecond)},
+			},
+		},
+	}
+	return res
+}
+
+func TestWritePhaseCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := WritePhaseCSV(&sb, mkPhasedResult()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 7 { // header + 4 committed phases + 2 aborted phases
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "protocol,tx,client,outcome,phase,offset_ms,duration_ms" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[2] != "reconfig,x1,c1,committed,prepare,1.000,3.000" {
+		t.Errorf("prepare row = %q", lines[2])
+	}
+	if lines[6] != "reconfig,x2,c2,aborted,abort,1.000,2.000" {
+		t.Errorf("abort row = %q", lines[6])
+	}
+}
+
+func TestRenderPhaseSummary(t *testing.T) {
+	out := RenderPhaseSummary(mkPhasedResult())
+	for _, want := range []string{"phase", "init", "prepare", "precommit", "commit"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+	// Aborted movements are excluded, so the abort phase has no samples.
+	if strings.Contains(out, "abort") {
+		t.Errorf("summary includes aborted movements:\n%s", out)
+	}
+	if got := RenderPhaseSummary(&Result{}); !strings.Contains(got, "no committed movements") {
+		t.Errorf("empty summary = %q", got)
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"padres/internal/message"
 	"padres/internal/metrics"
 	"padres/internal/predicate"
+	"padres/internal/telemetry"
 	"padres/internal/workload"
 )
 
@@ -54,6 +55,22 @@ func TestRunBasic(t *testing.T) {
 			}
 			if res.Protocol != protocol.String() {
 				t.Errorf("protocol label = %s", res.Protocol)
+			}
+			if len(res.Phases) < res.Committed {
+				t.Errorf("phase timelines = %d, want >= %d", len(res.Phases), res.Committed)
+			}
+			for _, tl := range res.Phases {
+				if tl.Outcome != "committed" {
+					continue
+				}
+				for _, name := range []string{
+					telemetry.PhaseInit, telemetry.PhasePrepare,
+					telemetry.PhasePrecommit, telemetry.PhaseCommit,
+				} {
+					if _, ok := tl.Phase(name); !ok {
+						t.Errorf("tx %s missing phase %s: %+v", tl.Tx, name, tl.Phases)
+					}
+				}
 			}
 		})
 	}

@@ -6,6 +6,8 @@ import (
 	"strings"
 	"text/tabwriter"
 	"time"
+
+	"padres/internal/telemetry"
 )
 
 // ms renders a duration as fractional milliseconds, the unit of the paper's
@@ -92,6 +94,52 @@ func RenderTimeline(r *Result, buckets int) string {
 			}
 		}
 		fmt.Fprintln(w)
+	}
+	_ = w.Flush()
+	return b.String()
+}
+
+// RenderPhaseSummary formats the mean duration of each 3PC phase over the
+// committed movements of one run — the phase-level breakdown of where a
+// movement's latency goes.
+func RenderPhaseSummary(r *Result) string {
+	type agg struct {
+		sum time.Duration
+		n   int
+	}
+	byPhase := make(map[string]*agg)
+	committed := 0
+	for _, tl := range r.Phases {
+		if tl.Outcome != "committed" {
+			continue
+		}
+		committed++
+		for _, p := range tl.Phases {
+			a := byPhase[p.Phase]
+			if a == nil {
+				a = &agg{}
+				byPhase[p.Phase] = a
+			}
+			a.sum += p.Duration()
+			a.n++
+		}
+	}
+	if committed == 0 {
+		return "(no committed movements with phase spans)\n"
+	}
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 4, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "phase\tmean(ms)\tsamples\n")
+	order := []string{
+		telemetry.PhaseInit, telemetry.PhasePrepare, telemetry.PhasePrecommit,
+		telemetry.PhaseCommit, telemetry.PhaseAbort,
+	}
+	for _, name := range order {
+		a := byPhase[name]
+		if a == nil || a.n == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%s\t%s\t%d\n", name, ms(a.sum/time.Duration(a.n)), a.n)
 	}
 	_ = w.Flush()
 	return b.String()

@@ -26,6 +26,7 @@ import (
 	"padres/internal/metrics"
 	"padres/internal/overlay"
 	"padres/internal/predicate"
+	"padres/internal/telemetry"
 	"padres/internal/transport"
 	"padres/internal/workload"
 )
@@ -140,6 +141,9 @@ type Result struct {
 	MsgsPerMovement  float64
 	ThroughputPerSec float64
 	Timeline         []TimedMove
+	// Phases holds the per-movement 3PC phase spans (init, prepare,
+	// precommit, commit, abort) recorded during the measurement window.
+	Phases []telemetry.MovementTimeline
 }
 
 // Run executes one experiment configuration: the subscriber clients whose
@@ -226,7 +230,10 @@ func runCustom(cfg Config, setup func(h *harness) error) (*Result, error) {
 	}
 
 	// Steady state starts here: exclude the setup phase from the metrics,
-	// as the paper does.
+	// as the paper does. Phase spans are recorded from this point on so
+	// they line up with the movement records.
+	spans := telemetry.NewSpanRecorder(0)
+	cl.SetEventSink(core.PhaseSink(spans))
 	reg := cl.Registry()
 	reg.ResetTraffic()
 	reg.ResetMovements()
@@ -247,7 +254,9 @@ func runCustom(cfg Config, setup func(h *harness) error) (*Result, error) {
 	}
 	elapsed := time.Since(start)
 
-	return summarize(cfg, reg.Movements(), reg.TotalMessages(), start, elapsed), nil
+	res := summarize(cfg, reg.Movements(), reg.TotalMessages(), start, elapsed)
+	res.Phases = spans.Completed()
+	return res, nil
 }
 
 // startPublishing launches the background publishers. Each covers the

@@ -8,10 +8,13 @@ import (
 )
 
 // Envelope frames a message for the wire together with the sending node,
-// which the receiver uses as the message's last hop.
+// which the receiver uses as the message's last hop. Trace carries the
+// message's trace identity (TraceOf) when tracing is enabled; it rides the
+// wire so a receiving process can continue the hop record.
 type Envelope struct {
-	From NodeID
-	Msg  Message
+	From  NodeID
+	Msg   Message
+	Trace TraceID
 }
 
 // RegisterGobTypes registers all concrete message types with the standard

@@ -34,6 +34,8 @@ type (
 	PubID string
 	// TxID identifies a movement transaction.
 	TxID string
+	// TraceID identifies one traced message flow across hops (see TraceOf).
+	TraceID string
 )
 
 // Node converts a broker ID to its transport node ID.
@@ -269,6 +271,32 @@ func Dest(m Message) (BrokerID, bool) {
 		return c.Source, true
 	default:
 		return "", false
+	}
+}
+
+// TraceOf derives the message's trace identity. Routing messages keep
+// their identifier as they are forwarded hop-by-hop, so every transmission
+// of one logical message shares a trace; the control messages of a
+// movement transaction share the transaction's trace, with the message
+// kind distinguishing the protocol steps. Deriving the identity from the
+// message itself means no hop has to thread a context through handlers.
+func TraceOf(m Message) TraceID {
+	switch v := m.(type) {
+	case Advertise:
+		return TraceID("adv:" + v.ID)
+	case Unadvertise:
+		return TraceID("unadv:" + v.ID)
+	case Subscribe:
+		return TraceID("sub:" + v.ID)
+	case Unsubscribe:
+		return TraceID("unsub:" + v.ID)
+	case Publish:
+		return TraceID("pub:" + v.ID)
+	default:
+		if tx := m.Tag(); tx != "" {
+			return TraceID("tx:" + tx)
+		}
+		return ""
 	}
 }
 

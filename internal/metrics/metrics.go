@@ -125,6 +125,37 @@ func (r *Registry) LinkTraffic() map[LinkKey]int64 {
 	return out
 }
 
+// LinkStat is one directed link's total traffic, for deterministic
+// reporting.
+type LinkStat struct {
+	From  message.NodeID
+	To    message.NodeID
+	Count int64
+}
+
+// LinkSnapshot returns the traffic matrix as a slice sorted by source then
+// destination node, so status output and metric exposition are stable
+// across runs.
+func (r *Registry) LinkSnapshot() []LinkStat {
+	r.mu.Lock()
+	out := make([]LinkStat, 0, len(r.links))
+	for key, byKind := range r.links {
+		var n int64
+		for _, c := range byKind {
+			n += c
+		}
+		out = append(out, LinkStat{From: key.From, To: key.To, Count: n})
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
 // ResetTraffic zeroes the traffic matrix (movement records are kept). Used
 // to exclude the setup phase from steady-state measurements, as the paper
 // does.

@@ -188,3 +188,139 @@ func TestConcurrentCounting(t *testing.T) {
 		t.Fatalf("AwaitQuiescent: %v", err)
 	}
 }
+
+func TestLinkSnapshotOrdering(t *testing.T) {
+	r := NewRegistry()
+	r.CountSend("b2", "b1", message.KindPublish)
+	r.CountSend("b1", "b3", message.KindPublish)
+	r.CountSend("b1", "b2", message.KindSubscribe)
+	r.CountSend("b1", "b2", message.KindPublish)
+
+	snap := r.LinkSnapshot()
+	want := []LinkStat{
+		{From: "b1", To: "b2", Count: 2},
+		{From: "b1", To: "b3", Count: 1},
+		{From: "b2", To: "b1", Count: 1},
+	}
+	if len(snap) != len(want) {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	for i := range want {
+		if snap[i] != want[i] {
+			t.Fatalf("snapshot[%d] = %+v, want %+v", i, snap[i], want[i])
+		}
+	}
+}
+
+// TestQuiescentReopen exercises the edge where inflight rises again after
+// the quiesced channel has been closed: a waiter that saw the closed
+// channel must re-check and keep waiting.
+func TestQuiescentReopen(t *testing.T) {
+	r := NewRegistry()
+	m := message.Publish{ID: "p1"}
+
+	r.MsgEnqueued(m)
+	r.MsgDone(m)     // quiesced channel closes here
+	r.MsgEnqueued(m) // and is replaced here
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := r.AwaitQuiescent(ctx); err == nil {
+		t.Fatal("AwaitQuiescent returned during reopened activity")
+	}
+	r.MsgDone(m)
+	ctx2, cancel2 := context.WithTimeout(context.Background(), time.Second)
+	defer cancel2()
+	if err := r.AwaitQuiescent(ctx2); err != nil {
+		t.Fatalf("AwaitQuiescent: %v", err)
+	}
+}
+
+// TestAwaitTagDrained asserts that a tag whose traffic already fully
+// drained is immediately quiescent, also after DropTag forgot it.
+func TestAwaitTagDrained(t *testing.T) {
+	r := NewRegistry()
+	m := message.Subscribe{ID: "s1", TxTag: "tx9"}
+	r.MsgEnqueued(m)
+	r.MsgDone(m)
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := r.AwaitTag(ctx, "tx9"); err != nil {
+		t.Fatalf("drained tag not quiescent: %v", err)
+	}
+	r.DropTag("tx9")
+	if err := r.AwaitTag(ctx, "tx9"); err != nil {
+		t.Fatalf("dropped tag not quiescent: %v", err)
+	}
+}
+
+// TestDropTagActive asserts DropTag refuses to forget a tag that still has
+// traffic outstanding.
+func TestDropTagActive(t *testing.T) {
+	r := NewRegistry()
+	m := message.Subscribe{ID: "s1", TxTag: "tx5"}
+	r.MsgEnqueued(m)
+	r.DropTag("tx5")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := r.AwaitTag(ctx, "tx5"); err == nil {
+		t.Fatal("DropTag forgot an active tag")
+	}
+	r.MsgDone(m)
+}
+
+// TestConcurrentSnapshotDuringCounting races CountSend against the
+// aggregate readers; run with -race to verify lock coverage.
+func TestConcurrentSnapshotDuringCounting(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			from := message.NodeID(rune('a' + w))
+			for i := 0; i < 500; i++ {
+				r.CountSend(from, "z", message.KindPublish)
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = r.LinkSnapshot()
+			_ = r.TotalMessages()
+			_ = r.MessagesByKind()
+		}
+	}()
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) { // reuse goroutine index for distinct links
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.CountSend("y", message.NodeID(rune('a'+w)), message.KindSubscribe)
+			}
+		}(w)
+	}
+	// Wait for the counters, then stop the reader.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	<-done
+
+	if got := r.TotalMessages(); got != 4000 {
+		t.Fatalf("TotalMessages = %d, want 4000", got)
+	}
+	if got := len(r.LinkSnapshot()); got != 8 {
+		t.Fatalf("links = %d, want 8", got)
+	}
+}

@@ -1,0 +1,176 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"sync"
+	"time"
+
+	"padres/internal/message"
+)
+
+// Registry aggregates a process's telemetry: per-broker runtime metrics,
+// the trace store, the movement span recorder, and any extra Prometheus
+// exposition callbacks (e.g. the experiment harness's link-traffic
+// matrix). Its Handler exposes everything over HTTP.
+type Registry struct {
+	mu      sync.Mutex
+	brokers map[string]*BrokerMetrics
+	extra   []func(io.Writer)
+	traces  *TraceStore
+	spans   *SpanRecorder
+	started time.Time
+}
+
+// NewRegistry returns a registry with default-bounded trace and span
+// stores.
+func NewRegistry() *Registry {
+	return &Registry{
+		brokers: make(map[string]*BrokerMetrics),
+		traces:  NewTraceStore(0, 0),
+		spans:   NewSpanRecorder(0),
+		started: time.Now(),
+	}
+}
+
+// RegisterBroker attaches one broker's instruments under its ID.
+func (r *Registry) RegisterBroker(id message.BrokerID, bm *BrokerMetrics) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.brokers[string(id)] = bm
+}
+
+// Traces returns the registry's trace store.
+func (r *Registry) Traces() *TraceStore { return r.traces }
+
+// Spans returns the registry's movement span recorder.
+func (r *Registry) Spans() *SpanRecorder { return r.spans }
+
+// AddExposition registers an extra callback invoked on every /metrics
+// scrape; callbacks must emit valid Prometheus text lines.
+func (r *Registry) AddExposition(f func(io.Writer)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.extra = append(r.extra, f)
+}
+
+// WritePrometheus emits all registered instruments in Prometheus text
+// format with deterministic ordering.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	ids := make([]string, 0, len(r.brokers))
+	for id := range r.brokers {
+		ids = append(ids, id)
+	}
+	brokers := make(map[string]*BrokerMetrics, len(r.brokers))
+	for id, bm := range r.brokers {
+		brokers[id] = bm
+	}
+	extra := make([]func(io.Writer), len(r.extra))
+	copy(extra, r.extra)
+	r.mu.Unlock()
+	sort.Strings(ids)
+
+	fmt.Fprintf(w, "padres_uptime_seconds %g\n", time.Since(r.started).Seconds())
+	fmt.Fprintf(w, "padres_traces_stored %d\n", r.traces.Len())
+	fmt.Fprintf(w, "padres_traces_evicted_total %d\n", r.traces.Evicted())
+	fmt.Fprintf(w, "padres_movement_timelines_completed %d\n", len(r.spans.Completed()))
+	fmt.Fprintf(w, "padres_movement_timelines_active %d\n", r.spans.ActiveCount())
+	for _, id := range ids {
+		brokers[id].writePrometheus(w, id)
+	}
+	for _, f := range extra {
+		f(w)
+	}
+}
+
+// Handler returns the telemetry HTTP mux:
+//
+//	/metrics        Prometheus text exposition
+//	/healthz        JSON liveness summary
+//	/traces         JSON dump of stored traces (?id= selects one)
+//	/spans          JSON dump of completed movement timelines
+//	/debug/pprof/   Go runtime profiles
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		r.mu.Lock()
+		ids := make([]string, 0, len(r.brokers))
+		for id := range r.brokers {
+			ids = append(ids, id)
+		}
+		r.mu.Unlock()
+		sort.Strings(ids)
+		writeJSON(w, map[string]any{
+			"status":         "ok",
+			"uptime_seconds": time.Since(r.started).Seconds(),
+			"brokers":        ids,
+		})
+	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, req *http.Request) {
+		if id := req.URL.Query().Get("id"); id != "" {
+			tr, ok := r.traces.Get(message.TraceID(id))
+			if !ok {
+				http.Error(w, "unknown trace", http.StatusNotFound)
+				return
+			}
+			writeJSON(w, tr)
+			return
+		}
+		writeJSON(w, r.traces.Snapshot())
+	})
+	mux.HandleFunc("/spans", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, r.spans.Completed())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// Server is a running telemetry HTTP endpoint.
+type Server struct {
+	srv  *http.Server
+	addr net.Addr
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.addr.String() }
+
+// Close shuts the endpoint down.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return s.srv.Shutdown(ctx)
+}
+
+// Serve binds addr and serves the registry's Handler in a background
+// goroutine until Close.
+func (r *Registry) Serve(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: r.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{srv: srv, addr: ln.Addr()}, nil
+}

@@ -1,0 +1,171 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"padres/internal/message"
+)
+
+func newTestRegistry(t *testing.T) *Registry {
+	t.Helper()
+	r := NewRegistry()
+	bm := NewBrokerMetrics()
+	bm.Processed.Add(7)
+	r.RegisterBroker("b1", bm)
+	r.Traces().RecordHop("pub:p1", "b1", "b2", message.KindPublish, time.Unix(3000, 0))
+	r.Spans().Observe("x1", "c1", "b1", StepMoveRequested, time.Unix(3000, 0), "")
+	r.Spans().Observe("x1", "c1", "b1", StepCommitted, time.Unix(3001, 0), "")
+	return r
+}
+
+func get(t *testing.T, srv *httptest.Server, path string) (*http.Response, string) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(body)
+}
+
+func TestHandlerMetrics(t *testing.T) {
+	srv := httptest.NewServer(newTestRegistry(t).Handler())
+	defer srv.Close()
+
+	resp, body := get(t, srv, "/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	for _, want := range []string{
+		"padres_uptime_seconds",
+		"padres_traces_stored 1",
+		"padres_movement_timelines_completed 1",
+		`padres_broker_processed_total{broker="b1"} 7`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestHandlerExtraExposition(t *testing.T) {
+	r := newTestRegistry(t)
+	r.AddExposition(func(w io.Writer) {
+		fmt.Fprintln(w, "padres_custom_metric 42")
+	})
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	_, body := get(t, srv, "/metrics")
+	if !strings.Contains(body, "padres_custom_metric 42") {
+		t.Fatalf("extra exposition missing:\n%s", body)
+	}
+}
+
+func TestHandlerHealthz(t *testing.T) {
+	srv := httptest.NewServer(newTestRegistry(t).Handler())
+	defer srv.Close()
+
+	resp, body := get(t, srv, "/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var h struct {
+		Status  string   `json:"status"`
+		Uptime  float64  `json:"uptime_seconds"`
+		Brokers []string `json:"brokers"`
+	}
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatalf("healthz json: %v\n%s", err, body)
+	}
+	if h.Status != "ok" || len(h.Brokers) != 1 || h.Brokers[0] != "b1" {
+		t.Fatalf("healthz = %+v", h)
+	}
+}
+
+func TestHandlerTraces(t *testing.T) {
+	srv := httptest.NewServer(newTestRegistry(t).Handler())
+	defer srv.Close()
+
+	_, body := get(t, srv, "/traces")
+	var all []TraceRecord
+	if err := json.Unmarshal([]byte(body), &all); err != nil {
+		t.Fatalf("traces json: %v\n%s", err, body)
+	}
+	if len(all) != 1 || all[0].ID != "pub:p1" {
+		t.Fatalf("traces = %+v", all)
+	}
+
+	_, body = get(t, srv, "/traces?id=pub:p1")
+	var one TraceRecord
+	if err := json.Unmarshal([]byte(body), &one); err != nil {
+		t.Fatalf("trace json: %v\n%s", err, body)
+	}
+	if len(one.Hops) != 1 || one.Hops[0].Kind != "publish" {
+		t.Fatalf("trace = %+v", one)
+	}
+
+	resp, _ := get(t, srv, "/traces?id=pub:nope")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown trace status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestHandlerSpans(t *testing.T) {
+	srv := httptest.NewServer(newTestRegistry(t).Handler())
+	defer srv.Close()
+
+	_, body := get(t, srv, "/spans")
+	var spans []MovementTimeline
+	if err := json.Unmarshal([]byte(body), &spans); err != nil {
+		t.Fatalf("spans json: %v\n%s", err, body)
+	}
+	if len(spans) != 1 || spans[0].Tx != "x1" || spans[0].Outcome != "committed" {
+		t.Fatalf("spans = %+v", spans)
+	}
+}
+
+func TestHandlerPprof(t *testing.T) {
+	srv := httptest.NewServer(newTestRegistry(t).Handler())
+	defer srv.Close()
+
+	resp, body := get(t, srv, "/debug/pprof/")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof status = %d", resp.StatusCode)
+	}
+	if !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index unexpected:\n%.200s", body)
+	}
+}
+
+func TestServe(t *testing.T) {
+	r := newTestRegistry(t)
+	srv, err := r.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+
+	resp, err := http.Get("http://" + srv.Addr() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,112 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"strings"
+	"sync"
+)
+
+// Structured logging with per-component levels. Components obtain a logger
+// once (telemetry.Logger("broker")) and log through it; operators tune
+// verbosity per component at runtime with SetLogLevel or a spec string like
+// "info,broker=debug,transport=warn".
+
+var logState = struct {
+	mu     sync.Mutex
+	out    io.Writer
+	def    slog.Level
+	levels map[string]*slog.LevelVar
+}{
+	out:    os.Stderr,
+	def:    slog.LevelInfo,
+	levels: make(map[string]*slog.LevelVar),
+}
+
+// levelVar returns the component's level variable, creating it at the
+// current default level.
+func levelVar(component string) *slog.LevelVar {
+	lv, ok := logState.levels[component]
+	if !ok {
+		lv = new(slog.LevelVar)
+		lv.Set(logState.def)
+		logState.levels[component] = lv
+	}
+	return lv
+}
+
+// Logger returns a structured logger for the component, honouring the
+// component's (runtime-adjustable) level.
+func Logger(component string) *slog.Logger {
+	logState.mu.Lock()
+	lv := levelVar(component)
+	out := logState.out
+	logState.mu.Unlock()
+	h := slog.NewTextHandler(out, &slog.HandlerOptions{Level: lv})
+	return slog.New(h).With("component", component)
+}
+
+// SetLogLevel sets one component's level; the empty component ("" or "*")
+// sets the default for components seen so far and created later.
+func SetLogLevel(component string, level slog.Level) {
+	logState.mu.Lock()
+	defer logState.mu.Unlock()
+	if component == "" || component == "*" {
+		logState.def = level
+		for _, lv := range logState.levels {
+			lv.Set(level)
+		}
+		return
+	}
+	levelVar(component).Set(level)
+}
+
+// SetLogOutput redirects all loggers created afterwards (tests use this).
+func SetLogOutput(w io.Writer) {
+	logState.mu.Lock()
+	defer logState.mu.Unlock()
+	logState.out = w
+}
+
+// ParseLevel parses debug/info/warn/error.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("unknown log level %q (want debug|info|warn|error)", s)
+	}
+}
+
+// ConfigureLogLevels applies a spec of comma-separated entries, each either
+// a bare default level or component=level, e.g.
+// "info,broker=debug,transport=warn".
+func ConfigureLogLevels(spec string) error {
+	if strings.TrimSpace(spec) == "" {
+		return nil
+	}
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		component, levelStr, found := strings.Cut(entry, "=")
+		if !found {
+			levelStr, component = component, ""
+		}
+		level, err := ParseLevel(levelStr)
+		if err != nil {
+			return fmt.Errorf("log spec entry %q: %w", entry, err)
+		}
+		SetLogLevel(strings.TrimSpace(component), level)
+	}
+	return nil
+}

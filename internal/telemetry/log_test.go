@@ -1,0 +1,83 @@
+package telemetry
+
+import (
+	"log/slog"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// logBuf is a concurrency-safe writer for capturing log output.
+type logBuf struct {
+	mu sync.Mutex
+	sb strings.Builder
+}
+
+func (b *logBuf) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.Write(p)
+}
+
+func (b *logBuf) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.String()
+}
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]slog.Level{
+		"debug":   slog.LevelDebug,
+		"Info":    slog.LevelInfo,
+		" warn ":  slog.LevelWarn,
+		"warning": slog.LevelWarn,
+		"ERROR":   slog.LevelError,
+	}
+	for in, want := range cases {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel(loud) succeeded")
+	}
+}
+
+func TestConfigureLogLevelsErrors(t *testing.T) {
+	if err := ConfigureLogLevels("info,broker=loud"); err == nil {
+		t.Error("bad component level accepted")
+	}
+	if err := ConfigureLogLevels("nope"); err == nil {
+		t.Error("bad default level accepted")
+	}
+	if err := ConfigureLogLevels(""); err != nil {
+		t.Errorf("empty spec = %v", err)
+	}
+}
+
+func TestPerComponentLevels(t *testing.T) {
+	var buf logBuf
+	SetLogOutput(&buf)
+	defer SetLogOutput(os.Stderr)
+	if err := ConfigureLogLevels("warn,chatty=debug"); err != nil {
+		t.Fatal(err)
+	}
+	defer SetLogLevel("", slog.LevelInfo)
+
+	Logger("chatty").Debug("visible")
+	Logger("quiet").Debug("hidden")
+	Logger("quiet").Warn("also visible")
+
+	out := buf.String()
+	if !strings.Contains(out, "visible") || !strings.Contains(out, "component=chatty") {
+		t.Errorf("debug log for tuned component missing:\n%s", out)
+	}
+	if strings.Contains(out, "msg=hidden") {
+		t.Errorf("suppressed debug log leaked:\n%s", out)
+	}
+	if !strings.Contains(out, "also visible") {
+		t.Errorf("warn log missing:\n%s", out)
+	}
+}

@@ -1,0 +1,264 @@
+// Package telemetry is the observability layer of the pub/sub system:
+// hop-by-hop message tracing, per-phase movement spans, lock-free broker
+// runtime metrics, structured per-component logging, and HTTP exposition
+// (Prometheus text, health, trace dumps, pprof).
+//
+// The package sits below every other layer: it imports only
+// internal/message and the standard library, so the broker, transport,
+// core, and client packages can all report into it without import cycles.
+// The hot-path instruments (Counter, Gauge, MaxGauge, Histogram) are built
+// on sync/atomic so the broker dispatch path pays no lock to record a
+// measurement.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"padres/internal/message"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 to keep the counter monotonic).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// MaxGauge tracks the maximum observed value (a high-water mark).
+type MaxGauge struct{ v atomic.Int64 }
+
+// Observe raises the mark to n if n exceeds it.
+func (m *MaxGauge) Observe(n int64) {
+	for {
+		cur := m.v.Load()
+		if n <= cur {
+			return
+		}
+		if m.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Value returns the high-water mark.
+func (m *MaxGauge) Value() int64 { return m.v.Load() }
+
+// defaultLatencyBounds are the histogram bucket upper bounds in seconds,
+// spanning sub-millisecond matching up to multi-second congestion stalls.
+var defaultLatencyBounds = []float64{
+	0.000_05, 0.000_1, 0.000_25, 0.000_5,
+	0.001, 0.002_5, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket latency histogram safe for lock-free
+// concurrent observation. Bucket counts are cumulative only at snapshot
+// time (each atomic cell holds its own bucket's count).
+type Histogram struct {
+	bounds []float64 // upper bounds in seconds, ascending
+	counts []atomic.Int64
+	sum    atomic.Int64 // nanoseconds
+	count  atomic.Int64
+}
+
+// NewLatencyHistogram returns a histogram with the default latency buckets.
+func NewLatencyHistogram() *Histogram { return NewHistogram(defaultLatencyBounds) }
+
+// NewHistogram returns a histogram with the given upper bounds (seconds,
+// ascending); an implicit +Inf bucket is appended.
+func NewHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	s := d.Seconds()
+	i := sort.SearchFloat64s(h.bounds, s)
+	h.counts[i].Add(1)
+	h.sum.Add(int64(d))
+	h.count.Add(1)
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	Bounds []float64 // upper bounds in seconds; implicit +Inf bucket last
+	Counts []int64   // len(Bounds)+1 per-bucket (non-cumulative) counts
+	Sum    time.Duration
+	Count  int64
+}
+
+// Snapshot copies the histogram state. Concurrent observations may land
+// between cell reads; totals are therefore approximate under load, which is
+// acceptable for monitoring.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.counts)),
+		Sum:    time.Duration(h.sum.Load()),
+		Count:  h.count.Load(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Mean returns the mean observed duration (0 when empty).
+func (s HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / time.Duration(s.Count)
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) assuming observations sit
+// at their bucket's upper bound; the +Inf bucket reports the last finite
+// bound.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	rank := int64(q * float64(s.Count))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range s.Counts {
+		cum += c
+		if cum >= rank {
+			bound := s.Bounds[len(s.Bounds)-1]
+			if i < len(s.Bounds) {
+				bound = s.Bounds[i]
+			}
+			return time.Duration(bound * float64(time.Second))
+		}
+	}
+	return time.Duration(s.Bounds[len(s.Bounds)-1] * float64(time.Second))
+}
+
+// kindSlots bounds the per-kind counter array; message kinds are small
+// consecutive integers.
+const kindSlots = 16
+
+// BrokerMetrics holds one broker's runtime instruments. All fields are
+// updated lock-free; the broker hot path touches only atomics.
+type BrokerMetrics struct {
+	// QueueDepth mirrors the broker inbox length.
+	QueueDepth Gauge
+	// QueueHighWater is the maximum inbox length seen since start.
+	QueueHighWater MaxGauge
+	// Processed counts messages fully processed by the dispatch loop.
+	Processed Counter
+	// DroppedPublications counts publications discarded because no
+	// advertisement matched them.
+	DroppedPublications Counter
+	// SRTSize and PRTSize mirror the routing table sizes (including
+	// prepared shadow configurations of in-flight movements).
+	SRTSize Gauge
+	PRTSize Gauge
+	// DispatchLatency measures the real processing time of one message
+	// (matching and forwarding), excluding any simulated service delay.
+	DispatchLatency *Histogram
+	// MatchLatency measures the publication matching pass alone.
+	MatchLatency *Histogram
+	// sends counts messages sent, by message kind.
+	sends [kindSlots]Counter
+}
+
+// NewBrokerMetrics returns zeroed broker instruments.
+func NewBrokerMetrics() *BrokerMetrics {
+	return &BrokerMetrics{
+		DispatchLatency: NewLatencyHistogram(),
+		MatchLatency:    NewLatencyHistogram(),
+	}
+}
+
+// CountSend records one outbound message of the given kind.
+func (bm *BrokerMetrics) CountSend(k message.Kind) {
+	if k > 0 && int(k) < kindSlots {
+		bm.sends[k].Inc()
+	}
+}
+
+// SendsByKind returns the outbound message counts per kind (kinds with zero
+// sends are omitted).
+func (bm *BrokerMetrics) SendsByKind() map[message.Kind]int64 {
+	out := make(map[message.Kind]int64)
+	for k := 1; k < kindSlots; k++ {
+		if n := bm.sends[k].Value(); n > 0 {
+			out[message.Kind(k)] = n
+		}
+	}
+	return out
+}
+
+// TotalSends returns the outbound message count across all kinds.
+func (bm *BrokerMetrics) TotalSends() int64 {
+	var total int64
+	for k := 1; k < kindSlots; k++ {
+		total += bm.sends[k].Value()
+	}
+	return total
+}
+
+// writePrometheus emits the broker's instruments in Prometheus text format,
+// labelled with the broker ID. Output ordering is deterministic.
+func (bm *BrokerMetrics) writePrometheus(w io.Writer, broker string) {
+	l := fmt.Sprintf("{broker=%q}", broker)
+	fmt.Fprintf(w, "padres_broker_queue_depth%s %d\n", l, bm.QueueDepth.Value())
+	fmt.Fprintf(w, "padres_broker_queue_high_water%s %d\n", l, bm.QueueHighWater.Value())
+	fmt.Fprintf(w, "padres_broker_processed_total%s %d\n", l, bm.Processed.Value())
+	fmt.Fprintf(w, "padres_broker_dropped_publications_total%s %d\n", l, bm.DroppedPublications.Value())
+	fmt.Fprintf(w, "padres_broker_srt_size%s %d\n", l, bm.SRTSize.Value())
+	fmt.Fprintf(w, "padres_broker_prt_size%s %d\n", l, bm.PRTSize.Value())
+	for k := 1; k < kindSlots; k++ {
+		if n := bm.sends[k].Value(); n > 0 {
+			fmt.Fprintf(w, "padres_broker_sends_total{broker=%q,kind=%q} %d\n",
+				broker, message.Kind(k).String(), n)
+		}
+	}
+	writeHistogram(w, "padres_broker_dispatch_latency_seconds", broker, bm.DispatchLatency.Snapshot())
+	writeHistogram(w, "padres_broker_match_latency_seconds", broker, bm.MatchLatency.Snapshot())
+}
+
+// writeHistogram emits one histogram in Prometheus text format (cumulative
+// buckets, as the exposition format requires).
+func writeHistogram(w io.Writer, name, broker string, s HistogramSnapshot) {
+	var cum int64
+	for i, bound := range s.Bounds {
+		cum += s.Counts[i]
+		fmt.Fprintf(w, "%s_bucket{broker=%q,le=%q} %d\n", name, broker, formatBound(bound), cum)
+	}
+	cum += s.Counts[len(s.Counts)-1]
+	fmt.Fprintf(w, "%s_bucket{broker=%q,le=\"+Inf\"} %d\n", name, broker, cum)
+	fmt.Fprintf(w, "%s_sum{broker=%q} %g\n", name, broker, s.Sum.Seconds())
+	fmt.Fprintf(w, "%s_count{broker=%q} %d\n", name, broker, s.Count)
+}
+
+func formatBound(b float64) string { return fmt.Sprintf("%g", b) }

@@ -1,0 +1,156 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"padres/internal/message"
+)
+
+func TestCounterGaugeMaxGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+
+	var g Gauge
+	g.Set(7)
+	g.Inc()
+	g.Dec()
+	g.Dec()
+	if g.Value() != 6 {
+		t.Fatalf("gauge = %d, want 6", g.Value())
+	}
+
+	var m MaxGauge
+	m.Observe(3)
+	m.Observe(9)
+	m.Observe(5)
+	if m.Value() != 9 {
+		t.Fatalf("max gauge = %d, want 9", m.Value())
+	}
+}
+
+func TestMaxGaugeConcurrent(t *testing.T) {
+	var m MaxGauge
+	var wg sync.WaitGroup
+	for i := 1; i <= 50; i++ {
+		wg.Add(1)
+		go func(n int64) {
+			defer wg.Done()
+			m.Observe(n)
+		}(int64(i))
+	}
+	wg.Wait()
+	if m.Value() != 50 {
+		t.Fatalf("max gauge = %d, want 50", m.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{0.001, 0.01, 0.1})
+	h.Observe(500 * time.Microsecond) // bucket le=0.001
+	h.Observe(5 * time.Millisecond)   // bucket le=0.01
+	h.Observe(5 * time.Millisecond)
+	h.Observe(time.Second) // +Inf bucket
+
+	s := h.Snapshot()
+	if s.Count != 4 {
+		t.Fatalf("count = %d, want 4", s.Count)
+	}
+	want := []int64{1, 2, 0, 1}
+	for i, n := range want {
+		if s.Counts[i] != n {
+			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, s.Counts[i], n, s.Counts)
+		}
+	}
+	if got := s.Sum; got != 1010500*time.Microsecond {
+		t.Fatalf("sum = %v, want 1.0105s", got)
+	}
+	if mean := s.Mean(); mean != s.Sum/4 {
+		t.Fatalf("mean = %v", mean)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{0.001, 0.01, 0.1})
+	for i := 0; i < 90; i++ {
+		h.Observe(500 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(50 * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if q := s.Quantile(0.5); q != time.Millisecond {
+		t.Fatalf("p50 = %v, want 1ms", q)
+	}
+	if q := s.Quantile(0.99); q != 100*time.Millisecond {
+		t.Fatalf("p99 = %v, want 100ms", q)
+	}
+	if q := (HistogramSnapshot{}).Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile = %v, want 0", q)
+	}
+}
+
+func TestBrokerMetricsSends(t *testing.T) {
+	bm := NewBrokerMetrics()
+	bm.CountSend(message.KindPublish)
+	bm.CountSend(message.KindPublish)
+	bm.CountSend(message.KindSubscribe)
+	bm.CountSend(message.Kind(0))   // ignored: invalid
+	bm.CountSend(message.Kind(100)) // ignored: out of slot range
+
+	if got := bm.TotalSends(); got != 3 {
+		t.Fatalf("total sends = %d, want 3", got)
+	}
+	byKind := bm.SendsByKind()
+	if byKind[message.KindPublish] != 2 || byKind[message.KindSubscribe] != 1 {
+		t.Fatalf("sends by kind = %v", byKind)
+	}
+	if len(byKind) != 2 {
+		t.Fatalf("kinds = %d, want 2 (zero-send kinds omitted)", len(byKind))
+	}
+}
+
+func TestBrokerMetricsPrometheusFormat(t *testing.T) {
+	bm := NewBrokerMetrics()
+	bm.QueueDepth.Set(3)
+	bm.QueueHighWater.Observe(11)
+	bm.Processed.Add(42)
+	bm.DroppedPublications.Inc()
+	bm.SRTSize.Set(5)
+	bm.PRTSize.Set(6)
+	bm.CountSend(message.KindPublish)
+	bm.DispatchLatency.Observe(2 * time.Millisecond)
+	bm.DispatchLatency.Observe(20 * time.Millisecond)
+
+	var sb strings.Builder
+	bm.writePrometheus(&sb, "b1")
+	out := sb.String()
+
+	for _, want := range []string{
+		`padres_broker_queue_depth{broker="b1"} 3`,
+		`padres_broker_queue_high_water{broker="b1"} 11`,
+		`padres_broker_processed_total{broker="b1"} 42`,
+		`padres_broker_dropped_publications_total{broker="b1"} 1`,
+		`padres_broker_srt_size{broker="b1"} 5`,
+		`padres_broker_prt_size{broker="b1"} 6`,
+		`padres_broker_sends_total{broker="b1",kind="publish"} 1`,
+		`padres_broker_dispatch_latency_seconds_count{broker="b1"} 2`,
+		`padres_broker_dispatch_latency_seconds_bucket{broker="b1",le="+Inf"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	// Buckets must be cumulative: the le=0.025 bucket contains both the 2 ms
+	// and the 20 ms observation.
+	if !strings.Contains(out, `padres_broker_dispatch_latency_seconds_bucket{broker="b1",le="0.025"} 2`) {
+		t.Errorf("cumulative bucket wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,246 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Movement phases of the 3PC-style movement transaction, derived from the
+// source coordinator's protocol steps (the client and coordinator state
+// machines of the paper's Figs. 4 and 5):
+//
+//	init      move requested until the negotiate message leaves the source
+//	prepare   negotiate sent until the target's approval arrives (the
+//	          target creates the shell and — per protocol — prepares
+//	          routing hop-by-hop or waits for re-subscription quiescence)
+//	precommit approval received until the target's ack arrives (client
+//	          stopped, state transferred, client restarted at the target)
+//	commit    ack received until the transaction is recorded committed
+//	          (includes the end-to-end protocol's propagation wait)
+//	abort     the failure path: from the last completed boundary to the
+//	          recorded abort
+const (
+	PhaseInit      = "init"
+	PhasePrepare   = "prepare"
+	PhasePrecommit = "precommit"
+	PhaseCommit    = "commit"
+	PhaseAbort     = "abort"
+)
+
+// Protocol step names the span recorder keys phase boundaries on. They
+// mirror internal/core's event names (kept as strings so telemetry does not
+// import core).
+const (
+	StepMoveRequested   = "move-requested"
+	StepNegotiateSent   = "negotiate-sent"
+	StepApproveReceived = "approve-received"
+	StepAckReceived     = "ack-received"
+	StepCommitted       = "committed"
+	StepAborted         = "aborted"
+)
+
+// Step is one observed protocol step (from either coordinator).
+type Step struct {
+	Name   string    `json:"name"`
+	Broker string    `json:"broker"`
+	At     time.Time `json:"at"`
+	Detail string    `json:"detail,omitempty"`
+}
+
+// PhaseSpan is one phase of a movement with its measured boundaries.
+type PhaseSpan struct {
+	Phase string    `json:"phase"`
+	Start time.Time `json:"start"`
+	End   time.Time `json:"end"`
+}
+
+// Duration returns the span length.
+func (p PhaseSpan) Duration() time.Duration { return p.End.Sub(p.Start) }
+
+// MovementTimeline is the reconstructed phase breakdown of one movement
+// transaction, with the raw steps from both coordinators attached.
+type MovementTimeline struct {
+	Tx      string      `json:"tx"`
+	Client  string      `json:"client"`
+	Outcome string      `json:"outcome"` // "committed" or "aborted"
+	Start   time.Time   `json:"start"`
+	End     time.Time   `json:"end"`
+	Phases  []PhaseSpan `json:"phases"`
+	Steps   []Step      `json:"steps"`
+}
+
+// Duration returns the whole movement's wall-clock duration.
+func (t MovementTimeline) Duration() time.Duration { return t.End.Sub(t.Start) }
+
+// Phase returns the named phase span, if present.
+func (t MovementTimeline) Phase(name string) (PhaseSpan, bool) {
+	for _, p := range t.Phases {
+		if p.Phase == name {
+			return p, true
+		}
+	}
+	return PhaseSpan{}, false
+}
+
+// DefaultMaxTimelines bounds the completed-timeline buffer.
+const DefaultMaxTimelines = 65536
+
+// SpanRecorder turns protocol steps into per-movement phase timelines. It
+// is fed by an event sink installed on the movement coordinators (see
+// internal/core.PhaseSink) and is safe for concurrent use. Completed
+// timelines are kept in a bounded FIFO buffer.
+type SpanRecorder struct {
+	mu        sync.Mutex
+	max       int
+	active    map[string]*MovementTimeline
+	completed []MovementTimeline
+	dropped   int64
+}
+
+// NewSpanRecorder returns a recorder keeping at most max completed
+// timelines (<= 0 selects the default).
+func NewSpanRecorder(max int) *SpanRecorder {
+	if max <= 0 {
+		max = DefaultMaxTimelines
+	}
+	return &SpanRecorder{max: max, active: make(map[string]*MovementTimeline)}
+}
+
+// Observe records one protocol step of transaction tx. Terminal steps
+// (committed, aborted) close the timeline and move it to the completed
+// buffer. Steps with an empty tx are ignored.
+func (r *SpanRecorder) Observe(tx, client, broker, step string, at time.Time, detail string) {
+	if tx == "" {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	tl, ok := r.active[tx]
+	if !ok {
+		tl = &MovementTimeline{Tx: tx, Client: client, Start: at}
+		r.active[tx] = tl
+	}
+	if tl.Client == "" {
+		tl.Client = client
+	}
+	tl.Steps = append(tl.Steps, Step{Name: step, Broker: broker, At: at, Detail: detail})
+	if step != StepCommitted && step != StepAborted {
+		return
+	}
+	tl.End = at
+	if step == StepCommitted {
+		tl.Outcome = "committed"
+	} else {
+		tl.Outcome = "aborted"
+	}
+	tl.Phases = buildPhases(tl)
+	delete(r.active, tx)
+	if len(r.completed) >= r.max {
+		drop := len(r.completed) - r.max + 1
+		r.completed = append(r.completed[:0], r.completed[drop:]...)
+		r.dropped += int64(drop)
+	}
+	r.completed = append(r.completed, *tl)
+}
+
+// buildPhases derives the phase spans from the source-side step times that
+// were observed. Failure paths yield a trailing abort phase from the last
+// completed boundary.
+func buildPhases(tl *MovementTimeline) []PhaseSpan {
+	at := func(name string) (time.Time, bool) {
+		for _, s := range tl.Steps {
+			if s.Name == name {
+				return s.At, true
+			}
+		}
+		return time.Time{}, false
+	}
+	boundaries := []struct {
+		phase string
+		step  string
+	}{
+		{PhaseInit, StepMoveRequested},
+		{PhasePrepare, StepNegotiateSent},
+		{PhasePrecommit, StepApproveReceived},
+		{PhaseCommit, StepAckReceived},
+	}
+	var phases []PhaseSpan
+	last := tl.Start
+	haveLast := false
+	for i, b := range boundaries {
+		start, ok := at(b.step)
+		if !ok {
+			continue
+		}
+		// The phase runs from this boundary to the next observed one (or
+		// the terminal event).
+		end := tl.End
+		for j := i + 1; j < len(boundaries); j++ {
+			if t, ok2 := at(boundaries[j].step); ok2 {
+				end = t
+				break
+			}
+		}
+		phases = append(phases, PhaseSpan{Phase: b.phase, Start: start, End: end})
+		last = end
+		haveLast = true
+	}
+	if tl.Outcome == "aborted" {
+		// The abort phase starts at the step that triggered the rollback
+		// (reject, timeout, or an abort message crossing the coordinator);
+		// the phase the movement was in keeps the time up to that trigger.
+		start := tl.End
+		for _, s := range tl.Steps {
+			switch s.Name {
+			case "reject-received", "abort-sent", "abort-received",
+				"source-timeout", "target-timeout":
+				start = s.At
+			}
+			if !start.Equal(tl.End) {
+				break
+			}
+		}
+		if start.Equal(tl.End) && haveLast {
+			start = last
+		}
+		if start.Equal(tl.End) {
+			start = tl.Start
+		}
+		if n := len(phases); n > 0 && phases[n-1].End.After(start) {
+			phases[n-1].End = start
+		}
+		phases = append(phases, PhaseSpan{Phase: PhaseAbort, Start: start, End: tl.End})
+	}
+	return phases
+}
+
+// Completed returns a copy of the completed timelines in completion order.
+func (r *SpanRecorder) Completed() []MovementTimeline {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]MovementTimeline, len(r.completed))
+	copy(out, r.completed)
+	return out
+}
+
+// ActiveCount returns the number of movements still in flight.
+func (r *SpanRecorder) ActiveCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.active)
+}
+
+// Dropped returns how many completed timelines the bound discarded.
+func (r *SpanRecorder) Dropped() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Reset clears completed timelines (active ones are kept).
+func (r *SpanRecorder) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.completed = nil
+	r.dropped = 0
+}

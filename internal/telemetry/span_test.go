@@ -1,0 +1,143 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// observeSequence feeds a step list for one tx into the recorder, one
+// millisecond apart starting at base.
+func observeSequence(r *SpanRecorder, tx string, base time.Time, steps []string) {
+	for i, s := range steps {
+		broker := "b1"
+		switch s {
+		case "negotiate-received", "approve-sent", "reject-sent", "state-received", "ack-sent":
+			broker = "b13"
+		}
+		r.Observe(tx, "c1", broker, s, base.Add(time.Duration(i)*time.Millisecond), "")
+	}
+}
+
+func TestSpanRecorderCommittedPhases(t *testing.T) {
+	r := NewSpanRecorder(0)
+	base := time.Unix(2000, 0)
+	observeSequence(r, "x1", base, []string{
+		"move-requested", "negotiate-sent", "negotiate-received", "approve-sent",
+		"approve-received", "state-sent", "state-received", "ack-sent",
+		"ack-received", "committed",
+	})
+
+	done := r.Completed()
+	if len(done) != 1 {
+		t.Fatalf("completed = %d, want 1", len(done))
+	}
+	tl := done[0]
+	if tl.Outcome != "committed" || tl.Tx != "x1" || tl.Client != "c1" {
+		t.Fatalf("timeline = %+v", tl)
+	}
+	if tl.Duration() != 9*time.Millisecond {
+		t.Fatalf("duration = %v, want 9ms", tl.Duration())
+	}
+	if len(tl.Phases) != 4 {
+		t.Fatalf("phases = %+v", tl.Phases)
+	}
+	wantDur := map[string]time.Duration{
+		PhaseInit:      1 * time.Millisecond, // move-requested -> negotiate-sent
+		PhasePrepare:   3 * time.Millisecond, // negotiate-sent -> approve-received
+		PhasePrecommit: 4 * time.Millisecond, // approve-received -> ack-received
+		PhaseCommit:    1 * time.Millisecond, // ack-received -> committed
+	}
+	for name, want := range wantDur {
+		p, ok := tl.Phase(name)
+		if !ok {
+			t.Fatalf("phase %s missing", name)
+		}
+		if p.Duration() != want {
+			t.Errorf("phase %s = %v, want %v", name, p.Duration(), want)
+		}
+	}
+	if r.ActiveCount() != 0 {
+		t.Fatalf("active = %d, want 0", r.ActiveCount())
+	}
+}
+
+func TestSpanRecorderRejectedMove(t *testing.T) {
+	r := NewSpanRecorder(0)
+	base := time.Unix(2000, 0)
+	observeSequence(r, "x2", base, []string{
+		"move-requested", "negotiate-sent", "negotiate-received", "reject-sent",
+		"reject-received", "aborted",
+	})
+
+	done := r.Completed()
+	if len(done) != 1 {
+		t.Fatalf("completed = %d, want 1", len(done))
+	}
+	tl := done[0]
+	if tl.Outcome != "aborted" {
+		t.Fatalf("outcome = %s", tl.Outcome)
+	}
+	abort, ok := tl.Phase(PhaseAbort)
+	if !ok {
+		t.Fatalf("no abort phase: %+v", tl.Phases)
+	}
+	// Abort runs from reject-received (t=4ms) to aborted (t=5ms), and the
+	// prepare phase is truncated at the trigger.
+	if abort.Duration() != time.Millisecond {
+		t.Errorf("abort = %v, want 1ms", abort.Duration())
+	}
+	prep, ok := tl.Phase(PhasePrepare)
+	if !ok {
+		t.Fatalf("no prepare phase: %+v", tl.Phases)
+	}
+	if prep.Duration() != 3*time.Millisecond {
+		t.Errorf("prepare = %v, want 3ms (truncated at reject)", prep.Duration())
+	}
+}
+
+func TestSpanRecorderTimeoutAbort(t *testing.T) {
+	r := NewSpanRecorder(0)
+	base := time.Unix(2000, 0)
+	observeSequence(r, "x3", base, []string{
+		"move-requested", "negotiate-sent", "source-timeout", "abort-sent", "aborted",
+	})
+	done := r.Completed()
+	if len(done) != 1 {
+		t.Fatalf("completed = %d", len(done))
+	}
+	abort, ok := done[0].Phase(PhaseAbort)
+	if !ok {
+		t.Fatalf("no abort phase: %+v", done[0].Phases)
+	}
+	// Trigger is the source-timeout at t=2ms; aborted lands at t=4ms.
+	if abort.Duration() != 2*time.Millisecond {
+		t.Errorf("abort = %v, want 2ms", abort.Duration())
+	}
+}
+
+func TestSpanRecorderIgnoresEmptyTx(t *testing.T) {
+	r := NewSpanRecorder(0)
+	r.Observe("", "c1", "b1", "client-state", time.Unix(2000, 0), "started->pause_move")
+	if r.ActiveCount() != 0 || len(r.Completed()) != 0 {
+		t.Fatal("empty tx recorded")
+	}
+}
+
+func TestSpanRecorderBound(t *testing.T) {
+	r := NewSpanRecorder(2)
+	base := time.Unix(2000, 0)
+	for _, tx := range []string{"x1", "x2", "x3"} {
+		observeSequence(r, tx, base, []string{"move-requested", "committed"})
+	}
+	done := r.Completed()
+	if len(done) != 2 || done[0].Tx != "x2" || done[1].Tx != "x3" {
+		t.Fatalf("completed = %+v", done)
+	}
+	if r.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", r.Dropped())
+	}
+	r.Reset()
+	if len(r.Completed()) != 0 || r.Dropped() != 0 {
+		t.Fatal("reset did not clear")
+	}
+}

@@ -1,0 +1,148 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"padres/internal/message"
+)
+
+// Hop records one transmission of a traced message over a link (or its
+// injection into a broker by a co-located client or coordinator).
+type Hop struct {
+	Seq  int            `json:"seq"`
+	From message.NodeID `json:"from"`
+	To   message.NodeID `json:"to"`
+	Kind string         `json:"kind"`
+	At   time.Time      `json:"at"`
+}
+
+// TraceRecord reconstructs one message's path through the overlay. A
+// publication keeps its PubID as brokers forward it hop-by-hop, so all its
+// transmissions share one trace; the control messages of a movement
+// transaction share the transaction's trace, with Kind distinguishing the
+// protocol steps.
+type TraceRecord struct {
+	ID        message.TraceID `json:"id"`
+	FirstSeen time.Time       `json:"first_seen"`
+	LastSeen  time.Time       `json:"last_seen"`
+	Hops      []Hop           `json:"hops"`
+	// TruncatedHops counts hops discarded because the per-trace bound was
+	// reached.
+	TruncatedHops int `json:"truncated_hops,omitempty"`
+}
+
+// Default TraceStore bounds.
+const (
+	DefaultMaxTraces       = 4096
+	DefaultMaxHopsPerTrace = 256
+)
+
+// TraceStore is a bounded in-memory store of message traces. When the trace
+// bound is reached the oldest trace (by first hop) is evicted; when a single
+// trace reaches its hop bound further hops are counted but not stored.
+type TraceStore struct {
+	mu        sync.Mutex
+	maxTraces int
+	maxHops   int
+	traces    map[message.TraceID]*TraceRecord
+	order     []message.TraceID // insertion order, for FIFO eviction
+	evicted   int64
+}
+
+// NewTraceStore returns an empty store with the given bounds (values <= 0
+// select the defaults).
+func NewTraceStore(maxTraces, maxHopsPerTrace int) *TraceStore {
+	if maxTraces <= 0 {
+		maxTraces = DefaultMaxTraces
+	}
+	if maxHopsPerTrace <= 0 {
+		maxHopsPerTrace = DefaultMaxHopsPerTrace
+	}
+	return &TraceStore{
+		maxTraces: maxTraces,
+		maxHops:   maxHopsPerTrace,
+		traces:    make(map[message.TraceID]*TraceRecord),
+	}
+}
+
+// RecordHop appends one hop to the trace, creating it if needed, and
+// returns the hop's sequence number within the trace.
+func (s *TraceStore) RecordHop(id message.TraceID, from, to message.NodeID, kind message.Kind, at time.Time) int {
+	if id == "" {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tr, ok := s.traces[id]
+	if !ok {
+		if len(s.order) >= s.maxTraces {
+			oldest := s.order[0]
+			s.order = s.order[1:]
+			delete(s.traces, oldest)
+			s.evicted++
+		}
+		tr = &TraceRecord{ID: id, FirstSeen: at}
+		s.traces[id] = tr
+		s.order = append(s.order, id)
+	}
+	tr.LastSeen = at
+	seq := len(tr.Hops) + tr.TruncatedHops + 1
+	if len(tr.Hops) >= s.maxHops {
+		tr.TruncatedHops++
+		return seq
+	}
+	tr.Hops = append(tr.Hops, Hop{Seq: seq, From: from, To: to, Kind: kind.String(), At: at})
+	return seq
+}
+
+// Get returns a copy of one trace.
+func (s *TraceStore) Get(id message.TraceID) (TraceRecord, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tr, ok := s.traces[id]
+	if !ok {
+		return TraceRecord{}, false
+	}
+	return copyTrace(tr), true
+}
+
+// Snapshot returns copies of all stored traces, ordered by first-seen time
+// (ties broken by ID) so dumps are deterministic.
+func (s *TraceStore) Snapshot() []TraceRecord {
+	s.mu.Lock()
+	out := make([]TraceRecord, 0, len(s.traces))
+	for _, tr := range s.traces {
+		out = append(out, copyTrace(tr))
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].FirstSeen.Equal(out[j].FirstSeen) {
+			return out[i].FirstSeen.Before(out[j].FirstSeen)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Len returns the number of stored traces.
+func (s *TraceStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.traces)
+}
+
+// Evicted returns the number of traces discarded to respect the bound.
+func (s *TraceStore) Evicted() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.evicted
+}
+
+func copyTrace(tr *TraceRecord) TraceRecord {
+	out := *tr
+	out.Hops = make([]Hop, len(tr.Hops))
+	copy(out.Hops, tr.Hops)
+	return out
+}

@@ -1,0 +1,118 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+
+	"padres/internal/message"
+)
+
+func ts(i int) time.Time { return time.Unix(1000, 0).Add(time.Duration(i) * time.Millisecond) }
+
+func TestTraceStoreRecordAndGet(t *testing.T) {
+	s := NewTraceStore(0, 0)
+	if seq := s.RecordHop("pub:p1", "b1", "b2", message.KindPublish, ts(1)); seq != 1 {
+		t.Fatalf("seq = %d, want 1", seq)
+	}
+	if seq := s.RecordHop("pub:p1", "b2", "b3", message.KindPublish, ts(2)); seq != 2 {
+		t.Fatalf("seq = %d, want 2", seq)
+	}
+
+	tr, ok := s.Get("pub:p1")
+	if !ok {
+		t.Fatal("trace not found")
+	}
+	if len(tr.Hops) != 2 || tr.Hops[0].From != "b1" || tr.Hops[1].To != "b3" {
+		t.Fatalf("hops = %+v", tr.Hops)
+	}
+	if !tr.FirstSeen.Equal(ts(1)) || !tr.LastSeen.Equal(ts(2)) {
+		t.Fatalf("first/last = %v/%v", tr.FirstSeen, tr.LastSeen)
+	}
+	if _, ok := s.Get("pub:unknown"); ok {
+		t.Fatal("unknown trace found")
+	}
+}
+
+func TestTraceStoreIgnoresEmptyID(t *testing.T) {
+	s := NewTraceStore(0, 0)
+	if seq := s.RecordHop("", "b1", "b2", message.KindPublish, ts(1)); seq != 0 {
+		t.Fatalf("seq = %d, want 0", seq)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("len = %d, want 0", s.Len())
+	}
+}
+
+func TestTraceStoreEviction(t *testing.T) {
+	s := NewTraceStore(2, 0)
+	s.RecordHop("pub:p1", "b1", "b2", message.KindPublish, ts(1))
+	s.RecordHop("pub:p2", "b1", "b2", message.KindPublish, ts(2))
+	s.RecordHop("pub:p3", "b1", "b2", message.KindPublish, ts(3))
+
+	if s.Len() != 2 {
+		t.Fatalf("len = %d, want 2", s.Len())
+	}
+	if s.Evicted() != 1 {
+		t.Fatalf("evicted = %d, want 1", s.Evicted())
+	}
+	if _, ok := s.Get("pub:p1"); ok {
+		t.Fatal("oldest trace not evicted")
+	}
+	snap := s.Snapshot()
+	if len(snap) != 2 || snap[0].ID != "pub:p2" || snap[1].ID != "pub:p3" {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+func TestTraceStoreHopTruncation(t *testing.T) {
+	s := NewTraceStore(0, 3)
+	for i := 1; i <= 5; i++ {
+		s.RecordHop("tx:x1", "b1", "b2", message.KindMoveNegotiate, ts(i))
+	}
+	tr, _ := s.Get("tx:x1")
+	if len(tr.Hops) != 3 {
+		t.Fatalf("hops = %d, want 3", len(tr.Hops))
+	}
+	if tr.TruncatedHops != 2 {
+		t.Fatalf("truncated = %d, want 2", tr.TruncatedHops)
+	}
+	// Sequence numbers keep counting past the bound.
+	if seq := s.RecordHop("tx:x1", "b1", "b2", message.KindMoveNegotiate, ts(6)); seq != 6 {
+		t.Fatalf("seq = %d, want 6", seq)
+	}
+	// LastSeen still advances for truncated hops.
+	tr, _ = s.Get("tx:x1")
+	if !tr.LastSeen.Equal(ts(6)) {
+		t.Fatalf("last seen = %v, want %v", tr.LastSeen, ts(6))
+	}
+}
+
+func TestTraceStoreSnapshotIsCopy(t *testing.T) {
+	s := NewTraceStore(0, 0)
+	s.RecordHop("pub:p1", "b1", "b2", message.KindPublish, ts(1))
+	snap := s.Snapshot()
+	snap[0].Hops[0].From = "mutated"
+	tr, _ := s.Get("pub:p1")
+	if tr.Hops[0].From != "b1" {
+		t.Fatal("snapshot aliases the store")
+	}
+}
+
+func TestTraceOf(t *testing.T) {
+	cases := []struct {
+		m    message.Message
+		want message.TraceID
+	}{
+		{message.Publish{ID: "p1"}, "pub:p1"},
+		{message.Subscribe{ID: "s1"}, "sub:s1"},
+		{message.Unsubscribe{ID: "s1"}, "unsub:s1"},
+		{message.Advertise{ID: "a1"}, "adv:a1"},
+		{message.Unadvertise{ID: "a1"}, "unadv:a1"},
+		{message.MoveAck{MoveHeader: message.MoveHeader{Tx: "x1"}}, "tx:x1"},
+	}
+	for _, c := range cases {
+		if got := message.TraceOf(c.m); got != c.want {
+			t.Errorf("TraceOf(%T) = %q, want %q", c.m, got, c.want)
+		}
+	}
+}

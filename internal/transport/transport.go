@@ -16,10 +16,12 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"padres/internal/message"
 	"padres/internal/metrics"
+	"padres/internal/telemetry"
 )
 
 // Errors reported by the in-process network.
@@ -53,7 +55,8 @@ type LinkOptions struct {
 // Network is an in-process transport connecting registered nodes through
 // latency-imposing FIFO links.
 type Network struct {
-	reg *metrics.Registry
+	reg    *metrics.Registry
+	tracer atomic.Pointer[telemetry.TraceStore]
 
 	mu     sync.Mutex
 	nodes  map[message.NodeID]Handler
@@ -78,6 +81,14 @@ func NewNetwork(reg *metrics.Registry) *Network {
 
 // Registry returns the metrics registry the network reports into.
 func (n *Network) Registry() *metrics.Registry { return n.reg }
+
+// SetTracer enables hop-by-hop message tracing: every Send records a hop in
+// the store and stamps the envelope with the message's trace identity.
+// Passing nil disables tracing. Safe to call while the network is running.
+func (n *Network) SetTracer(ts *telemetry.TraceStore) { n.tracer.Store(ts) }
+
+// Tracer returns the active trace store, or nil when tracing is disabled.
+func (n *Network) Tracer() *telemetry.TraceStore { return n.tracer.Load() }
 
 // Register attaches a node handler. Re-registering replaces the handler
 // (used when a mobile client re-materializes at a new broker).
@@ -151,8 +162,13 @@ func (n *Network) Send(from, to message.NodeID, msg message.Message) error {
 	if l.opts.CountTraffic {
 		n.reg.CountSend(from, to, msg.Kind())
 	}
+	env := message.Envelope{From: from, Msg: msg}
+	if ts := n.tracer.Load(); ts != nil {
+		env.Trace = message.TraceOf(msg)
+		ts.RecordHop(env.Trace, from, to, msg.Kind(), time.Now())
+	}
 	n.reg.MsgEnqueued(msg)
-	l.enqueue(message.Envelope{From: from, Msg: msg})
+	l.enqueue(env)
 	return nil
 }
 

@@ -1,0 +1,195 @@
+// Command benchjson converts `go test -bench` text output into a stable
+// JSON report, averaging repeated -count runs per benchmark and — when
+// the broker-dispatch pair is present — computing the flight recorder's
+// journaling overhead against its 5% budget.
+//
+//	go test ./... -run '^$' -bench . | benchjson -out BENCH_journal.json
+//	benchjson -out BENCH_journal.json bench.txt
+//
+// The exit status is 1 on I/O or parse failure and 2 when the measured
+// journaling overhead exceeds the budget, so `make bench` fails loudly
+// instead of publishing a regression.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result aggregates every -count run of one benchmark.
+type result struct {
+	Name       string  `json:"name"`
+	Runs       int     `json:"runs"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	MinNsPerOp float64 `json:"min_ns_per_op"`
+	BytesPerOp float64 `json:"bytes_per_op,omitempty"`
+	AllocsOp   float64 `json:"allocs_per_op,omitempty"`
+
+	nsSum, bSum, aSum float64
+}
+
+// overhead is the dispatch-pair comparison: the journaling cost the
+// recorder is designed to keep under budget.
+type overhead struct {
+	BaseNsPerOp      float64 `json:"base_ns_per_op"`
+	JournaledNsPerOp float64 `json:"journaled_ns_per_op"`
+	OverheadPct      float64 `json:"overhead_pct"`
+	BudgetPct        float64 `json:"budget_pct"`
+	WithinBudget     bool    `json:"within_budget"`
+}
+
+type report struct {
+	Benchmarks      []*result `json:"benchmarks"`
+	JournalOverhead *overhead `json:"journal_overhead,omitempty"`
+}
+
+// overheadBudgetPct is the acceptance bound on journaling overhead for
+// the broker dispatch hot path with the ring sink.
+const overheadBudgetPct = 5.0
+
+func main() {
+	out := flag.String("out", "", "write the JSON report here (default stdout)")
+	flag.Parse()
+	if err := run(*out, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, args []string) error {
+	var in io.Reader = os.Stdin
+	if len(args) > 0 {
+		f, err := os.Open(args[0])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	rep, err := parse(in)
+	if err != nil {
+		return err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines found in input")
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(data)
+	} else {
+		err = os.WriteFile(out, data, 0o644)
+	}
+	if err != nil {
+		return err
+	}
+	if o := rep.JournalOverhead; o != nil {
+		fmt.Fprintf(os.Stderr, "journal overhead: %.2f%% (budget %.0f%%)\n", o.OverheadPct, o.BudgetPct)
+		if !o.WithinBudget {
+			os.Exit(2)
+		}
+	}
+	return nil
+}
+
+// parse reads `go test -bench` text lines, e.g.
+//
+//	BenchmarkBrokerDispatch-8   100000   6448 ns/op   455 B/op   6 allocs/op
+//
+// averaging repeated runs of the same benchmark.
+func parse(in io.Reader) (*report, error) {
+	byName := map[string]*result{}
+	sc := bufio.NewScanner(in)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := trimProcs(fields[0])
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := byName[name]
+		if r == nil {
+			r = &result{Name: name, MinNsPerOp: -1}
+			byName[name] = r
+		}
+		r.Runs++
+		r.Iterations += iters
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad value %q in %q", fields[i], sc.Text())
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				r.nsSum += v
+				if r.MinNsPerOp < 0 || v < r.MinNsPerOp {
+					r.MinNsPerOp = v
+				}
+			case "B/op":
+				r.bSum += v
+			case "allocs/op":
+				r.aSum += v
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	rep := &report{}
+	for _, r := range byName {
+		n := float64(r.Runs)
+		r.NsPerOp = r.nsSum / n
+		r.BytesPerOp = r.bSum / n
+		r.AllocsOp = r.aSum / n
+		if r.MinNsPerOp < 0 {
+			r.MinNsPerOp = 0
+		}
+		rep.Benchmarks = append(rep.Benchmarks, r)
+	}
+	sort.Slice(rep.Benchmarks, func(i, k int) bool {
+		return rep.Benchmarks[i].Name < rep.Benchmarks[k].Name
+	})
+
+	base := byName["BenchmarkBrokerDispatch"]
+	jnl := byName["BenchmarkBrokerDispatchJournaled"]
+	if base != nil && jnl != nil && base.NsPerOp > 0 {
+		pct := (jnl.NsPerOp - base.NsPerOp) / base.NsPerOp * 100
+		rep.JournalOverhead = &overhead{
+			BaseNsPerOp:      base.NsPerOp,
+			JournaledNsPerOp: jnl.NsPerOp,
+			OverheadPct:      pct,
+			BudgetPct:        overheadBudgetPct,
+			WithinBudget:     pct <= overheadBudgetPct,
+		}
+	}
+	return rep, nil
+}
+
+// trimProcs drops the -GOMAXPROCS suffix go test appends to benchmark
+// names (BenchmarkFoo-8 -> BenchmarkFoo) so runs from differently-sized
+// machines aggregate under one name.
+func trimProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}

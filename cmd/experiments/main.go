@@ -7,6 +7,8 @@
 //	experiments -fig 8 -scale paper     # 400 clients, 10 s pauses
 //	experiments -fig all -clients 80 -duration 10s
 //	experiments -fig ablation
+//	experiments -fig 8 -journal /tmp/run.jsonl   # record the flight recorder
+//	experiments -fig 8 -audit                    # and audit mobility properties
 package main
 
 import (
@@ -16,8 +18,10 @@ import (
 	"path/filepath"
 	"time"
 
+	"padres/internal/audit"
 	"padres/internal/core"
 	"padres/internal/experiment"
+	"padres/internal/journal"
 )
 
 // csvDir, when set, receives one CSV file per figure for external plotting.
@@ -60,6 +64,8 @@ func run(args []string) error {
 		seed     = fs.Int64("seed", 0, "override workload seed")
 		buckets  = fs.Int("buckets", 10, "time buckets for latency-over-time figures")
 		csvOut   = fs.String("csv", "", "directory to write per-figure CSV data into")
+		jnlPath  = fs.String("journal", "", "record a flight-recorder journal to this JSONL file")
+		auditRun = fs.Bool("audit", false, "audit the recorded journal after the run (requires -journal or implies in-memory)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -91,6 +97,45 @@ func run(args []string) error {
 	}
 	csvDir = *csvOut
 
+	var jnl *journal.Journal
+	if *jnlPath != "" || *auditRun {
+		jnl = journal.New(0)
+		if *jnlPath != "" {
+			if err := jnl.SinkTo(*jnlPath); err != nil {
+				return fmt.Errorf("journal: %w", err)
+			}
+		}
+		s.Journal = jnl
+	}
+
+	runErr := runFigures(*fig, s, *buckets)
+
+	if *jnlPath != "" {
+		if err := jnl.CloseSink(); err != nil {
+			fmt.Fprintln(os.Stderr, "journal:", err)
+		} else {
+			fmt.Printf("(wrote journal %s: %d records", *jnlPath, jnl.Len())
+			if d := jnl.Dropped(); d > 0 {
+				fmt.Printf(", %d dropped from the ring", d)
+			}
+			fmt.Println(")")
+		}
+	}
+	if runErr != nil {
+		return runErr
+	}
+	if *auditRun {
+		rep := audit.Audit(jnl.Snapshot())
+		rep.Write(os.Stdout)
+		if !rep.Clean() {
+			return fmt.Errorf("audit found %d violation(s)", len(rep.Violations()))
+		}
+	}
+	return nil
+}
+
+// runFigures dispatches to the selected figure(s).
+func runFigures(fig string, s experiment.Scale, buckets int) error {
 	figures := map[string]func(experiment.Scale, int) error{
 		"8":  fig8,
 		"9":  fig9,
@@ -100,11 +145,11 @@ func run(args []string) error {
 		"13": fig13,
 		"14": fig14,
 	}
-	switch *fig {
+	switch fig {
 	case "all":
 		for _, name := range []string{"8", "9", "10", "11", "12", "13", "14"} {
 			fmt.Printf("==== Figure %s ====\n", name)
-			if err := figures[name](s, *buckets); err != nil {
+			if err := figures[name](s, buckets); err != nil {
 				return fmt.Errorf("figure %s: %w", name, err)
 			}
 		}
@@ -112,11 +157,11 @@ func run(args []string) error {
 	case "ablation":
 		return ablations(s)
 	default:
-		f, ok := figures[*fig]
+		f, ok := figures[fig]
 		if !ok {
-			return fmt.Errorf("unknown figure %q", *fig)
+			return fmt.Errorf("unknown figure %q", fig)
 		}
-		return f(s, *buckets)
+		return f(s, buckets)
 	}
 }
 

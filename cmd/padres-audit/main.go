@@ -1,0 +1,126 @@
+// Command padres-audit replays a flight-recorder journal (JSONL, written by
+// cmd/experiments -journal or any journal.SinkTo consumer) and mechanically
+// verifies the paper's ACID mobility properties: exactly-once delivery
+// across movements, 3PC phase-order legality, routing-state convergence,
+// and movement atomicity under aborts.
+//
+// Usage:
+//
+//	padres-audit run.jsonl                 # verdict; exit 1 on violations
+//	padres-audit -v run.jsonl              # also print violating tx timelines
+//	padres-audit -timeline mv-b1-3 run.jsonl
+//	padres-audit -json run.jsonl           # machine-readable report
+//
+// The exit status is 0 when every property holds, 1 when the auditor found
+// violations, and 2 on usage or input errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"padres/internal/audit"
+	"padres/internal/journal"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("padres-audit", flag.ContinueOnError)
+	var (
+		timeline = fs.String("timeline", "", "print the causal timeline of one transaction and exit")
+		runNum   = fs.Int64("run", 0, "restrict -timeline to this run (default: every run the tx appears in)")
+		verbose  = fs.Bool("v", false, "print the causal timeline of every violating transaction")
+		jsonOut  = fs.Bool("json", false, "emit the report as JSON instead of text")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: padres-audit [flags] <journal.jsonl>")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return 2
+	}
+
+	recs, err := journal.ReadFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "padres-audit:", err)
+		return 2
+	}
+	if len(recs) == 0 {
+		fmt.Fprintln(os.Stderr, "padres-audit: journal is empty")
+		return 2
+	}
+
+	if *timeline != "" {
+		printTimelines(recs, *runNum, *timeline)
+		return 0
+	}
+
+	rep := audit.Audit(recs)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "padres-audit:", err)
+			return 2
+		}
+	} else {
+		rep.Write(os.Stdout)
+	}
+	if rep.Clean() {
+		return 0
+	}
+	if *verbose && !*jsonOut {
+		seen := map[[2]interface{}]bool{}
+		for _, v := range rep.Violations() {
+			if v.Tx == "" {
+				continue
+			}
+			k := [2]interface{}{v.Run, v.Tx}
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			fmt.Println()
+			audit.WriteTimeline(os.Stdout, recs, v.Run, v.Tx)
+		}
+	}
+	return 1
+}
+
+// printTimelines renders one transaction's causal timeline, in the given
+// run or in every run that mentions the transaction.
+func printTimelines(recs []journal.Record, run int64, tx string) {
+	var runs []int64
+	if run != 0 {
+		runs = []int64{run}
+	} else {
+		seen := map[int64]bool{}
+		for _, r := range recs {
+			if r.Tx == tx && !seen[r.Run] {
+				seen[r.Run] = true
+				runs = append(runs, r.Run)
+			}
+		}
+		sort.Slice(runs, func(i, j int) bool { return runs[i] < runs[j] })
+	}
+	if len(runs) == 0 {
+		fmt.Printf("transaction %s not found in the journal\n", tx)
+		return
+	}
+	for i, rn := range runs {
+		if i > 0 {
+			fmt.Println()
+		}
+		audit.WriteTimeline(os.Stdout, recs, rn, tx)
+	}
+}

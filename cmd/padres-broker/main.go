@@ -13,8 +13,8 @@
 //
 // With -metrics-addr the broker additionally serves an observability
 // endpoint: Prometheus metrics at /metrics, liveness at /healthz,
-// hop-by-hop message traces at /traces, and the Go profiler under
-// /debug/pprof/.
+// hop-by-hop message traces at /traces, flight-recorder records at
+// /journal (when -journal is set), and the Go profiler under /debug/pprof/.
 //
 // Remote clients are stationary: transactional mobility applies to clients
 // hosted in a broker's mobile container (see the examples and the padres
@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"padres/internal/broker"
+	"padres/internal/journal"
 	"padres/internal/message"
 	"padres/internal/metrics"
 	"padres/internal/overlay"
@@ -57,6 +58,7 @@ func run(args []string) error {
 		service  = fs.Duration("service", 0, "simulated per-message processing cost")
 		statsSec = fs.Duration("stats", 30*time.Second, "traffic stats reporting interval (0 disables)")
 		metAddr  = fs.String("metrics-addr", "", "HTTP observability listen address, e.g. :9090 (empty disables)")
+		jnlSpec  = fs.String("journal", "", "flight-recorder output: a JSONL path, or 'mem' for the /journal endpoint only")
 		logSpec  = fs.String("log", "info", "log levels: default[,component=level...], e.g. info,broker=debug")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -97,7 +99,27 @@ func run(args []string) error {
 	defer b.Stop()
 	defer net.Close()
 
+	var jnl *journal.Journal
+	if *jnlSpec != "" {
+		jnl = journal.New(0)
+		if *jnlSpec != "mem" {
+			// Sink before BeginRun so the run-config record reaches the
+			// JSONL file, not just the ring.
+			if err := jnl.SinkTo(*jnlSpec); err != nil {
+				return fmt.Errorf("journal: %w", err)
+			}
+			defer func() {
+				if err := jnl.CloseSink(); err != nil {
+					log.Warn("journal close", "err", err)
+				}
+			}()
+		}
+		jnl.BeginRun(fmt.Sprintf("standalone broker=%s covering=%t", self, *covering))
+		net.SetJournal(jnl)
+	}
+
 	tel := buildTelemetry(self, b, net, reg)
+	tel.SetJournal(jnl)
 	if *metAddr != "" {
 		srv, err := tel.Serve(*metAddr)
 		if err != nil {

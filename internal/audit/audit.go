@@ -1,0 +1,193 @@
+// Package audit mechanically verifies the paper's ACID mobility properties
+// against a flight-recorder journal (internal/journal). It is an offline
+// checker: given the causally-ordered record stream of one or more runs, it
+// replays the records and verifies
+//
+//	(a) exactly-once delivery — every publication a broker handed to a
+//	    subscriber's stub (directly or via a movement buffer) enters that
+//	    subscriber's application queue exactly once, across any number of
+//	    movement windows;
+//	(b) 3PC phase-order legality — every movement transaction's protocol
+//	    steps appear in an order the engine (blocking or non-blocking)
+//	    allows, and each transaction resolves to exactly one outcome;
+//	(c) routing-state convergence — after the run settles, no prepared
+//	    shadow configuration survives, no routing entry points at a client
+//	    copy the client has left, and the moved client's filters are
+//	    present at its final host;
+//	(d) movement atomicity — an aborted transaction leaves the moving
+//	    client's routing state exactly as it was before the transaction
+//	    prepared anything, and the client itself resumes.
+//
+// The auditor groups records by run (journal.BeginRun boundaries) because
+// transaction, client, and message identifiers are only unique within one
+// deployment.
+package audit
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"padres/internal/journal"
+)
+
+// Separators mirrored from the engine: broker shadow records are
+// "id~tx" (internal/broker), end-to-end re-issued filters are "id#tx"
+// (internal/core). The auditor normalizes both back to the stable base so
+// one logical filter is tracked across movements.
+const (
+	shadowSep = "~"
+	epochSep  = "#"
+)
+
+// baseID strips shadow and epoch qualifiers from a routing record ID.
+func baseID(id string) string {
+	if i := strings.Index(id, shadowSep); i >= 0 {
+		id = id[:i]
+	}
+	if i := strings.Index(id, epochSep); i >= 0 {
+		id = id[:i]
+	}
+	return id
+}
+
+func isShadow(id string) bool { return strings.Contains(id, shadowSep) }
+
+// Violation is one verified property failure.
+type Violation struct {
+	Run    int64  `json:"run"`
+	Check  string `json:"check"` // delivery | phase-order | convergence | atomicity
+	Tx     string `json:"tx,omitempty"`
+	Client string `json:"client,omitempty"`
+	Site   string `json:"site,omitempty"`
+	Ref    string `json:"ref,omitempty"`
+	Detail string `json:"detail"`
+}
+
+// String renders the violation for reports.
+func (v Violation) String() string {
+	s := fmt.Sprintf("run=%d [%s]", v.Run, v.Check)
+	if v.Tx != "" {
+		s += " tx=" + v.Tx
+	}
+	if v.Client != "" {
+		s += " client=" + v.Client
+	}
+	if v.Site != "" {
+		s += " site=" + v.Site
+	}
+	if v.Ref != "" {
+		s += " ref=" + v.Ref
+	}
+	return s + ": " + v.Detail
+}
+
+// RunReport is the audit result of one deployment within the journal.
+type RunReport struct {
+	Run        int64
+	Config     string // the run-config detail (protocol, covering, timeout)
+	Records    int
+	Txs        int
+	Committed  int
+	Aborted    int
+	Unresolved int
+	Delivered  int // publications that entered an application queue
+	Violations []Violation
+}
+
+// Clean reports whether the run satisfied every property.
+func (r RunReport) Clean() bool { return len(r.Violations) == 0 }
+
+// Report is the audit result for a whole journal.
+type Report struct {
+	Runs    []RunReport
+	Records int
+}
+
+// Clean reports whether every run satisfied every property.
+func (r *Report) Clean() bool {
+	for _, run := range r.Runs {
+		if !run.Clean() {
+			return false
+		}
+	}
+	return true
+}
+
+// Violations flattens all runs' violations.
+func (r *Report) Violations() []Violation {
+	var out []Violation
+	for _, run := range r.Runs {
+		out = append(out, run.Violations...)
+	}
+	return out
+}
+
+// Audit replays a journal and verifies the mobility properties. The record
+// slice is re-sorted causally in place.
+func Audit(recs []journal.Record) *Report {
+	journal.SortCausal(recs)
+	byRun := make(map[int64][]journal.Record)
+	var runs []int64
+	for _, r := range recs {
+		if _, ok := byRun[r.Run]; !ok {
+			runs = append(runs, r.Run)
+		}
+		byRun[r.Run] = append(byRun[r.Run], r)
+	}
+	sort.Slice(runs, func(i, j int) bool { return runs[i] < runs[j] })
+
+	rep := &Report{Records: len(recs)}
+	for _, run := range runs {
+		rep.Runs = append(rep.Runs, auditRun(run, byRun[run]))
+	}
+	return rep
+}
+
+// auditRun checks one deployment's records (already causally sorted).
+func auditRun(run int64, recs []journal.Record) RunReport {
+	rr := RunReport{Run: run, Records: len(recs)}
+	for _, r := range recs {
+		if r.Kind == journal.KindRunConfig {
+			rr.Config = r.Detail
+			break
+		}
+	}
+	blocking := strings.Contains(rr.Config, "timeout=0s")
+
+	txs := collectTxs(recs)
+	rr.Txs = len(txs)
+	for _, tx := range txs {
+		switch {
+		case tx.committed:
+			rr.Committed++
+		case tx.aborted:
+			rr.Aborted++
+		default:
+			rr.Unresolved++
+		}
+		rr.Violations = append(rr.Violations, checkPhaseOrder(run, tx, blocking)...)
+		if tx.aborted && !tx.committed {
+			rr.Violations = append(rr.Violations, checkAtomicity(run, tx, recs)...)
+		}
+	}
+	var delivered int
+	rr.Violations = append(rr.Violations, checkDelivery(run, recs, &delivered)...)
+	rr.Delivered = delivered
+	rr.Violations = append(rr.Violations, checkConvergence(run, recs)...)
+	return rr
+}
+
+// Timeline returns the causally ordered records of one movement transaction
+// within one run (protocol steps, routing mutations, link transmissions,
+// and client events attributed to it).
+func Timeline(recs []journal.Record, run int64, tx string) []journal.Record {
+	var out []journal.Record
+	for _, r := range recs {
+		if r.Run == run && r.Tx == tx {
+			out = append(out, r)
+		}
+	}
+	journal.SortCausal(out)
+	return out
+}

@@ -1,0 +1,424 @@
+package audit
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"padres/internal/journal"
+)
+
+// txRecord is one movement transaction's evidence: its protocol steps in
+// causal order plus the resolved outcome.
+type txRecord struct {
+	id        string
+	client    string
+	steps     []journal.Record // CatProtocol records, causal order
+	committed bool
+	aborted   bool
+}
+
+// collectTxs groups the run's protocol records by transaction, preserving
+// the causal order of the input.
+func collectTxs(recs []journal.Record) []*txRecord {
+	byID := make(map[string]*txRecord)
+	var order []string
+	for _, r := range recs {
+		if r.Cat != journal.CatProtocol || r.Tx == "" {
+			continue
+		}
+		tx, ok := byID[r.Tx]
+		if !ok {
+			tx = &txRecord{id: r.Tx}
+			byID[r.Tx] = tx
+			order = append(order, r.Tx)
+		}
+		tx.steps = append(tx.steps, r)
+		if tx.client == "" {
+			tx.client = r.Client
+		}
+		switch r.Kind {
+		case "committed":
+			tx.committed = true
+		case "aborted":
+			tx.aborted = true
+		}
+	}
+	out := make([]*txRecord, 0, len(order))
+	for _, id := range order {
+		out = append(out, byID[id])
+	}
+	return out
+}
+
+// first returns the causal position of the first step of the given kind, or
+// -1 when the transaction never recorded it.
+func (tx *txRecord) first(kind string) int {
+	for i, s := range tx.steps {
+		if s.Kind == kind {
+			return i
+		}
+	}
+	return -1
+}
+
+// phasePrecedence lists the orderings the 3PC movement conversation
+// (Fig. 3) requires whenever both steps occur: the successful path down the
+// protocol, and the reject path. Lamport propagation makes these orderings
+// checkable across coordinators — each step is causally downstream of its
+// predecessor through the control message that carried it, so its stamp is
+// strictly greater.
+var phasePrecedence = [][2]string{
+	{"move-requested", "negotiate-sent"},
+	{"negotiate-sent", "negotiate-received"},
+	{"negotiate-received", "approve-sent"},
+	{"negotiate-received", "reject-sent"},
+	{"approve-sent", "approve-received"},
+	{"approve-received", "state-sent"},
+	{"state-sent", "state-received"},
+	{"state-received", "ack-sent"},
+	{"ack-sent", "ack-received"},
+	{"ack-received", "committed"},
+	{"reject-sent", "reject-received"},
+	{"reject-received", "aborted"},
+}
+
+// checkPhaseOrder verifies property (b): each transaction's steps obey the
+// 3PC conversation's order, resolve to exactly one outcome, and — under the
+// blocking engine — never time out.
+func checkPhaseOrder(run int64, tx *txRecord, blocking bool) []Violation {
+	var out []Violation
+	add := func(detail string) {
+		out = append(out, Violation{Run: run, Check: "phase-order", Tx: tx.id, Client: tx.client, Detail: detail})
+	}
+
+	if tx.committed && tx.aborted {
+		add("transaction both committed and aborted")
+	}
+	if !tx.committed && !tx.aborted {
+		add("transaction never resolved (no committed or aborted step)")
+	}
+
+	for _, pair := range phasePrecedence {
+		a, b := tx.first(pair[0]), tx.first(pair[1])
+		if a < 0 || b < 0 {
+			continue
+		}
+		if a > b {
+			add(fmt.Sprintf("%s observed before %s (lamport %d vs %d)",
+				pair[1], pair[0], tx.steps[b].Lamport, tx.steps[a].Lamport))
+		}
+	}
+
+	if tx.committed {
+		if tx.first("ack-received") < 0 {
+			add("committed without receiving acknowledgement (message 5)")
+		}
+	}
+	if tx.aborted && !tx.committed {
+		if tx.first("reject-received") < 0 && tx.first("abort-received") < 0 &&
+			tx.first("source-timeout") < 0 && tx.first("abort-sent") < 0 {
+			add("aborted without a rejection, abort, or timeout cause")
+		}
+	}
+	if blocking {
+		for _, k := range []string{"source-timeout", "target-timeout"} {
+			if tx.first(k) >= 0 {
+				add("blocking engine recorded a " + k)
+			}
+		}
+	}
+	return out
+}
+
+// checkDelivery verifies property (a): every publication evidenced as
+// reaching a subscriber's stub (a broker-level deliver, a transfer buffer,
+// or a target shell buffer) enters that subscriber's application queue
+// exactly once — no duplicates across the movement's dual-configuration
+// window, no losses across the state transfer.
+func checkDelivery(run int64, recs []journal.Record, delivered *int) []Violation {
+	type key struct{ client, pub string }
+	evidenced := make(map[key]string) // first evidence kind, for reporting
+	queued := make(map[key]int)
+
+	for _, r := range recs {
+		switch r.Kind {
+		case journal.KindDeliver, journal.KindClientBuffer, journal.KindShellBuffer:
+			k := key{r.Client, r.Ref}
+			if _, ok := evidenced[k]; !ok {
+				evidenced[k] = r.Kind
+			}
+		case journal.KindClientDeliver:
+			queued[key{r.Client, r.Ref}]++
+		}
+	}
+
+	var out []Violation
+	for k, n := range queued {
+		*delivered += n
+		if n > 1 {
+			out = append(out, Violation{
+				Run: run, Check: "delivery", Client: k.client, Ref: k.pub,
+				Detail: fmt.Sprintf("publication entered the application queue %d times", n),
+			})
+		}
+	}
+	for k, kind := range evidenced {
+		if queued[k] == 0 {
+			out = append(out, Violation{
+				Run: run, Check: "delivery", Client: k.client, Ref: k.pub,
+				Detail: fmt.Sprintf("publication reached the stub (%s) but never entered the application queue", kind),
+			})
+		}
+	}
+	sortViolations(out)
+	return out
+}
+
+// tableEntry is the replayed state of one routing record.
+type tableEntry struct {
+	client  string
+	lastHop string
+}
+
+// tableKey addresses one routing table at one site.
+type tableKey struct {
+	site  string
+	table string // "srt" | "prt"
+}
+
+// clientNode renders the location-qualified node identity mirrored from
+// message.ClientNode.
+func clientNode(client, brokerSite string) string { return client + "@" + brokerSite }
+
+// checkConvergence verifies property (c) by replaying every routing-table
+// mutation to its final state: no shadow configuration survives the run, no
+// entry points at a client copy its client has departed from, and each
+// moved client's filters exist at its final host.
+func checkConvergence(run int64, recs []journal.Record) []Violation {
+	tables := make(map[tableKey]map[string]tableEntry)
+	finalHost := make(map[string]string)   // client -> site of last attach/arrive
+	lastArrive := make(map[string]journal.Record)
+	// Inserts tagged with each client's arrival transaction at the target
+	// site: the filters the movement promised to re-home.
+	taggedInserts := make(map[string][]journal.Record)
+	// Untagged (client-issued) removes after replay start, to excuse
+	// filters the client itself retracted after arriving.
+	untaggedRemoved := make(map[tableKey]map[string]bool)
+
+	for _, r := range recs {
+		switch r.Kind {
+		case journal.KindClientAttach, journal.KindClientArrive:
+			finalHost[r.Client] = r.Site
+			if r.Kind == journal.KindClientArrive {
+				lastArrive[r.Client] = r
+			}
+		case journal.KindSRTInsert, journal.KindPRTInsert, journal.KindSRTRemove, journal.KindPRTRemove:
+			table := "srt"
+			if r.Kind == journal.KindPRTInsert || r.Kind == journal.KindPRTRemove {
+				table = "prt"
+			}
+			k := tableKey{r.Site, table}
+			t := tables[k]
+			if t == nil {
+				t = make(map[string]tableEntry)
+				tables[k] = t
+			}
+			switch r.Kind {
+			case journal.KindSRTInsert, journal.KindPRTInsert:
+				t[r.Ref] = tableEntry{client: r.Client, lastHop: r.To}
+				if r.Tx != "" {
+					taggedInserts[r.Tx] = append(taggedInserts[r.Tx], r)
+				}
+			default:
+				delete(t, r.Ref)
+				if r.Tx == "" {
+					u := untaggedRemoved[k]
+					if u == nil {
+						u = make(map[string]bool)
+						untaggedRemoved[k] = u
+					}
+					u[baseID(r.Ref)] = true
+				}
+			}
+		}
+	}
+
+	var out []Violation
+
+	// No prepared shadow configuration may survive the run.
+	for k, t := range tables {
+		for id, e := range t {
+			if isShadow(id) {
+				out = append(out, Violation{
+					Run: run, Check: "convergence", Site: k.site, Ref: id, Client: e.client, Tx: txOfShadow(id),
+					Detail: fmt.Sprintf("prepared shadow record survived in the %s", strings.ToUpper(k.table)),
+				})
+			}
+		}
+	}
+
+	// No entry may point at a client copy the client has departed from.
+	for k, t := range tables {
+		for id, e := range t {
+			c, host, ok := splitClientNode(e.lastHop)
+			if !ok {
+				continue
+			}
+			if finalHost[c] != "" && host != finalHost[c] {
+				out = append(out, Violation{
+					Run: run, Check: "convergence", Site: k.site, Ref: id, Client: c,
+					Detail: fmt.Sprintf("orphaned %s entry points at abandoned copy %s (client now at %s)",
+						strings.ToUpper(k.table), e.lastHop, finalHost[c]),
+				})
+			}
+		}
+	}
+
+	// The filters the client's final committed movement re-homed must be
+	// present at the final host (unless the client retracted them itself).
+	for c, arrive := range lastArrive {
+		site := arrive.Site
+		expected := make(map[string]string) // base id -> table
+		for _, ins := range taggedInserts[arrive.Tx] {
+			if ins.Site != site || ins.Client != c || ins.To != clientNode(c, site) {
+				continue
+			}
+			table := "srt"
+			if ins.Kind == journal.KindPRTInsert {
+				table = "prt"
+			}
+			expected[baseID(ins.Ref)] = table
+		}
+		for base, table := range expected {
+			k := tableKey{site, table}
+			if untaggedRemoved[k][base] {
+				continue
+			}
+			found := false
+			for id, e := range tables[k] {
+				if baseID(id) == base && e.lastHop == clientNode(c, site) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				out = append(out, Violation{
+					Run: run, Check: "convergence", Site: site, Ref: base, Client: c, Tx: arrive.Tx,
+					Detail: fmt.Sprintf("filter missing from the %s at the client's final host", strings.ToUpper(table)),
+				})
+			}
+		}
+	}
+	sortViolations(out)
+	return out
+}
+
+// checkAtomicity verifies property (d) for one aborted transaction: every
+// routing mutation the transaction performed on the moving client's records
+// is undone — per site, table, and base identifier the tagged inserts and
+// removes cancel out — and the client itself returns to the started state.
+func checkAtomicity(run int64, tx *txRecord, recs []journal.Record) []Violation {
+	type key struct {
+		site  string
+		table string
+		base  string
+	}
+	net := make(map[key]int)
+	// The abort cause (rejection, abort message, or timeout) is recorded at
+	// the source coordinator before it resumes the client, on the same site
+	// clock — so a "->started" transition with a later stamp at that site
+	// proves the resume.
+	var causeAt uint64
+	var causeSite string
+	resumed := false
+
+	for _, r := range recs {
+		if r.Cat == journal.CatProtocol && r.Tx == tx.id && causeAt == 0 {
+			switch r.Kind {
+			case "reject-received", "abort-received", "source-timeout":
+				causeAt, causeSite = r.Lamport, r.Site
+			}
+		}
+		if r.Kind == journal.KindClientState && r.Client == tx.client &&
+			strings.HasSuffix(r.Detail, "->started") &&
+			causeAt > 0 && r.Site == causeSite && r.Lamport > causeAt {
+			resumed = true
+		}
+		if r.Tx != tx.id || r.Client != tx.client {
+			continue
+		}
+		switch r.Kind {
+		case journal.KindSRTInsert:
+			net[key{r.Site, "srt", baseID(r.Ref)}]++
+		case journal.KindSRTRemove:
+			net[key{r.Site, "srt", baseID(r.Ref)}]--
+		case journal.KindPRTInsert:
+			net[key{r.Site, "prt", baseID(r.Ref)}]++
+		case journal.KindPRTRemove:
+			net[key{r.Site, "prt", baseID(r.Ref)}]--
+		}
+	}
+
+	var out []Violation
+	for k, n := range net {
+		if n == 0 {
+			continue
+		}
+		verb := "left behind"
+		if n < 0 {
+			verb = "destroyed"
+		}
+		out = append(out, Violation{
+			Run: run, Check: "atomicity", Tx: tx.id, Client: tx.client, Site: k.site, Ref: k.base,
+			Detail: fmt.Sprintf("aborted transaction %s %s state in the %s (insert-remove net %+d)",
+				verb, k.base, strings.ToUpper(k.table), n),
+		})
+	}
+	if causeAt > 0 && !resumed {
+		out = append(out, Violation{
+			Run: run, Check: "atomicity", Tx: tx.id, Client: tx.client,
+			Detail: "client did not return to the started state after the abort",
+		})
+	}
+	sortViolations(out)
+	return out
+}
+
+// splitClientNode parses a location-qualified client node "c@b"; ok is
+// false for plain broker nodes.
+func splitClientNode(node string) (client, broker string, ok bool) {
+	i := strings.Index(node, "@")
+	if i < 0 {
+		return "", "", false
+	}
+	return node[:i], node[i+1:], true
+}
+
+// txOfShadow extracts the transaction from a shadow record ID.
+func txOfShadow(id string) string {
+	if i := strings.Index(id, shadowSep); i >= 0 {
+		return id[i+1:]
+	}
+	return ""
+}
+
+// sortViolations orders violations deterministically for stable reports.
+func sortViolations(v []Violation) {
+	sort.Slice(v, func(i, j int) bool {
+		a, b := v[i], v[j]
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		if a.Tx != b.Tx {
+			return a.Tx < b.Tx
+		}
+		if a.Client != b.Client {
+			return a.Client < b.Client
+		}
+		if a.Site != b.Site {
+			return a.Site < b.Site
+		}
+		return a.Ref < b.Ref
+	})
+}

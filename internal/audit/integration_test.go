@@ -1,0 +1,159 @@
+package audit_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"padres/internal/audit"
+	"padres/internal/cluster"
+	"padres/internal/core"
+	"padres/internal/journal"
+	"padres/internal/message"
+	"padres/internal/predicate"
+)
+
+// runMovementWorkload deploys a journaled cluster, runs a
+// publish/move/publish workload with two movements, and leaves the run's
+// records in j. It asserts only workload-level success (the subscriber got
+// every publication); the properties themselves are the auditor's job.
+func runMovementWorkload(t *testing.T, j *journal.Journal, proto core.Protocol, covering bool, moveTimeout time.Duration) {
+	t.Helper()
+	c, err := cluster.New(cluster.Options{
+		Protocol:    proto,
+		Covering:    covering,
+		MoveTimeout: moveTimeout,
+		Journal:     j,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+
+	pub, err := c.NewClient("pub", "b1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := c.NewClient("sub", "b14")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pub.Advertise(predicate.MustParse("[x,>,0]")); err != nil {
+		t.Fatal(err)
+	}
+	settle := func() {
+		t.Helper()
+		if err := c.SettleFor(20 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	settle()
+	if _, err := sub.Subscribe(predicate.MustParse("[x,>,0]")); err != nil {
+		t.Fatal(err)
+	}
+	settle()
+
+	publish := func(x float64) {
+		t.Helper()
+		if _, err := pub.Publish(predicate.Event{"x": predicate.Number(x)}); err != nil {
+			t.Fatal(err)
+		}
+		settle()
+	}
+	move := func(target message.BrokerID) {
+		t.Helper()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := sub.Move(ctx, target); err != nil {
+			t.Fatalf("move to %s: %v", target, err)
+		}
+		settle()
+	}
+
+	publish(1)
+	move("b7")
+	publish(2)
+	move("b2")
+	publish(3)
+
+	if got := sub.QueueLen(); got != 3 {
+		t.Fatalf("subscriber queued %d publications, want 3", got)
+	}
+}
+
+// TestAuditCleanRuns is the no-false-positives guarantee the fig. 8
+// acceptance gate depends on: real movements under both protocols and both
+// engines must audit clean.
+func TestAuditCleanRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live-cluster audit run")
+	}
+	j := journal.New(0)
+	runMovementWorkload(t, j, core.ProtocolReconfig, false, 0)
+	runMovementWorkload(t, j, core.ProtocolEndToEnd, true, 0)
+	runMovementWorkload(t, j, core.ProtocolReconfig, false, 10*time.Second)
+
+	rep := audit.Audit(j.Snapshot())
+	if len(rep.Runs) != 3 {
+		t.Fatalf("runs audited = %d, want 3", len(rep.Runs))
+	}
+	if !rep.Clean() {
+		var sb strings.Builder
+		rep.Write(&sb)
+		t.Fatalf("clean workload flagged:\n%s", sb.String())
+	}
+	for _, run := range rep.Runs {
+		if run.Committed < 2 {
+			t.Errorf("run %d committed %d movements, want >= 2 (%s)", run.Run, run.Committed, run.Config)
+		}
+		if run.Delivered < 3 {
+			t.Errorf("run %d delivered %d publications, want >= 3", run.Run, run.Delivered)
+		}
+		if run.Aborted != 0 || run.Unresolved != 0 {
+			t.Errorf("run %d: aborted=%d unresolved=%d", run.Run, run.Aborted, run.Unresolved)
+		}
+	}
+}
+
+// TestAuditSeesLamportChains spot-checks that the journal the cluster
+// produced actually carries causal structure the auditor relies on: every
+// transaction's timeline is strictly increasing in Lamport order.
+func TestAuditSeesLamportChains(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live-cluster audit run")
+	}
+	j := journal.New(0)
+	runMovementWorkload(t, j, core.ProtocolReconfig, false, 0)
+	recs := j.Snapshot()
+	rep := audit.Audit(recs)
+	if !rep.Clean() {
+		t.Fatalf("workload flagged: %v", rep.Violations())
+	}
+
+	txs := map[string]bool{}
+	for _, r := range recs {
+		if r.Cat == journal.CatProtocol && r.Tx != "" {
+			txs[r.Tx] = true
+		}
+	}
+	if len(txs) < 2 {
+		t.Fatalf("expected >= 2 movement transactions, saw %d", len(txs))
+	}
+	for tx := range txs {
+		tl := audit.Timeline(recs, 1, tx)
+		if len(tl) < 10 {
+			t.Errorf("tx %s timeline has only %d records", tx, len(tl))
+		}
+		for i := 1; i < len(tl); i++ {
+			// Records at distinct sites are causally chained through the
+			// control messages; equal stamps may only occur within one
+			// site's concurrent events, never decreasing overall.
+			if tl[i].Lamport < tl[i-1].Lamport {
+				t.Fatalf("tx %s timeline not causally ordered at %d: %d after %d",
+					tx, i, tl[i].Lamport, tl[i-1].Lamport)
+			}
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package audit
+
+import (
+	"fmt"
+	"io"
+
+	"padres/internal/journal"
+)
+
+// Write renders the report as the auditor's verdict: per-run summaries,
+// every violation, and a final PASS/FAIL line.
+func (r *Report) Write(w io.Writer) {
+	fmt.Fprintf(w, "audited %d records across %d run(s)\n", r.Records, len(r.Runs))
+	for _, run := range r.Runs {
+		fmt.Fprintf(w, "\nrun %d: %s\n", run.Run, run.Config)
+		fmt.Fprintf(w, "  records=%d transactions=%d committed=%d aborted=%d unresolved=%d deliveries=%d\n",
+			run.Records, run.Txs, run.Committed, run.Aborted, run.Unresolved, run.Delivered)
+		if run.Clean() {
+			fmt.Fprintf(w, "  clean: exactly-once delivery, 3PC phase order, routing convergence, abort atomicity all hold\n")
+			continue
+		}
+		fmt.Fprintf(w, "  VIOLATIONS (%d):\n", len(run.Violations))
+		for _, v := range run.Violations {
+			fmt.Fprintf(w, "    %s\n", v)
+		}
+	}
+	fmt.Fprintln(w)
+	if r.Clean() {
+		fmt.Fprintln(w, "PASS: all mobility properties verified")
+	} else {
+		fmt.Fprintf(w, "FAIL: %d violation(s)\n", len(r.Violations()))
+	}
+}
+
+// WriteTimeline renders one transaction's causal timeline, one record per
+// line in causal order, for debugging a flagged movement.
+func WriteTimeline(w io.Writer, recs []journal.Record, run int64, tx string) {
+	tl := Timeline(recs, run, tx)
+	fmt.Fprintf(w, "timeline of tx %s in run %d (%d records):\n", tx, run, len(tl))
+	for _, r := range tl {
+		fmt.Fprintf(w, "  %s\n", r)
+	}
+}

@@ -29,8 +29,10 @@ package broker
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"padres/internal/journal"
 	"padres/internal/matching"
 	"padres/internal/message"
 	"padres/internal/telemetry"
@@ -73,8 +75,9 @@ type Config struct {
 
 // Broker is one content-based pub/sub broker.
 type Broker struct {
-	cfg Config
-	tel *telemetry.BrokerMetrics
+	cfg    Config
+	tel    *telemetry.BrokerMetrics
+	jclock atomic.Pointer[brokerClock]
 
 	srt *matching.SRT
 	prt *matching.PRT
@@ -280,6 +283,15 @@ func (b *Broker) run() {
 		b.tel.QueueDepth.Set(int64(len(b.inbox)))
 		b.mu.Unlock()
 
+		if j := b.journal(); j != nil {
+			j.Add(journal.Record{
+				Site: string(b.cfg.ID), Cat: journal.CatBroker, Kind: journal.KindDispatch,
+				Lamport: b.clock(j).Tick(), Tx: string(env.Msg.Tag()),
+				Ref: message.RefOf(env.Msg), From: string(env.From),
+				Detail: env.Msg.Kind().String(),
+			})
+		}
+
 		if b.cfg.ServiceTime > 0 {
 			cost := b.cfg.ServiceTime
 			if env.Msg.Kind().IsControl() {
@@ -388,13 +400,57 @@ func (b *Broker) SendControl(m message.Message) error {
 // retract filters on behalf of the clients it manages without racing the
 // lifetime of their access links.
 func (b *Broker) Inject(from message.NodeID, m message.Message) {
+	b.inject(from, m, 0)
+}
+
+// InjectRemote is Inject carrying the sender's Lamport stamp; the TCP
+// gateway uses it so causal order survives the process boundary.
+func (b *Broker) InjectRemote(from message.NodeID, m message.Message, lamport uint64) {
+	b.inject(from, m, lamport)
+}
+
+func (b *Broker) inject(from message.NodeID, m message.Message, lamport uint64) {
 	b.cfg.Net.Registry().MsgEnqueued(m)
 	env := message.Envelope{From: from, Msg: m}
 	if ts := b.cfg.Net.Tracer(); ts != nil {
 		env.Trace = message.TraceOf(m)
 		ts.RecordHop(env.Trace, from, b.cfg.ID.Node(), m.Kind(), time.Now())
 	}
+	if j := b.journal(); j != nil {
+		c := b.clock(j)
+		if lamport > 0 {
+			env.Lamport = c.Merge(lamport)
+		} else {
+			env.Lamport = c.Tick()
+		}
+		j.Add(journal.Record{
+			Site: string(b.cfg.ID), Cat: journal.CatBroker, Kind: journal.KindInject,
+			Lamport: env.Lamport, Tx: string(m.Tag()), Ref: message.RefOf(m),
+			From: string(from), Detail: m.Kind().String(),
+		})
+	}
 	b.enqueue(env)
+}
+
+// journal returns the network's flight recorder, or nil when disabled.
+func (b *Broker) journal() *journal.Journal { return b.cfg.Net.Journal() }
+
+// clock returns this broker's Lamport clock within j, cached so the
+// dispatch hot path pays one atomic load instead of a map lookup per
+// record (the cache re-resolves if the network's journal is swapped).
+func (b *Broker) clock(j *journal.Journal) *journal.Clock {
+	if cc := b.jclock.Load(); cc != nil && cc.j == j {
+		return cc.c
+	}
+	cc := &brokerClock{j: j, c: j.ClockOf(string(b.cfg.ID))}
+	b.jclock.Store(cc)
+	return cc.c
+}
+
+// brokerClock pairs a journal with this broker's clock inside it.
+type brokerClock struct {
+	j *journal.Journal
+	c *journal.Clock
 }
 
 // forwardOrDeliverControl moves a control message one hop toward its

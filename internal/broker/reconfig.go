@@ -111,7 +111,7 @@ func (b *Broker) prepareReconfig(m message.MoveApprove) {
 			tx.insertedSubs = append(tx.insertedSubs, se.ID)
 		}
 		sid := message.SubID(shadowID(string(se.ID), m.Tx))
-		b.prt.Insert(sid, m.Client, se.Filter, tx.sucHop)
+		b.prtInsert(sid, m.Client, se.Filter, tx.sucHop, m.Tx)
 	}
 
 	for _, ae := range m.Advs {
@@ -121,7 +121,7 @@ func (b *Broker) prepareReconfig(m message.MoveApprove) {
 			tx.insertedAdvs = append(tx.insertedAdvs, ae.ID)
 		}
 		aid := message.AdvID(shadowID(string(ae.ID), m.Tx))
-		b.srt.Insert(aid, m.Client, ae.Filter, tx.sucHop)
+		b.srtInsert(aid, m.Client, ae.Filter, tx.sucHop, m.Tx)
 
 		// PRT cases (1) and (3): subscriptions intersecting the moved
 		// advertisement whose last hop is not the new direction must be
@@ -159,13 +159,13 @@ func (b *Broker) commitReconfig(tx message.TxID) {
 	b.mu.Unlock()
 
 	promoteSub := func(id message.SubID) {
-		sh := b.prt.Remove(message.SubID(shadowID(string(id), tx)))
+		sh := b.prtRemove(message.SubID(shadowID(string(id), tx)), tx)
 		if sh != nil {
-			b.prt.Insert(id, st.client, sh.Filter, sh.LastHop)
+			b.prtInsert(id, st.client, sh.Filter, sh.LastHop, tx)
 		}
 	}
 	for _, id := range st.flippedSubs {
-		b.prt.Remove(id)
+		b.prtRemove(id, tx)
 		promoteSub(id)
 	}
 	for _, id := range st.insertedSubs {
@@ -173,13 +173,13 @@ func (b *Broker) commitReconfig(tx message.TxID) {
 	}
 
 	promoteAdv := func(id message.AdvID) {
-		sh := b.srt.Remove(message.AdvID(shadowID(string(id), tx)))
+		sh := b.srtRemove(message.AdvID(shadowID(string(id), tx)), tx)
 		if sh != nil {
-			b.srt.Insert(id, st.client, sh.Filter, sh.LastHop)
+			b.srtInsert(id, st.client, sh.Filter, sh.LastHop, tx)
 		}
 	}
 	for _, id := range st.flippedAdvs {
-		b.srt.Remove(id)
+		b.srtRemove(id, tx)
 		promoteAdv(id)
 	}
 	for _, id := range st.insertedAdvs {
@@ -200,9 +200,9 @@ func (b *Broker) abortReconfig(tx message.TxID) {
 	b.mu.Unlock()
 
 	for _, id := range append(append([]message.SubID{}, st.flippedSubs...), st.insertedSubs...) {
-		b.prt.Remove(message.SubID(shadowID(string(id), tx)))
+		b.prtRemove(message.SubID(shadowID(string(id), tx)), tx)
 	}
 	for _, id := range append(append([]message.AdvID{}, st.flippedAdvs...), st.insertedAdvs...) {
-		b.srt.Remove(message.AdvID(shadowID(string(id), tx)))
+		b.srtRemove(message.AdvID(shadowID(string(id), tx)), tx)
 	}
 }

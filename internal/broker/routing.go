@@ -4,6 +4,7 @@ import (
 	"strings"
 	"time"
 
+	"padres/internal/journal"
 	"padres/internal/matching"
 	"padres/internal/message"
 	"padres/internal/predicate"
@@ -22,6 +23,51 @@ func canonicalID(id string) string {
 		return id[:i]
 	}
 	return id
+}
+
+// --- journaled routing-table mutations --------------------------------------
+
+// jnlRouting records one SRT/PRT mutation; tx attributes it to the movement
+// transaction that caused it (empty for ordinary client traffic). The
+// auditor replays these records to reconstruct each broker's final tables.
+func (b *Broker) jnlRouting(kind, id string, client message.ClientID, lastHop message.NodeID, tx message.TxID) {
+	j := b.journal()
+	if j == nil {
+		return
+	}
+	j.Add(journal.Record{
+		Site: string(b.cfg.ID), Cat: journal.CatRouting, Kind: kind,
+		Lamport: b.clock(j).Tick(), Tx: string(tx), Client: string(client),
+		Ref: id, To: string(lastHop),
+	})
+}
+
+// srtInsert, srtRemove, prtInsert, prtRemove are the journaled forms of the
+// routing-table mutations; all broker code mutates the tables through them.
+func (b *Broker) srtInsert(id message.AdvID, client message.ClientID, f *predicate.Filter, lastHop message.NodeID, tx message.TxID) {
+	b.srt.Insert(id, client, f, lastHop)
+	b.jnlRouting(journal.KindSRTInsert, string(id), client, lastHop, tx)
+}
+
+func (b *Broker) srtRemove(id message.AdvID, tx message.TxID) *matching.Record {
+	rec := b.srt.Remove(id)
+	if rec != nil {
+		b.jnlRouting(journal.KindSRTRemove, string(id), rec.Client, rec.LastHop, tx)
+	}
+	return rec
+}
+
+func (b *Broker) prtInsert(id message.SubID, client message.ClientID, f *predicate.Filter, lastHop message.NodeID, tx message.TxID) {
+	b.prt.Insert(id, client, f, lastHop)
+	b.jnlRouting(journal.KindPRTInsert, string(id), client, lastHop, tx)
+}
+
+func (b *Broker) prtRemove(id message.SubID, tx message.TxID) *matching.Record {
+	rec := b.prt.Remove(id)
+	if rec != nil {
+		b.jnlRouting(journal.KindPRTRemove, string(id), rec.Client, rec.LastHop, tx)
+	}
+	return rec
 }
 
 // --- sent-tracking ----------------------------------------------------------
@@ -111,7 +157,7 @@ func (b *Broker) dropSentAdv(id message.AdvID) {
 // --- advertisement handling -------------------------------------------------
 
 func (b *Broker) handleAdvertise(m message.Advertise, from message.NodeID) {
-	b.srt.Insert(m.ID, m.Client, m.Filter, from)
+	b.srtInsert(m.ID, m.Client, m.Filter, from, m.TxTag)
 
 	// Advertisements flood: forward to every neighbor except the one the
 	// advertisement came from (modulo covering quench).
@@ -138,7 +184,7 @@ func (b *Broker) handleAdvertise(m message.Advertise, from message.NodeID) {
 }
 
 func (b *Broker) handleUnadvertise(m message.Unadvertise, from message.NodeID) {
-	rec := b.srt.Remove(m.ID)
+	rec := b.srtRemove(m.ID, m.TxTag)
 	if rec == nil {
 		return
 	}
@@ -209,7 +255,7 @@ func (b *Broker) maybeSendAdv(id message.AdvID, client message.ClientID, f *pred
 // --- subscription handling --------------------------------------------------
 
 func (b *Broker) handleSubscribe(m message.Subscribe, from message.NodeID) {
-	b.prt.Insert(m.ID, m.Client, m.Filter, from)
+	b.prtInsert(m.ID, m.Client, m.Filter, from, m.TxTag)
 
 	// Forward toward the last hops of all intersecting advertisements
 	// (including prepared shadow configurations, so that movements in
@@ -226,7 +272,7 @@ func (b *Broker) handleSubscribe(m message.Subscribe, from message.NodeID) {
 }
 
 func (b *Broker) handleUnsubscribe(m message.Unsubscribe, from message.NodeID) {
-	rec := b.prt.Remove(m.ID)
+	rec := b.prtRemove(m.ID, m.TxTag)
 	if rec == nil {
 		return
 	}
@@ -335,6 +381,13 @@ func (b *Broker) handlePublish(m message.Publish, from message.NodeID) {
 			b.send(d, m)
 		default:
 			if deliver := b.localClient(d); deliver != nil {
+				if j := b.journal(); j != nil {
+					j.Add(journal.Record{
+						Site: string(b.cfg.ID), Cat: journal.CatBroker, Kind: journal.KindDeliver,
+						Lamport: b.clock(j).Tick(), Tx: string(m.TxTag),
+						Client: string(sub.Client), Ref: string(m.ID), To: string(d),
+					})
+				}
 				deliver(m)
 			}
 			// Otherwise the last hop is stale (e.g. a detached client):

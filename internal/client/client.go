@@ -80,6 +80,44 @@ type Sender func(from message.NodeID, m message.Message)
 // held: they must not block and must not call back into the client.
 type StateObserver func(id message.ClientID, from, to State, at time.Time)
 
+// DeliveryOutcome classifies what the stub did with a notification.
+type DeliveryOutcome int
+
+// Delivery outcomes.
+const (
+	// DeliveryQueued: the publication entered the application queue (first
+	// and only time the application sees it).
+	DeliveryQueued DeliveryOutcome = iota + 1
+	// DeliveryDuplicate: suppressed by the stub's seen-set; the publication
+	// had already been queued, typically via the other copy of a moving
+	// client during the dual-configuration window.
+	DeliveryDuplicate
+	// DeliveryBuffered: parked in the transfer buffer while the client is
+	// stopping; it accompanies the movement's state-transfer message.
+	DeliveryBuffered
+)
+
+// String returns the outcome name.
+func (o DeliveryOutcome) String() string {
+	switch o {
+	case DeliveryQueued:
+		return "queued"
+	case DeliveryDuplicate:
+		return "duplicate"
+	case DeliveryBuffered:
+		return "buffered"
+	default:
+		return fmt.Sprintf("outcome(%d)", int(o))
+	}
+}
+
+// DeliveryObserver is notified of every notification handed to the stub and
+// what became of it. This is the system's app-level exactly-once point: a
+// publication with outcome DeliveryQueued reaches the application exactly
+// once. Observers run with the client's lock held: they must not block and
+// must not call back into the client.
+type DeliveryObserver func(id message.ClientID, pub message.PubID, outcome DeliveryOutcome)
+
 // Client is the pub/sub stub of one (mobile) application client.
 type Client struct {
 	id  message.ClientID
@@ -89,6 +127,7 @@ type Client struct {
 	cond     *sync.Cond
 	state    State
 	stateObs StateObserver
+	delivObs DeliveryObserver
 	broker   message.BrokerID
 	node     message.NodeID
 	mover    Mover
@@ -169,6 +208,15 @@ func (c *Client) setStateLocked(s State) {
 	}
 }
 
+// SetDeliveryObserver installs (or, with nil, removes) the notification
+// observer. The flight recorder uses it to journal every queue, duplicate
+// suppression, and buffering decision.
+func (c *Client) SetDeliveryObserver(obs DeliveryObserver) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.delivObs = obs
+}
+
 // SetSender installs the path from the client into its current broker.
 func (c *Client) SetSender(s Sender) {
 	c.mu.Lock()
@@ -187,6 +235,9 @@ func (c *Client) DeliverLocal(pub message.Publish) {
 		// Buffered for the state-transfer message; duplicates are resolved
 		// at merge time.
 		c.transfer = append(c.transfer, pub)
+		if c.delivObs != nil {
+			c.delivObs(c.id, pub.ID, DeliveryBuffered)
+		}
 	default:
 		c.enqueueLocked(pub)
 	}
@@ -196,10 +247,16 @@ func (c *Client) DeliverLocal(pub message.Publish) {
 // once per publication ID.
 func (c *Client) enqueueLocked(pub message.Publish) {
 	if c.seen[pub.ID] {
+		if c.delivObs != nil {
+			c.delivObs(c.id, pub.ID, DeliveryDuplicate)
+		}
 		return
 	}
 	c.seen[pub.ID] = true
 	c.queue = append(c.queue, pub)
+	if c.delivObs != nil {
+		c.delivObs(c.id, pub.ID, DeliveryQueued)
+	}
 	c.cond.Broadcast()
 }
 

@@ -13,6 +13,7 @@ import (
 	"padres/internal/broker"
 	"padres/internal/client"
 	"padres/internal/core"
+	"padres/internal/journal"
 	"padres/internal/message"
 	"padres/internal/metrics"
 	"padres/internal/overlay"
@@ -43,6 +44,12 @@ type Options struct {
 	// SkipPropagationWait disables the end-to-end protocol's propagation
 	// wait (ablation only).
 	SkipPropagationWait bool
+	// Journal, if set, turns the flight recorder on for the whole
+	// deployment: every link transmission, broker dispatch, routing-table
+	// mutation, protocol step, and client event is stamped and recorded.
+	// New marks a run boundary in it (BeginRun) so one journal can hold
+	// several sequential deployments.
+	Journal *journal.Journal
 }
 
 // Cluster is a running in-process deployment.
@@ -83,6 +90,13 @@ func New(opts Options) (*Cluster, error) {
 		opts:       opts,
 	}
 	c.net = transport.NewNetwork(c.reg)
+	if opts.Journal != nil {
+		// The run-config detail tells the auditor which engine produced the
+		// run (protocol, covering, blocking vs non-blocking 3PC).
+		opts.Journal.BeginRun(fmt.Sprintf("protocol=%s covering=%t timeout=%s brokers=%d",
+			opts.Protocol, opts.Covering, opts.MoveTimeout, len(opts.Topology.Brokers())))
+		c.net.SetJournal(opts.Journal)
+	}
 
 	for _, id := range c.top.Brokers() {
 		hops, err := c.top.NextHops(id)

@@ -35,6 +35,7 @@ import (
 
 	"padres/internal/broker"
 	"padres/internal/client"
+	"padres/internal/journal"
 	"padres/internal/message"
 	"padres/internal/metrics"
 	"padres/internal/transport"
@@ -278,10 +279,12 @@ func (ct *Container) NewClient(id message.ClientID) (*client.Client, error) {
 	c.SetMover(ct)
 	c.SetSender(ct.cfg.Broker.Inject)
 	ct.installStateObserver(c)
+	ct.installDeliveryObserver(c)
 	ct.cfg.Directory.Put(c)
 	ct.mu.Lock()
 	ct.hosted[id] = c
 	ct.mu.Unlock()
+	ct.jnlClient(journal.KindClientAttach, "", id, string(bid))
 	return c, nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"padres/internal/journal"
 	"padres/internal/message"
 )
 
@@ -103,10 +104,22 @@ func (ct *Container) SetEventSink(sink EventSink) {
 	ct.events.Store(&sink)
 }
 
-// emit sends an event to the sink, if any. It takes no container lock, so
-// it is safe from any calling context (including client state observers
-// that run under the client stub's lock).
+// emit sends an event to the sink, if any, and dual-writes it to the flight
+// recorder as a protocol record. It takes no container lock, so it is safe
+// from any calling context (including client state observers that run under
+// the client stub's lock).
 func (ct *Container) emit(kind EventKind, tx message.TxID, cl message.ClientID, detail string) {
+	if j := ct.journal(); j != nil {
+		cat := journal.CatProtocol
+		if kind == EventClientState {
+			cat = journal.CatClient
+		}
+		site := string(ct.cfg.Broker.ID())
+		j.Add(journal.Record{
+			Site: site, Cat: cat, Kind: kind.String(),
+			Lamport: j.ClockOf(site).Tick(), Tx: string(tx), Client: string(cl), Detail: detail,
+		})
+	}
 	p := ct.events.Load()
 	if p == nil {
 		return

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"padres/internal/broker"
+	"padres/internal/client"
+	"padres/internal/journal"
+	"padres/internal/message"
+)
+
+// The container journals through the network's flight recorder: protocol
+// steps dual-write from emit, client lifecycle milestones (attach, arrive,
+// depart) are recorded where they happen, and per-client delivery decisions
+// flow through the stub's DeliveryObserver. Everything is nil-safe: with no
+// journal installed these helpers cost one atomic load.
+
+// journal returns the deployment's flight recorder, or nil when disabled.
+func (ct *Container) journal() *journal.Journal { return ct.cfg.Net.Journal() }
+
+// jnlClient records a client lifecycle milestone observed by this
+// container's coordinator.
+func (ct *Container) jnlClient(kind string, tx message.TxID, cl message.ClientID, detail string) {
+	j := ct.journal()
+	if j == nil {
+		return
+	}
+	site := string(ct.cfg.Broker.ID())
+	j.Add(journal.Record{
+		Site: site, Cat: journal.CatClient, Kind: kind,
+		Lamport: j.ClockOf(site).Tick(), Tx: string(tx), Client: string(cl), Detail: detail,
+	})
+}
+
+// installDeliveryObserver journals every notification decision the client
+// stub makes (queued, duplicate-suppressed, buffered). The client itself is
+// the observing site; its records are what the auditor counts to verify
+// app-level exactly-once delivery. The observer resolves the journal at
+// event time, so it follows the client across containers.
+func (ct *Container) installDeliveryObserver(c *client.Client) {
+	net := ct.cfg.Net
+	id := c.ID()
+	c.SetDeliveryObserver(func(_ message.ClientID, pub message.PubID, outcome client.DeliveryOutcome) {
+		j := net.Journal()
+		if j == nil {
+			return
+		}
+		var kind string
+		switch outcome {
+		case client.DeliveryDuplicate:
+			kind = journal.KindClientDup
+		case client.DeliveryBuffered:
+			kind = journal.KindClientBuffer
+		default:
+			kind = journal.KindClientDeliver
+		}
+		site := string(id)
+		j.Add(journal.Record{
+			Site: site, Cat: journal.CatClient, Kind: kind,
+			Lamport: j.ClockOf(site).Tick(), Client: string(id), Ref: string(pub),
+		})
+	})
+}
+
+// journalShellDeliver wraps the target shell's buffering callback so every
+// publication parked for an in-flight movement is on the record.
+func (ct *Container) journalShellDeliver(ttx *targetTx) broker.ClientDeliver {
+	net := ct.cfg.Net
+	site := string(ct.cfg.Broker.ID())
+	return func(pub message.Publish) {
+		if j := net.Journal(); j != nil {
+			j.Add(journal.Record{
+				Site: site, Cat: journal.CatClient, Kind: journal.KindShellBuffer,
+				Lamport: j.ClockOf(site).Tick(), Tx: string(ttx.tx),
+				Client: string(ttx.clientID), Ref: string(pub.ID),
+			})
+		}
+		ttx.shellDeliver(pub)
+	}
+}

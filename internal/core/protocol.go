@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"padres/internal/client"
+	"padres/internal/journal"
 	"padres/internal/message"
 	"padres/internal/metrics"
 )
@@ -67,7 +68,7 @@ func (ct *Container) onNegotiate(m message.MoveNegotiate) {
 	// Create the client shell: a local identity at the target broker that
 	// buffers notifications until the client state arrives. It must exist
 	// before any routing for the client points here.
-	ct.cfg.Broker.AttachClient(ttx.shellNode, ttx.shellDeliver)
+	ct.cfg.Broker.AttachClient(ttx.shellNode, ct.journalShellDeliver(ttx))
 
 	approve := message.MoveApprove{MoveHeader: m.MoveHeader}
 
@@ -176,7 +177,9 @@ func (ct *Container) onState(m message.MoveState) {
 	c.SetMover(ct)
 	c.SetSender(ct.cfg.Broker.Inject)
 	ct.installStateObserver(c)
+	ct.installDeliveryObserver(c)
 	_ = c.CompleteMove(ct.cfg.Broker.ID(), m.Buffered, shell)
+	ct.jnlClient(journal.KindClientArrive, m.Tx, m.Client, fmt.Sprintf("%d transferred, %d shell-buffered", len(m.Buffered), len(shell)))
 
 	ct.emit(EventAckSent, m.Tx, m.Client, "")
 	_ = ct.cfg.Broker.SendControl(message.MoveAck{
@@ -293,6 +296,7 @@ func (ct *Container) onAck(m message.MoveAck) {
 
 	srcNode := message.ClientNode(m.Client, ct.cfg.Broker.ID())
 	ct.cfg.Broker.DetachClient(srcNode)
+	ct.jnlClient(journal.KindClientDepart, m.Tx, m.Client, "source copy detached")
 
 	if ct.cfg.Protocol == ProtocolEndToEnd && !ct.cfg.SkipPropagationWait {
 		// The traditional movement is complete only when the retraction

@@ -22,6 +22,7 @@ import (
 	"padres/internal/client"
 	"padres/internal/cluster"
 	"padres/internal/core"
+	"padres/internal/journal"
 	"padres/internal/message"
 	"padres/internal/metrics"
 	"padres/internal/overlay"
@@ -51,6 +52,9 @@ type Scale struct {
 	MoveTimeout time.Duration
 	// Seed drives workload assignment and publication generation.
 	Seed int64
+	// Journal, if set, records the run in the flight recorder so it can be
+	// audited offline (cmd/padres-audit) or checked in-process.
+	Journal *journal.Journal
 }
 
 // QuickScale is small enough for unit tests and benchmarks (seconds per
@@ -186,6 +190,7 @@ func runCustom(cfg Config, setup func(h *harness) error) (*Result, error) {
 		ServiceTime:         cfg.Scale.ServiceTime,
 		MoveTimeout:         cfg.Scale.MoveTimeout,
 		SkipPropagationWait: cfg.SkipPropagationWait,
+		Journal:             cfg.Scale.Journal,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,225 @@
+package failure
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"padres/internal/audit"
+	"padres/internal/cluster"
+	"padres/internal/core"
+	"padres/internal/journal"
+	"padres/internal/predicate"
+	"padres/internal/transport"
+)
+
+// auditFaultCase is one fault scenario run under the flight recorder: the
+// fault arms itself on a protocol event mid-movement, and the auditor then
+// judges the journal. A correct outcome is either a verified clean abort
+// (the transaction aborted and every mobility property held) or a flagged
+// violation — what the auditor must never do is call a faulty run clean
+// with no abort.
+type auditFaultCase struct {
+	name string
+	// trigger is the protocol step that arms the fault.
+	trigger core.EventKind
+	// fault applies the failure; restore undoes it after the movement
+	// resolved so the run can settle before auditing.
+	fault   func(t *testing.T, c *cluster.Cluster, in *Injector)
+	restore func(t *testing.T, c *cluster.Cluster, in *Injector)
+}
+
+func TestAuditedFaultScenarios(t *testing.T) {
+	cases := []auditFaultCase{
+		{
+			// The target coordinator stalls before it can approve: the
+			// negotiate queues behind the frozen broker, the source times
+			// out, and the abort must leave no trace of the preparation.
+			name:    "coordinator-stall",
+			trigger: core.EventNegotiateSent,
+			fault: func(t *testing.T, c *cluster.Cluster, in *Injector) {
+				if err := in.Freeze("b13"); err != nil {
+					t.Error(err)
+				}
+			},
+			restore: func(t *testing.T, c *cluster.Cluster, in *Injector) {
+				if err := in.Thaw("b13"); err != nil {
+					t.Error(err)
+				}
+			},
+		},
+		{
+			// A backbone link drops during precommit: the target has
+			// prepared and approved, but the 3PC conversation loses its
+			// path mid-transaction and must resolve by timeout.
+			name:    "link-drop-during-precommit",
+			trigger: core.EventApproveSent,
+			fault: func(t *testing.T, c *cluster.Cluster, in *Injector) {
+				c.Network().RemoveLink("b8", "b12")
+			},
+			restore: func(t *testing.T, c *cluster.Cluster, in *Injector) {
+				opts := transport.DefaultCluster().LinkFor("b8", "b12")
+				if err := c.Network().AddLink("b8", "b12", opts); err != nil {
+					t.Error(err)
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) { runAuditedFault(t, tc) })
+	}
+}
+
+func runAuditedFault(t *testing.T, tc auditFaultCase) {
+	j := journal.New(0)
+	c := build(t, cluster.Options{
+		Protocol:    core.ProtocolReconfig,
+		MoveTimeout: 400 * time.Millisecond, // non-blocking engine: faults abort
+		Journal:     j,
+	})
+	in := New(c)
+
+	pub, err := c.NewClient("pub", "b5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pub.Advertise(predicate.MustParse("[x,>,0]")); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := c.NewClient("sub", "b1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sub.Subscribe(predicate.MustParse("[x,>,0]")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SettleFor(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Arm the fault on the trigger step of the movement's own conversation.
+	var once sync.Once
+	fired := make(chan struct{})
+	c.SetEventSink(func(e core.Event) {
+		if e.Kind == tc.trigger {
+			once.Do(func() {
+				tc.fault(t, c, in)
+				close(fired)
+			})
+		}
+	})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	moveErr := sub.Move(ctx, "b13")
+	select {
+	case <-fired:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("fault never armed: trigger %s not observed", tc.trigger)
+	}
+	c.SetEventSink(nil)
+	tc.restore(t, c, in)
+	if err := c.SettleFor(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	rep := audit.Audit(j.Snapshot())
+	if len(rep.Runs) != 1 {
+		t.Fatalf("runs = %d", len(rep.Runs))
+	}
+	run := rep.Runs[0]
+	if run.Txs < 1 {
+		t.Fatal("no movement transaction recorded")
+	}
+	t.Logf("%s: moveErr=%v txs=%d committed=%d aborted=%d violations=%d",
+		tc.name, moveErr, run.Txs, run.Committed, run.Aborted, len(run.Violations))
+
+	if run.Clean() {
+		// The auditor certified the run: then the fault must have resolved
+		// as a clean abort (or the movement legitimately survived it, which
+		// the non-blocking engine does not allow for these faults).
+		if run.Aborted < 1 {
+			t.Errorf("fault left no aborted transaction yet the run audits clean (moveErr=%v)", moveErr)
+		}
+		if moveErr == nil {
+			t.Errorf("movement reported success under a mid-transaction fault")
+		}
+		return
+	}
+	// Flagged: every violation must come from one of the four property
+	// checks, attributed to this run.
+	for _, v := range run.Violations {
+		switch v.Check {
+		case "delivery", "phase-order", "convergence", "atomicity":
+		default:
+			t.Errorf("unknown check %q in violation %s", v.Check, v)
+		}
+		if v.Run != run.Run {
+			t.Errorf("violation attributed to run %d, want %d", v.Run, run.Run)
+		}
+		t.Logf("flagged: %s", v)
+	}
+}
+
+// TestAuditFlagsSeededDuplicate proves the auditor's teeth end-to-end: a
+// journal from a healthy run, seeded with one fabricated duplicate
+// delivery, must fail the audit with a delivery violation.
+func TestAuditFlagsSeededDuplicate(t *testing.T) {
+	j := journal.New(0)
+	c := build(t, cluster.Options{Protocol: core.ProtocolReconfig, Journal: j})
+	pub, err := c.NewClient("pub", "b5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pub.Advertise(predicate.MustParse("[x,>,0]")); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := c.NewClient("sub", "b1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sub.Subscribe(predicate.MustParse("[x,>,0]")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SettleFor(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pub.Publish(predicate.Event{"x": predicate.Number(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SettleFor(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	recs := j.Snapshot()
+	if rep := audit.Audit(append([]journal.Record{}, recs...)); !rep.Clean() {
+		t.Fatalf("healthy run flagged: %v", rep.Violations())
+	}
+	// Fabricate a second queueing of a publication the run delivered.
+	var dup journal.Record
+	for _, r := range recs {
+		if r.Kind == journal.KindClientDeliver {
+			dup = r
+			break
+		}
+	}
+	if dup.Kind == "" {
+		t.Fatal("no client delivery recorded")
+	}
+	dup.Lamport++
+	rep := audit.Audit(append(recs, dup))
+	if rep.Clean() {
+		t.Fatal("seeded duplicate not flagged")
+	}
+	found := false
+	for _, v := range rep.Violations() {
+		if v.Check == "delivery" && strings.Contains(v.Detail, "2 times") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected a duplicate-delivery violation, got %v", rep.Violations())
+	}
+}

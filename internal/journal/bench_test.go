@@ -1,0 +1,58 @@
+package journal
+
+import (
+	"io"
+	"testing"
+)
+
+// BenchmarkJournalAppend measures the ring-sink hot path: the cost every
+// instrumented event pays when journaling is enabled.
+func BenchmarkJournalAppend(b *testing.B) {
+	j := New(DefaultCapacity)
+	c := j.ClockOf("b1")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j.Add(Record{Site: "b1", Cat: CatBroker, Kind: KindDispatch, Ref: "p1", Lamport: c.Tick()})
+	}
+}
+
+// BenchmarkJournalAppendParallel measures contention on the ring from many
+// broker goroutines appending at once.
+func BenchmarkJournalAppendParallel(b *testing.B) {
+	j := New(DefaultCapacity)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		c := j.ClockOf("b1")
+		for pb.Next() {
+			j.Add(Record{Site: "b1", Cat: CatBroker, Kind: KindDispatch, Ref: "p1", Lamport: c.Tick()})
+		}
+	})
+}
+
+// BenchmarkJournalAppendJSONL adds the JSONL sink's marshal+write cost.
+func BenchmarkJournalAppendJSONL(b *testing.B) {
+	j := New(DefaultCapacity)
+	j.SinkWriter(io.Discard)
+	c := j.ClockOf("b1")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j.Add(Record{Site: "b1", Cat: CatBroker, Kind: KindDispatch, Ref: "p1", Lamport: c.Tick()})
+	}
+}
+
+// BenchmarkClock measures the lock-free Lamport clock operations.
+func BenchmarkClock(b *testing.B) {
+	var c Clock
+	b.Run("tick", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c.Tick()
+		}
+	})
+	b.Run("merge", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c.Merge(uint64(i))
+		}
+	})
+}

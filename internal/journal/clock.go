@@ -1,0 +1,32 @@
+package journal
+
+import "sync/atomic"
+
+// Clock is a Lamport logical clock. One clock belongs to one site (a broker
+// or client node); local events Tick it, and receiving a message Merges the
+// sender's stamp so that causally related journal records are totally
+// ordered by their Lamport values.
+type Clock struct {
+	v atomic.Uint64
+}
+
+// Tick advances the clock for a local event and returns the new value.
+func (c *Clock) Tick() uint64 { return c.v.Add(1) }
+
+// Merge advances the clock past a remote stamp: the new value is
+// max(local, remote) + 1. It returns the new value.
+func (c *Clock) Merge(remote uint64) uint64 {
+	for {
+		cur := c.v.Load()
+		next := cur + 1
+		if remote >= cur {
+			next = remote + 1
+		}
+		if c.v.CompareAndSwap(cur, next) {
+			return next
+		}
+	}
+}
+
+// Now returns the current value without advancing.
+func (c *Clock) Now() uint64 { return c.v.Load() }

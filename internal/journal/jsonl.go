@@ -1,0 +1,61 @@
+package journal
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// ReadJSONL decodes records from a JSONL stream, one record per line.
+// Blank lines are skipped; a malformed line aborts with its line number.
+func ReadJSONL(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	var out []Record
+	line := 0
+	for sc.Scan() {
+		line++
+		data := sc.Bytes()
+		if len(data) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(data, &rec); err != nil {
+			return nil, fmt.Errorf("journal line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("journal read: %w", err)
+	}
+	return out, nil
+}
+
+// ReadFile reads a JSONL journal from disk.
+func ReadFile(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = f.Close() }()
+	return ReadJSONL(f)
+}
+
+// SortCausal orders records causally: by run, then Lamport stamp, then
+// append sequence (the in-process tiebreaker). Because receives merge the
+// sender's stamp, this order places every receive after its send and every
+// effect after its cause.
+func SortCausal(recs []Record) {
+	sort.SliceStable(recs, func(i, j int) bool {
+		if recs[i].Run != recs[j].Run {
+			return recs[i].Run < recs[j].Run
+		}
+		if recs[i].Lamport != recs[j].Lamport {
+			return recs[i].Lamport < recs[j].Lamport
+		}
+		return recs[i].Seq < recs[j].Seq
+	})
+}

@@ -1,0 +1,73 @@
+package matching
+
+import (
+	"fmt"
+	"testing"
+
+	"padres/internal/message"
+	"padres/internal/predicate"
+)
+
+// benchPRT builds a table of n window subscriptions [x,>,i],[x,<,i+16] so a
+// point event matches a small fraction of them, as in the paper's workload
+// blocks.
+func benchPRT(b *testing.B, n int) *PRT {
+	b.Helper()
+	prt := NewPRT()
+	for i := 0; i < n; i++ {
+		f := predicate.MustParse(fmt.Sprintf("[x,>,%d],[x,<,%d]", i, i+16))
+		prt.Insert(message.SubID(fmt.Sprintf("s%d", i)), "c1", f, "b2")
+	}
+	return prt
+}
+
+func BenchmarkPRTMatch(b *testing.B) {
+	for _, n := range []int{64, 1024} {
+		b.Run(fmt.Sprintf("subs=%d", n), func(b *testing.B) {
+			prt := benchPRT(b, n)
+			e := predicate.Event{"x": predicate.Number(float64(n / 2))}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if len(prt.Match(e)) == 0 {
+					b.Fatal("no match")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkPRTIntersecting(b *testing.B) {
+	prt := benchPRT(b, 1024)
+	adv := predicate.MustParse("[x,>,500],[x,<,540]")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(prt.Intersecting(adv)) == 0 {
+			b.Fatal("no intersection")
+		}
+	}
+}
+
+func BenchmarkSRTCovering(b *testing.B) {
+	srt := NewSRT()
+	for i := 0; i < 1024; i++ {
+		f := predicate.MustParse(fmt.Sprintf("[x,>,%d]", i))
+		srt.Insert(message.AdvID(fmt.Sprintf("a%d", i)), "c1", f, "b2")
+	}
+	sub := predicate.MustParse("[x,>,900]")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(srt.Covering(sub, "")) == 0 {
+			b.Fatal("no cover")
+		}
+	}
+}
+
+func BenchmarkPRTInsertRemove(b *testing.B) {
+	prt := benchPRT(b, 1024)
+	f := predicate.MustParse("[x,>,0],[x,<,4]")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prt.Insert("bench", "c1", f, "b2")
+		prt.Remove("bench")
+	}
+}

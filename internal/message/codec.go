@@ -10,11 +10,15 @@ import (
 // Envelope frames a message for the wire together with the sending node,
 // which the receiver uses as the message's last hop. Trace carries the
 // message's trace identity (TraceOf) when tracing is enabled; it rides the
-// wire so a receiving process can continue the hop record.
+// wire so a receiving process can continue the hop record. Lamport carries
+// the sender's logical clock stamp at transmission time; receivers merge it
+// into their own clock so journal records are causally ordered across
+// sites, in-process and over TCP alike.
 type Envelope struct {
-	From  NodeID
-	Msg   Message
-	Trace TraceID
+	From    NodeID
+	Msg     Message
+	Trace   TraceID
+	Lamport uint64
 }
 
 // RegisterGobTypes registers all concrete message types with the standard

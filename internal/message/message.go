@@ -300,6 +300,28 @@ func TraceOf(m Message) TraceID {
 	}
 }
 
+// RefOf returns the message's own identifier — the pub/sub/adv ID for
+// routing messages, the transaction ID for control messages — for use as a
+// journal record reference. Unlike TraceOf it carries no kind prefix, so
+// the auditor can correlate records of one publication across its whole
+// path by this value alone.
+func RefOf(m Message) string {
+	switch v := m.(type) {
+	case Advertise:
+		return string(v.ID)
+	case Unadvertise:
+		return string(v.ID)
+	case Subscribe:
+		return string(v.ID)
+	case Unsubscribe:
+		return string(v.ID)
+	case Publish:
+		return string(v.ID)
+	default:
+		return string(m.Tag())
+	}
+}
+
 // Interface compliance checks.
 var (
 	_ Message = Advertise{}

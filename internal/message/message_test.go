@@ -211,3 +211,49 @@ func TestCodecStream(t *testing.T) {
 		t.Errorf("decoded %d envelopes, want 3", count)
 	}
 }
+
+// TestCodecLamportPropagation checks that the sender's Lamport stamp
+// survives the wire codec exactly: causal ordering across processes
+// depends on the receiver merging the stamp the sender actually wrote.
+func TestCodecLamportPropagation(t *testing.T) {
+	env := Envelope{
+		From:    "b1",
+		Msg:     Publish{ID: "p1", Client: "c1"},
+		Trace:   "pub:p1",
+		Lamport: 42,
+	}
+	data, err := Marshal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Lamport != 42 {
+		t.Errorf("Lamport after round trip = %d, want 42", got.Lamport)
+	}
+	if got.Trace != "pub:p1" {
+		t.Errorf("Trace after round trip = %q, want pub:p1", got.Trace)
+	}
+
+	// A stream of envelopes keeps each stamp with its own message.
+	r, w := io.Pipe()
+	enc := NewEncoder(w)
+	go func() {
+		for _, lam := range []uint64{7, 9, 1000} {
+			_ = enc.Encode(Envelope{From: "b1", Msg: Publish{ID: "p"}, Lamport: lam})
+		}
+		_ = w.Close()
+	}()
+	dec := NewDecoder(r)
+	for _, want := range []uint64{7, 9, 1000} {
+		got, err := dec.Decode()
+		if err != nil {
+			t.Fatalf("Decode: %v", err)
+		}
+		if got.Lamport != want {
+			t.Errorf("streamed Lamport = %d, want %d", got.Lamport, want)
+		}
+	}
+}

@@ -9,9 +9,11 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
+	"padres/internal/journal"
 	"padres/internal/message"
 )
 
@@ -25,6 +27,7 @@ type Registry struct {
 	extra   []func(io.Writer)
 	traces  *TraceStore
 	spans   *SpanRecorder
+	jnl     *journal.Journal
 	started time.Time
 }
 
@@ -51,6 +54,21 @@ func (r *Registry) Traces() *TraceStore { return r.traces }
 
 // Spans returns the registry's movement span recorder.
 func (r *Registry) Spans() *SpanRecorder { return r.spans }
+
+// SetJournal attaches a flight-recorder journal so its records are served
+// on /journal. A nil journal detaches the endpoint.
+func (r *Registry) SetJournal(j *journal.Journal) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.jnl = j
+}
+
+// Journal returns the attached flight recorder (nil when detached).
+func (r *Registry) Journal() *journal.Journal {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.jnl
+}
 
 // AddExposition registers an extra callback invoked on every /metrics
 // scrape; callbacks must emit valid Prometheus text lines.
@@ -90,12 +108,42 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 	}
 }
 
+// DefaultPageLimit bounds one page of /traces, /spans, or /journal output
+// when the request does not pass ?limit=.
+const DefaultPageLimit = 256
+
+// pageParams parses the shared pagination query parameters: ?limit= bounds
+// the page size (default DefaultPageLimit) and ?after= is the opaque cursor
+// returned by the previous page.
+func pageParams(req *http.Request) (limit int, after string) {
+	limit = DefaultPageLimit
+	if s := req.URL.Query().Get("limit"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			limit = n
+		}
+	}
+	return limit, req.URL.Query().Get("after")
+}
+
+// page is the JSON envelope of a paginated endpoint. NextAfter is the
+// cursor of the following page; empty when this page is the last.
+type page struct {
+	Total     int    `json:"total"`
+	Count     int    `json:"count"`
+	NextAfter string `json:"next_after,omitempty"`
+	Traces    any    `json:"traces,omitempty"`
+	Spans     any    `json:"spans,omitempty"`
+	Records   any    `json:"records,omitempty"`
+}
+
 // Handler returns the telemetry HTTP mux:
 //
 //	/metrics        Prometheus text exposition
 //	/healthz        JSON liveness summary
-//	/traces         JSON dump of stored traces (?id= selects one)
-//	/spans          JSON dump of completed movement timelines
+//	/traces         paginated traces (?id= selects one; ?limit=, ?after=)
+//	/spans          paginated movement timelines (?limit=, ?after=)
+//	/journal        paginated flight-recorder records (?limit=, ?after=,
+//	                ?run=, ?tx=) when a journal is attached
 //	/debug/pprof/   Go runtime profiles
 func (r *Registry) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -127,10 +175,95 @@ func (r *Registry) Handler() http.Handler {
 			writeJSON(w, tr)
 			return
 		}
-		writeJSON(w, r.traces.Snapshot())
+		limit, after := pageParams(req)
+		all := r.traces.Snapshot()
+		p := page{Total: len(all)}
+		start := 0
+		if after != "" {
+			for i, tr := range all {
+				if string(tr.ID) == after {
+					start = i + 1
+					break
+				}
+			}
+		}
+		end := min(start+limit, len(all))
+		sel := all[start:end]
+		p.Count = len(sel)
+		if end < len(all) && len(sel) > 0 {
+			p.NextAfter = string(sel[len(sel)-1].ID)
+		}
+		p.Traces = sel
+		writeJSON(w, p)
 	})
-	mux.HandleFunc("/spans", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, r.spans.Completed())
+	mux.HandleFunc("/spans", func(w http.ResponseWriter, req *http.Request) {
+		limit, after := pageParams(req)
+		all := r.spans.Completed()
+		p := page{Total: len(all)}
+		start := 0
+		if after != "" {
+			for i, s := range all {
+				if s.Tx == after {
+					start = i + 1
+					break
+				}
+			}
+		}
+		end := min(start+limit, len(all))
+		sel := all[start:end]
+		p.Count = len(sel)
+		if end < len(all) && len(sel) > 0 {
+			p.NextAfter = sel[len(sel)-1].Tx
+		}
+		p.Spans = sel
+		writeJSON(w, p)
+	})
+	mux.HandleFunc("/journal", func(w http.ResponseWriter, req *http.Request) {
+		j := r.Journal()
+		if !j.Enabled() {
+			http.Error(w, "no journal attached", http.StatusNotFound)
+			return
+		}
+		limit, after := pageParams(req)
+		q := req.URL.Query()
+		recs := j.Snapshot()
+		// Seq is stamped before the ring append, so the snapshot can be
+		// slightly out of order under concurrent writers; the cursor needs
+		// it strictly monotone.
+		sort.Slice(recs, func(i, k int) bool { return recs[i].Seq < recs[k].Seq })
+		// Optional filters restrict before pagination so a page is always
+		// a window of the filtered stream.
+		if runStr := q.Get("run"); runStr != "" {
+			run, err := strconv.ParseInt(runStr, 10, 64)
+			if err != nil {
+				http.Error(w, "bad run", http.StatusBadRequest)
+				return
+			}
+			recs = filterRecords(recs, func(rec journal.Record) bool { return rec.Run == run })
+		}
+		if tx := q.Get("tx"); tx != "" {
+			recs = filterRecords(recs, func(rec journal.Record) bool { return rec.Tx == tx })
+		}
+		p := page{Total: len(recs)}
+		start := 0
+		if after != "" {
+			seq, err := strconv.ParseUint(after, 10, 64)
+			if err != nil {
+				http.Error(w, "bad cursor", http.StatusBadRequest)
+				return
+			}
+			// Snapshot order is append order, so Seq is monotone: the page
+			// starts after the cursor's sequence number.
+			start = sort.Search(len(recs), func(i int) bool { return recs[i].Seq > seq })
+		}
+		end := min(start+limit, len(recs))
+		sel := recs[start:end]
+		p.Count = len(sel)
+		if end < len(recs) && len(sel) > 0 {
+			p.NextAfter = strconv.FormatUint(sel[len(sel)-1].Seq, 10)
+		}
+		p.Records = sel
+		writeJSON(w, p)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -138,6 +271,17 @@ func (r *Registry) Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// filterRecords keeps the records matching keep, preserving order.
+func filterRecords(recs []journal.Record, keep func(journal.Record) bool) []journal.Record {
+	out := recs[:0:0]
+	for _, r := range recs {
+		if keep(r) {
+			out = append(out, r)
+		}
+	}
+	return out
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

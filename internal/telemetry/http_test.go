@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"padres/internal/journal"
 	"padres/internal/message"
 )
 
@@ -102,12 +103,16 @@ func TestHandlerTraces(t *testing.T) {
 	defer srv.Close()
 
 	_, body := get(t, srv, "/traces")
-	var all []TraceRecord
-	if err := json.Unmarshal([]byte(body), &all); err != nil {
+	var p struct {
+		Total  int           `json:"total"`
+		Count  int           `json:"count"`
+		Traces []TraceRecord `json:"traces"`
+	}
+	if err := json.Unmarshal([]byte(body), &p); err != nil {
 		t.Fatalf("traces json: %v\n%s", err, body)
 	}
-	if len(all) != 1 || all[0].ID != "pub:p1" {
-		t.Fatalf("traces = %+v", all)
+	if p.Total != 1 || p.Count != 1 || len(p.Traces) != 1 || p.Traces[0].ID != "pub:p1" {
+		t.Fatalf("traces = %+v", p)
 	}
 
 	_, body = get(t, srv, "/traces?id=pub:p1")
@@ -125,17 +130,173 @@ func TestHandlerTraces(t *testing.T) {
 	}
 }
 
+func TestHandlerTracesPagination(t *testing.T) {
+	r := NewRegistry()
+	for i := 0; i < 5; i++ {
+		id := message.TraceID(fmt.Sprintf("pub:p%d", i))
+		r.Traces().RecordHop(id, "b1", "b2", message.KindPublish, time.Unix(int64(3000+i), 0))
+	}
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	var p struct {
+		Total     int           `json:"total"`
+		Count     int           `json:"count"`
+		NextAfter string        `json:"next_after"`
+		Traces    []TraceRecord `json:"traces"`
+	}
+	_, body := get(t, srv, "/traces?limit=2")
+	if err := json.Unmarshal([]byte(body), &p); err != nil {
+		t.Fatalf("page 1: %v\n%s", err, body)
+	}
+	if p.Total != 5 || p.Count != 2 || p.NextAfter != "pub:p1" {
+		t.Fatalf("page 1 = %+v", p)
+	}
+	var seen []string
+	for _, tr := range p.Traces {
+		seen = append(seen, string(tr.ID))
+	}
+	// Follow the cursor until exhaustion.
+	for p.NextAfter != "" {
+		_, body = get(t, srv, "/traces?limit=2&after="+p.NextAfter)
+		p.NextAfter = ""
+		if err := json.Unmarshal([]byte(body), &p); err != nil {
+			t.Fatalf("page: %v\n%s", err, body)
+		}
+		for _, tr := range p.Traces {
+			seen = append(seen, string(tr.ID))
+		}
+	}
+	if len(seen) != 5 {
+		t.Fatalf("paged through %d traces, want 5: %v", len(seen), seen)
+	}
+	for i, id := range seen {
+		if want := fmt.Sprintf("pub:p%d", i); id != want {
+			t.Fatalf("page order: seen[%d] = %s, want %s", i, id, want)
+		}
+	}
+}
+
 func TestHandlerSpans(t *testing.T) {
 	srv := httptest.NewServer(newTestRegistry(t).Handler())
 	defer srv.Close()
 
 	_, body := get(t, srv, "/spans")
-	var spans []MovementTimeline
-	if err := json.Unmarshal([]byte(body), &spans); err != nil {
+	var p struct {
+		Total int                `json:"total"`
+		Spans []MovementTimeline `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(body), &p); err != nil {
 		t.Fatalf("spans json: %v\n%s", err, body)
 	}
-	if len(spans) != 1 || spans[0].Tx != "x1" || spans[0].Outcome != "committed" {
-		t.Fatalf("spans = %+v", spans)
+	if p.Total != 1 || len(p.Spans) != 1 || p.Spans[0].Tx != "x1" || p.Spans[0].Outcome != "committed" {
+		t.Fatalf("spans = %+v", p)
+	}
+}
+
+func TestHandlerSpansPagination(t *testing.T) {
+	r := NewRegistry()
+	for i := 0; i < 4; i++ {
+		tx := fmt.Sprintf("x%d", i)
+		r.Spans().Observe(tx, "c1", "b1", StepMoveRequested, time.Unix(int64(3000+i), 0), "")
+		r.Spans().Observe(tx, "c1", "b1", StepCommitted, time.Unix(int64(3100+i), 0), "")
+	}
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	var p struct {
+		Total     int                `json:"total"`
+		Count     int                `json:"count"`
+		NextAfter string             `json:"next_after"`
+		Spans     []MovementTimeline `json:"spans"`
+	}
+	_, body := get(t, srv, "/spans?limit=3")
+	if err := json.Unmarshal([]byte(body), &p); err != nil {
+		t.Fatalf("page 1: %v\n%s", err, body)
+	}
+	if p.Total != 4 || p.Count != 3 || p.NextAfter == "" {
+		t.Fatalf("page 1 = total=%d count=%d next=%q", p.Total, p.Count, p.NextAfter)
+	}
+	_, body = get(t, srv, "/spans?limit=3&after="+p.NextAfter)
+	p.NextAfter = "" // omitted on the last page; Unmarshal leaves stale values
+	if err := json.Unmarshal([]byte(body), &p); err != nil {
+		t.Fatalf("page 2: %v\n%s", err, body)
+	}
+	if p.Count != 1 || p.NextAfter != "" {
+		t.Fatalf("page 2 = count=%d next=%q", p.Count, p.NextAfter)
+	}
+}
+
+func TestHandlerJournal(t *testing.T) {
+	r := newTestRegistry(t)
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	// No journal attached: the endpoint 404s rather than serving nothing.
+	resp, _ := get(t, srv, "/journal")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("detached journal status = %d, want 404", resp.StatusCode)
+	}
+
+	j := journal.New(0)
+	j.BeginRun("test")
+	for i := 0; i < 6; i++ {
+		tx := ""
+		if i%2 == 0 {
+			tx = "x1"
+		}
+		j.Add(journal.Record{Site: "b1", Cat: journal.CatBroker, Kind: journal.KindDispatch, Tx: tx, Lamport: uint64(i + 1)})
+	}
+	r.SetJournal(j)
+
+	var p struct {
+		Total     int              `json:"total"`
+		Count     int              `json:"count"`
+		NextAfter string           `json:"next_after"`
+		Records   []journal.Record `json:"records"`
+	}
+	_, body := get(t, srv, "/journal?limit=4")
+	if err := json.Unmarshal([]byte(body), &p); err != nil {
+		t.Fatalf("journal json: %v\n%s", err, body)
+	}
+	// 7 records: the run-config meta record BeginRun wrote plus the 6 added.
+	if p.Total != 7 || p.Count != 4 || p.NextAfter == "" {
+		t.Fatalf("page 1 = total=%d count=%d next=%q", p.Total, p.Count, p.NextAfter)
+	}
+	_, body = get(t, srv, "/journal?limit=4&after="+p.NextAfter)
+	p.NextAfter = "" // omitted on the last page; Unmarshal leaves stale values
+	if err := json.Unmarshal([]byte(body), &p); err != nil {
+		t.Fatalf("page 2: %v\n%s", err, body)
+	}
+	if p.Count != 3 || p.NextAfter != "" {
+		t.Fatalf("page 2 = count=%d next=%q", p.Count, p.NextAfter)
+	}
+
+	// Transaction filter.
+	_, body = get(t, srv, "/journal?tx=x1")
+	if err := json.Unmarshal([]byte(body), &p); err != nil {
+		t.Fatalf("tx filter: %v\n%s", err, body)
+	}
+	if p.Total != 3 || p.Count != 3 {
+		t.Fatalf("tx filter = total=%d count=%d", p.Total, p.Count)
+	}
+	for _, rec := range p.Records {
+		if rec.Tx != "x1" {
+			t.Fatalf("tx filter leaked %+v", rec)
+		}
+	}
+
+	// Run filter: everything is run 1; run 2 is empty.
+	_, body = get(t, srv, "/journal?run=2")
+	if err := json.Unmarshal([]byte(body), &p); err != nil {
+		t.Fatalf("run filter: %v\n%s", err, body)
+	}
+	if p.Total != 0 {
+		t.Fatalf("run 2 total = %d", p.Total)
+	}
+
+	if resp, _ := get(t, srv, "/journal?after=notanumber"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad cursor status = %d, want 400", resp.StatusCode)
 	}
 }
 

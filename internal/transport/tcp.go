@@ -36,6 +36,9 @@ type Hello struct {
 // broker package's Broker satisfies it.
 type BrokerPort interface {
 	Inject(from message.NodeID, m message.Message)
+	// InjectRemote is Inject carrying the remote sender's Lamport stamp, so
+	// causal order in the journal survives the process boundary.
+	InjectRemote(from message.NodeID, m message.Message, lamport uint64)
 	AttachClient(n message.NodeID, deliver func(pub message.Publish))
 	DetachClient(n message.NodeID)
 }
@@ -251,7 +254,7 @@ func (g *Gateway) readLoop(p *peerConn, dec *message.Decoder) {
 		}
 		// The remote sender is the last hop, regardless of what the
 		// envelope claims.
-		g.cfg.Broker.Inject(p.node, env.Msg)
+		g.cfg.Broker.InjectRemote(p.node, env.Msg, env.Lamport)
 	}
 }
 

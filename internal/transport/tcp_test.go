@@ -29,6 +29,10 @@ func (f *fakeBroker) Inject(from message.NodeID, m message.Message) {
 	f.mu.Unlock()
 }
 
+func (f *fakeBroker) InjectRemote(from message.NodeID, m message.Message, lamport uint64) {
+	f.Inject(from, m)
+}
+
 func (f *fakeBroker) AttachClient(n message.NodeID, deliver func(pub message.Publish)) {
 	f.mu.Lock()
 	f.clients[n] = deliver

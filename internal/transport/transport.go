@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"padres/internal/journal"
 	"padres/internal/message"
 	"padres/internal/metrics"
 	"padres/internal/telemetry"
@@ -57,6 +58,7 @@ type LinkOptions struct {
 type Network struct {
 	reg    *metrics.Registry
 	tracer atomic.Pointer[telemetry.TraceStore]
+	jnl    atomic.Pointer[journal.Journal]
 
 	mu     sync.Mutex
 	nodes  map[message.NodeID]Handler
@@ -89,6 +91,15 @@ func (n *Network) SetTracer(ts *telemetry.TraceStore) { n.tracer.Store(ts) }
 
 // Tracer returns the active trace store, or nil when tracing is disabled.
 func (n *Network) Tracer() *telemetry.TraceStore { return n.tracer.Load() }
+
+// SetJournal enables the flight recorder: every Send stamps the envelope
+// with the sender's Lamport clock and records a link-send, and every
+// delivery merges the stamp into the receiver's clock and records a
+// link-recv. Passing nil disables journaling. Safe while running.
+func (n *Network) SetJournal(j *journal.Journal) { n.jnl.Store(j) }
+
+// Journal returns the active journal, or nil when journaling is disabled.
+func (n *Network) Journal() *journal.Journal { return n.jnl.Load() }
 
 // Register attaches a node handler. Re-registering replaces the handler
 // (used when a mobile client re-materializes at a new broker).
@@ -167,6 +178,14 @@ func (n *Network) Send(from, to message.NodeID, msg message.Message) error {
 		env.Trace = message.TraceOf(msg)
 		ts.RecordHop(env.Trace, from, to, msg.Kind(), time.Now())
 	}
+	if j := n.jnl.Load(); j != nil {
+		env.Lamport = j.ClockOf(string(from)).Tick()
+		j.Add(journal.Record{
+			Site: string(from), Cat: journal.CatLink, Kind: journal.KindLinkSend,
+			Lamport: env.Lamport, Tx: string(msg.Tag()), Ref: message.RefOf(msg),
+			From: string(from), To: string(to), Detail: msg.Kind().String(),
+		})
+	}
 	n.reg.MsgEnqueued(msg)
 	l.enqueue(env)
 	return nil
@@ -208,6 +227,16 @@ func (n *Network) deliver(to message.NodeID, env message.Envelope) {
 	if !ok {
 		n.reg.MsgDone(env.Msg)
 		return
+	}
+	if j := n.jnl.Load(); j != nil {
+		// Merge the sender's stamp so every receive is ordered after its
+		// send; the merged value restamps the envelope for the handler.
+		env.Lamport = j.ClockOf(string(to)).Merge(env.Lamport)
+		j.Add(journal.Record{
+			Site: string(to), Cat: journal.CatLink, Kind: journal.KindLinkRecv,
+			Lamport: env.Lamport, Tx: string(env.Msg.Tag()), Ref: message.RefOf(env.Msg),
+			From: string(env.From), To: string(to), Detail: env.Msg.Kind().String(),
+		})
 	}
 	h(env)
 }

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"padres/internal/journal"
 	"padres/internal/message"
 	"padres/internal/metrics"
 )
@@ -284,4 +285,127 @@ func TestProfiles(t *testing.T) {
 	if l1.Latency == l3.Latency && l3.Latency == l4.Latency {
 		t.Error("planetlab latencies suspiciously uniform across edges")
 	}
+}
+
+// TestLamportChain forwards one publication across three sites and checks
+// the journal's link records carry strictly increasing Lamport stamps hop
+// by hop: every receive merges past its matching send, and every forward
+// ticks past the receive that triggered it.
+func TestLamportChain(t *testing.T) {
+	reg := metrics.NewRegistry()
+	net := NewNetwork(reg)
+	defer net.Close()
+	j := journal.New(0)
+	net.SetJournal(j)
+
+	arrived := make(chan message.Envelope, 1)
+	net.Register("a", func(message.Envelope) {})
+	net.Register("b", func(env message.Envelope) {
+		net.Done(env.Msg)
+		if err := net.Send("b", "c", env.Msg); err != nil {
+			t.Error(err)
+		}
+	})
+	net.Register("c", func(env message.Envelope) {
+		net.Done(env.Msg)
+		arrived <- env
+	})
+	for _, lk := range [][2]message.NodeID{{"a", "b"}, {"b", "c"}} {
+		if err := net.AddLink(lk[0], lk[1], LinkOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if err := net.Send("a", "b", message.Publish{ID: "p1"}); err != nil {
+		t.Fatal(err)
+	}
+	var final message.Envelope
+	select {
+	case final = <-arrived:
+	case <-time.After(5 * time.Second):
+		t.Fatal("publication never reached c")
+	}
+
+	want := []struct{ kind, site string }{
+		{journal.KindLinkSend, "a"},
+		{journal.KindLinkRecv, "b"},
+		{journal.KindLinkSend, "b"},
+		{journal.KindLinkRecv, "c"},
+	}
+	var links []journal.Record
+	for _, r := range j.Snapshot() {
+		if r.Cat == journal.CatLink && r.Ref == "p1" {
+			links = append(links, r)
+		}
+	}
+	if len(links) != len(want) {
+		t.Fatalf("link records = %d, want %d: %v", len(links), len(want), links)
+	}
+	for i, r := range links {
+		if r.Kind != want[i].kind || r.Site != want[i].site {
+			t.Errorf("record %d = %s@%s, want %s@%s", i, r.Kind, r.Site, want[i].kind, want[i].site)
+		}
+		if i > 0 && r.Lamport <= links[i-1].Lamport {
+			t.Errorf("hop %d: lamport %d not after %d", i, r.Lamport, links[i-1].Lamport)
+		}
+	}
+	if final.Lamport != links[3].Lamport {
+		t.Errorf("handler envelope stamp = %d, want %d", final.Lamport, links[3].Lamport)
+	}
+}
+
+// TestLamportMergeAdvancesPastRemote pins the merge rule on receive:
+// max(local, remote) + 1, whichever side is ahead.
+func TestLamportMergeAdvancesPastRemote(t *testing.T) {
+	deliverOnce := func(t *testing.T, prep func(j *journal.Journal)) message.Envelope {
+		t.Helper()
+		reg := metrics.NewRegistry()
+		net := NewNetwork(reg)
+		defer net.Close()
+		j := journal.New(0)
+		net.SetJournal(j)
+		arrived := make(chan message.Envelope, 1)
+		net.Register("a", func(message.Envelope) {})
+		net.Register("b", func(env message.Envelope) {
+			net.Done(env.Msg)
+			arrived <- env
+		})
+		if err := net.AddLink("a", "b", LinkOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		prep(j)
+		if err := net.Send("a", "b", message.Publish{ID: "p1"}); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case env := <-arrived:
+			return env
+		case <-time.After(5 * time.Second):
+			t.Fatal("message never delivered")
+			return message.Envelope{}
+		}
+	}
+
+	t.Run("receiver ahead", func(t *testing.T) {
+		env := deliverOnce(t, func(j *journal.Journal) {
+			for i := 0; i < 5; i++ {
+				j.ClockOf("b").Tick()
+			}
+		})
+		// Send stamps 1; the receiver at 5 merges to max(5,1)+1 = 6.
+		if env.Lamport != 6 {
+			t.Errorf("merged stamp = %d, want 6", env.Lamport)
+		}
+	})
+	t.Run("sender ahead", func(t *testing.T) {
+		env := deliverOnce(t, func(j *journal.Journal) {
+			for i := 0; i < 50; i++ {
+				j.ClockOf("a").Tick()
+			}
+		})
+		// Send stamps 51; the receiver at 0 merges to max(0,51)+1 = 52.
+		if env.Lamport != 52 {
+			t.Errorf("merged stamp = %d, want 52", env.Lamport)
+		}
+	})
 }

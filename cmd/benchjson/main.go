@@ -8,7 +8,9 @@
 //
 // The exit status is 1 on I/O or parse failure and 2 when the measured
 // journaling overhead exceeds the budget, so `make bench` fails loudly
-// instead of publishing a regression.
+// instead of publishing a regression. With -require-scaling it also
+// exits 2 unless the BenchmarkDispatchScaling workers=1/workers=4 pair
+// is present and shows at least the required pipeline speedup.
 package main
 
 import (
@@ -49,22 +51,39 @@ type overhead struct {
 type report struct {
 	Benchmarks      []*result `json:"benchmarks"`
 	JournalOverhead *overhead `json:"journal_overhead,omitempty"`
+	DispatchScaling *scaling  `json:"dispatch_scaling,omitempty"`
+}
+
+// scaling is the dispatch-pipeline comparison: throughput gained by
+// running BenchmarkDispatchScaling with four workers instead of one.
+type scaling struct {
+	SerialNsPerOp   float64 `json:"serial_ns_per_op"`
+	ParallelNsPerOp float64 `json:"parallel_ns_per_op"`
+	Speedup         float64 `json:"speedup"`
+	RequiredSpeedup float64 `json:"required_speedup"`
+	MeetsTarget     bool    `json:"meets_target"`
 }
 
 // overheadBudgetPct is the acceptance bound on journaling overhead for
 // the broker dispatch hot path with the ring sink.
 const overheadBudgetPct = 5.0
 
+// requiredSpeedup is the acceptance bound on the dispatch pipeline:
+// Workers=4 must at least halve the per-publication dispatch time.
+const requiredSpeedup = 2.0
+
 func main() {
 	out := flag.String("out", "", "write the JSON report here (default stdout)")
+	requireScaling := flag.Bool("require-scaling", false,
+		"exit 2 unless the dispatch-scaling pair is present and meets the speedup target")
 	flag.Parse()
-	if err := run(*out, flag.Args()); err != nil {
+	if err := run(*out, *requireScaling, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out string, args []string) error {
+func run(out string, requireScaling bool, args []string) error {
 	var in io.Reader = os.Stdin
 	if len(args) > 0 {
 		f, err := os.Open(args[0])
@@ -97,6 +116,18 @@ func run(out string, args []string) error {
 	if o := rep.JournalOverhead; o != nil {
 		fmt.Fprintf(os.Stderr, "journal overhead: %.2f%% (budget %.0f%%)\n", o.OverheadPct, o.BudgetPct)
 		if !o.WithinBudget {
+			os.Exit(2)
+		}
+	}
+	if s := rep.DispatchScaling; s != nil {
+		fmt.Fprintf(os.Stderr, "dispatch scaling: %.2fx at workers=4 (target %.1fx)\n", s.Speedup, s.RequiredSpeedup)
+	}
+	if requireScaling {
+		if rep.DispatchScaling == nil {
+			fmt.Fprintln(os.Stderr, "benchjson: -require-scaling set but BenchmarkDispatchScaling/workers={1,4} not found")
+			os.Exit(2)
+		}
+		if !rep.DispatchScaling.MeetsTarget {
 			os.Exit(2)
 		}
 	}
@@ -175,6 +206,19 @@ func parse(in io.Reader) (*report, error) {
 			OverheadPct:      pct,
 			BudgetPct:        overheadBudgetPct,
 			WithinBudget:     pct <= overheadBudgetPct,
+		}
+	}
+
+	serial := byName["BenchmarkDispatchScaling/workers=1"]
+	par := byName["BenchmarkDispatchScaling/workers=4"]
+	if serial != nil && par != nil && par.NsPerOp > 0 {
+		speedup := serial.NsPerOp / par.NsPerOp
+		rep.DispatchScaling = &scaling{
+			SerialNsPerOp:   serial.NsPerOp,
+			ParallelNsPerOp: par.NsPerOp,
+			Speedup:         speedup,
+			RequiredSpeedup: requiredSpeedup,
+			MeetsTarget:     speedup >= requiredSpeedup,
 		}
 	}
 	return rep, nil

@@ -1,0 +1,131 @@
+package audit_test
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"padres/internal/audit"
+	"padres/internal/client"
+	"padres/internal/cluster"
+	"padres/internal/core"
+	"padres/internal/journal"
+	"padres/internal/message"
+	"padres/internal/predicate"
+)
+
+// runParallelDispatchWorkload drives a journaled cluster whose brokers run
+// the parallel dispatch pipeline: several publishers flood concurrently, a
+// subscriber moves mid-stream, and the run settles. The journal it leaves
+// behind is what the auditor replays.
+func runParallelDispatchWorkload(t *testing.T, j *journal.Journal, workers int) int {
+	t.Helper()
+	c, err := cluster.New(cluster.Options{
+		Protocol: core.ProtocolReconfig,
+		Workers:  workers,
+		Journal:  j,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+
+	const publishers = 4
+	const perPublisher = 25
+	pubs := make([]*client.Client, publishers)
+	for i := range pubs {
+		cl, err := c.NewClient(message.ClientID("pub"+string(rune('a'+i))), "b1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cl.Advertise(predicate.MustParse("[x,>,0]")); err != nil {
+			t.Fatal(err)
+		}
+		pubs[i] = cl
+	}
+	sub, err := c.NewClient("sub", "b14")
+	if err != nil {
+		t.Fatal(err)
+	}
+	settle := func() {
+		t.Helper()
+		if err := c.SettleFor(30 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	settle()
+	if _, err := sub.Subscribe(predicate.MustParse("[x,>,0]")); err != nil {
+		t.Fatal(err)
+	}
+	settle()
+
+	flood := func(base int) {
+		t.Helper()
+		var wg sync.WaitGroup
+		for _, p := range pubs {
+			wg.Add(1)
+			go func(p *client.Client) {
+				defer wg.Done()
+				for k := 0; k < perPublisher; k++ {
+					if _, err := p.Publish(predicate.Event{"x": predicate.Number(float64(base + k))}); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}(p)
+		}
+		wg.Wait()
+		settle()
+	}
+
+	flood(1)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	if err := sub.Move(ctx, "b7"); err != nil {
+		cancel()
+		t.Fatalf("move: %v", err)
+	}
+	cancel()
+	settle()
+	flood(1000)
+
+	want := 2 * publishers * perPublisher
+	if got := sub.QueueLen(); got != want {
+		t.Fatalf("subscriber queued %d publications, want %d", got, want)
+	}
+	return want
+}
+
+// TestAuditParallelDispatch is the acceptance gate for the dispatch
+// pipeline: a run with Workers=8 must replay through the auditor with zero
+// violations — exactly-once delivery, 3PC phase order, routing-state
+// convergence, and abort atomicity all intact under parallel matching —
+// and Workers=1 on the same workload pins the serial baseline.
+func TestAuditParallelDispatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live-cluster audit run")
+	}
+	j := journal.New(0)
+	runParallelDispatchWorkload(t, j, 1)
+	runParallelDispatchWorkload(t, j, 8)
+
+	rep := audit.Audit(j.Snapshot())
+	if len(rep.Runs) != 2 {
+		t.Fatalf("runs audited = %d, want 2", len(rep.Runs))
+	}
+	if !rep.Clean() {
+		var sb strings.Builder
+		rep.Write(&sb)
+		t.Fatalf("parallel dispatch run flagged:\n%s", sb.String())
+	}
+	for _, run := range rep.Runs {
+		if run.Committed < 1 {
+			t.Errorf("run %d committed %d movements, want >= 1", run.Run, run.Committed)
+		}
+		if run.Delivered < 200 {
+			t.Errorf("run %d delivered %d publications, want >= 200", run.Run, run.Delivered)
+		}
+	}
+}

@@ -85,3 +85,77 @@ func BenchmarkBrokerDispatch(b *testing.B) {
 func BenchmarkBrokerDispatchJournaled(b *testing.B) {
 	benchDispatch(b, journal.New(0))
 }
+
+// scalingSubs keeps the scaling benchmark's setup cost (each subscription
+// pays the serialized service time) small while still exercising a real
+// matching pass.
+const scalingSubs = 64
+
+// benchDispatchScaling measures publication-dispatch throughput with the
+// fig-8-style per-message service time (the paper's 2 ms broker processing
+// cost) at a given pipeline width. With the serial loop every publication
+// pays the service time back to back; the pipeline overlaps up to `workers`
+// of them, which is where the speedup comes from — by design it does not
+// depend on spare CPU cores, so it holds on a single-core host too.
+func benchDispatchScaling(b *testing.B, workers int) {
+	b.Helper()
+	reg := metrics.NewRegistry()
+	net := transport.NewNetwork(reg)
+	defer net.Close()
+	top := overlay.New()
+	if err := top.AddBroker("b1"); err != nil {
+		b.Fatal(err)
+	}
+	hops, err := top.NextHops("b1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	br := New(Config{
+		ID: "b1", Net: net, Neighbors: top.Neighbors("b1"), NextHops: hops,
+		Workers:     workers,
+		ServiceTime: 2 * time.Millisecond,
+	})
+	br.Start()
+	defer br.Stop()
+
+	var delivered atomic.Int64
+	pubNode := message.ClientNode("cp", "b1")
+	subNode := message.ClientNode("cs", "b1")
+	br.AttachClient(subNode, func(message.Publish) { delivered.Add(1) })
+	br.Inject(pubNode, message.Advertise{ID: "a1", Client: "cp", Filter: predicate.MustParse("[x,>,0]")})
+	br.Inject(subNode, message.Subscribe{ID: "s1", Client: "cs", Filter: predicate.MustParse("[x,>,0]")})
+	for i := 1; i < scalingSubs; i++ {
+		f := predicate.MustParse(fmt.Sprintf("[x,>,%d],[x,<,%d]", 1000+16*i, 1016+16*i))
+		br.Inject(subNode, message.Subscribe{ID: message.SubID(fmt.Sprintf("s%d", i+1)), Client: "cs", Filter: f})
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for br.Stats().PRTSize < scalingSubs {
+		if time.Now().After(deadline) {
+			b.Fatal("subscription never installed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	ev := predicate.Event{"x": predicate.Number(42)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		br.Inject(pubNode, message.Publish{ID: message.PubID(fmt.Sprintf("p%d", i)), Event: ev})
+	}
+	for delivered.Load() < int64(b.N) {
+		if time.Now().After(deadline.Add(5 * time.Minute)) {
+			b.Fatalf("delivered %d of %d", delivered.Load(), b.N)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// BenchmarkDispatchScaling is the pipeline's acceptance benchmark: ns/op at
+// workers=4 must be at least 2x better than workers=1 (cmd/benchjson
+// -require-scaling enforces it on BENCH_dispatch.json).
+func BenchmarkDispatchScaling(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			benchDispatchScaling(b, workers)
+		})
+	}
+}

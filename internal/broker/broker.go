@@ -71,6 +71,18 @@ type Config struct {
 	// messages cost a quarter of it: forwarding them is a routing-table
 	// lookup, not a matching pass.
 	ServiceTime time.Duration
+	// Workers sets the width of the publication dispatch pipeline: with
+	// Workers > 1 publications are matched in parallel by a worker pool and
+	// re-sequenced before egress, so per-source→per-link FIFO order is
+	// preserved. Control and routing-state messages (3PC, subscriptions,
+	// advertisements, retractions) always run on the serialized dispatch
+	// lane. Values <= 1 keep the fully serial dispatch loop.
+	Workers int
+	// InboxCapacity bounds the broker inbox. When the inbox is full the
+	// transport handler blocks, which propagates backpressure to the
+	// sending link goroutines instead of growing the queue without bound.
+	// 0 keeps the unbounded inbox.
+	InboxCapacity int
 }
 
 // Broker is one content-based pub/sub broker.
@@ -82,9 +94,15 @@ type Broker struct {
 	srt *matching.SRT
 	prt *matching.PRT
 
+	// pipe is the parallel dispatch pipeline; nil when cfg.Workers <= 1.
+	// It is created by the dispatch goroutine and used only by it and by
+	// the goroutines it owns.
+	pipe *pipeline
+
 	mu        sync.Mutex
 	inbox     []message.Envelope
-	cond      *sync.Cond
+	cond      *sync.Cond // signalled when the inbox gains a message or stops
+	spaceCond *sync.Cond // signalled when the bounded inbox frees a slot
 	stopped   bool
 	paused    bool
 	clients   map[message.NodeID]ClientDeliver
@@ -112,6 +130,7 @@ func New(cfg Config) *Broker {
 		done:      make(chan struct{}),
 	}
 	b.cond = sync.NewCond(&b.mu)
+	b.spaceCond = sync.NewCond(&b.mu)
 	for _, n := range cfg.Neighbors {
 		b.neighbors[n] = true
 	}
@@ -154,6 +173,7 @@ func (b *Broker) Stop() {
 	b.inbox = nil
 	b.tel.QueueDepth.Set(0)
 	b.cond.Signal()
+	b.spaceCond.Broadcast()
 	b.mu.Unlock()
 	<-b.done
 }
@@ -217,6 +237,7 @@ type Stats struct {
 	ID                  message.BrokerID
 	QueueDepth          int
 	QueueHighWater      int64
+	BackpressureWaits   int64
 	Processed           int64
 	DroppedPublications int64
 	SRTSize             int
@@ -236,6 +257,7 @@ func (b *Broker) Stats() Stats {
 		ID:                  b.cfg.ID,
 		QueueDepth:          depth,
 		QueueHighWater:      b.tel.QueueHighWater.Value(),
+		BackpressureWaits:   b.tel.BackpressureWaits.Value(),
 		Processed:           b.tel.Processed.Value(),
 		DroppedPublications: b.tel.DroppedPublications.Value(),
 		SRTSize:             b.srt.Len(),
@@ -252,10 +274,19 @@ func (b *Broker) SRTSnapshot() []*matching.Record { return b.srt.All() }
 // PRTSnapshot returns a copy of the subscription table records.
 func (b *Broker) PRTSnapshot() []*matching.Record { return b.prt.All() }
 
-// enqueue is the transport handler: it appends to the FIFO inbox.
+// enqueue is the transport handler: it appends to the FIFO inbox. With a
+// bounded inbox, a full queue blocks the caller (a transport link goroutine
+// or a local injector) until the dispatcher frees a slot — backpressure in
+// place of unbounded growth.
 func (b *Broker) enqueue(env message.Envelope) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if cap := b.cfg.InboxCapacity; cap > 0 && len(b.inbox) >= cap && !b.stopped {
+		b.tel.BackpressureWaits.Inc()
+		for len(b.inbox) >= cap && !b.stopped {
+			b.spaceCond.Wait()
+		}
+	}
 	if b.stopped {
 		b.cfg.Net.Done(env.Msg)
 		return
@@ -269,6 +300,10 @@ func (b *Broker) enqueue(env message.Envelope) {
 
 func (b *Broker) run() {
 	defer close(b.done)
+	if b.cfg.Workers > 1 {
+		b.pipe = newPipeline(b, b.cfg.Workers)
+		defer b.pipe.close()
+	}
 	for {
 		b.mu.Lock()
 		for (len(b.inbox) == 0 || b.paused) && !b.stopped {
@@ -281,6 +316,7 @@ func (b *Broker) run() {
 		env := b.inbox[0]
 		b.inbox = b.inbox[1:]
 		b.tel.QueueDepth.Set(int64(len(b.inbox)))
+		b.spaceCond.Signal()
 		b.mu.Unlock()
 
 		if j := b.journal(); j != nil {
@@ -290,6 +326,20 @@ func (b *Broker) run() {
 				Ref: message.RefOf(env.Msg), From: string(env.From),
 				Detail: env.Msg.Kind().String(),
 			})
+		}
+
+		if b.pipe != nil {
+			if m, ok := env.Msg.(message.Publish); ok {
+				// Publications take the parallel lane: matching runs in the
+				// worker pool and the committer re-establishes inbox order
+				// before egress. Accounting for the message completes there.
+				b.pipe.submit(env, m)
+				continue
+			}
+			// Everything else is serialized: drain the parallel lane first so
+			// routing-table mutations and control traffic never overlap — or
+			// overtake — an in-flight publication.
+			b.pipe.drain()
 		}
 
 		if b.cfg.ServiceTime > 0 {
@@ -345,6 +395,18 @@ func (b *Broker) send(to message.NodeID, m message.Message) {
 		// A send can only fail when the destination detached concurrently
 		// (e.g. a moving client); the message is dropped, which the paper's
 		// model treats as a masked transient fault.
+		return
+	}
+}
+
+// sendBatch transmits a run of messages to one directly connected node
+// under a single transport enqueue, preserving their order.
+func (b *Broker) sendBatch(to message.NodeID, msgs []message.Message) {
+	for _, m := range msgs {
+		b.tel.CountSend(m.Kind())
+	}
+	if err := b.cfg.Net.SendBatch(b.cfg.ID.Node(), to, msgs); err != nil {
+		// Same masked-transient-fault semantics as send.
 		return
 	}
 }
@@ -410,6 +472,17 @@ func (b *Broker) InjectRemote(from message.NodeID, m message.Message, lamport ui
 }
 
 func (b *Broker) inject(from message.NodeID, m message.Message, lamport uint64) {
+	// A stopped broker accepts nothing: late callers (a move timer firing
+	// after Stop, a gateway read racing teardown) must not leave trace or
+	// journal records for a message that can never be processed. enqueue
+	// re-checks under the lock, so the window between this check and the
+	// append is still accounted correctly.
+	b.mu.Lock()
+	stopped := b.stopped
+	b.mu.Unlock()
+	if stopped {
+		return
+	}
 	b.cfg.Net.Registry().MsgEnqueued(m)
 	env := message.Envelope{From: from, Msg: m}
 	if ts := b.cfg.Net.Tracer(); ts != nil {

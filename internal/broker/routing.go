@@ -358,17 +358,23 @@ func (b *Broker) maybeSendSub(id message.SubID, client message.ClientID, f *pred
 
 // --- publication handling ---------------------------------------------------
 
-func (b *Broker) handlePublish(m message.Publish, from message.NodeID) {
+// planPublish matches a publication against the routing tables and returns
+// its outbound actions (forwards and local deliveries) without performing
+// them. It reads the tables through their lock-free match snapshots, so the
+// parallel dispatch workers call it concurrently; the serial lane executes
+// the plan inline via handlePublish.
+func (b *Broker) planPublish(m message.Publish, from message.NodeID) []pubAction {
 	t0 := time.Now()
 	// A publication is valid only if some advertisement (from its
 	// publisher's flooded advertisement tree) matches it.
 	if len(b.srt.Match(m.Event)) == 0 {
 		b.tel.MatchLatency.Observe(time.Since(t0))
 		b.tel.DroppedPublications.Inc()
-		return
+		return nil
 	}
 	matched := b.prt.Match(m.Event)
 	b.tel.MatchLatency.Observe(time.Since(t0))
+	var actions []pubAction
 	seen := make(map[message.NodeID]bool)
 	for _, sub := range matched {
 		d := sub.LastHop
@@ -378,20 +384,38 @@ func (b *Broker) handlePublish(m message.Publish, from message.NodeID) {
 		seen[d] = true
 		switch {
 		case b.isNeighbor(d):
-			b.send(d, m)
+			actions = append(actions, pubAction{dest: d})
 		default:
 			if deliver := b.localClient(d); deliver != nil {
-				if j := b.journal(); j != nil {
-					j.Add(journal.Record{
-						Site: string(b.cfg.ID), Cat: journal.CatBroker, Kind: journal.KindDeliver,
-						Lamport: b.clock(j).Tick(), Tx: string(m.TxTag),
-						Client: string(sub.Client), Ref: string(m.ID), To: string(d),
-					})
-				}
-				deliver(m)
+				actions = append(actions, pubAction{dest: d, deliver: deliver, subClient: sub.Client})
 			}
 			// Otherwise the last hop is stale (e.g. a detached client):
 			// drop silently.
 		}
 	}
+	return actions
+}
+
+func (b *Broker) handlePublish(m message.Publish, from message.NodeID) {
+	for _, a := range b.planPublish(m, from) {
+		if a.deliver == nil {
+			b.send(a.dest, m)
+			continue
+		}
+		b.journalDeliver(m, a.subClient, a.dest)
+		a.deliver(m)
+	}
+}
+
+// journalDeliver records a local client delivery in the flight recorder.
+func (b *Broker) journalDeliver(m message.Publish, client message.ClientID, to message.NodeID) {
+	j := b.journal()
+	if j == nil {
+		return
+	}
+	j.Add(journal.Record{
+		Site: string(b.cfg.ID), Cat: journal.CatBroker, Kind: journal.KindDeliver,
+		Lamport: b.clock(j).Tick(), Tx: string(m.TxTag),
+		Client: string(client), Ref: string(m.ID), To: string(to),
+	})
 }

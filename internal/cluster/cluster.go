@@ -37,6 +37,12 @@ type Options struct {
 	Covering bool
 	// ServiceTime is the per-message broker processing cost.
 	ServiceTime time.Duration
+	// Workers sets each broker's publication dispatch parallelism
+	// (broker.Config.Workers); <= 1 keeps the serial dispatch loop.
+	Workers int
+	// InboxCapacity bounds each broker's inbox (broker.Config.InboxCapacity);
+	// 0 keeps the unbounded inbox.
+	InboxCapacity int
 	// MoveTimeout arms the non-blocking movement variant (0 = blocking).
 	MoveTimeout time.Duration
 	// Admission is the target-side admission policy (nil accepts all).
@@ -104,12 +110,14 @@ func New(opts Options) (*Cluster, error) {
 			return nil, err
 		}
 		b := broker.New(broker.Config{
-			ID:          id,
-			Net:         c.net,
-			Neighbors:   c.top.Neighbors(id),
-			NextHops:    hops,
-			Covering:    opts.Covering,
-			ServiceTime: opts.ServiceTime,
+			ID:            id,
+			Net:           c.net,
+			Neighbors:     c.top.Neighbors(id),
+			NextHops:      hops,
+			Covering:      opts.Covering,
+			ServiceTime:   opts.ServiceTime,
+			Workers:       opts.Workers,
+			InboxCapacity: opts.InboxCapacity,
 		})
 		c.brokers[id] = b
 		c.containers[id] = core.NewContainer(core.Config{
@@ -218,12 +226,14 @@ func (c *Cluster) RestartBroker(id message.BrokerID, st *broker.State) error {
 		return err
 	}
 	nb := broker.New(broker.Config{
-		ID:          id,
-		Net:         c.net,
-		Neighbors:   c.top.Neighbors(id),
-		NextHops:    hops,
-		Covering:    c.opts.Covering,
-		ServiceTime: c.opts.ServiceTime,
+		ID:            id,
+		Net:           c.net,
+		Neighbors:     c.top.Neighbors(id),
+		NextHops:      hops,
+		Covering:      c.opts.Covering,
+		ServiceTime:   c.opts.ServiceTime,
+		Workers:       c.opts.Workers,
+		InboxCapacity: c.opts.InboxCapacity,
 	})
 	if st != nil {
 		if err := nb.RestoreState(st); err != nil {

@@ -251,8 +251,20 @@ func (ct *Container) Shutdown() {
 	ct.closed = true
 	close(ct.stop)
 	for tx, st := range ct.source {
+		// Disarm the move timer so it cannot fire into the stopped broker
+		// after teardown; a callback already past its map lookup bails on
+		// the closed flag.
+		if st.timer != nil {
+			st.timer.Stop()
+		}
 		st.finish(ErrShutdown)
 		delete(ct.source, tx)
+	}
+	for tx, ttx := range ct.target {
+		if ttx.timer != nil {
+			ttx.timer.Stop()
+		}
+		delete(ct.target, tx)
 	}
 	ct.mu.Unlock()
 	ct.wg.Wait()

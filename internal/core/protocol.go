@@ -349,6 +349,13 @@ func (ct *Container) onAbort(m message.MoveAbort) {
 
 func (ct *Container) sourceTimeout(tx message.TxID) {
 	ct.mu.Lock()
+	// A timer can fire concurrently with Shutdown; once closed, the
+	// transaction has been resolved with ErrShutdown and the broker may be
+	// stopped, so the timeout must do nothing.
+	if ct.closed {
+		ct.mu.Unlock()
+		return
+	}
 	st, ok := ct.source[tx]
 	if !ok || st.state != sourceWait {
 		ct.mu.Unlock()
@@ -379,7 +386,7 @@ func (ct *Container) armTargetTimer(ttx *targetTx) {
 }
 
 func (ct *Container) armTargetTimerLocked(ttx *targetTx) {
-	if ct.cfg.MoveTimeout <= 0 {
+	if ct.cfg.MoveTimeout <= 0 || ct.closed {
 		return
 	}
 	ttx.timer = time.AfterFunc(ct.cfg.MoveTimeout, func() { ct.targetTimeout(ttx.tx) })
@@ -387,6 +394,12 @@ func (ct *Container) armTargetTimerLocked(ttx *targetTx) {
 
 func (ct *Container) targetTimeout(tx message.TxID) {
 	ct.mu.Lock()
+	// See sourceTimeout: a late timer must not act on a shut-down
+	// container or its stopped broker.
+	if ct.closed {
+		ct.mu.Unlock()
+		return
+	}
 	ttx, ok := ct.target[tx]
 	if !ok {
 		ct.mu.Unlock()

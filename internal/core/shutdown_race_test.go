@@ -1,0 +1,88 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"padres/internal/cluster"
+	"padres/internal/core"
+	"padres/internal/message"
+	"padres/internal/overlay"
+	"padres/internal/predicate"
+)
+
+// TestMoveTimerShutdownRace is the regression test for move timers firing
+// after teardown: it starts movements with a timeout short enough to still
+// be pending at shutdown (the target broker is paused so the negotiation
+// cannot complete), then tears the whole cluster down immediately. A timer
+// that fires into a stopped broker or a shut-down container would panic or
+// trip the race detector; the pending movement must instead resolve with
+// ErrShutdown and the late timer must be a no-op.
+func TestMoveTimerShutdownRace(t *testing.T) {
+	for round := 0; round < 5; round++ {
+		top := overlay.New()
+		for _, id := range []message.BrokerID{"b1", "b2", "b3"} {
+			if err := top.AddBroker(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := top.Connect("b1", "b2"); err != nil {
+			t.Fatal(err)
+		}
+		if err := top.Connect("b2", "b3"); err != nil {
+			t.Fatal(err)
+		}
+		c, err := cluster.New(cluster.Options{
+			Topology:    top,
+			MoveTimeout: 30 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Start()
+
+		mover, err := c.NewClient("m", "b1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := mover.Subscribe(predicate.MustParse("[x,>,0]")); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.SettleFor(10 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+
+		// Pause the target so the negotiate is never answered and the
+		// source timer stays armed.
+		c.Broker("b3").Pause()
+		done, err := c.Container("b1").RequestMove(mover, "b3")
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Race the pending timer against teardown. Alternate between
+		// stopping just before and just after the timeout elapses.
+		if round%2 == 1 {
+			time.Sleep(25 * time.Millisecond)
+		}
+		c.Broker("b3").Unpause()
+		c.Stop()
+
+		select {
+		case errMove := <-done:
+			switch errMove {
+			case core.ErrShutdown, core.ErrMoveTimeout, nil:
+				// Shutdown resolved it, the timer beat the shutdown, or the
+				// movement squeaked through — all legal; the invariant under
+				// test is the absence of panics and data races.
+			default:
+				t.Fatalf("round %d: unexpected movement outcome: %v", round, errMove)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("round %d: movement outcome never resolved", round)
+		}
+		// Give any stray timer a beat to fire against the torn-down
+		// cluster before the next round (the race detector watches).
+		time.Sleep(50 * time.Millisecond)
+	}
+}

@@ -50,6 +50,9 @@ type Scale struct {
 	ServiceTime time.Duration
 	// MoveTimeout arms the non-blocking variant when > 0.
 	MoveTimeout time.Duration
+	// Workers sets each broker's publication dispatch parallelism (<= 1 =
+	// serial dispatch).
+	Workers int
 	// Seed drives workload assignment and publication generation.
 	Seed int64
 	// Journal, if set, records the run in the flight recorder so it can be
@@ -189,6 +192,7 @@ func runCustom(cfg Config, setup func(h *harness) error) (*Result, error) {
 		Covering:            cfg.Covering,
 		ServiceTime:         cfg.Scale.ServiceTime,
 		MoveTimeout:         cfg.Scale.MoveTimeout,
+		Workers:             cfg.Scale.Workers,
 		SkipPropagationWait: cfg.SkipPropagationWait,
 		Journal:             cfg.Scale.Journal,
 	})

@@ -1,0 +1,68 @@
+package matching
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"padres/internal/message"
+	"padres/internal/predicate"
+)
+
+// TestConcurrentMatchAndMutate hammers a PRT with parallel matchers while a
+// writer churns records, the access pattern of the broker's parallel
+// dispatch workers. Run under -race it is the regression test for the
+// snapshot-indexed matching path; functionally it checks that a record
+// never touched by the writer is found by every matcher.
+func TestConcurrentMatchAndMutate(t *testing.T) {
+	prt := NewPRT()
+	prt.Insert("stable", "cs", predicate.MustParse("[x,>,0]"), "hop1")
+	for i := 0; i < 64; i++ {
+		prt.Insert(message.SubID(fmt.Sprintf("s%d", i)), "cs",
+			predicate.MustParse(fmt.Sprintf("[x,>,%d],[x,<,%d]", 1000+10*i, 1010+10*i)), "hop1")
+	}
+
+	ev := predicate.Event{"x": predicate.Number(42)}
+	stop := make(chan struct{})
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		churn := predicate.MustParse("[y,>,0]")
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			id := message.SubID(fmt.Sprintf("churn%d", i%8))
+			prt.Insert(id, "cw", churn, "hop2")
+			prt.Remove(id)
+		}
+	}()
+
+	const matchers = 8
+	var wg sync.WaitGroup
+	for g := 0; g < matchers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				recs := prt.Match(ev)
+				found := false
+				for _, r := range recs {
+					if r.ID == "stable" {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Error("stable record missing from match result")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	<-writerDone
+}

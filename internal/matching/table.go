@@ -14,6 +14,7 @@ package matching
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"padres/internal/message"
 	"padres/internal/predicate"
@@ -30,10 +31,29 @@ type Record struct {
 
 // table is the shared implementation of SRT and PRT: an ID-keyed record map
 // plus a per-attribute inverted index for counting-based matching.
+//
+// Matching runs against a read-mostly snapshot of the inverted index held in
+// an atomic pointer: concurrent matchers (the broker's parallel dispatch
+// workers) pay one atomic load instead of contending on the table lock, and
+// any mutation invalidates the snapshot so the next Match rebuilds it. The
+// tables are mutation-light and match-heavy — routing filters change orders
+// of magnitude less often than publications arrive — which makes the
+// rebuild-on-write copy cheap in amortized terms.
 type table struct {
 	mu      sync.RWMutex
 	records map[string]*Record
 	byAttr  map[string][]*Record
+
+	// snap caches an immutable copy of byAttr for lock-free matching; nil
+	// after any mutation, rebuilt lazily under the read lock.
+	snap atomic.Pointer[matchIndex]
+}
+
+// matchIndex is an immutable snapshot of the inverted index. The record
+// pointers are shared with the live table; the slices are private copies so
+// in-place compaction during Remove cannot race a matcher.
+type matchIndex struct {
+	byAttr map[string][]*Record
 }
 
 func newTable() *table {
@@ -54,6 +74,7 @@ func (t *table) Insert(rec *Record) {
 	for _, attr := range rec.Filter.Attrs() {
 		t.byAttr[attr] = append(t.byAttr[attr], rec)
 	}
+	t.snap.Store(nil)
 }
 
 // Remove deletes a record by ID, returning it (nil if absent).
@@ -66,6 +87,7 @@ func (t *table) Remove(id string) *Record {
 	}
 	delete(t.records, id)
 	t.removeFromIndexLocked(rec)
+	t.snap.Store(nil)
 	return rec
 }
 
@@ -93,7 +115,9 @@ func (t *table) Get(id string) *Record {
 }
 
 // SetLastHop updates the last hop of a record in place. It reports whether
-// the record exists.
+// the record exists. The records are shared with match snapshots, so
+// callers must not run SetLastHop concurrently with matching on the same
+// table (the broker's serialized control lane guarantees this).
 func (t *table) SetLastHop(id string, hop message.NodeID) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -124,16 +148,41 @@ func (t *table) All() []*Record {
 	return out
 }
 
+// matchSnapshot returns the current immutable index snapshot, rebuilding it
+// under the read lock when a mutation has invalidated it. Storing while the
+// read lock is held keeps the rebuild correct: mutations take the write
+// lock, so an invalidation cannot interleave between the copy and the
+// store and leave a stale snapshot installed.
+func (t *table) matchSnapshot() *matchIndex {
+	if idx := t.snap.Load(); idx != nil {
+		return idx
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if idx := t.snap.Load(); idx != nil {
+		return idx
+	}
+	idx := &matchIndex{byAttr: make(map[string][]*Record, len(t.byAttr))}
+	for attr, list := range t.byAttr {
+		cp := make([]*Record, len(list))
+		copy(cp, list)
+		idx.byAttr[attr] = cp
+	}
+	t.snap.Store(idx)
+	return idx
+}
+
 // Match returns the records whose filters match the event, using the
 // counting algorithm: only records constraining at least one event
 // attribute are examined, and a record matches when the number of satisfied
-// attribute constraints equals its total constraint count.
+// attribute constraints equals its total constraint count. Matching reads
+// the snapshot index, so concurrent matchers do not serialize on the table
+// lock.
 func (t *table) Match(e predicate.Event) []*Record {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+	idx := t.matchSnapshot()
 	counts := make(map[*Record]int)
 	for attr, v := range e {
-		for _, rec := range t.byAttr[attr] {
+		for _, rec := range idx.byAttr[attr] {
 			if rec.Filter.MatchesAttr(attr, v) {
 				counts[rec]++
 			}

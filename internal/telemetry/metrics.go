@@ -173,6 +173,9 @@ type BrokerMetrics struct {
 	QueueDepth Gauge
 	// QueueHighWater is the maximum inbox length seen since start.
 	QueueHighWater MaxGauge
+	// BackpressureWaits counts times a sender blocked because the bounded
+	// inbox was full (one increment per blocking episode, not per retry).
+	BackpressureWaits Counter
 	// Processed counts messages fully processed by the dispatch loop.
 	Processed Counter
 	// DroppedPublications counts publications discarded because no
@@ -233,6 +236,7 @@ func (bm *BrokerMetrics) writePrometheus(w io.Writer, broker string) {
 	l := fmt.Sprintf("{broker=%q}", broker)
 	fmt.Fprintf(w, "padres_broker_queue_depth%s %d\n", l, bm.QueueDepth.Value())
 	fmt.Fprintf(w, "padres_broker_queue_high_water%s %d\n", l, bm.QueueHighWater.Value())
+	fmt.Fprintf(w, "padres_broker_backpressure_waits_total%s %d\n", l, bm.BackpressureWaits.Value())
 	fmt.Fprintf(w, "padres_broker_processed_total%s %d\n", l, bm.Processed.Value())
 	fmt.Fprintf(w, "padres_broker_dropped_publications_total%s %d\n", l, bm.DroppedPublications.Value())
 	fmt.Fprintf(w, "padres_broker_srt_size%s %d\n", l, bm.SRTSize.Value())

@@ -1,0 +1,117 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"padres/internal/message"
+)
+
+// TestConcurrentSendJitterRace is the -race regression test for the
+// per-link jitter source: concurrent senders draw from the same link RNG,
+// which must be safe regardless of which locks the senders hold.
+func TestConcurrentSendJitterRace(t *testing.T) {
+	net, c, _ := newPair(t, LinkOptions{Jitter: 50_000, Seed: 7, CountTraffic: true})
+	const senders = 8
+	const perSender = 100
+	var wg sync.WaitGroup
+	for g := 0; g < senders; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perSender; i++ {
+				if err := net.Send("a", "b", message.Publish{
+					ID: message.PubID(fmt.Sprintf("p%d-%d", g, i)),
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	awaitCount(t, c, senders*perSender)
+}
+
+// TestSendBatchFIFO verifies the batch send contract: a batch occupies
+// consecutive FIFO positions on the link, so its messages are delivered in
+// batch order with nothing interleaved between them.
+func TestSendBatchFIFO(t *testing.T) {
+	net, c, _ := newPair(t, LinkOptions{Jitter: 20_000, Seed: 3, CountTraffic: true})
+	const batches = 50
+	const batchLen = 8
+	for bi := 0; bi < batches; bi++ {
+		msgs := make([]message.Message, batchLen)
+		for i := range msgs {
+			msgs[i] = message.Publish{ID: message.PubID(fmt.Sprintf("p%d-%d", bi, i))}
+		}
+		if err := net.SendBatch("a", "b", msgs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	awaitCount(t, c, batches*batchLen)
+	envs := c.envelopes()
+	for i, env := range envs {
+		want := message.PubID(fmt.Sprintf("p%d-%d", i/batchLen, i%batchLen))
+		if env.Msg.(message.Publish).ID != want {
+			t.Fatalf("delivery %d = %s, want %s", i, env.Msg.(message.Publish).ID, want)
+		}
+	}
+}
+
+// TestSendBatchConcurrentNoInterleave checks that two goroutines batching
+// on the same link never interleave inside each other's batches.
+func TestSendBatchConcurrentNoInterleave(t *testing.T) {
+	net, c, _ := newPair(t, LinkOptions{CountTraffic: true})
+	const senders = 4
+	const batches = 25
+	const batchLen = 6
+	var wg sync.WaitGroup
+	for g := 0; g < senders; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for bi := 0; bi < batches; bi++ {
+				msgs := make([]message.Message, batchLen)
+				for i := range msgs {
+					msgs[i] = message.Publish{ID: message.PubID(fmt.Sprintf("p%d-%d-%d", g, bi, i))}
+				}
+				if err := net.SendBatch("a", "b", msgs); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	awaitCount(t, c, senders*batches*batchLen)
+	envs := c.envelopes()
+	// Within every window of batchLen starting at a batch head, all IDs must
+	// share the head's sender and batch index.
+	for i := 0; i < len(envs); i += batchLen {
+		var g0, b0, e0 int
+		fmt.Sscanf(string(envs[i].Msg.(message.Publish).ID), "p%d-%d-%d", &g0, &b0, &e0)
+		if e0 != 0 {
+			t.Fatalf("position %d: batch head has element index %d, batches interleaved", i, e0)
+		}
+		for k := 1; k < batchLen; k++ {
+			var g, bi, e int
+			fmt.Sscanf(string(envs[i+k].Msg.(message.Publish).ID), "p%d-%d-%d", &g, &bi, &e)
+			if g != g0 || bi != b0 || e != k {
+				t.Fatalf("position %d: got p%d-%d-%d inside batch p%d-%d", i+k, g, bi, e, g0, b0)
+			}
+		}
+	}
+}
+
+// TestSendBatchEmpty confirms a zero-length batch is a no-op.
+func TestSendBatchEmpty(t *testing.T) {
+	net, _, reg := newPair(t, LinkOptions{CountTraffic: true})
+	if err := net.SendBatch("a", "b", nil); err != nil {
+		t.Fatal(err)
+	}
+	if n := reg.Inflight(); n != 0 {
+		t.Fatalf("in-flight after empty batch = %d, want 0", n)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"padres/internal/message"
 )
@@ -54,6 +55,16 @@ type GatewayConfig struct {
 	Broker BrokerPort
 	// Listen is the TCP listen address, e.g. ":7001".
 	Listen string
+	// IOTimeout bounds every socket write and every handshake read: a peer
+	// that stalls past it fails the operation and is dropped instead of
+	// wedging the sender forever. 0 disables deadlines (previous behavior).
+	// Steady-state reads are not bounded — an idle peer is legal.
+	IOTimeout time.Duration
+	// OnPeerError, when set, is invoked with the peer and the error that
+	// caused it to be dropped (write timeout, decode failure, handshake
+	// violation). It runs on the goroutine that observed the failure and
+	// must not block.
+	OnPeerError func(node message.NodeID, err error)
 }
 
 // Gateway bridges the local broker to TCP peers.
@@ -68,17 +79,26 @@ type Gateway struct {
 }
 
 type peerConn struct {
-	node message.NodeID
-	kind PeerKind
-	conn net.Conn
-	enc  *message.Encoder
-	mu   sync.Mutex
+	node    message.NodeID
+	kind    PeerKind
+	conn    net.Conn
+	enc     *message.Encoder
+	timeout time.Duration
+	mu      sync.Mutex
 }
 
 func (p *peerConn) write(env message.Envelope) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.enc.Encode(env)
+	if p.timeout > 0 {
+		if err := p.conn.SetWriteDeadline(time.Now().Add(p.timeout)); err != nil {
+			return err
+		}
+	}
+	if err := p.enc.Encode(env); err != nil {
+		return fmt.Errorf("write to peer %s: %w", p.node, err)
+	}
+	return nil
 }
 
 // NewGateway starts listening and accepting connections.
@@ -127,12 +147,16 @@ func (g *Gateway) DialPeer(node message.NodeID, addr string) error {
 	if err != nil {
 		return fmt.Errorf("dial peer %s: %w", node, err)
 	}
+	if g.cfg.IOTimeout > 0 {
+		_ = conn.SetWriteDeadline(time.Now().Add(g.cfg.IOTimeout))
+	}
 	enc := message.NewEncoder(conn)
 	if err := enc.Encode(message.Envelope{From: g.cfg.Local, Msg: helloMsg(g.cfg.Local, PeerBroker)}); err != nil {
 		_ = conn.Close()
 		return fmt.Errorf("handshake with %s: %w", node, err)
 	}
-	g.installPeer(&peerConn{node: node, kind: PeerBroker, conn: conn, enc: enc})
+	_ = conn.SetWriteDeadline(time.Time{})
+	g.installPeer(&peerConn{node: node, kind: PeerBroker, conn: conn, enc: enc, timeout: g.cfg.IOTimeout})
 	return nil
 }
 
@@ -184,20 +208,36 @@ func (g *Gateway) acceptLoop() {
 }
 
 func (g *Gateway) handleInbound(conn net.Conn) {
+	// The handshake read is deadline-bounded: a dialer that connects and
+	// then stalls must not pin this goroutine (and the connection) forever.
+	if g.cfg.IOTimeout > 0 {
+		_ = conn.SetReadDeadline(time.Now().Add(g.cfg.IOTimeout))
+	}
 	dec := message.NewDecoder(conn)
 	env, err := dec.Decode()
 	if err != nil {
+		g.peerError("", fmt.Errorf("handshake read: %w", err))
 		_ = conn.Close()
 		return
 	}
 	hello, ok := parseHello(env)
 	if !ok {
+		g.peerError("", errors.New("handshake: first frame is not a hello"))
 		_ = conn.Close()
 		return
 	}
-	p := &peerConn{node: hello.Node, kind: hello.Kind, conn: conn, enc: message.NewEncoder(conn)}
+	// Steady-state reads are unbounded: idle peers are legal.
+	_ = conn.SetReadDeadline(time.Time{})
+	p := &peerConn{node: hello.Node, kind: hello.Kind, conn: conn, enc: message.NewEncoder(conn), timeout: g.cfg.IOTimeout}
 	g.installPeer(p)
 	g.readLoop(p, dec)
+}
+
+// peerError surfaces a peer failure to the configured callback.
+func (g *Gateway) peerError(node message.NodeID, err error) {
+	if fn := g.cfg.OnPeerError; fn != nil && err != nil {
+		fn(node, err)
+	}
 }
 
 // installPeer wires a peer into the local network and starts its read loop
@@ -217,7 +257,7 @@ func (g *Gateway) installPeer(p *peerConn) {
 		g.cfg.Net.Register(p.node, func(env message.Envelope) {
 			defer g.cfg.Net.Done(env.Msg)
 			if err := p.write(env); err != nil {
-				g.dropPeer(p)
+				g.dropPeer(p, err)
 			}
 		})
 		if !g.cfg.Net.HasLink(g.cfg.Local, p.node) {
@@ -226,18 +266,24 @@ func (g *Gateway) installPeer(p *peerConn) {
 	case PeerClient:
 		g.cfg.Broker.AttachClient(p.node, func(pub message.Publish) {
 			if err := p.write(message.Envelope{From: g.cfg.Local, Msg: pub}); err != nil {
-				g.dropPeer(p)
+				g.dropPeer(p, err)
 			}
 		})
 	}
 }
 
-func (g *Gateway) dropPeer(p *peerConn) {
+// dropPeer removes a failed peer and surfaces the causing error, unless the
+// gateway itself is shutting down (expected teardown errors stay quiet).
+func (g *Gateway) dropPeer(p *peerConn, err error) {
 	g.mu.Lock()
+	closed := g.closed
 	if g.peers[p.node] == p {
 		delete(g.peers, p.node)
 	}
 	g.mu.Unlock()
+	if !closed {
+		g.peerError(p.node, err)
+	}
 	_ = p.conn.Close()
 	if p.kind == PeerClient {
 		g.cfg.Broker.DetachClient(p.node)
@@ -246,10 +292,10 @@ func (g *Gateway) dropPeer(p *peerConn) {
 
 // readLoop injects inbound envelopes into the local broker.
 func (g *Gateway) readLoop(p *peerConn, dec *message.Decoder) {
-	defer g.dropPeer(p)
 	for {
 		env, err := dec.Decode()
 		if err != nil {
+			g.dropPeer(p, fmt.Errorf("read from peer %s: %w", p.node, err))
 			return
 		}
 		// The remote sender is the last hop, regardless of what the

@@ -1,0 +1,141 @@
+package transport
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"padres/internal/message"
+	"padres/internal/metrics"
+)
+
+// peerErrors collects OnPeerError callbacks.
+type peerErrors struct {
+	mu   sync.Mutex
+	errs []error
+}
+
+func (p *peerErrors) record(_ message.NodeID, err error) {
+	p.mu.Lock()
+	p.errs = append(p.errs, err)
+	p.mu.Unlock()
+}
+
+func (p *peerErrors) first() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.errs) == 0 {
+		return nil
+	}
+	return p.errs[0]
+}
+
+func (p *peerErrors) await(t *testing.T, timeout time.Duration) error {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		if err := p.first(); err != nil {
+			return err
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no peer error surfaced before deadline")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func newDeadlineGateway(t *testing.T, timeout time.Duration) (*Gateway, *Network, *peerErrors) {
+	t.Helper()
+	reg := metrics.NewRegistry()
+	nw := NewNetwork(reg)
+	t.Cleanup(nw.Close)
+	nw.Register("b1", func(env message.Envelope) { nw.Done(env.Msg) })
+	pe := &peerErrors{}
+	g, err := NewGateway(GatewayConfig{
+		Net:         nw,
+		Local:       "b1",
+		Broker:      newFakeBroker(nw),
+		Listen:      "127.0.0.1:0",
+		IOTimeout:   timeout,
+		OnPeerError: pe.record,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(g.Close)
+	return g, nw, pe
+}
+
+// TestGatewayHandshakeDeadline: a peer that connects and then goes silent
+// must not pin the accept goroutine forever — the handshake read times out
+// and the error is surfaced.
+func TestGatewayHandshakeDeadline(t *testing.T) {
+	g, _, pe := newDeadlineGateway(t, 150*time.Millisecond)
+	conn, err := net.Dial("tcp", g.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Send nothing: the gateway's handshake read must give up on its own.
+	err = pe.await(t, 5*time.Second)
+	if !strings.Contains(err.Error(), "handshake read") {
+		t.Fatalf("surfaced error = %v, want a handshake read failure", err)
+	}
+}
+
+// TestGatewayWriteDeadline: a dialled peer that accepts the connection but
+// never reads must eventually fail the sender's writes instead of wedging
+// it forever once the socket buffers fill.
+func TestGatewayWriteDeadline(t *testing.T) {
+	g, nw, pe := newDeadlineGateway(t, 150*time.Millisecond)
+
+	// A deliberately stalled peer: accepts, then never reads a byte.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	stalled := make(chan net.Conn, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		stalled <- conn // hold the conn open, reading nothing
+	}()
+
+	if err := g.DialPeer("b2", ln.Addr().String()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Saturate the socket: large frames fill the kernel buffers, after
+	// which each write blocks and the deadline must fire.
+	payload := make([]byte, 256<<10)
+	msg := message.MoveState{
+		MoveHeader: message.MoveHeader{Tx: "tx-stall", Client: "c1", Source: "b1", Target: "b2"},
+		AppState:   payload,
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for pe.first() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("writes to a stalled peer never failed")
+		}
+		if err := nw.Send("b1", "b2", msg); err != nil {
+			break // peer already dropped and unregistered
+		}
+		time.Sleep(time.Millisecond)
+	}
+	err = pe.await(t, time.Second)
+	var netErr net.Error
+	if !errors.As(err, &netErr) || !netErr.Timeout() {
+		t.Fatalf("surfaced error = %v, want a write timeout", err)
+	}
+	select {
+	case conn := <-stalled:
+		conn.Close()
+	default:
+	}
+}

@@ -160,16 +160,53 @@ func (n *Network) HasLink(from, to message.NodeID) bool {
 // Send transmits a message over the direct link from->to. The message is
 // recorded as in flight until the receiver calls Done.
 func (n *Network) Send(from, to message.NodeID, msg message.Message) error {
+	l, err := n.lookupLink(from, to)
+	if err != nil {
+		return err
+	}
+	l.enqueue(n.prepareSend(l, from, to, msg))
+	return nil
+}
+
+// SendBatch transmits a run of messages over the direct link from->to as
+// one enqueue: the batch claims consecutive positions in the link's FIFO
+// queue under a single lock acquisition, so no other sender can interleave
+// within it. Used by the broker's egress flushers.
+func (n *Network) SendBatch(from, to message.NodeID, msgs []message.Message) error {
+	if len(msgs) == 0 {
+		return nil
+	}
+	l, err := n.lookupLink(from, to)
+	if err != nil {
+		return err
+	}
+	envs := make([]message.Envelope, len(msgs))
+	for i, msg := range msgs {
+		envs[i] = n.prepareSend(l, from, to, msg)
+	}
+	l.enqueueBatch(envs)
+	return nil
+}
+
+// lookupLink resolves the directed link from->to.
+func (n *Network) lookupLink(from, to message.NodeID) (*link, error) {
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
-		return ErrClosed
+		return nil, ErrClosed
 	}
 	l, ok := n.links[linkID{from, to}]
 	n.mu.Unlock()
 	if !ok {
-		return fmt.Errorf("%w: %s -> %s", ErrNoLink, from, to)
+		return nil, fmt.Errorf("%w: %s -> %s", ErrNoLink, from, to)
 	}
+	return l, nil
+}
+
+// prepareSend performs the per-message send bookkeeping — traffic matrix,
+// trace hop, journal stamp, in-flight accounting — and returns the envelope
+// ready for link enqueue.
+func (n *Network) prepareSend(l *link, from, to message.NodeID, msg message.Message) message.Envelope {
 	if l.opts.CountTraffic {
 		n.reg.CountSend(from, to, msg.Kind())
 	}
@@ -187,8 +224,7 @@ func (n *Network) Send(from, to message.NodeID, msg message.Message) error {
 		})
 	}
 	n.reg.MsgEnqueued(msg)
-	l.enqueue(env)
-	return nil
+	return env
 }
 
 // Done marks a previously sent message as fully processed. Each delivered
@@ -241,13 +277,34 @@ func (n *Network) deliver(to message.NodeID, env message.Envelope) {
 	h(env)
 }
 
+// lockedRand is a mutex-guarded jitter source. math/rand.Rand is not safe
+// for concurrent use, and link jitter is drawn on the send path, which is
+// concurrent once brokers dispatch in parallel — so the guard is built into
+// the type rather than borrowed from whatever lock a caller happens to
+// hold.
+type lockedRand struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func newLockedRand(seed int64) *lockedRand {
+	return &lockedRand{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Int63n returns a uniform random int64 in [0, n).
+func (r *lockedRand) Int63n(n int64) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rng.Int63n(n)
+}
+
 // link is one direction of a connection: an unbounded FIFO queue drained by
 // a dedicated goroutine that enforces per-message delivery times.
 type link struct {
 	net  *Network
 	to   message.NodeID
 	opts LinkOptions
-	rng  *rand.Rand
+	rng  *lockedRand
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -266,7 +323,7 @@ func (n *Network) newLink(from, to message.NodeID, opts LinkOptions) *link {
 		net:  n,
 		to:   to,
 		opts: opts,
-		rng:  rand.New(rand.NewSource(opts.Seed ^ int64(hashNodes(from, to)))),
+		rng:  newLockedRand(opts.Seed ^ int64(hashNodes(from, to))),
 	}
 	l.cond = sync.NewCond(&l.mu)
 	n.wg.Add(1)
@@ -295,6 +352,31 @@ func (l *link) enqueue(env message.Envelope) {
 		l.net.reg.MsgDone(env.Msg)
 		return
 	}
+	l.queueLocked(env)
+	l.cond.Signal()
+}
+
+// enqueueBatch appends a run of envelopes as one atomic FIFO segment: the
+// lock is held across the whole batch, so concurrent senders cannot
+// interleave inside it.
+func (l *link) enqueueBatch(envs []message.Envelope) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.stopped {
+		for _, env := range envs {
+			l.net.reg.MsgDone(env.Msg)
+		}
+		return
+	}
+	for _, env := range envs {
+		l.queueLocked(env)
+	}
+	l.cond.Signal()
+}
+
+// queueLocked stamps one envelope's delivery time and appends it. Caller
+// holds l.mu.
+func (l *link) queueLocked(env message.Envelope) {
 	delay := l.opts.Latency
 	if l.opts.Jitter > 0 {
 		delay += time.Duration(l.rng.Int63n(int64(l.opts.Jitter)))
@@ -306,7 +388,6 @@ func (l *link) enqueue(env message.Envelope) {
 	}
 	l.lastAt = at
 	l.queue = append(l.queue, timedEnvelope{env: env, deliverAt: at})
-	l.cond.Signal()
 }
 
 func (l *link) stop() {

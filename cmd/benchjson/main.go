@@ -6,11 +6,14 @@
 //	go test ./... -run '^$' -bench . | benchjson -out BENCH_journal.json
 //	benchjson -out BENCH_journal.json bench.txt
 //
-// The exit status is 1 on I/O or parse failure and 2 when the measured
-// journaling overhead exceeds the budget, so `make bench` fails loudly
-// instead of publishing a regression. With -require-scaling it also
-// exits 2 unless the BenchmarkDispatchScaling workers=1/workers=4 pair
-// is present and shows at least the required pipeline speedup.
+// The exit status is 1 on I/O or parse failure and 2 when a measured
+// budget is exceeded — journaling overhead, or the reliable transport's
+// loss-free overhead from BenchmarkReliabilityOverhead — so `make bench`
+// and `make bench-reliability` fail loudly instead of publishing a
+// regression. With -require-scaling it also exits 2 unless the
+// BenchmarkDispatchScaling workers=1/workers=4 pair is present and shows
+// at least the required pipeline speedup, and with -require-reliability
+// unless the reliability benchmark is present and within budget.
 package main
 
 import (
@@ -36,6 +39,10 @@ type result struct {
 	AllocsOp   float64 `json:"allocs_per_op,omitempty"`
 
 	nsSum, bSum, aSum float64
+	// custom collects b.ReportMetric units (e.g. the reliability
+	// benchmark's off-ns/op / on-ns/op / overhead-pct), one sample per
+	// -count run.
+	custom map[string][]float64
 }
 
 // overhead is the dispatch-pair comparison: the journaling cost the
@@ -49,9 +56,25 @@ type overhead struct {
 }
 
 type report struct {
-	Benchmarks      []*result `json:"benchmarks"`
-	JournalOverhead *overhead `json:"journal_overhead,omitempty"`
-	DispatchScaling *scaling  `json:"dispatch_scaling,omitempty"`
+	Benchmarks          []*result    `json:"benchmarks"`
+	JournalOverhead     *overhead    `json:"journal_overhead,omitempty"`
+	DispatchScaling     *scaling     `json:"dispatch_scaling,omitempty"`
+	ReliabilityOverhead *reliability `json:"reliability_overhead,omitempty"`
+}
+
+// reliability is the transport comparison emitted by
+// BenchmarkReliabilityOverhead: the cost of the ack/retransmit layer on a
+// loss-free link, reported against its 5% dispatch-overhead budget. Each
+// -count run already reports noise-trimmed per-mode figures (interquartile
+// means over interleaved chunks); the cross-run aggregate takes the median
+// so a run that caught a machine-load spike cannot decide the verdict.
+type reliability struct {
+	Runs         int     `json:"runs"`
+	OffNsPerOp   float64 `json:"off_ns_per_op"`
+	OnNsPerOp    float64 `json:"on_ns_per_op"`
+	OverheadPct  float64 `json:"overhead_pct"`
+	BudgetPct    float64 `json:"budget_pct"`
+	WithinBudget bool    `json:"within_budget"`
 }
 
 // scaling is the dispatch-pipeline comparison: throughput gained by
@@ -76,14 +99,16 @@ func main() {
 	out := flag.String("out", "", "write the JSON report here (default stdout)")
 	requireScaling := flag.Bool("require-scaling", false,
 		"exit 2 unless the dispatch-scaling pair is present and meets the speedup target")
+	requireReliability := flag.Bool("require-reliability", false,
+		"exit 2 unless the reliability-overhead benchmark is present and within budget")
 	flag.Parse()
-	if err := run(*out, *requireScaling, flag.Args()); err != nil {
+	if err := run(*out, *requireScaling, *requireReliability, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out string, requireScaling bool, args []string) error {
+func run(out string, requireScaling, requireReliability bool, args []string) error {
 	var in io.Reader = os.Stdin
 	if len(args) > 0 {
 		f, err := os.Open(args[0])
@@ -121,6 +146,17 @@ func run(out string, requireScaling bool, args []string) error {
 	}
 	if s := rep.DispatchScaling; s != nil {
 		fmt.Fprintf(os.Stderr, "dispatch scaling: %.2fx at workers=4 (target %.1fx)\n", s.Speedup, s.RequiredSpeedup)
+	}
+	if r := rep.ReliabilityOverhead; r != nil {
+		fmt.Fprintf(os.Stderr, "reliability overhead: %.2f%% over %d runs (budget %.0f%%)\n",
+			r.OverheadPct, r.Runs, r.BudgetPct)
+		if !r.WithinBudget {
+			os.Exit(2)
+		}
+	}
+	if requireReliability && rep.ReliabilityOverhead == nil {
+		fmt.Fprintln(os.Stderr, "benchjson: -require-reliability set but BenchmarkReliabilityOverhead not found")
+		os.Exit(2)
 	}
 	if requireScaling {
 		if rep.DispatchScaling == nil {
@@ -174,6 +210,13 @@ func parse(in io.Reader) (*report, error) {
 				r.bSum += v
 			case "allocs/op":
 				r.aSum += v
+			case "MB/s":
+				// throughput is derivable from ns/op; skip
+			default:
+				if r.custom == nil {
+					r.custom = make(map[string][]float64)
+				}
+				r.custom[fields[i+1]] = append(r.custom[fields[i+1]], v)
 			}
 		}
 	}
@@ -209,6 +252,23 @@ func parse(in io.Reader) (*report, error) {
 		}
 	}
 
+	if rel := byName["BenchmarkReliabilityOverhead"]; rel != nil && rel.custom != nil {
+		off := median(rel.custom["off-ns/op"])
+		on := median(rel.custom["on-ns/op"])
+		pcts := rel.custom["overhead-pct"]
+		if off > 0 && on > 0 && len(pcts) > 0 {
+			pct := median(pcts)
+			rep.ReliabilityOverhead = &reliability{
+				Runs:         len(pcts),
+				OffNsPerOp:   off,
+				OnNsPerOp:    on,
+				OverheadPct:  pct,
+				BudgetPct:    overheadBudgetPct,
+				WithinBudget: pct <= overheadBudgetPct,
+			}
+		}
+	}
+
 	serial := byName["BenchmarkDispatchScaling/workers=1"]
 	par := byName["BenchmarkDispatchScaling/workers=4"]
 	if serial != nil && par != nil && par.NsPerOp > 0 {
@@ -222,6 +282,20 @@ func parse(in io.Reader) (*report, error) {
 		}
 	}
 	return rep, nil
+}
+
+// median returns the middle value of the samples (mean of the central two
+// for even counts), or 0 for an empty slice.
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s)%2 == 1 {
+		return s[len(s)/2]
+	}
+	return (s[len(s)/2-1] + s[len(s)/2]) / 2
 }
 
 // trimProcs drops the -GOMAXPROCS suffix go test appends to benchmark

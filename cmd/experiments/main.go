@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"padres/internal/audit"
+	"padres/internal/chaos"
 	"padres/internal/core"
 	"padres/internal/experiment"
 	"padres/internal/journal"
@@ -67,9 +68,14 @@ func run(args []string) error {
 		csvOut   = fs.String("csv", "", "directory to write per-figure CSV data into")
 		jnlPath  = fs.String("journal", "", "record a flight-recorder journal to this JSONL file")
 		auditRun = fs.Bool("audit", false, "audit the recorded journal after the run (requires -journal or implies in-memory)")
+		chaosRun = fs.Bool("chaos", false, "run the seeded chaos soak (reliable links under loss/dup/reorder/partition/crash) instead of a figure")
+		moves    = fs.Int("moves", 200, "chaos: number of movement transactions to drive")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *chaosRun {
+		return runChaos(*seed, *moves, *jnlPath)
 	}
 
 	var s experiment.Scale
@@ -134,6 +140,44 @@ func run(args []string) error {
 		if !rep.Clean() {
 			return fmt.Errorf("audit found %d violation(s)", len(rep.Violations()))
 		}
+	}
+	return nil
+}
+
+// runChaos drives the seeded chaos soak and gates on the audit verdict:
+// exit status 0 only when every movement resolved legally and the journal
+// replay found zero violations.
+func runChaos(seed int64, moves int, jnlPath string) error {
+	var jnl *journal.Journal
+	if jnlPath != "" {
+		jnl = journal.New(1 << 18)
+		if err := jnl.SinkTo(jnlPath); err != nil {
+			return fmt.Errorf("journal: %w", err)
+		}
+	}
+	res, err := chaos.Run(chaos.Options{
+		Seed:    seed,
+		Moves:   moves,
+		Journal: jnl,
+		Logf: func(format string, args ...any) {
+			fmt.Printf("  "+format+"\n", args...)
+		},
+	})
+	if jnl != nil {
+		if cerr := jnl.CloseSink(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "journal:", cerr)
+		} else {
+			fmt.Printf("(wrote journal %s)\n", jnlPath)
+		}
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Summary())
+	if !res.Clean() {
+		res.Report.Write(os.Stdout)
+		return fmt.Errorf("chaos audit found %d violation(s), %d unexpected move errors",
+			len(res.Report.Violations()), res.MoveErrors)
 	}
 	return nil
 }

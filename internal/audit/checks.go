@@ -51,6 +51,17 @@ func collectTxs(recs []journal.Record) []*txRecord {
 	return out
 }
 
+// touchesSite reports whether any of the transaction's coordinator steps
+// was recorded at one of the given sites.
+func (tx *txRecord) touchesSite(sites map[string]bool) bool {
+	for _, s := range tx.steps {
+		if sites[s.Site] {
+			return true
+		}
+	}
+	return false
+}
+
 // first returns the causal position of the first step of the given kind, or
 // -1 when the transaction never recorded it.
 func (tx *txRecord) first(kind string) int {
@@ -85,8 +96,10 @@ var phasePrecedence = [][2]string{
 
 // checkPhaseOrder verifies property (b): each transaction's steps obey the
 // 3PC conversation's order, resolve to exactly one outcome, and — under the
-// blocking engine — never time out.
-func checkPhaseOrder(run int64, tx *txRecord, blocking bool) []Violation {
+// blocking engine — never time out. crashInterrupted excuses a missing
+// resolution (a dead coordinator cannot resolve) but nothing else: double
+// resolution and out-of-order steps are violations even across a crash.
+func checkPhaseOrder(run int64, tx *txRecord, blocking, crashInterrupted bool) []Violation {
 	var out []Violation
 	add := func(detail string) {
 		out = append(out, Violation{Run: run, Check: "phase-order", Tx: tx.id, Client: tx.client, Detail: detail})
@@ -95,7 +108,7 @@ func checkPhaseOrder(run int64, tx *txRecord, blocking bool) []Violation {
 	if tx.committed && tx.aborted {
 		add("transaction both committed and aborted")
 	}
-	if !tx.committed && !tx.aborted {
+	if !tx.committed && !tx.aborted && !crashInterrupted {
 		add("transaction never resolved (no committed or aborted step)")
 	}
 
@@ -135,10 +148,14 @@ func checkPhaseOrder(run int64, tx *txRecord, blocking bool) []Violation {
 // reaching a subscriber's stub (a broker-level deliver, a transfer buffer,
 // or a target shell buffer) enters that subscriber's application queue
 // exactly once — no duplicates across the movement's dual-configuration
-// window, no losses across the state transfer.
-func checkDelivery(run int64, recs []journal.Record, delivered *int) []Violation {
+// window, no losses across the state transfer. A publication evidenced only
+// at a crashed site is excused: the container died with the message in
+// hand, which is loss the crash-stop model permits. Duplicates are never
+// excused.
+func checkDelivery(run int64, recs []journal.Record, delivered *int, crashed map[string]bool) []Violation {
 	type key struct{ client, pub string }
-	evidenced := make(map[key]string) // first evidence kind, for reporting
+	type evidence struct{ kind, site string }
+	evidenced := make(map[key]evidence) // first evidence, for reporting
 	queued := make(map[key]int)
 
 	for _, r := range recs {
@@ -146,7 +163,7 @@ func checkDelivery(run int64, recs []journal.Record, delivered *int) []Violation
 		case journal.KindDeliver, journal.KindClientBuffer, journal.KindShellBuffer:
 			k := key{r.Client, r.Ref}
 			if _, ok := evidenced[k]; !ok {
-				evidenced[k] = r.Kind
+				evidenced[k] = evidence{r.Kind, r.Site}
 			}
 		case journal.KindClientDeliver:
 			queued[key{r.Client, r.Ref}]++
@@ -163,11 +180,11 @@ func checkDelivery(run int64, recs []journal.Record, delivered *int) []Violation
 			})
 		}
 	}
-	for k, kind := range evidenced {
-		if queued[k] == 0 {
+	for k, ev := range evidenced {
+		if queued[k] == 0 && !crashed[ev.site] {
 			out = append(out, Violation{
 				Run: run, Check: "delivery", Client: k.client, Ref: k.pub,
-				Detail: fmt.Sprintf("publication reached the stub (%s) but never entered the application queue", kind),
+				Detail: fmt.Sprintf("publication reached the stub (%s) but never entered the application queue", ev.kind),
 			})
 		}
 	}
@@ -195,7 +212,14 @@ func clientNode(client, brokerSite string) string { return client + "@" + broker
 // mutation to its final state: no shadow configuration survives the run, no
 // entry points at a client copy its client has departed from, and each
 // moved client's filters exist at its final host.
-func checkConvergence(run int64, recs []journal.Record) []Violation {
+//
+// Crash relaxations: tables at crashed sites are not inspected (the state
+// died with the container); a shadow surviving at a live site is excused
+// when its transaction's coordinator crashed (the cleanup order could never
+// arrive); orphaned entries are excused when the abandoned copy's host or
+// the client's final host crashed (the unsubscription path is severed); the
+// final-host filter check is skipped when the final host crashed.
+func checkConvergence(run int64, recs []journal.Record, crashed, crashedTx map[string]bool) []Violation {
 	tables := make(map[tableKey]map[string]tableEntry)
 	finalHost := make(map[string]string)   // client -> site of last attach/arrive
 	lastArrive := make(map[string]journal.Record)
@@ -248,8 +272,11 @@ func checkConvergence(run int64, recs []journal.Record) []Violation {
 
 	// No prepared shadow configuration may survive the run.
 	for k, t := range tables {
+		if crashed[k.site] {
+			continue
+		}
 		for id, e := range t {
-			if isShadow(id) {
+			if isShadow(id) && !crashedTx[txOfShadow(id)] {
 				out = append(out, Violation{
 					Run: run, Check: "convergence", Site: k.site, Ref: id, Client: e.client, Tx: txOfShadow(id),
 					Detail: fmt.Sprintf("prepared shadow record survived in the %s", strings.ToUpper(k.table)),
@@ -260,12 +287,16 @@ func checkConvergence(run int64, recs []journal.Record) []Violation {
 
 	// No entry may point at a client copy the client has departed from.
 	for k, t := range tables {
+		if crashed[k.site] {
+			continue
+		}
 		for id, e := range t {
 			c, host, ok := splitClientNode(e.lastHop)
 			if !ok {
 				continue
 			}
-			if finalHost[c] != "" && host != finalHost[c] {
+			if finalHost[c] != "" && host != finalHost[c] &&
+				!crashed[host] && !crashed[finalHost[c]] {
 				out = append(out, Violation{
 					Run: run, Check: "convergence", Site: k.site, Ref: id, Client: c,
 					Detail: fmt.Sprintf("orphaned %s entry points at abandoned copy %s (client now at %s)",
@@ -279,6 +310,9 @@ func checkConvergence(run int64, recs []journal.Record) []Violation {
 	// present at the final host (unless the client retracted them itself).
 	for c, arrive := range lastArrive {
 		site := arrive.Site
+		if crashed[site] {
+			continue
+		}
 		expected := make(map[string]string) // base id -> table
 		for _, ins := range taggedInserts[arrive.Tx] {
 			if ins.Site != site || ins.Client != c || ins.To != clientNode(c, site) {
@@ -318,7 +352,12 @@ func checkConvergence(run int64, recs []journal.Record) []Violation {
 // routing mutation the transaction performed on the moving client's records
 // is undone — per site, table, and base identifier the tagged inserts and
 // removes cancel out — and the client itself returns to the started state.
-func checkAtomicity(run int64, tx *txRecord, recs []journal.Record) []Violation {
+// State stranded at a crashed site is excused (it died with the container),
+// and a crash-interrupted transaction skips the rollback check entirely:
+// cleanup propagation is coordinated by the source, so a dead coordinator
+// legally strands tx-tagged entries at live sites too. The client must
+// still resume unless the coordinator that would resume it crashed.
+func checkAtomicity(run int64, tx *txRecord, recs []journal.Record, crashed map[string]bool, crashInterrupted bool) []Violation {
 	type key struct {
 		site  string
 		table string
@@ -362,7 +401,7 @@ func checkAtomicity(run int64, tx *txRecord, recs []journal.Record) []Violation 
 
 	var out []Violation
 	for k, n := range net {
-		if n == 0 {
+		if n == 0 || crashed[k.site] || crashInterrupted {
 			continue
 		}
 		verb := "left behind"
@@ -375,7 +414,7 @@ func checkAtomicity(run int64, tx *txRecord, recs []journal.Record) []Violation 
 				verb, k.base, strings.ToUpper(k.table), n),
 		})
 	}
-	if causeAt > 0 && !resumed {
+	if causeAt > 0 && !resumed && !crashed[causeSite] {
 		out = append(out, Violation{
 			Run: run, Check: "atomicity", Tx: tx.id, Client: tx.client,
 			Detail: "client did not return to the started state after the abort",

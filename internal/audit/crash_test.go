@@ -1,0 +1,110 @@
+package audit
+
+import (
+	"strings"
+	"testing"
+
+	"padres/internal/journal"
+)
+
+func crashRec(site string, lam uint64) journal.Record {
+	return journal.Record{
+		Run: 1, Lamport: lam, Site: site,
+		Cat: journal.CatFailure, Kind: journal.KindBrokerCrash,
+	}
+}
+
+// TestCrashExcusesUnresolvedTx: a transaction whose source coordinator
+// crash-stopped mid-protocol may legally never resolve; the same journal
+// without the crash record is a violation.
+func TestCrashExcusesUnresolvedTx(t *testing.T) {
+	steps := []journal.Record{
+		cfg("timeout=200ms"),
+		rec(journal.CatProtocol, "move-requested", "b1", 1, "x1", "c1", "", ""),
+		rec(journal.CatProtocol, "negotiate-sent", "b1", 2, "x1", "c1", "", ""),
+		rec(journal.CatProtocol, "negotiate-received", "b3", 3, "x1", "c1", "", ""),
+		rec(journal.CatProtocol, "approve-sent", "b3", 4, "x1", "c1", "", ""),
+	}
+	rep := Audit(append([]journal.Record{}, steps...))
+	if rep.Clean() {
+		t.Fatal("unresolved transaction without a crash passed the audit")
+	}
+	if rep.Runs[0].Unresolved != 1 {
+		t.Fatalf("Unresolved = %d, want 1", rep.Runs[0].Unresolved)
+	}
+
+	rep = Audit(append(append([]journal.Record{}, steps...), crashRec("b1", 5)))
+	if !rep.Clean() {
+		t.Fatalf("crash-interrupted transaction flagged: %v", rep.Violations())
+	}
+	run := rep.Runs[0]
+	if run.CrashInterrupted != 1 || run.Unresolved != 0 {
+		t.Fatalf("CrashInterrupted = %d, Unresolved = %d, want 1, 0", run.CrashInterrupted, run.Unresolved)
+	}
+	if len(run.CrashedSites) != 1 || run.CrashedSites[0] != "b1" {
+		t.Fatalf("CrashedSites = %v, want [b1]", run.CrashedSites)
+	}
+}
+
+// TestCrashExcusesStrandedState: prepared shadows at a live target whose
+// source coordinator crashed, stub-evidenced publications at the dead site,
+// and unremoved tagged inserts at the dead site are all crash consequences.
+func TestCrashExcusesStrandedState(t *testing.T) {
+	recs := []journal.Record{
+		cfg("timeout=200ms"),
+		rec(journal.CatProtocol, "move-requested", "b1", 1, "x1", "c1", "", ""),
+		rec(journal.CatProtocol, "negotiate-sent", "b1", 2, "x1", "c1", "", ""),
+		rec(journal.CatProtocol, "negotiate-received", "b3", 3, "x1", "c1", "", ""),
+		// Prepared shadow at the live target b3, never cleaned up because b1
+		// died before sending the next phase.
+		rec(journal.CatRouting, journal.KindPRTInsert, "b3", 4, "x1", "c1", "c1-s1~x1", "c1@b3"),
+		// A publication the dead container evidenced but never queued.
+		rec(journal.CatClient, journal.KindDeliver, "b1", 5, "", "c1", "p9", ""),
+		crashRec("b1", 6),
+	}
+	rep := Audit(recs)
+	if !rep.Clean() {
+		t.Fatalf("crash consequences flagged: %v", rep.Violations())
+	}
+}
+
+// TestCrashNeverExcusesDuplicates: duplicate application-queue delivery is
+// a safety violation regardless of crashes.
+func TestCrashNeverExcusesDuplicates(t *testing.T) {
+	recs := []journal.Record{
+		cfg("timeout=200ms"),
+		rec(journal.CatClient, journal.KindDeliver, "b1", 1, "", "c1", "p1", ""),
+		rec(journal.CatClient, journal.KindClientDeliver, "b1", 2, "", "c1", "p1", ""),
+		rec(journal.CatClient, journal.KindClientDeliver, "b1", 3, "", "c1", "p1", ""),
+		crashRec("b1", 4),
+	}
+	rep := Audit(recs)
+	if rep.Clean() {
+		t.Fatal("duplicate delivery excused by a crash")
+	}
+	found := false
+	for _, v := range rep.Violations() {
+		if strings.Contains(v.Detail, "entered the application queue 2 times") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing duplicate violation: %v", rep.Violations())
+	}
+}
+
+// TestCrashNeverExcusesDoubleResolution: committed and aborted on one
+// transaction stays fatal even when its coordinator crashed afterwards.
+func TestCrashNeverExcusesDoubleResolution(t *testing.T) {
+	recs := []journal.Record{
+		cfg("timeout=200ms"),
+		rec(journal.CatProtocol, "move-requested", "b1", 1, "x1", "c1", "", ""),
+		rec(journal.CatProtocol, "committed", "b1", 2, "x1", "c1", "", ""),
+		rec(journal.CatProtocol, "aborted", "b1", 3, "x1", "c1", "", ""),
+		crashRec("b1", 4),
+	}
+	rep := Audit(recs)
+	if rep.Clean() {
+		t.Fatal("double resolution excused by a crash")
+	}
+}

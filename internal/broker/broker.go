@@ -232,6 +232,18 @@ func (b *Broker) QueueLen() int {
 // registration with a telemetry.Registry.
 func (b *Broker) Metrics() *telemetry.BrokerMetrics { return b.tel }
 
+// PeerLinkState records a circuit-breaker transition on one of this
+// broker's overlay links. Safe from any goroutine; the transport's
+// link-state callback is the intended caller.
+func (b *Broker) PeerLinkState(peer message.NodeID, up bool) {
+	if up {
+		b.tel.LinksDown.Dec()
+	} else {
+		b.tel.LinksDown.Inc()
+		b.tel.LinkDownEvents.Inc()
+	}
+}
+
 // Stats is a point-in-time snapshot of one broker's runtime state.
 type Stats struct {
 	ID                  message.BrokerID

@@ -1,0 +1,359 @@
+// Package chaos is the seeded soak harness for transactional mobility under
+// adversarial networks: it drives a stream of movement transactions across
+// a cluster whose overlay links drop, duplicate, and reorder every frame,
+// while a scheduler injects link partitions, broker freezes, and crash-stops
+// of idle leaf brokers. The whole run is journaled and replayed through the
+// offline auditor (internal/audit); a clean soak demonstrates the paper's
+// ACID mobility properties end to end under the Sec. 4.1 failure model, on
+// top of this repo's reliable-delivery transport layer.
+//
+// Everything is derived from one seed, so a failing soak reproduces
+// exactly.
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"padres/internal/audit"
+	"padres/internal/client"
+	"padres/internal/cluster"
+	"padres/internal/core"
+	"padres/internal/failure"
+	"padres/internal/journal"
+	"padres/internal/message"
+	"padres/internal/predicate"
+	"padres/internal/transport"
+)
+
+// Options configures one soak run. The zero value is usable: Run fills in
+// the defaults below.
+type Options struct {
+	// Seed drives every random choice (faults, schedules, targets).
+	Seed int64
+	// Moves is the number of movement transactions to drive (default 200).
+	Moves int
+	// Movers is the number of mobile subscribers (default 4).
+	Movers int
+	// Publishers is the number of publishing clients (default 2).
+	Publishers int
+	// MoveTimeout arms the non-blocking 3PC variant (default 400ms); the
+	// blocking variant would wedge on a crash-stopped coordinator.
+	MoveTimeout time.Duration
+	// Faults is the per-link loss/duplication/reorder profile (defaults to
+	// 15% each; Seed is overwritten with the run seed).
+	Faults transport.FaultProfile
+	// Retransmit tunes the reliable links (defaults to a fast 2ms base so
+	// the soak converges quickly).
+	Retransmit transport.RetransmitOptions
+	// PartitionEvery injects a bidirectional partition of a random overlay
+	// link every N moves (default 19; 0 disables), healed after
+	// PartitionFor (default 150ms).
+	PartitionEvery int
+	PartitionFor   time.Duration
+	// FreezeEvery pauses a random broker every N moves (default 13; 0
+	// disables) for FreezeFor (default 100ms).
+	FreezeEvery int
+	FreezeFor   time.Duration
+	// CrashEvery crash-stops a random idle leaf broker every N moves
+	// (default 67; 0 disables). Only leaves that host no client are
+	// eligible, so the mover population survives; the auditor still has to
+	// excuse the stranded state.
+	CrashEvery int
+	// SettleTimeout bounds the final quiescence wait (default 60s).
+	SettleTimeout time.Duration
+	// JournalCap sizes the flight-recorder ring (default 1<<18 records).
+	JournalCap int
+	// Journal, if non-nil, is used instead of a fresh in-memory journal
+	// (e.g. one sinking to a JSONL file).
+	Journal *journal.Journal
+	// Logf, if non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Moves <= 0 {
+		o.Moves = 200
+	}
+	if o.Movers <= 0 {
+		o.Movers = 4
+	}
+	if o.Publishers <= 0 {
+		o.Publishers = 2
+	}
+	if o.MoveTimeout <= 0 {
+		o.MoveTimeout = 400 * time.Millisecond
+	}
+	if o.Faults.Drop == 0 && o.Faults.Dup == 0 && o.Faults.Reorder == 0 {
+		o.Faults = transport.FaultProfile{Drop: 0.15, Dup: 0.15, Reorder: 0.15}
+	}
+	o.Faults.Seed = o.Seed
+	if o.Retransmit == (transport.RetransmitOptions{}) {
+		o.Retransmit = transport.RetransmitOptions{
+			Base: 2 * time.Millisecond, Cap: 40 * time.Millisecond, MaxAttempts: 60,
+		}
+	}
+	if o.PartitionEvery == 0 {
+		o.PartitionEvery = 19
+	}
+	if o.PartitionFor <= 0 {
+		o.PartitionFor = 150 * time.Millisecond
+	}
+	if o.FreezeEvery == 0 {
+		o.FreezeEvery = 13
+	}
+	if o.FreezeFor <= 0 {
+		o.FreezeFor = 100 * time.Millisecond
+	}
+	if o.CrashEvery == 0 {
+		o.CrashEvery = 67
+	}
+	if o.SettleTimeout <= 0 {
+		o.SettleTimeout = 60 * time.Second
+	}
+	if o.JournalCap <= 0 {
+		o.JournalCap = 1 << 18
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// Result is what one soak produced.
+type Result struct {
+	Moves      int // transactions driven
+	Committed  int
+	Aborted    int // rejected, aborted, or timed out — all legal outcomes
+	MoveErrors int // unexpected movement errors (should be zero)
+
+	Crashes    int
+	Freezes    int
+	Partitions int
+
+	// Transport telemetry after the run.
+	Retransmits  int64
+	DupesDropped int64
+	DeadLetters  int64
+	InjectedDrops int64
+
+	JournalRecords int
+	JournalDropped uint64
+	Duration       time.Duration
+
+	Report *audit.Report
+}
+
+// Clean reports whether the audit found no violations and every movement
+// resolved without an unexpected error.
+func (r *Result) Clean() bool {
+	return r.MoveErrors == 0 && r.Report != nil && r.Report.Clean()
+}
+
+// Summary renders a one-paragraph soak report.
+func (r *Result) Summary() string {
+	verdict := "CLEAN"
+	if !r.Clean() {
+		verdict = "VIOLATIONS"
+	}
+	return fmt.Sprintf(
+		"chaos soak: %d moves (%d committed, %d aborted, %d errors) in %v\n"+
+			"  injected: %d crashes, %d freezes, %d partitions, %d dropped frames\n"+
+			"  transport: %d retransmits, %d dupes deduplicated, %d dead letters\n"+
+			"  journal: %d records (%d dropped from ring)\n"+
+			"  audit: %s",
+		r.Moves, r.Committed, r.Aborted, r.MoveErrors, r.Duration.Round(time.Millisecond),
+		r.Crashes, r.Freezes, r.Partitions, r.InjectedDrops,
+		r.Retransmits, r.DupesDropped, r.DeadLetters,
+		r.JournalRecords, r.JournalDropped, verdict)
+}
+
+// Run executes one seeded soak and audits it.
+func Run(opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	start := time.Now()
+
+	j := opts.Journal
+	if j == nil {
+		j = journal.New(opts.JournalCap)
+	}
+	faults := opts.Faults
+	c, err := cluster.New(cluster.Options{
+		Protocol:      core.ProtocolReconfig,
+		MoveTimeout:   opts.MoveTimeout,
+		Journal:       j,
+		ReliableLinks: true,
+		Retransmit:    opts.Retransmit,
+		LinkFaults:    &faults,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.Start()
+	defer c.Stop()
+	in := failure.New(c)
+
+	// Partition the broker set: clients live only on hostable brokers;
+	// crash victims come from idle leaves, so a crash never takes a client
+	// or a movement endpoint with it (the paper's crash-stop of an
+	// uninvolved broker).
+	all := c.Brokers()
+	var crashable, hostable []message.BrokerID
+	for _, id := range all {
+		if len(c.Topology().Neighbors(id)) == 1 && len(crashable) < 2 {
+			crashable = append(crashable, id)
+		} else {
+			hostable = append(hostable, id)
+		}
+	}
+
+	pubFilter := predicate.MustParse("[x,>,0]")
+	var publishers []*client.Client
+	for i := 0; i < opts.Publishers; i++ {
+		home := hostable[rng.Intn(len(hostable))]
+		cl, err := c.NewClient(message.ClientID(fmt.Sprintf("pub%d", i)), home)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := cl.Advertise(pubFilter); err != nil {
+			return nil, err
+		}
+		publishers = append(publishers, cl)
+	}
+	var movers []*client.Client
+	for i := 0; i < opts.Movers; i++ {
+		home := hostable[rng.Intn(len(hostable))]
+		cl, err := c.NewClient(message.ClientID(fmt.Sprintf("mover%d", i)), home)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := cl.Subscribe(pubFilter); err != nil {
+			return nil, err
+		}
+		movers = append(movers, cl)
+	}
+	if err := c.SettleFor(30 * time.Second); err != nil {
+		return nil, fmt.Errorf("workload setup did not settle: %w", err)
+	}
+
+	// Background publication pump: best-effort data-plane traffic crossing
+	// the lossy links while movements run.
+	pumpStop := make(chan struct{})
+	pumpDone := make(chan struct{})
+	go func() {
+		defer close(pumpDone)
+		i := 0
+		for {
+			select {
+			case <-pumpStop:
+				return
+			case <-time.After(5 * time.Millisecond):
+				p := publishers[i%len(publishers)]
+				_, _ = p.Publish(predicate.Event{"x": predicate.Number(float64(1 + i%100))})
+				i++
+			}
+		}
+	}()
+
+	res := &Result{}
+	topoLinks := overlayLinks(c)
+	for m := 0; m < opts.Moves; m++ {
+		// Fault schedule, interleaved with the movement stream.
+		if opts.PartitionEvery > 0 && m > 0 && m%opts.PartitionEvery == 0 {
+			l := topoLinks[rng.Intn(len(topoLinks))]
+			if err := in.PartitionFor(l[0], l[1], opts.PartitionFor); err == nil {
+				res.Partitions++
+				opts.Logf("move %d: partitioned %s-%s for %v", m, l[0], l[1], opts.PartitionFor)
+			}
+		}
+		if opts.FreezeEvery > 0 && m > 0 && m%opts.FreezeEvery == 0 {
+			id := all[rng.Intn(len(all))]
+			if !in.Crashed(id) && !in.Frozen(id) {
+				if err := in.FreezeFor(id, opts.FreezeFor); err == nil {
+					res.Freezes++
+					opts.Logf("move %d: froze %s for %v", m, id, opts.FreezeFor)
+				}
+			}
+		}
+		if opts.CrashEvery > 0 && m > 0 && m%opts.CrashEvery == 0 && len(crashable) > 0 {
+			id := crashable[len(crashable)-1]
+			crashable = crashable[:len(crashable)-1]
+			if err := in.Crash(id); err == nil {
+				res.Crashes++
+				opts.Logf("move %d: crashed %s", m, id)
+			}
+		}
+
+		mv := movers[m%len(movers)]
+		target := hostable[rng.Intn(len(hostable))]
+		for target == mv.Broker() {
+			target = hostable[rng.Intn(len(hostable))]
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		err := mv.Move(ctx, target)
+		cancel()
+		res.Moves++
+		switch {
+		case err == nil:
+			res.Committed++
+		case errors.Is(err, core.ErrRejected), errors.Is(err, core.ErrAborted),
+			errors.Is(err, core.ErrMoveTimeout):
+			res.Aborted++
+		default:
+			res.MoveErrors++
+			opts.Logf("move %d: unexpected error: %v", m, err)
+		}
+	}
+
+	close(pumpStop)
+	<-pumpDone
+
+	// Let residual partition/freeze timers expire, then force-heal and
+	// force-thaw whatever remains so the network can quiesce.
+	longest := opts.PartitionFor
+	if opts.FreezeFor > longest {
+		longest = opts.FreezeFor
+	}
+	time.Sleep(longest + 50*time.Millisecond)
+	for _, l := range topoLinks {
+		if c.Network().Partitioned(l[0].Node(), l[1].Node()) {
+			_ = in.Heal(l[0], l[1])
+		}
+	}
+	for _, id := range all {
+		if in.Frozen(id) {
+			_ = in.Thaw(id)
+		}
+	}
+	if err := c.SettleFor(opts.SettleTimeout); err != nil {
+		return nil, fmt.Errorf("soak did not settle: %w", err)
+	}
+
+	tel := c.Network().Telemetry()
+	res.Retransmits = tel.Retransmits.Value()
+	res.DupesDropped = tel.DupesDropped.Value()
+	res.DeadLetters = tel.DeadLetters.Value()
+	res.InjectedDrops = tel.InjectedDrops.Value()
+	res.JournalRecords = j.Len()
+	res.JournalDropped = j.Dropped()
+	res.Duration = time.Since(start)
+	res.Report = audit.Audit(j.Snapshot())
+	return res, nil
+}
+
+// overlayLinks enumerates the topology's undirected broker links.
+func overlayLinks(c *cluster.Cluster) [][2]message.BrokerID {
+	var out [][2]message.BrokerID
+	for _, id := range c.Brokers() {
+		for _, n := range c.Topology().Neighbors(id) {
+			if id < n {
+				out = append(out, [2]message.BrokerID{id, n})
+			}
+		}
+	}
+	return out
+}

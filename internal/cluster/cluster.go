@@ -56,6 +56,19 @@ type Options struct {
 	// New marks a run boundary in it (BeginRun) so one journal can hold
 	// several sequential deployments.
 	Journal *journal.Journal
+	// ReliableLinks arms the transport's acked-retransmission protocol on
+	// every overlay link: control-plane traffic survives injected loss,
+	// duplication, and reordering; publications stay best-effort.
+	ReliableLinks bool
+	// Retransmit tunes the reliable links' backoff and breaker (zero-value
+	// fields use the transport defaults). Only meaningful with
+	// ReliableLinks.
+	Retransmit transport.RetransmitOptions
+	// LinkFaults, if non-nil, installs the same seeded fault profile on
+	// every overlay link (the per-link injector seed is derived from
+	// Seed and the endpoint pair, so links fail independently but
+	// reproducibly).
+	LinkFaults *transport.FaultProfile
 }
 
 // Cluster is a running in-process deployment.
@@ -133,12 +146,38 @@ func New(opts Options) (*Cluster, error) {
 	for _, id := range c.top.Brokers() {
 		for _, n := range c.top.Neighbors(id) {
 			if id < n {
-				if err := c.net.AddLink(id.Node(), n.Node(), opts.Profile.LinkFor(id, n)); err != nil {
+				lo := opts.Profile.LinkFor(id, n)
+				if opts.ReliableLinks {
+					lo.Reliable = true
+					lo.Retransmit = opts.Retransmit
+				}
+				if opts.LinkFaults != nil {
+					lo.Faults = *opts.LinkFaults
+				}
+				if err := c.net.AddLink(id.Node(), n.Node(), lo); err != nil {
 					return nil, err
 				}
 			}
 		}
 	}
+	// Surface breaker transitions: journal them as failure records and
+	// mirror them into the from-side broker's metrics.
+	c.net.SetLinkStateHandler(func(from, to message.NodeID, up bool) {
+		if j := c.net.Journal(); j.Enabled() {
+			kind := journal.KindLinkDown
+			if up {
+				kind = journal.KindLinkUp
+			}
+			j.Add(journal.Record{
+				Site: string(from), Cat: journal.CatFailure, Kind: kind,
+				Lamport: j.ClockOf(string(from)).Tick(),
+				From:    string(from), To: string(to),
+			})
+		}
+		if b := c.Broker(message.BrokerID(from)); b != nil {
+			b.PeerLinkState(to, up)
+		}
+	})
 	return c, nil
 }
 

@@ -1,0 +1,180 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"padres/internal/audit"
+	"padres/internal/core"
+	"padres/internal/journal"
+	"padres/internal/message"
+	"padres/internal/predicate"
+	"padres/internal/transport"
+)
+
+// stripQualifiers reduces a routing record ID to its stable base, removing
+// shadow ("~tx") and movement-epoch ("#tx") suffixes, so one logical filter
+// compares equal across runs that committed the same movements.
+func stripQualifiers(id string) string {
+	if i := strings.Index(id, "~"); i >= 0 {
+		id = id[:i]
+	}
+	if i := strings.Index(id, "#"); i >= 0 {
+		id = id[:i]
+	}
+	return id
+}
+
+// routingFingerprint flattens every broker's SRT and PRT into a sorted,
+// comparable list of "broker table base client lastHop" lines.
+func routingFingerprint(c *Cluster) []string {
+	var out []string
+	for _, id := range c.Brokers() {
+		b := c.Broker(id)
+		for _, r := range b.SRTSnapshot() {
+			out = append(out, fmt.Sprintf("%s srt %s %s %s", id, stripQualifiers(string(r.ID)), r.Client, r.LastHop))
+		}
+		for _, r := range b.PRTSnapshot() {
+			out = append(out, fmt.Sprintf("%s prt %s %s %s", id, stripQualifiers(string(r.ID)), r.Client, r.LastHop))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// moveOutcome is what one scenario run produced: the converged routing
+// state, the movement result, and the audited journal.
+type moveOutcome struct {
+	tables  []string
+	moveErr error
+	report  *audit.Report
+}
+
+// runMoveScenario executes one advertise/subscribe/move workload. With a
+// nil fault profile the links are the plain in-order transport; otherwise
+// every overlay link runs the reliable protocol under the seeded faults, so
+// subs, advs, and every 3PC message get dropped, duplicated, and reordered
+// on the wire.
+func runMoveScenario(t *testing.T, faults *transport.FaultProfile, admission core.AdmissionFunc) moveOutcome {
+	t.Helper()
+	j := journal.New(1 << 16)
+	opts := Options{
+		Protocol:  core.ProtocolReconfig,
+		Admission: admission,
+		Journal:   j,
+	}
+	if faults != nil {
+		opts.ReliableLinks = true
+		opts.LinkFaults = faults
+		opts.Retransmit = transport.RetransmitOptions{
+			Base: 2 * time.Millisecond, Cap: 20 * time.Millisecond, MaxAttempts: 60,
+		}
+	}
+	c, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+
+	pub, err := c.NewClient("pub", "b5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pub.Advertise(predicate.MustParse("[x,>,0]")); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := c.NewClient("sub", "b1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sub.Subscribe(predicate.MustParse("[x,>,0]")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SettleFor(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	moveErr := sub.Move(ctx, "b13")
+	if err := c.SettleFor(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return moveOutcome{
+		tables:  routingFingerprint(c),
+		moveErr: moveErr,
+		report:  audit.Audit(j.Snapshot()),
+	}
+}
+
+func diffTables(t *testing.T, clean, faulty []string) {
+	t.Helper()
+	if len(clean) != len(faulty) {
+		t.Fatalf("routing state diverged: clean has %d entries, faulty has %d\nclean:\n  %s\nfaulty:\n  %s",
+			len(clean), len(faulty), strings.Join(clean, "\n  "), strings.Join(faulty, "\n  "))
+	}
+	for i := range clean {
+		if clean[i] != faulty[i] {
+			t.Fatalf("routing state diverged at entry %d:\n  clean:  %s\n  faulty: %s", i, clean[i], faulty[i])
+		}
+	}
+}
+
+// TestDedupIdempotentCommit: the same committed movement run once over
+// clean links and once over links that drop, duplicate, and reorder every
+// control message must converge to identical SRT/PRT state on every broker
+// — retransmitted or duplicated subs, advs, MoveApproves, and MoveAcks are
+// applied exactly once.
+func TestDedupIdempotentCommit(t *testing.T) {
+	clean := runMoveScenario(t, nil, nil)
+	if clean.moveErr != nil {
+		t.Fatalf("clean move failed: %v", clean.moveErr)
+	}
+	faulty := runMoveScenario(t, &transport.FaultProfile{Drop: 0.25, Dup: 0.3, Reorder: 0.3, Seed: 42}, nil)
+	if faulty.moveErr != nil {
+		t.Fatalf("move under faults failed: %v", faulty.moveErr)
+	}
+	diffTables(t, clean.tables, faulty.tables)
+	if !clean.report.Clean() {
+		t.Fatalf("clean run audit: %v", clean.report.Violations())
+	}
+	if !faulty.report.Clean() {
+		t.Fatalf("faulty run audit: %v", faulty.report.Violations())
+	}
+	run := faulty.report.Runs[0]
+	if run.Committed != 1 || run.Aborted != 0 {
+		t.Fatalf("faulty run outcome committed=%d aborted=%d, want 1/0", run.Committed, run.Aborted)
+	}
+}
+
+// TestDedupIdempotentAbort: a movement the target rejects must roll back to
+// the identical pre-move routing state whether or not the wire duplicated
+// and reordered the MoveReject/MoveAbort traffic.
+func TestDedupIdempotentAbort(t *testing.T) {
+	reject := func(m message.MoveNegotiate) error { return errors.New("admission: denied") }
+	clean := runMoveScenario(t, nil, reject)
+	if !errors.Is(clean.moveErr, core.ErrRejected) {
+		t.Fatalf("clean rejected move = %v, want ErrRejected", clean.moveErr)
+	}
+	faulty := runMoveScenario(t, &transport.FaultProfile{Drop: 0.25, Dup: 0.3, Reorder: 0.3, Seed: 1729}, reject)
+	if !errors.Is(faulty.moveErr, core.ErrRejected) {
+		t.Fatalf("rejected move under faults = %v, want ErrRejected", faulty.moveErr)
+	}
+	diffTables(t, clean.tables, faulty.tables)
+	if !clean.report.Clean() {
+		t.Fatalf("clean run audit: %v", clean.report.Violations())
+	}
+	if !faulty.report.Clean() {
+		t.Fatalf("faulty run audit: %v", faulty.report.Violations())
+	}
+	run := faulty.report.Runs[0]
+	if run.Committed != 0 || run.Aborted != 1 {
+		t.Fatalf("faulty run outcome committed=%d aborted=%d, want 0/1", run.Committed, run.Aborted)
+	}
+}

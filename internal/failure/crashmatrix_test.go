@@ -1,0 +1,112 @@
+package failure
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"padres/internal/audit"
+	"padres/internal/cluster"
+	"padres/internal/core"
+	"padres/internal/journal"
+	"padres/internal/message"
+	"padres/internal/predicate"
+)
+
+// TestCrashMatrix crash-stops the source or the target coordinator at every
+// phase of the 3PC movement conversation and replays the journal through
+// the auditor: whatever the interleaving, the transaction must land on
+// exactly one of commit, atomic abort, or crash-interruption, with no
+// duplicate delivery and no stranded routing state at surviving sites.
+func TestCrashMatrix(t *testing.T) {
+	phases := []core.EventKind{
+		core.EventNegotiateSent, // crash during negotiation (message 1)
+		core.EventApproveSent,   // crash during approval (message 2)
+		core.EventStateSent,     // crash during state transfer (message 3/4)
+		core.EventAckSent,       // crash during acknowledgement (message 5)
+	}
+	for _, phase := range phases {
+		for _, victim := range []string{"source", "target"} {
+			t.Run(fmt.Sprintf("%s_%s", phase, victim), func(t *testing.T) {
+				runCrashCase(t, phase, victim)
+			})
+		}
+	}
+}
+
+func runCrashCase(t *testing.T, phase core.EventKind, victim string) {
+	const source, target = message.BrokerID("b1"), message.BrokerID("b13")
+	j := journal.New(1 << 16)
+	c := build(t, cluster.Options{
+		Protocol:    core.ProtocolReconfig,
+		MoveTimeout: 250 * time.Millisecond,
+		Journal:     j,
+	})
+	in := New(c)
+
+	victimID := source
+	if victim == "target" {
+		victimID = target
+	}
+	// Event sinks run on coordinator goroutines and Crash blocks until the
+	// broker goroutine exits, so the crash must run on its own goroutine.
+	crashCh := make(chan struct{}, 1)
+	crashDone := make(chan struct{})
+	go func() {
+		defer close(crashDone)
+		if _, ok := <-crashCh; !ok {
+			return
+		}
+		_ = in.Crash(victimID)
+	}()
+	var once sync.Once
+	c.SetEventSink(func(e core.Event) {
+		if e.Kind == phase {
+			once.Do(func() { crashCh <- struct{}{} })
+		}
+	})
+
+	pub, err := c.NewClient("pub", "b5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pub.Advertise(predicate.MustParse("[x,>,0]")); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := c.NewClient("sub", source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sub.Subscribe(predicate.MustParse("[x,>,0]")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SettleFor(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	// The outcome (commit, abort, or a dead source that never answers) is
+	// the auditor's to judge; the call itself may legally fail.
+	_ = sub.Move(ctx, target)
+	once.Do(func() { close(crashCh) })
+	<-crashDone
+	if err := c.SettleFor(15 * time.Second); err != nil {
+		t.Fatalf("cluster did not settle after the crash: %v", err)
+	}
+
+	rep := audit.Audit(j.Snapshot())
+	if !rep.Clean() {
+		t.Fatalf("audit violations after crashing %s at %s:\n%v", victimID, phase, rep.Violations())
+	}
+	run := rep.Runs[len(rep.Runs)-1]
+	if run.Txs != 1 {
+		t.Fatalf("observed %d transactions, want 1", run.Txs)
+	}
+	if got := run.Committed + run.Aborted + run.CrashInterrupted; got != 1 {
+		t.Fatalf("resolution count = %d (committed=%d aborted=%d crash-interrupted=%d), want exactly 1",
+			got, run.Committed, run.Aborted, run.CrashInterrupted)
+	}
+}

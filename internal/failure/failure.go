@@ -1,24 +1,37 @@
 // Package failure injects the failure modes of the paper's system model
 // (Sec. 4.1) into a running cluster: crash-stop of a broker (and, since
 // coordinator and clients share the container's fate, of its coordinator),
-// and unbounded message delay (a frozen broker whose queue keeps growing).
-// The movement protocol's non-blocking variant must abort cleanly under
-// both; the blocking variant must resume once delays end.
+// unbounded message delay (a frozen broker whose queue keeps growing), and
+// — through the transport's fault injector — message loss, duplication,
+// reordering, and link partition. The movement protocol's non-blocking
+// variant must abort cleanly under all of them; the blocking variant must
+// resume once delays end.
+//
+// Every injected failure is journaled (journal.CatFailure) so the offline
+// auditor can tell the legal consequences of a dead coordinator apart from
+// genuine protocol violations.
 package failure
 
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"padres/internal/broker"
 	"padres/internal/cluster"
+	"padres/internal/journal"
 	"padres/internal/message"
+	"padres/internal/transport"
 )
 
-// Injector applies failures to a cluster.
+// Injector applies failures to a cluster. All methods are safe for
+// concurrent use: a chaos schedule, freeze timers, and test assertions may
+// drive one Injector from different goroutines.
 type Injector struct {
-	c      *cluster.Cluster
+	c *cluster.Cluster
+
+	mu     sync.Mutex
 	frozen map[message.BrokerID]bool
 	dead   map[message.BrokerID]bool
 }
@@ -32,18 +45,37 @@ func New(c *cluster.Cluster) *Injector {
 	}
 }
 
+// record journals one failure event on the site's own clock.
+func (in *Injector) record(site, kind, from, to, detail string) {
+	j := in.c.Network().Journal()
+	if !j.Enabled() {
+		return
+	}
+	j.Add(journal.Record{
+		Site: site, Cat: journal.CatFailure, Kind: kind,
+		Lamport: j.ClockOf(site).Tick(),
+		From:    from, To: to, Detail: detail,
+	})
+}
+
 // Crash stops the broker permanently (crash-stop). Messages addressed to it
 // are dropped, as with a failed node whose recovery is outside the
-// experiment's horizon.
+// experiment's horizon. Crash blocks until the broker goroutine exits, so
+// it must not be called from that broker's own dispatch path (e.g. from a
+// synchronous event sink); crash from a separate goroutine instead.
 func (in *Injector) Crash(id message.BrokerID) error {
 	b := in.c.Broker(id)
 	if b == nil {
 		return fmt.Errorf("unknown broker %s", id)
 	}
+	in.mu.Lock()
 	if in.dead[id] {
+		in.mu.Unlock()
 		return fmt.Errorf("broker %s already crashed", id)
 	}
 	in.dead[id] = true
+	in.mu.Unlock()
+	in.record(string(id), journal.KindBrokerCrash, "", "", "crash-stop")
 	b.Stop()
 	return nil
 }
@@ -55,10 +87,14 @@ func (in *Injector) Freeze(id message.BrokerID) error {
 	if b == nil {
 		return fmt.Errorf("unknown broker %s", id)
 	}
+	in.mu.Lock()
 	if in.dead[id] {
+		in.mu.Unlock()
 		return fmt.Errorf("broker %s crashed; cannot freeze", id)
 	}
 	in.frozen[id] = true
+	in.mu.Unlock()
+	in.record(string(id), journal.KindBrokerFreeze, "", "", "")
 	b.Pause()
 	return nil
 }
@@ -69,10 +105,14 @@ func (in *Injector) Thaw(id message.BrokerID) error {
 	if b == nil {
 		return fmt.Errorf("unknown broker %s", id)
 	}
+	in.mu.Lock()
 	if !in.frozen[id] {
+		in.mu.Unlock()
 		return fmt.Errorf("broker %s is not frozen", id)
 	}
 	delete(in.frozen, id)
+	in.mu.Unlock()
+	in.record(string(id), journal.KindBrokerThaw, "", "", "")
 	b.Unpause()
 	return nil
 }
@@ -88,10 +128,55 @@ func (in *Injector) FreezeFor(id message.BrokerID, d time.Duration) error {
 }
 
 // Frozen reports whether the broker is currently frozen.
-func (in *Injector) Frozen(id message.BrokerID) bool { return in.frozen[id] }
+func (in *Injector) Frozen(id message.BrokerID) bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.frozen[id]
+}
 
 // Crashed reports whether the broker was crashed.
-func (in *Injector) Crashed(id message.BrokerID) bool { return in.dead[id] }
+func (in *Injector) Crashed(id message.BrokerID) bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.dead[id]
+}
+
+// SetLinkFaults installs (or, with a zero profile, removes) seeded
+// drop/duplicate/reorder injection on both directions of the overlay link
+// between two brokers.
+func (in *Injector) SetLinkFaults(a, b message.BrokerID, f transport.FaultProfile) error {
+	return in.c.Network().SetFaults(a.Node(), b.Node(), f)
+}
+
+// Partition severs both directions of the overlay link between two
+// brokers until Heal.
+func (in *Injector) Partition(a, b message.BrokerID) error {
+	if err := in.c.Network().Partition(a.Node(), b.Node()); err != nil {
+		return err
+	}
+	in.record(string(a), journal.KindLinkPartition, string(a), string(b), "")
+	return nil
+}
+
+// Heal restores a partitioned link and resets its circuit breaker if the
+// outage tripped it.
+func (in *Injector) Heal(a, b message.BrokerID) error {
+	if err := in.c.Network().Heal(a.Node(), b.Node()); err != nil {
+		return err
+	}
+	in.record(string(a), journal.KindLinkHeal, string(a), string(b), "")
+	return nil
+}
+
+// PartitionFor partitions the link, heals it after d on a background
+// timer, and returns immediately.
+func (in *Injector) PartitionFor(a, b message.BrokerID, d time.Duration) error {
+	if err := in.Partition(a, b); err != nil {
+		return err
+	}
+	time.AfterFunc(d, func() { _ = in.Heal(a, b) })
+	return nil
+}
 
 // ChaosOptions configures a random freeze/thaw storm.
 type ChaosOptions struct {
@@ -117,7 +202,7 @@ func (in *Injector) Chaos(opts ChaosOptions) error {
 	r := rand.New(rand.NewSource(opts.Seed))
 	for round := 0; round < opts.Rounds; round++ {
 		id := brokers[r.Intn(len(brokers))]
-		if in.dead[id] || in.frozen[id] {
+		if in.Crashed(id) || in.Frozen(id) {
 			continue
 		}
 		if err := in.Freeze(id); err != nil {
@@ -141,7 +226,10 @@ func (in *Injector) Restart(id message.BrokerID, st *broker.State) error {
 	if err := in.c.RestartBroker(id, st); err != nil {
 		return err
 	}
+	in.mu.Lock()
 	delete(in.dead, id)
 	delete(in.frozen, id)
+	in.mu.Unlock()
+	in.record(string(id), journal.KindBrokerRestart, "", "", "")
 	return nil
 }

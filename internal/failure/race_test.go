@@ -1,0 +1,83 @@
+package failure
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"padres/internal/cluster"
+	"padres/internal/transport"
+)
+
+// TestInjectorConcurrency is the regression test for the data race on the
+// injector's frozen/dead maps: FreezeFor thaw timers, a chaos schedule, and
+// status probes all hammer one Injector concurrently. Run under -race.
+func TestInjectorConcurrency(t *testing.T) {
+	c := build(t, cluster.Options{})
+	in := New(c)
+	brokers := c.Brokers()
+
+	var wg sync.WaitGroup
+	// Status probes.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				for _, id := range brokers {
+					in.Frozen(id)
+					in.Crashed(id)
+				}
+			}
+		}()
+	}
+	// Timer-driven freeze/thaw cycles against distinct brokers.
+	for i, id := range brokers[:4] {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 10; j++ {
+				_ = in.FreezeFor(id, time.Duration(i+1)*time.Millisecond)
+				time.Sleep(3 * time.Millisecond)
+			}
+		}()
+	}
+	// A chaos storm over the remaining brokers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = in.Chaos(ChaosOptions{
+			Brokers:   brokers[4:],
+			FreezeFor: time.Millisecond,
+			Between:   time.Millisecond,
+			Rounds:    20,
+			Seed:      1,
+		})
+	}()
+	// Concurrent crash of one broker.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = in.Crash(brokers[len(brokers)-1])
+	}()
+	// Link fault churn alongside.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < 20; j++ {
+			_ = in.SetLinkFaults("b1", "b2", transport.FaultProfile{Drop: 0.1, Seed: int64(j)})
+			_ = in.Partition("b1", "b2")
+			_ = in.Heal("b1", "b2")
+		}
+		_ = in.SetLinkFaults("b1", "b2", transport.FaultProfile{})
+	}()
+	wg.Wait()
+
+	// Leave everything thawed so cleanup's Stop does not hang on a paused
+	// broker.
+	for _, id := range brokers {
+		if in.Frozen(id) {
+			_ = in.Thaw(id)
+		}
+	}
+}

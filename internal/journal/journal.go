@@ -48,6 +48,11 @@ const (
 	// CatClient is a client stub event (state transition, delivery,
 	// buffering, attach/arrive/depart).
 	CatClient Category = "client"
+	// CatFailure is an injected or observed failure event (broker crash,
+	// freeze/thaw, link partition/heal, circuit-breaker transitions). The
+	// auditor uses crash records to distinguish protocol violations from
+	// the legal consequences of a dead coordinator.
+	CatFailure Category = "failure"
 )
 
 // Record kinds, by category. Protocol-step records reuse the event names of
@@ -75,6 +80,15 @@ const (
 	KindClientDup     = "client-dup"     // client: duplicate pub suppressed
 	KindClientBuffer  = "client-buffer"  // client: pub buffered during a move
 	KindShellBuffer   = "shell-buffer"   // client: pub buffered by the shell
+
+	KindBrokerCrash   = "broker-crash"   // failure: crash-stop injected at Site
+	KindBrokerFreeze  = "broker-freeze"  // failure: processing suspended at Site
+	KindBrokerThaw    = "broker-thaw"    // failure: processing resumed at Site
+	KindBrokerRestart = "broker-restart" // failure: broker replaced at Site
+	KindLinkPartition = "link-partition" // failure: From-To link severed
+	KindLinkHeal      = "link-heal"      // failure: From-To link restored
+	KindLinkDown      = "link-down"      // failure: circuit breaker opened From->To
+	KindLinkUp        = "link-up"        // failure: circuit breaker closed From->To
 )
 
 // Record is one journal entry. Sites, identifiers, and transactions are

@@ -19,6 +19,10 @@ type Envelope struct {
 	Msg     Message
 	Trace   TraceID
 	Lamport uint64
+	// Seq is the link-level sequence number assigned by the transport
+	// reliability layer; 0 marks best-effort traffic outside the
+	// ack/retransmit protocol.
+	Seq uint64
 }
 
 // RegisterGobTypes registers all concrete message types with the standard
@@ -40,6 +44,7 @@ func registerGob() {
 	gob.Register(MoveState{})
 	gob.Register(MoveAck{})
 	gob.Register(MoveAbort{})
+	gob.Register(LinkAck{})
 }
 
 // Encoder writes envelopes to a stream using gob with length framing

@@ -69,6 +69,10 @@ const (
 	KindMoveState
 	KindMoveAck
 	KindMoveAbort
+	// KindLinkAck is a transport-internal cumulative acknowledgement of the
+	// link reliability layer. It never reaches a broker: the receiving
+	// transport consumes it to trim the sender's resend queue.
+	KindLinkAck
 )
 
 var kindNames = map[Kind]string{
@@ -83,6 +87,7 @@ var kindNames = map[Kind]string{
 	KindMoveState:     "move-state",
 	KindMoveAck:       "move-ack",
 	KindMoveAbort:     "move-abort",
+	KindLinkAck:       "link-ack",
 }
 
 // String returns the kind name.
@@ -95,7 +100,7 @@ func (k Kind) String() string {
 
 // IsControl reports whether the kind belongs to the movement protocol
 // rather than content-based routing.
-func (k Kind) IsControl() bool { return k >= KindMoveNegotiate }
+func (k Kind) IsControl() bool { return k >= KindMoveNegotiate && k != KindLinkAck }
 
 // Message is the interface implemented by everything that travels over
 // overlay links.
@@ -252,6 +257,24 @@ func (MoveState) Kind() Kind     { return KindMoveState }
 func (MoveAck) Kind() Kind       { return KindMoveAck }
 func (MoveAbort) Kind() Kind     { return KindMoveAbort }
 
+// LinkAck is the transport reliability layer's cumulative acknowledgement:
+// every sequence number up to and including Cum has been delivered in order
+// on the acknowledged link. It travels on the reverse link, is never
+// journaled or counted as overlay traffic, and is consumed by the transport
+// before any broker handler runs.
+type LinkAck struct {
+	Cum uint64
+	// Epoch is the breaker epoch the ack belongs to; acks from before a
+	// circuit-breaker reset must not trim the restarted stream's queue.
+	Epoch uint64
+}
+
+// Kind implements Message.
+func (LinkAck) Kind() Kind { return KindLinkAck }
+
+// Tag implements Message; link acks belong to no movement transaction.
+func (LinkAck) Tag() TxID { return "" }
+
 // Dest returns the broker a control message is travelling toward.
 // Negotiate, state: source → target. Approve, reject, ack: target → source.
 // Abort is originated by either side toward the other, so the caller tracks
@@ -335,6 +358,7 @@ var (
 	_ Message = MoveState{}
 	_ Message = MoveAck{}
 	_ Message = MoveAbort{}
+	_ Message = LinkAck{}
 )
 
 // IDGen produces process-unique identifiers with a fixed prefix, e.g.

@@ -246,6 +246,21 @@ func (r *Registry) Throughput(window time.Duration) float64 {
 func (r *Registry) MsgEnqueued(m message.Message) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.msgEnqueuedLocked(m)
+}
+
+// MsgEnqueuedN records n in-flight tokens for the same message under one
+// lock acquisition — e.g. the reliable transport's wire copy plus its
+// resend-queue entry.
+func (r *Registry) MsgEnqueuedN(m message.Message, n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := 0; i < n; i++ {
+		r.msgEnqueuedLocked(m)
+	}
+}
+
+func (r *Registry) msgEnqueuedLocked(m message.Message) {
 	r.inflight++
 	if r.inflight == 1 {
 		r.quiesced = make(chan struct{})
@@ -273,6 +288,43 @@ func (r *Registry) MsgEnqueued(m message.Message) {
 func (r *Registry) MsgDone(m message.Message) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.msgDoneLocked(m)
+}
+
+// MsgDoneBatch releases one token per message under a single lock
+// acquisition — e.g. a cumulative ack trimming a run of resend-queue
+// entries at once. Tag bookkeeping is precomputed outside the lock, so
+// the hold is O(distinct tags), not O(messages).
+func (r *Registry) MsgDoneBatch(ms []message.Message) {
+	if len(ms) == 0 {
+		return
+	}
+	var tagged map[message.TxID]int64
+	for _, m := range ms {
+		if tag := m.Tag(); tag != "" {
+			if tagged == nil {
+				tagged = make(map[message.TxID]int64)
+			}
+			tagged[tag]++
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.inflight -= int64(len(ms))
+	if r.inflight == 0 {
+		close(r.quiesced)
+	}
+	for tag, k := range tagged {
+		if st := r.tags[tag]; st != nil {
+			st.count -= k
+			if st.count == 0 {
+				close(st.done)
+			}
+		}
+	}
+}
+
+func (r *Registry) msgDoneLocked(m message.Message) {
 	r.inflight--
 	if r.inflight == 0 {
 		close(r.quiesced)

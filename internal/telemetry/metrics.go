@@ -190,6 +190,11 @@ type BrokerMetrics struct {
 	DispatchLatency *Histogram
 	// MatchLatency measures the publication matching pass alone.
 	MatchLatency *Histogram
+	// LinksDown mirrors the number of this broker's overlay links whose
+	// circuit breaker is currently open.
+	LinksDown Gauge
+	// LinkDownEvents counts breaker-open transitions on this broker's links.
+	LinkDownEvents Counter
 	// sends counts messages sent, by message kind.
 	sends [kindSlots]Counter
 }
@@ -241,6 +246,8 @@ func (bm *BrokerMetrics) writePrometheus(w io.Writer, broker string) {
 	fmt.Fprintf(w, "padres_broker_dropped_publications_total%s %d\n", l, bm.DroppedPublications.Value())
 	fmt.Fprintf(w, "padres_broker_srt_size%s %d\n", l, bm.SRTSize.Value())
 	fmt.Fprintf(w, "padres_broker_prt_size%s %d\n", l, bm.PRTSize.Value())
+	fmt.Fprintf(w, "padres_broker_links_down%s %d\n", l, bm.LinksDown.Value())
+	fmt.Fprintf(w, "padres_broker_link_down_total%s %d\n", l, bm.LinkDownEvents.Value())
 	for k := 1; k < kindSlots; k++ {
 		if n := bm.sends[k].Value(); n > 0 {
 			fmt.Fprintf(w, "padres_broker_sends_total{broker=%q,kind=%q} %d\n",

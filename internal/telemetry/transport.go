@@ -1,0 +1,54 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+)
+
+// TransportMetrics holds the reliability layer's instruments for one
+// transport (the in-process network plus any TCP gateways bridged to it).
+// All fields are lock-free atomics; the transport hot path records into
+// them without taking the network mutex.
+type TransportMetrics struct {
+	// Retransmits counts resend-queue copies put back on the wire after a
+	// backoff expiry (in-process links and TCP replay alike).
+	Retransmits Counter
+	// DupesDropped counts received frames the dedup layer suppressed
+	// because their sequence number was already delivered.
+	DupesDropped Counter
+	// Acks counts cumulative acknowledgements sent.
+	Acks Counter
+	// DeadLetters counts reliable messages abandoned because their link's
+	// circuit breaker was open or its resend queue was drained on trip.
+	DeadLetters Counter
+	// InjectedDrops / InjectedDups / InjectedReorders count messages the
+	// fault injector dropped, duplicated, or swapped out of order
+	// (partition drops count as InjectedDrops).
+	InjectedDrops    Counter
+	InjectedDups     Counter
+	InjectedReorders Counter
+	// LinksDown is the number of directed links whose circuit breaker is
+	// currently open.
+	LinksDown Gauge
+	// LinksPartitioned is the number of directed links currently severed by
+	// the fault injector.
+	LinksPartitioned Gauge
+	// Reconnects counts successful TCP peer re-establishments by the
+	// gateway's auto-reconnect supervisor.
+	Reconnects Counter
+}
+
+// WritePrometheus emits the transport instruments in Prometheus text
+// format. Deterministic output ordering, matching the broker exposition.
+func (tm *TransportMetrics) WritePrometheus(w io.Writer) {
+	fmt.Fprintf(w, "padres_transport_retransmits_total %d\n", tm.Retransmits.Value())
+	fmt.Fprintf(w, "padres_transport_dupes_dropped_total %d\n", tm.DupesDropped.Value())
+	fmt.Fprintf(w, "padres_transport_acks_total %d\n", tm.Acks.Value())
+	fmt.Fprintf(w, "padres_transport_dead_letters_total %d\n", tm.DeadLetters.Value())
+	fmt.Fprintf(w, "padres_transport_injected_drops_total %d\n", tm.InjectedDrops.Value())
+	fmt.Fprintf(w, "padres_transport_injected_dups_total %d\n", tm.InjectedDups.Value())
+	fmt.Fprintf(w, "padres_transport_injected_reorders_total %d\n", tm.InjectedReorders.Value())
+	fmt.Fprintf(w, "padres_transport_links_down %d\n", tm.LinksDown.Value())
+	fmt.Fprintf(w, "padres_transport_links_partitioned %d\n", tm.LinksPartitioned.Value())
+	fmt.Fprintf(w, "padres_transport_reconnects_total %d\n", tm.Reconnects.Value())
+}

@@ -1,0 +1,112 @@
+package transport
+
+import (
+	"fmt"
+
+	"padres/internal/message"
+)
+
+// FaultProfile is a link's fault-injection configuration: independent
+// per-frame probabilities drawn from a seeded source, so a given seed and
+// traffic pattern reproduces the same loss schedule. A zero profile
+// injects nothing.
+type FaultProfile struct {
+	// Drop is the probability a frame is silently discarded.
+	Drop float64
+	// Dup is the probability a frame is delivered twice.
+	Dup float64
+	// Reorder is the probability a frame is swapped with the frame queued
+	// immediately before it, breaking the link's FIFO order.
+	Reorder float64
+	// Seed drives the fault source; combined with the link's endpoint hash
+	// so each direction rolls independently.
+	Seed int64
+}
+
+// active reports whether the profile injects any fault.
+func (f FaultProfile) active() bool { return f.Drop > 0 || f.Dup > 0 || f.Reorder > 0 }
+
+// forBothDirections applies fn to both directed links of the pair.
+func (n *Network) forBothDirections(a, b message.NodeID, fn func(l *link)) error {
+	n.mu.Lock()
+	la, lb := n.links[linkID{a, b}], n.links[linkID{b, a}]
+	n.mu.Unlock()
+	if la == nil || lb == nil {
+		return fmt.Errorf("%w: %s-%s", ErrNoLink, a, b)
+	}
+	fn(la)
+	fn(lb)
+	return nil
+}
+
+// SetFaults replaces the fault profile on both directions of the a-b link
+// at runtime. A zero profile turns injection off.
+func (n *Network) SetFaults(a, b message.NodeID, f FaultProfile) error {
+	return n.forBothDirections(a, b, func(l *link) {
+		l.mu.Lock()
+		l.faults = f
+		if f.active() {
+			l.faultRng = newLockedRand(f.Seed ^ int64(hashNodes(l.from, l.to)))
+		}
+		l.mu.Unlock()
+	})
+}
+
+// Partition severs both directions of the a-b link: every frame entering
+// either direction is dropped until Heal. Reliable traffic keeps
+// accumulating in the resend queues (and eventually trips the circuit
+// breaker); best-effort traffic is lost.
+func (n *Network) Partition(a, b message.NodeID) error {
+	return n.forBothDirections(a, b, func(l *link) {
+		l.mu.Lock()
+		was := l.partitioned
+		l.partitioned = true
+		l.mu.Unlock()
+		if !was {
+			n.tel.LinksPartitioned.Inc()
+		}
+	})
+}
+
+// Heal restores both directions of a partitioned link and, if either
+// direction's circuit breaker opened meanwhile, resets it (new epoch,
+// sequence numbers restart) and reports the link up.
+func (n *Network) Heal(a, b message.NodeID) error {
+	return n.forBothDirections(a, b, func(l *link) {
+		l.mu.Lock()
+		was := l.partitioned
+		l.partitioned = false
+		l.mu.Unlock()
+		if was {
+			n.tel.LinksPartitioned.Dec()
+		}
+		n.resetBreaker(l)
+	})
+}
+
+// Partitioned reports whether the directed link from->to is severed.
+func (n *Network) Partitioned(from, to message.NodeID) bool {
+	n.mu.Lock()
+	l := n.links[linkID{from, to}]
+	n.mu.Unlock()
+	if l == nil {
+		return false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.partitioned
+}
+
+// LinkDown reports whether the directed link from->to has an open circuit
+// breaker.
+func (n *Network) LinkDown(from, to message.NodeID) bool {
+	n.mu.Lock()
+	l := n.links[linkID{from, to}]
+	n.mu.Unlock()
+	if l == nil || l.rel == nil {
+		return false
+	}
+	l.rel.mu.Lock()
+	defer l.rel.mu.Unlock()
+	return l.rel.down
+}

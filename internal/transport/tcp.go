@@ -65,17 +65,62 @@ type GatewayConfig struct {
 	// violation). It runs on the goroutine that observed the failure and
 	// must not block.
 	OnPeerError func(node message.NodeID, err error)
+	// Reliable arms the gateway's ack/retransmit layer: control-plane
+	// envelopes to broker peers carry per-peer sequence numbers, are held
+	// in a bounded resend queue until the remote's cumulative ack, and are
+	// replayed after a reconnect; the receive side deduplicates. Sequence
+	// state is keyed by peer node and survives connection replacement.
+	Reliable bool
+	// AutoReconnect re-establishes dialled broker peers after OnPeerError:
+	// a supervisor redials with capped exponential backoff, replays the
+	// unacked resend queue, and restarts the read loop. Accepted peers are
+	// the remote side's responsibility.
+	AutoReconnect bool
+	// ReconnectBase and ReconnectCap bound the redial backoff
+	// (defaults 50ms and 2s).
+	ReconnectBase time.Duration
+	ReconnectCap  time.Duration
+	// ReconnectMaxAttempts abandons the peer after this many failed
+	// redials (0 = keep trying until the gateway closes). Abandonment
+	// dead-letters the resend queue and surfaces OnPeerError once more.
+	ReconnectMaxAttempts int
+	// ResendQueueLimit bounds the per-peer resend queue (default 1024);
+	// overflow drops the oldest entry to the dead-letter counter.
+	ResendQueueLimit int
 }
 
 // Gateway bridges the local broker to TCP peers.
 type Gateway struct {
-	cfg GatewayConfig
-	ln  net.Listener
+	cfg  GatewayConfig
+	ln   net.Listener
+	stop chan struct{} // closed on Close; cancels reconnect backoff sleeps
 
 	mu     sync.Mutex
 	peers  map[message.NodeID]*peerConn
+	states map[message.NodeID]*peerState
 	closed bool
 	wg     sync.WaitGroup
+}
+
+// peerState is the per-peer reliability state that outlives any single
+// connection: sequence counters and the unacked resend queue keep their
+// values across a reconnect so the stream resumes where it left off.
+type peerState struct {
+	mu      sync.Mutex
+	addr    string // dial address; "" for accepted peers (no reconnect)
+	nextSeq uint64
+	pend    []message.Envelope // unacked, ascending Seq
+	// lastRecv is the highest contiguously received sequence; recvAhead
+	// holds the seqs received beyond a gap. Together they deduplicate
+	// without ever acking a frame that was skipped over, so a cumulative
+	// ack can only trim what really arrived.
+	lastRecv  uint64
+	recvAhead map[uint64]bool
+	// parked is true while no connection may be written directly — the
+	// peer is down or a reconnect replay owns the socket. Reliable sends
+	// then stay pend-only and the replay loop delivers them in order.
+	parked       bool
+	reconnecting bool
 }
 
 type peerConn struct {
@@ -108,13 +153,28 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 		return nil, fmt.Errorf("gateway listen: %w", err)
 	}
 	g := &Gateway{
-		cfg:   cfg,
-		ln:    ln,
-		peers: make(map[message.NodeID]*peerConn),
+		cfg:    cfg,
+		ln:     ln,
+		stop:   make(chan struct{}),
+		peers:  make(map[message.NodeID]*peerConn),
+		states: make(map[message.NodeID]*peerState),
 	}
 	g.wg.Add(1)
 	go g.acceptLoop()
 	return g, nil
+}
+
+// state returns (creating if needed) the persistent reliability state for
+// a peer node.
+func (g *Gateway) state(node message.NodeID) *peerState {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	st, ok := g.states[node]
+	if !ok {
+		st = &peerState{}
+		g.states[node] = st
+	}
+	return st
 }
 
 // Addr returns the gateway's bound address.
@@ -133,6 +193,7 @@ func (g *Gateway) Close() {
 		peers = append(peers, p)
 	}
 	g.mu.Unlock()
+	close(g.stop)
 	_ = g.ln.Close()
 	for _, p := range peers {
 		_ = p.conn.Close()
@@ -141,8 +202,19 @@ func (g *Gateway) Close() {
 }
 
 // DialPeer connects to a remote broker gateway and installs it as an
-// overlay neighbor proxy.
+// overlay neighbor proxy. The address is remembered so the auto-reconnect
+// supervisor can redial it after a failure.
 func (g *Gateway) DialPeer(node message.NodeID, addr string) error {
+	st := g.state(node)
+	st.mu.Lock()
+	st.addr = addr
+	st.mu.Unlock()
+	return g.dialAndInstall(node, addr)
+}
+
+// dialAndInstall performs the dial + hello handshake and wires the peer
+// in; shared by DialPeer and the reconnect supervisor.
+func (g *Gateway) dialAndInstall(node message.NodeID, addr string) error {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return fmt.Errorf("dial peer %s: %w", node, err)
@@ -156,8 +228,7 @@ func (g *Gateway) DialPeer(node message.NodeID, addr string) error {
 		return fmt.Errorf("handshake with %s: %w", node, err)
 	}
 	_ = conn.SetWriteDeadline(time.Time{})
-	g.installPeer(&peerConn{node: node, kind: PeerBroker, conn: conn, enc: enc, timeout: g.cfg.IOTimeout})
-	return nil
+	return g.installPeer(&peerConn{node: node, kind: PeerBroker, conn: conn, enc: enc, timeout: g.cfg.IOTimeout})
 }
 
 // helloMsg encodes the handshake inside a MoveNegotiate frame so that no
@@ -229,7 +300,15 @@ func (g *Gateway) handleInbound(conn net.Conn) {
 	// Steady-state reads are unbounded: idle peers are legal.
 	_ = conn.SetReadDeadline(time.Time{})
 	p := &peerConn{node: hello.Node, kind: hello.Kind, conn: conn, enc: message.NewEncoder(conn), timeout: g.cfg.IOTimeout}
-	g.installPeer(p)
+	if err := g.installPeer(p); err != nil {
+		g.mu.Lock()
+		closed := g.closed
+		g.mu.Unlock()
+		if !closed {
+			g.peerError(p.node, err)
+		}
+		return
+	}
 	g.readLoop(p, dec)
 }
 
@@ -242,8 +321,11 @@ func (g *Gateway) peerError(node message.NodeID, err error) {
 
 // installPeer wires a peer into the local network and starts its read loop
 // for dialled connections (accepted connections continue on the accepting
-// goroutine).
-func (g *Gateway) installPeer(p *peerConn) {
+// goroutine). For reliable broker peers it replays the unacked resend
+// queue on the fresh connection before direct sends resume — on both the
+// dial and the accept side, so an acceptor's unacked frames survive the
+// remote redialling in.
+func (g *Gateway) installPeer(p *peerConn) error {
 	g.mu.Lock()
 	if old, ok := g.peers[p.node]; ok {
 		_ = old.conn.Close()
@@ -253,15 +335,27 @@ func (g *Gateway) installPeer(p *peerConn) {
 
 	switch p.kind {
 	case PeerBroker:
-		// Local sends to the peer's node ID are written to the socket.
-		g.cfg.Net.Register(p.node, func(env message.Envelope) {
+		// Local sends to the peer's node ID are written to the socket. The
+		// handler resolves the current connection at write time, so it
+		// survives a reconnect replacing the peerConn underneath it.
+		node := p.node
+		g.cfg.Net.Register(node, func(env message.Envelope) {
 			defer g.cfg.Net.Done(env.Msg)
-			if err := p.write(env); err != nil {
-				g.dropPeer(p, err)
-			}
+			g.writeToPeer(node, env)
 		})
 		if !g.cfg.Net.HasLink(g.cfg.Local, p.node) {
 			_ = g.cfg.Net.AddLink(g.cfg.Local, p.node, LinkOptions{CountTraffic: true})
+		}
+		if g.cfg.Reliable {
+			if err := g.replayPend(p); err != nil {
+				g.mu.Lock()
+				if g.peers[p.node] == p {
+					delete(g.peers, p.node)
+				}
+				g.mu.Unlock()
+				_ = p.conn.Close()
+				return fmt.Errorf("replay to peer %s: %w", p.node, err)
+			}
 		}
 	case PeerClient:
 		g.cfg.Broker.AttachClient(p.node, func(pub message.Publish) {
@@ -270,17 +364,113 @@ func (g *Gateway) installPeer(p *peerConn) {
 			}
 		})
 	}
+	return nil
+}
+
+// replayPend writes a peer's unacked resend queue to a freshly installed
+// connection in sequence order, then reopens direct sends. The queue stays
+// parked for the duration: a send racing the replay appends to pend and
+// returns, and the loop picks the entry up in its next pass — so a newer
+// frame can never overtake an unacked older one onto the new socket, which
+// would let the remote's cumulative ack trim the older frame unreceived.
+// Frames the remote had already applied are absorbed by its dedup state.
+// On error the queue stays parked and intact for the next connection.
+func (g *Gateway) replayPend(p *peerConn) error {
+	st := g.state(p.node)
+	st.mu.Lock()
+	st.parked = true
+	st.mu.Unlock()
+	tel := g.cfg.Net.Telemetry()
+	var sent uint64
+	for {
+		st.mu.Lock()
+		batch := make([]message.Envelope, 0, len(st.pend))
+		for _, env := range st.pend {
+			if env.Seq > sent {
+				batch = append(batch, env)
+			}
+		}
+		if len(batch) == 0 {
+			st.parked = false
+			st.mu.Unlock()
+			return nil
+		}
+		st.mu.Unlock()
+		for _, env := range batch {
+			tel.Retransmits.Inc()
+			if err := p.write(env); err != nil {
+				return err
+			}
+			sent = env.Seq
+		}
+	}
+}
+
+// writeToPeer sequences (when reliable) and writes one envelope to the
+// peer's current connection. With no live connection — or while a
+// reconnect replay owns the socket — reliable frames stay parked in the
+// resend queue for the replay to deliver in order; best-effort frames are
+// dead-lettered.
+func (g *Gateway) writeToPeer(node message.NodeID, env message.Envelope) {
+	tel := g.cfg.Net.Telemetry()
+	if g.cfg.Reliable && reliableKind(env.Msg.Kind()) {
+		st := g.state(node)
+		st.mu.Lock()
+		st.nextSeq++
+		env.Seq = st.nextSeq
+		st.pend = append(st.pend, env)
+		if limit := g.resendLimit(); len(st.pend) > limit {
+			st.pend = st.pend[1:]
+			tel.DeadLetters.Inc()
+		}
+		parked := st.parked
+		st.mu.Unlock()
+		if parked {
+			return
+		}
+	}
+	g.mu.Lock()
+	p := g.peers[node]
+	g.mu.Unlock()
+	if p == nil {
+		if env.Seq == 0 {
+			tel.DeadLetters.Inc()
+		}
+		return
+	}
+	if err := p.write(env); err != nil {
+		g.dropPeer(p, err)
+	}
+}
+
+// resendLimit returns the configured resend-queue bound.
+func (g *Gateway) resendLimit() int {
+	if g.cfg.ResendQueueLimit > 0 {
+		return g.cfg.ResendQueueLimit
+	}
+	return 1024
 }
 
 // dropPeer removes a failed peer and surfaces the causing error, unless the
 // gateway itself is shutting down (expected teardown errors stay quiet).
+// Dialled broker peers are handed to the auto-reconnect supervisor.
 func (g *Gateway) dropPeer(p *peerConn, err error) {
 	g.mu.Lock()
 	closed := g.closed
-	if g.peers[p.node] == p {
+	current := g.peers[p.node] == p
+	if current {
 		delete(g.peers, p.node)
 	}
 	g.mu.Unlock()
+	if current && p.kind == PeerBroker && g.cfg.Reliable {
+		// Park the resend queue: sends pend until the next connection's
+		// replay. A stale drop (the peer was already replaced by a live
+		// connection) must not park, or the replaced peer would wedge.
+		st := g.state(p.node)
+		st.mu.Lock()
+		st.parked = true
+		st.mu.Unlock()
+	}
 	if !closed {
 		g.peerError(p.node, err)
 	}
@@ -288,15 +478,173 @@ func (g *Gateway) dropPeer(p *peerConn, err error) {
 	if p.kind == PeerClient {
 		g.cfg.Broker.DetachClient(p.node)
 	}
+	if !closed && g.cfg.AutoReconnect && p.kind == PeerBroker {
+		g.superviseReconnect(p.node)
+	}
 }
 
-// readLoop injects inbound envelopes into the local broker.
+// superviseReconnect spawns (once per peer) the redial loop: capped
+// exponential backoff until the peer is re-established, the resend queue
+// replayed, and the read loop restarted — or until the attempt budget is
+// exhausted.
+func (g *Gateway) superviseReconnect(node message.NodeID) {
+	st := g.state(node)
+	st.mu.Lock()
+	if st.addr == "" || st.reconnecting {
+		st.mu.Unlock()
+		return
+	}
+	st.reconnecting = true
+	st.mu.Unlock()
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		defer func() {
+			st.mu.Lock()
+			st.reconnecting = false
+			st.mu.Unlock()
+		}()
+		base, cap := g.cfg.ReconnectBase, g.cfg.ReconnectCap
+		if base <= 0 {
+			base = 50 * time.Millisecond
+		}
+		if cap <= 0 {
+			cap = 2 * time.Second
+		}
+		backoff := base
+		for attempt := 1; ; attempt++ {
+			select {
+			case <-g.stop:
+				return
+			case <-time.After(backoff):
+			}
+			if backoff *= 2; backoff > cap {
+				backoff = cap
+			}
+			err := g.redial(node)
+			if err == nil {
+				g.cfg.Net.Telemetry().Reconnects.Inc()
+				return
+			}
+			if max := g.cfg.ReconnectMaxAttempts; max > 0 && attempt >= max {
+				g.abandonPeer(node, err)
+				return
+			}
+		}
+	}()
+}
+
+// redial re-establishes one peer; dialAndInstall's install replays the
+// unacked resend queue before direct sends resume.
+func (g *Gateway) redial(node message.NodeID) error {
+	st := g.state(node)
+	st.mu.Lock()
+	addr := st.addr
+	st.mu.Unlock()
+	if err := g.dialAndInstall(node, addr); err != nil {
+		return err
+	}
+	return g.StartPeerReader(node)
+}
+
+// abandonPeer gives up on a peer after the reconnect budget is spent: the
+// resend queue is drained to the dead-letter counter and the failure is
+// surfaced once more.
+func (g *Gateway) abandonPeer(node message.NodeID, err error) {
+	st := g.state(node)
+	st.mu.Lock()
+	n := len(st.pend)
+	st.pend = nil
+	st.mu.Unlock()
+	if n > 0 {
+		g.cfg.Net.Telemetry().DeadLetters.Add(int64(n))
+	}
+	g.peerError(node, fmt.Errorf("reconnect abandoned, %d unacked frames dead-lettered: %w", n, err))
+}
+
+// readLoop injects inbound envelopes into the local broker, consuming the
+// reliability layer's frames on the way: acks trim the resend queue, and
+// sequenced envelopes are acknowledged and deduplicated (a replay after
+// reconnect re-delivers a prefix the remote never saw acked).
 func (g *Gateway) readLoop(p *peerConn, dec *message.Decoder) {
+	tel := g.cfg.Net.Telemetry()
 	for {
 		env, err := dec.Decode()
 		if err != nil {
 			g.dropPeer(p, fmt.Errorf("read from peer %s: %w", p.node, err))
 			return
+		}
+		if ack, ok := env.Msg.(message.LinkAck); ok {
+			st := g.state(p.node)
+			st.mu.Lock()
+			i := 0
+			for i < len(st.pend) && st.pend[i].Seq <= ack.Cum {
+				i++
+			}
+			st.pend = st.pend[i:]
+			st.mu.Unlock()
+			continue
+		}
+		if env.Seq > 0 {
+			st := g.state(p.node)
+			st.mu.Lock()
+			dup := env.Seq <= st.lastRecv || st.recvAhead[env.Seq]
+			if !dup {
+				if env.Seq == st.lastRecv+1 {
+					st.lastRecv++
+					for st.recvAhead[st.lastRecv+1] {
+						delete(st.recvAhead, st.lastRecv+1)
+						st.lastRecv++
+					}
+				} else {
+					// Gap: remember the seq for dedup but inject it now —
+					// the broker tolerates reordered control traffic, and
+					// holding delivery back would wedge it if the gap frame
+					// was dead-lettered at the sender. The cumulative ack
+					// stays at the contiguous point, so the sender keeps
+					// the gap frames queued for the next replay.
+					if st.recvAhead == nil {
+						st.recvAhead = make(map[uint64]bool)
+					}
+					st.recvAhead[env.Seq] = true
+					if len(st.recvAhead) > g.resendLimit() {
+						// A gap this old cannot fill anymore: the sender's
+						// bounded queue has dead-lettered it. Abandon the
+						// gap so the dedup window stays bounded.
+						lo := env.Seq
+						for s := range st.recvAhead {
+							if s < lo {
+								lo = s
+							}
+						}
+						st.lastRecv = lo
+						delete(st.recvAhead, lo)
+						for st.recvAhead[st.lastRecv+1] {
+							delete(st.recvAhead, st.lastRecv+1)
+							st.lastRecv++
+						}
+					}
+				}
+			}
+			cum := st.lastRecv
+			st.mu.Unlock()
+			if dup {
+				tel.DupesDropped.Inc()
+			} else {
+				// Inject before acking: the dedup state above already
+				// records this seq as received, so bailing out on a failed
+				// ack write before the inject would lose the frame for
+				// good — the sender's replay would be dropped as a
+				// duplicate. An ack that dies with the connection only
+				// costs a retransmission, which dedup absorbs.
+				g.cfg.Broker.InjectRemote(p.node, env.Msg, env.Lamport)
+			}
+			tel.Acks.Inc()
+			if werr := p.write(message.Envelope{From: g.cfg.Local, Msg: message.LinkAck{Cum: cum}}); werr != nil {
+				g.dropPeer(p, werr)
+				return
+			}
+			continue
 		}
 		// The remote sender is the last hop, regardless of what the
 		// envelope claims.

@@ -31,6 +31,9 @@ var (
 	ErrNoLink      = errors.New("no link between nodes")
 	ErrClosed      = errors.New("network is closed")
 	ErrDupLink     = errors.New("link already exists")
+	// ErrLinkDown reports a send on a reliable link whose circuit breaker
+	// is open: the message was dead-lettered, not queued.
+	ErrLinkDown = errors.New("link is down")
 )
 
 // Handler consumes inbound envelopes. Handlers must not block for long; a
@@ -51,14 +54,32 @@ type LinkOptions struct {
 	// to broker overlay links set this; client access links do not, to
 	// match the paper's definition of network traffic.
 	CountTraffic bool
+	// Reliable arms the link's ack/retransmit layer: control-plane traffic
+	// (everything except publications) is sequenced, retransmitted with
+	// exponential backoff until cumulatively acknowledged, deduplicated and
+	// resequenced at the receiver, and dead-lettered once the per-link
+	// circuit breaker opens. Publications stay best-effort; the client
+	// stub's duplicate suppression covers them end to end.
+	Reliable bool
+	// Faults seeds the link's fault injector with drop/duplicate/reorder
+	// probabilities applied to every frame entering the link (including
+	// retransmissions and acks). Mutable at runtime via Network.SetFaults.
+	Faults FaultProfile
+	// Retransmit tunes the reliability layer; zero fields take defaults.
+	// Ignored unless Reliable is set.
+	Retransmit RetransmitOptions
 }
 
 // Network is an in-process transport connecting registered nodes through
 // latency-imposing FIFO links.
 type Network struct {
 	reg    *metrics.Registry
+	tel    *telemetry.TransportMetrics
 	tracer atomic.Pointer[telemetry.TraceStore]
 	jnl    atomic.Pointer[journal.Journal]
+	// linkState is invoked (outside all transport locks) when a reliable
+	// link's circuit breaker opens or closes.
+	linkState atomic.Pointer[LinkStateFunc]
 
 	mu     sync.Mutex
 	nodes  map[message.NodeID]Handler
@@ -66,6 +87,11 @@ type Network struct {
 	closed bool
 	wg     sync.WaitGroup
 }
+
+// LinkStateFunc observes circuit-breaker transitions of reliable links.
+// It runs on the goroutine that detected the transition and must not call
+// back into the Network synchronously with blocking work.
+type LinkStateFunc func(from, to message.NodeID, up bool)
 
 type linkID struct {
 	from message.NodeID
@@ -76,6 +102,7 @@ type linkID struct {
 func NewNetwork(reg *metrics.Registry) *Network {
 	return &Network{
 		reg:   reg,
+		tel:   &telemetry.TransportMetrics{},
 		nodes: make(map[message.NodeID]Handler),
 		links: make(map[linkID]*link),
 	}
@@ -83,6 +110,28 @@ func NewNetwork(reg *metrics.Registry) *Network {
 
 // Registry returns the metrics registry the network reports into.
 func (n *Network) Registry() *metrics.Registry { return n.reg }
+
+// Telemetry returns the transport's reliability instruments (retransmits,
+// dedup drops, dead letters, injected faults, link-state gauges).
+func (n *Network) Telemetry() *telemetry.TransportMetrics { return n.tel }
+
+// SetLinkStateHandler installs the circuit-breaker observer (nil removes
+// it). Safe while the network is running.
+func (n *Network) SetLinkStateHandler(fn LinkStateFunc) {
+	if fn == nil {
+		n.linkState.Store(nil)
+		return
+	}
+	n.linkState.Store(&fn)
+}
+
+// notifyLinkState fires the installed observer, if any. Never called with
+// a transport lock held.
+func (n *Network) notifyLinkState(from, to message.NodeID, up bool) {
+	if fn := n.linkState.Load(); fn != nil {
+		(*fn)(from, to, up)
+	}
+}
 
 // SetTracer enables hop-by-hop message tracing: every Send records a hop in
 // the store and stamps the envelope with the message's trace identity.
@@ -164,14 +213,19 @@ func (n *Network) Send(from, to message.NodeID, msg message.Message) error {
 	if err != nil {
 		return err
 	}
-	l.enqueue(n.prepareSend(l, from, to, msg))
+	if l.rel != nil && reliableKind(msg.Kind()) {
+		return n.sendReliable(l, msg)
+	}
+	l.enqueue(n.prepareSend(l, from, to, msg, 1), true, 0)
 	return nil
 }
 
 // SendBatch transmits a run of messages over the direct link from->to as
 // one enqueue: the batch claims consecutive positions in the link's FIFO
 // queue under a single lock acquisition, so no other sender can interleave
-// within it. Used by the broker's egress flushers.
+// within it. Used by the broker's egress flushers. On a reliable link the
+// control-plane messages of the batch take the sequenced path instead; the
+// receive-side resequencer restores their order.
 func (n *Network) SendBatch(from, to message.NodeID, msgs []message.Message) error {
 	if len(msgs) == 0 {
 		return nil
@@ -180,11 +234,54 @@ func (n *Network) SendBatch(from, to message.NodeID, msgs []message.Message) err
 	if err != nil {
 		return err
 	}
+	if l.rel != nil {
+		// Control-plane messages take the sequenced path as one run,
+		// publications stay best-effort. The two classes have no
+		// cross-ordering guarantee on a reliable link anyway — the
+		// receive-side resequencer restores control-plane order. Batches
+		// are almost always homogeneous (a flusher's run of forwards or a
+		// run of publications), so only a mixed batch pays for the split.
+		nRel := 0
+		for _, msg := range msgs {
+			if reliableKind(msg.Kind()) {
+				nRel++
+			}
+		}
+		if nRel == len(msgs) {
+			return n.sendReliableBatch(l, msgs)
+		}
+		var rel, best []message.Message
+		if nRel > 0 {
+			rel = make([]message.Message, 0, nRel)
+			best = make([]message.Message, 0, len(msgs)-nRel)
+			for _, msg := range msgs {
+				if reliableKind(msg.Kind()) {
+					rel = append(rel, msg)
+				} else {
+					best = append(best, msg)
+				}
+			}
+		} else {
+			best = msgs
+		}
+		var firstErr error
+		if len(rel) > 0 {
+			firstErr = n.sendReliableBatch(l, rel)
+		}
+		if len(best) > 0 {
+			envs := make([]message.Envelope, len(best))
+			for i, msg := range best {
+				envs[i] = n.prepareSend(l, from, to, msg, 1)
+			}
+			l.enqueueBatch(envs, 0)
+		}
+		return firstErr
+	}
 	envs := make([]message.Envelope, len(msgs))
 	for i, msg := range msgs {
-		envs[i] = n.prepareSend(l, from, to, msg)
+		envs[i] = n.prepareSend(l, from, to, msg, 1)
 	}
-	l.enqueueBatch(envs)
+	l.enqueueBatch(envs, 0)
 	return nil
 }
 
@@ -205,8 +302,10 @@ func (n *Network) lookupLink(from, to message.NodeID) (*link, error) {
 
 // prepareSend performs the per-message send bookkeeping — traffic matrix,
 // trace hop, journal stamp, in-flight accounting — and returns the envelope
-// ready for link enqueue.
-func (n *Network) prepareSend(l *link, from, to message.NodeID, msg message.Message) message.Envelope {
+// ready for link enqueue. tokens is the number of in-flight tokens to take
+// in the one registry operation: 1 for a best-effort wire copy, 2 when a
+// resend-queue entry accompanies it.
+func (n *Network) prepareSend(l *link, from, to message.NodeID, msg message.Message, tokens int) message.Envelope {
 	if l.opts.CountTraffic {
 		n.reg.CountSend(from, to, msg.Kind())
 	}
@@ -223,7 +322,11 @@ func (n *Network) prepareSend(l *link, from, to message.NodeID, msg message.Mess
 			From: string(from), To: string(to), Detail: msg.Kind().String(),
 		})
 	}
-	n.reg.MsgEnqueued(msg)
+	if tokens == 1 {
+		n.reg.MsgEnqueued(msg)
+	} else {
+		n.reg.MsgEnqueuedN(msg, tokens)
+	}
 	return env
 }
 
@@ -254,14 +357,33 @@ func (n *Network) Close() {
 	n.wg.Wait()
 }
 
-// deliver hands an envelope to the destination handler if it is still
-// registered; otherwise the message is dropped and its accounting freed.
-func (n *Network) deliver(to message.NodeID, env message.Envelope) {
+// deliver routes one frame popped off a link queue: transport-internal
+// acks are consumed here, sequenced frames go through the reliability
+// layer's dedup/resequencer, and everything else lands on the destination
+// handler directly.
+func (n *Network) deliver(l *link, te timedEnvelope) {
+	if ack, ok := te.env.Msg.(message.LinkAck); ok {
+		n.handleAck(l, ack)
+		return
+	}
+	if l.rel != nil && te.env.Seq > 0 {
+		n.deliverReliable(l, te)
+		return
+	}
+	n.deliverDirect(l.to, te.env, te.counted)
+}
+
+// deliverDirect hands an envelope to the destination handler if it is
+// still registered; otherwise the message is dropped and its accounting
+// freed.
+func (n *Network) deliverDirect(to message.NodeID, env message.Envelope, counted bool) {
 	n.mu.Lock()
 	h, ok := n.nodes[to]
 	n.mu.Unlock()
 	if !ok {
-		n.reg.MsgDone(env.Msg)
+		if counted {
+			n.reg.MsgDone(env.Msg)
+		}
 		return
 	}
 	if j := n.jnl.Load(); j != nil {
@@ -298,34 +420,65 @@ func (r *lockedRand) Int63n(n int64) int64 {
 	return r.rng.Int63n(n)
 }
 
+// Float64 returns a uniform random float64 in [0, 1).
+func (r *lockedRand) Float64() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rng.Float64()
+}
+
 // link is one direction of a connection: an unbounded FIFO queue drained by
-// a dedicated goroutine that enforces per-message delivery times.
+// a dedicated goroutine that enforces per-message delivery times. Fault
+// injection (drop/duplicate/reorder/partition) runs at enqueue time; the
+// optional reliability layer (rel) wraps control-plane traffic in a
+// sequenced ack/retransmit protocol on top of the lossy queue.
 type link struct {
 	net  *Network
+	from message.NodeID
 	to   message.NodeID
 	opts LinkOptions
 	rng  *lockedRand
+	rel  *relState // nil on best-effort links
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	queue   []timedEnvelope
-	lastAt  time.Time
-	stopped bool
+	mu          sync.Mutex
+	cond        *sync.Cond
+	queue       []timedEnvelope
+	lastAt      time.Time
+	stopped     bool
+	faults      FaultProfile
+	faultRng    *lockedRand
+	partitioned bool
 }
 
 type timedEnvelope struct {
 	env       message.Envelope
 	deliverAt time.Time
+	// counted marks frames carrying an in-flight registry token;
+	// transport-internal acks travel uncounted.
+	counted bool
+	// epoch invalidates sequenced frames that were in flight across a
+	// circuit-breaker reset.
+	epoch uint64
 }
 
 func (n *Network) newLink(from, to message.NodeID, opts LinkOptions) *link {
 	l := &link{
 		net:  n,
+		from: from,
 		to:   to,
 		opts: opts,
 		rng:  newLockedRand(opts.Seed ^ int64(hashNodes(from, to))),
 	}
 	l.cond = sync.NewCond(&l.mu)
+	if opts.Faults.active() {
+		l.faults = opts.Faults
+		l.faultRng = newLockedRand(opts.Faults.Seed ^ int64(hashNodes(from, to)))
+	}
+	if opts.Reliable {
+		l.rel = newRelState(opts.Retransmit, opts.Seed^int64(hashNodes(to, from)))
+		n.wg.Add(1)
+		go l.retransmitLoop()
+	}
 	n.wg.Add(1)
 	go l.run()
 	return l
@@ -345,21 +498,24 @@ func hashNodes(a, b message.NodeID) uint64 {
 	return h
 }
 
-func (l *link) enqueue(env message.Envelope) {
+func (l *link) enqueue(env message.Envelope, counted bool, epoch uint64) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.stopped {
-		l.net.reg.MsgDone(env.Msg)
+		if counted {
+			l.net.reg.MsgDone(env.Msg)
+		}
 		return
 	}
-	l.queueLocked(env)
-	l.cond.Signal()
+	if l.admitLocked(env, counted, epoch) {
+		l.cond.Signal()
+	}
 }
 
 // enqueueBatch appends a run of envelopes as one atomic FIFO segment: the
 // lock is held across the whole batch, so concurrent senders cannot
-// interleave inside it.
-func (l *link) enqueueBatch(envs []message.Envelope) {
+// interleave inside it. epoch stamps every frame (0 on best-effort links).
+func (l *link) enqueueBatch(envs []message.Envelope, epoch uint64) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.stopped {
@@ -369,14 +525,75 @@ func (l *link) enqueueBatch(envs []message.Envelope) {
 		return
 	}
 	for _, env := range envs {
-		l.queueLocked(env)
+		l.admitLocked(env, true, epoch)
 	}
 	l.cond.Signal()
 }
 
+// admitLocked runs the fault injector on one frame and appends the
+// survivors (possibly twice, for a duplication fault) to the queue. It
+// reports whether anything was queued. Caller holds l.mu.
+func (l *link) admitLocked(env message.Envelope, counted bool, epoch uint64) bool {
+	if l.partitioned {
+		if counted {
+			l.net.reg.MsgDone(env.Msg)
+		}
+		l.net.tel.InjectedDrops.Inc()
+		return false
+	}
+	f := l.faults
+	if f.active() && l.faultRng != nil {
+		if f.Drop > 0 && l.faultRng.Float64() < f.Drop {
+			if counted {
+				l.net.reg.MsgDone(env.Msg)
+			}
+			l.net.tel.InjectedDrops.Inc()
+			return false
+		}
+		l.queueLocked(env, counted, epoch)
+		if f.Dup > 0 && l.faultRng.Float64() < f.Dup {
+			if counted {
+				l.net.reg.MsgEnqueued(env.Msg)
+			}
+			l.queueLocked(env, counted, epoch)
+			l.net.tel.InjectedDups.Inc()
+		}
+		if f.Reorder > 0 && len(l.queue) >= 2 && l.faultRng.Float64() < f.Reorder {
+			n := len(l.queue)
+			l.queue[n-2], l.queue[n-1] = l.queue[n-1], l.queue[n-2]
+			l.net.tel.InjectedReorders.Inc()
+		}
+		return true
+	}
+	l.queueLocked(env, counted, epoch)
+	return true
+}
+
+// admitAck runs the fault injector for one transport-internal ack frame:
+// partition and drop apply exactly as for data frames, while duplication
+// and reordering are no-ops on an idempotent cumulative ack. It reports
+// whether the ack survives the wire.
+func (l *link) admitAck() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.stopped {
+		return false
+	}
+	if l.partitioned {
+		l.net.tel.InjectedDrops.Inc()
+		return false
+	}
+	f := l.faults
+	if f.Drop > 0 && l.faultRng != nil && l.faultRng.Float64() < f.Drop {
+		l.net.tel.InjectedDrops.Inc()
+		return false
+	}
+	return true
+}
+
 // queueLocked stamps one envelope's delivery time and appends it. Caller
 // holds l.mu.
-func (l *link) queueLocked(env message.Envelope) {
+func (l *link) queueLocked(env message.Envelope, counted bool, epoch uint64) {
 	delay := l.opts.Latency
 	if l.opts.Jitter > 0 {
 		delay += time.Duration(l.rng.Int63n(int64(l.opts.Jitter)))
@@ -387,7 +604,7 @@ func (l *link) queueLocked(env message.Envelope) {
 		at = l.lastAt
 	}
 	l.lastAt = at
-	l.queue = append(l.queue, timedEnvelope{env: env, deliverAt: at})
+	l.queue = append(l.queue, timedEnvelope{env: env, deliverAt: at, counted: counted, epoch: epoch})
 }
 
 func (l *link) stop() {
@@ -395,11 +612,16 @@ func (l *link) stop() {
 	l.stopped = true
 	// Release accounting for anything still queued.
 	for _, te := range l.queue {
-		l.net.reg.MsgDone(te.env.Msg)
+		if te.counted {
+			l.net.reg.MsgDone(te.env.Msg)
+		}
 	}
 	l.queue = nil
 	l.cond.Signal()
 	l.mu.Unlock()
+	if l.rel != nil {
+		l.rel.shutdown(l.net)
+	}
 }
 
 func (l *link) run() {
@@ -420,6 +642,6 @@ func (l *link) run() {
 		if d := time.Until(te.deliverAt); d > 0 {
 			time.Sleep(d)
 		}
-		l.net.deliver(l.to, te.env)
+		l.net.deliver(l, te)
 	}
 }

@@ -27,11 +27,20 @@ RELIABILITY_TIME  ?= 262144x
 RELIABILITY_OUT   ?= BENCH_reliability.json
 
 # Chaos-soak knobs: a fixed seed keeps the loss/dup/reorder/partition and
-# crash schedules reproducible run to run.
+# crash schedules reproducible run to run. CHAOS_DATA is the broker
+# durable-store root for the recovery soak (wiped at the start of each run).
 CHAOS_SEED  ?= 7
 CHAOS_MOVES ?= 200
+CHAOS_DATA  ?= /tmp/padres-chaos-data
 
-.PHONY: all vet build test race ci bench bench-dispatch bench-reliability audit chaos
+# WAL-overhead knobs: the benchmark interleaves durable and in-memory
+# dispatch testbeds; benchjson takes the median over WAL_COUNT runs before
+# judging the 5% group-commit overhead budget.
+WAL_COUNT ?= 7
+WAL_TIME  ?= 20000x
+WAL_OUT   ?= BENCH_wal.json
+
+.PHONY: all vet build test race ci bench bench-dispatch bench-reliability bench-wal audit chaos chaos-recovery
 
 all: ci
 
@@ -82,6 +91,17 @@ bench-reliability:
 	$(GO) run ./cmd/benchjson -require-reliability -out $(RELIABILITY_OUT) bench-reliability.out.txt
 	@echo "wrote $(RELIABILITY_OUT)"
 
+# bench-wal measures what enabling the write-ahead log costs the broker's
+# publication dispatch path under a realistic routing-churn mix and emits
+# $(WAL_OUT); benchjson exits non-zero when the median overhead exceeds the
+# 5% budget or the benchmark is missing.
+bench-wal:
+	$(GO) test ./internal/broker/ -run '^$$' -bench '^BenchmarkWALOverhead$$' \
+		-benchtime $(WAL_TIME) -count $(WAL_COUNT) \
+		| tee bench-wal.out.txt
+	$(GO) run ./cmd/benchjson -require-wal -out $(WAL_OUT) bench-wal.out.txt
+	@echo "wrote $(WAL_OUT)"
+
 # chaos runs the seeded soak: CHAOS_MOVES movement transactions under
 # randomized loss/duplication/reordering/partitions plus broker crash and
 # freeze schedules, with the race detector on. The journal is replayed
@@ -90,6 +110,15 @@ bench-reliability:
 # abort atomicity).
 chaos:
 	$(GO) run -race ./cmd/experiments -chaos -seed $(CHAOS_SEED) -moves $(CHAOS_MOVES)
+
+# chaos-recovery is the durability gate: the same seeded soak, but every
+# broker persists to a write-ahead log + snapshots under $(CHAOS_DATA), the
+# crash schedule also hits backbone brokers mid-movement, and each crashed
+# broker restarts from its own disk state — recovering routing tables and
+# resolving in-doubt movement transactions via the recovery query protocol.
+# The audit holds restarted sites to the full convergence properties.
+chaos-recovery:
+	$(GO) run -race ./cmd/experiments -chaos -seed $(CHAOS_SEED) -moves $(CHAOS_MOVES) -data-dir $(CHAOS_DATA)
 
 # audit records a mobility experiment to a JSONL journal, then replays it
 # through the offline auditor; padres-audit exits non-zero on any

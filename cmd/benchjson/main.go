@@ -12,8 +12,10 @@
 // and `make bench-reliability` fail loudly instead of publishing a
 // regression. With -require-scaling it also exits 2 unless the
 // BenchmarkDispatchScaling workers=1/workers=4 pair is present and shows
-// at least the required pipeline speedup, and with -require-reliability
-// unless the reliability benchmark is present and within budget.
+// at least the required pipeline speedup, with -require-reliability
+// unless the reliability benchmark is present and within budget, and with
+// -require-wal unless BenchmarkWALOverhead is present and its durable
+// dispatch overhead is within the same budget.
 package main
 
 import (
@@ -60,9 +62,11 @@ type report struct {
 	JournalOverhead     *overhead    `json:"journal_overhead,omitempty"`
 	DispatchScaling     *scaling     `json:"dispatch_scaling,omitempty"`
 	ReliabilityOverhead *reliability `json:"reliability_overhead,omitempty"`
+	WALOverhead         *reliability `json:"wal_overhead,omitempty"`
 }
 
-// reliability is the transport comparison emitted by
+// reliability is an off/on mode comparison against the shared 5% budget.
+// It serves both gates: the transport comparison emitted by
 // BenchmarkReliabilityOverhead: the cost of the ack/retransmit layer on a
 // loss-free link, reported against its 5% dispatch-overhead budget. Each
 // -count run already reports noise-trimmed per-mode figures (interquartile
@@ -101,14 +105,16 @@ func main() {
 		"exit 2 unless the dispatch-scaling pair is present and meets the speedup target")
 	requireReliability := flag.Bool("require-reliability", false,
 		"exit 2 unless the reliability-overhead benchmark is present and within budget")
+	requireWAL := flag.Bool("require-wal", false,
+		"exit 2 unless the WAL-overhead benchmark is present and within budget")
 	flag.Parse()
-	if err := run(*out, *requireScaling, *requireReliability, flag.Args()); err != nil {
+	if err := run(*out, *requireScaling, *requireReliability, *requireWAL, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out string, requireScaling, requireReliability bool, args []string) error {
+func run(out string, requireScaling, requireReliability, requireWAL bool, args []string) error {
 	var in io.Reader = os.Stdin
 	if len(args) > 0 {
 		f, err := os.Open(args[0])
@@ -153,6 +159,17 @@ func run(out string, requireScaling, requireReliability bool, args []string) err
 		if !r.WithinBudget {
 			os.Exit(2)
 		}
+	}
+	if w := rep.WALOverhead; w != nil {
+		fmt.Fprintf(os.Stderr, "WAL dispatch overhead: %.2f%% over %d runs (budget %.0f%%)\n",
+			w.OverheadPct, w.Runs, w.BudgetPct)
+		if !w.WithinBudget {
+			os.Exit(2)
+		}
+	}
+	if requireWAL && rep.WALOverhead == nil {
+		fmt.Fprintln(os.Stderr, "benchjson: -require-wal set but BenchmarkWALOverhead not found")
+		os.Exit(2)
 	}
 	if requireReliability && rep.ReliabilityOverhead == nil {
 		fmt.Fprintln(os.Stderr, "benchjson: -require-reliability set but BenchmarkReliabilityOverhead not found")
@@ -252,22 +269,8 @@ func parse(in io.Reader) (*report, error) {
 		}
 	}
 
-	if rel := byName["BenchmarkReliabilityOverhead"]; rel != nil && rel.custom != nil {
-		off := median(rel.custom["off-ns/op"])
-		on := median(rel.custom["on-ns/op"])
-		pcts := rel.custom["overhead-pct"]
-		if off > 0 && on > 0 && len(pcts) > 0 {
-			pct := median(pcts)
-			rep.ReliabilityOverhead = &reliability{
-				Runs:         len(pcts),
-				OffNsPerOp:   off,
-				OnNsPerOp:    on,
-				OverheadPct:  pct,
-				BudgetPct:    overheadBudgetPct,
-				WithinBudget: pct <= overheadBudgetPct,
-			}
-		}
-	}
+	rep.ReliabilityOverhead = modePair(byName["BenchmarkReliabilityOverhead"])
+	rep.WALOverhead = modePair(byName["BenchmarkWALOverhead"])
 
 	serial := byName["BenchmarkDispatchScaling/workers=1"]
 	par := byName["BenchmarkDispatchScaling/workers=4"]
@@ -282,6 +285,31 @@ func parse(in io.Reader) (*report, error) {
 		}
 	}
 	return rep, nil
+}
+
+// modePair aggregates an off/on comparison benchmark (reliability, WAL):
+// per-run custom metrics are medianed across -count runs so a run that
+// caught a machine-load spike cannot decide the verdict. Nil when the
+// benchmark or its metrics are absent.
+func modePair(r *result) *reliability {
+	if r == nil || r.custom == nil {
+		return nil
+	}
+	off := median(r.custom["off-ns/op"])
+	on := median(r.custom["on-ns/op"])
+	pcts := r.custom["overhead-pct"]
+	if off <= 0 || on <= 0 || len(pcts) == 0 {
+		return nil
+	}
+	pct := median(pcts)
+	return &reliability{
+		Runs:         len(pcts),
+		OffNsPerOp:   off,
+		OnNsPerOp:    on,
+		OverheadPct:  pct,
+		BudgetPct:    overheadBudgetPct,
+		WithinBudget: pct <= overheadBudgetPct,
+	}
 }
 
 // median returns the middle value of the samples (mean of the central two

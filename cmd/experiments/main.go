@@ -70,12 +70,13 @@ func run(args []string) error {
 		auditRun = fs.Bool("audit", false, "audit the recorded journal after the run (requires -journal or implies in-memory)")
 		chaosRun = fs.Bool("chaos", false, "run the seeded chaos soak (reliable links under loss/dup/reorder/partition/crash) instead of a figure")
 		moves    = fs.Int("moves", 200, "chaos: number of movement transactions to drive")
+		chaosDir = fs.String("data-dir", "", "chaos: broker durable-store root; arms crash→restart recovery (crashed brokers rebuild routing state from snapshot+WAL and resolve in-doubt movements)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *chaosRun {
-		return runChaos(*seed, *moves, *jnlPath)
+		return runChaos(*seed, *moves, *jnlPath, *chaosDir)
 	}
 
 	var s experiment.Scale
@@ -146,8 +147,10 @@ func run(args []string) error {
 
 // runChaos drives the seeded chaos soak and gates on the audit verdict:
 // exit status 0 only when every movement resolved legally and the journal
-// replay found zero violations.
-func runChaos(seed int64, moves int, jnlPath string) error {
+// replay found zero violations. A data dir arms crash→restart recovery;
+// the dir is wiped first so stale broker state from an earlier run cannot
+// leak into this one's recovery.
+func runChaos(seed int64, moves int, jnlPath, dataDir string) error {
 	var jnl *journal.Journal
 	if jnlPath != "" {
 		jnl = journal.New(1 << 18)
@@ -155,10 +158,19 @@ func runChaos(seed int64, moves int, jnlPath string) error {
 			return fmt.Errorf("journal: %w", err)
 		}
 	}
+	if dataDir != "" {
+		if err := os.RemoveAll(dataDir); err != nil {
+			return fmt.Errorf("data dir: %w", err)
+		}
+		if err := os.MkdirAll(dataDir, 0o755); err != nil {
+			return fmt.Errorf("data dir: %w", err)
+		}
+	}
 	res, err := chaos.Run(chaos.Options{
 		Seed:    seed,
 		Moves:   moves,
 		Journal: jnl,
+		DataDir: dataDir,
 		Logf: func(format string, args ...any) {
 			fmt.Printf("  "+format+"\n", args...)
 		},

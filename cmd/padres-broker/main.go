@@ -47,7 +47,14 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+func run(args []string) error { return runUntil(args, nil) }
+
+// runUntil is run's testable core: the broker serves until stop is closed
+// (nil installs the usual SIGINT/SIGTERM handler). Shutdown is ordered so
+// every durable sink flushes: the gateway stops feeding the broker, the
+// broker drains and closes its write-ahead log, then the journal sink and
+// the rest close (deferred in reverse).
+func runUntil(args []string, stop <-chan struct{}) error {
 	fs := flag.NewFlagSet("padres-broker", flag.ContinueOnError)
 	var (
 		id       = fs.String("id", "", "broker ID, e.g. b1 (required)")
@@ -59,6 +66,9 @@ func run(args []string) error {
 		statsSec = fs.Duration("stats", 30*time.Second, "traffic stats reporting interval (0 disables)")
 		metAddr  = fs.String("metrics-addr", "", "HTTP observability listen address, e.g. :9090 (empty disables)")
 		jnlSpec  = fs.String("journal", "", "flight-recorder output: a JSONL path, or 'mem' for the /journal endpoint only")
+		dataDir  = fs.String("data-dir", "", "durable state directory: write-ahead log + snapshots; restart recovers from it (empty = in-memory only)")
+		reliable = fs.Bool("reliable", true, "ack/retransmit and auto-reconnect on broker peer links (a restarted peer is redialled and unacked frames replayed)")
+		snapEach = fs.Int("snapshot-every", 0, "checkpoint cadence in WAL records (0 = default, negative disables)")
 		logSpec  = fs.String("log", "info", "log levels: default[,component=level...], e.g. info,broker=debug")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -87,16 +97,6 @@ func run(args []string) error {
 
 	reg := metrics.NewRegistry()
 	net := transport.NewNetwork(reg)
-	b := broker.New(broker.Config{
-		ID:          self,
-		Net:         net,
-		Neighbors:   top.Neighbors(self),
-		NextHops:    hops,
-		Covering:    *covering,
-		ServiceTime: *service,
-	})
-	b.Start()
-	defer b.Stop()
 	defer net.Close()
 
 	var jnl *journal.Journal
@@ -108,6 +108,8 @@ func run(args []string) error {
 			if err := jnl.SinkTo(*jnlSpec); err != nil {
 				return fmt.Errorf("journal: %w", err)
 			}
+			// Registered before the broker's Stop so it runs after it:
+			// the broker's shutdown records reach the file.
 			defer func() {
 				if err := jnl.CloseSink(); err != nil {
 					log.Warn("journal close", "err", err)
@@ -118,7 +120,30 @@ func run(args []string) error {
 		net.SetJournal(jnl)
 	}
 
+	b, err := broker.New(broker.Config{
+		ID:            self,
+		Net:           net,
+		Neighbors:     top.Neighbors(self),
+		NextHops:      hops,
+		Covering:      *covering,
+		ServiceTime:   *service,
+		DataDir:       *dataDir,
+		SnapshotEvery: *snapEach,
+	})
+	if err != nil {
+		return err
+	}
+	if st := b.DurableStore(); st != nil {
+		rec := st.Recovery()
+		log.Info("durable store recovered", "dir", st.Dir(), "gen", rec.Gen,
+			"snapshot", rec.SnapshotLoaded, "wal_records", rec.WALRecords,
+			"truncated_bytes", rec.TruncatedBytes, "took", rec.Duration)
+	}
+	b.Start()
+	defer b.Stop()
+
 	tel := buildTelemetry(self, b, net, reg)
+	tel.RegisterStore(self, b.StoreMetrics())
 	tel.SetJournal(jnl)
 	if *metAddr != "" {
 		srv, err := tel.Serve(*metAddr)
@@ -130,10 +155,15 @@ func run(args []string) error {
 	}
 
 	gw, err := transport.NewGateway(transport.GatewayConfig{
-		Net:    net,
-		Local:  self.Node(),
-		Broker: b,
-		Listen: *listen,
+		Net:           net,
+		Local:         self.Node(),
+		Broker:        b,
+		Listen:        *listen,
+		Reliable:      *reliable,
+		AutoReconnect: *reliable,
+		OnPeerError: func(node message.NodeID, err error) {
+			log.Warn("peer link error", "peer", string(node), "err", err)
+		},
 	})
 	if err != nil {
 		return err
@@ -170,9 +200,13 @@ func run(args []string) error {
 		}()
 	}
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
+	if stop != nil {
+		<-stop
+	} else {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+	}
 	log.Info("shutting down", "broker", string(self))
 	return nil
 }

@@ -4,6 +4,8 @@ import (
 	"context"
 	"io"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -12,6 +14,7 @@ import (
 	"padres/internal/message"
 	"padres/internal/metrics"
 	"padres/internal/predicate"
+	"padres/internal/store"
 	"padres/internal/transport"
 )
 
@@ -74,12 +77,15 @@ func TestBuildTelemetryWiring(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	b := broker.New(broker.Config{
+	b, err := broker.New(broker.Config{
 		ID:        "b1",
 		Net:       net,
 		Neighbors: top.Neighbors("b1"),
 		NextHops:  hops,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	b.Start()
 	defer b.Stop()
 
@@ -125,6 +131,61 @@ func TestBuildTelemetryWiring(t *testing.T) {
 	}
 }
 
+// TestGracefulShutdownFlushesDurableSinks drives the real signal path:
+// runUntil with -journal and -data-dir, stopped via the stop channel. The
+// ordered shutdown must leave both durable sinks complete — the journal
+// JSONL holds the run-config record, and the broker's store reopens with
+// zero truncated bytes.
+func TestGracefulShutdownFlushesDurableSinks(t *testing.T) {
+	tmp := t.TempDir()
+	jnlPath := filepath.Join(tmp, "run.jsonl")
+	dataDir := filepath.Join(tmp, "b1")
+
+	stop := make(chan struct{})
+	errc := make(chan error, 1)
+	go func() {
+		errc <- runUntil([]string{
+			"-id", "b1", "-topology", "b1-b2", "-listen", "127.0.0.1:0",
+			"-stats", "0", "-journal", jnlPath, "-data-dir", dataDir,
+		}, stop)
+	}()
+
+	// The WAL file appears once the store is open; wait for it so we stop a
+	// fully started broker rather than racing its bring-up.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := os.Stat(filepath.Join(dataDir, "wal-0.log")); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			close(stop)
+			t.Fatalf("broker never created its WAL (runUntil: %v)", <-errc)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	close(stop)
+	if err := <-errc; err != nil {
+		t.Fatalf("runUntil returned %v", err)
+	}
+
+	jnl, err := os.ReadFile(jnlPath)
+	if err != nil {
+		t.Fatalf("journal sink not flushed: %v", err)
+	}
+	if !strings.Contains(string(jnl), "standalone broker=b1") {
+		t.Errorf("journal missing the run-config record:\n%s", jnl)
+	}
+
+	st, err := store.Open(dataDir, store.Options{})
+	if err != nil {
+		t.Fatalf("store did not close cleanly: %v", err)
+	}
+	defer func() { _ = st.Close() }()
+	if rec := st.Recovery(); rec.TruncatedBytes != 0 {
+		t.Errorf("graceful shutdown left a torn WAL tail: %d bytes", rec.TruncatedBytes)
+	}
+}
+
 func TestStatusLineDeterministic(t *testing.T) {
 	reg := metrics.NewRegistry()
 	net := transport.NewNetwork(reg)
@@ -137,7 +198,10 @@ func TestStatusLineDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	b := broker.New(broker.Config{ID: "b1", Net: net, Neighbors: top.Neighbors("b1"), NextHops: hops})
+	b, err := broker.New(broker.Config{ID: "b1", Net: net, Neighbors: top.Neighbors("b1"), NextHops: hops})
+	if err != nil {
+		t.Fatal(err)
+	}
 	reg.CountSend("b2", "b1", message.KindPublish)
 	reg.CountSend("b1", "b2", message.KindPublish)
 

@@ -97,8 +97,12 @@ type RunReport struct {
 	CrashInterrupted int
 	// CrashedSites lists the sites with a journaled crash-stop, sorted.
 	CrashedSites []string
-	Delivered    int // publications that entered an application queue
-	Violations   []Violation
+	// RestartedSites lists the crashed sites later replaced by a recovered
+	// broker (a causally later broker-restart record), sorted. Their routing
+	// tables are held to the full convergence properties.
+	RestartedSites []string
+	Delivered      int // publications that entered an application queue
+	Violations     []Violation
 }
 
 // Clean reports whether the run satisfied every property.
@@ -167,16 +171,33 @@ func auditRun(run int64, recs []journal.Record) RunReport {
 	// dead site, deliveries the dead container never completed — but never
 	// the safety core: duplicate delivery and double resolution stay
 	// violations no matter what crashed.
+	//
+	// A restart narrows the excuse: the replacement broker recovered its
+	// routing state from its durable store, so its tables must converge like
+	// any live site's — stillDown (crashed, never restarted) is what gates
+	// the convergence inspection. Container-level consequences stay excused
+	// by crashed alone: protocol state and hosted clients are not durable,
+	// so an interrupted transaction may legally stay unresolved and a dead
+	// client copy is never resurrected, restart or not.
 	crashed := make(map[string]bool)
-	for _, r := range recs {
-		if r.Kind == journal.KindBrokerCrash {
+	stillDown := make(map[string]bool)
+	for _, r := range recs { // causal order: a restart clears earlier crashes
+		switch r.Kind {
+		case journal.KindBrokerCrash:
 			crashed[r.Site] = true
+			stillDown[r.Site] = true
+		case journal.KindBrokerRestart:
+			delete(stillDown, r.Site)
 		}
 	}
 	for site := range crashed {
 		rr.CrashedSites = append(rr.CrashedSites, site)
+		if !stillDown[site] {
+			rr.RestartedSites = append(rr.RestartedSites, site)
+		}
 	}
 	sort.Strings(rr.CrashedSites)
+	sort.Strings(rr.RestartedSites)
 
 	txs := collectTxs(recs)
 	rr.Txs = len(txs)
@@ -207,7 +228,7 @@ func auditRun(run int64, recs []journal.Record) RunReport {
 	var delivered int
 	rr.Violations = append(rr.Violations, checkDelivery(run, recs, &delivered, crashed)...)
 	rr.Delivered = delivered
-	rr.Violations = append(rr.Violations, checkConvergence(run, recs, crashed, crashedTx)...)
+	rr.Violations = append(rr.Violations, checkConvergence(run, recs, crashed, stillDown, crashedTx)...)
 	return rr
 }
 

@@ -213,15 +213,19 @@ func clientNode(client, brokerSite string) string { return client + "@" + broker
 // entry points at a client copy its client has departed from, and each
 // moved client's filters exist at its final host.
 //
-// Crash relaxations: tables at crashed sites are not inspected (the state
-// died with the container); a shadow surviving at a live site is excused
-// when its transaction's coordinator crashed (the cleanup order could never
-// arrive); orphaned entries are excused when the abandoned copy's host or
-// the client's final host crashed (the unsubscription path is severed); the
-// final-host filter check is skipped when the final host crashed.
-func checkConvergence(run int64, recs []journal.Record, crashed, crashedTx map[string]bool) []Violation {
+// Crash relaxations: tables at still-down sites are not inspected (the
+// state died with the broker and nobody recovered it) — but a restarted
+// site is inspected in full, because its replacement rebuilt the tables
+// from the durable store and they must converge like any live site's. A
+// shadow surviving at an inspected site is excused when its transaction's
+// coordinator crashed (the cleanup order could never arrive); orphaned
+// entries are excused when the abandoned copy's host or the client's final
+// host ever crashed (hosted clients are not durable, so the unsubscription
+// path is severed even across a restart); the final-host filter check is
+// likewise skipped when the final host ever crashed.
+func checkConvergence(run int64, recs []journal.Record, crashed, stillDown, crashedTx map[string]bool) []Violation {
 	tables := make(map[tableKey]map[string]tableEntry)
-	finalHost := make(map[string]string)   // client -> site of last attach/arrive
+	finalHost := make(map[string]string) // client -> site of last attach/arrive
 	lastArrive := make(map[string]journal.Record)
 	// Inserts tagged with each client's arrival transaction at the target
 	// site: the filters the movement promised to re-home.
@@ -272,7 +276,7 @@ func checkConvergence(run int64, recs []journal.Record, crashed, crashedTx map[s
 
 	// No prepared shadow configuration may survive the run.
 	for k, t := range tables {
-		if crashed[k.site] {
+		if stillDown[k.site] {
 			continue
 		}
 		for id, e := range t {
@@ -287,7 +291,7 @@ func checkConvergence(run int64, recs []journal.Record, crashed, crashedTx map[s
 
 	// No entry may point at a client copy the client has departed from.
 	for k, t := range tables {
-		if crashed[k.site] {
+		if stillDown[k.site] {
 			continue
 		}
 		for id, e := range t {
@@ -311,6 +315,9 @@ func checkConvergence(run int64, recs []journal.Record, crashed, crashedTx map[s
 	for c, arrive := range lastArrive {
 		site := arrive.Site
 		if crashed[site] {
+			// Ever crashed, even if restarted: the arriving client's copy
+			// died with the container and is not resurrected, so its filters
+			// are legitimately unsubscribed rather than present.
 			continue
 		}
 		expected := make(map[string]string) // base id -> table

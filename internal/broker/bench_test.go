@@ -42,7 +42,10 @@ func benchDispatch(b *testing.B, jnl *journal.Journal) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	br := New(Config{ID: "b1", Net: net, Neighbors: top.Neighbors("b1"), NextHops: hops})
+	br, err := New(Config{ID: "b1", Net: net, Neighbors: top.Neighbors("b1"), NextHops: hops})
+	if err != nil {
+		b.Fatal(err)
+	}
 	br.Start()
 	defer br.Stop()
 
@@ -110,11 +113,14 @@ func benchDispatchScaling(b *testing.B, workers int) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	br := New(Config{
+	br, err := New(Config{
 		ID: "b1", Net: net, Neighbors: top.Neighbors("b1"), NextHops: hops,
 		Workers:     workers,
 		ServiceTime: 2 * time.Millisecond,
 	})
+	if err != nil {
+		b.Fatal(err)
+	}
 	br.Start()
 	defer br.Stop()
 

@@ -1,0 +1,172 @@
+package broker
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sort"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"padres/internal/message"
+	"padres/internal/metrics"
+	"padres/internal/predicate"
+	"padres/internal/transport"
+)
+
+// walChurnEvery sets the routing-churn mix of the WAL-overhead workload:
+// one subscribe/unsubscribe pair per this many publications. Mobility-era
+// workloads are publication-dominated — movements arrive seconds apart
+// while publications flow continuously — so the WAL (which logs only
+// routing-state mutations, never publications) sees a small minority of
+// the dispatched messages.
+const walChurnEvery = 64
+
+// BenchmarkWALOverhead measures what enabling the write-ahead log costs the
+// broker's publication dispatch hot path: the same publication stream with
+// a realistic sprinkle of routing churn runs through an in-memory broker
+// and a durable one (DataDir set). Every churn mutation in the durable
+// testbed is handed to the group-commit WAL; the budget holds that handoff
+// — and the flusher running beside dispatch — to <= 5% of per-publication
+// cost.
+//
+// The two modes run as two independent testbeds and the benchmark
+// alternates between them in small chunks inside one timed run, so slow
+// drift in machine load hits both modes equally instead of biasing
+// whichever mode happened to run later. Per-mode costs are reported as the
+// custom metrics off-ns/op and on-ns/op — the pair benchjson reads for the
+// <= 5% durability budget (BENCH_wal.json).
+func BenchmarkWALOverhead(b *testing.B) {
+	off := newWALBench(b, "")
+	defer off.close()
+	on := newWALBench(b, b.TempDir())
+	defer on.close()
+
+	// WAL appends are encoded and fsynced by the flusher goroutine off the
+	// dispatch path, so what the chunks time is the enqueue handoff plus
+	// whatever contention the flusher causes — exactly the durability tax
+	// on dispatch. Raising the GC target for the duration removes most
+	// collection pauses from the samples; both modes benefit identically.
+	defer debug.SetGCPercent(debug.SetGCPercent(400))
+
+	const chunk = 2048
+	var offNs, onNs []float64
+	b.ResetTimer()
+	// Chunks are always full-size (the op count rounds b.N up) so every
+	// sample carries equal weight and no runt tail chunk adds noise.
+	for done, i := 0, 0; done < b.N; done, i = done+chunk, i+1 {
+		var offDur, onDur time.Duration
+		if i%2 == 1 {
+			onDur = on.run(b, chunk)
+			offDur = off.run(b, chunk)
+		} else {
+			offDur = off.run(b, chunk)
+			onDur = on.run(b, chunk)
+		}
+		offNs = append(offNs, float64(offDur.Nanoseconds())/chunk)
+		onNs = append(onNs, float64(onDur.Nanoseconds())/chunk)
+	}
+	b.StopTimer()
+	offTyp, onTyp := walMidmean(offNs), walMidmean(onNs)
+	b.ReportMetric(offTyp, "off-ns/op")
+	b.ReportMetric(onTyp, "on-ns/op")
+	b.ReportMetric((onTyp/offTyp-1)*100, "overhead-pct")
+}
+
+// walMidmean is the interquartile mean: the average of the middle half of
+// the samples — the chunks an outlier (GC pause, checkpoint, scheduler
+// hiccup) landed in are discarded, the central samples averaged.
+func walMidmean(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	lo, hi := len(s)/4, len(s)-len(s)/4
+	if hi == lo {
+		lo, hi = 0, len(s)
+	}
+	var sum float64
+	for _, v := range s[lo:hi] {
+		sum += v
+	}
+	return sum / float64(hi-lo)
+}
+
+// walBench is one single-broker testbed shaped like benchDispatch: a PRT of
+// benchSubs subscriptions (one matching, the rest window filters) so every
+// publication pays a realistic matching scan before local delivery.
+type walBench struct {
+	reg       *metrics.Registry
+	nw        *transport.Network
+	bk        *Broker
+	delivered atomic.Int64
+	filter    *predicate.Filter
+	event     predicate.Event
+	pubs      int // publication counter: IDs + churn cadence
+	churn     int // unique churn-subscription counter
+}
+
+func newWALBench(b *testing.B, dataDir string) *walBench {
+	b.Helper()
+	wb := &walBench{
+		reg:    metrics.NewRegistry(),
+		filter: predicate.MustParse("[x,>,0]"),
+		event:  predicate.Event{"x": predicate.Number(42)},
+	}
+	wb.nw = transport.NewNetwork(wb.reg)
+	bk, err := New(Config{ID: "b1", Net: wb.nw, DataDir: dataDir})
+	if err != nil {
+		b.Fatal(err)
+	}
+	wb.bk = bk
+	bk.Start()
+	bk.AttachClient(message.ClientNode("cs", "b1"), func(message.Publish) { wb.delivered.Add(1) })
+	bk.Inject(message.ClientNode("cp", "b1"), message.Advertise{ID: "a1", Client: "cp", Filter: wb.filter})
+	bk.Inject(message.ClientNode("cs", "b1"), message.Subscribe{ID: "s1", Client: "cs", Filter: wb.filter})
+	for i := 1; i < benchSubs; i++ {
+		f := predicate.MustParse(fmt.Sprintf("[x,>,%d],[x,<,%d]", 1000+16*i, 1016+16*i))
+		bk.Inject(message.ClientNode("cs", "b1"), message.Subscribe{ID: message.SubID(fmt.Sprintf("s%d", i+1)), Client: "cs", Filter: f})
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for bk.Stats().PRTSize < benchSubs {
+		if time.Now().After(deadline) {
+			b.Fatal("subscriptions never installed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return wb
+}
+
+// run injects k publications (with the walChurnEvery routing-churn mix
+// woven in) and waits for the matching subscriber to receive all of them.
+// The serial dispatch lane is FIFO, so the last publication's delivery
+// means every prior mutation was dispatched too. Churn retracts what it
+// adds, keeping the PRT — and thus per-publication matching cost — fixed.
+func (wb *walBench) run(b *testing.B, k int) time.Duration {
+	b.Helper()
+	target := wb.delivered.Load() + int64(k)
+	pubNode := message.ClientNode("cp", "b1")
+	subNode := message.ClientNode("cs", "b1")
+	start := time.Now()
+	for i := 0; i < k; i++ {
+		wb.pubs++
+		if wb.pubs%walChurnEvery == 0 {
+			id := message.SubID(fmt.Sprintf("c%d", wb.churn))
+			wb.churn++
+			wb.bk.Inject(subNode, message.Subscribe{ID: id, Client: "cs", Filter: wb.filter})
+			wb.bk.Inject(subNode, message.Unsubscribe{ID: id, Client: "cs"})
+		}
+		wb.bk.Inject(pubNode, message.Publish{ID: message.PubID(fmt.Sprintf("p%d", wb.pubs)), Event: wb.event})
+	}
+	deadline := time.Now().Add(120 * time.Second)
+	for wb.delivered.Load() < target {
+		if time.Now().After(deadline) {
+			b.Fatalf("delivered %d of %d", wb.delivered.Load(), target)
+		}
+		time.Sleep(20 * time.Microsecond)
+	}
+	return time.Since(start)
+}
+
+func (wb *walBench) close() {
+	wb.bk.Stop()
+	wb.nw.Close()
+}

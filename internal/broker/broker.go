@@ -35,6 +35,7 @@ import (
 	"padres/internal/journal"
 	"padres/internal/matching"
 	"padres/internal/message"
+	"padres/internal/store"
 	"padres/internal/telemetry"
 	"padres/internal/transport"
 )
@@ -83,6 +84,20 @@ type Config struct {
 	// sending link goroutines instead of growing the queue without bound.
 	// 0 keeps the unbounded inbox.
 	InboxCapacity int
+	// DataDir, when non-empty, enables durable broker state: routing-table
+	// mutations and movement-transaction transitions are written ahead to a
+	// log in this directory, checkpointed into snapshots, and recovered by
+	// New on restart (including resolution of in-flight movements).
+	DataDir string
+	// SnapshotEvery overrides the store's checkpoint cadence (WAL records
+	// between snapshots); 0 keeps the store default, negative disables
+	// automatic checkpoints. Ignored without DataDir.
+	SnapshotEvery int
+	// RecoveryQueryTimeout bounds how long a restarted broker waits for the
+	// target coordinator to answer a MoveQuery about an in-doubt movement
+	// before aborting its prepared state locally (the non-blocking
+	// termination rule). 0 selects 3s. Ignored without DataDir.
+	RecoveryQueryTimeout time.Duration
 }
 
 // Broker is one content-based pub/sub broker.
@@ -112,11 +127,26 @@ type Broker struct {
 	controlFn ControlSink
 	neighbors map[message.BrokerID]bool
 	done      chan struct{}
+
+	// Durable state (nil / empty without Config.DataDir).
+	store    *store.Store
+	storeTel *telemetry.StoreMetrics
+	// outcomes are the coordinator decisions this broker has durably
+	// recorded; they answer recovery MoveQuery probes.
+	outcomes map[message.TxID]string
+	// indoubt lists movements recovered in prepared state, queried at Start.
+	indoubt []message.MoveHeader
+	// queryTimers arm the local-abort fallback per in-doubt movement.
+	queryTimers map[message.TxID]*time.Timer
 }
 
-// New creates a broker and registers it with the transport. Call Start to
-// begin processing and Stop to shut down.
-func New(cfg Config) *Broker {
+// New creates a broker and registers it with the transport. With
+// Config.DataDir set it opens (or recovers) the broker's durable store
+// first: tables are rebuilt from snapshot + log replay, resolved movement
+// transactions are finished, and in-doubt ones are queued for the recovery
+// query protocol that Start initiates. Call Start to begin processing and
+// Stop to shut down.
+func New(cfg Config) (*Broker, error) {
 	b := &Broker{
 		cfg:       cfg,
 		tel:       telemetry.NewBrokerMetrics(),
@@ -127,6 +157,7 @@ func New(cfg Config) *Broker {
 		sentAdvs:  make(map[message.AdvID]map[message.NodeID]bool),
 		reconfigs: make(map[message.TxID]*reconfigTx),
 		neighbors: make(map[message.BrokerID]bool, len(cfg.Neighbors)),
+		outcomes:  make(map[message.TxID]string),
 		done:      make(chan struct{}),
 	}
 	b.cond = sync.NewCond(&b.mu)
@@ -134,8 +165,21 @@ func New(cfg Config) *Broker {
 	for _, n := range cfg.Neighbors {
 		b.neighbors[n] = true
 	}
+	if cfg.DataDir != "" {
+		b.storeTel = telemetry.NewStoreMetrics()
+		st, err := store.Open(cfg.DataDir, store.Options{
+			SnapshotEvery: cfg.SnapshotEvery,
+			Metrics:       b.storeTel,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("broker %s: %w", cfg.ID, err)
+		}
+		b.store = st
+		b.applyRecovery(st.Recovery())
+		st.SetSnapshotSource(b.buildSnapshot)
+	}
 	cfg.Net.Register(cfg.ID.Node(), b.enqueue)
-	return b
+	return b, nil
 }
 
 // ID returns the broker's identifier.
@@ -152,9 +196,18 @@ func (b *Broker) SetControlSink(fn ControlSink) {
 	b.controlFn = fn
 }
 
-// Start launches the processing goroutine.
+// Start launches the processing goroutine and, after a recovery that left
+// in-doubt movement transactions, begins resolving them by querying their
+// target coordinators.
 func (b *Broker) Start() {
 	go b.run()
+	b.mu.Lock()
+	pending := b.indoubt
+	b.indoubt = nil
+	b.mu.Unlock()
+	for _, hdr := range pending {
+		b.queryInDoubt(hdr)
+	}
 }
 
 // Stop terminates the processing goroutine and waits for it to exit.
@@ -172,10 +225,19 @@ func (b *Broker) Stop() {
 	}
 	b.inbox = nil
 	b.tel.QueueDepth.Set(0)
+	for _, t := range b.queryTimers {
+		t.Stop()
+	}
+	b.queryTimers = nil
 	b.cond.Signal()
 	b.spaceCond.Broadcast()
 	b.mu.Unlock()
 	<-b.done
+	if b.store != nil {
+		// Drain and fsync the write-ahead log after the dispatch goroutine
+		// has appended its last record.
+		b.store.Close()
+	}
 }
 
 // Pause freezes message processing without dropping anything: inbound
@@ -231,6 +293,14 @@ func (b *Broker) QueueLen() int {
 // Metrics returns the broker's lock-free runtime instruments, for
 // registration with a telemetry.Registry.
 func (b *Broker) Metrics() *telemetry.BrokerMetrics { return b.tel }
+
+// StoreMetrics returns the durable store's instruments, or nil when the
+// broker runs without a data directory.
+func (b *Broker) StoreMetrics() *telemetry.StoreMetrics { return b.storeTel }
+
+// DurableStore returns the broker's write-ahead store, or nil when the
+// broker runs in-memory only.
+func (b *Broker) DurableStore() *store.Store { return b.store }
 
 // PeerLinkState records a circuit-breaker transition on one of this
 // broker's overlay links. Safe from any goroutine; the transport's
@@ -392,7 +462,7 @@ func (b *Broker) process(env message.Envelope) {
 		b.handleMoveAck(m, env.From)
 	case message.MoveAbort:
 		b.handleMoveAbort(m, env.From)
-	case message.MoveNegotiate, message.MoveReject, message.MoveState:
+	case message.MoveNegotiate, message.MoveReject, message.MoveState, message.MoveQuery:
 		b.forwardOrDeliverControl(env)
 	default:
 		// Unknown message kinds are dropped.

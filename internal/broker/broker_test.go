@@ -44,13 +44,16 @@ func buildNet(t *testing.T, top *overlay.Topology, covering bool) *testNet {
 		if err != nil {
 			t.Fatal(err)
 		}
-		b := New(Config{
+		b, err := New(Config{
 			ID:        id,
 			Net:       tn.net,
 			Neighbors: top.Neighbors(id),
 			NextHops:  hops,
 			Covering:  covering,
 		})
+		if err != nil {
+			t.Fatal(err)
+		}
 		bid := id
 		b.SetControlSink(func(env message.Envelope) {
 			tn.mu.Lock()

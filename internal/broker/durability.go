@@ -1,0 +1,352 @@
+package broker
+
+import (
+	"strings"
+	"time"
+
+	"padres/internal/message"
+	"padres/internal/store"
+)
+
+// This file wires the broker to its durable store: write-ahead hooks for
+// every routing-table, sent-set, and reconfiguration mutation; the
+// snapshot source the store's checkpointer captures; and the recovery path
+// that rebuilds state at New and resolves in-flight movement transactions
+// (finish decided ones, query the coordinator about in-doubt ones, abort
+// locally on timeout per the non-blocking 3PC rules).
+
+// wal appends one record to the write-ahead log; a no-op without a store.
+// Appends are asynchronous (group commit) so the dispatch path never waits
+// on the disk; coordinator decisions use PersistDecision's sync mode.
+func (b *Broker) wal(rec store.Record) {
+	if b.store != nil {
+		b.store.Append(rec)
+	}
+}
+
+// PersistDecision records a coordinator outcome for the movement
+// transaction. With durable set the call blocks until the record is
+// fsynced — the target coordinator persists "committed" this way before
+// the first MoveAck leaves, which is what makes a missing record a safe
+// abort answer to a recovery MoveQuery. Without a store the outcome is
+// still remembered in memory for query replies within this lifetime.
+func (b *Broker) PersistDecision(hdr message.MoveHeader, role, outcome string, durable bool) error {
+	b.mu.Lock()
+	b.outcomes[hdr.Tx] = outcome
+	b.mu.Unlock()
+	if b.store == nil {
+		return nil
+	}
+	rec := store.Record{
+		Op: store.OpDecision, Tx: string(hdr.Tx), Client: string(hdr.Client),
+		Source: string(hdr.Source), Target: string(hdr.Target),
+		Role: role, Outcome: outcome,
+	}
+	if durable {
+		return b.store.AppendSync(rec)
+	}
+	b.store.Append(rec)
+	return nil
+}
+
+// DecidedOutcome returns the recorded coordinator outcome for tx
+// (store.PhaseCommitted or store.PhaseAborted), if any.
+func (b *Broker) DecidedOutcome(tx message.TxID) (string, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out, ok := b.outcomes[tx]
+	return out, ok
+}
+
+// buildSnapshot captures the broker's full durable state for a checkpoint.
+// It runs on the store's flusher goroutine concurrently with dispatch;
+// records written ahead of mutations the capture already reflects replay
+// idempotently on top of it.
+func (b *Broker) buildSnapshot() *store.Snapshot {
+	snap := &store.Snapshot{}
+	for _, r := range b.srt.All() {
+		snap.SRT = append(snap.SRT, store.TableRecord{
+			ID: r.ID, Client: string(r.Client), Filter: r.Filter, LastHop: string(r.LastHop),
+		})
+	}
+	for _, r := range b.prt.All() {
+		snap.PRT = append(snap.PRT, store.TableRecord{
+			ID: r.ID, Client: string(r.Client), Filter: r.Filter, LastHop: string(r.LastHop),
+		})
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	snap.SentSubs = make(map[string][]string, len(b.sentSubs))
+	for id, set := range b.sentSubs {
+		for n, ok := range set {
+			if ok {
+				snap.SentSubs[string(id)] = append(snap.SentSubs[string(id)], string(n))
+			}
+		}
+	}
+	snap.SentAdvs = make(map[string][]string, len(b.sentAdvs))
+	for id, set := range b.sentAdvs {
+		for n, ok := range set {
+			if ok {
+				snap.SentAdvs[string(id)] = append(snap.SentAdvs[string(id)], string(n))
+			}
+		}
+	}
+	if len(b.reconfigs) > 0 {
+		snap.Reconfigs = make(map[string]store.ReconfigRecord, len(b.reconfigs))
+		for tx, st := range b.reconfigs {
+			snap.Reconfigs[string(tx)] = reconfigRecord(tx, st)
+		}
+	}
+	if len(b.outcomes) > 0 {
+		snap.Outcomes = make(map[string]string, len(b.outcomes))
+		for tx, out := range b.outcomes {
+			snap.Outcomes[string(tx)] = out
+		}
+	}
+	return snap
+}
+
+// reconfigRecord converts live prepared state to its persisted form.
+// Caller holds b.mu.
+func reconfigRecord(tx message.TxID, st *reconfigTx) store.ReconfigRecord {
+	rc := store.ReconfigRecord{
+		Tx: string(tx), Client: string(st.client),
+		Source: string(st.source), Target: string(st.target),
+		PreHop: string(st.preHop), SucHop: string(st.sucHop),
+		Phase: st.phase,
+	}
+	for _, e := range st.subs {
+		rc.Subs = append(rc.Subs, store.Entry{ID: string(e.ID), Filter: e.Filter})
+	}
+	for _, e := range st.advs {
+		rc.Advs = append(rc.Advs, store.Entry{ID: string(e.ID), Filter: e.Filter})
+	}
+	for _, id := range st.flippedSubs {
+		rc.FlippedSubs = append(rc.FlippedSubs, string(id))
+	}
+	for _, id := range st.insertedSubs {
+		rc.InsertedSubs = append(rc.InsertedSubs, string(id))
+	}
+	for _, id := range st.flippedAdvs {
+		rc.FlippedAdvs = append(rc.FlippedAdvs, string(id))
+	}
+	for _, id := range st.insertedAdvs {
+		rc.InsertedAdvs = append(rc.InsertedAdvs, string(id))
+	}
+	return rc
+}
+
+// applyRecovery loads the recovered state into a fresh broker (called from
+// New, before the dispatch goroutine exists). Tables and sent-sets restore
+// silently — their history is already in both the log and any journal from
+// the previous lifetime. Movement transactions resolve by phase: decided
+// ones finish applying (idempotently), prepared ones are rebuilt and
+// queued for the query protocol, and shadow records whose prepare never
+// reached the log are rolled back (their approve was never forwarded, so
+// the transaction cannot have committed).
+func (b *Broker) applyRecovery(rec *store.Recovery) {
+	st := rec.State
+	for _, r := range st.SRT {
+		b.srt.Insert(message.AdvID(r.ID), message.ClientID(r.Client), r.Filter, message.NodeID(r.LastHop))
+	}
+	for _, r := range st.PRT {
+		b.prt.Insert(message.SubID(r.ID), message.ClientID(r.Client), r.Filter, message.NodeID(r.LastHop))
+	}
+	for id, hops := range st.SentSubs {
+		set := make(map[message.NodeID]bool, len(hops))
+		for _, n := range hops {
+			set[message.NodeID(n)] = true
+		}
+		b.sentSubs[message.SubID(id)] = set
+	}
+	for id, hops := range st.SentAdvs {
+		set := make(map[message.NodeID]bool, len(hops))
+		for _, n := range hops {
+			set[message.NodeID(n)] = true
+		}
+		b.sentAdvs[message.AdvID(id)] = set
+	}
+	for tx, out := range st.Outcomes {
+		b.outcomes[message.TxID(tx)] = out
+	}
+
+	for txid, rc := range st.Reconfigs {
+		tx := message.TxID(txid)
+		switch rc.Phase {
+		case store.PhaseCommitted:
+			b.finishCommit(tx, rc)
+		case store.PhaseAborted:
+			b.finishAbort(tx, rc)
+		default:
+			b.restorePrepared(tx, rc)
+		}
+	}
+
+	// Shadow records with no surviving transaction metadata: the prepare
+	// record never reached the log (crash mid-prepare), so this hop never
+	// forwarded the approval and the movement can only have aborted.
+	for _, r := range b.prt.All() {
+		if tx, ok := shadowTx(r.ID); ok && !b.hasReconfig(tx) {
+			b.prtRemove(message.SubID(r.ID), tx)
+		}
+	}
+	for _, r := range b.srt.All() {
+		if tx, ok := shadowTx(r.ID); ok && !b.hasReconfig(tx) {
+			b.srtRemove(message.AdvID(r.ID), tx)
+		}
+	}
+	// The table-size gauges are normally refreshed by the dispatch loop;
+	// a freshly recovered broker must not report empty tables until its
+	// first message arrives.
+	b.tel.SRTSize.Set(int64(b.srt.Len()))
+	b.tel.PRTSize.Set(int64(b.prt.Len()))
+}
+
+func (b *Broker) hasReconfig(tx message.TxID) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	_, ok := b.reconfigs[tx]
+	return ok
+}
+
+// shadowTx extracts the movement transaction a shadow record belongs to.
+func shadowTx(id string) (message.TxID, bool) {
+	i := strings.Index(id, shadowSep)
+	if i < 0 {
+		return "", false
+	}
+	return message.TxID(id[i+len(shadowSep):]), true
+}
+
+// finishCommit completes a commit whose decision reached the log but whose
+// table mutations may not all have: every entry of the payload ends as a
+// canonical record pointing toward the target, shadows gone. Inserts
+// overwrite and removes tolerate absence, so replaying over a fully
+// committed state is harmless.
+func (b *Broker) finishCommit(tx message.TxID, rc store.ReconfigRecord) {
+	for _, e := range rc.Subs {
+		b.prtRemove(message.SubID(shadowID(e.ID, tx)), tx)
+		b.prtInsert(message.SubID(e.ID), message.ClientID(rc.Client), e.Filter, message.NodeID(rc.SucHop), tx)
+	}
+	for _, e := range rc.Advs {
+		b.srtRemove(message.AdvID(shadowID(e.ID, tx)), tx)
+		b.srtInsert(message.AdvID(e.ID), message.ClientID(rc.Client), e.Filter, message.NodeID(rc.SucHop), tx)
+	}
+	b.wal(store.Record{Op: store.OpTxDone, Tx: string(tx)})
+}
+
+// finishAbort completes an abort: every shadow of the payload is removed,
+// canonical records untouched.
+func (b *Broker) finishAbort(tx message.TxID, rc store.ReconfigRecord) {
+	for _, e := range rc.Subs {
+		b.prtRemove(message.SubID(shadowID(e.ID, tx)), tx)
+	}
+	for _, e := range rc.Advs {
+		b.srtRemove(message.AdvID(shadowID(e.ID, tx)), tx)
+	}
+	b.wal(store.Record{Op: store.OpTxDone, Tx: string(tx)})
+}
+
+// restorePrepared rebuilds the in-memory prepared state of an undecided
+// movement, re-creating any shadow records the log lost, and queues the
+// transaction for the recovery query Start sends.
+func (b *Broker) restorePrepared(tx message.TxID, rc store.ReconfigRecord) {
+	st := &reconfigTx{
+		client: message.ClientID(rc.Client),
+		source: message.BrokerID(rc.Source), target: message.BrokerID(rc.Target),
+		preHop: message.NodeID(rc.PreHop), sucHop: message.NodeID(rc.SucHop),
+		phase: store.PhasePrepared,
+	}
+	for _, e := range rc.Subs {
+		st.subs = append(st.subs, message.SubEntry{ID: message.SubID(e.ID), Filter: e.Filter})
+		if sid := message.SubID(shadowID(e.ID, tx)); b.prt.Get(sid) == nil {
+			b.prtInsert(sid, st.client, e.Filter, st.sucHop, tx)
+		}
+	}
+	for _, e := range rc.Advs {
+		st.advs = append(st.advs, message.AdvEntry{ID: message.AdvID(e.ID), Filter: e.Filter})
+		if aid := message.AdvID(shadowID(e.ID, tx)); b.srt.Get(aid) == nil {
+			b.srtInsert(aid, st.client, e.Filter, st.sucHop, tx)
+		}
+	}
+	for _, id := range rc.FlippedSubs {
+		st.flippedSubs = append(st.flippedSubs, message.SubID(id))
+	}
+	for _, id := range rc.InsertedSubs {
+		st.insertedSubs = append(st.insertedSubs, message.SubID(id))
+	}
+	for _, id := range rc.FlippedAdvs {
+		st.flippedAdvs = append(st.flippedAdvs, message.AdvID(id))
+	}
+	for _, id := range rc.InsertedAdvs {
+		st.insertedAdvs = append(st.insertedAdvs, message.AdvID(id))
+	}
+	b.mu.Lock()
+	b.reconfigs[tx] = st
+	b.mu.Unlock()
+	b.indoubt = append(b.indoubt, message.MoveHeader{
+		Tx: tx, Client: st.client, Source: st.source, Target: st.target,
+	})
+}
+
+// InDoubtCount reports how many recovered movements are still awaiting
+// resolution (prepared state present with a live query timer, or queued
+// for query). Harnesses poll it to know recovery traffic has settled.
+func (b *Broker) InDoubtCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := len(b.indoubt) + len(b.queryTimers)
+	return n
+}
+
+// queryInDoubt sends a MoveQuery toward the movement's target coordinator
+// and arms the local-abort fallback timer.
+func (b *Broker) queryInDoubt(hdr message.MoveHeader) {
+	timeout := b.cfg.RecoveryQueryTimeout
+	if timeout <= 0 {
+		timeout = 3 * time.Second
+	}
+	b.mu.Lock()
+	if b.stopped {
+		b.mu.Unlock()
+		return
+	}
+	if b.queryTimers == nil {
+		b.queryTimers = make(map[message.TxID]*time.Timer)
+	}
+	b.queryTimers[hdr.Tx] = time.AfterFunc(timeout, func() { b.queryTimedOut(hdr) })
+	b.mu.Unlock()
+	b.SendControl(message.MoveQuery{MoveHeader: hdr, From: b.cfg.ID})
+}
+
+// queryTimedOut is the non-blocking fallback: the coordinator never
+// answered, so the prepared configuration is rolled back locally. If the
+// movement did commit elsewhere this hop diverges until the client's
+// filters are re-issued — the documented price of non-blocking
+// termination; the timeout is sized so a reachable coordinator always
+// answers first.
+func (b *Broker) queryTimedOut(hdr message.MoveHeader) {
+	b.mu.Lock()
+	delete(b.queryTimers, hdr.Tx)
+	st, ok := b.reconfigs[hdr.Tx]
+	unresolved := ok && st.phase == store.PhasePrepared
+	stopped := b.stopped
+	b.mu.Unlock()
+	if !unresolved || stopped {
+		return
+	}
+	b.Inject(b.cfg.ID.Node(), message.MoveAbort{
+		MoveHeader: hdr, To: b.cfg.ID,
+		Reason: "recovery query timeout", Reconfigure: true,
+	})
+}
+
+// resolveQueryTimer cancels the in-doubt fallback once the movement
+// resolves through the normal commit/abort path. Caller holds b.mu.
+func (b *Broker) resolveQueryTimer(tx message.TxID) {
+	if t, ok := b.queryTimers[tx]; ok {
+		t.Stop()
+		delete(b.queryTimers, tx)
+	}
+}

@@ -38,10 +38,13 @@ func newPipelinePair(t *testing.T, workers, inboxCap int) (*Broker, *Broker, *tr
 		if err != nil {
 			t.Fatal(err)
 		}
-		b := New(Config{
+		b, err := New(Config{
 			ID: id, Net: net, Neighbors: top.Neighbors(id), NextHops: hops,
 			Workers: workers, InboxCapacity: inboxCap,
 		})
+		if err != nil {
+			t.Fatal(err)
+		}
 		b.Start()
 		t.Cleanup(b.Stop)
 		brokers[id] = b
@@ -64,9 +67,9 @@ func testPipelineOrdering(t *testing.T, workers int) {
 	const perSource = 200
 
 	var mu sync.Mutex
-	seen := make(map[string]int)           // pub ID -> delivery count
-	lastSeq := make([]int, sources)        // per-source last delivered seq
-	violations := make([]string, 0, 4)     // ordering violations
+	seen := make(map[string]int)       // pub ID -> delivery count
+	lastSeq := make([]int, sources)    // per-source last delivered seq
+	violations := make([]string, 0, 4) // ordering violations
 	for i := range lastSeq {
 		lastSeq[i] = -1
 	}

@@ -2,23 +2,37 @@ package broker
 
 import (
 	"padres/internal/message"
+	"padres/internal/store"
 )
 
 // reconfigTx is the per-broker prepared state of one movement transaction:
 // which of the moving client's records existed here (flipped) versus were
-// newly created (inserted), plus the path directions at this broker.
+// newly created (inserted), plus the path directions at this broker. The
+// full entry payloads (subs/advs) are retained so the state can be
+// checkpointed and the transaction finished after a crash.
 type reconfigTx struct {
 	client message.ClientID
+	source message.BrokerID
+	target message.BrokerID
 	// preHop points toward the movement's source; sucHop toward the
 	// target. At the endpoint brokers the respective hop is the client's
 	// own node.
 	preHop message.NodeID
 	sucHop message.NodeID
 
+	subs []message.SubEntry
+	advs []message.AdvEntry
+
 	flippedSubs  []message.SubID
 	insertedSubs []message.SubID
 	flippedAdvs  []message.AdvID
 	insertedAdvs []message.AdvID
+
+	// phase tracks the transaction through prepare → commit/abort. The
+	// entry stays in b.reconfigs until the decision's table mutations have
+	// fully applied, so a snapshot cut mid-decision still carries the
+	// metadata recovery needs to finish the job.
+	phase string
 }
 
 // ReconfigCount returns the number of movement transactions currently
@@ -26,7 +40,13 @@ type reconfigTx struct {
 func (b *Broker) ReconfigCount() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return len(b.reconfigs)
+	n := 0
+	for _, st := range b.reconfigs {
+		if st.phase == store.PhasePrepared {
+			n++
+		}
+	}
+	return n
 }
 
 // handleMoveApprove processes message (2). With Reconfigure set, this
@@ -62,7 +82,7 @@ func (b *Broker) handleMoveAck(m message.MoveAck, from message.NodeID) {
 	}
 }
 
-// handleMoveAbort rolls back a prepared movement hop-by-hop: the revised
+// handleMoveAbort rolls a prepared movement back hop-by-hop: the revised
 // routing configuration rc(adv') is deleted, leaving rc(adv) untouched.
 func (b *Broker) handleMoveAbort(m message.MoveAbort, from message.NodeID) {
 	if m.Reconfigure {
@@ -84,6 +104,11 @@ func (b *Broker) handleMoveAbort(m message.MoveAbort, from message.NodeID) {
 // active until commit or abort. For moving advertisements, other clients'
 // intersecting subscriptions are forwarded toward the target as required by
 // the three PRT cases of the paper.
+//
+// The prepare record reaches the write-ahead log only after every shadow
+// insert, carrying the complete classification; a crash before it leaves
+// orphan shadows the recovery path rolls back (the approval was never
+// forwarded, so the movement cannot have committed through this hop).
 func (b *Broker) prepareReconfig(m message.MoveApprove) {
 	b.mu.Lock()
 	if _, dup := b.reconfigs[m.Tx]; dup {
@@ -92,7 +117,10 @@ func (b *Broker) prepareReconfig(m message.MoveApprove) {
 	}
 	b.mu.Unlock()
 
-	tx := &reconfigTx{client: m.Client}
+	tx := &reconfigTx{
+		client: m.Client, source: m.Source, target: m.Target,
+		subs: m.Subs, advs: m.Advs, phase: store.PhasePrepared,
+	}
 	if b.cfg.ID == m.Source {
 		tx.preHop = message.ClientNode(m.Client, m.Source)
 	} else if hop, err := b.nextHopToward(m.Source); err == nil {
@@ -143,20 +171,34 @@ func (b *Broker) prepareReconfig(m message.MoveApprove) {
 
 	b.mu.Lock()
 	b.reconfigs[m.Tx] = tx
+	rec := reconfigRecord(m.Tx, tx)
 	b.mu.Unlock()
+	b.wal(store.Record{
+		Op: store.OpTxPrepare, Tx: string(m.Tx), Client: string(tx.client),
+		Source: string(tx.source), Target: string(tx.target),
+		PreHop: string(tx.preHop), SucHop: string(tx.sucHop),
+		Subs: rec.Subs, Advs: rec.Advs,
+		FlippedSubs: rec.FlippedSubs, InsertedSubs: rec.InsertedSubs,
+		FlippedAdvs: rec.FlippedAdvs, InsertedAdvs: rec.InsertedAdvs,
+	})
 }
 
 // commitReconfig deletes the old routing configuration and renames the
-// shadow records to their canonical identifiers.
+// shadow records to their canonical identifiers. The commit transition is
+// logged before the mutations and the transaction retired (OpTxDone) only
+// after them, so recovery from any interleaved crash re-applies the
+// remaining renames idempotently.
 func (b *Broker) commitReconfig(tx message.TxID) {
 	b.mu.Lock()
 	st, ok := b.reconfigs[tx]
-	if !ok {
+	if !ok || st.phase != store.PhasePrepared {
 		b.mu.Unlock()
 		return
 	}
-	delete(b.reconfigs, tx)
+	st.phase = store.PhaseCommitted
+	b.resolveQueryTimer(tx)
 	b.mu.Unlock()
+	b.wal(store.Record{Op: store.OpTxCommit, Tx: string(tx)})
 
 	promoteSub := func(id message.SubID) {
 		sh := b.prtRemove(message.SubID(shadowID(string(id), tx)), tx)
@@ -185,6 +227,11 @@ func (b *Broker) commitReconfig(tx message.TxID) {
 	for _, id := range st.insertedAdvs {
 		promoteAdv(id)
 	}
+
+	b.mu.Lock()
+	delete(b.reconfigs, tx)
+	b.mu.Unlock()
+	b.wal(store.Record{Op: store.OpTxDone, Tx: string(tx)})
 }
 
 // abortReconfig deletes the prepared shadow records, restoring the routing
@@ -192,12 +239,14 @@ func (b *Broker) commitReconfig(tx message.TxID) {
 func (b *Broker) abortReconfig(tx message.TxID) {
 	b.mu.Lock()
 	st, ok := b.reconfigs[tx]
-	if !ok {
+	if !ok || st.phase != store.PhasePrepared {
 		b.mu.Unlock()
 		return
 	}
-	delete(b.reconfigs, tx)
+	st.phase = store.PhaseAborted
+	b.resolveQueryTimer(tx)
 	b.mu.Unlock()
+	b.wal(store.Record{Op: store.OpTxAbort, Tx: string(tx)})
 
 	for _, id := range append(append([]message.SubID{}, st.flippedSubs...), st.insertedSubs...) {
 		b.prtRemove(message.SubID(shadowID(string(id), tx)), tx)
@@ -205,4 +254,9 @@ func (b *Broker) abortReconfig(tx message.TxID) {
 	for _, id := range append(append([]message.AdvID{}, st.flippedAdvs...), st.insertedAdvs...) {
 		b.srtRemove(message.AdvID(shadowID(string(id), tx)), tx)
 	}
+
+	b.mu.Lock()
+	delete(b.reconfigs, tx)
+	b.mu.Unlock()
+	b.wal(store.Record{Op: store.OpTxDone, Tx: string(tx)})
 }

@@ -8,6 +8,7 @@ import (
 	"padres/internal/matching"
 	"padres/internal/message"
 	"padres/internal/predicate"
+	"padres/internal/store"
 )
 
 // shadowSep separates a canonical record ID from the movement transaction
@@ -42,17 +43,23 @@ func (b *Broker) jnlRouting(kind, id string, client message.ClientID, lastHop me
 	})
 }
 
-// srtInsert, srtRemove, prtInsert, prtRemove are the journaled forms of the
-// routing-table mutations; all broker code mutates the tables through them.
+// srtInsert, srtRemove, prtInsert, prtRemove are the journaled, write-ahead
+// logged forms of the routing-table mutations; all broker code mutates the
+// tables through them.
 func (b *Broker) srtInsert(id message.AdvID, client message.ClientID, f *predicate.Filter, lastHop message.NodeID, tx message.TxID) {
 	b.srt.Insert(id, client, f, lastHop)
 	b.jnlRouting(journal.KindSRTInsert, string(id), client, lastHop, tx)
+	b.wal(store.Record{
+		Op: store.OpSRTInsert, ID: string(id), Client: string(client),
+		Filter: f, Hop: string(lastHop), Tx: string(tx),
+	})
 }
 
 func (b *Broker) srtRemove(id message.AdvID, tx message.TxID) *matching.Record {
 	rec := b.srt.Remove(id)
 	if rec != nil {
 		b.jnlRouting(journal.KindSRTRemove, string(id), rec.Client, rec.LastHop, tx)
+		b.wal(store.Record{Op: store.OpSRTRemove, ID: string(id), Tx: string(tx)})
 	}
 	return rec
 }
@@ -60,12 +67,17 @@ func (b *Broker) srtRemove(id message.AdvID, tx message.TxID) *matching.Record {
 func (b *Broker) prtInsert(id message.SubID, client message.ClientID, f *predicate.Filter, lastHop message.NodeID, tx message.TxID) {
 	b.prt.Insert(id, client, f, lastHop)
 	b.jnlRouting(journal.KindPRTInsert, string(id), client, lastHop, tx)
+	b.wal(store.Record{
+		Op: store.OpPRTInsert, ID: string(id), Client: string(client),
+		Filter: f, Hop: string(lastHop), Tx: string(tx),
+	})
 }
 
 func (b *Broker) prtRemove(id message.SubID, tx message.TxID) *matching.Record {
 	rec := b.prt.Remove(id)
 	if rec != nil {
 		b.jnlRouting(journal.KindPRTRemove, string(id), rec.Client, rec.LastHop, tx)
+		b.wal(store.Record{Op: store.OpPRTRemove, ID: string(id), Tx: string(tx)})
 	}
 	return rec
 }
@@ -80,19 +92,21 @@ func (b *Broker) wasSentSub(id message.SubID, n message.NodeID) bool {
 
 func (b *Broker) markSentSub(id message.SubID, n message.NodeID) {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	set, ok := b.sentSubs[id]
 	if !ok {
 		set = make(map[message.NodeID]bool)
 		b.sentSubs[id] = set
 	}
 	set[n] = true
+	b.mu.Unlock()
+	b.wal(store.Record{Op: store.OpSentSubMark, ID: string(id), Hop: string(n)})
 }
 
 func (b *Broker) clearSentSub(id message.SubID, n message.NodeID) {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	delete(b.sentSubs[id], n)
+	b.mu.Unlock()
+	b.wal(store.Record{Op: store.OpSentSubClear, ID: string(id), Hop: string(n)})
 }
 
 func (b *Broker) sentSubTargets(id message.SubID) []message.NodeID {
@@ -109,8 +123,9 @@ func (b *Broker) sentSubTargets(id message.SubID) []message.NodeID {
 
 func (b *Broker) dropSentSub(id message.SubID) {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	delete(b.sentSubs, id)
+	b.mu.Unlock()
+	b.wal(store.Record{Op: store.OpSentSubDrop, ID: string(id)})
 }
 
 func (b *Broker) wasSentAdv(id message.AdvID, n message.NodeID) bool {
@@ -121,19 +136,21 @@ func (b *Broker) wasSentAdv(id message.AdvID, n message.NodeID) bool {
 
 func (b *Broker) markSentAdv(id message.AdvID, n message.NodeID) {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	set, ok := b.sentAdvs[id]
 	if !ok {
 		set = make(map[message.NodeID]bool)
 		b.sentAdvs[id] = set
 	}
 	set[n] = true
+	b.mu.Unlock()
+	b.wal(store.Record{Op: store.OpSentAdvMark, ID: string(id), Hop: string(n)})
 }
 
 func (b *Broker) clearSentAdv(id message.AdvID, n message.NodeID) {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	delete(b.sentAdvs[id], n)
+	b.mu.Unlock()
+	b.wal(store.Record{Op: store.OpSentAdvClear, ID: string(id), Hop: string(n)})
 }
 
 func (b *Broker) sentAdvTargets(id message.AdvID) []message.NodeID {
@@ -150,8 +167,9 @@ func (b *Broker) sentAdvTargets(id message.AdvID) []message.NodeID {
 
 func (b *Broker) dropSentAdv(id message.AdvID) {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	delete(b.sentAdvs, id)
+	b.mu.Unlock()
+	b.wal(store.Record{Op: store.OpSentAdvDrop, ID: string(id)})
 }
 
 // --- advertisement handling -------------------------------------------------

@@ -36,7 +36,10 @@ func TestExportRestoreRoundTrip(t *testing.T) {
 	// Restore into a fresh broker and compare routing tables.
 	top := linear5(t)
 	hops, _ := top.NextHops("b3")
-	nb := New(Config{ID: "b3", Net: tn.net, Neighbors: top.Neighbors("b3"), NextHops: hops})
+	nb, err := New(Config{ID: "b3", Net: tn.net, Neighbors: top.Neighbors("b3"), NextHops: hops})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := nb.RestoreState(st2); err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +59,10 @@ func TestRestoreWrongBroker(t *testing.T) {
 	st := tn.brokers["b1"].ExportState()
 	top := linear5(t)
 	hops, _ := top.NextHops("b2")
-	nb := New(Config{ID: "b2", Net: tn.net, Neighbors: top.Neighbors("b2"), NextHops: hops})
+	nb, err := New(Config{ID: "b2", Net: tn.net, Neighbors: top.Neighbors("b2"), NextHops: hops})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := nb.RestoreState(st); err == nil {
 		t.Fatal("restore into wrong broker should fail")
 	}

@@ -16,6 +16,8 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"padres/internal/audit"
@@ -63,6 +65,21 @@ type Options struct {
 	// eligible, so the mover population survives; the auditor still has to
 	// excuse the stranded state.
 	CrashEvery int
+	// DataDir, if set, gives every broker a durable store under it and arms
+	// crash→restart recovery: a crash-stopped broker is restarted from its
+	// own disk state after RestartAfter, backbone brokers join the
+	// crash-eligible set (a crash now severs movement paths mid-transaction
+	// instead of just stranding an idle leaf), and recovered brokers are
+	// restarted repeatedly. The auditor then holds the restarted sites to
+	// the full convergence properties.
+	DataDir string
+	// SnapshotEvery is the stores' checkpoint cadence in WAL records
+	// (default 64 — aggressive, so recovery replays snapshot+log rather
+	// than log alone). Only meaningful with DataDir.
+	SnapshotEvery int
+	// RestartAfter is the crash→restart delay (default 100ms). Only
+	// meaningful with DataDir.
+	RestartAfter time.Duration
 	// SettleTimeout bounds the final quiescence wait (default 60s).
 	SettleTimeout time.Duration
 	// JournalCap sizes the flight-recorder ring (default 1<<18 records).
@@ -111,6 +128,14 @@ func (o Options) withDefaults() Options {
 	if o.CrashEvery == 0 {
 		o.CrashEvery = 67
 	}
+	if o.DataDir != "" {
+		if o.SnapshotEvery == 0 {
+			o.SnapshotEvery = 64
+		}
+		if o.RestartAfter <= 0 {
+			o.RestartAfter = 100 * time.Millisecond
+		}
+	}
 	if o.SettleTimeout <= 0 {
 		o.SettleTimeout = 60 * time.Second
 	}
@@ -131,13 +156,14 @@ type Result struct {
 	MoveErrors int // unexpected movement errors (should be zero)
 
 	Crashes    int
+	Restarts   int // crash victims recovered from their durable stores
 	Freezes    int
 	Partitions int
 
 	// Transport telemetry after the run.
-	Retransmits  int64
-	DupesDropped int64
-	DeadLetters  int64
+	Retransmits   int64
+	DupesDropped  int64
+	DeadLetters   int64
 	InjectedDrops int64
 
 	JournalRecords int
@@ -161,12 +187,12 @@ func (r *Result) Summary() string {
 	}
 	return fmt.Sprintf(
 		"chaos soak: %d moves (%d committed, %d aborted, %d errors) in %v\n"+
-			"  injected: %d crashes, %d freezes, %d partitions, %d dropped frames\n"+
+			"  injected: %d crashes (%d restarted), %d freezes, %d partitions, %d dropped frames\n"+
 			"  transport: %d retransmits, %d dupes deduplicated, %d dead letters\n"+
 			"  journal: %d records (%d dropped from ring)\n"+
 			"  audit: %s",
 		r.Moves, r.Committed, r.Aborted, r.MoveErrors, r.Duration.Round(time.Millisecond),
-		r.Crashes, r.Freezes, r.Partitions, r.InjectedDrops,
+		r.Crashes, r.Restarts, r.Freezes, r.Partitions, r.InjectedDrops,
 		r.Retransmits, r.DupesDropped, r.DeadLetters,
 		r.JournalRecords, r.JournalDropped, verdict)
 }
@@ -189,6 +215,8 @@ func Run(opts Options) (*Result, error) {
 		ReliableLinks: true,
 		Retransmit:    opts.Retransmit,
 		LinkFaults:    &faults,
+		DataDir:       opts.DataDir,
+		SnapshotEvery: opts.SnapshotEvery,
 	})
 	if err != nil {
 		return nil, err
@@ -198,18 +226,29 @@ func Run(opts Options) (*Result, error) {
 	in := failure.New(c)
 
 	// Partition the broker set: clients live only on hostable brokers;
-	// crash victims come from idle leaves, so a crash never takes a client
-	// or a movement endpoint with it (the paper's crash-stop of an
-	// uninvolved broker).
+	// crash victims host none, so a crash never takes a client or a
+	// movement endpoint with it (the paper's crash-stop of an uninvolved
+	// broker). Without durable stores the victims are idle leaves — a crash
+	// is forever, so routing through them must not matter. With DataDir the
+	// pool also reserves backbone brokers: crashing one severs live
+	// movement paths, and the restart has to recover its routing tables and
+	// resolve whatever the crash caught in flight.
 	all := c.Brokers()
 	var crashable, hostable []message.BrokerID
+	var reservedBackbone int
 	for _, id := range all {
-		if len(c.Topology().Neighbors(id)) == 1 && len(crashable) < 2 {
+		reserve := len(c.Topology().Neighbors(id)) == 1 && len(crashable) < 2
+		if !reserve && opts.DataDir != "" && len(c.Topology().Neighbors(id)) >= 3 && reservedBackbone < 2 {
+			reserve = true
+			reservedBackbone++
+		}
+		if reserve {
 			crashable = append(crashable, id)
 		} else {
 			hostable = append(hostable, id)
 		}
 	}
+	pool := &crashPool{ids: crashable}
 
 	pubFilter := predicate.MustParse("[x,>,0]")
 	var publishers []*client.Client
@@ -261,6 +300,10 @@ func Run(opts Options) (*Result, error) {
 
 	res := &Result{}
 	topoLinks := overlayLinks(c)
+	// Restarts fire on background timers mid-movement; the soak waits for
+	// all of them before the final settle.
+	var restartWG sync.WaitGroup
+	var restarts atomic.Int64
 	for m := 0; m < opts.Moves; m++ {
 		// Fault schedule, interleaved with the movement stream.
 		if opts.PartitionEvery > 0 && m > 0 && m%opts.PartitionEvery == 0 {
@@ -279,12 +322,27 @@ func Run(opts Options) (*Result, error) {
 				}
 			}
 		}
-		if opts.CrashEvery > 0 && m > 0 && m%opts.CrashEvery == 0 && len(crashable) > 0 {
-			id := crashable[len(crashable)-1]
-			crashable = crashable[:len(crashable)-1]
-			if err := in.Crash(id); err == nil {
+		if opts.CrashEvery > 0 && m > 0 && m%opts.CrashEvery == 0 {
+			if id, ok := pool.pop(); !ok {
+				// Pool exhausted (restarts disabled, or all victims down).
+			} else if in.Frozen(id) {
+				pool.push(id) // a paused broker cannot be stopped cleanly
+			} else if err := in.Crash(id); err == nil {
 				res.Crashes++
 				opts.Logf("move %d: crashed %s", m, id)
+				if opts.DataDir != "" {
+					restartWG.Add(1)
+					time.AfterFunc(opts.RestartAfter, func() {
+						defer restartWG.Done()
+						if err := in.Restart(id, nil); err != nil {
+							opts.Logf("restart %s failed: %v", id, err)
+							return
+						}
+						restarts.Add(1)
+						pool.push(id) // recovered victims are fair game again
+						opts.Logf("restarted %s from its durable store", id)
+					})
+				}
 			}
 		}
 
@@ -329,6 +387,26 @@ func Run(opts Options) (*Result, error) {
 			_ = in.Thaw(id)
 		}
 	}
+	restartWG.Wait()
+	res.Restarts = int(restarts.Load())
+	if opts.DataDir != "" {
+		// Every restarted broker must resolve its recovered in-doubt
+		// movements (query answered, or local abort on query timeout)
+		// before the audit judges convergence.
+		deadline := time.Now().Add(30 * time.Second)
+		for _, id := range all {
+			for {
+				b := c.Broker(id)
+				if b == nil || b.InDoubtCount() == 0 {
+					break
+				}
+				if time.Now().After(deadline) {
+					return nil, fmt.Errorf("broker %s still in doubt after restart", id)
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+		}
+	}
 	if err := c.SettleFor(opts.SettleTimeout); err != nil {
 		return nil, fmt.Errorf("soak did not settle: %w", err)
 	}
@@ -343,6 +421,30 @@ func Run(opts Options) (*Result, error) {
 	res.Duration = time.Since(start)
 	res.Report = audit.Audit(j.Snapshot())
 	return res, nil
+}
+
+// crashPool hands out crash victims and, once restarts recover them, takes
+// them back — the schedule and the restart timers share it.
+type crashPool struct {
+	mu  sync.Mutex
+	ids []message.BrokerID
+}
+
+func (p *crashPool) pop() (message.BrokerID, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.ids) == 0 {
+		return "", false
+	}
+	id := p.ids[len(p.ids)-1]
+	p.ids = p.ids[:len(p.ids)-1]
+	return id, true
+}
+
+func (p *crashPool) push(id message.BrokerID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.ids = append(p.ids, id)
 }
 
 // overlayLinks enumerates the topology's undirected broker links.

@@ -7,6 +7,7 @@ package cluster
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -69,6 +70,18 @@ type Options struct {
 	// Seed and the endpoint pair, so links fail independently but
 	// reproducibly).
 	LinkFaults *transport.FaultProfile
+	// DataDir, if set, gives every broker a durable store under
+	// DataDir/<broker-id>: routing mutations and movement-transaction
+	// transitions are write-ahead logged and RestartBroker recovers the
+	// broker from its own disk state instead of an in-memory snapshot.
+	DataDir string
+	// SnapshotEvery overrides the store's checkpoint cadence (records per
+	// snapshot); 0 uses the store default, negative disables checkpoints.
+	SnapshotEvery int
+	// RecoveryQueryTimeout bounds how long a restarted broker waits for the
+	// target coordinator's answer about an in-doubt movement before
+	// aborting locally (0 uses the broker default).
+	RecoveryQueryTimeout time.Duration
 }
 
 // Cluster is a running in-process deployment.
@@ -118,20 +131,10 @@ func New(opts Options) (*Cluster, error) {
 	}
 
 	for _, id := range c.top.Brokers() {
-		hops, err := c.top.NextHops(id)
+		b, err := c.newBroker(id)
 		if err != nil {
 			return nil, err
 		}
-		b := broker.New(broker.Config{
-			ID:            id,
-			Net:           c.net,
-			Neighbors:     c.top.Neighbors(id),
-			NextHops:      hops,
-			Covering:      opts.Covering,
-			ServiceTime:   opts.ServiceTime,
-			Workers:       opts.Workers,
-			InboxCapacity: opts.InboxCapacity,
-		})
 		c.brokers[id] = b
 		c.containers[id] = core.NewContainer(core.Config{
 			Broker:              b,
@@ -179,6 +182,31 @@ func New(opts Options) (*Cluster, error) {
 		}
 	})
 	return c, nil
+}
+
+// newBroker constructs one broker from the cluster options, attaching a
+// durable store under DataDir/<id> when persistence is on.
+func (c *Cluster) newBroker(id message.BrokerID) (*broker.Broker, error) {
+	hops, err := c.top.NextHops(id)
+	if err != nil {
+		return nil, err
+	}
+	cfg := broker.Config{
+		ID:                   id,
+		Net:                  c.net,
+		Neighbors:            c.top.Neighbors(id),
+		NextHops:             hops,
+		Covering:             c.opts.Covering,
+		ServiceTime:          c.opts.ServiceTime,
+		Workers:              c.opts.Workers,
+		InboxCapacity:        c.opts.InboxCapacity,
+		SnapshotEvery:        c.opts.SnapshotEvery,
+		RecoveryQueryTimeout: c.opts.RecoveryQueryTimeout,
+	}
+	if c.opts.DataDir != "" {
+		cfg.DataDir = filepath.Join(c.opts.DataDir, string(id))
+	}
+	return broker.New(cfg)
 }
 
 // Start launches all broker goroutines.
@@ -242,9 +270,12 @@ func (c *Cluster) SetEventSink(sink core.EventSink) {
 // RestartBroker replaces a broker with a fresh instance, optionally
 // restored from a previously exported state snapshot (the durability model
 // of Sec. 3.5: a crashed broker recovers its persisted algorithmic state).
-// The replacement reuses the overlay links; clients that were hosted in the
-// old broker's container share its crash fate, per the paper's failure
-// model, and are not resurrected.
+// With Options.DataDir set the replacement instead recovers from its own
+// durable store — snapshot plus write-ahead log replay, with in-doubt
+// movement transactions resolved by the recovery query protocol — and st
+// must be nil. The replacement reuses the overlay links; clients that were
+// hosted in the old broker's container share its crash fate, per the
+// paper's failure model, and are not resurrected.
 func (c *Cluster) RestartBroker(id message.BrokerID, st *broker.State) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -257,23 +288,16 @@ func (c *Cluster) RestartBroker(id message.BrokerID, st *broker.State) error {
 		// not leave the broker stopped.
 		return fmt.Errorf("snapshot belongs to broker %s, not %s", st.ID, id)
 	}
+	if st != nil && c.opts.DataDir != "" {
+		return fmt.Errorf("broker %s has a durable store; restart recovers from disk, not a snapshot", id)
+	}
 	old.Stop()
 	c.containers[id].Shutdown()
 
-	hops, err := c.top.NextHops(id)
+	nb, err := c.newBroker(id)
 	if err != nil {
 		return err
 	}
-	nb := broker.New(broker.Config{
-		ID:            id,
-		Net:           c.net,
-		Neighbors:     c.top.Neighbors(id),
-		NextHops:      hops,
-		Covering:      c.opts.Covering,
-		ServiceTime:   c.opts.ServiceTime,
-		Workers:       c.opts.Workers,
-		InboxCapacity: c.opts.InboxCapacity,
-	})
 	if st != nil {
 		if err := nb.RestoreState(st); err != nil {
 			return err

@@ -397,6 +397,8 @@ func (ct *Container) handleControl(env message.Envelope) {
 		ct.onAck(m)
 	case message.MoveAbort:
 		ct.onAbort(m)
+	case message.MoveQuery:
+		ct.onQuery(m)
 	}
 }
 

@@ -41,6 +41,11 @@ const (
 	// Detail carries "from->to". It is emitted outside any movement
 	// transaction scope, so Tx is empty.
 	EventClientState
+	// EventQueryReceived and EventQueryAnswered trace the recovery query
+	// protocol: a restarted broker asking the target coordinator about an
+	// in-doubt movement, and the coordinator's durable-outcome answer.
+	EventQueryReceived
+	EventQueryAnswered
 )
 
 var eventNames = map[EventKind]string{
@@ -62,6 +67,8 @@ var eventNames = map[EventKind]string{
 	EventCommitted:         "committed",
 	EventAborted:           "aborted",
 	EventClientState:       "client-state",
+	EventQueryReceived:     "query-received",
+	EventQueryAnswered:     "query-answered",
 }
 
 // String returns the event name.

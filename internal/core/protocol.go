@@ -10,6 +10,7 @@ import (
 	"padres/internal/journal"
 	"padres/internal/message"
 	"padres/internal/metrics"
+	"padres/internal/store"
 )
 
 // epochSep separates the stable part of a subscription/advertisement ID
@@ -131,6 +132,7 @@ func (ct *Container) onState(m message.MoveState) {
 		ct.mu.Unlock()
 		// The transaction was aborted here (e.g. a timeout); tell the
 		// source so it resumes the client.
+		_ = ct.cfg.Broker.PersistDecision(m.MoveHeader, "target", store.PhaseAborted, false)
 		_ = ct.cfg.Broker.SendControl(message.MoveAbort{
 			MoveHeader:  m.MoveHeader,
 			To:          m.Source,
@@ -158,6 +160,7 @@ func (ct *Container) onState(m message.MoveState) {
 	if c == nil {
 		// Unrecoverable inconsistency; abort both sides.
 		ct.teardownShell(ttx)
+		_ = ct.cfg.Broker.PersistDecision(m.MoveHeader, "target", store.PhaseAborted, false)
 		_ = ct.cfg.Broker.SendControl(message.MoveAbort{
 			MoveHeader: m.MoveHeader, To: m.Source, Reason: "client not found", Reconfigure: ct.cfg.Protocol == ProtocolReconfig,
 		})
@@ -181,6 +184,12 @@ func (ct *Container) onState(m message.MoveState) {
 	_ = c.CompleteMove(ct.cfg.Broker.ID(), m.Buffered, shell)
 	ct.jnlClient(journal.KindClientArrive, m.Tx, m.Client, fmt.Sprintf("%d transferred, %d shell-buffered", len(m.Buffered), len(shell)))
 
+	// The commit decision becomes durable BEFORE the first acknowledgement
+	// leaves this coordinator: a recovery query finding no committed record
+	// can then safely conclude the movement never committed (the answer the
+	// non-blocking termination rule depends on). The synchronous fsync is
+	// once per movement, not per message.
+	_ = ct.cfg.Broker.PersistDecision(m.MoveHeader, "target", store.PhaseCommitted, true)
 	ct.emit(EventAckSent, m.Tx, m.Client, "")
 	_ = ct.cfg.Broker.SendControl(message.MoveAck{
 		MoveHeader:  m.MoveHeader,
@@ -341,7 +350,44 @@ func (ct *Container) onAbort(m message.MoveAbort) {
 		if ttx.timer != nil {
 			ttx.timer.Stop()
 		}
+		_ = ct.cfg.Broker.PersistDecision(m.MoveHeader, "target", store.PhaseAborted, false)
 		ct.rollbackTarget(ttx)
+	}
+}
+
+// onQuery answers a recovery probe at the target coordinator. The target is
+// the commit decider and persists "committed" durably before the first
+// acknowledgement leaves, so the answer is authoritative: a committed
+// outcome is re-announced with a fresh acknowledgement (hops along the path
+// re-apply the commit idempotently, including the restarted querier); no
+// committed record means the movement cannot have committed anywhere, and
+// the abort travels toward the querier rolling the prepared state back. A
+// transaction still in flight gets no answer — it will resolve through the
+// normal conversation, and the querier's local-abort fallback bounds the
+// wait if it never does.
+func (ct *Container) onQuery(m message.MoveQuery) {
+	ct.emit(EventQueryReceived, m.Tx, m.Client, "from "+string(m.From))
+	ct.mu.Lock()
+	_, active := ct.target[m.Tx]
+	ct.mu.Unlock()
+	outcome, decided := ct.cfg.Broker.DecidedOutcome(m.Tx)
+	switch {
+	case decided && outcome == store.PhaseCommitted:
+		ct.emit(EventQueryAnswered, m.Tx, m.Client, "committed; acknowledgement re-sent")
+		_ = ct.cfg.Broker.SendControl(message.MoveAck{
+			MoveHeader:  m.MoveHeader,
+			Reconfigure: ct.cfg.Protocol == ProtocolReconfig,
+		})
+	case active && !decided:
+		ct.emit(EventQueryAnswered, m.Tx, m.Client, "still in flight; no answer")
+	default:
+		ct.emit(EventQueryAnswered, m.Tx, m.Client, "no committed record; abort")
+		_ = ct.cfg.Broker.SendControl(message.MoveAbort{
+			MoveHeader:  m.MoveHeader,
+			To:          m.From,
+			Reason:      "recovery query: movement never committed",
+			Reconfigure: ct.cfg.Protocol == ProtocolReconfig,
+		})
 	}
 }
 
@@ -410,8 +456,10 @@ func (ct *Container) targetTimeout(tx message.TxID) {
 	ct.emit(EventTargetTimeout, tx, ttx.clientID, "")
 	ct.emit(EventAbortSent, tx, ttx.clientID, "target timeout")
 
+	hdr := message.MoveHeader{Tx: tx, Client: ttx.clientID, Source: ttx.source, Target: ct.cfg.Broker.ID()}
+	_ = ct.cfg.Broker.PersistDecision(hdr, "target", store.PhaseAborted, false)
 	_ = ct.cfg.Broker.SendControl(message.MoveAbort{
-		MoveHeader:  message.MoveHeader{Tx: tx, Client: ttx.clientID, Source: ttx.source, Target: ct.cfg.Broker.ID()},
+		MoveHeader:  hdr,
 		To:          ttx.source,
 		Reason:      "target timeout waiting for state transfer",
 		Reconfigure: ct.cfg.Protocol == ProtocolReconfig,

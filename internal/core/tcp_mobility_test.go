@@ -35,12 +35,15 @@ func startProcBroker(t *testing.T, id message.BrokerID, top *overlay.Topology) *
 	if err != nil {
 		t.Fatal(err)
 	}
-	b := broker.New(broker.Config{
+	b, err := broker.New(broker.Config{
 		ID:        id,
 		Net:       nw,
 		Neighbors: top.Neighbors(id),
 		NextHops:  hops,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	dir := core.NewDirectory()
 	ct := core.NewContainer(core.Config{
 		Broker:    b,

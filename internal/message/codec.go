@@ -44,6 +44,7 @@ func registerGob() {
 	gob.Register(MoveState{})
 	gob.Register(MoveAck{})
 	gob.Register(MoveAbort{})
+	gob.Register(MoveQuery{})
 	gob.Register(LinkAck{})
 }
 

@@ -73,6 +73,11 @@ const (
 	// link reliability layer. It never reaches a broker: the receiving
 	// transport consumes it to trim the sender's resend queue.
 	KindLinkAck
+	// KindMoveQuery is the recovery-protocol probe: a restarted broker that
+	// finds a prepared-but-undecided movement transaction in its write-ahead
+	// log asks the transaction's target coordinator (the commit decider) for
+	// the durable outcome.
+	KindMoveQuery
 )
 
 var kindNames = map[Kind]string{
@@ -88,6 +93,7 @@ var kindNames = map[Kind]string{
 	KindMoveAck:       "move-ack",
 	KindMoveAbort:     "move-abort",
 	KindLinkAck:       "link-ack",
+	KindMoveQuery:     "move-query",
 }
 
 // String returns the kind name.
@@ -249,6 +255,20 @@ type MoveAbort struct {
 	Reconfigure bool
 }
 
+// MoveQuery is the recovery probe of the non-blocking termination protocol:
+// a broker that restarts with a prepared-but-undecided reconfiguration for
+// Tx in its log asks the target coordinator whether the transaction was
+// decided. Because the target durably records "committed" before the first
+// MoveAck is ever sent, a coordinator with no committed record can safely
+// answer abort. The reply is a re-sent MoveAck (commits idempotently along
+// the path) or a MoveAbort addressed back at From.
+type MoveQuery struct {
+	MoveHeader
+	// From is the recovering broker that issued the query; abort replies
+	// travel toward it.
+	From BrokerID
+}
+
 // Kind implementations for control messages.
 func (MoveNegotiate) Kind() Kind { return KindMoveNegotiate }
 func (MoveApprove) Kind() Kind   { return KindMoveApprove }
@@ -256,6 +276,7 @@ func (MoveReject) Kind() Kind    { return KindMoveReject }
 func (MoveState) Kind() Kind     { return KindMoveState }
 func (MoveAck) Kind() Kind       { return KindMoveAck }
 func (MoveAbort) Kind() Kind     { return KindMoveAbort }
+func (MoveQuery) Kind() Kind     { return KindMoveQuery }
 
 // LinkAck is the transport reliability layer's cumulative acknowledgement:
 // every sequence number up to and including Cum has been delivered in order
@@ -292,6 +313,8 @@ func Dest(m Message) (BrokerID, bool) {
 		return c.Source, true
 	case MoveAck:
 		return c.Source, true
+	case MoveQuery:
+		return c.Target, true
 	default:
 		return "", false
 	}
@@ -358,6 +381,7 @@ var (
 	_ Message = MoveState{}
 	_ Message = MoveAck{}
 	_ Message = MoveAbort{}
+	_ Message = MoveQuery{}
 	_ Message = LinkAck{}
 )
 

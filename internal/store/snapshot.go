@@ -1,0 +1,44 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// encodeSnapshot serializes a snapshot as the single-frame payload of a
+// snapshot file.
+func encodeSnapshot(snap *Snapshot) ([]byte, error) {
+	data, err := json.Marshal(snap)
+	if err != nil {
+		return nil, fmt.Errorf("store: encode snapshot: %w", err)
+	}
+	return data, nil
+}
+
+// loadSnapshot reads and validates one snapshot file: exactly one intact
+// frame holding a JSON Snapshot. Torn or corrupt files return an error so
+// recovery falls back a generation.
+func loadSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var snap *Snapshot
+	frames, good, err := scanFrames(bytes.NewReader(data), func(payload []byte) error {
+		var s Snapshot
+		if err := json.Unmarshal(payload, &s); err != nil {
+			return fmt.Errorf("store: decode snapshot %s: %w", path, err)
+		}
+		snap = &s
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if frames != 1 || good != int64(len(data)) {
+		return nil, fmt.Errorf("store: snapshot %s: %d frames over %d of %d bytes", path, frames, good, len(data))
+	}
+	return snap, nil
+}

@@ -24,6 +24,7 @@ import (
 type Registry struct {
 	mu      sync.Mutex
 	brokers map[string]*BrokerMetrics
+	stores  map[string]*StoreMetrics
 	extra   []func(io.Writer)
 	traces  *TraceStore
 	spans   *SpanRecorder
@@ -36,6 +37,7 @@ type Registry struct {
 func NewRegistry() *Registry {
 	return &Registry{
 		brokers: make(map[string]*BrokerMetrics),
+		stores:  make(map[string]*StoreMetrics),
 		traces:  NewTraceStore(0, 0),
 		spans:   NewSpanRecorder(0),
 		started: time.Now(),
@@ -47,6 +49,17 @@ func (r *Registry) RegisterBroker(id message.BrokerID, bm *BrokerMetrics) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.brokers[string(id)] = bm
+}
+
+// RegisterStore attaches one broker's durable-store instruments under its
+// ID; the padres_store_* series appear on /metrics alongside the broker's.
+func (r *Registry) RegisterStore(id message.BrokerID, sm *StoreMetrics) {
+	if sm == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.stores[string(id)] = sm
 }
 
 // Traces returns the registry's trace store.
@@ -90,6 +103,10 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 	for id, bm := range r.brokers {
 		brokers[id] = bm
 	}
+	stores := make(map[string]*StoreMetrics, len(r.stores))
+	for id, sm := range r.stores {
+		stores[id] = sm
+	}
 	extra := make([]func(io.Writer), len(r.extra))
 	copy(extra, r.extra)
 	r.mu.Unlock()
@@ -102,6 +119,9 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 	fmt.Fprintf(w, "padres_movement_timelines_active %d\n", r.spans.ActiveCount())
 	for _, id := range ids {
 		brokers[id].writePrometheus(w, id)
+		if sm := stores[id]; sm != nil {
+			sm.writePrometheus(w, id)
+		}
 	}
 	for _, f := range extra {
 		f(w)

@@ -258,6 +258,59 @@ func (bm *BrokerMetrics) writePrometheus(w io.Writer, broker string) {
 	writeHistogram(w, "padres_broker_match_latency_seconds", broker, bm.MatchLatency.Snapshot())
 }
 
+// StoreMetrics holds one broker's durable-store instruments: WAL append
+// volume, group-commit fsync cost, checkpoint recency, and recovery cost.
+// Updated only by the store's flusher goroutine and its Open path, but the
+// instruments stay atomic so scrapes need no coordination.
+type StoreMetrics struct {
+	// WALAppends counts records appended to the write-ahead log.
+	WALAppends Counter
+	// WALBytes counts framed bytes written to the log.
+	WALBytes Counter
+	// Fsyncs counts group commits (one fsync each, batching many appends).
+	Fsyncs Counter
+	// FsyncLatency measures the fsync portion of each group commit.
+	FsyncLatency *Histogram
+	// Snapshots counts completed checkpoint cycles (snapshot + truncation).
+	Snapshots Counter
+	// LastSnapshotUnixNano is the wall time of the last checkpoint; the
+	// exposition derives snapshot age from it. Zero until the first one.
+	LastSnapshotUnixNano Gauge
+	// SnapshotGen mirrors the current log generation.
+	SnapshotGen Gauge
+	// RecoveryDuration is the nanoseconds Open spent rebuilding state.
+	RecoveryDuration Gauge
+	// RecoveredRecords counts WAL records replayed at recovery.
+	RecoveredRecords Counter
+	// TailTruncations counts torn/corrupt log tails cut off at recovery.
+	TailTruncations Counter
+}
+
+// NewStoreMetrics returns zeroed store instruments.
+func NewStoreMetrics() *StoreMetrics {
+	return &StoreMetrics{FsyncLatency: NewLatencyHistogram()}
+}
+
+// writePrometheus emits the store's instruments labelled with the broker ID.
+func (sm *StoreMetrics) writePrometheus(w io.Writer, broker string) {
+	l := fmt.Sprintf("{broker=%q}", broker)
+	fmt.Fprintf(w, "padres_store_wal_appends_total%s %d\n", l, sm.WALAppends.Value())
+	fmt.Fprintf(w, "padres_store_wal_bytes_total%s %d\n", l, sm.WALBytes.Value())
+	fmt.Fprintf(w, "padres_store_fsyncs_total%s %d\n", l, sm.Fsyncs.Value())
+	fmt.Fprintf(w, "padres_store_snapshots_total%s %d\n", l, sm.Snapshots.Value())
+	fmt.Fprintf(w, "padres_store_snapshot_gen%s %d\n", l, sm.SnapshotGen.Value())
+	age := 0.0
+	if ts := sm.LastSnapshotUnixNano.Value(); ts > 0 {
+		age = time.Since(time.Unix(0, ts)).Seconds()
+	}
+	fmt.Fprintf(w, "padres_store_snapshot_age_seconds%s %g\n", l, age)
+	fmt.Fprintf(w, "padres_store_recovery_duration_seconds%s %g\n", l,
+		time.Duration(sm.RecoveryDuration.Value()).Seconds())
+	fmt.Fprintf(w, "padres_store_recovered_records_total%s %d\n", l, sm.RecoveredRecords.Value())
+	fmt.Fprintf(w, "padres_store_tail_truncations_total%s %d\n", l, sm.TailTruncations.Value())
+	writeHistogram(w, "padres_store_fsync_latency_seconds", broker, sm.FsyncLatency.Snapshot())
+}
+
 // writeHistogram emits one histogram in Prometheus text format (cumulative
 // buckets, as the exposition format requires).
 func writeHistogram(w io.Writer, name, broker string, s HistogramSnapshot) {

@@ -117,12 +117,15 @@ func newReliabilityBench(b *testing.B, reliable bool) *reliabilityBench {
 		if err != nil {
 			b.Fatal(err)
 		}
-		bk := broker.New(broker.Config{
+		bk, err := broker.New(broker.Config{
 			ID:        id,
 			Net:       rb.nw,
 			Neighbors: top.Neighbors(id),
 			NextHops:  hops,
 		})
+		if err != nil {
+			b.Fatal(err)
+		}
 		rb.brokers[id] = bk
 		bk.Start()
 	}

@@ -30,12 +30,15 @@ func startTCPBroker(t *testing.T, id message.BrokerID, top *overlay.Topology) *t
 	if err != nil {
 		t.Fatal(err)
 	}
-	b := broker.New(broker.Config{
+	b, err := broker.New(broker.Config{
 		ID:        id,
 		Net:       nw,
 		Neighbors: top.Neighbors(id),
 		NextHops:  hops,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	b.Start()
 	gw, err := transport.NewGateway(transport.GatewayConfig{
 		Net:    nw,

@@ -122,12 +122,15 @@ func startReliableTCPBroker(t *testing.T, id message.BrokerID, top *overlay.Topo
 	if err != nil {
 		t.Fatal(err)
 	}
-	b := broker.New(broker.Config{
+	b, err := broker.New(broker.Config{
 		ID:        id,
 		Net:       nw,
 		Neighbors: top.Neighbors(id),
 		NextHops:  hops,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	b.Start()
 	gw, err := transport.NewGateway(transport.GatewayConfig{
 		Net:           nw,

@@ -13,9 +13,11 @@
 // regression. With -require-scaling it also exits 2 unless the
 // BenchmarkDispatchScaling workers=1/workers=4 pair is present and shows
 // at least the required pipeline speedup, with -require-reliability
-// unless the reliability benchmark is present and within budget, and with
+// unless the reliability benchmark is present and within budget, with
 // -require-wal unless BenchmarkWALOverhead is present and its durable
-// dispatch overhead is within the same budget.
+// dispatch overhead is within the same budget, and with -require-telemetry
+// unless BenchmarkTelemetryOverhead is present and the stage
+// instrumentation's dispatch overhead is within the same budget.
 package main
 
 import (
@@ -63,6 +65,7 @@ type report struct {
 	DispatchScaling     *scaling     `json:"dispatch_scaling,omitempty"`
 	ReliabilityOverhead *reliability `json:"reliability_overhead,omitempty"`
 	WALOverhead         *reliability `json:"wal_overhead,omitempty"`
+	TelemetryOverhead   *reliability `json:"telemetry_overhead,omitempty"`
 }
 
 // reliability is an off/on mode comparison against the shared 5% budget.
@@ -107,14 +110,16 @@ func main() {
 		"exit 2 unless the reliability-overhead benchmark is present and within budget")
 	requireWAL := flag.Bool("require-wal", false,
 		"exit 2 unless the WAL-overhead benchmark is present and within budget")
+	requireTelemetry := flag.Bool("require-telemetry", false,
+		"exit 2 unless the telemetry-overhead benchmark is present and within budget")
 	flag.Parse()
-	if err := run(*out, *requireScaling, *requireReliability, *requireWAL, flag.Args()); err != nil {
+	if err := run(*out, *requireScaling, *requireReliability, *requireWAL, *requireTelemetry, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out string, requireScaling, requireReliability, requireWAL bool, args []string) error {
+func run(out string, requireScaling, requireReliability, requireWAL, requireTelemetry bool, args []string) error {
 	var in io.Reader = os.Stdin
 	if len(args) > 0 {
 		f, err := os.Open(args[0])
@@ -167,8 +172,19 @@ func run(out string, requireScaling, requireReliability, requireWAL bool, args [
 			os.Exit(2)
 		}
 	}
+	if t := rep.TelemetryOverhead; t != nil {
+		fmt.Fprintf(os.Stderr, "telemetry dispatch overhead: %.2f%% over %d runs (budget %.0f%%)\n",
+			t.OverheadPct, t.Runs, t.BudgetPct)
+		if !t.WithinBudget {
+			os.Exit(2)
+		}
+	}
 	if requireWAL && rep.WALOverhead == nil {
 		fmt.Fprintln(os.Stderr, "benchjson: -require-wal set but BenchmarkWALOverhead not found")
+		os.Exit(2)
+	}
+	if requireTelemetry && rep.TelemetryOverhead == nil {
+		fmt.Fprintln(os.Stderr, "benchjson: -require-telemetry set but BenchmarkTelemetryOverhead not found")
 		os.Exit(2)
 	}
 	if requireReliability && rep.ReliabilityOverhead == nil {
@@ -271,6 +287,7 @@ func parse(in io.Reader) (*report, error) {
 
 	rep.ReliabilityOverhead = modePair(byName["BenchmarkReliabilityOverhead"])
 	rep.WALOverhead = modePair(byName["BenchmarkWALOverhead"])
+	rep.TelemetryOverhead = modePair(byName["BenchmarkTelemetryOverhead"])
 
 	serial := byName["BenchmarkDispatchScaling/workers=1"]
 	par := byName["BenchmarkDispatchScaling/workers=4"]

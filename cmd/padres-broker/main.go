@@ -15,6 +15,9 @@
 // endpoint: Prometheus metrics at /metrics, liveness at /healthz,
 // hop-by-hop message traces at /traces, flight-recorder records at
 // /journal (when -journal is set), and the Go profiler under /debug/pprof/.
+// With -profile-dir it also captures periodic CPU/heap/mutex/goroutine
+// pprof bundles with bounded retention (continuous profiling), so load
+// investigations start from profiles taken while the problem happened.
 //
 // Remote clients are stationary: transactional mobility applies to clients
 // hosted in a broker's mobile container (see the examples and the padres
@@ -70,6 +73,10 @@ func runUntil(args []string, stop <-chan struct{}) error {
 		reliable = fs.Bool("reliable", true, "ack/retransmit and auto-reconnect on broker peer links (a restarted peer is redialled and unacked frames replayed)")
 		snapEach = fs.Int("snapshot-every", 0, "checkpoint cadence in WAL records (0 = default, negative disables)")
 		logSpec  = fs.String("log", "info", "log levels: default[,component=level...], e.g. info,broker=debug")
+		profDir  = fs.String("profile-dir", "", "continuous profiling output directory: periodic CPU/heap/mutex/goroutine pprof bundles (empty disables)")
+		profIval = fs.Duration("profile-interval", 30*time.Second, "continuous profiling capture cadence")
+		profCPU  = fs.Duration("profile-cpu", 5*time.Second, "CPU profile window per capture (clamped below the interval)")
+		profKeep = fs.Int("profile-keep", 16, "profile bundles retained before the oldest is deleted")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -145,6 +152,19 @@ func runUntil(args []string, stop <-chan struct{}) error {
 	tel := buildTelemetry(self, b, net, reg)
 	tel.RegisterStore(self, b.StoreMetrics())
 	tel.SetJournal(jnl)
+	if *profDir != "" {
+		prof, err := telemetry.StartProfiler(telemetry.ProfileOptions{
+			Dir:        *profDir,
+			Interval:   *profIval,
+			CPUSeconds: int(*profCPU / time.Second),
+			MaxBundles: *profKeep,
+		})
+		if err != nil {
+			return fmt.Errorf("profiler: %w", err)
+		}
+		defer prof.Stop()
+		log.Info("continuous profiling", "dir", *profDir, "interval", *profIval, "keep", *profKeep)
+	}
 	if *metAddr != "" {
 		srv, err := tel.Serve(*metAddr)
 		if err != nil {
@@ -216,6 +236,7 @@ func runUntil(args []string, stop <-chan struct{}) error {
 func buildTelemetry(self message.BrokerID, b *broker.Broker, net *transport.Network, reg *metrics.Registry) *telemetry.Registry {
 	tel := telemetry.NewRegistry()
 	tel.RegisterBroker(self, b.Metrics())
+	tel.RegisterTransport(net.Telemetry())
 	net.SetTracer(tel.Traces())
 	tel.AddExposition(func(w io.Writer) {
 		links := reg.LinkSnapshot()

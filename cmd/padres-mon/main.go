@@ -1,0 +1,109 @@
+// Command padres-mon is the fleet latency observatory: it scrapes every
+// broker's /metrics and /spans endpoints, merges same-stage latency
+// histograms into cluster percentiles, and renders per-stage p50/p95/p99,
+// movement-phase breakdowns, a per-link health matrix (RTT, retransmits,
+// breaker state, resend depth), and the live in-flight-moves table.
+//
+//	padres-mon -targets localhost:9091,localhost:9092,localhost:9093 -watch
+//	padres-mon -targets b1=host1:9090,b2=host2:9090 -jsonl fleet.jsonl
+//	padres-mon -targets localhost:9090 -once
+//
+// With -watch the terminal is redrawn every interval; with -jsonl every
+// snapshot is appended as one JSON line for offline analysis; -once prints
+// a single snapshot and exits (the scripting mode).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"padres/internal/mon"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "padres-mon:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("padres-mon", flag.ContinueOnError)
+	var (
+		targetSpec = fs.String("targets", "", "comma-separated broker observability endpoints: host:port or name=host:port (required)")
+		interval   = fs.Duration("interval", 2*time.Second, "scrape interval")
+		watch      = fs.Bool("watch", false, "redraw the terminal every interval instead of appending")
+		jsonlPath  = fs.String("jsonl", "", "append every fleet snapshot as one JSON line to this file")
+		once       = fs.Bool("once", false, "scrape once, print, and exit")
+		timeout    = fs.Duration("timeout", 5*time.Second, "per-target scrape timeout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *targetSpec == "" {
+		return fmt.Errorf("-targets is required")
+	}
+	targets, err := mon.ParseTargets(*targetSpec)
+	if err != nil {
+		return err
+	}
+
+	var sink *os.File
+	if *jsonlPath != "" {
+		sink, err = os.OpenFile(*jsonlPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("jsonl sink: %w", err)
+		}
+		defer sink.Close()
+	}
+
+	scraper := mon.NewScraper(*timeout)
+	round := func() error {
+		snap := mon.Aggregate(scraper.ScrapeAll(targets), time.Now())
+		if *watch {
+			// Clear screen and home the cursor before each redraw.
+			fmt.Print("\x1b[2J\x1b[H")
+		}
+		fmt.Print(mon.RenderFleet(snap))
+		if !*watch {
+			fmt.Println()
+		}
+		if sink != nil {
+			line, err := json.Marshal(snap)
+			if err != nil {
+				return fmt.Errorf("jsonl encode: %w", err)
+			}
+			if _, err := sink.Write(append(line, '\n')); err != nil {
+				return fmt.Errorf("jsonl write: %w", err)
+			}
+		}
+		return nil
+	}
+
+	if err := round(); err != nil {
+		return err
+	}
+	if *once {
+		return nil
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	ticker := time.NewTicker(*interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-sig:
+			return nil
+		case <-ticker.C:
+			if err := round(); err != nil {
+				return err
+			}
+		}
+	}
+}

@@ -115,7 +115,7 @@ type Broker struct {
 	pipe *pipeline
 
 	mu        sync.Mutex
-	inbox     []message.Envelope
+	inbox     []inboxItem
 	cond      *sync.Cond // signalled when the inbox gains a message or stops
 	spaceCond *sync.Cond // signalled when the bounded inbox frees a slot
 	stopped   bool
@@ -220,8 +220,8 @@ func (b *Broker) Stop() {
 		return
 	}
 	b.stopped = true
-	for _, env := range b.inbox {
-		b.cfg.Net.Done(env.Msg)
+	for _, it := range b.inbox {
+		b.cfg.Net.Done(it.env.Msg)
 	}
 	b.inbox = nil
 	b.tel.QueueDepth.Set(0)
@@ -327,6 +327,9 @@ type Stats struct {
 	SendsByKind         map[message.Kind]int64
 	TotalSends          int64
 	DispatchLatency     telemetry.HistogramSnapshot
+	// Stages holds the per-stage latency snapshots (inbox_wait, match, and
+	// — with the parallel pipeline — commit_wait and egress_flush).
+	Stages map[string]telemetry.HistogramSnapshot
 }
 
 // Stats aggregates the broker's runtime gauges and counters into one
@@ -347,6 +350,7 @@ func (b *Broker) Stats() Stats {
 		SendsByKind:         b.tel.SendsByKind(),
 		TotalSends:          b.tel.TotalSends(),
 		DispatchLatency:     b.tel.DispatchLatency.Snapshot(),
+		Stages:              b.tel.Stages.Snapshot(),
 	}
 }
 
@@ -356,11 +360,23 @@ func (b *Broker) SRTSnapshot() []*matching.Record { return b.srt.All() }
 // PRTSnapshot returns a copy of the subscription table records.
 func (b *Broker) PRTSnapshot() []*matching.Record { return b.prt.All() }
 
+// inboxItem is one queued envelope with its enqueue time for the
+// inbox_wait stage timer (at stays zero while stage timing is disabled, so
+// the hot path pays no clock read).
+type inboxItem struct {
+	env message.Envelope
+	at  time.Time
+}
+
 // enqueue is the transport handler: it appends to the FIFO inbox. With a
 // bounded inbox, a full queue blocks the caller (a transport link goroutine
 // or a local injector) until the dispatcher frees a slot — backpressure in
 // place of unbounded growth.
 func (b *Broker) enqueue(env message.Envelope) {
+	it := inboxItem{env: env}
+	if b.tel.StageTimingEnabled() {
+		it.at = time.Now()
+	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if cap := b.cfg.InboxCapacity; cap > 0 && len(b.inbox) >= cap && !b.stopped {
@@ -373,7 +389,7 @@ func (b *Broker) enqueue(env message.Envelope) {
 		b.cfg.Net.Done(env.Msg)
 		return
 	}
-	b.inbox = append(b.inbox, env)
+	b.inbox = append(b.inbox, it)
 	depth := int64(len(b.inbox))
 	b.tel.QueueDepth.Set(depth)
 	b.tel.QueueHighWater.Observe(depth)
@@ -395,11 +411,15 @@ func (b *Broker) run() {
 			b.mu.Unlock()
 			return
 		}
-		env := b.inbox[0]
+		it := b.inbox[0]
 		b.inbox = b.inbox[1:]
 		b.tel.QueueDepth.Set(int64(len(b.inbox)))
 		b.spaceCond.Signal()
 		b.mu.Unlock()
+		env := it.env
+		if !it.at.IsZero() {
+			b.tel.InboxWait.Observe(time.Since(it.at))
+		}
 
 		if j := b.journal(); j != nil {
 			j.Add(journal.Record{

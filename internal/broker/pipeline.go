@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"padres/internal/message"
+	"padres/internal/telemetry"
 )
 
 // The parallel dispatch pipeline splits publication processing into three
@@ -44,6 +45,12 @@ type pipeline struct {
 	workCh  chan pubTicket
 	orderCh chan chan *pubPlan
 
+	// commitWait and egressFlush are the pipeline's stage timers,
+	// registered on the broker's stage set when the pipeline starts (so a
+	// serial broker never advertises stages it cannot observe).
+	commitWait  *telemetry.Histogram
+	egressFlush *telemetry.Histogram
+
 	outMu       sync.Mutex
 	outCond     *sync.Cond
 	outstanding int // publications submitted but not fully egressed
@@ -68,6 +75,9 @@ type pubPlan struct {
 	env     message.Envelope
 	m       message.Publish
 	actions []pubAction
+	// matchedAt is when the worker finished matching; the committer derives
+	// the in-order commit wait from it (zero when stage timing is off).
+	matchedAt time.Time
 	// remaining counts egress actions not yet performed; the final
 	// decrement completes the message's accounting.
 	remaining atomic.Int64
@@ -88,6 +98,9 @@ func newPipeline(b *Broker, workers int) *pipeline {
 		orderCh: make(chan chan *pubPlan, 2*workers),
 		queues:  make(map[message.NodeID]*egressQueue),
 	}
+	p.commitWait = b.tel.Stages.Register(telemetry.StageCommitWait)
+	p.egressFlush = b.tel.Stages.Register(telemetry.StageEgressFlush)
+	b.tel.SetEgressSampler(p.egressDepths)
 	p.outCond = sync.NewCond(&p.outMu)
 	for i := 0; i < workers; i++ {
 		p.wg.Add(1)
@@ -125,6 +138,7 @@ func (p *pipeline) drain() {
 // close drains the pipeline and stops all its goroutines. Called by the
 // dispatcher on shutdown.
 func (p *pipeline) close() {
+	p.b.tel.SetEgressSampler(nil)
 	p.drain()
 	close(p.workCh)
 	close(p.orderCh)
@@ -149,7 +163,11 @@ func (p *pipeline) worker() {
 		}
 		t0 := time.Now()
 		plan := &pubPlan{env: t.env, m: t.m, actions: b.planPublish(t.m, t.env.From)}
-		b.tel.DispatchLatency.Observe(time.Since(t0))
+		t1 := time.Now()
+		b.tel.DispatchLatency.Observe(t1.Sub(t0))
+		if b.tel.StageTimingEnabled() {
+			plan.matchedAt = t1
+		}
 		t.res <- plan
 	}
 }
@@ -160,6 +178,11 @@ func (p *pipeline) committer() {
 	defer p.wg.Done()
 	for res := range p.orderCh {
 		plan := <-res
+		if !plan.matchedAt.IsZero() {
+			// Time spent matched but waiting for earlier inbox slots to
+			// commit — the price of in-order egress.
+			p.commitWait.Observe(time.Since(plan.matchedAt))
+		}
 		if len(plan.actions) == 0 {
 			p.finish(plan)
 			continue
@@ -212,6 +235,8 @@ type egressQueue struct {
 	cond    *sync.Cond
 	items   []egressItem
 	stopped bool
+	// depth mirrors len(items) for the lock-free exposition sampler.
+	depth atomic.Int64
 }
 
 func newEgressQueue() *egressQueue {
@@ -223,6 +248,7 @@ func newEgressQueue() *egressQueue {
 func (q *egressQueue) push(it egressItem) {
 	q.mu.Lock()
 	q.items = append(q.items, it)
+	q.depth.Store(int64(len(q.items)))
 	q.cond.Signal()
 	q.mu.Unlock()
 }
@@ -247,7 +273,20 @@ func (q *egressQueue) pop() (batch []egressItem, ok bool) {
 	}
 	batch = q.items
 	q.items = nil
+	q.depth.Store(0)
 	return batch, true
+}
+
+// egressDepths samples every destination queue's depth; installed as the
+// broker metrics' egress sampler and called only at exposition time.
+func (p *pipeline) egressDepths() map[string]int {
+	p.egMu.Lock()
+	defer p.egMu.Unlock()
+	out := make(map[string]int, len(p.queues))
+	for dest, q := range p.queues {
+		out[string(dest)] = int(q.depth.Load())
+	}
+	return out
 }
 
 // flusher drains one destination's egress queue in FIFO order. Runs of
@@ -265,7 +304,13 @@ func (p *pipeline) flusher(dest message.NodeID, q *egressQueue) {
 		msgs = msgs[:0]
 		flushSends := func() {
 			if len(msgs) > 0 {
-				b.sendBatch(dest, msgs)
+				if b.tel.StageTimingEnabled() {
+					t0 := time.Now()
+					b.sendBatch(dest, msgs)
+					p.egressFlush.Observe(time.Since(t0))
+				} else {
+					b.sendBatch(dest, msgs)
+				}
 				msgs = msgs[:0]
 			}
 		}

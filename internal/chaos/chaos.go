@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -27,7 +28,9 @@ import (
 	"padres/internal/failure"
 	"padres/internal/journal"
 	"padres/internal/message"
+	"padres/internal/mon"
 	"padres/internal/predicate"
+	"padres/internal/telemetry"
 	"padres/internal/transport"
 )
 
@@ -170,31 +173,65 @@ type Result struct {
 	JournalDropped uint64
 	Duration       time.Duration
 
+	// Stages and Phases are the latency observatory's fleet snapshot,
+	// scraped from the survivors' instruments at soak end: the per-stage
+	// pipeline histograms (plus the store's wal_fsync/wal_commit when
+	// durable) and the movement-phase histograms, merged cluster-wide.
+	Stages []mon.StageStats
+	Phases []mon.StageStats
+	// DeadInstruments lists stage histograms that recorded nothing even
+	// though their matching work counters advanced — instrumentation that
+	// silently broke. A clean soak requires none.
+	DeadInstruments []string
+
 	Report *audit.Report
 }
 
-// Clean reports whether the audit found no violations and every movement
-// resolved without an unexpected error.
+// Clean reports whether the audit found no violations, every movement
+// resolved without an unexpected error, and no latency instrument went
+// dead during the soak.
 func (r *Result) Clean() bool {
-	return r.MoveErrors == 0 && r.Report != nil && r.Report.Clean()
+	return r.MoveErrors == 0 && len(r.DeadInstruments) == 0 &&
+		r.Report != nil && r.Report.Clean()
 }
 
-// Summary renders a one-paragraph soak report.
+// Summary renders a one-paragraph soak report, including the fleet-wide
+// latency percentiles the observatory scraped at soak end.
 func (r *Result) Summary() string {
 	verdict := "CLEAN"
 	if !r.Clean() {
 		verdict = "VIOLATIONS"
 	}
-	return fmt.Sprintf(
+	var sb strings.Builder
+	fmt.Fprintf(&sb,
 		"chaos soak: %d moves (%d committed, %d aborted, %d errors) in %v\n"+
 			"  injected: %d crashes (%d restarted), %d freezes, %d partitions, %d dropped frames\n"+
 			"  transport: %d retransmits, %d dupes deduplicated, %d dead letters\n"+
-			"  journal: %d records (%d dropped from ring)\n"+
-			"  audit: %s",
+			"  journal: %d records (%d dropped from ring)\n",
 		r.Moves, r.Committed, r.Aborted, r.MoveErrors, r.Duration.Round(time.Millisecond),
 		r.Crashes, r.Restarts, r.Freezes, r.Partitions, r.InjectedDrops,
 		r.Retransmits, r.DupesDropped, r.DeadLetters,
-		r.JournalRecords, r.JournalDropped, verdict)
+		r.JournalRecords, r.JournalDropped)
+	writeStats := func(kind string, stats []mon.StageStats) {
+		for _, s := range stats {
+			if s.Count == 0 {
+				continue
+			}
+			fmt.Fprintf(&sb, "  %s %s: p50=%.2fms p95=%.2fms p99=%.2fms (n=%d)\n",
+				kind, s.Name,
+				float64(s.P50)/float64(time.Millisecond),
+				float64(s.P95)/float64(time.Millisecond),
+				float64(s.P99)/float64(time.Millisecond),
+				s.Count)
+		}
+	}
+	writeStats("stage", r.Stages)
+	writeStats("phase", r.Phases)
+	for _, d := range r.DeadInstruments {
+		fmt.Fprintf(&sb, "  dead instrument: %s\n", d)
+	}
+	fmt.Fprintf(&sb, "  audit: %s", verdict)
+	return sb.String()
 }
 
 // Run executes one seeded soak and audits it.
@@ -224,6 +261,13 @@ func Run(opts Options) (*Result, error) {
 	c.Start()
 	defer c.Stop()
 	in := failure.New(c)
+
+	// The latency observatory rides along: movement protocol steps feed the
+	// registry's span recorder (the same one /spans serves), so the soak can
+	// end with fleet-wide per-phase percentiles next to the per-stage ones.
+	// The sink survives broker restarts — the cluster re-installs it.
+	telReg := telemetry.NewRegistry()
+	c.SetEventSink(core.PhaseSink(telReg.Spans()))
 
 	// Partition the broker set: clients live only on hostable brokers;
 	// crash victims host none, so a crash never takes a client or a
@@ -418,6 +462,35 @@ func Run(opts Options) (*Result, error) {
 	res.InjectedDrops = tel.InjectedDrops.Value()
 	res.JournalRecords = j.Len()
 	res.JournalDropped = j.Dropped()
+
+	// Latency-observatory snapshot: expose the survivors' instruments
+	// exactly as /metrics would, re-parse the text, merge the per-stage and
+	// per-phase histograms cluster-wide, and run the dead-instrument
+	// detector. A soak whose work counters advanced while a registered
+	// stage histogram stayed empty means the instrumentation itself broke,
+	// and Clean() fails on it.
+	for _, id := range all {
+		if b := c.Broker(id); b != nil {
+			telReg.RegisterBroker(id, b.Metrics())
+			telReg.RegisterStore(id, b.StoreMetrics())
+		}
+	}
+	telReg.RegisterTransport(tel)
+	var expo strings.Builder
+	telReg.WritePrometheus(&expo)
+	if e, err := mon.Parse(strings.NewReader(expo.String())); err != nil {
+		res.DeadInstruments = []string{fmt.Sprintf("soak exposition unparseable: %v", err)}
+	} else {
+		res.DeadInstruments = mon.DeadInstruments(e)
+		fs := mon.Aggregate([]mon.Scrape{{Target: mon.Target{Name: "soak"}, Expo: e}}, time.Now())
+		res.Stages = fs.Stages
+		res.Phases = fs.Phases
+		for _, aggErr := range fs.Errors {
+			res.DeadInstruments = append(res.DeadInstruments,
+				fmt.Sprintf("aggregation: %s", aggErr))
+		}
+	}
+
 	res.Duration = time.Since(start)
 	res.Report = audit.Audit(j.Snapshot())
 	return res, nil

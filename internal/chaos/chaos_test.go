@@ -38,6 +38,28 @@ func TestSoakShort(t *testing.T) {
 	if res.JournalDropped != 0 {
 		t.Errorf("journal ring dropped %d records; audit evidence incomplete", res.JournalDropped)
 	}
+	// The latency observatory must have snapshotted the fleet: pipeline
+	// stage percentiles, movement phase percentiles (with the "total" row),
+	// and no instrument that went dead while its work counter advanced.
+	if len(res.DeadInstruments) != 0 {
+		t.Errorf("dead instruments: %v", res.DeadInstruments)
+	}
+	stages := make(map[string]int64)
+	for _, s := range res.Stages {
+		stages[s.Name] = s.Count
+	}
+	if stages["inbox_wait"] == 0 || stages["match"] == 0 {
+		t.Errorf("fleet stage snapshot incomplete: %v", stages)
+	}
+	var total bool
+	for _, p := range res.Phases {
+		if p.Name == "total" && p.Count > 0 {
+			total = true
+		}
+	}
+	if !total {
+		t.Errorf("fleet phase snapshot has no whole-move row: %v", res.Phases)
+	}
 }
 
 // TestSoakRestartShort runs the durable-store soak: brokers persist to
@@ -75,6 +97,15 @@ func TestSoakRestartShort(t *testing.T) {
 	run := res.Report.Runs[len(res.Report.Runs)-1]
 	if len(run.RestartedSites) == 0 {
 		t.Error("audit saw no restarted sites despite restarts")
+	}
+	// Durable soak: the store's WAL stages must appear in the fleet
+	// snapshot alongside the dispatch stages.
+	stages := make(map[string]int64)
+	for _, s := range res.Stages {
+		stages[s.Name] = s.Count
+	}
+	if stages["wal_fsync"] == 0 || stages["wal_commit"] == 0 {
+		t.Errorf("durable soak snapshot missing WAL stages: %v", stages)
 	}
 }
 

@@ -99,21 +99,21 @@ func RenderTimeline(r *Result, buckets int) string {
 	return b.String()
 }
 
-// RenderPhaseSummary formats the mean duration of each 3PC phase over the
-// committed movements of one run — the phase-level breakdown of where a
-// movement's latency goes.
+// RenderPhaseSummary formats the duration of each 3PC phase over the
+// committed movements of one run — mean and p50/p95/p99, the phase-level
+// breakdown of where a movement's latency goes.
 func RenderPhaseSummary(r *Result) string {
 	type agg struct {
 		sum time.Duration
 		n   int
 	}
 	byPhase := make(map[string]*agg)
-	committed := 0
+	var committed []telemetry.MovementTimeline
 	for _, tl := range r.Phases {
 		if tl.Outcome != "committed" {
 			continue
 		}
-		committed++
+		committed = append(committed, tl)
 		for _, p := range tl.Phases {
 			a := byPhase[p.Phase]
 			if a == nil {
@@ -124,12 +124,13 @@ func RenderPhaseSummary(r *Result) string {
 			a.n++
 		}
 	}
-	if committed == 0 {
+	if len(committed) == 0 {
 		return "(no committed movements with phase spans)\n"
 	}
+	quantiles := telemetry.PhaseQuantiles(committed)
 	var b strings.Builder
 	w := tabwriter.NewWriter(&b, 4, 4, 2, ' ', 0)
-	fmt.Fprintf(w, "phase\tmean(ms)\tsamples\n")
+	fmt.Fprintf(w, "phase\tmean(ms)\tp50(ms)\tp95(ms)\tp99(ms)\tsamples\n")
 	order := []string{
 		telemetry.PhaseInit, telemetry.PhasePrepare, telemetry.PhasePrecommit,
 		telemetry.PhaseCommit, telemetry.PhaseAbort,
@@ -139,8 +140,15 @@ func RenderPhaseSummary(r *Result) string {
 		if a == nil || a.n == 0 {
 			continue
 		}
-		fmt.Fprintf(w, "%s\t%s\t%d\n", name, ms(a.sum/time.Duration(a.n)), a.n)
+		q := quantiles[name]
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%d\n",
+			name, ms(a.sum/time.Duration(a.n)),
+			ms(q.Quantile(0.50)), ms(q.Quantile(0.95)), ms(q.Quantile(0.99)), a.n)
 	}
+	q := quantiles[telemetry.PhaseTotal]
+	fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%d\n",
+		"whole move", ms(q.Mean()),
+		ms(q.Quantile(0.50)), ms(q.Quantile(0.95)), ms(q.Quantile(0.99)), q.Count)
 	_ = w.Flush()
 	return b.String()
 }

@@ -1,0 +1,159 @@
+package mon
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"padres/internal/message"
+	"padres/internal/telemetry"
+)
+
+// scrapeOf renders a registry to text and wraps it as a successful scrape.
+func scrapeOf(t *testing.T, name string, r *telemetry.Registry, active []telemetry.MovementTimeline) Scrape {
+	t.Helper()
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	e, err := Parse(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Scrape{Target: Target{Name: name, Addr: name + ":0"}, Expo: e, Active: active}
+}
+
+func brokerRegistry(t *testing.T, id string, inboxObs []time.Duration) *telemetry.Registry {
+	t.Helper()
+	r := telemetry.NewRegistry()
+	bm := telemetry.NewBrokerMetrics()
+	for _, d := range inboxObs {
+		bm.InboxWait.Observe(d)
+		bm.Processed.Inc()
+	}
+	r.RegisterBroker(message.BrokerID(id), bm)
+	return r
+}
+
+func TestAggregateMergesStagesAcrossTargets(t *testing.T) {
+	r1 := brokerRegistry(t, "b1", []time.Duration{100 * time.Microsecond, 200 * time.Microsecond})
+	r2 := brokerRegistry(t, "b2", []time.Duration{3 * time.Millisecond})
+
+	tm := &telemetry.TransportMetrics{}
+	lm := tm.Link("b1", "b2")
+	lm.RTT.Observe(time.Millisecond)
+	lm.Retransmits.Add(4)
+	lm.Up.Set(0)
+	r1.RegisterTransport(tm)
+
+	now := time.Now()
+	active := []telemetry.MovementTimeline{{
+		Tx: "m1", Client: "c1", Start: now.Add(-2 * time.Second),
+		Steps: []telemetry.Step{{Name: telemetry.StepNegotiateSent, Broker: "b1", At: now.Add(-time.Second)}},
+	}}
+
+	fs := Aggregate([]Scrape{
+		scrapeOf(t, "n1", r1, active),
+		scrapeOf(t, "n2", r2, active), // same move seen twice: must dedup
+		{Target: Target{Addr: "down:1"}, Err: errFake},
+	}, now)
+
+	if len(fs.Targets) != 3 || fs.Targets[2].OK || !fs.Targets[0].OK {
+		t.Fatalf("targets = %+v", fs.Targets)
+	}
+	if got := fs.Targets[0].Brokers; len(got) != 1 || got[0] != "b1" {
+		t.Errorf("target brokers = %v", got)
+	}
+	var inbox *StageStats
+	for i := range fs.Stages {
+		if fs.Stages[i].Name == telemetry.StageInboxWait {
+			inbox = &fs.Stages[i]
+		}
+	}
+	if inbox == nil || inbox.Count != 3 {
+		t.Fatalf("inbox_wait stage = %+v", inbox)
+	}
+	if inbox.P95 < inbox.P50 {
+		t.Errorf("p95 %v < p50 %v", inbox.P95, inbox.P50)
+	}
+	if len(fs.Links) != 1 {
+		t.Fatalf("links = %+v", fs.Links)
+	}
+	l := fs.Links[0]
+	if l.From != "b1" || l.To != "b2" || l.Up || l.Retransmits != 4 || l.RTTCount != 1 {
+		t.Errorf("link = %+v", l)
+	}
+	if len(fs.Moves) != 1 || fs.Moves[0].Tx != "m1" || fs.Moves[0].LastStep != telemetry.StepNegotiateSent {
+		t.Fatalf("moves = %+v", fs.Moves)
+	}
+	if fs.Moves[0].Age < time.Second {
+		t.Errorf("move age = %v", fs.Moves[0].Age)
+	}
+
+	out := RenderFleet(fs)
+	for _, want := range []string{"2/3 targets up", "inbox_wait", "b1", "DOWN", "m1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+type fakeErr struct{}
+
+func (fakeErr) Error() string { return "connection refused" }
+
+var errFake = fakeErr{}
+
+func TestScrapeTargetAgainstLiveRegistry(t *testing.T) {
+	r := telemetry.NewRegistry()
+	bm := telemetry.NewBrokerMetrics()
+	bm.InboxWait.Observe(time.Millisecond)
+	bm.Processed.Inc()
+	r.RegisterBroker("b1", bm)
+	// One in-flight movement for the live view.
+	r.Spans().Observe("tx9", "c1", "b1", telemetry.StepMoveRequested, time.Now(), "")
+
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	sc := NewScraper(0).ScrapeTarget(Target{Addr: strings.TrimPrefix(srv.URL, "http://")})
+	if sc.Err != nil {
+		t.Fatal(sc.Err)
+	}
+	if v, ok := sc.Expo.Value("padres_broker_processed_total", map[string]string{"broker": "b1"}); !ok || v != 1 {
+		t.Errorf("processed = %v, %v", v, ok)
+	}
+	if len(sc.Active) != 1 || sc.Active[0].Tx != "tx9" {
+		t.Errorf("active = %+v", sc.Active)
+	}
+
+	fs := Aggregate([]Scrape{sc}, time.Now())
+	if len(fs.Moves) != 1 {
+		t.Errorf("moves = %+v", fs.Moves)
+	}
+}
+
+func TestScrapeUnreachableTarget(t *testing.T) {
+	sc := NewScraper(200 * time.Millisecond).ScrapeTarget(Target{Addr: "127.0.0.1:1"})
+	if sc.Err == nil {
+		t.Fatal("scrape of a closed port succeeded")
+	}
+}
+
+func TestParseTargets(t *testing.T) {
+	ts, err := ParseTargets("b1=host1:9090, host2:9091 ,http://host3:9092")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 3 || ts[0].Name != "b1" || ts[0].Addr != "host1:9090" {
+		t.Fatalf("targets = %+v", ts)
+	}
+	if ts[1].DisplayName() != "host2:9091" {
+		t.Errorf("display = %q", ts[1].DisplayName())
+	}
+	if ts[2].baseURL() != "http://host3:9092" {
+		t.Errorf("baseURL = %q", ts[2].baseURL())
+	}
+	if _, err := ParseTargets("  "); err == nil {
+		t.Error("empty spec accepted")
+	}
+}

@@ -1,0 +1,500 @@
+// Package mon is the fleet-monitoring side of the latency observatory: it
+// parses Prometheus text expositions scraped from broker /metrics
+// endpoints, reconstructs latency histograms from their cumulative bucket
+// series, merges same-stage histograms across brokers into cluster
+// percentiles, derives a per-link health matrix, and detects dead
+// instruments (stages that should have observations but do not).
+//
+// The package is the read side of internal/telemetry's write side: it
+// depends only on the exposition text format, so it can monitor any broker
+// process it can reach over HTTP — including ones built from a different
+// checkout, as long as the series names line up.
+package mon
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"padres/internal/telemetry"
+)
+
+// Sample is one exposition sample line: a metric name, its label set, and
+// the parsed value.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Label returns the sample's value for one label name ("" when absent).
+func (s Sample) Label(name string) string { return s.Labels[name] }
+
+// Family is one metric family: the samples sharing a base name, together
+// with the HELP/TYPE metadata seen for it. For histograms the family is
+// keyed by the base name and holds the _bucket, _sum, and _count samples.
+type Family struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []Sample
+}
+
+// Exposition is one parsed Prometheus text exposition.
+type Exposition struct {
+	order []string
+	fams  map[string]*Family
+	// Violations lists text-format conformance problems found while
+	// parsing (missing metadata, interleaved families, metadata after
+	// samples). Parsing is lenient — violations do not abort it — so a
+	// scraper keeps working against a sloppy exporter while the
+	// conformance test can assert the list is empty.
+	Violations []string
+}
+
+// Families returns the families in first-appearance order.
+func (e *Exposition) Families() []*Family {
+	out := make([]*Family, 0, len(e.order))
+	for _, name := range e.order {
+		out = append(out, e.fams[name])
+	}
+	return out
+}
+
+// Family returns the named family (nil when absent).
+func (e *Exposition) Family(name string) *Family { return e.fams[name] }
+
+// Samples returns every sample with exactly the given sample name (for
+// histograms, pass the suffixed name such as "x_bucket").
+func (e *Exposition) Samples(name string) []Sample {
+	fam := e.fams[baseName(name)]
+	if fam == nil {
+		return nil
+	}
+	var out []Sample
+	for _, s := range fam.Samples {
+		if s.Name == name {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Value returns the value of the sample whose name and full label set match
+// exactly.
+func (e *Exposition) Value(name string, labels map[string]string) (float64, bool) {
+	for _, s := range e.Samples(name) {
+		if labelsEqual(s.Labels, labels) {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// SumValues sums every sample of the given name whose labels include all of
+// want (extra labels are allowed); ok reports whether any matched.
+func (e *Exposition) SumValues(name string, want map[string]string) (sum float64, ok bool) {
+	for _, s := range e.Samples(name) {
+		if labelsInclude(s.Labels, want) {
+			sum += s.Value
+			ok = true
+		}
+	}
+	return sum, ok
+}
+
+func labelsEqual(a, b map[string]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// labelsInclude reports whether a contains every pair of want.
+func labelsInclude(a, want map[string]string) bool {
+	for k, v := range want {
+		if a[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// baseName strips the histogram sample suffixes so a _bucket/_sum/_count
+// sample is grouped under its family's base name.
+func baseName(name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suf) {
+			return strings.TrimSuffix(name, suf)
+		}
+	}
+	return name
+}
+
+// Parse reads one Prometheus text exposition. Malformed sample lines abort
+// with an error; conformance problems that do not prevent interpretation
+// are collected in the returned Exposition's Violations.
+func Parse(r io.Reader) (*Exposition, error) {
+	e := &Exposition{fams: make(map[string]*Family)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var current string // family of the last sample line, for contiguity
+	closed := make(map[string]bool)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, rest, ok := parseComment(line)
+			if !ok {
+				continue // arbitrary comment
+			}
+			fam := e.family(name)
+			switch kind {
+			case "HELP":
+				if len(fam.Samples) > 0 {
+					e.violate("line %d: HELP for %s after its samples", lineNo, name)
+				}
+				if fam.Help != "" && fam.Help != rest {
+					e.violate("line %d: duplicate HELP for %s", lineNo, name)
+				}
+				fam.Help = unescapeHelp(rest)
+			case "TYPE":
+				if len(fam.Samples) > 0 {
+					e.violate("line %d: TYPE for %s after its samples", lineNo, name)
+				}
+				fam.Type = rest
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		base := baseName(s.Name)
+		if base != current {
+			if closed[base] {
+				e.violate("line %d: family %s is not contiguous", lineNo, base)
+			}
+			if current != "" {
+				closed[current] = true
+			}
+			current = base
+		}
+		fam := e.family(base)
+		fam.Samples = append(fam.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func (e *Exposition) violate(format string, args ...any) {
+	e.Violations = append(e.Violations, fmt.Sprintf(format, args...))
+}
+
+func (e *Exposition) family(name string) *Family {
+	fam, ok := e.fams[name]
+	if !ok {
+		fam = &Family{Name: name}
+		e.fams[name] = fam
+		e.order = append(e.order, name)
+	}
+	return fam
+}
+
+// parseComment splits "# HELP name text" / "# TYPE name type" lines.
+func parseComment(line string) (kind, name, rest string, ok bool) {
+	fields := strings.SplitN(strings.TrimPrefix(line, "#"), " ", 4)
+	// After TrimPrefix the line starts with a space: fields[0] is "".
+	var parts []string
+	for _, f := range fields {
+		if f != "" || len(parts) > 0 {
+			parts = append(parts, f)
+		}
+	}
+	if len(parts) < 2 {
+		return "", "", "", false
+	}
+	kind = parts[0]
+	if kind != "HELP" && kind != "TYPE" {
+		return "", "", "", false
+	}
+	name = parts[1]
+	if len(parts) > 2 {
+		rest = strings.Join(parts[2:], " ")
+	}
+	return kind, name, rest, true
+}
+
+// parseSample parses one sample line: name[{labels}] value [timestamp].
+func parseSample(line string) (Sample, error) {
+	s := Sample{}
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return s, fmt.Errorf("no value in %q", line)
+	} else {
+		s.Name = rest[:i]
+		if rest[i] == '{' {
+			labels, tail, err := parseLabels(rest[i:])
+			if err != nil {
+				return s, fmt.Errorf("%q: %w", line, err)
+			}
+			s.Labels = labels
+			rest = tail
+		} else {
+			rest = rest[i:]
+		}
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 {
+		return s, fmt.Errorf("no value in %q", line)
+	}
+	v, err := parseValue(fields[0])
+	if err != nil {
+		return s, fmt.Errorf("bad value %q in %q", fields[0], line)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseValue accepts Go float syntax plus the exposition spellings of
+// infinity and NaN.
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN", "Nan":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// parseLabels parses a {name="value",...} block, handling the text format's
+// escape sequences in values, and returns the remainder of the line.
+func parseLabels(s string) (map[string]string, string, error) {
+	if len(s) == 0 || s[0] != '{' {
+		return nil, "", fmt.Errorf("missing label block")
+	}
+	labels := make(map[string]string)
+	i := 1
+	for {
+		// Skip whitespace and the commas between pairs.
+		for i < len(s) && (s[i] == ',' || s[i] == ' ') {
+			i++
+		}
+		if i < len(s) && s[i] == '}' {
+			return labels, s[i+1:], nil
+		}
+		eq := strings.IndexByte(s[i:], '=')
+		if eq < 0 {
+			return nil, "", fmt.Errorf("label without '='")
+		}
+		name := s[i : i+eq]
+		i += eq + 1
+		if i >= len(s) || s[i] != '"' {
+			return nil, "", fmt.Errorf("label %s: unquoted value", name)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(s) {
+				return nil, "", fmt.Errorf("label %s: unterminated value", name)
+			}
+			c := s[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\\' {
+				if i+1 >= len(s) {
+					return nil, "", fmt.Errorf("label %s: dangling escape", name)
+				}
+				switch s[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, "", fmt.Errorf("label %s: bad escape \\%c", name, s[i+1])
+				}
+				i += 2
+				continue
+			}
+			val.WriteByte(c)
+			i++
+		}
+		labels[name] = val.String()
+	}
+}
+
+func unescapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\n`, "\n")
+	return strings.ReplaceAll(s, `\\`, `\`)
+}
+
+// LabeledHistogram is one reconstructed histogram series together with its
+// identifying labels (the le label removed).
+type LabeledHistogram struct {
+	Labels   map[string]string
+	Snapshot telemetry.HistogramSnapshot
+}
+
+// Histograms reconstructs every histogram series of the named family from
+// its cumulative _bucket/_sum/_count samples, grouped by label set. The
+// returned snapshots hold per-bucket (non-cumulative) counts, so they merge
+// directly with telemetry.MergeSnapshots.
+func (e *Exposition) Histograms(name string) ([]LabeledHistogram, error) {
+	fam := e.fams[name]
+	if fam == nil {
+		return nil, nil
+	}
+	type series struct {
+		labels  map[string]string
+		buckets []Sample // le retained in Labels here
+		sum     float64
+		count   int64
+	}
+	groups := make(map[string]*series)
+	var order []string
+	group := func(labels map[string]string) *series {
+		key := labelKey(labels)
+		g, ok := groups[key]
+		if !ok {
+			g = &series{labels: labels}
+			groups[key] = g
+			order = append(order, key)
+		}
+		return g
+	}
+	for _, s := range fam.Samples {
+		switch s.Name {
+		case name + "_bucket":
+			stripped := make(map[string]string, len(s.Labels))
+			for k, v := range s.Labels {
+				if k != "le" {
+					stripped[k] = v
+				}
+			}
+			g := group(stripped)
+			g.buckets = append(g.buckets, s)
+		case name + "_sum":
+			group(s.Labels).sum = s.Value
+		case name + "_count":
+			group(s.Labels).count = int64(s.Value)
+		}
+	}
+	out := make([]LabeledHistogram, 0, len(order))
+	for _, key := range order {
+		g := groups[key]
+		snap, err := reconstruct(name, g.buckets, g.sum, g.count)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, LabeledHistogram{Labels: g.labels, Snapshot: snap})
+	}
+	return out, nil
+}
+
+// Histogram reconstructs the single histogram series of the named family
+// whose labels include all of want; ok is false when none matches.
+func (e *Exposition) Histogram(name string, want map[string]string) (telemetry.HistogramSnapshot, bool, error) {
+	hs, err := e.Histograms(name)
+	if err != nil {
+		return telemetry.HistogramSnapshot{}, false, err
+	}
+	for _, h := range hs {
+		if labelsInclude(h.Labels, want) {
+			return h.Snapshot, true, nil
+		}
+	}
+	return telemetry.HistogramSnapshot{}, false, nil
+}
+
+// reconstruct turns cumulative bucket samples back into the snapshot form:
+// ascending finite bounds plus a trailing overflow count.
+func reconstruct(name string, buckets []Sample, sum float64, count int64) (telemetry.HistogramSnapshot, error) {
+	type bk struct {
+		le  float64
+		cum float64
+	}
+	bks := make([]bk, 0, len(buckets))
+	for _, s := range buckets {
+		leStr, ok := s.Labels["le"]
+		if !ok {
+			return telemetry.HistogramSnapshot{}, fmt.Errorf("%s_bucket without le label", name)
+		}
+		le, err := parseValue(leStr)
+		if err != nil {
+			return telemetry.HistogramSnapshot{}, fmt.Errorf("%s_bucket: bad le %q", name, leStr)
+		}
+		bks = append(bks, bk{le: le, cum: s.Value})
+	}
+	sort.Slice(bks, func(i, j int) bool { return bks[i].le < bks[j].le })
+	snap := telemetry.HistogramSnapshot{
+		Sum:   time.Duration(sum * float64(time.Second)),
+		Count: count,
+	}
+	var prev float64
+	infSeen := false
+	for _, b := range bks {
+		d := b.cum - prev
+		if d < 0 {
+			return telemetry.HistogramSnapshot{}, fmt.Errorf("%s: non-cumulative buckets (le=%g)", name, b.le)
+		}
+		prev = b.cum
+		if math.IsInf(b.le, 1) {
+			infSeen = true
+			snap.Counts = append(snap.Counts, int64(d))
+			continue
+		}
+		snap.Bounds = append(snap.Bounds, b.le)
+		snap.Counts = append(snap.Counts, int64(d))
+	}
+	if !infSeen {
+		// No +Inf bucket: derive the overflow cell from the total count.
+		over := count - int64(prev)
+		if over < 0 {
+			over = 0
+		}
+		snap.Counts = append(snap.Counts, over)
+	}
+	if snap.Count == 0 && prev > 0 {
+		snap.Count = int64(prev)
+	}
+	return snap, nil
+}
+
+func labelKey(labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(labels[k])
+		b.WriteByte(';')
+	}
+	return b.String()
+}

@@ -1,0 +1,181 @@
+package mon
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"padres/internal/telemetry"
+)
+
+func TestParseSamples(t *testing.T) {
+	const text = `# HELP demo_total A demo counter.
+# TYPE demo_total counter
+demo_total{broker="b1"} 42
+demo_total{broker="b2"} 7
+# HELP demo_gauge A demo gauge.
+# TYPE demo_gauge gauge
+demo_gauge 1.5
+`
+	e, err := Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Violations) != 0 {
+		t.Fatalf("violations: %v", e.Violations)
+	}
+	if v, ok := e.Value("demo_total", map[string]string{"broker": "b1"}); !ok || v != 42 {
+		t.Errorf("b1 = %v, %v", v, ok)
+	}
+	if sum, ok := e.SumValues("demo_total", nil); !ok || sum != 49 {
+		t.Errorf("sum = %v, %v", sum, ok)
+	}
+	fam := e.Family("demo_gauge")
+	if fam == nil || fam.Type != "gauge" || fam.Help != "A demo gauge." {
+		t.Errorf("gauge family = %+v", fam)
+	}
+}
+
+func TestParseEscapedLabels(t *testing.T) {
+	raw := "path\\with \"quotes\"\nand newline"
+	text := "weird{v=" + `"` + telemetry.EscapeLabelValue(raw) + `"` + "} 1\n"
+	e, err := Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := e.Samples("weird")
+	if len(samples) != 1 || samples[0].Labels["v"] != raw {
+		t.Fatalf("escaped label did not round trip: %+v", samples)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"novalue\n",
+		`x{l="unterminated} 1` + "\n",
+		"x{l=unquoted} 1\n",
+		"x notanumber\n",
+	} {
+		if _, err := Parse(strings.NewReader(bad)); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseViolations(t *testing.T) {
+	// Family a interleaved with b, and HELP arriving after samples.
+	const text = `a_total 1
+b_total 2
+a_total{x="1"} 3
+# HELP b_total too late
+`
+	e, err := Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Violations) < 2 {
+		t.Fatalf("violations = %v", e.Violations)
+	}
+}
+
+func TestHistogramReconstructRoundTrip(t *testing.T) {
+	h := telemetry.NewLatencyHistogram()
+	for _, d := range []time.Duration{
+		30 * time.Microsecond, 800 * time.Microsecond, 800 * time.Microsecond,
+		3 * time.Millisecond, 40 * time.Millisecond, 7 * time.Second, 20 * time.Second,
+	} {
+		h.Observe(d)
+	}
+	want := h.Snapshot()
+
+	pb := telemetry.NewPromBuilder()
+	pb.Histogram("rt_seconds", "Round trip.", []telemetry.Label{{Name: "broker", Value: "b1"}}, want)
+	var sb strings.Builder
+	pb.Emit(&sb)
+
+	e, err := Parse(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Violations) != 0 {
+		t.Fatalf("violations: %v", e.Violations)
+	}
+	got, ok, err := e.Histogram("rt_seconds", map[string]string{"broker": "b1"})
+	if err != nil || !ok {
+		t.Fatalf("Histogram: ok=%v err=%v", ok, err)
+	}
+	if got.Count != want.Count {
+		t.Errorf("count = %d, want %d", got.Count, want.Count)
+	}
+	if len(got.Bounds) != len(want.Bounds) || len(got.Counts) != len(want.Counts) {
+		t.Fatalf("shape = %d/%d bounds, %d/%d counts",
+			len(got.Bounds), len(want.Bounds), len(got.Counts), len(want.Counts))
+	}
+	for i := range want.Counts {
+		if got.Counts[i] != want.Counts[i] {
+			t.Errorf("bucket %d = %d, want %d", i, got.Counts[i], want.Counts[i])
+		}
+	}
+	// The sum crosses text as a float of seconds; allow rounding slack.
+	if diff := (got.Sum - want.Sum).Abs(); diff > time.Millisecond {
+		t.Errorf("sum = %v, want %v", got.Sum, want.Sum)
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if got.Quantile(q) != want.Quantile(q) {
+			t.Errorf("q%.2f = %v, want %v", q, got.Quantile(q), want.Quantile(q))
+		}
+	}
+}
+
+func TestHistogramReconstructWithoutInf(t *testing.T) {
+	const text = `x_bucket{le="0.1"} 2
+x_bucket{le="1"} 5
+x_sum 3.5
+x_count 7
+`
+	e, err := Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := e.Histogram("x", nil)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if len(got.Bounds) != 2 || got.Bounds[0] != 0.1 || got.Bounds[1] != 1 {
+		t.Fatalf("bounds = %v", got.Bounds)
+	}
+	// De-cumulated: 2, 3, and an overflow of 7-5=2.
+	wantCounts := []int64{2, 3, 2}
+	for i, c := range wantCounts {
+		if got.Counts[i] != c {
+			t.Errorf("counts[%d] = %d, want %d", i, got.Counts[i], c)
+		}
+	}
+}
+
+func TestHistogramNonCumulativeRejected(t *testing.T) {
+	const text = `x_bucket{le="0.1"} 5
+x_bucket{le="1"} 2
+x_bucket{le="+Inf"} 5
+x_count 5
+`
+	e, err := Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.Histogram("x", nil); err == nil {
+		t.Fatal("non-cumulative buckets accepted")
+	}
+}
+
+func TestParseInfValue(t *testing.T) {
+	e, err := Parse(strings.NewReader("x +Inf\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := e.Samples("x")
+	if len(s) != 1 || !math.IsInf(s[0].Value, 1) {
+		t.Fatalf("samples = %+v", s)
+	}
+}

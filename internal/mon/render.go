@@ -1,0 +1,100 @@
+package mon
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+	"time"
+)
+
+// ms renders a duration as fractional milliseconds.
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.2f", float64(d.Microseconds())/1000.0)
+}
+
+// RenderFleet formats one fleet snapshot as the terminal dashboard: target
+// health, cluster per-stage percentiles, movement-phase percentiles, the
+// link matrix, and in-flight moves.
+func RenderFleet(fs *FleetSnapshot) string {
+	var b strings.Builder
+	up := 0
+	for _, t := range fs.Targets {
+		if t.OK {
+			up++
+		}
+	}
+	fmt.Fprintf(&b, "padres fleet  %d/%d targets up  %s\n",
+		up, len(fs.Targets), fs.At.Format("15:04:05"))
+	for _, t := range fs.Targets {
+		if !t.OK {
+			fmt.Fprintf(&b, "  DOWN %s: %s\n", t.Target, t.Err)
+		}
+	}
+
+	if len(fs.Stages) > 0 {
+		fmt.Fprintf(&b, "\npipeline stages (cluster)\n")
+		writeStats(&b, fs.Stages)
+	}
+	if n := countObserved(fs.Phases); n > 0 {
+		fmt.Fprintf(&b, "\nmovement phases (cluster)\n")
+		writeStats(&b, fs.Phases)
+	}
+	if len(fs.Links) > 0 {
+		fmt.Fprintf(&b, "\nlinks\n")
+		w := tabwriter.NewWriter(&b, 4, 4, 2, ' ', 0)
+		fmt.Fprintf(w, "  from\tto\tstate\trtt p50(ms)\trtt p95(ms)\tretx\tresend\tdead\n")
+		for _, l := range fs.Links {
+			state := "up"
+			if !l.Up {
+				state = "DOWN"
+			}
+			rtt50, rtt95 := "-", "-"
+			if l.RTTCount > 0 {
+				rtt50, rtt95 = ms(l.RTTP50), ms(l.RTTP95)
+			}
+			fmt.Fprintf(w, "  %s\t%s\t%s\t%s\t%s\t%d\t%d\t%d\n",
+				l.From, l.To, state, rtt50, rtt95, l.Retransmits, l.ResendDepth, l.DeadLetters)
+		}
+		_ = w.Flush()
+	}
+	if len(fs.Moves) > 0 {
+		fmt.Fprintf(&b, "\nin-flight moves\n")
+		w := tabwriter.NewWriter(&b, 4, 4, 2, ' ', 0)
+		fmt.Fprintf(w, "  tx\tclient\tlast step\tat broker\tage(ms)\tsteps\n")
+		for _, m := range fs.Moves {
+			fmt.Fprintf(w, "  %s\t%s\t%s\t%s\t%s\t%d\n",
+				m.Tx, m.Client, m.LastStep, m.Broker, ms(m.Age), m.Steps)
+		}
+		_ = w.Flush()
+	}
+	for _, e := range fs.Errors {
+		fmt.Fprintf(&b, "\naggregation error: %s\n", e)
+	}
+	return b.String()
+}
+
+func countObserved(stats []StageStats) int {
+	n := 0
+	for _, s := range stats {
+		if s.Count > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// writeStats renders one stage/phase percentile table; rows with no
+// observations render as dashes so a dead stage is visible, not hidden.
+func writeStats(b *strings.Builder, stats []StageStats) {
+	w := tabwriter.NewWriter(b, 4, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "  stage\tcount\tmean(ms)\tp50(ms)\tp95(ms)\tp99(ms)\n")
+	for _, s := range stats {
+		if s.Count == 0 {
+			fmt.Fprintf(w, "  %s\t0\t-\t-\t-\t-\n", s.Name)
+			continue
+		}
+		fmt.Fprintf(w, "  %s\t%d\t%s\t%s\t%s\t%s\n",
+			s.Name, s.Count, ms(s.Mean), ms(s.P50), ms(s.P95), ms(s.P99))
+	}
+	_ = w.Flush()
+}

@@ -22,14 +22,16 @@ import (
 // exposition callbacks (e.g. the experiment harness's link-traffic
 // matrix). Its Handler exposes everything over HTTP.
 type Registry struct {
-	mu      sync.Mutex
-	brokers map[string]*BrokerMetrics
-	stores  map[string]*StoreMetrics
-	extra   []func(io.Writer)
-	traces  *TraceStore
-	spans   *SpanRecorder
-	jnl     *journal.Journal
-	started time.Time
+	mu         sync.Mutex
+	brokers    map[string]*BrokerMetrics
+	stores     map[string]*StoreMetrics
+	transports []*TransportMetrics
+	extra      []func(io.Writer)
+	families   []func(*PromBuilder)
+	traces     *TraceStore
+	spans      *SpanRecorder
+	jnl        *journal.Journal
+	started    time.Time
 }
 
 // NewRegistry returns a registry with default-bounded trace and span
@@ -62,6 +64,17 @@ func (r *Registry) RegisterStore(id message.BrokerID, sm *StoreMetrics) {
 	r.stores[string(id)] = sm
 }
 
+// RegisterTransport attaches a transport's reliability instruments; the
+// padres_transport_* and per-link padres_link_* series appear on /metrics.
+func (r *Registry) RegisterTransport(tm *TransportMetrics) {
+	if tm == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.transports = append(r.transports, tm)
+}
+
 // Traces returns the registry's trace store.
 func (r *Registry) Traces() *TraceStore { return r.traces }
 
@@ -84,15 +97,27 @@ func (r *Registry) Journal() *journal.Journal {
 }
 
 // AddExposition registers an extra callback invoked on every /metrics
-// scrape; callbacks must emit valid Prometheus text lines.
+// scrape; callbacks must emit valid Prometheus text lines, including their
+// own # HELP / # TYPE headers (they are appended verbatim after the
+// registry's own families).
 func (r *Registry) AddExposition(f func(io.Writer)) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.extra = append(r.extra, f)
 }
 
+// AddFamilies registers a callback that contributes families to the
+// registry's exposition builder, so external series merge into the
+// conformant family-grouped output (preferred over AddExposition).
+func (r *Registry) AddFamilies(f func(*PromBuilder)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.families = append(r.families, f)
+}
+
 // WritePrometheus emits all registered instruments in Prometheus text
-// format with deterministic ordering.
+// format: family-grouped with one HELP/TYPE pair per family, deterministic
+// ordering, escaped label values.
 func (r *Registry) WritePrometheus(w io.Writer) {
 	r.mu.Lock()
 	ids := make([]string, 0, len(r.brokers))
@@ -107,22 +132,39 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 	for id, sm := range r.stores {
 		stores[id] = sm
 	}
+	transports := make([]*TransportMetrics, len(r.transports))
+	copy(transports, r.transports)
+	families := make([]func(*PromBuilder), len(r.families))
+	copy(families, r.families)
 	extra := make([]func(io.Writer), len(r.extra))
 	copy(extra, r.extra)
 	r.mu.Unlock()
 	sort.Strings(ids)
 
-	fmt.Fprintf(w, "padres_uptime_seconds %g\n", time.Since(r.started).Seconds())
-	fmt.Fprintf(w, "padres_traces_stored %d\n", r.traces.Len())
-	fmt.Fprintf(w, "padres_traces_evicted_total %d\n", r.traces.Evicted())
-	fmt.Fprintf(w, "padres_movement_timelines_completed %d\n", len(r.spans.Completed()))
-	fmt.Fprintf(w, "padres_movement_timelines_active %d\n", r.spans.ActiveCount())
+	pb := NewPromBuilder()
+	pb.GaugeFloat("padres_uptime_seconds", "Seconds since the registry started.", nil, time.Since(r.started).Seconds())
+	pb.Gauge("padres_traces_stored", "Message traces currently held.", nil, int64(r.traces.Len()))
+	pb.Counter("padres_traces_evicted_total", "Message traces evicted by the store bound.", nil, r.traces.Evicted())
+	pb.Gauge("padres_movement_timelines_completed", "Completed movement timelines held.", nil, int64(len(r.spans.Completed())))
+	pb.Gauge("padres_movement_timelines_active", "Movement transactions currently in flight.", nil, int64(r.spans.ActiveCount()))
+	phases := r.spans.PhaseHistograms()
+	for _, p := range phaseNames {
+		pb.Histogram("padres_movement_phase_seconds", "Movement transaction duration per 3PC phase (plus total).",
+			[]Label{{"phase", p}}, phases[p])
+	}
 	for _, id := range ids {
-		brokers[id].writePrometheus(w, id)
+		brokers[id].writeProm(pb, id)
 		if sm := stores[id]; sm != nil {
-			sm.writePrometheus(w, id)
+			sm.writeProm(pb, id)
 		}
 	}
+	for _, tm := range transports {
+		tm.writeProm(pb)
+	}
+	for _, f := range families {
+		f(pb)
+	}
+	pb.Emit(w)
 	for _, f := range extra {
 		f(w)
 	}
@@ -153,6 +195,7 @@ type page struct {
 	NextAfter string `json:"next_after,omitempty"`
 	Traces    any    `json:"traces,omitempty"`
 	Spans     any    `json:"spans,omitempty"`
+	Active    any    `json:"active,omitempty"`
 	Records   any    `json:"records,omitempty"`
 }
 
@@ -168,7 +211,7 @@ type page struct {
 func (r *Registry) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		r.WritePrometheus(w)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -236,6 +279,11 @@ func (r *Registry) Handler() http.Handler {
 			p.NextAfter = sel[len(sel)-1].Tx
 		}
 		p.Spans = sel
+		// In-flight movements ride on every page: they are a live view, not
+		// part of the paginated completed stream.
+		if act := r.spans.Active(); len(act) > 0 {
+			p.Active = act
+		}
 		writeJSON(w, p)
 	})
 	mux.HandleFunc("/journal", func(w http.ResponseWriter, req *http.Request) {

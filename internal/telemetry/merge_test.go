@@ -1,0 +1,208 @@
+package telemetry
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// randomSnapshot builds a snapshot from n random observations on the
+// default latency buckets.
+func randomSnapshot(rng *rand.Rand, n int) HistogramSnapshot {
+	h := NewLatencyHistogram()
+	for i := 0; i < n; i++ {
+		// Log-uniform across the full bucket span, including overflow.
+		exp := rng.Float64()*7 - 5 // 10µs .. 100s in seconds
+		d := time.Duration(math10(exp) * float64(time.Second))
+		if d <= 0 {
+			d = time.Microsecond
+		}
+		h.Observe(d)
+	}
+	return h.Snapshot()
+}
+
+func math10(exp float64) float64 {
+	v := 1.0
+	for exp >= 1 {
+		v *= 10
+		exp--
+	}
+	for exp <= -1 {
+		v /= 10
+		exp++
+	}
+	// Fractional remainder approximated linearly; precision is irrelevant,
+	// the property tests only need well-spread positive durations.
+	return v * (1 + exp*9)
+}
+
+func totalCount(s HistogramSnapshot) int64 {
+	var t int64
+	for _, c := range s.Counts {
+		t += c
+	}
+	return t
+}
+
+// TestMergePreservesCountsAndSum: merging K random snapshots yields exactly
+// the sums of their counts, per-bucket counts, and sums.
+func TestMergePreservesCountsAndSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		k := 1 + rng.Intn(5)
+		snaps := make([]HistogramSnapshot, k)
+		var wantCount int64
+		var wantSum time.Duration
+		for i := range snaps {
+			snaps[i] = randomSnapshot(rng, rng.Intn(200))
+			wantCount += snaps[i].Count
+			wantSum += snaps[i].Sum
+		}
+		got, err := MergeSnapshots(snaps...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Count != wantCount {
+			t.Fatalf("trial %d: count = %d, want %d", trial, got.Count, wantCount)
+		}
+		if got.Sum != wantSum {
+			t.Fatalf("trial %d: sum = %v, want %v", trial, got.Sum, wantSum)
+		}
+		if got.Count != totalCount(got) {
+			t.Fatalf("trial %d: buckets sum to %d, count %d", trial, totalCount(got), got.Count)
+		}
+		for i := range got.Counts {
+			var want int64
+			for _, s := range snaps {
+				want += s.Counts[i]
+			}
+			if got.Counts[i] != want {
+				t.Fatalf("trial %d: bucket %d = %d, want %d", trial, i, got.Counts[i], want)
+			}
+		}
+	}
+}
+
+// TestMergeEmptyIdentity: the empty snapshot is the identity on either
+// side, and merging only empties yields an empty snapshot.
+func TestMergeEmptyIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := randomSnapshot(rng, 100)
+
+	left := HistogramSnapshot{}
+	if err := left.Merge(s); err != nil {
+		t.Fatal(err)
+	}
+	if left.Count != s.Count || totalCount(left) != totalCount(s) {
+		t.Fatalf("empty.Merge(s) = %+v", left)
+	}
+
+	right := s
+	right.Counts = append([]int64(nil), s.Counts...)
+	if err := right.Merge(HistogramSnapshot{}); err != nil {
+		t.Fatal(err)
+	}
+	if right.Count != s.Count {
+		t.Fatalf("s.Merge(empty) changed count: %d", right.Count)
+	}
+
+	both, err := MergeSnapshots(HistogramSnapshot{}, HistogramSnapshot{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if both.Count != 0 || len(both.Bounds) != 0 {
+		t.Fatalf("empty merge = %+v", both)
+	}
+}
+
+// TestMergeDoesNotAliasSource: merging into an empty snapshot must copy the
+// source's buckets, not alias them.
+func TestMergeDoesNotAliasSource(t *testing.T) {
+	src := HistogramSnapshot{Bounds: []float64{1}, Counts: []int64{2, 3}, Count: 5}
+	var dst HistogramSnapshot
+	if err := dst.Merge(src); err != nil {
+		t.Fatal(err)
+	}
+	dst.Counts[0] = 99
+	if src.Counts[0] != 2 {
+		t.Fatal("merge aliased the source's counts")
+	}
+}
+
+func TestMergeBoundMismatch(t *testing.T) {
+	a := HistogramSnapshot{Bounds: []float64{1, 2}, Counts: []int64{0, 0, 0}, Count: 0}
+	b := HistogramSnapshot{Bounds: []float64{1}, Counts: []int64{0, 0}, Count: 0}
+	c := HistogramSnapshot{Bounds: []float64{1, 3}, Counts: []int64{0, 0, 0}, Count: 0}
+	if err := a.Merge(b); err == nil {
+		t.Error("bucket-count mismatch accepted")
+	}
+	if err := a.Merge(c); err == nil {
+		t.Error("bound-value mismatch accepted")
+	}
+}
+
+// TestQuantileMonotone: for any snapshot, Quantile is monotone
+// non-decreasing in q, and bracketed by the first and last buckets.
+func TestQuantileMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 50; trial++ {
+		s := randomSnapshot(rng, 1+rng.Intn(500))
+		prev := time.Duration(-1)
+		for q := 0.01; q <= 1.0; q += 0.01 {
+			cur := s.Quantile(q)
+			if cur < prev {
+				t.Fatalf("trial %d: Quantile(%.2f) = %v < previous %v", trial, q, cur, prev)
+			}
+			prev = cur
+		}
+		if max := s.Quantile(1.0); max > time.Duration(s.Bounds[len(s.Bounds)-1]*float64(time.Second)) {
+			t.Fatalf("trial %d: q1.0 = %v beyond last bound", trial, max)
+		}
+	}
+}
+
+// TestQuantileMergeConsistent: the quantiles of a merged snapshot lie
+// within the min..max of the inputs' same-q quantiles (bucketed quantiles
+// cannot leave the inputs' envelope).
+func TestQuantileMergeConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		a := randomSnapshot(rng, 1+rng.Intn(300))
+		b := randomSnapshot(rng, 1+rng.Intn(300))
+		m, err := MergeSnapshots(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range []float64{0.5, 0.9, 0.95, 0.99} {
+			lo, hi := a.Quantile(q), b.Quantile(q)
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			if got := m.Quantile(q); got < lo || got > hi {
+				t.Fatalf("trial %d: merged q%.2f = %v outside [%v, %v]", trial, q, got, lo, hi)
+			}
+		}
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	if got := (HistogramSnapshot{}).Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %v", got)
+	}
+	// A single observation: every quantile is its bucket's upper bound.
+	h := NewHistogram([]float64{0.01, 0.1})
+	h.Observe(50 * time.Millisecond)
+	s := h.Snapshot()
+	for _, q := range []float64{0.01, 0.5, 1.0} {
+		if got := s.Quantile(q); got != 100*time.Millisecond {
+			t.Errorf("q%.2f = %v, want 100ms", q, got)
+		}
+	}
+	// Overflow-only observation reports the last finite bound.
+	h2 := NewHistogram([]float64{0.01})
+	h2.Observe(time.Second)
+	if got := h2.Snapshot().Quantile(0.5); got != 10*time.Millisecond {
+		t.Errorf("overflow quantile = %v, want 10ms", got)
+	}
+}

@@ -162,6 +162,49 @@ func (s HistogramSnapshot) Quantile(q float64) time.Duration {
 	return time.Duration(s.Bounds[len(s.Bounds)-1] * float64(time.Second))
 }
 
+// Merge adds other's observations into s. Both snapshots must share the
+// same bucket bounds; an empty snapshot (no bounds, no observations) acts
+// as the identity on either side.
+func (s *HistogramSnapshot) Merge(other HistogramSnapshot) error {
+	if other.Count == 0 && len(other.Bounds) == 0 {
+		return nil
+	}
+	if s.Count == 0 && len(s.Bounds) == 0 {
+		s.Bounds = append([]float64(nil), other.Bounds...)
+		s.Counts = append([]int64(nil), other.Counts...)
+		s.Sum = other.Sum
+		s.Count = other.Count
+		return nil
+	}
+	if len(s.Bounds) != len(other.Bounds) {
+		return fmt.Errorf("histogram merge: %d vs %d buckets", len(s.Bounds), len(other.Bounds))
+	}
+	for i := range s.Bounds {
+		if s.Bounds[i] != other.Bounds[i] {
+			return fmt.Errorf("histogram merge: bound %d differs (%g vs %g)", i, s.Bounds[i], other.Bounds[i])
+		}
+	}
+	for i := range other.Counts {
+		s.Counts[i] += other.Counts[i]
+	}
+	s.Sum += other.Sum
+	s.Count += other.Count
+	return nil
+}
+
+// MergeSnapshots folds any number of snapshots into one. Snapshots must
+// share bucket bounds (empties are skipped); the cluster aggregator uses
+// it to turn N brokers' same-stage histograms into fleet percentiles.
+func MergeSnapshots(snaps ...HistogramSnapshot) (HistogramSnapshot, error) {
+	var out HistogramSnapshot
+	for _, s := range snaps {
+		if err := out.Merge(s); err != nil {
+			return HistogramSnapshot{}, err
+		}
+	}
+	return out, nil
+}
+
 // kindSlots bounds the per-kind counter array; message kinds are small
 // consecutive integers.
 const kindSlots = 16
@@ -195,16 +238,66 @@ type BrokerMetrics struct {
 	LinksDown Gauge
 	// LinkDownEvents counts breaker-open transitions on this broker's links.
 	LinkDownEvents Counter
+	// Stages is the named per-stage latency registry the dispatch path
+	// reports into: inbox_wait and match always, commit_wait and
+	// egress_flush once the parallel pipeline registers them.
+	Stages *StageSet
+	// InboxWait measures the time a message sat in the inbox before the
+	// dispatcher popped it (registered in Stages as inbox_wait).
+	InboxWait *Histogram
 	// sends counts messages sent, by message kind.
 	sends [kindSlots]Counter
+	// stageTiming gates the clock reads behind the stage instruments; the
+	// telemetry-overhead benchmark flips it off to measure the bare path.
+	stageTiming atomic.Bool
+	// egressSampler, when set, reports the current per-destination egress
+	// queue depths; sampled at exposition time only.
+	egressSampler atomic.Pointer[EgressSampler]
 }
 
-// NewBrokerMetrics returns zeroed broker instruments.
+// EgressSampler reports per-destination egress queue depths keyed by
+// destination node ID.
+type EgressSampler func() map[string]int
+
+// NewBrokerMetrics returns zeroed broker instruments with stage timing
+// enabled.
 func NewBrokerMetrics() *BrokerMetrics {
-	return &BrokerMetrics{
+	bm := &BrokerMetrics{
 		DispatchLatency: NewLatencyHistogram(),
 		MatchLatency:    NewLatencyHistogram(),
+		Stages:          NewStageSet(),
 	}
+	bm.InboxWait = bm.Stages.Register(StageInboxWait)
+	bm.Stages.Attach(StageMatch, bm.MatchLatency)
+	bm.stageTiming.Store(true)
+	return bm
+}
+
+// SetStageTiming enables or disables the per-stage clock reads. The
+// instruments stay registered; they simply stop observing, which is what
+// the overhead benchmark's "off" mode measures.
+func (bm *BrokerMetrics) SetStageTiming(on bool) { bm.stageTiming.Store(on) }
+
+// StageTimingEnabled reports whether stage timers should read the clock.
+func (bm *BrokerMetrics) StageTimingEnabled() bool { return bm.stageTiming.Load() }
+
+// SetEgressSampler installs the per-destination egress depth callback,
+// invoked only at exposition time. A nil sampler detaches it.
+func (bm *BrokerMetrics) SetEgressSampler(fn EgressSampler) {
+	if fn == nil {
+		bm.egressSampler.Store(nil)
+		return
+	}
+	bm.egressSampler.Store(&fn)
+}
+
+// EgressDepths returns the sampled per-destination egress queue depths, or
+// nil when no sampler is installed.
+func (bm *BrokerMetrics) EgressDepths() map[string]int {
+	if fn := bm.egressSampler.Load(); fn != nil {
+		return (*fn)()
+	}
+	return nil
 }
 
 // CountSend records one outbound message of the given kind.
@@ -235,27 +328,51 @@ func (bm *BrokerMetrics) TotalSends() int64 {
 	return total
 }
 
-// writePrometheus emits the broker's instruments in Prometheus text format,
+// writeProm adds the broker's instruments to the exposition builder,
 // labelled with the broker ID. Output ordering is deterministic.
-func (bm *BrokerMetrics) writePrometheus(w io.Writer, broker string) {
-	l := fmt.Sprintf("{broker=%q}", broker)
-	fmt.Fprintf(w, "padres_broker_queue_depth%s %d\n", l, bm.QueueDepth.Value())
-	fmt.Fprintf(w, "padres_broker_queue_high_water%s %d\n", l, bm.QueueHighWater.Value())
-	fmt.Fprintf(w, "padres_broker_backpressure_waits_total%s %d\n", l, bm.BackpressureWaits.Value())
-	fmt.Fprintf(w, "padres_broker_processed_total%s %d\n", l, bm.Processed.Value())
-	fmt.Fprintf(w, "padres_broker_dropped_publications_total%s %d\n", l, bm.DroppedPublications.Value())
-	fmt.Fprintf(w, "padres_broker_srt_size%s %d\n", l, bm.SRTSize.Value())
-	fmt.Fprintf(w, "padres_broker_prt_size%s %d\n", l, bm.PRTSize.Value())
-	fmt.Fprintf(w, "padres_broker_links_down%s %d\n", l, bm.LinksDown.Value())
-	fmt.Fprintf(w, "padres_broker_link_down_total%s %d\n", l, bm.LinkDownEvents.Value())
+func (bm *BrokerMetrics) writeProm(pb *PromBuilder, broker string) {
+	l := []Label{{"broker", broker}}
+	pb.Gauge("padres_broker_queue_depth", "Current broker inbox length.", l, bm.QueueDepth.Value())
+	pb.Gauge("padres_broker_queue_high_water", "Maximum inbox length seen since start.", l, bm.QueueHighWater.Value())
+	pb.Counter("padres_broker_backpressure_waits_total", "Blocking episodes on the bounded inbox.", l, bm.BackpressureWaits.Value())
+	pb.Counter("padres_broker_processed_total", "Messages fully processed by the dispatch loop.", l, bm.Processed.Value())
+	pb.Counter("padres_broker_dropped_publications_total", "Publications discarded because no advertisement matched.", l, bm.DroppedPublications.Value())
+	pb.Gauge("padres_broker_srt_size", "Subscription routing table size.", l, bm.SRTSize.Value())
+	pb.Gauge("padres_broker_prt_size", "Publication routing table size.", l, bm.PRTSize.Value())
+	pb.Gauge("padres_broker_links_down", "Overlay links of this broker with an open circuit breaker.", l, bm.LinksDown.Value())
+	pb.Counter("padres_broker_link_down_total", "Breaker-open transitions on this broker's links.", l, bm.LinkDownEvents.Value())
 	for k := 1; k < kindSlots; k++ {
 		if n := bm.sends[k].Value(); n > 0 {
-			fmt.Fprintf(w, "padres_broker_sends_total{broker=%q,kind=%q} %d\n",
-				broker, message.Kind(k).String(), n)
+			pb.Counter("padres_broker_sends_total", "Messages sent, by message kind.",
+				[]Label{{"broker", broker}, {"kind", message.Kind(k).String()}}, n)
 		}
 	}
-	writeHistogram(w, "padres_broker_dispatch_latency_seconds", broker, bm.DispatchLatency.Snapshot())
-	writeHistogram(w, "padres_broker_match_latency_seconds", broker, bm.MatchLatency.Snapshot())
+	if depths := bm.EgressDepths(); depths != nil {
+		dests := make([]string, 0, len(depths))
+		for d := range depths {
+			dests = append(dests, d)
+		}
+		sort.Strings(dests)
+		for _, d := range dests {
+			pb.Gauge("padres_broker_egress_depth", "Per-destination egress queue depth of the dispatch pipeline.",
+				[]Label{{"broker", broker}, {"dest", d}}, int64(depths[d]))
+		}
+	}
+	pb.Histogram("padres_broker_dispatch_latency_seconds", "Real processing time of one message (matching and forwarding).", l, bm.DispatchLatency.Snapshot())
+	pb.Histogram("padres_broker_match_latency_seconds", "Publication matching pass alone.", l, bm.MatchLatency.Snapshot())
+	stages := bm.Stages.Snapshot()
+	for _, name := range bm.Stages.Names() {
+		pb.Histogram("padres_broker_stage_seconds", "Per-stage dispatch latency, keyed by pipeline stage.",
+			[]Label{{"broker", broker}, {"stage", name}}, stages[name])
+	}
+}
+
+// writePrometheus emits the broker's instruments in Prometheus text format
+// (one self-contained exposition fragment, HELP/TYPE included).
+func (bm *BrokerMetrics) writePrometheus(w io.Writer, broker string) {
+	pb := NewPromBuilder()
+	bm.writeProm(pb, broker)
+	pb.Emit(w)
 }
 
 // StoreMetrics holds one broker's durable-store instruments: WAL append
@@ -271,6 +388,9 @@ type StoreMetrics struct {
 	Fsyncs Counter
 	// FsyncLatency measures the fsync portion of each group commit.
 	FsyncLatency *Histogram
+	// CommitLatency measures one record's full durability path: from its
+	// enqueue on the flusher to the group commit's successful fsync.
+	CommitLatency *Histogram
 	// Snapshots counts completed checkpoint cycles (snapshot + truncation).
 	Snapshots Counter
 	// LastSnapshotUnixNano is the wall time of the last checkpoint; the
@@ -288,41 +408,38 @@ type StoreMetrics struct {
 
 // NewStoreMetrics returns zeroed store instruments.
 func NewStoreMetrics() *StoreMetrics {
-	return &StoreMetrics{FsyncLatency: NewLatencyHistogram()}
+	return &StoreMetrics{
+		FsyncLatency:  NewLatencyHistogram(),
+		CommitLatency: NewLatencyHistogram(),
+	}
 }
 
-// writePrometheus emits the store's instruments labelled with the broker ID.
-func (sm *StoreMetrics) writePrometheus(w io.Writer, broker string) {
-	l := fmt.Sprintf("{broker=%q}", broker)
-	fmt.Fprintf(w, "padres_store_wal_appends_total%s %d\n", l, sm.WALAppends.Value())
-	fmt.Fprintf(w, "padres_store_wal_bytes_total%s %d\n", l, sm.WALBytes.Value())
-	fmt.Fprintf(w, "padres_store_fsyncs_total%s %d\n", l, sm.Fsyncs.Value())
-	fmt.Fprintf(w, "padres_store_snapshots_total%s %d\n", l, sm.Snapshots.Value())
-	fmt.Fprintf(w, "padres_store_snapshot_gen%s %d\n", l, sm.SnapshotGen.Value())
+// writeProm adds the store's instruments labelled with the broker ID.
+func (sm *StoreMetrics) writeProm(pb *PromBuilder, broker string) {
+	l := []Label{{"broker", broker}}
+	pb.Counter("padres_store_wal_appends_total", "Records appended to the write-ahead log.", l, sm.WALAppends.Value())
+	pb.Counter("padres_store_wal_bytes_total", "Framed bytes written to the log.", l, sm.WALBytes.Value())
+	pb.Counter("padres_store_fsyncs_total", "Group commits (one fsync each).", l, sm.Fsyncs.Value())
+	pb.Counter("padres_store_snapshots_total", "Completed checkpoint cycles.", l, sm.Snapshots.Value())
+	pb.Gauge("padres_store_snapshot_gen", "Current log generation.", l, sm.SnapshotGen.Value())
 	age := 0.0
 	if ts := sm.LastSnapshotUnixNano.Value(); ts > 0 {
 		age = time.Since(time.Unix(0, ts)).Seconds()
 	}
-	fmt.Fprintf(w, "padres_store_snapshot_age_seconds%s %g\n", l, age)
-	fmt.Fprintf(w, "padres_store_recovery_duration_seconds%s %g\n", l,
+	pb.GaugeFloat("padres_store_snapshot_age_seconds", "Seconds since the last checkpoint.", l, age)
+	pb.GaugeFloat("padres_store_recovery_duration_seconds", "Wall time Open spent rebuilding state.", l,
 		time.Duration(sm.RecoveryDuration.Value()).Seconds())
-	fmt.Fprintf(w, "padres_store_recovered_records_total%s %d\n", l, sm.RecoveredRecords.Value())
-	fmt.Fprintf(w, "padres_store_tail_truncations_total%s %d\n", l, sm.TailTruncations.Value())
-	writeHistogram(w, "padres_store_fsync_latency_seconds", broker, sm.FsyncLatency.Snapshot())
+	pb.Counter("padres_store_recovered_records_total", "WAL records replayed at recovery.", l, sm.RecoveredRecords.Value())
+	pb.Counter("padres_store_tail_truncations_total", "Torn or corrupt log tails cut off at recovery.", l, sm.TailTruncations.Value())
+	pb.Histogram("padres_store_fsync_latency_seconds", "Fsync portion of each group commit.", l, sm.FsyncLatency.Snapshot())
+	pb.Histogram("padres_store_commit_latency_seconds", "Record durability latency from flusher enqueue to fsync.", l, sm.CommitLatency.Snapshot())
 }
 
-// writeHistogram emits one histogram in Prometheus text format (cumulative
-// buckets, as the exposition format requires).
-func writeHistogram(w io.Writer, name, broker string, s HistogramSnapshot) {
-	var cum int64
-	for i, bound := range s.Bounds {
-		cum += s.Counts[i]
-		fmt.Fprintf(w, "%s_bucket{broker=%q,le=%q} %d\n", name, broker, formatBound(bound), cum)
-	}
-	cum += s.Counts[len(s.Counts)-1]
-	fmt.Fprintf(w, "%s_bucket{broker=%q,le=\"+Inf\"} %d\n", name, broker, cum)
-	fmt.Fprintf(w, "%s_sum{broker=%q} %g\n", name, broker, s.Sum.Seconds())
-	fmt.Fprintf(w, "%s_count{broker=%q} %d\n", name, broker, s.Count)
+// writePrometheus emits the store's instruments in Prometheus text format.
+func (sm *StoreMetrics) writePrometheus(w io.Writer, broker string) {
+	pb := NewPromBuilder()
+	sm.writeProm(pb, broker)
+	pb.Emit(w)
 }
 
 func formatBound(b float64) string { return fmt.Sprintf("%g", b) }

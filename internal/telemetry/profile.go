@@ -1,0 +1,188 @@
+package telemetry
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ProfileOptions tunes the continuous profiler.
+type ProfileOptions struct {
+	// Dir receives the profile bundles (created if missing).
+	Dir string
+	// Interval is the time between bundle captures (default 30s).
+	Interval time.Duration
+	// CPUSeconds is the CPU profile duration per bundle (default 5; must
+	// stay below Interval).
+	CPUSeconds int
+	// MaxBundles bounds retention: the oldest bundle directories beyond
+	// this count are deleted after each capture (default 16).
+	MaxBundles int
+	// MutexFraction is passed to runtime.SetMutexProfileFraction for the
+	// profiler's lifetime (default 5); 0 keeps the runtime setting.
+	MutexFraction int
+}
+
+func (o ProfileOptions) withDefaults() ProfileOptions {
+	if o.Interval <= 0 {
+		o.Interval = 30 * time.Second
+	}
+	if o.CPUSeconds <= 0 {
+		o.CPUSeconds = 5
+	}
+	if d := time.Duration(o.CPUSeconds) * time.Second; d >= o.Interval {
+		o.CPUSeconds = int(o.Interval / (2 * time.Second))
+		if o.CPUSeconds < 1 {
+			o.CPUSeconds = 1
+		}
+	}
+	if o.MaxBundles <= 0 {
+		o.MaxBundles = 16
+	}
+	if o.MutexFraction < 0 {
+		o.MutexFraction = 0
+	}
+	return o
+}
+
+// Profiler periodically captures CPU/heap/mutex/goroutine pprof bundles
+// under bounded retention, so load investigations start from profiles that
+// were taken while the problem happened instead of after the fact. Each
+// bundle is a directory bundle-<seq> holding cpu.pprof, heap.pprof,
+// mutex.pprof, and goroutine.pprof.
+type Profiler struct {
+	opts    ProfileOptions
+	seq     int
+	quit    chan struct{}
+	done    chan struct{}
+	once    sync.Once
+	prevMu  int
+	setMu   bool
+	lastErr error
+	errMu   sync.Mutex
+}
+
+// StartProfiler begins periodic capture into opts.Dir. Stop ends it.
+func StartProfiler(opts ProfileOptions) (*Profiler, error) {
+	opts = opts.withDefaults()
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("profiler: empty dir")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("profiler: %w", err)
+	}
+	p := &Profiler{opts: opts, quit: make(chan struct{}), done: make(chan struct{})}
+	if opts.MutexFraction > 0 {
+		p.prevMu = runtime.SetMutexProfileFraction(opts.MutexFraction)
+		p.setMu = true
+	}
+	go p.run()
+	return p, nil
+}
+
+// Stop ends the capture loop, waits for an in-progress bundle to finish,
+// and restores the mutex profile fraction.
+func (p *Profiler) Stop() {
+	p.once.Do(func() { close(p.quit) })
+	<-p.done
+	if p.setMu {
+		runtime.SetMutexProfileFraction(p.prevMu)
+	}
+}
+
+// Err returns the most recent capture error, if any; captures keep running
+// after an error.
+func (p *Profiler) Err() error {
+	p.errMu.Lock()
+	defer p.errMu.Unlock()
+	return p.lastErr
+}
+
+func (p *Profiler) run() {
+	defer close(p.done)
+	// First bundle immediately: a short-lived process still leaves one.
+	for {
+		if err := p.capture(); err != nil {
+			p.errMu.Lock()
+			p.lastErr = err
+			p.errMu.Unlock()
+		}
+		p.retain()
+		idle := p.opts.Interval - time.Duration(p.opts.CPUSeconds)*time.Second
+		if idle < 0 {
+			idle = 0
+		}
+		select {
+		case <-p.quit:
+			return
+		case <-time.After(idle):
+		}
+	}
+}
+
+// capture writes one bundle. The CPU profile runs for CPUSeconds (aborted
+// early on Stop); the snapshot profiles are taken after it so heap/mutex
+// state reflects the profiled window's end.
+func (p *Profiler) capture() error {
+	p.seq++
+	dir := filepath.Join(p.opts.Dir, fmt.Sprintf("bundle-%06d", p.seq))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	cpu, err := os.Create(filepath.Join(dir, "cpu.pprof"))
+	if err != nil {
+		return err
+	}
+	if err := pprof.StartCPUProfile(cpu); err != nil {
+		cpu.Close()
+		return err
+	}
+	select {
+	case <-p.quit:
+	case <-time.After(time.Duration(p.opts.CPUSeconds) * time.Second):
+	}
+	pprof.StopCPUProfile()
+	if err := cpu.Close(); err != nil {
+		return err
+	}
+	for _, name := range []string{"heap", "mutex", "goroutine"} {
+		f, err := os.Create(filepath.Join(dir, name+".pprof"))
+		if err != nil {
+			return err
+		}
+		err = pprof.Lookup(name).WriteTo(f, 0)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// retain deletes the oldest bundles beyond MaxBundles. Bundle names embed
+// a monotone sequence number, so lexical order is age order.
+func (p *Profiler) retain() {
+	entries, err := os.ReadDir(p.opts.Dir)
+	if err != nil {
+		return
+	}
+	var bundles []string
+	for _, e := range entries {
+		if e.IsDir() && strings.HasPrefix(e.Name(), "bundle-") {
+			bundles = append(bundles, e.Name())
+		}
+	}
+	sort.Strings(bundles)
+	for len(bundles) > p.opts.MaxBundles {
+		os.RemoveAll(filepath.Join(p.opts.Dir, bundles[0]))
+		bundles = bundles[1:]
+	}
+}

@@ -1,0 +1,67 @@
+package telemetry
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestProfilerCapturesBundles(t *testing.T) {
+	dir := t.TempDir()
+	p, err := StartProfiler(ProfileOptions{
+		Dir:      dir,
+		Interval: 2 * time.Second,
+		// CPUSeconds is clamped to 1s by the small interval; Stop aborts
+		// the in-progress CPU window early, so the test stays fast.
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Give the first capture a moment to open its files, then stop — the
+	// CPU window aborts and the snapshot profiles are still written.
+	time.Sleep(100 * time.Millisecond)
+	p.Stop()
+	if err := p.Err(); err != nil {
+		t.Fatalf("capture error: %v", err)
+	}
+
+	bundle := filepath.Join(dir, "bundle-000001")
+	for _, name := range []string{"cpu.pprof", "heap.pprof", "mutex.pprof", "goroutine.pprof"} {
+		fi, err := os.Stat(filepath.Join(bundle, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if name != "cpu.pprof" && fi.Size() == 0 {
+			t.Errorf("%s is empty", name)
+		}
+	}
+}
+
+func TestProfilerRetention(t *testing.T) {
+	dir := t.TempDir()
+	// Pre-seed stale bundles; the profiler's retention pass must delete the
+	// oldest beyond MaxBundles.
+	for _, b := range []string{"bundle-000001", "bundle-000002", "bundle-000003"} {
+		if err := os.MkdirAll(filepath.Join(dir, b), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := &Profiler{opts: ProfileOptions{Dir: dir, MaxBundles: 2}.withDefaults()}
+	p.opts.MaxBundles = 2
+	p.retain()
+	if _, err := os.Stat(filepath.Join(dir, "bundle-000001")); !os.IsNotExist(err) {
+		t.Error("oldest bundle survived retention")
+	}
+	for _, b := range []string{"bundle-000002", "bundle-000003"} {
+		if _, err := os.Stat(filepath.Join(dir, b)); err != nil {
+			t.Errorf("%s: %v", b, err)
+		}
+	}
+}
+
+func TestProfilerRejectsEmptyDir(t *testing.T) {
+	if _, err := StartProfiler(ProfileOptions{}); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+}

@@ -1,0 +1,162 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// PromBuilder assembles a Prometheus text-format (0.0.4) exposition with
+// the conformance guarantees the ad-hoc writers could not give: every
+// metric family is announced by exactly one # HELP / # TYPE pair, all
+// series of a family are contiguous, and label values are escaped. Sample
+// lines keep the established formatting (integer values as %d, floats as
+// %g, `le` last on histogram buckets) so existing scrapers and tests see
+// byte-identical series.
+//
+// Families appear in first-registration order; samples within a family in
+// insertion order. The builder is not safe for concurrent use — callers
+// build under their own exclusion (the Registry holds its lock).
+type PromBuilder struct {
+	order []string
+	fams  map[string]*promFamily
+}
+
+type promFamily struct {
+	name, help, typ string
+	lines           []string
+}
+
+// NewPromBuilder returns an empty exposition builder.
+func NewPromBuilder() *PromBuilder {
+	return &PromBuilder{fams: make(map[string]*promFamily)}
+}
+
+// Label is one name="value" pair on a sample. Values are escaped at
+// formatting time; callers pass them raw.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// family returns the named family, creating it with the given metadata on
+// first use. Later registrations keep the first help/type.
+func (pb *PromBuilder) family(name, help, typ string) *promFamily {
+	f, ok := pb.fams[name]
+	if !ok {
+		f = &promFamily{name: name, help: help, typ: typ}
+		pb.fams[name] = f
+		pb.order = append(pb.order, name)
+	}
+	return f
+}
+
+// Counter adds one counter sample.
+func (pb *PromBuilder) Counter(name, help string, labels []Label, v int64) {
+	f := pb.family(name, help, "counter")
+	f.lines = append(f.lines, fmt.Sprintf("%s%s %d", name, formatLabels(labels), v))
+}
+
+// Gauge adds one integer gauge sample.
+func (pb *PromBuilder) Gauge(name, help string, labels []Label, v int64) {
+	f := pb.family(name, help, "gauge")
+	f.lines = append(f.lines, fmt.Sprintf("%s%s %d", name, formatLabels(labels), v))
+}
+
+// GaugeFloat adds one floating-point gauge sample.
+func (pb *PromBuilder) GaugeFloat(name, help string, labels []Label, v float64) {
+	f := pb.family(name, help, "gauge")
+	f.lines = append(f.lines, fmt.Sprintf("%s%s %g", name, formatLabels(labels), v))
+}
+
+// Histogram adds one histogram series (cumulative _bucket samples with the
+// `le` label last, then _sum and _count) under a single family typed
+// histogram, as the exposition format requires.
+func (pb *PromBuilder) Histogram(name, help string, labels []Label, s HistogramSnapshot) {
+	f := pb.family(name, help, "histogram")
+	withLE := func(le string) []Label {
+		ls := make([]Label, 0, len(labels)+1)
+		ls = append(ls, labels...)
+		return append(ls, Label{"le", le})
+	}
+	var cum int64
+	for i, bound := range s.Bounds {
+		cum += s.Counts[i]
+		f.lines = append(f.lines, fmt.Sprintf("%s_bucket%s %d",
+			name, formatLabels(withLE(formatBound(bound))), cum))
+	}
+	if len(s.Counts) > 0 {
+		cum += s.Counts[len(s.Counts)-1]
+	}
+	f.lines = append(f.lines, fmt.Sprintf("%s_bucket%s %d", name, formatLabels(withLE("+Inf")), cum))
+	f.lines = append(f.lines, fmt.Sprintf("%s_sum%s %g", name, formatLabels(labels), s.Sum.Seconds()))
+	f.lines = append(f.lines, fmt.Sprintf("%s_count%s %d", name, formatLabels(labels), s.Count))
+}
+
+// Emit writes the exposition: per family one HELP/TYPE pair followed by
+// its samples, families in registration order. Empty families are skipped.
+func (pb *PromBuilder) Emit(w io.Writer) {
+	for _, name := range pb.order {
+		f := pb.fams[name]
+		if len(f.lines) == 0 {
+			continue
+		}
+		if f.help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
+		for _, line := range f.lines {
+			io.WriteString(w, line)
+			io.WriteString(w, "\n")
+		}
+	}
+}
+
+// formatLabels renders a label set as {a="b",c="d"}, empty string for no
+// labels. Values are escaped per the exposition format.
+func formatLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Name)
+		sb.WriteString(`="`)
+		sb.WriteString(EscapeLabelValue(l.Value))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// EscapeLabelValue escapes a label value per the Prometheus text format:
+// backslash, double quote, and newline.
+func EscapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var sb strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}
+
+// escapeHelp escapes a HELP text: backslash and newline (quotes are legal).
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"sort"
 	"sync"
 	"time"
 )
@@ -95,7 +96,19 @@ type SpanRecorder struct {
 	active    map[string]*MovementTimeline
 	completed []MovementTimeline
 	dropped   int64
+	// phase holds one latency histogram per movement phase (plus "total"),
+	// observed when a timeline closes — the durable per-phase distribution
+	// the ad-hoc span arithmetic could not provide.
+	phase map[string]*Histogram
 }
+
+// PhaseTotal is the pseudo-phase name of the whole movement duration in
+// the recorder's phase histograms.
+const PhaseTotal = "total"
+
+// phaseNames lists every phase histogram the recorder maintains, in
+// protocol order.
+var phaseNames = []string{PhaseInit, PhasePrepare, PhasePrecommit, PhaseCommit, PhaseAbort, PhaseTotal}
 
 // NewSpanRecorder returns a recorder keeping at most max completed
 // timelines (<= 0 selects the default).
@@ -103,7 +116,12 @@ func NewSpanRecorder(max int) *SpanRecorder {
 	if max <= 0 {
 		max = DefaultMaxTimelines
 	}
-	return &SpanRecorder{max: max, active: make(map[string]*MovementTimeline)}
+	r := &SpanRecorder{max: max, active: make(map[string]*MovementTimeline)}
+	r.phase = make(map[string]*Histogram, len(phaseNames))
+	for _, p := range phaseNames {
+		r.phase[p] = NewLatencyHistogram()
+	}
+	return r
 }
 
 // Observe records one protocol step of transaction tx. Terminal steps
@@ -134,6 +152,12 @@ func (r *SpanRecorder) Observe(tx, client, broker, step string, at time.Time, de
 		tl.Outcome = "aborted"
 	}
 	tl.Phases = buildPhases(tl)
+	for _, p := range tl.Phases {
+		if h := r.phase[p.Phase]; h != nil {
+			h.Observe(p.Duration())
+		}
+	}
+	r.phase[PhaseTotal].Observe(tl.Duration())
 	delete(r.active, tx)
 	if len(r.completed) >= r.max {
 		drop := len(r.completed) - r.max + 1
@@ -228,6 +252,66 @@ func (r *SpanRecorder) ActiveCount() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return len(r.active)
+}
+
+// Active returns copies of the in-flight movement timelines (End unset),
+// ordered by start time — the live in-flight-moves view.
+func (r *SpanRecorder) Active() []MovementTimeline {
+	r.mu.Lock()
+	out := make([]MovementTimeline, 0, len(r.active))
+	for _, tl := range r.active {
+		cp := *tl
+		cp.Steps = append([]Step(nil), tl.Steps...)
+		out = append(out, cp)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Start.Equal(out[j].Start) {
+			return out[i].Start.Before(out[j].Start)
+		}
+		return out[i].Tx < out[j].Tx
+	})
+	return out
+}
+
+// PhaseHistograms snapshots the per-phase latency histograms (keys are the
+// Phase* constants plus PhaseTotal).
+func (r *SpanRecorder) PhaseHistograms() map[string]HistogramSnapshot {
+	r.mu.Lock()
+	hists := make(map[string]*Histogram, len(r.phase))
+	for p, h := range r.phase {
+		hists[p] = h
+	}
+	r.mu.Unlock()
+	out := make(map[string]HistogramSnapshot, len(hists))
+	for p, h := range hists {
+		out[p] = h.Snapshot()
+	}
+	return out
+}
+
+// PhaseQuantiles folds a set of completed timelines into per-phase
+// histograms (keys as in PhaseHistograms). The experiment harness uses it
+// to derive percentile columns from its own collected timelines without a
+// recorder.
+func PhaseQuantiles(tls []MovementTimeline) map[string]HistogramSnapshot {
+	hists := make(map[string]*Histogram, len(phaseNames))
+	for _, p := range phaseNames {
+		hists[p] = NewLatencyHistogram()
+	}
+	for _, tl := range tls {
+		for _, p := range tl.Phases {
+			if h := hists[p.Phase]; h != nil {
+				h.Observe(p.Duration())
+			}
+		}
+		hists[PhaseTotal].Observe(tl.Duration())
+	}
+	out := make(map[string]HistogramSnapshot, len(hists))
+	for p, h := range hists {
+		out[p] = h.Snapshot()
+	}
+	return out
 }
 
 // Dropped returns how many completed timelines the bound discarded.

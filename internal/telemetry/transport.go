@@ -1,14 +1,17 @@
 package telemetry
 
 import (
-	"fmt"
 	"io"
+	"sort"
+	"sync"
 )
 
 // TransportMetrics holds the reliability layer's instruments for one
 // transport (the in-process network plus any TCP gateways bridged to it).
-// All fields are lock-free atomics; the transport hot path records into
-// them without taking the network mutex.
+// All counters are lock-free atomics; the transport hot path records into
+// them without taking the network mutex. Per-link instruments are handed
+// out once per directed link (Link takes a mutex) and observed lock-free
+// after that.
 type TransportMetrics struct {
 	// Retransmits counts resend-queue copies put back on the wire after a
 	// backoff expiry (in-process links and TCP replay alike).
@@ -36,19 +39,109 @@ type TransportMetrics struct {
 	// Reconnects counts successful TCP peer re-establishments by the
 	// gateway's auto-reconnect supervisor.
 	Reconnects Counter
+
+	mu    sync.Mutex
+	links map[LinkKey]*LinkMetrics
+	order []LinkKey
+}
+
+// LinkKey identifies one directed link by its endpoint node IDs.
+type LinkKey struct {
+	From string
+	To   string
+}
+
+// LinkMetrics holds one directed reliable link's health instruments.
+type LinkMetrics struct {
+	// RTT measures send-to-cumulative-ack round trips of entries that were
+	// never retransmitted (retransmitted entries have ambiguous RTTs).
+	RTT *Histogram
+	// Retransmits counts this link's resend-queue copies put on the wire.
+	Retransmits Counter
+	// DeadLetters counts messages this link's breaker abandoned.
+	DeadLetters Counter
+	// Up is 1 while the link's circuit breaker is closed, 0 while open.
+	Up Gauge
+	// ResendDepth mirrors the resend queue length (unacked entries).
+	ResendDepth Gauge
+}
+
+// Link returns the directed link's instruments, creating them on first use
+// with the breaker closed (Up=1).
+func (tm *TransportMetrics) Link(from, to string) *LinkMetrics {
+	key := LinkKey{From: from, To: to}
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
+	if lm, ok := tm.links[key]; ok {
+		return lm
+	}
+	if tm.links == nil {
+		tm.links = make(map[LinkKey]*LinkMetrics)
+	}
+	lm := &LinkMetrics{RTT: NewLatencyHistogram()}
+	lm.Up.Set(1)
+	tm.links[key] = lm
+	tm.order = append(tm.order, key)
+	return lm
+}
+
+// Links returns the per-link instruments keyed by directed link, in a
+// fresh map safe for the caller to iterate.
+func (tm *TransportMetrics) Links() map[LinkKey]*LinkMetrics {
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
+	out := make(map[LinkKey]*LinkMetrics, len(tm.links))
+	for k, lm := range tm.links {
+		out[k] = lm
+	}
+	return out
+}
+
+// writeProm adds the transport instruments to the exposition builder,
+// link families sorted by (from, to) for deterministic output.
+func (tm *TransportMetrics) writeProm(pb *PromBuilder) {
+	pb.Counter("padres_transport_retransmits_total", "Resend-queue copies put back on the wire.", nil, tm.Retransmits.Value())
+	pb.Counter("padres_transport_dupes_dropped_total", "Received frames suppressed by receive-side dedup.", nil, tm.DupesDropped.Value())
+	pb.Counter("padres_transport_acks_total", "Cumulative acknowledgements sent.", nil, tm.Acks.Value())
+	pb.Counter("padres_transport_dead_letters_total", "Reliable messages abandoned by an open circuit breaker.", nil, tm.DeadLetters.Value())
+	pb.Counter("padres_transport_injected_drops_total", "Messages dropped by the fault injector.", nil, tm.InjectedDrops.Value())
+	pb.Counter("padres_transport_injected_dups_total", "Messages duplicated by the fault injector.", nil, tm.InjectedDups.Value())
+	pb.Counter("padres_transport_injected_reorders_total", "Messages reordered by the fault injector.", nil, tm.InjectedReorders.Value())
+	pb.Gauge("padres_transport_links_down", "Directed links with an open circuit breaker.", nil, tm.LinksDown.Value())
+	pb.Gauge("padres_transport_links_partitioned", "Directed links severed by the fault injector.", nil, tm.LinksPartitioned.Value())
+	pb.Counter("padres_transport_reconnects_total", "Successful TCP peer re-establishments.", nil, tm.Reconnects.Value())
+
+	type linkEntry struct {
+		key LinkKey
+		lm  *LinkMetrics
+	}
+	tm.mu.Lock()
+	entries := make([]linkEntry, 0, len(tm.order))
+	for _, k := range tm.order {
+		entries = append(entries, linkEntry{key: k, lm: tm.links[k]})
+	}
+	tm.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].key.From != entries[j].key.From {
+			return entries[i].key.From < entries[j].key.From
+		}
+		return entries[i].key.To < entries[j].key.To
+	})
+	for _, e := range entries {
+		lm := e.lm
+		l := []Label{{"from", e.key.From}, {"to", e.key.To}}
+		pb.Histogram("padres_link_rtt_seconds", "Send-to-ack round trip of never-retransmitted entries.", l, lm.RTT.Snapshot())
+		pb.Counter("padres_link_retransmits_total", "This link's resend copies put on the wire.", l, lm.Retransmits.Value())
+		pb.Counter("padres_link_dead_letters_total", "Messages this link's breaker abandoned.", l, lm.DeadLetters.Value())
+		pb.Gauge("padres_link_up", "1 while the link's circuit breaker is closed.", l, lm.Up.Value())
+		pb.Gauge("padres_link_resend_depth", "Resend queue length (unacknowledged entries).", l, lm.ResendDepth.Value())
+	}
 }
 
 // WritePrometheus emits the transport instruments in Prometheus text
-// format. Deterministic output ordering, matching the broker exposition.
+// format as a self-contained exposition fragment.
 func (tm *TransportMetrics) WritePrometheus(w io.Writer) {
-	fmt.Fprintf(w, "padres_transport_retransmits_total %d\n", tm.Retransmits.Value())
-	fmt.Fprintf(w, "padres_transport_dupes_dropped_total %d\n", tm.DupesDropped.Value())
-	fmt.Fprintf(w, "padres_transport_acks_total %d\n", tm.Acks.Value())
-	fmt.Fprintf(w, "padres_transport_dead_letters_total %d\n", tm.DeadLetters.Value())
-	fmt.Fprintf(w, "padres_transport_injected_drops_total %d\n", tm.InjectedDrops.Value())
-	fmt.Fprintf(w, "padres_transport_injected_dups_total %d\n", tm.InjectedDups.Value())
-	fmt.Fprintf(w, "padres_transport_injected_reorders_total %d\n", tm.InjectedReorders.Value())
-	fmt.Fprintf(w, "padres_transport_links_down %d\n", tm.LinksDown.Value())
-	fmt.Fprintf(w, "padres_transport_links_partitioned %d\n", tm.LinksPartitioned.Value())
-	fmt.Fprintf(w, "padres_transport_reconnects_total %d\n", tm.Reconnects.Value())
+	pb := NewPromBuilder()
+	tm.writeProm(pb)
+	pb.Emit(w)
 }

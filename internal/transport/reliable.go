@@ -82,6 +82,9 @@ type pendingMsg struct {
 	env      message.Envelope
 	attempts int
 	nextAt   time.Time
+	// sentAt is the first-send time; the ack handler derives the link RTT
+	// from it for entries that were never retransmitted.
+	sentAt time.Time
 }
 
 // relState holds one directed link's reliability state: the sender side
@@ -236,6 +239,11 @@ func (n *Network) finishTrip(l *link, pend []pendingMsg, oo map[uint64]message.E
 		n.reg.MsgDone(env.Msg) // wire token of a buffered frame
 		n.tel.DeadLetters.Inc()
 	}
+	if l.lm != nil {
+		l.lm.DeadLetters.Add(int64(len(pend) + len(oo)))
+		l.lm.Up.Set(0)
+		l.lm.ResendDepth.Set(0)
+	}
 	n.tel.LinksDown.Inc()
 	n.notifyLinkState(l.from, l.to, false)
 }
@@ -266,6 +274,9 @@ func (n *Network) resetBreaker(l *link) {
 	for _, env := range oo {
 		n.reg.MsgDone(env.Msg)
 	}
+	if l.lm != nil {
+		l.lm.Up.Set(1)
+	}
 	n.tel.LinksDown.Dec()
 	n.notifyLinkState(l.from, l.to, true)
 	r.kickLoop()
@@ -281,11 +292,13 @@ func (n *Network) sendReliable(l *link, msg message.Message) error {
 	// token released at the receiver's first accept or at dead-letter —
 	// keeps quiescence detection honest under loss.
 	env := n.prepareSend(l, l.from, l.to, msg, 2)
+	sentAt := time.Now()
 	r.mu.Lock()
 	if r.down {
 		r.mu.Unlock()
 		n.reg.MsgDoneBatch([]message.Message{msg, msg})
 		n.tel.DeadLetters.Inc()
+		l.lm.DeadLetters.Inc()
 		return ErrLinkDown
 	}
 	if len(r.pend) >= r.opts.QueueLimit {
@@ -294,11 +307,13 @@ func (n *Network) sendReliable(l *link, msg message.Message) error {
 		n.finishTrip(l, pend, oo)
 		n.reg.MsgDoneBatch([]message.Message{msg, msg})
 		n.tel.DeadLetters.Inc()
+		l.lm.DeadLetters.Inc()
 		return ErrLinkDown
 	}
 	r.nextSeq++
 	env.Seq = r.nextSeq
-	r.pend = append(r.pend, pendingMsg{env: env})
+	r.pend = append(r.pend, pendingMsg{env: env, sentAt: sentAt})
+	l.lm.ResendDepth.Set(int64(len(r.pend)))
 	// Wake the retransmit loop only when it is idle with no timer armed:
 	// an armed timer recomputes every deadline (including this entry's)
 	// when it fires, and after a full ack the armed timer is at most one
@@ -327,23 +342,27 @@ func (n *Network) sendReliableBatch(l *link, msgs []message.Message) error {
 	for i, msg := range msgs {
 		envs[i] = n.prepareSend(l, l.from, l.to, msg, 2)
 	}
+	sentAt := time.Now()
 	r.mu.Lock()
 	if r.down {
 		r.mu.Unlock()
+		l.lm.DeadLetters.Add(int64(len(msgs)))
 		return n.deadLetterPrepared(msgs)
 	}
 	if len(r.pend)+len(msgs) > r.opts.QueueLimit {
 		pend, oo := r.tripLocked()
 		r.mu.Unlock()
 		n.finishTrip(l, pend, oo)
+		l.lm.DeadLetters.Add(int64(len(msgs)))
 		return n.deadLetterPrepared(msgs)
 	}
 	wake := len(r.pend) == 0 && !r.timerArmed
 	for i := range envs {
 		r.nextSeq++
 		envs[i].Seq = r.nextSeq
-		r.pend = append(r.pend, pendingMsg{env: envs[i]})
+		r.pend = append(r.pend, pendingMsg{env: envs[i], sentAt: sentAt})
 	}
+	l.lm.ResendDepth.Set(int64(len(r.pend)))
 	epoch := r.epoch
 	r.mu.Unlock()
 	if wake {
@@ -513,6 +532,18 @@ func (n *Network) handleAck(l *link, ack message.LinkAck) {
 	for i < len(r.pend) && r.pend[i].env.Seq <= ack.Cum {
 		i++
 	}
+	if i > 0 {
+		// RTT of the trimmed entries, but only the ones never retransmitted:
+		// after a retransmission the ack could answer either copy, so the
+		// sample would be ambiguous (Karn's rule).
+		now := time.Now()
+		for k := 0; k < i; k++ {
+			p := &r.pend[k]
+			if p.attempts == 0 && !p.sentAt.IsZero() {
+				fwd.lm.RTT.Observe(now.Sub(p.sentAt))
+			}
+		}
+	}
 	switch {
 	case i == 0:
 	case i == len(r.pend):
@@ -531,6 +562,7 @@ func (n *Network) handleAck(l *link, ack message.LinkAck) {
 		}
 		r.pend = r.pend[:rem]
 	}
+	fwd.lm.ResendDepth.Set(int64(len(r.pend)))
 	r.mu.Unlock()
 }
 
@@ -632,6 +664,7 @@ func (l *link) resendDue() {
 	for _, env := range copies {
 		n.reg.MsgEnqueued(env.Msg) // wire token for the fresh copy
 		n.tel.Retransmits.Inc()
+		l.lm.Retransmits.Inc()
 		l.enqueue(env, true, epoch)
 	}
 }

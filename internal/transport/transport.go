@@ -439,6 +439,9 @@ type link struct {
 	opts LinkOptions
 	rng  *lockedRand
 	rel  *relState // nil on best-effort links
+	// lm holds this direction's health instruments (RTT, retransmits,
+	// breaker state, resend depth); nil on best-effort links.
+	lm *telemetry.LinkMetrics
 
 	mu          sync.Mutex
 	cond        *sync.Cond
@@ -476,6 +479,7 @@ func (n *Network) newLink(from, to message.NodeID, opts LinkOptions) *link {
 	}
 	if opts.Reliable {
 		l.rel = newRelState(opts.Retransmit, opts.Seed^int64(hashNodes(to, from)))
+		l.lm = n.tel.Link(string(from), string(to))
 		n.wg.Add(1)
 		go l.retransmitLoop()
 	}

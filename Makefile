@@ -47,7 +47,15 @@ TELEMETRY_COUNT ?= 7
 TELEMETRY_TIME  ?= 20000x
 TELEMETRY_OUT   ?= BENCH_telemetry.json
 
-.PHONY: all vet build test race ci bench bench-dispatch bench-reliability bench-wal bench-telemetry audit chaos chaos-recovery
+# Audit-stream knobs: the benchmark interleaves a journaled dispatch
+# pipeline with and without a live journal tap subscribed; benchjson takes
+# the median over AUDIT_STREAM_COUNT runs before judging the 5% budget on
+# what serving /journal/stream costs the hot path.
+AUDIT_STREAM_COUNT ?= 7
+AUDIT_STREAM_TIME  ?= 20000x
+AUDIT_STREAM_OUT   ?= BENCH_audit.json
+
+.PHONY: all vet build test race ci bench bench-dispatch bench-reliability bench-wal bench-telemetry bench-audit-stream audit audit-stream chaos chaos-recovery
 
 all: ci
 
@@ -122,6 +130,19 @@ bench-telemetry:
 	$(GO) run ./cmd/benchjson -require-telemetry -out $(TELEMETRY_OUT) bench-telemetry.out.txt
 	@echo "wrote $(TELEMETRY_OUT)"
 
+# bench-audit-stream measures what a live journal tap (the wiring behind
+# /journal/stream and the fleet auditor) costs the publication dispatch
+# path on top of journaling itself, and emits $(AUDIT_STREAM_OUT);
+# benchjson exits non-zero when the median overhead exceeds the 5% budget
+# or the benchmark is missing — live auditing must not distort the
+# dispatch path it verifies.
+bench-audit-stream:
+	$(GO) test ./internal/broker/ -run '^$$' -bench '^BenchmarkAuditStreamOverhead$$' \
+		-benchtime $(AUDIT_STREAM_TIME) -count $(AUDIT_STREAM_COUNT) \
+		| tee bench-audit-stream.out.txt
+	$(GO) run ./cmd/benchjson -require-audit -out $(AUDIT_STREAM_OUT) bench-audit-stream.out.txt
+	@echo "wrote $(AUDIT_STREAM_OUT)"
+
 # chaos runs the seeded soak: CHAOS_MOVES movement transactions under
 # randomized loss/duplication/reordering/partitions plus broker crash and
 # freeze schedules, with the race detector on. The journal is replayed
@@ -146,5 +167,13 @@ chaos-recovery:
 audit:
 	$(GO) run ./cmd/experiments $(AUDIT_FLAGS) -journal $(AUDIT_JOURNAL)
 	$(GO) run ./cmd/padres-audit $(AUDIT_JOURNAL)
+
+# audit-stream is the live-audit differential gate: the same recorded
+# experiment, but the journal additionally replays through the streaming
+# auditor as shuffled per-site chunks; padres-audit -stream exits non-zero
+# unless every interleaving finalizes to exactly the batch report.
+audit-stream:
+	$(GO) run ./cmd/experiments $(AUDIT_FLAGS) -journal $(AUDIT_JOURNAL)
+	$(GO) run ./cmd/padres-audit -stream $(AUDIT_JOURNAL)
 
 ci: vet build race

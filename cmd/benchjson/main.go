@@ -15,9 +15,11 @@
 // at least the required pipeline speedup, with -require-reliability
 // unless the reliability benchmark is present and within budget, with
 // -require-wal unless BenchmarkWALOverhead is present and its durable
-// dispatch overhead is within the same budget, and with -require-telemetry
+// dispatch overhead is within the same budget, with -require-telemetry
 // unless BenchmarkTelemetryOverhead is present and the stage
-// instrumentation's dispatch overhead is within the same budget.
+// instrumentation's dispatch overhead is within the same budget, and with
+// -require-audit unless BenchmarkAuditStreamOverhead is present and the
+// live-audit journal tap's dispatch overhead is within the same budget.
 package main
 
 import (
@@ -66,6 +68,7 @@ type report struct {
 	ReliabilityOverhead *reliability `json:"reliability_overhead,omitempty"`
 	WALOverhead         *reliability `json:"wal_overhead,omitempty"`
 	TelemetryOverhead   *reliability `json:"telemetry_overhead,omitempty"`
+	AuditOverhead       *reliability `json:"audit_overhead,omitempty"`
 }
 
 // reliability is an off/on mode comparison against the shared 5% budget.
@@ -112,14 +115,16 @@ func main() {
 		"exit 2 unless the WAL-overhead benchmark is present and within budget")
 	requireTelemetry := flag.Bool("require-telemetry", false,
 		"exit 2 unless the telemetry-overhead benchmark is present and within budget")
+	requireAudit := flag.Bool("require-audit", false,
+		"exit 2 unless the audit-stream-overhead benchmark is present and within budget")
 	flag.Parse()
-	if err := run(*out, *requireScaling, *requireReliability, *requireWAL, *requireTelemetry, flag.Args()); err != nil {
+	if err := run(*out, *requireScaling, *requireReliability, *requireWAL, *requireTelemetry, *requireAudit, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out string, requireScaling, requireReliability, requireWAL, requireTelemetry bool, args []string) error {
+func run(out string, requireScaling, requireReliability, requireWAL, requireTelemetry, requireAudit bool, args []string) error {
 	var in io.Reader = os.Stdin
 	if len(args) > 0 {
 		f, err := os.Open(args[0])
@@ -179,12 +184,23 @@ func run(out string, requireScaling, requireReliability, requireWAL, requireTele
 			os.Exit(2)
 		}
 	}
+	if a := rep.AuditOverhead; a != nil {
+		fmt.Fprintf(os.Stderr, "live-audit tap dispatch overhead: %.2f%% over %d runs (budget %.0f%%)\n",
+			a.OverheadPct, a.Runs, a.BudgetPct)
+		if !a.WithinBudget {
+			os.Exit(2)
+		}
+	}
 	if requireWAL && rep.WALOverhead == nil {
 		fmt.Fprintln(os.Stderr, "benchjson: -require-wal set but BenchmarkWALOverhead not found")
 		os.Exit(2)
 	}
 	if requireTelemetry && rep.TelemetryOverhead == nil {
 		fmt.Fprintln(os.Stderr, "benchjson: -require-telemetry set but BenchmarkTelemetryOverhead not found")
+		os.Exit(2)
+	}
+	if requireAudit && rep.AuditOverhead == nil {
+		fmt.Fprintln(os.Stderr, "benchjson: -require-audit set but BenchmarkAuditStreamOverhead not found")
 		os.Exit(2)
 	}
 	if requireReliability && rep.ReliabilityOverhead == nil {
@@ -288,6 +304,7 @@ func parse(in io.Reader) (*report, error) {
 	rep.ReliabilityOverhead = modePair(byName["BenchmarkReliabilityOverhead"])
 	rep.WALOverhead = modePair(byName["BenchmarkWALOverhead"])
 	rep.TelemetryOverhead = modePair(byName["BenchmarkTelemetryOverhead"])
+	rep.AuditOverhead = modePair(byName["BenchmarkAuditStreamOverhead"])
 
 	serial := byName["BenchmarkDispatchScaling/workers=1"]
 	par := byName["BenchmarkDispatchScaling/workers=4"]

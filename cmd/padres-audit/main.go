@@ -10,15 +10,24 @@
 //	padres-audit -v run.jsonl              # also print violating tx timelines
 //	padres-audit -timeline mv-b1-3 run.jsonl
 //	padres-audit -json run.jsonl           # machine-readable report
+//	padres-audit -stream run.jsonl         # also differential-check audit.Stream
+//
+// -stream is the streaming auditor's self-check: the journal additionally
+// runs through audit.Stream as shuffled per-site chunks (the arrival order
+// a fleet of independently-paced /journal/stream tails produces) and the
+// command fails unless every interleaving finalizes to exactly the batch
+// report.
 //
 // The exit status is 0 when every property holds, 1 when the auditor found
-// violations, and 2 on usage or input errors.
+// violations or the streaming differential diverged, and 2 on usage or
+// input errors.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"sort"
 
@@ -37,6 +46,7 @@ func run(args []string) int {
 		runNum   = fs.Int64("run", 0, "restrict -timeline to this run (default: every run the tx appears in)")
 		verbose  = fs.Bool("v", false, "print the causal timeline of every violating transaction")
 		jsonOut  = fs.Bool("json", false, "emit the report as JSON instead of text")
+		stream   = fs.Bool("stream", false, "differential-check the streaming auditor against the batch report")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: padres-audit [flags] <journal.jsonl>")
@@ -66,6 +76,13 @@ func run(args []string) int {
 	}
 
 	rep := audit.Audit(recs)
+	if *stream {
+		if diff := streamDifferential(recs, rep); diff != "" {
+			fmt.Fprintln(os.Stderr, "padres-audit: streaming auditor diverged from batch:", diff)
+			return 1
+		}
+		fmt.Println("streaming auditor agrees with batch on every interleaving")
+	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -95,6 +112,51 @@ func run(args []string) int {
 		}
 	}
 	return 1
+}
+
+// streamDifferential runs the records through the streaming auditor — once
+// in journal order from a single source, then as seeded-random
+// interleavings of per-site chunks — and returns the first divergence from
+// the batch report, or "".
+func streamDifferential(recs []journal.Record, batch *audit.Report) string {
+	whole := audit.NewStream(audit.StreamOptions{})
+	whole.Ingest("journal", recs...)
+	if diff := audit.DiffReports(batch, whole.Finalize()); diff != "" {
+		return "in-order feed: " + diff
+	}
+
+	bySite := make(map[string][]journal.Record)
+	var sites []string
+	for _, r := range recs {
+		if len(bySite[r.Site]) == 0 {
+			sites = append(sites, r.Site)
+		}
+		bySite[r.Site] = append(bySite[r.Site], r)
+	}
+	sort.Strings(sites)
+	const chunk = 25
+	for _, seed := range []int64{1, 7, 42} {
+		rng := rand.New(rand.NewSource(seed))
+		s := audit.NewStream(audit.StreamOptions{})
+		next := make(map[string]int, len(sites))
+		remaining := append([]string(nil), sites...)
+		for len(remaining) > 0 {
+			i := rng.Intn(len(remaining))
+			site := remaining[i]
+			lo, hi := next[site], next[site]+chunk
+			if hi > len(bySite[site]) {
+				hi = len(bySite[site])
+			}
+			s.Ingest(site, bySite[site][lo:hi]...)
+			if next[site] = hi; hi == len(bySite[site]) {
+				remaining = append(remaining[:i], remaining[i+1:]...)
+			}
+		}
+		if diff := audit.DiffReports(batch, s.Finalize()); diff != "" {
+			return fmt.Sprintf("shuffled per-site feed (seed %d): %s", seed, diff)
+		}
+	}
+	return ""
 }
 
 // printTimelines renders one transaction's causal timeline, in the given

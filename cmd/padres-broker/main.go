@@ -14,7 +14,10 @@
 // With -metrics-addr the broker additionally serves an observability
 // endpoint: Prometheus metrics at /metrics, liveness at /healthz,
 // hop-by-hop message traces at /traces, flight-recorder records at
-// /journal (when -journal is set), and the Go profiler under /debug/pprof/.
+// /journal with a live chunked-JSONL tail at /journal/stream (when
+// -journal is set; the tail resumes from a ?after= Lamport cursor and
+// feeds the padres-mon -audit fleet auditor), and the Go profiler under
+// /debug/pprof/.
 // With -profile-dir it also captures periodic CPU/heap/mutex/goroutine
 // pprof bundles with bounded retention (continuous profiling), so load
 // investigations start from profiles taken while the problem happened.

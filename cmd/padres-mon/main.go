@@ -11,6 +11,13 @@
 // With -watch the terminal is redrawn every interval; with -jsonl every
 // snapshot is appended as one JSON line for offline analysis; -once prints
 // a single snapshot and exits (the scripting mode).
+//
+// With -audit the monitor additionally tails every target's /journal/stream
+// endpoint into a live streaming auditor and renders an invariants panel:
+// per-check CLEAN/LOSSY/VIOLATED verdicts for exactly-once delivery, 3PC
+// phase order, routing convergence, and abort atomicity, plus the
+// watermark position and the in-flight transaction table. Targets whose
+// journal ring overwrote records are flagged LOSSY in the fleet header.
 package main
 
 import (
@@ -41,6 +48,7 @@ func run(args []string) error {
 		jsonlPath  = fs.String("jsonl", "", "append every fleet snapshot as one JSON line to this file")
 		once       = fs.Bool("once", false, "scrape once, print, and exit")
 		timeout    = fs.Duration("timeout", 5*time.Second, "per-target scrape timeout")
+		liveAudit  = fs.Bool("audit", false, "tail every target's /journal/stream and verify the mobility invariants live (invariants panel)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -62,9 +70,19 @@ func run(args []string) error {
 		defer sink.Close()
 	}
 
+	var auditor *mon.Auditor
+	if *liveAudit {
+		auditor = mon.NewAuditor(targets, *timeout)
+		defer auditor.Close()
+	}
+
 	scraper := mon.NewScraper(*timeout)
 	round := func() error {
 		snap := mon.Aggregate(scraper.ScrapeAll(targets), time.Now())
+		if auditor != nil {
+			st := auditor.Status()
+			snap.Audit = &st
+		}
 		if *watch {
 			// Clear screen and home the cursor before each redraw.
 			fmt.Print("\x1b[2J\x1b[H")

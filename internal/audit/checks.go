@@ -224,135 +224,11 @@ func clientNode(client, brokerSite string) string { return client + "@" + broker
 // path is severed even across a restart); the final-host filter check is
 // likewise skipped when the final host ever crashed.
 func checkConvergence(run int64, recs []journal.Record, crashed, stillDown, crashedTx map[string]bool) []Violation {
-	tables := make(map[tableKey]map[string]tableEntry)
-	finalHost := make(map[string]string) // client -> site of last attach/arrive
-	lastArrive := make(map[string]journal.Record)
-	// Inserts tagged with each client's arrival transaction at the target
-	// site: the filters the movement promised to re-home.
-	taggedInserts := make(map[string][]journal.Record)
-	// Untagged (client-issued) removes after replay start, to excuse
-	// filters the client itself retracted after arriving.
-	untaggedRemoved := make(map[tableKey]map[string]bool)
-
+	cs := newConvergenceState()
 	for _, r := range recs {
-		switch r.Kind {
-		case journal.KindClientAttach, journal.KindClientArrive:
-			finalHost[r.Client] = r.Site
-			if r.Kind == journal.KindClientArrive {
-				lastArrive[r.Client] = r
-			}
-		case journal.KindSRTInsert, journal.KindPRTInsert, journal.KindSRTRemove, journal.KindPRTRemove:
-			table := "srt"
-			if r.Kind == journal.KindPRTInsert || r.Kind == journal.KindPRTRemove {
-				table = "prt"
-			}
-			k := tableKey{r.Site, table}
-			t := tables[k]
-			if t == nil {
-				t = make(map[string]tableEntry)
-				tables[k] = t
-			}
-			switch r.Kind {
-			case journal.KindSRTInsert, journal.KindPRTInsert:
-				t[r.Ref] = tableEntry{client: r.Client, lastHop: r.To}
-				if r.Tx != "" {
-					taggedInserts[r.Tx] = append(taggedInserts[r.Tx], r)
-				}
-			default:
-				delete(t, r.Ref)
-				if r.Tx == "" {
-					u := untaggedRemoved[k]
-					if u == nil {
-						u = make(map[string]bool)
-						untaggedRemoved[k] = u
-					}
-					u[baseID(r.Ref)] = true
-				}
-			}
-		}
+		cs.apply(r)
 	}
-
-	var out []Violation
-
-	// No prepared shadow configuration may survive the run.
-	for k, t := range tables {
-		if stillDown[k.site] {
-			continue
-		}
-		for id, e := range t {
-			if isShadow(id) && !crashedTx[txOfShadow(id)] {
-				out = append(out, Violation{
-					Run: run, Check: "convergence", Site: k.site, Ref: id, Client: e.client, Tx: txOfShadow(id),
-					Detail: fmt.Sprintf("prepared shadow record survived in the %s", strings.ToUpper(k.table)),
-				})
-			}
-		}
-	}
-
-	// No entry may point at a client copy the client has departed from.
-	for k, t := range tables {
-		if stillDown[k.site] {
-			continue
-		}
-		for id, e := range t {
-			c, host, ok := splitClientNode(e.lastHop)
-			if !ok {
-				continue
-			}
-			if finalHost[c] != "" && host != finalHost[c] &&
-				!crashed[host] && !crashed[finalHost[c]] {
-				out = append(out, Violation{
-					Run: run, Check: "convergence", Site: k.site, Ref: id, Client: c,
-					Detail: fmt.Sprintf("orphaned %s entry points at abandoned copy %s (client now at %s)",
-						strings.ToUpper(k.table), e.lastHop, finalHost[c]),
-				})
-			}
-		}
-	}
-
-	// The filters the client's final committed movement re-homed must be
-	// present at the final host (unless the client retracted them itself).
-	for c, arrive := range lastArrive {
-		site := arrive.Site
-		if crashed[site] {
-			// Ever crashed, even if restarted: the arriving client's copy
-			// died with the container and is not resurrected, so its filters
-			// are legitimately unsubscribed rather than present.
-			continue
-		}
-		expected := make(map[string]string) // base id -> table
-		for _, ins := range taggedInserts[arrive.Tx] {
-			if ins.Site != site || ins.Client != c || ins.To != clientNode(c, site) {
-				continue
-			}
-			table := "srt"
-			if ins.Kind == journal.KindPRTInsert {
-				table = "prt"
-			}
-			expected[baseID(ins.Ref)] = table
-		}
-		for base, table := range expected {
-			k := tableKey{site, table}
-			if untaggedRemoved[k][base] {
-				continue
-			}
-			found := false
-			for id, e := range tables[k] {
-				if baseID(id) == base && e.lastHop == clientNode(c, site) {
-					found = true
-					break
-				}
-			}
-			if !found {
-				out = append(out, Violation{
-					Run: run, Check: "convergence", Site: site, Ref: base, Client: c, Tx: arrive.Tx,
-					Detail: fmt.Sprintf("filter missing from the %s at the client's final host", strings.ToUpper(table)),
-				})
-			}
-		}
-	}
-	sortViolations(out)
-	return out
+	return cs.violations(run, crashed, stillDown, crashedTx)
 }
 
 // checkAtomicity verifies property (d) for one aborted transaction: every

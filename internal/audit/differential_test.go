@@ -1,0 +1,136 @@
+package audit_test
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"padres/internal/audit"
+	"padres/internal/core"
+	"padres/internal/journal"
+)
+
+// diffReports compares a batch report against a streaming Finalize report:
+// same verdict, same per-run counts, same violation multiset. Returns "" on
+// equality.
+func diffReports(batch, stream *audit.Report) string {
+	return audit.DiffReports(batch, stream)
+}
+
+// demuxBySite splits a journal snapshot into per-site record streams,
+// preserving each site's emission order — exactly what per-broker
+// /journal/stream tails deliver.
+func demuxBySite(recs []journal.Record) map[string][]journal.Record {
+	out := make(map[string][]journal.Record)
+	for _, r := range recs {
+		out[r.Site] = append(out[r.Site], r)
+	}
+	return out
+}
+
+// feedShuffled ingests the per-site streams in chunks, interleaving chunk
+// delivery across sites in a seeded random order while preserving each
+// site's internal order — the adversarial arrival schedule a fleet of
+// independently-paced broker tails produces.
+func feedShuffled(s *audit.Stream, bySite map[string][]journal.Record, chunk int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	sites := make([]string, 0, len(bySite))
+	for site := range bySite {
+		sites = append(sites, site)
+	}
+	sort.Strings(sites)
+	next := make(map[string]int, len(sites))
+	for len(sites) > 0 {
+		i := rng.Intn(len(sites))
+		site := sites[i]
+		recs := bySite[site]
+		lo := next[site]
+		hi := lo + chunk
+		if hi > len(recs) {
+			hi = len(recs)
+		}
+		s.Ingest(site, recs[lo:hi]...)
+		if next[site] = hi; hi == len(recs) {
+			sites = append(sites[:i], sites[i+1:]...)
+		}
+	}
+}
+
+// TestStreamMatchesBatchOnWorkload is the differential gate: a real
+// movement workload's journal, fed to the streaming auditor as shuffled
+// per-broker chunks, must finalize to exactly the batch auditor's report —
+// same verdict, same counts, same violation multiset.
+func TestStreamMatchesBatchOnWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live-cluster audit run")
+	}
+	j := journal.New(0)
+	runMovementWorkload(t, j, core.ProtocolReconfig, false, 0)
+	runMovementWorkload(t, j, core.ProtocolEndToEnd, true, 0)
+	recs := j.Snapshot()
+	batch := audit.Audit(append([]journal.Record(nil), recs...))
+	if len(batch.Runs) != 2 {
+		t.Fatalf("batch audited %d runs, want 2", len(batch.Runs))
+	}
+
+	// In order, single source: the simplest streaming arrangement.
+	whole := audit.NewStream(audit.StreamOptions{})
+	whole.Ingest("journal", recs...)
+	if diff := diffReports(batch, whole.Finalize()); diff != "" {
+		t.Fatalf("in-order stream diverged from batch: %s", diff)
+	}
+
+	// Adversarial: per-site sources, chunked, seeded-random interleavings.
+	bySite := demuxBySite(recs)
+	if len(bySite) < 4 {
+		t.Fatalf("workload touched only %d sites, want a real fleet", len(bySite))
+	}
+	for _, seed := range []int64{1, 7, 42} {
+		s := audit.NewStream(audit.StreamOptions{})
+		feedShuffled(s, bySite, 25, seed)
+		if diff := diffReports(batch, s.Finalize()); diff != "" {
+			t.Fatalf("shuffled stream (seed %d) diverged from batch: %s", seed, diff)
+		}
+		st := s.Status()
+		if st.Records != len(recs) {
+			t.Fatalf("seed %d: stream ingested %d records, want %d", seed, st.Records, len(recs))
+		}
+	}
+}
+
+// TestStreamLiveStatusOnWorkload checks the live view, not just Finalize:
+// once a clean workload's records are all ingested, every check reads CLEAN
+// and the in-flight table drains to the settled/committed transactions.
+func TestStreamLiveStatusOnWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live-cluster audit run")
+	}
+	j := journal.New(0)
+	runMovementWorkload(t, j, core.ProtocolReconfig, false, 0)
+	recs := j.Snapshot()
+
+	s := audit.NewStream(audit.StreamOptions{
+		OnViolation: func(v audit.Violation) {
+			t.Errorf("live violation on clean workload: %s", v)
+		},
+	})
+	for site, chunk := range demuxBySite(recs) {
+		s.Ingest(site, chunk...)
+	}
+	st := s.Status()
+	if !st.Clean() {
+		t.Fatalf("live status not clean: %+v", st.Checks)
+	}
+	if st.Lossy {
+		t.Fatal("lossless feed marked lossy")
+	}
+	if st.Watermark == 0 || st.MaxLamport < st.Watermark {
+		t.Fatalf("watermark bookkeeping broken: wm=%d max=%d", st.Watermark, st.MaxLamport)
+	}
+	if len(st.Sources) != len(demuxBySite(recs)) {
+		t.Fatalf("sources tracked = %d, want %d", len(st.Sources), len(demuxBySite(recs)))
+	}
+	if rep := s.Finalize(); !rep.Clean() {
+		t.Fatalf("finalize flagged clean workload: %v", rep.Violations())
+	}
+}

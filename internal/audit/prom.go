@@ -1,0 +1,71 @@
+package audit
+
+import (
+	"padres/internal/telemetry"
+)
+
+// PromFamilies contributes the live auditor's padres_audit_* metric
+// families to a telemetry exposition. Register it with
+// telemetry.Registry.AddFamilies(stream.PromFamilies) so the invariants
+// become scrapeable alongside the broker runtime metrics:
+//
+//	padres_audit_records_total          records ingested across all sources
+//	padres_audit_violations_total       confirmed violations, per check
+//	padres_audit_check_status           0 clean, 1 lossy, 2 violated, per check
+//	padres_audit_watermark              merged Lamport watermark
+//	padres_audit_watermark_lag          newest stamp minus merged watermark
+//	padres_audit_inflight_txs           unresolved or unsettled transactions
+//	padres_audit_pending_pubs           publications awaiting settlement
+//	padres_audit_state_entries          total tracked state (memory bound)
+//	padres_audit_settled_total          entities settled and evicted
+//	padres_audit_lossy_intervals_total  loss reports ingested
+//	padres_audit_source_watermark       per-source high stamp
+//	padres_audit_source_dropped_total   per-source records lost before ingest
+func (s *Stream) PromFamilies(pb *telemetry.PromBuilder) {
+	st := s.Status()
+	pb.Counter("padres_audit_records_total",
+		"Journal records ingested by the live auditor.", nil, int64(st.Records))
+	for _, c := range st.Checks {
+		labels := []telemetry.Label{{Name: "check", Value: c.Check}}
+		pb.Counter("padres_audit_violations_total",
+			"Confirmed invariant violations detected by the live auditor.",
+			labels, int64(c.Violations))
+		var code int64
+		switch c.Status {
+		case StatusLossy:
+			code = 1
+		case StatusViolated:
+			code = 2
+		}
+		pb.Gauge("padres_audit_check_status",
+			"Live verdict per invariant check: 0 clean, 1 lossy, 2 violated.",
+			labels, code)
+	}
+	pb.Gauge("padres_audit_watermark",
+		"Merged Lamport watermark: every record at or below this stamp was ingested from every live source.",
+		nil, int64(st.Watermark))
+	pb.Gauge("padres_audit_watermark_lag",
+		"Distance between the newest ingested stamp and the merged watermark.",
+		nil, int64(st.WatermarkLag()))
+	pb.Gauge("padres_audit_inflight_txs",
+		"Movement transactions tracked by the live auditor (unresolved or not yet settled).",
+		nil, int64(st.InFlightTxs))
+	pb.Gauge("padres_audit_pending_pubs",
+		"Publications tracked by the live auditor awaiting settlement.",
+		nil, int64(st.PendingPubs))
+	pb.Gauge("padres_audit_state_entries",
+		"Total state entries held by the live auditor (bounded by in-flight work).",
+		nil, int64(st.StateEntries))
+	pb.Counter("padres_audit_settled_total",
+		"Entities the live auditor settled clean and evicted.", nil, int64(st.Settled))
+	pb.Counter("padres_audit_lossy_intervals_total",
+		"Journal loss reports that degraded audit intervals to LOSSY.",
+		nil, int64(len(st.Intervals)))
+	for _, src := range st.Sources {
+		labels := []telemetry.Label{{Name: "source", Value: src.Name}}
+		pb.Gauge("padres_audit_source_watermark",
+			"Highest Lamport stamp ingested per source.", labels, int64(src.Watermark))
+		pb.Counter("padres_audit_source_dropped_total",
+			"Records each source reported lost before ingest.", labels, int64(src.Dropped))
+	}
+}

@@ -1,0 +1,141 @@
+package broker
+
+import (
+	"runtime/debug"
+	"testing"
+	"time"
+
+	"padres/internal/audit"
+	"padres/internal/journal"
+	"padres/internal/message"
+)
+
+// BenchmarkAuditStreamOverhead measures what the live invariant auditor
+// costs the publication dispatch hot path. Both testbeds run with the
+// flight-recorder journal attached (journaling is the observability
+// baseline); the instrumented one additionally has a journal tap subscribed
+// — the wiring a broker serving /journal/stream carries. The budget holds
+// the tap's marginal dispatch cost to <= 5% of per-publication cost: tap
+// delivery is a read-lock plus a non-blocking buffered-channel send, and
+// the auditor's own ingest work rides the tap's buffer off the dispatch
+// goroutines (on a fleet it runs in padres-mon on another host; here each
+// chunk's backlog is drained into an audit.Stream between timings, with the
+// buffer sized so nothing drops and the audit verdict still gates the run).
+// The drained ingest cost is reported separately as audit-ns/op.
+//
+// As in BenchmarkWALOverhead, the two modes alternate in small chunks
+// inside one timed run so machine-load drift hits both equally, and the
+// per-mode figures are interquartile means over the chunks. benchjson
+// reads the off-ns/op / on-ns/op pair for the budget (BENCH_audit.json,
+// `make bench-audit-stream`).
+func BenchmarkAuditStreamOverhead(b *testing.B) {
+	off := newAuditBench(b, false)
+	defer off.close()
+	on := newAuditBench(b, true)
+	defer on.close()
+
+	defer debug.SetGCPercent(debug.SetGCPercent(400))
+
+	const chunk = 2048
+	var offNs, onNs []float64
+	b.ResetTimer()
+	for done, i := 0, 0; done < b.N; done, i = done+chunk, i+1 {
+		var offDur, onDur time.Duration
+		if i%2 == 1 {
+			onDur = on.run(b, chunk)
+			offDur = off.run(b, chunk)
+		} else {
+			offDur = off.run(b, chunk)
+			onDur = on.run(b, chunk)
+		}
+		offNs = append(offNs, float64(offDur.Nanoseconds())/chunk)
+		onNs = append(onNs, float64(onDur.Nanoseconds())/chunk)
+	}
+	b.StopTimer()
+	offTyp, onTyp := walMidmean(offNs), walMidmean(onNs)
+	b.ReportMetric(offTyp, "off-ns/op")
+	b.ReportMetric(onTyp, "on-ns/op")
+	b.ReportMetric((onTyp/offTyp-1)*100, "overhead-pct")
+	b.ReportMetric(float64(on.ingestTime.Nanoseconds())/float64(on.pubs), "audit-ns/op")
+
+	// The instrumented testbed must actually have audited the run: every
+	// tapped record ingested (none dropped), the run clean, and tracked
+	// state bounded (settlement evicting what the watermark passed).
+	if d := on.tap.Dropped(); d != 0 {
+		b.Fatalf("tap dropped %d records; buffer too small for the chunk size", d)
+	}
+	st := on.stream.Status()
+	if st.Records == 0 {
+		b.Fatal("live auditor ingested no records from the tap")
+	}
+	if !st.Clean() {
+		b.Fatalf("live auditor flagged the bench workload: %+v", st.Checks)
+	}
+}
+
+// auditBench is the telemetry testbed plus the flight recorder, and — in
+// live mode — a journal tap drained into a streaming auditor.
+type auditBench struct {
+	*telemBench
+	jnl        *journal.Journal
+	tap        *journal.Tap
+	stream     *audit.Stream
+	batch      []journal.Record
+	ingestTime time.Duration
+}
+
+func newAuditBench(b *testing.B, live bool) *auditBench {
+	b.Helper()
+	tb := newTelemBench(b, false)
+	ab := &auditBench{telemBench: tb, jnl: journal.New(1 << 16)}
+	// The delivery invariant needs the application-queue record the client
+	// shim normally writes; mirror it here so the audited stream is clean.
+	site := string(message.ClientNode("cs", "b1"))
+	tb.bk.AttachClient(message.ClientNode("cs", "b1"), func(m message.Publish) {
+		ab.jnl.Add(journal.Record{
+			Site: site, Cat: journal.CatClient, Kind: journal.KindClientDeliver,
+			Lamport: ab.jnl.ClockOf(site).Tick(), Client: "cs", Ref: string(m.ID),
+		})
+		tb.delivered.Add(1)
+	})
+	tb.nw.SetJournal(ab.jnl)
+	if live {
+		ab.stream = audit.NewStream(audit.StreamOptions{})
+		ab.tap = ab.jnl.Subscribe(1 << 15)
+	}
+	return ab
+}
+
+// run times one chunk on the dispatch path, then drains the chunk's tap
+// backlog into the auditor outside the timed window.
+func (ab *auditBench) run(b *testing.B, k int) time.Duration {
+	d := ab.telemBench.run(b, k)
+	ab.drain()
+	return d
+}
+
+// drain empties the tap's buffer into the stream as one batch.
+func (ab *auditBench) drain() {
+	if ab.tap == nil {
+		return
+	}
+	for {
+		select {
+		case rec := <-ab.tap.C():
+			ab.batch = append(ab.batch, rec)
+		default:
+			start := time.Now()
+			ab.stream.Ingest("bench", ab.batch...)
+			ab.ingestTime += time.Since(start)
+			ab.batch = ab.batch[:0]
+			return
+		}
+	}
+}
+
+func (ab *auditBench) close() {
+	if ab.tap != nil {
+		ab.tap.Close()
+	}
+	ab.telemBench.close()
+}

@@ -326,7 +326,11 @@ type Stats struct {
 	PRTSize             int
 	SendsByKind         map[message.Kind]int64
 	TotalSends          int64
-	DispatchLatency     telemetry.HistogramSnapshot
+	// JournalDropped counts flight-recorder records this broker's network
+	// journal overwrote (ring overflow). Non-zero means audits over the
+	// journal are working from incomplete evidence — at best LOSSY.
+	JournalDropped  uint64
+	DispatchLatency telemetry.HistogramSnapshot
 	// Stages holds the per-stage latency snapshots (inbox_wait, match, and
 	// — with the parallel pipeline — commit_wait and egress_flush).
 	Stages map[string]telemetry.HistogramSnapshot
@@ -338,6 +342,10 @@ func (b *Broker) Stats() Stats {
 	b.mu.Lock()
 	depth := len(b.inbox)
 	b.mu.Unlock()
+	var jnlDropped uint64
+	if j := b.journal(); j != nil {
+		jnlDropped = j.Dropped()
+	}
 	return Stats{
 		ID:                  b.cfg.ID,
 		QueueDepth:          depth,
@@ -349,6 +357,7 @@ func (b *Broker) Stats() Stats {
 		PRTSize:             b.prt.Len(),
 		SendsByKind:         b.tel.SendsByKind(),
 		TotalSends:          b.tel.TotalSends(),
+		JournalDropped:      jnlDropped,
 		DispatchLatency:     b.tel.DispatchLatency.Snapshot(),
 		Stages:              b.tel.Stages.Snapshot(),
 	}

@@ -90,6 +90,11 @@ type Options struct {
 	// Journal, if non-nil, is used instead of a fresh in-memory journal
 	// (e.g. one sinking to a JSONL file).
 	Journal *journal.Journal
+	// DisableLiveAudit turns off the streaming auditor that otherwise rides
+	// every soak on a journal tap, verifying the invariants while the run
+	// is still going and diffing its final verdict against the offline
+	// batch audit.
+	DisableLiveAudit bool
 	// Logf, if non-nil, receives progress lines.
 	Logf func(format string, args ...any)
 }
@@ -185,14 +190,31 @@ type Result struct {
 	DeadInstruments []string
 
 	Report *audit.Report
+
+	// LiveReport is the streaming auditor's Finalize, produced from the
+	// journal tap that ran alongside the soak (nil with DisableLiveAudit).
+	LiveReport *audit.Report
+	// LiveDropped counts tap records the live auditor missed because its
+	// buffer overflowed; non-zero degrades the live verdict to LOSSY and
+	// suppresses the batch/live differential.
+	LiveDropped uint64
+	// LiveDivergence describes the first disagreement between the batch
+	// report and the live report. It is only computed when neither the ring
+	// nor the tap lost records — the two auditors then saw identical
+	// evidence and must agree exactly. Empty means agreement (or that the
+	// comparison was skipped because of loss).
+	LiveDivergence string
 }
 
 // Clean reports whether the audit found no violations, every movement
-// resolved without an unexpected error, and no latency instrument went
-// dead during the soak.
+// resolved without an unexpected error, no latency instrument went dead
+// during the soak, and — when the live auditor ran — its verdict matches
+// the batch auditor's.
 func (r *Result) Clean() bool {
 	return r.MoveErrors == 0 && len(r.DeadInstruments) == 0 &&
-		r.Report != nil && r.Report.Clean()
+		r.Report != nil && r.Report.Clean() &&
+		r.LiveDivergence == "" &&
+		(r.LiveReport == nil || r.LiveReport.Clean())
 }
 
 // Summary renders a one-paragraph soak report, including the fleet-wide
@@ -230,6 +252,17 @@ func (r *Result) Summary() string {
 	for _, d := range r.DeadInstruments {
 		fmt.Fprintf(&sb, "  dead instrument: %s\n", d)
 	}
+	if r.LiveReport != nil {
+		live := "agrees with batch"
+		switch {
+		case r.LiveDivergence != "":
+			live = "DIVERGED: " + r.LiveDivergence
+		case r.LiveDropped > 0 || r.JournalDropped > 0:
+			live = fmt.Sprintf("lossy (tap dropped %d, ring dropped %d); differential skipped",
+				r.LiveDropped, r.JournalDropped)
+		}
+		fmt.Fprintf(&sb, "  live audit: %s\n", live)
+	}
 	fmt.Fprintf(&sb, "  audit: %s", verdict)
 	return sb.String()
 }
@@ -244,6 +277,28 @@ func Run(opts Options) (*Result, error) {
 	if j == nil {
 		j = journal.New(opts.JournalCap)
 	}
+
+	// The live invariant auditor rides the soak on a journal tap: every
+	// record the cluster journals is also streamed into an audit.Stream,
+	// which verifies delivery, phase order, convergence, and atomicity
+	// incrementally while the chaos schedule is still injecting faults. At
+	// soak end its Finalize is diffed against the offline batch audit.
+	var liveStream *audit.Stream
+	var liveTap *journal.Tap
+	liveDone := make(chan struct{})
+	if !opts.DisableLiveAudit {
+		liveStream = audit.NewStream(audit.StreamOptions{})
+		liveTap = j.Subscribe(0)
+		go func() {
+			defer close(liveDone)
+			for rec := range liveTap.C() {
+				liveStream.Ingest("soak", rec)
+			}
+		}()
+	} else {
+		close(liveDone)
+	}
+
 	faults := opts.Faults
 	c, err := cluster.New(cluster.Options{
 		Protocol:      core.ProtocolReconfig,
@@ -267,7 +322,13 @@ func Run(opts Options) (*Result, error) {
 	// end with fleet-wide per-phase percentiles next to the per-stage ones.
 	// The sink survives broker restarts — the cluster re-installs it.
 	telReg := telemetry.NewRegistry()
+	telReg.SetJournal(j)
 	c.SetEventSink(core.PhaseSink(telReg.Spans()))
+	if liveStream != nil {
+		// The auditor's verdicts join the soak's exposition, so the
+		// dead-instrument detector also proves the audit wiring is alive.
+		telReg.AddFamilies(liveStream.PromFamilies)
+	}
 
 	// Partition the broker set: clients live only on hostable brokers;
 	// crash victims host none, so a crash never takes a client or a
@@ -463,6 +524,17 @@ func Run(opts Options) (*Result, error) {
 	res.JournalRecords = j.Len()
 	res.JournalDropped = j.Dropped()
 
+	// Stop the live tail: close the tap, let the drain goroutine finish the
+	// buffered records, account for any overflow, and finalize.
+	if liveStream != nil {
+		liveTap.Close()
+		<-liveDone
+		if res.LiveDropped = liveTap.Dropped(); res.LiveDropped > 0 {
+			liveStream.NoteDropped("soak", res.LiveDropped)
+		}
+		res.LiveReport = liveStream.Finalize()
+	}
+
 	// Latency-observatory snapshot: expose the survivors' instruments
 	// exactly as /metrics would, re-parse the text, merge the per-stage and
 	// per-phase histograms cluster-wide, and run the dead-instrument
@@ -493,6 +565,14 @@ func Run(opts Options) (*Result, error) {
 
 	res.Duration = time.Since(start)
 	res.Report = audit.Audit(j.Snapshot())
+	// Differential gate: when neither the ring nor the tap lost records,
+	// the two auditors saw identical evidence and must agree exactly —
+	// verdict, counts, and violation multiset. Any loss makes the inputs
+	// legitimately different, so the comparison is skipped (the live report
+	// then stands on its own LOSSY degradation).
+	if res.LiveReport != nil && res.JournalDropped == 0 && res.LiveDropped == 0 {
+		res.LiveDivergence = audit.DiffReports(res.Report, res.LiveReport)
+	}
 	return res, nil
 }
 

@@ -38,6 +38,21 @@ func TestSoakShort(t *testing.T) {
 	if res.JournalDropped != 0 {
 		t.Errorf("journal ring dropped %d records; audit evidence incomplete", res.JournalDropped)
 	}
+	// The live auditor ran alongside the soak: it must have produced a
+	// report, lost nothing off its tap, and — on a lossless run — agreed
+	// with the offline batch auditor exactly.
+	if res.LiveReport == nil {
+		t.Fatal("live auditor produced no report")
+	}
+	if res.LiveDropped != 0 {
+		t.Errorf("live audit tap dropped %d records", res.LiveDropped)
+	}
+	if res.LiveDivergence != "" {
+		t.Errorf("live audit diverged from batch: %s", res.LiveDivergence)
+	}
+	if !res.LiveReport.Clean() {
+		t.Errorf("live audit not clean: %v", res.LiveReport.Violations())
+	}
 	// The latency observatory must have snapshotted the fleet: pipeline
 	// stage percentiles, movement phase percentiles (with the "total" row),
 	// and no instrument that went dead while its work counter advanced.
@@ -91,6 +106,13 @@ func TestSoakRestartShort(t *testing.T) {
 	}
 	if res.Committed == 0 {
 		t.Error("no movement committed under crash+restart chaos")
+	}
+	// Crash+restart cycles must not fool the live auditor either.
+	if res.LiveReport == nil || !res.LiveReport.Clean() {
+		t.Errorf("live audit under crash+restart not clean: %+v", res.LiveReport)
+	}
+	if res.LiveDivergence != "" {
+		t.Errorf("live audit diverged from batch: %s", res.LiveDivergence)
 	}
 	// Restarted sites must be inspected, not excused: the audit report
 	// records them per run.

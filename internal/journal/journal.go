@@ -157,6 +157,10 @@ type Journal struct {
 	run    atomic.Int64
 	wall   atomic.Int64 // cached wall clock (unix nanos) for ring-only stamps
 	sinkOn atomic.Bool  // fast-path guard: skip sinkMu when no sink installed
+	tapsOn atomic.Bool  // fast-path guard: skip tapMu when no tap subscribed
+
+	tapMu sync.RWMutex
+	taps  []*Tap
 
 	mu      sync.Mutex
 	ring    []Record
@@ -263,6 +267,10 @@ func (j *Journal) Add(r Record) {
 		j.next = 0
 	}
 	j.mu.Unlock()
+
+	if j.tapsOn.Load() {
+		j.deliverTaps(r)
+	}
 
 	if !j.sinkOn.Load() {
 		return

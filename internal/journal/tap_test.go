@@ -1,0 +1,132 @@
+package journal
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestTapReceivesAppends(t *testing.T) {
+	j := New(16)
+	tap := j.Subscribe(8)
+	defer tap.Close()
+	for i := 1; i <= 5; i++ {
+		j.Add(Record{Site: "b1", Lamport: uint64(i), Cat: CatBroker, Kind: KindDispatch})
+	}
+	for i := 1; i <= 5; i++ {
+		r := <-tap.C()
+		if r.Lamport != uint64(i) {
+			t.Fatalf("tap record %d: lamport %d, want %d", i, r.Lamport, i)
+		}
+		if r.Seq == 0 {
+			t.Fatalf("tap record missing seq stamp: %+v", r)
+		}
+	}
+	if tap.Dropped() != 0 {
+		t.Fatalf("dropped %d records with room in the buffer", tap.Dropped())
+	}
+}
+
+func TestTapOverflowCountsDropped(t *testing.T) {
+	j := New(16)
+	tap := j.Subscribe(2)
+	defer tap.Close()
+	for i := 0; i < 10; i++ {
+		j.Add(Record{Site: "b1", Cat: CatBroker, Kind: KindDispatch})
+	}
+	if got := tap.Dropped(); got != 8 {
+		t.Fatalf("dropped = %d, want 8 (buffer 2, 10 appends, no reader)", got)
+	}
+	// The buffered records are still deliverable.
+	<-tap.C()
+	<-tap.C()
+}
+
+func TestTapCloseStopsDeliveryAndClosesChannel(t *testing.T) {
+	j := New(16)
+	tap := j.Subscribe(4)
+	j.Add(Record{Site: "b1", Cat: CatBroker, Kind: KindDispatch})
+	tap.Close()
+	tap.Close() // idempotent
+	j.Add(Record{Site: "b1", Cat: CatBroker, Kind: KindDispatch})
+	n := 0
+	for range tap.C() {
+		n++
+	}
+	if n != 1 {
+		t.Fatalf("read %d records after close, want the 1 pre-close record", n)
+	}
+	if j.tapsOn.Load() {
+		t.Fatal("tapsOn still set with no subscribers")
+	}
+}
+
+func TestTapConcurrentAddAndClose(t *testing.T) {
+	j := New(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				j.Add(Record{Site: "b1", Cat: CatBroker, Kind: KindDispatch})
+			}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tap := j.Subscribe(8)
+			for i := 0; i < 50; i++ {
+				select {
+				case <-tap.C():
+				default:
+				}
+			}
+			tap.Close()
+		}()
+	}
+	wg.Wait()
+}
+
+func TestNilJournalTapSafe(t *testing.T) {
+	var j *Journal
+	tap := j.Subscribe(8)
+	if tap != nil {
+		t.Fatal("nil journal returned a live tap")
+	}
+	if tap.C() != nil || tap.Dropped() != 0 {
+		t.Fatal("nil tap methods not inert")
+	}
+	tap.Close()
+}
+
+func TestCursorRoundTripAndOrder(t *testing.T) {
+	c := Cursor{Lamport: 42, Seq: 7}
+	got, err := ParseCursor(c.String())
+	if err != nil || got != c {
+		t.Fatalf("round trip %q -> %+v, %v", c.String(), got, err)
+	}
+	bare, err := ParseCursor("42")
+	if err != nil || bare != (Cursor{Lamport: 42}) {
+		t.Fatalf("bare cursor: %+v, %v", bare, err)
+	}
+	if _, err := ParseCursor("x.y"); err == nil {
+		t.Fatal("garbage cursor accepted")
+	}
+	if !(Cursor{Lamport: 1, Seq: 9}).Less(Cursor{Lamport: 2, Seq: 1}) {
+		t.Fatal("cursor order must be lamport-major")
+	}
+	if !(Cursor{Lamport: 1, Seq: 1}).Less(Cursor{Lamport: 1, Seq: 2}) {
+		t.Fatal("cursor order must tiebreak on seq")
+	}
+	recs := []Record{
+		{Lamport: 3, Seq: 1},
+		{Lamport: 1, Seq: 2},
+		{Lamport: 1, Seq: 1},
+	}
+	SortByCursor(recs)
+	if recs[0].Seq != 1 || recs[0].Lamport != 1 || recs[2].Lamport != 3 {
+		t.Fatalf("SortByCursor order wrong: %+v", recs)
+	}
+}

@@ -1,0 +1,146 @@
+package mon
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"padres/internal/audit"
+	"padres/internal/journal"
+)
+
+// Auditor tails every target's /journal/stream endpoint and feeds the
+// records into one streaming invariant auditor (audit.Stream), merging the
+// fleet's journals by Lamport watermark. Each target is one audit source:
+// a dead or unreachable target marks its source down so the merged
+// watermark freezes on its last position instead of silently excluding it,
+// and a reconnect resumes from the last cursor seen — any gap the broker
+// reports (ring overwrite, tap overflow) degrades the verdict to LOSSY
+// rather than producing false violations.
+type Auditor struct {
+	stream *audit.Stream
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// NewAuditor starts tailing the targets. timeout bounds connection
+// establishment; the streaming reads themselves stay open indefinitely.
+func NewAuditor(targets []Target, timeout time.Duration) *Auditor {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	a := &Auditor{
+		stream: audit.NewStream(audit.StreamOptions{}),
+		cancel: cancel,
+	}
+	for _, t := range targets {
+		a.wg.Add(1)
+		go a.tail(ctx, t, timeout)
+	}
+	return a
+}
+
+// Stream exposes the underlying streaming auditor (for metric export via
+// PromFamilies or a Finalize at shutdown).
+func (a *Auditor) Stream() *audit.Stream { return a.stream }
+
+// Status returns the live invariant verdicts.
+func (a *Auditor) Status() audit.StreamStatus { return a.stream.Status() }
+
+// Close stops every tail and waits for the goroutines to exit. The stream
+// keeps its state; call Stream().Finalize() afterwards for a final report.
+func (a *Auditor) Close() {
+	a.cancel()
+	a.wg.Wait()
+}
+
+// tail maintains one target's journal tail: connect, ingest, reconnect
+// with backoff on any failure, resuming from the last cursor observed and
+// reporting the drop count already accounted for so the broker only
+// announces loss the auditor has not yet seen.
+func (a *Auditor) tail(ctx context.Context, t Target, timeout time.Duration) {
+	defer a.wg.Done()
+	source := t.DisplayName()
+	var cursor journal.Cursor
+	var knownDropped uint64
+	backoff := 500 * time.Millisecond
+	for {
+		err := a.tailOnce(ctx, t, source, timeout, &cursor, &knownDropped)
+		if ctx.Err() != nil {
+			return
+		}
+		_ = err // the down marker is the signal; errors repeat every retry
+		a.stream.SetSourceDown(source, true)
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > 5*time.Second {
+			backoff = 5 * time.Second
+		}
+	}
+}
+
+func (a *Auditor) tailOnce(ctx context.Context, t Target, source string, timeout time.Duration, cursor *journal.Cursor, knownDropped *uint64) error {
+	url := fmt.Sprintf("%s/journal/stream?after=%s&dropped=%s",
+		t.baseURL(), cursor.String(), strconv.FormatUint(*knownDropped, 10))
+	reqCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	req, err := http.NewRequestWithContext(reqCtx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	// The connect deadline must not outlive into the tail phase: arm a
+	// watchdog for header receipt only.
+	watchdog := time.AfterFunc(timeout, cancel)
+	resp, err := (&http.Client{}).Do(req)
+	watchdog.Stop()
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /journal/stream: %s", resp.Status)
+	}
+	a.stream.SetSourceDown(source, false)
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		var rec journal.Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return err
+		}
+		if rec.Kind == journal.KindTailLoss {
+			// Account for announced loss so the next resume only reports
+			// loss beyond it; the stream itself degrades to LOSSY.
+			*knownDropped += tailLossMissing(rec.Detail)
+		} else if c := journal.CursorOf(rec); cursor.Less(c) {
+			*cursor = c
+		}
+		a.stream.Ingest(source, rec)
+	}
+	return sc.Err()
+}
+
+// tailLossMissing extracts the missing count from a tail-loss record's
+// "missing=N" detail (0 when unknown).
+func tailLossMissing(detail string) uint64 {
+	s, ok := strings.CutPrefix(detail, "missing=")
+	if !ok {
+		return 0
+	}
+	n, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
+}

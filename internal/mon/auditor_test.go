@@ -1,0 +1,143 @@
+package mon
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"padres/internal/audit"
+	"padres/internal/journal"
+	"padres/internal/telemetry"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestAuditorTailsBrokerJournal: the fleet auditor tails a broker's
+// /journal/stream, sees its records live, and flags an injected duplicate
+// delivery while the run is still going.
+func TestAuditorTailsBrokerJournal(t *testing.T) {
+	j := journal.New(0)
+	reg := telemetry.NewRegistry()
+	reg.SetJournal(j)
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+
+	j.Add(journal.Record{Run: 1, Site: "b1", Cat: journal.CatBroker, Kind: journal.KindDeliver, Lamport: 1, Client: "sub", Ref: "p1"})
+	j.Add(journal.Record{Run: 1, Site: "sub@b1", Cat: journal.CatClient, Kind: journal.KindClientDeliver, Lamport: 2, Client: "sub", Ref: "p1"})
+
+	a := NewAuditor([]Target{{Name: "n1", Addr: srv.URL}}, time.Second)
+	defer a.Close()
+
+	waitFor(t, "snapshot replay", func() bool { return a.Status().Records == 2 })
+	st := a.Status()
+	if !st.Clean() || st.Lossy {
+		t.Fatalf("clean journal not clean: %+v", st.Checks)
+	}
+	if len(st.Sources) != 1 || st.Sources[0].Name != "n1" || st.Sources[0].Down {
+		t.Fatalf("sources = %+v", st.Sources)
+	}
+
+	// Inject a duplicate delivery: the live tail must carry it to the
+	// auditor and the delivery check must flip to VIOLATED.
+	j.Add(journal.Record{Run: 1, Site: "sub@b1", Cat: journal.CatClient, Kind: journal.KindClientDeliver, Lamport: 3, Client: "sub", Ref: "p1"})
+	waitFor(t, "duplicate violation", func() bool {
+		for _, c := range a.Status().Checks {
+			if c.Check == "delivery" && c.Status == audit.StatusViolated {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+// TestAuditorMarksDeadTargetDown: an unreachable target becomes a down
+// source so the merged watermark freezes instead of silently excluding it.
+func TestAuditorMarksDeadTargetDown(t *testing.T) {
+	a := NewAuditor([]Target{{Name: "gone", Addr: "127.0.0.1:1"}}, 200*time.Millisecond)
+	defer a.Close()
+	waitFor(t, "down source", func() bool {
+		st := a.Status()
+		return len(st.Sources) == 1 && st.Sources[0].Down
+	})
+}
+
+// TestRenderFleetInvariantsPanel: the invariants panel renders verdicts,
+// in-flight transactions, and lossy-broker flags.
+func TestRenderFleetInvariantsPanel(t *testing.T) {
+	st := audit.StreamStatus{
+		Records:   120,
+		Watermark: 40,
+		Checks: []audit.CheckVerdict{
+			{Check: "delivery", Status: audit.StatusClean},
+			{Check: "phase-order", Status: audit.StatusViolated, Violations: 1},
+			{Check: "convergence", Status: audit.StatusLossy},
+			{Check: "atomicity", Status: audit.StatusClean},
+		},
+		InFlightTxs: 1,
+		InFlight:    []audit.InFlightTx{{Tx: "x9", Client: "c2", Phase: "state-sent", Lamport: 38}},
+		Violations: []audit.Violation{{
+			Run: 1, Check: "phase-order", Tx: "x3", Client: "c1",
+			Detail: "transaction both committed and aborted",
+		}},
+	}
+	fs := &FleetSnapshot{
+		At:      time.Unix(1000, 0),
+		Targets: []TargetStatus{{Target: "n1", OK: true, JournalDropped: 12}},
+		Audit:   &st,
+	}
+	out := RenderFleet(fs)
+	for _, want := range []string{
+		"LOSSY n1: journal ring overwrote 12 records",
+		"invariants (live audit)  VIOLATED",
+		"phase-order  VIOLATED  1",
+		"convergence  LOSSY",
+		"x9  c2      state-sent  38",
+		"VIOLATION",
+		"both committed and aborted",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("panel missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestDeadInstrumentsAuditChecks: a registered auditor with no ingested
+// records, or records but a stuck watermark, is reported as dead wiring.
+func TestDeadInstrumentsAuditChecks(t *testing.T) {
+	expo := func(body string) *Exposition {
+		e, err := Parse(strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	dead := DeadInstruments(expo(
+		"# HELP padres_audit_records_total x\n# TYPE padres_audit_records_total counter\npadres_audit_records_total 0\n"))
+	if len(dead) != 1 || !strings.Contains(dead[0], "ingested no records") {
+		t.Fatalf("zero-record auditor not flagged: %v", dead)
+	}
+	dead = DeadInstruments(expo(
+		"# HELP padres_audit_records_total x\n# TYPE padres_audit_records_total counter\npadres_audit_records_total 50\n" +
+			"# HELP padres_audit_watermark x\n# TYPE padres_audit_watermark gauge\npadres_audit_watermark 0\n"))
+	if len(dead) != 1 || !strings.Contains(dead[0], "watermark never advanced") {
+		t.Fatalf("stuck watermark not flagged: %v", dead)
+	}
+	dead = DeadInstruments(expo(
+		"# HELP padres_audit_records_total x\n# TYPE padres_audit_records_total counter\npadres_audit_records_total 50\n" +
+			"# HELP padres_audit_watermark x\n# TYPE padres_audit_watermark gauge\npadres_audit_watermark 17\n"))
+	if len(dead) != 0 {
+		t.Fatalf("healthy auditor flagged: %v", dead)
+	}
+}

@@ -75,5 +75,16 @@ func DeadInstruments(e *Exposition) []string {
 			}
 		}
 	}
+
+	// Live-audit wiring: a registered auditor that ingested nothing, or
+	// ingested records without its watermark ever advancing, is dead — the
+	// journal tap or the watermark merge is disconnected.
+	if records, ok := e.SumValues("padres_audit_records_total", nil); ok {
+		if records == 0 {
+			out = append(out, "live auditor registered but ingested no records")
+		} else if wm, ok2 := e.SumValues("padres_audit_watermark", nil); ok2 && wm == 0 {
+			out = append(out, fmt.Sprintf("live auditor ingested %d records but its watermark never advanced", int64(records)))
+		}
+	}
 	return out
 }

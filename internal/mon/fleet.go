@@ -8,6 +8,7 @@ import (
 	"strings"
 	"time"
 
+	"padres/internal/audit"
 	"padres/internal/telemetry"
 )
 
@@ -208,6 +209,10 @@ type TargetStatus struct {
 	Err    string `json:"err,omitempty"`
 	// Brokers lists the broker IDs found in the target's exposition.
 	Brokers []string `json:"brokers,omitempty"`
+	// JournalDropped is the target's padres_journal_dropped_total: non-zero
+	// means its flight-recorder ring overwrote records, so any audit fed
+	// from this broker's journal is lossy.
+	JournalDropped uint64 `json:"journal_dropped,omitempty"`
 }
 
 // FleetSnapshot is one aggregation round over the whole fleet: cluster
@@ -223,6 +228,10 @@ type FleetSnapshot struct {
 	Phases []StageStats `json:"phases"`
 	Links  []LinkHealth `json:"links"`
 	Moves  []ActiveMove `json:"moves"`
+	// Audit is the live invariant auditor's view when padres-mon runs with
+	// -audit: per-check verdicts, watermark position, and in-flight
+	// transactions. Nil when no auditor is attached.
+	Audit *audit.StreamStatus `json:"audit,omitempty"`
 	// Errors collects aggregation problems (histogram bound mismatches and
 	// the like) without aborting the snapshot.
 	Errors []string `json:"errors,omitempty"`
@@ -282,6 +291,9 @@ func Aggregate(scrapes []Scrape, now time.Time) *FleetSnapshot {
 			}
 		}
 		sort.Strings(ts.Brokers)
+		if v, ok := e.SumValues("padres_journal_dropped_total", nil); ok {
+			ts.JournalDropped = uint64(v)
+		}
 		fs.Targets = append(fs.Targets, ts)
 
 		if hs, err := e.Histograms("padres_broker_stage_seconds"); err != nil {

@@ -5,6 +5,8 @@ import (
 	"strings"
 	"text/tabwriter"
 	"time"
+
+	"padres/internal/audit"
 )
 
 // ms renders a duration as fractional milliseconds.
@@ -28,7 +30,13 @@ func RenderFleet(fs *FleetSnapshot) string {
 	for _, t := range fs.Targets {
 		if !t.OK {
 			fmt.Fprintf(&b, "  DOWN %s: %s\n", t.Target, t.Err)
+		} else if t.JournalDropped > 0 {
+			fmt.Fprintf(&b, "  LOSSY %s: journal ring overwrote %d records\n", t.Target, t.JournalDropped)
 		}
+	}
+
+	if fs.Audit != nil {
+		writeInvariants(&b, fs.Audit)
 	}
 
 	if len(fs.Stages) > 0 {
@@ -71,6 +79,46 @@ func RenderFleet(fs *FleetSnapshot) string {
 		fmt.Fprintf(&b, "\naggregation error: %s\n", e)
 	}
 	return b.String()
+}
+
+// writeInvariants renders the live audit panel: one verdict row per
+// invariant check, the watermark position, and the in-flight transactions
+// the auditor is still tracking.
+func writeInvariants(b *strings.Builder, st *audit.StreamStatus) {
+	verdict := "CLEAN"
+	if st.Lossy {
+		verdict = "LOSSY"
+	}
+	if !st.Clean() {
+		verdict = "VIOLATED"
+	}
+	fmt.Fprintf(b, "\ninvariants (live audit)  %s  records=%d watermark=%d lag=%d\n",
+		verdict, st.Records, st.Watermark, st.WatermarkLag())
+	w := tabwriter.NewWriter(b, 4, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "  check\tstatus\tviolations\n")
+	for _, c := range st.Checks {
+		fmt.Fprintf(w, "  %s\t%s\t%d\n", c.Check, c.Status, c.Violations)
+	}
+	_ = w.Flush()
+	if len(st.InFlight) > 0 {
+		fmt.Fprintf(b, "  in-flight transactions (%d tracked)\n", st.InFlightTxs)
+		w = tabwriter.NewWriter(b, 4, 4, 2, ' ', 0)
+		fmt.Fprintf(w, "  tx\tclient\tphase\tlamport\n")
+		for _, tx := range st.InFlight {
+			fmt.Fprintf(w, "  %s\t%s\t%s\t%d\n", tx.Tx, tx.Client, tx.Phase, tx.Lamport)
+		}
+		_ = w.Flush()
+	}
+	for _, v := range st.Violations {
+		fmt.Fprintf(b, "  VIOLATION %s\n", v)
+	}
+	for _, src := range st.Sources {
+		if src.Down {
+			fmt.Fprintf(b, "  source %s: DOWN (watermark frozen at %d)\n", src.Name, src.Watermark)
+		} else if src.Dropped > 0 {
+			fmt.Fprintf(b, "  source %s: lossy (%d records dropped before ingest)\n", src.Name, src.Dropped)
+		}
+	}
 }
 
 func countObserved(stats []StageStats) int {

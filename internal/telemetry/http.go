@@ -138,6 +138,7 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 	copy(families, r.families)
 	extra := make([]func(io.Writer), len(r.extra))
 	copy(extra, r.extra)
+	jnl := r.jnl
 	r.mu.Unlock()
 	sort.Strings(ids)
 
@@ -160,6 +161,12 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 	}
 	for _, tm := range transports {
 		tm.writeProm(pb)
+	}
+	if jnl.Enabled() {
+		pb.Gauge("padres_journal_records", "Journal records currently held by the ring.", nil, int64(jnl.Len()))
+		pb.Counter("padres_journal_dropped_total",
+			"Journal records overwritten by the ring bound; a non-zero value degrades the live audit to LOSSY.",
+			nil, int64(jnl.Dropped()))
 	}
 	for _, f := range families {
 		f(pb)
@@ -188,11 +195,15 @@ func pageParams(req *http.Request) (limit int, after string) {
 }
 
 // page is the JSON envelope of a paginated endpoint. NextAfter is the
-// cursor of the following page; empty when this page is the last.
+// cursor of the following page; empty when this page is the last. For
+// /journal the cursor is a Lamport position ("lamport.seq") and Dropped
+// reports the ring's overwrite count so a paginating client can tell when
+// records below its cursor were lost between pages.
 type page struct {
 	Total     int    `json:"total"`
 	Count     int    `json:"count"`
 	NextAfter string `json:"next_after,omitempty"`
+	Dropped   uint64 `json:"dropped,omitempty"`
 	Traces    any    `json:"traces,omitempty"`
 	Spans     any    `json:"spans,omitempty"`
 	Active    any    `json:"active,omitempty"`
@@ -206,7 +217,11 @@ type page struct {
 //	/traces         paginated traces (?id= selects one; ?limit=, ?after=)
 //	/spans          paginated movement timelines (?limit=, ?after=)
 //	/journal        paginated flight-recorder records (?limit=, ?after=,
-//	                ?run=, ?tx=) when a journal is attached
+//	                ?run=, ?tx=) when a journal is attached; the cursor is
+//	                a Lamport position "lamport.seq"
+//	/journal/stream chunked JSONL tail of the journal (?after=, ?dropped=);
+//	                replays surviving records past the cursor, then streams
+//	                live appends, interleaving tail-loss markers for gaps
 //	/debug/pprof/   Go runtime profiles
 func (r *Registry) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -295,10 +310,11 @@ func (r *Registry) Handler() http.Handler {
 		limit, after := pageParams(req)
 		q := req.URL.Query()
 		recs := j.Snapshot()
-		// Seq is stamped before the ring append, so the snapshot can be
-		// slightly out of order under concurrent writers; the cursor needs
-		// it strictly monotone.
-		sort.Slice(recs, func(i, k int) bool { return recs[i].Seq < recs[k].Seq })
+		// The cursor is a Lamport position, not a ring index: it survives
+		// ring overwrites (an overwritten record is simply no longer below
+		// the cursor) and broker restarts. Sorting by (Lamport, Seq) makes
+		// the cursor order total and the page windows stable.
+		journal.SortByCursor(recs)
 		// Optional filters restrict before pagination so a page is always
 		// a window of the filtered stream.
 		if runStr := q.Get("run"); runStr != "" {
@@ -312,26 +328,29 @@ func (r *Registry) Handler() http.Handler {
 		if tx := q.Get("tx"); tx != "" {
 			recs = filterRecords(recs, func(rec journal.Record) bool { return rec.Tx == tx })
 		}
-		p := page{Total: len(recs)}
+		p := page{Total: len(recs), Dropped: j.Dropped()}
 		start := 0
 		if after != "" {
-			seq, err := strconv.ParseUint(after, 10, 64)
+			cur, err := journal.ParseCursor(after)
 			if err != nil {
 				http.Error(w, "bad cursor", http.StatusBadRequest)
 				return
 			}
-			// Snapshot order is append order, so Seq is monotone: the page
-			// starts after the cursor's sequence number.
-			start = sort.Search(len(recs), func(i int) bool { return recs[i].Seq > seq })
+			start = sort.Search(len(recs), func(i int) bool {
+				return cur.Less(journal.CursorOf(recs[i]))
+			})
 		}
 		end := min(start+limit, len(recs))
 		sel := recs[start:end]
 		p.Count = len(sel)
 		if end < len(recs) && len(sel) > 0 {
-			p.NextAfter = strconv.FormatUint(sel[len(sel)-1].Seq, 10)
+			p.NextAfter = journal.CursorOf(sel[len(sel)-1]).String()
 		}
 		p.Records = sel
 		writeJSON(w, p)
+	})
+	mux.HandleFunc("/journal/stream", func(w http.ResponseWriter, req *http.Request) {
+		r.serveJournalStream(w, req)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -1,0 +1,132 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+
+	"padres/internal/journal"
+)
+
+// dedupMargin bounds the seq set used to drop the overlap between the
+// snapshot phase and the live tap. Only records appended in the window
+// between Subscribe and Snapshot can appear in both, so remembering the
+// newest snapshot sequences is enough.
+const dedupMargin = 1 << 14
+
+// serveJournalStream implements GET /journal/stream: a chunked JSONL tail
+// of the flight recorder. The response replays the ring's surviving records
+// after the ?after= cursor (a Lamport position, "lamport.seq"), then stays
+// open streaming every new append until the client disconnects.
+//
+// Loss is made explicit instead of silent: when the resume cursor points
+// below the oldest surviving record and the ring has overwritten more
+// records than the client accounted for (?dropped= carries the drop count
+// from its previous connection), and whenever the live tap's buffer
+// overflows, a synthetic tail-loss meta record (journal.KindTailLoss) is
+// interleaved into the stream so a consumer like the streaming auditor can
+// degrade the affected interval to LOSSY.
+func (r *Registry) serveJournalStream(w http.ResponseWriter, req *http.Request) {
+	j := r.Journal()
+	if !j.Enabled() {
+		http.Error(w, "no journal attached", http.StatusNotFound)
+		return
+	}
+	q := req.URL.Query()
+	cur, err := journal.ParseCursor(q.Get("after"))
+	if err != nil {
+		http.Error(w, "bad cursor", http.StatusBadRequest)
+		return
+	}
+	var knownDropped uint64
+	if s := q.Get("dropped"); s != "" {
+		if knownDropped, err = strconv.ParseUint(s, 10, 64); err != nil {
+			http.Error(w, "bad dropped count", http.StatusBadRequest)
+			return
+		}
+	}
+
+	// Subscribe before snapshotting so no append can fall between the two;
+	// the overlap is deduplicated by sequence number below.
+	tap := j.Subscribe(0)
+	defer tap.Close()
+	snap := j.Snapshot()
+	journal.SortByCursor(snap)
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	emit := func(rec journal.Record) bool {
+		if err := enc.Encode(rec); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+
+	// A cursor below the ring's oldest surviving record is a gap when the
+	// ring overwrote records the client has not accounted for — including
+	// the zero cursor of a consumer attaching after overwrites began: it
+	// wants the whole stream and the overwritten prefix is gone.
+	if dropped := j.Dropped(); dropped > knownDropped {
+		gap := len(snap) == 0
+		if !gap {
+			gap = cur.Less(journal.CursorOf(snap[0]))
+		}
+		if gap {
+			var upTo uint64
+			if len(snap) > 0 {
+				upTo = snap[0].Lamport
+			}
+			if !emit(journal.TailLossRecord(j.Run(), upTo, dropped-knownDropped)) {
+				return
+			}
+		}
+	}
+
+	var maxSeq uint64
+	seen := make(map[uint64]struct{})
+	for _, rec := range snap {
+		if rec.Seq > maxSeq {
+			maxSeq = rec.Seq
+		}
+	}
+	for _, rec := range snap {
+		if maxSeq-rec.Seq < dedupMargin {
+			seen[rec.Seq] = struct{}{}
+		}
+		if !cur.Less(journal.CursorOf(rec)) {
+			continue
+		}
+		if !emit(rec) {
+			return
+		}
+	}
+
+	var lossNoted uint64
+	for {
+		select {
+		case <-req.Context().Done():
+			return
+		case rec, ok := <-tap.C():
+			if !ok {
+				return
+			}
+			if _, dup := seen[rec.Seq]; dup {
+				continue
+			}
+			if d := tap.Dropped(); d > lossNoted {
+				if !emit(journal.TailLossRecord(rec.Run, rec.Lamport, d-lossNoted)) {
+					return
+				}
+				lossNoted = d
+			}
+			if !emit(rec) {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package telemetry
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"padres/internal/journal"
+)
+
+// TestJournalCursorSurvivesOverflow is the regression for the Lamport
+// cursor: a pagination started before a ring overflow resumes correctly
+// after it — no duplicates, no stale positions — and the envelope's dropped
+// count tells the client the records below its cursor are gone.
+func TestJournalCursorSurvivesOverflow(t *testing.T) {
+	r := newTestRegistry(t)
+	j := journal.New(8)
+	r.SetJournal(j)
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	add := func(lo, hi uint64) {
+		for lam := lo; lam <= hi; lam++ {
+			j.Add(journal.Record{Run: 1, Site: "b1", Cat: journal.CatBroker, Kind: journal.KindDispatch, Lamport: lam})
+		}
+	}
+	add(1, 8) // fills the ring exactly
+
+	var p struct {
+		Total     int              `json:"total"`
+		Count     int              `json:"count"`
+		NextAfter string           `json:"next_after"`
+		Dropped   uint64           `json:"dropped"`
+		Records   []journal.Record `json:"records"`
+	}
+	_, body := get(t, srv, "/journal?limit=4")
+	if err := json.Unmarshal([]byte(body), &p); err != nil {
+		t.Fatalf("page 1: %v\n%s", err, body)
+	}
+	if p.Count != 4 || p.Dropped != 0 || p.Records[3].Lamport != 4 {
+		t.Fatalf("page 1 = %+v", p)
+	}
+	cursor := p.NextAfter
+
+	// The ring overflows completely between the two pages: records 1-8 are
+	// overwritten by 9-16.
+	add(9, 16)
+
+	_, body = get(t, srv, "/journal?limit=4&after="+cursor)
+	if err := json.Unmarshal([]byte(body), &p); err != nil {
+		t.Fatalf("page 2: %v\n%s", err, body)
+	}
+	if p.Dropped != 8 {
+		t.Fatalf("dropped = %d, want 8", p.Dropped)
+	}
+	if p.Count != 4 {
+		t.Fatalf("page 2 count = %d (%+v)", p.Count, p.Records)
+	}
+	for i, rec := range p.Records {
+		// Records 5-8 were lost to the overwrite (reported via dropped);
+		// the survivors past the cursor start at 9. A ring-index cursor
+		// would have re-served or skipped arbitrary records here.
+		if want := uint64(9 + i); rec.Lamport != want {
+			t.Fatalf("page 2 record %d lamport = %d, want %d", i, rec.Lamport, want)
+		}
+	}
+}
+
+// streamLines opens /journal/stream and returns a line reader plus a
+// cancel that tears the request down.
+func streamLines(t *testing.T, srv *httptest.Server, query string) (*bufio.Scanner, context.CancelFunc) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL+"/journal/stream"+query, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		cancel()
+		t.Fatalf("stream status = %d", resp.StatusCode)
+	}
+	t.Cleanup(func() { cancel(); _ = resp.Body.Close() })
+	return bufio.NewScanner(resp.Body), cancel
+}
+
+func nextRecord(t *testing.T, sc *bufio.Scanner) journal.Record {
+	t.Helper()
+	if !sc.Scan() {
+		t.Fatalf("stream ended early: %v", sc.Err())
+	}
+	var rec journal.Record
+	if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+		t.Fatalf("bad stream line %q: %v", sc.Text(), err)
+	}
+	return rec
+}
+
+// TestJournalStreamTailsLiveAppends: the stream replays the ring then keeps
+// delivering new appends on the open response.
+func TestJournalStreamTailsLiveAppends(t *testing.T) {
+	r := newTestRegistry(t)
+	j := journal.New(0)
+	r.SetJournal(j)
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	for lam := uint64(1); lam <= 3; lam++ {
+		j.Add(journal.Record{Run: 1, Site: "b1", Cat: journal.CatBroker, Kind: journal.KindDispatch, Lamport: lam})
+	}
+	sc, cancel := streamLines(t, srv, "")
+	for lam := uint64(1); lam <= 3; lam++ {
+		if rec := nextRecord(t, sc); rec.Lamport != lam {
+			t.Fatalf("snapshot replay lamport = %d, want %d", rec.Lamport, lam)
+		}
+	}
+
+	// Live phase: appends after the snapshot flow down the same response.
+	j.Add(journal.Record{Run: 1, Site: "b2", Cat: journal.CatBroker, Kind: journal.KindDeliver, Lamport: 4, Ref: "p1"})
+	if rec := nextRecord(t, sc); rec.Lamport != 4 || rec.Kind != journal.KindDeliver {
+		t.Fatalf("live record = %+v", rec)
+	}
+	cancel()
+}
+
+// TestJournalStreamResumeGapEmitsTailLoss: resuming below the oldest
+// surviving record after an overwrite yields a tail-loss marker first, so
+// the consumer knows the gap size instead of silently missing records.
+func TestJournalStreamResumeGapEmitsTailLoss(t *testing.T) {
+	r := newTestRegistry(t)
+	j := journal.New(4)
+	r.SetJournal(j)
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	for lam := uint64(1); lam <= 8; lam++ {
+		j.Add(journal.Record{Run: 1, Site: "b1", Cat: journal.CatBroker, Kind: journal.KindDispatch, Lamport: lam})
+	}
+	// The client saw up to lamport 2 with no drops; the ring now starts at
+	// 5 having dropped 4 records.
+	sc, cancel := streamLines(t, srv, "?after=2.2&dropped=0")
+	loss := nextRecord(t, sc)
+	if loss.Kind != journal.KindTailLoss || loss.Lamport != 5 || loss.Detail != "missing=4" {
+		t.Fatalf("first line = %+v, want tail-loss upTo=5 missing=4", loss)
+	}
+	for lam := uint64(5); lam <= 8; lam++ {
+		if rec := nextRecord(t, sc); rec.Lamport != lam {
+			t.Fatalf("survivor lamport = %d, want %d", rec.Lamport, lam)
+		}
+	}
+	cancel()
+
+	// A client that already accounted for the drops gets no marker.
+	sc2, cancel2 := streamLines(t, srv, "?after=4.4&dropped=4")
+	if rec := nextRecord(t, sc2); rec.Kind == journal.KindTailLoss {
+		t.Fatalf("unexpected tail-loss for an up-to-date client: %+v", rec)
+	}
+	cancel2()
+}
+
+// TestJournalStreamMetrics: the ring's drop counter and record gauge are
+// exported once a journal is attached.
+func TestJournalStreamMetrics(t *testing.T) {
+	r := newTestRegistry(t)
+	j := journal.New(4)
+	r.SetJournal(j)
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	for lam := uint64(1); lam <= 6; lam++ {
+		j.Add(journal.Record{Run: 1, Site: "b1", Cat: journal.CatBroker, Kind: journal.KindDispatch, Lamport: lam})
+	}
+	_, body := get(t, srv, "/metrics")
+	for _, want := range []string{
+		"padres_journal_records 4",
+		"padres_journal_dropped_total 2",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}

@@ -47,6 +47,15 @@ TELEMETRY_COUNT ?= 7
 TELEMETRY_TIME  ?= 20000x
 TELEMETRY_OUT   ?= BENCH_telemetry.json
 
+# Match-scaling knobs: the matching benchmarks sweep subscription counts
+# (1k vs 100k) through the counting index and the covering posting lists;
+# benchjson -require-match fails the target unless 100k costs at most 2x
+# 1k per match with an allocation-free hot path, and the intersection
+# query stays sublinear.
+MATCH_COUNT ?= 3
+MATCH_TIME  ?= 20000x
+MATCH_OUT   ?= BENCH_match.json
+
 # Audit-stream knobs: the benchmark interleaves a journaled dispatch
 # pipeline with and without a live journal tap subscribed; benchjson takes
 # the median over AUDIT_STREAM_COUNT runs before judging the 5% budget on
@@ -55,7 +64,7 @@ AUDIT_STREAM_COUNT ?= 7
 AUDIT_STREAM_TIME  ?= 20000x
 AUDIT_STREAM_OUT   ?= BENCH_audit.json
 
-.PHONY: all vet build test race ci bench bench-dispatch bench-reliability bench-wal bench-telemetry bench-audit-stream audit audit-stream chaos chaos-recovery
+.PHONY: all vet build test race ci bench bench-dispatch bench-reliability bench-wal bench-telemetry bench-audit-stream bench-match audit audit-stream chaos chaos-recovery
 
 all: ci
 
@@ -142,6 +151,19 @@ bench-audit-stream:
 		| tee bench-audit-stream.out.txt
 	$(GO) run ./cmd/benchjson -require-audit -out $(AUDIT_STREAM_OUT) bench-audit-stream.out.txt
 	@echo "wrote $(AUDIT_STREAM_OUT)"
+
+# bench-match is the matching-engine scale gate: the counting match and
+# the covering/intersection index at 1k vs 100k subscriptions, with
+# -benchmem so the zero-allocation hot-path budget is enforced. benchjson
+# -require-match exits non-zero when 100k subscriptions cost more than 2x
+# 1k per match, the hot path allocates, or intersection goes superlinear.
+bench-match:
+	$(GO) test ./internal/matching/ -run '^$$' \
+		-bench 'BenchmarkPRTMatch|BenchmarkPRTIntersecting' \
+		-benchtime $(MATCH_TIME) -count $(MATCH_COUNT) -benchmem \
+		| tee bench-match.out.txt
+	$(GO) run ./cmd/benchjson -require-match -out $(MATCH_OUT) bench-match.out.txt
+	@echo "wrote $(MATCH_OUT)"
 
 # chaos runs the seeded soak: CHAOS_MOVES movement transactions under
 # randomized loss/duplication/reordering/partitions plus broker crash and

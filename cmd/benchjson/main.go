@@ -17,9 +17,12 @@
 // -require-wal unless BenchmarkWALOverhead is present and its durable
 // dispatch overhead is within the same budget, with -require-telemetry
 // unless BenchmarkTelemetryOverhead is present and the stage
-// instrumentation's dispatch overhead is within the same budget, and with
+// instrumentation's dispatch overhead is within the same budget, with
 // -require-audit unless BenchmarkAuditStreamOverhead is present and the
-// live-audit journal tap's dispatch overhead is within the same budget.
+// live-audit journal tap's dispatch overhead is within the same budget,
+// and with -require-match unless the BenchmarkPRTMatch subscription-count
+// pair is present, near-flat, and allocation-free (plus a sublinear
+// BenchmarkPRTIntersecting pair when measured).
 package main
 
 import (
@@ -69,6 +72,24 @@ type report struct {
 	WALOverhead         *reliability `json:"wal_overhead,omitempty"`
 	TelemetryOverhead   *reliability `json:"telemetry_overhead,omitempty"`
 	AuditOverhead       *reliability `json:"audit_overhead,omitempty"`
+	MatchScaling        *matching    `json:"match_scaling,omitempty"`
+}
+
+// matching is the matching-engine scalability comparison: the counting
+// match must stay near-flat from 1k to 100k subscriptions and allocate
+// nothing per match, and the indexed intersection query must stay sublinear
+// in the table size.
+type matching struct {
+	SmallNsPerOp      float64 `json:"small_ns_per_op"`
+	LargeNsPerOp      float64 `json:"large_ns_per_op"`
+	Ratio             float64 `json:"ratio"`
+	MaxRatio          float64 `json:"max_ratio"`
+	LargeAllocsPerOp  float64 `json:"large_allocs_per_op"`
+	MaxAllocsPerOp    float64 `json:"max_allocs_per_op"`
+	IntersectRatio    float64 `json:"intersect_ratio,omitempty"`
+	MaxIntersectRatio float64 `json:"max_intersect_ratio"`
+	IntersectMeasured bool    `json:"intersect_measured"`
+	MeetsTarget       bool    `json:"meets_target"`
 }
 
 // reliability is an off/on mode comparison against the shared 5% budget.
@@ -105,6 +126,17 @@ const overheadBudgetPct = 5.0
 // Workers=4 must at least halve the per-publication dispatch time.
 const requiredSpeedup = 2.0
 
+// Matching-engine acceptance bounds: matching 100k subscriptions must cost
+// no more than twice matching 1k (the counting index is meant to be
+// selectivity-bound, not table-bound) with an allocation-free hot path,
+// and the intersection query must stay sublinear (100x more records, at
+// most 10x the cost).
+const (
+	matchMaxRatio          = 2.0
+	matchMaxAllocsPerOp    = 1.0
+	matchMaxIntersectRatio = 10.0
+)
+
 func main() {
 	out := flag.String("out", "", "write the JSON report here (default stdout)")
 	requireScaling := flag.Bool("require-scaling", false,
@@ -117,14 +149,16 @@ func main() {
 		"exit 2 unless the telemetry-overhead benchmark is present and within budget")
 	requireAudit := flag.Bool("require-audit", false,
 		"exit 2 unless the audit-stream-overhead benchmark is present and within budget")
+	requireMatch := flag.Bool("require-match", false,
+		"exit 2 unless the matching-scalability benchmarks are present and meet their targets")
 	flag.Parse()
-	if err := run(*out, *requireScaling, *requireReliability, *requireWAL, *requireTelemetry, *requireAudit, flag.Args()); err != nil {
+	if err := run(*out, *requireScaling, *requireReliability, *requireWAL, *requireTelemetry, *requireAudit, *requireMatch, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out string, requireScaling, requireReliability, requireWAL, requireTelemetry, requireAudit bool, args []string) error {
+func run(out string, requireScaling, requireReliability, requireWAL, requireTelemetry, requireAudit, requireMatch bool, args []string) error {
 	var in io.Reader = os.Stdin
 	if len(args) > 0 {
 		f, err := os.Open(args[0])
@@ -213,6 +247,23 @@ func run(out string, requireScaling, requireReliability, requireWAL, requireTele
 			os.Exit(2)
 		}
 		if !rep.DispatchScaling.MeetsTarget {
+			os.Exit(2)
+		}
+	}
+	if m := rep.MatchScaling; m != nil {
+		fmt.Fprintf(os.Stderr, "match scaling: %.2fx at 100x subscriptions (max %.1fx), %.1f allocs/op (max %.1f)",
+			m.Ratio, m.MaxRatio, m.LargeAllocsPerOp, m.MaxAllocsPerOp)
+		if m.IntersectMeasured {
+			fmt.Fprintf(os.Stderr, ", intersect %.2fx (max %.1fx)", m.IntersectRatio, m.MaxIntersectRatio)
+		}
+		fmt.Fprintln(os.Stderr)
+	}
+	if requireMatch {
+		if rep.MatchScaling == nil {
+			fmt.Fprintln(os.Stderr, "benchjson: -require-match set but BenchmarkPRTMatch/subs={1024,102400} not found")
+			os.Exit(2)
+		}
+		if !rep.MatchScaling.MeetsTarget {
 			os.Exit(2)
 		}
 	}
@@ -305,6 +356,31 @@ func parse(in io.Reader) (*report, error) {
 	rep.WALOverhead = modePair(byName["BenchmarkWALOverhead"])
 	rep.TelemetryOverhead = modePair(byName["BenchmarkTelemetryOverhead"])
 	rep.AuditOverhead = modePair(byName["BenchmarkAuditStreamOverhead"])
+
+	mSmall := byName["BenchmarkPRTMatch/subs=1024"]
+	mLarge := byName["BenchmarkPRTMatch/subs=102400"]
+	if mSmall != nil && mLarge != nil && mSmall.MinNsPerOp > 0 {
+		// Min-of-runs damps scheduler noise on the tiny per-op costs here.
+		ratio := mLarge.MinNsPerOp / mSmall.MinNsPerOp
+		m := &matching{
+			SmallNsPerOp:      mSmall.MinNsPerOp,
+			LargeNsPerOp:      mLarge.MinNsPerOp,
+			Ratio:             ratio,
+			MaxRatio:          matchMaxRatio,
+			LargeAllocsPerOp:  mLarge.AllocsOp,
+			MaxAllocsPerOp:    matchMaxAllocsPerOp,
+			MaxIntersectRatio: matchMaxIntersectRatio,
+		}
+		m.MeetsTarget = ratio <= matchMaxRatio && mLarge.AllocsOp <= matchMaxAllocsPerOp
+		iSmall := byName["BenchmarkPRTIntersecting/subs=1024"]
+		iLarge := byName["BenchmarkPRTIntersecting/subs=102400"]
+		if iSmall != nil && iLarge != nil && iSmall.MinNsPerOp > 0 {
+			m.IntersectMeasured = true
+			m.IntersectRatio = iLarge.MinNsPerOp / iSmall.MinNsPerOp
+			m.MeetsTarget = m.MeetsTarget && m.IntersectRatio <= matchMaxIntersectRatio
+		}
+		rep.MatchScaling = m
+	}
 
 	serial := byName["BenchmarkDispatchScaling/workers=1"]
 	par := byName["BenchmarkDispatchScaling/workers=4"]

@@ -1,12 +1,12 @@
 package broker
 
 import (
-	"bytes"
-	"encoding/gob"
 	"fmt"
+	"sort"
 
 	"padres/internal/message"
 	"padres/internal/predicate"
+	"padres/internal/wire"
 )
 
 // This file implements the durability sketch of Sec. 3.5: a broker's
@@ -103,20 +103,162 @@ func (b *Broker) RestoreState(st *State) error {
 	return nil
 }
 
+// brokerStateVersion is the snapshot schema version. The snapshot uses the
+// compact binary wire form (docs/PROTOCOL.md, "Wire codec") with map keys
+// in sorted order, so identical state marshals to identical bytes.
+const brokerStateVersion = 1
+
 // Marshal serializes the state for stable storage.
 func (st *State) Marshal() ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
-		return nil, fmt.Errorf("marshal broker state: %w", err)
-	}
-	return buf.Bytes(), nil
+	b := []byte{brokerStateVersion}
+	b = wire.AppendString(b, string(st.ID))
+	b = appendRecords(b, st.SRT)
+	b = appendRecords(b, st.PRT)
+	b = appendSentSet(b, st.SentSubs)
+	b = appendSentSet(b, st.SentAdvs)
+	return b, nil
 }
 
 // UnmarshalState deserializes a broker state snapshot.
 func UnmarshalState(data []byte) (*State, error) {
-	var st State
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+	ver, b, err := wire.Byte(data)
+	if err != nil {
 		return nil, fmt.Errorf("unmarshal broker state: %w", err)
 	}
-	return &st, nil
+	if ver != brokerStateVersion {
+		return nil, fmt.Errorf("unmarshal broker state: unsupported version %d", ver)
+	}
+	st := &State{}
+	id, b, err := wire.String(b)
+	if err != nil {
+		return nil, fmt.Errorf("unmarshal broker state: %w", err)
+	}
+	st.ID = message.BrokerID(id)
+	if st.SRT, b, err = readRecords(b); err != nil {
+		return nil, fmt.Errorf("unmarshal broker state: SRT: %w", err)
+	}
+	if st.PRT, b, err = readRecords(b); err != nil {
+		return nil, fmt.Errorf("unmarshal broker state: PRT: %w", err)
+	}
+	subs, b, err := readSentSet(b)
+	if err != nil {
+		return nil, fmt.Errorf("unmarshal broker state: sent subs: %w", err)
+	}
+	advs, b, err := readSentSet(b)
+	if err != nil {
+		return nil, fmt.Errorf("unmarshal broker state: sent advs: %w", err)
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("unmarshal broker state: %d trailing bytes", len(b))
+	}
+	st.SentSubs = make(map[message.SubID][]message.NodeID, len(subs))
+	for id, nodes := range subs {
+		st.SentSubs[message.SubID(id)] = nodes
+	}
+	st.SentAdvs = make(map[message.AdvID][]message.NodeID, len(advs))
+	for id, nodes := range advs {
+		st.SentAdvs[message.AdvID(id)] = nodes
+	}
+	return st, nil
+}
+
+func appendRecords(b []byte, recs []RecordState) []byte {
+	b = wire.AppendUvarint(b, uint64(len(recs)))
+	for _, r := range recs {
+		b = wire.AppendString(b, r.ID)
+		b = wire.AppendString(b, string(r.Client))
+		if r.Filter == nil {
+			b = append(b, 0)
+		} else {
+			b = append(b, 1)
+			b = r.Filter.AppendBinary(b)
+		}
+		b = wire.AppendString(b, string(r.LastHop))
+	}
+	return b
+}
+
+func readRecords(b []byte) ([]RecordState, []byte, error) {
+	n, b, err := wire.Len(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n == 0 {
+		return nil, b, nil
+	}
+	out := make([]RecordState, 0, n)
+	for i := 0; i < n; i++ {
+		var r RecordState
+		if r.ID, b, err = wire.String(b); err != nil {
+			return nil, nil, err
+		}
+		var client string
+		if client, b, err = wire.String(b); err != nil {
+			return nil, nil, err
+		}
+		r.Client = message.ClientID(client)
+		var present byte
+		if present, b, err = wire.Byte(b); err != nil {
+			return nil, nil, err
+		}
+		if present != 0 {
+			if r.Filter, b, err = predicate.ReadFilter(b); err != nil {
+				return nil, nil, err
+			}
+		}
+		var hop string
+		if hop, b, err = wire.String(b); err != nil {
+			return nil, nil, err
+		}
+		r.LastHop = message.NodeID(hop)
+		out = append(out, r)
+	}
+	return out, b, nil
+}
+
+// appendSentSet writes a string-keyed map of node lists with sorted keys.
+func appendSentSet[K ~string](b []byte, m map[K][]message.NodeID) []byte {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, string(k))
+	}
+	sort.Strings(keys)
+	b = wire.AppendUvarint(b, uint64(len(keys)))
+	for _, k := range keys {
+		b = wire.AppendString(b, k)
+		nodes := m[K(k)]
+		b = wire.AppendUvarint(b, uint64(len(nodes)))
+		for _, n := range nodes {
+			b = wire.AppendString(b, string(n))
+		}
+	}
+	return b
+}
+
+func readSentSet(b []byte) (map[string][]message.NodeID, []byte, error) {
+	n, b, err := wire.Len(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make(map[string][]message.NodeID, n)
+	for i := 0; i < n; i++ {
+		var k string
+		if k, b, err = wire.String(b); err != nil {
+			return nil, nil, err
+		}
+		var cnt int
+		if cnt, b, err = wire.Len(b); err != nil {
+			return nil, nil, err
+		}
+		nodes := make([]message.NodeID, 0, cnt)
+		for j := 0; j < cnt; j++ {
+			var node string
+			if node, b, err = wire.String(b); err != nil {
+				return nil, nil, err
+			}
+			nodes = append(nodes, message.NodeID(node))
+		}
+		out[k] = nodes
+	}
+	return out, b, nil
 }

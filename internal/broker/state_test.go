@@ -1,6 +1,7 @@
 package broker
 
 import (
+	"fmt"
 	"testing"
 
 	"padres/internal/message"
@@ -75,3 +76,37 @@ func TestUnmarshalStateGarbage(t *testing.T) {
 }
 
 var _ = overlay.Default14
+
+// TestStateMarshalCompact pins the per-record cost of a broker state
+// snapshot. The compact binary codec spends ~40 bytes per routing-table row
+// (id, client, two-predicate filter, last hop); the budget catches any
+// return to descriptor-heavy encodings, which cost ~10x as much per row.
+func TestStateMarshalCompact(t *testing.T) {
+	f := predicate.MustParse("[class,=,'stock'],[price,>,100]")
+	st := &State{ID: "b3",
+		SentSubs: map[message.SubID][]message.NodeID{},
+		SentAdvs: map[message.AdvID][]message.NodeID{}}
+	const n = 100
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("s%d", i)
+		st.PRT = append(st.PRT, RecordState{ID: id, Client: "c7", Filter: f, LastHop: "b2"})
+		st.SentSubs[message.SubID(id)] = []message.NodeID{"b2", "b4"}
+	}
+	data, err := st.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perRec := len(data) / n; perRec > 64 {
+		t.Fatalf("state snapshot costs %d bytes per record, budget 64", perRec)
+	}
+	st2, err := UnmarshalState(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st2.PRT) != n || len(st2.SentSubs) != n {
+		t.Fatalf("round trip lost records: %d PRT, %d SentSubs", len(st2.PRT), len(st2.SentSubs))
+	}
+	if !st2.PRT[0].Filter.Equal(f) {
+		t.Fatal("round trip changed a filter")
+	}
+}

@@ -66,3 +66,73 @@ func TestConcurrentMatchAndMutate(t *testing.T) {
 	close(stop)
 	<-writerDone
 }
+
+// TestConcurrentCoveringAndMutate exercises the covering-relation queries —
+// Covering, CoveredBy, Intersecting — and their result cache while a writer
+// churns records on the same attributes the queries prune by. Run under
+// -race it is the regression test for the lock-held posting-list paths;
+// functionally, a record the writer never touches must appear in every
+// query it satisfies, no matter how often churn invalidates the cache.
+func TestConcurrentCoveringAndMutate(t *testing.T) {
+	prt := NewPRT()
+	// stable covers [x,>,10],[x,<,20], is covered by [x,>,0], and
+	// intersects both.
+	prt.Insert("stable", "cs", predicate.MustParse("[x,>,5],[x,<,50]"), "hop1")
+
+	wide := predicate.MustParse("[x,>,0]")
+	narrow := predicate.MustParse("[x,>,10],[x,<,20]")
+
+	stop := make(chan struct{})
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			id := message.SubID(fmt.Sprintf("churn%d", i%8))
+			// Churn on x so the writer mutates the very posting lists
+			// the queries walk, and invalidates the covering cache.
+			prt.Insert(id, "cw",
+				predicate.MustParse(fmt.Sprintf("[x,>,%d],[x,<,%d]", i%100, i%100+30)), "hop2")
+			prt.Remove(id)
+		}
+	}()
+
+	find := func(recs []*Record) bool {
+		for _, r := range recs {
+			if r.ID == "stable" {
+				return true
+			}
+		}
+		return false
+	}
+
+	const queriers = 8
+	var wg sync.WaitGroup
+	for g := 0; g < queriers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				if !find(prt.Covering(narrow, "")) {
+					t.Error("stable record missing from Covering result")
+					return
+				}
+				if !find(prt.CoveredBy(wide, "")) {
+					t.Error("stable record missing from CoveredBy result")
+					return
+				}
+				if !find(prt.Intersecting(wide)) {
+					t.Error("stable record missing from Intersecting result")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	<-writerDone
+}

@@ -1,0 +1,162 @@
+package matching
+
+import (
+	"cmp"
+	"sort"
+
+	"padres/internal/predicate"
+)
+
+// Centered interval tree used by the counting match index. Each tree holds
+// the interval hulls of every constraint on one attribute (one value kind
+// per tree), and answers stabbing queries — "which constraints could this
+// event value satisfy?" — in O(log n + k) instead of scanning the whole
+// posting list.
+//
+// Hulls are compared closed: an entry's open bounds and <> exclusions are
+// ignored here, so a stab may return constraints the value does not
+// actually satisfy. Callers re-verify every candidate with the exact
+// Constraint.Matches, so the conservative hull never costs correctness —
+// only a few extra verifications at interval edges.
+
+// iref is the payload carried through a tree: the record's dense slot plus
+// the exact constraint used to verify stab candidates.
+type iref struct {
+	slot int32
+	c    *predicate.Constraint
+}
+
+// ientry is one interval hull in a tree. loInf/hiInf mark unbounded ends;
+// the corresponding key is then meaningless.
+type ientry[K cmp.Ordered] struct {
+	lo, hi       K
+	loInf, hiInf bool
+	ref          iref
+}
+
+// inode is one node of a centered interval tree: entries spanning the
+// node's center value, stored twice — ascending by lower bound (unbounded
+// first) and descending by upper bound (unbounded first) — so a stab scans
+// only the qualifying prefix.
+type inode[K cmp.Ordered] struct {
+	center      K
+	byLo        []ientry[K]
+	byHi        []ientry[K]
+	left, right *inode[K]
+}
+
+// itree is a centered interval tree. A nil *itree is an empty tree.
+type itree[K cmp.Ordered] struct {
+	root *inode[K]
+}
+
+// buildITree constructs a tree from entries. The slice is consumed.
+func buildITree[K cmp.Ordered](entries []ientry[K]) *itree[K] {
+	if len(entries) == 0 {
+		return nil
+	}
+	return &itree[K]{root: buildINode(entries)}
+}
+
+func buildINode[K cmp.Ordered](entries []ientry[K]) *inode[K] {
+	n := &inode[K]{}
+	eps := make([]K, 0, 2*len(entries))
+	for _, e := range entries {
+		if !e.loInf {
+			eps = append(eps, e.lo)
+		}
+		if !e.hiInf {
+			eps = append(eps, e.hi)
+		}
+	}
+	if len(eps) == 0 {
+		// Every entry is unbounded on both sides: all span any center.
+		n.setEntries(entries)
+		return n
+	}
+	sort.Slice(eps, func(i, j int) bool { return eps[i] < eps[j] })
+	n.center = eps[len(eps)/2]
+	var left, right, here []ientry[K]
+	for _, e := range entries {
+		switch {
+		case !e.hiInf && e.hi < n.center:
+			left = append(left, e)
+		case !e.loInf && e.lo > n.center:
+			right = append(right, e)
+		default:
+			here = append(here, e)
+		}
+	}
+	// The entry owning the median endpoint spans the center, so `here` is
+	// never empty and both subtrees strictly shrink — recursion terminates.
+	n.setEntries(here)
+	if len(left) > 0 {
+		n.left = buildINode(left)
+	}
+	if len(right) > 0 {
+		n.right = buildINode(right)
+	}
+	return n
+}
+
+func (n *inode[K]) setEntries(here []ientry[K]) {
+	n.byLo = here
+	n.byHi = append([]ientry[K](nil), here...)
+	sort.Slice(n.byLo, func(i, j int) bool {
+		a, b := n.byLo[i], n.byLo[j]
+		if a.loInf != b.loInf {
+			return a.loInf
+		}
+		return a.lo < b.lo
+	})
+	sort.Slice(n.byHi, func(i, j int) bool {
+		a, b := n.byHi[i], n.byHi[j]
+		if a.hiInf != b.hiInf {
+			return a.hiInf
+		}
+		return a.hi > b.hi
+	})
+}
+
+// stab appends to out the refs of every entry whose closed hull contains v.
+// It allocates nothing beyond growth of out, so a caller reusing its buffer
+// stabs allocation-free in steady state.
+func (t *itree[K]) stab(v K, out []iref) []iref {
+	if t == nil {
+		return out
+	}
+	n := t.root
+	for n != nil {
+		switch {
+		case v < n.center:
+			// Node entries span the center (> v), so an entry contains v
+			// iff its lower bound allows v; byLo's order makes that a
+			// prefix.
+			for i := range n.byLo {
+				e := &n.byLo[i]
+				if !e.loInf && e.lo > v {
+					break
+				}
+				out = append(out, e.ref)
+			}
+			n = n.left
+		case v > n.center:
+			for i := range n.byHi {
+				e := &n.byHi[i]
+				if !e.hiInf && e.hi < v {
+					break
+				}
+				out = append(out, e.ref)
+			}
+			n = n.right
+		default:
+			// v is exactly the center: every node entry contains it, and
+			// neither subtree can (left ends below, right starts above).
+			for i := range n.byLo {
+				out = append(out, n.byLo[i].ref)
+			}
+			return out
+		}
+	}
+	return out
+}

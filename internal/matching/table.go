@@ -5,14 +5,16 @@
 // used to route publications.
 //
 // Publication matching uses the counting algorithm (Fabret et al., SIGMOD
-// 2001): a per-attribute inverted index lets a publication touch only the
-// records that constrain one of its attributes; a record matches when all
-// its attribute constraints are satisfied. Covering and intersection
-// queries, which are far less frequent, scan linearly.
+// 2001) over per-attribute interval trees: a publication stabs the trees of
+// its attributes, candidates are verified exactly, and a record matches
+// when its satisfied-constraint count equals its attribute count. The hot
+// path runs against an immutable snapshot with pooled dense counters, so it
+// takes no locks and allocates nothing. Covering and intersection queries
+// run against live per-attribute posting lists that prune by interval hull
+// and selectivity, with a result cache invalidated on mutation.
 package matching
 
 import (
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -27,39 +29,44 @@ type Record struct {
 	Client  message.ClientID
 	Filter  *predicate.Filter
 	LastHop message.NodeID
+
+	// slot is the record's dense index in the owning table; assigned by
+	// Insert, meaningless outside it.
+	slot int32
 }
 
-// table is the shared implementation of SRT and PRT: an ID-keyed record map
-// plus a per-attribute inverted index for counting-based matching.
-//
-// Matching runs against a read-mostly snapshot of the inverted index held in
-// an atomic pointer: concurrent matchers (the broker's parallel dispatch
-// workers) pay one atomic load instead of contending on the table lock, and
-// any mutation invalidates the snapshot so the next Match rebuilds it. The
-// tables are mutation-light and match-heavy — routing filters change orders
-// of magnitude less often than publications arrive — which makes the
-// rebuild-on-write copy cheap in amortized terms.
+// covCacheMax bounds the covering-result cache; past it the whole cache is
+// dropped (mutations clear it anyway, so steady state never gets there).
+const covCacheMax = 4096
+
+// table is the shared implementation of SRT and PRT. Records live in an
+// ID-keyed map plus a dense slot array (slots/gens/free) that both index
+// families address records by.
 type table struct {
 	mu      sync.RWMutex
 	records map[string]*Record
-	byAttr  map[string][]*Record
+	slots   []*Record // slot → record; nil = free
+	gens    []uint32  // slot → generation, bumped on every vacate
+	free    []int32   // vacated slots for reuse
+	attrs   map[string]*postings
 
-	// snap caches an immutable copy of byAttr for lock-free matching; nil
+	// covCache memoizes Covering/CoveredBy/Intersecting results by query
+	// key; cleared on any Insert/Remove (not on SetLastHop, which cannot
+	// change any relation).
+	covCache map[string][]*Record
+
+	// snap caches the immutable match index for lock-free matching; nil
 	// after any mutation, rebuilt lazily under the read lock.
 	snap atomic.Pointer[matchIndex]
-}
 
-// matchIndex is an immutable snapshot of the inverted index. The record
-// pointers are shared with the live table; the slices are private copies so
-// in-place compaction during Remove cannot race a matcher.
-type matchIndex struct {
-	byAttr map[string][]*Record
+	scratch sync.Pool // *matchScratch
 }
 
 func newTable() *table {
 	return &table{
-		records: make(map[string]*Record),
-		byAttr:  make(map[string][]*Record),
+		records:  make(map[string]*Record),
+		attrs:    make(map[string]*postings),
+		covCache: make(map[string][]*Record),
 	}
 }
 
@@ -68,13 +75,40 @@ func (t *table) Insert(rec *Record) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if old, ok := t.records[rec.ID]; ok {
-		t.removeFromIndexLocked(old)
+		t.vacateLocked(old)
 	}
+	var s int32
+	if n := len(t.free); n > 0 {
+		s = t.free[n-1]
+		t.free = t.free[:n-1]
+	} else {
+		s = int32(len(t.slots))
+		t.slots = append(t.slots, nil)
+		t.gens = append(t.gens, 0)
+	}
+	rec.slot = s
+	t.slots[s] = rec
 	t.records[rec.ID] = rec
+	g := t.gens[s]
 	for _, attr := range rec.Filter.Attrs() {
-		t.byAttr[attr] = append(t.byAttr[attr], rec)
+		ps := t.attrs[attr]
+		if ps == nil {
+			ps = &postings{}
+			t.attrs[attr] = ps
+		}
+		c := rec.Filter.Constraint(attr)
+		lo, hi, loInf, hiInf := c.Interval()
+		switch c.ValueKind() {
+		case predicate.KindNumber:
+			ps.num.insert(pentry[float64]{lo: lo.Num, hi: hi.Num, loInf: loInf, hiInf: hiInf, ref: pref{s, g}})
+		case predicate.KindString:
+			ps.str.insert(pentry[string]{lo: lo.S, hi: hi.S, loInf: loInf, hiInf: hiInf, ref: pref{s, g}})
+		default:
+			ps.loose = append(ps.loose, pref{s, g})
+		}
+		ps.count++
 	}
-	t.snap.Store(nil)
+	t.invalidateLocked()
 }
 
 // Remove deletes a record by ID, returning it (nil if absent).
@@ -86,24 +120,69 @@ func (t *table) Remove(id string) *Record {
 		return nil
 	}
 	delete(t.records, id)
-	t.removeFromIndexLocked(rec)
-	t.snap.Store(nil)
+	t.vacateLocked(rec)
+	t.invalidateLocked()
 	return rec
 }
 
-func (t *table) removeFromIndexLocked(rec *Record) {
+// vacateLocked frees a record's slot. Posting entries are not excised —
+// the bumped generation marks them dead — but per-attribute dead counters
+// are advanced and lists compacted when mostly dead.
+func (t *table) vacateLocked(rec *Record) {
+	s := rec.slot
+	t.slots[s] = nil
+	t.gens[s]++
+	t.free = append(t.free, s)
 	for _, attr := range rec.Filter.Attrs() {
-		list := t.byAttr[attr]
-		for i, r := range list {
-			if r == rec {
-				list[i] = list[len(list)-1]
-				t.byAttr[attr] = list[:len(list)-1]
-				break
+		ps := t.attrs[attr]
+		if ps == nil {
+			continue
+		}
+		ps.count--
+		if ps.count == 0 {
+			// No alive record constrains the attribute; every posting
+			// entry is dead, so drop the whole structure.
+			delete(t.attrs, attr)
+			continue
+		}
+		switch rec.Filter.Constraint(attr).ValueKind() {
+		case predicate.KindNumber:
+			ps.num.dead++
+			if ps.num.dead > plistCompactMin && ps.num.dead*2 > ps.num.size() {
+				ps.num.compact(t.aliveLocked)
+			}
+		case predicate.KindString:
+			ps.str.dead++
+			if ps.str.dead > plistCompactMin && ps.str.dead*2 > ps.str.size() {
+				ps.str.compact(t.aliveLocked)
+			}
+		default:
+			ps.looseDead++
+			if ps.looseDead > plistCompactMin && ps.looseDead*2 > len(ps.loose) {
+				kept := ps.loose[:0]
+				for _, r := range ps.loose {
+					if t.aliveLocked(r) {
+						kept = append(kept, r)
+					}
+				}
+				ps.loose = kept
+				ps.looseDead = 0
 			}
 		}
-		if len(t.byAttr[attr]) == 0 {
-			delete(t.byAttr, attr)
-		}
+	}
+}
+
+// aliveLocked reports whether a posting entry still refers to an installed
+// record: the slot generation must not have moved since insert.
+func (t *table) aliveLocked(r pref) bool {
+	return t.gens[r.slot] == r.gen && t.slots[r.slot] != nil
+}
+
+// invalidateLocked drops caches that any mutation can stale.
+func (t *table) invalidateLocked() {
+	t.snap.Store(nil)
+	if len(t.covCache) > 0 {
+		clear(t.covCache)
 	}
 }
 
@@ -117,7 +196,8 @@ func (t *table) Get(id string) *Record {
 // SetLastHop updates the last hop of a record in place. It reports whether
 // the record exists. The records are shared with match snapshots, so
 // callers must not run SetLastHop concurrently with matching on the same
-// table (the broker's serialized control lane guarantees this).
+// table (the broker's serialized control lane guarantees this). Covering
+// caches survive: the last hop participates in no matching relation.
 func (t *table) SetLastHop(id string, hop message.NodeID) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -151,7 +231,7 @@ func (t *table) All() []*Record {
 // matchSnapshot returns the current immutable index snapshot, rebuilding it
 // under the read lock when a mutation has invalidated it. Storing while the
 // read lock is held keeps the rebuild correct: mutations take the write
-// lock, so an invalidation cannot interleave between the copy and the
+// lock, so an invalidation cannot interleave between the build and the
 // store and leave a stale snapshot installed.
 func (t *table) matchSnapshot() *matchIndex {
 	if idx := t.snap.Load(); idx != nil {
@@ -162,90 +242,357 @@ func (t *table) matchSnapshot() *matchIndex {
 	if idx := t.snap.Load(); idx != nil {
 		return idx
 	}
-	idx := &matchIndex{byAttr: make(map[string][]*Record, len(t.byAttr))}
-	for attr, list := range t.byAttr {
-		cp := make([]*Record, len(list))
-		copy(cp, list)
-		idx.byAttr[attr] = cp
+	idx := &matchIndex{
+		recs:  append([]*Record(nil), t.slots...),
+		need:  make([]int32, len(t.slots)),
+		attrs: make(map[string]*attrIdx, len(t.attrs)),
+	}
+	type builder struct {
+		num   []ientry[float64]
+		str   []ientry[string]
+		loose []iref
+	}
+	builders := make(map[string]*builder, len(t.attrs))
+	for _, rec := range t.slots {
+		if rec == nil {
+			continue
+		}
+		idx.need[rec.slot] = int32(rec.Filter.AttrCount())
+		for _, attr := range rec.Filter.Attrs() {
+			b := builders[attr]
+			if b == nil {
+				b = &builder{}
+				builders[attr] = b
+			}
+			c := rec.Filter.Constraint(attr)
+			ref := iref{slot: rec.slot, c: c}
+			lo, hi, loInf, hiInf := c.Interval()
+			switch c.ValueKind() {
+			case predicate.KindNumber:
+				b.num = append(b.num, ientry[float64]{lo: lo.Num, hi: hi.Num, loInf: loInf, hiInf: hiInf, ref: ref})
+			case predicate.KindString:
+				b.str = append(b.str, ientry[string]{lo: lo.S, hi: hi.S, loInf: loInf, hiInf: hiInf, ref: ref})
+			default:
+				b.loose = append(b.loose, ref)
+			}
+		}
+	}
+	for attr, b := range builders {
+		idx.attrs[attr] = &attrIdx{num: buildITree(b.num), str: buildITree(b.str), loose: b.loose}
 	}
 	t.snap.Store(idx)
 	return idx
 }
 
-// Match returns the records whose filters match the event, using the
-// counting algorithm: only records constraining at least one event
-// attribute are examined, and a record matches when the number of satisfied
-// attribute constraints equals its total constraint count. Matching reads
-// the snapshot index, so concurrent matchers do not serialize on the table
-// lock.
-func (t *table) Match(e predicate.Event) []*Record {
+func (t *table) getScratch(n int) *matchScratch {
+	sc, _ := t.scratch.Get().(*matchScratch)
+	if sc == nil {
+		sc = &matchScratch{}
+	}
+	sc.reset(n)
+	return sc
+}
+
+// MatchInto appends the records whose filters match the event to out and
+// returns it, sorted by ID. This is the counting algorithm hot path: one
+// interval-tree stab per event attribute, exact verification of each
+// candidate, and an epoch-stamped dense counter per record slot. It takes
+// no locks (snapshot read) and allocates nothing when out has capacity.
+func (t *table) MatchInto(e predicate.Event, out []*Record) []*Record {
 	idx := t.matchSnapshot()
-	counts := make(map[*Record]int)
+	sc := t.getScratch(len(idx.recs))
+	matched := sc.matched[:0]
+	cand := sc.cand
 	for attr, v := range e {
-		for _, rec := range idx.byAttr[attr] {
-			if rec.Filter.MatchesAttr(attr, v) {
-				counts[rec]++
+		ai := idx.attrs[attr]
+		if ai == nil || !v.IsValid() {
+			continue
+		}
+		cand = cand[:0]
+		switch v.K {
+		case predicate.KindNumber:
+			cand = ai.num.stab(v.Num, cand)
+		case predicate.KindString:
+			cand = ai.str.stab(v.S, cand)
+		}
+		for _, r := range cand {
+			if !r.c.Matches(v) {
+				continue
+			}
+			if sc.epoch[r.slot] != sc.cur {
+				sc.epoch[r.slot] = sc.cur
+				sc.counts[r.slot] = 0
+			}
+			sc.counts[r.slot]++
+			if sc.counts[r.slot] == idx.need[r.slot] {
+				matched = append(matched, r.slot)
+			}
+		}
+		// Presence-only constraints admit any valid value of any kind.
+		for _, r := range ai.loose {
+			if sc.epoch[r.slot] != sc.cur {
+				sc.epoch[r.slot] = sc.cur
+				sc.counts[r.slot] = 0
+			}
+			sc.counts[r.slot]++
+			if sc.counts[r.slot] == idx.need[r.slot] {
+				matched = append(matched, r.slot)
 			}
 		}
 	}
-	var out []*Record
-	for rec, n := range counts {
-		if n == rec.Filter.AttrCount() {
-			out = append(out, rec)
-		}
+	for _, s := range matched {
+		out = append(out, idx.recs[s])
 	}
+	sc.matched = matched
+	sc.cand = cand
+	t.scratch.Put(sc)
 	sortRecords(out)
 	return out
 }
 
+// Match returns the records whose filters match the event.
+func (t *table) Match(e predicate.Event) []*Record {
+	return t.MatchInto(e, nil)
+}
+
+// MatchAny reports whether any record's filter matches the event, stopping
+// at the first hit. Used for the advertisement-conformance check on the
+// publish path, which needs existence only.
+func (t *table) MatchAny(e predicate.Event) bool {
+	idx := t.matchSnapshot()
+	sc := t.getScratch(len(idx.recs))
+	defer t.scratch.Put(sc)
+	cand := sc.cand
+	defer func() { sc.cand = cand }()
+	for attr, v := range e {
+		ai := idx.attrs[attr]
+		if ai == nil || !v.IsValid() {
+			continue
+		}
+		cand = cand[:0]
+		switch v.K {
+		case predicate.KindNumber:
+			cand = ai.num.stab(v.Num, cand)
+		case predicate.KindString:
+			cand = ai.str.stab(v.S, cand)
+		}
+		for _, r := range cand {
+			if !r.c.Matches(v) {
+				continue
+			}
+			if sc.epoch[r.slot] != sc.cur {
+				sc.epoch[r.slot] = sc.cur
+				sc.counts[r.slot] = 0
+			}
+			sc.counts[r.slot]++
+			if sc.counts[r.slot] == idx.need[r.slot] {
+				return true
+			}
+		}
+		for _, r := range ai.loose {
+			if sc.epoch[r.slot] != sc.cur {
+				sc.epoch[r.slot] = sc.cur
+				sc.counts[r.slot] = 0
+			}
+			sc.counts[r.slot]++
+			if sc.counts[r.slot] == idx.need[r.slot] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // Intersecting returns records whose filters intersect f.
+//
+// Candidates come from the posting list of f's most selective pruning
+// attribute — the one constrained by the most records, which minimizes the
+// complement (records not constraining it at all, which always intersect
+// candidates and must be checked separately). Every candidate is verified
+// with the exact relation.
 func (t *table) Intersecting(f *predicate.Filter) []*Record {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	var out []*Record
-	for _, rec := range t.records {
-		if rec.Filter.Intersects(f) {
-			out = append(out, rec)
+	if f == nil || f.AttrCount() == 0 {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	key := "I\x00" + f.Key()
+	if hit, ok := t.covCache[key]; ok {
+		return append([]*Record(nil), hit...)
+	}
+	best, bestCount := "", -1
+	for _, attr := range f.Attrs() {
+		c := 0
+		if ps := t.attrs[attr]; ps != nil {
+			c = ps.count
+		}
+		if c > bestCount {
+			best, bestCount = attr, c
+		}
+	}
+	var prefs []pref
+	if ps := t.attrs[best]; ps != nil {
+		cf := f.Constraint(best)
+		lo, hi, loInf, hiInf := cf.Interval()
+		switch cf.ValueKind() {
+		case predicate.KindNumber:
+			prefs = ps.num.overlapping(lo.Num, hi.Num, loInf, hiInf, prefs)
+			prefs = append(prefs, ps.loose...)
+		case predicate.KindString:
+			prefs = ps.str.overlapping(lo.S, hi.S, loInf, hiInf, prefs)
+			prefs = append(prefs, ps.loose...)
+		default:
+			// Presence-only query constraint intersects any constraint on
+			// the attribute.
+			prefs = ps.num.all(prefs)
+			prefs = ps.str.all(prefs)
+			prefs = append(prefs, ps.loose...)
+		}
+	}
+	out := t.verifyLocked(prefs, "", func(rec *Record) bool { return rec.Filter.Intersects(f) })
+	if bestCount < len(t.records) {
+		// Records not constraining the pruning attribute never appear in
+		// its postings but can still intersect f.
+		for _, rec := range t.slots {
+			if rec == nil || rec.Filter.HasAttr(best) {
+				continue
+			}
+			if rec.Filter.Intersects(f) {
+				out = append(out, rec)
+			}
 		}
 	}
 	sortRecords(out)
+	t.cacheLocked(key, out)
 	return out
 }
 
 // Covering returns records whose filters cover f, excluding the record with
 // the given ID.
+//
+// A covering filter constrains a subset of f's attributes, each at least as
+// loosely, so candidates are the union over f's attributes of posting
+// entries whose hull encloses f's hull there (plus presence-only entries,
+// which cover any constraint). Exact verification follows.
 func (t *table) Covering(f *predicate.Filter, excludeID string) []*Record {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	var out []*Record
-	for id, rec := range t.records {
-		if id == excludeID {
+	if f == nil || f.AttrCount() == 0 {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	key := "C\x00" + f.Key() + "\x00" + excludeID
+	if hit, ok := t.covCache[key]; ok {
+		return append([]*Record(nil), hit...)
+	}
+	var prefs []pref
+	for _, attr := range f.Attrs() {
+		ps := t.attrs[attr]
+		if ps == nil {
 			continue
 		}
-		if rec.Filter.Covers(f) {
-			out = append(out, rec)
+		cf := f.Constraint(attr)
+		lo, hi, loInf, hiInf := cf.Interval()
+		switch cf.ValueKind() {
+		case predicate.KindNumber:
+			prefs = ps.num.enclosing(lo.Num, hi.Num, loInf, hiInf, prefs)
+		case predicate.KindString:
+			prefs = ps.str.enclosing(lo.S, hi.S, loInf, hiInf, prefs)
 		}
+		// Presence-only constraints cover any constraint on the attribute;
+		// a presence-only query constraint is covered only by them.
+		prefs = append(prefs, ps.loose...)
 	}
+	out := t.verifyLocked(prefs, excludeID, func(rec *Record) bool { return rec.Filter.Covers(f) })
 	sortRecords(out)
+	t.cacheLocked(key, out)
 	return out
 }
 
 // CoveredBy returns records whose filters are covered by f, excluding the
 // record with the given ID.
+//
+// A covered filter must constrain every attribute f does, so the posting
+// list of f's least-populated attribute bounds the candidate set; entries
+// qualify when their hull is contained in f's hull there.
 func (t *table) CoveredBy(f *predicate.Filter, excludeID string) []*Record {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+	if f == nil || f.AttrCount() == 0 {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	key := "B\x00" + f.Key() + "\x00" + excludeID
+	if hit, ok := t.covCache[key]; ok {
+		return append([]*Record(nil), hit...)
+	}
+	best, bestCount := "", -1
+	for _, attr := range f.Attrs() {
+		c := 0
+		if ps := t.attrs[attr]; ps != nil {
+			c = ps.count
+		}
+		if bestCount == -1 || c < bestCount {
+			best, bestCount = attr, c
+		}
+	}
 	var out []*Record
-	for id, rec := range t.records {
-		if id == excludeID {
+	if bestCount > 0 {
+		ps := t.attrs[best]
+		cf := f.Constraint(best)
+		var prefs []pref
+		lo, hi, loInf, hiInf := cf.Interval()
+		switch cf.ValueKind() {
+		case predicate.KindNumber:
+			prefs = ps.num.contained(lo.Num, hi.Num, loInf, hiInf, prefs)
+		case predicate.KindString:
+			prefs = ps.str.contained(lo.S, hi.S, loInf, hiInf, prefs)
+		default:
+			// A presence-only query constraint covers any satisfiable
+			// constraint on the attribute, of any kind.
+			prefs = ps.num.all(prefs)
+			prefs = ps.str.all(prefs)
+			prefs = append(prefs, ps.loose...)
+		}
+		out = t.verifyLocked(prefs, excludeID, func(rec *Record) bool { return f.Covers(rec.Filter) })
+	}
+	sortRecords(out)
+	t.cacheLocked(key, out)
+	return out
+}
+
+// verifyLocked resolves posting refs to alive records, dedupes (a record
+// can surface from several attributes), drops excludeID, and applies the
+// exact relation.
+func (t *table) verifyLocked(prefs []pref, excludeID string, keep func(*Record) bool) []*Record {
+	if len(prefs) == 0 {
+		return nil
+	}
+	var out []*Record
+	seen := make(map[int32]struct{}, len(prefs))
+	for _, r := range prefs {
+		if !t.aliveLocked(r) {
 			continue
 		}
-		if f.Covers(rec.Filter) {
+		if _, dup := seen[r.slot]; dup {
+			continue
+		}
+		seen[r.slot] = struct{}{}
+		rec := t.slots[r.slot]
+		if rec.ID == excludeID {
+			continue
+		}
+		if keep(rec) {
 			out = append(out, rec)
 		}
 	}
-	sortRecords(out)
 	return out
+}
+
+// cacheLocked memoizes a query result under the covering cache key.
+func (t *table) cacheLocked(key string, out []*Record) {
+	if len(t.covCache) >= covCacheMax {
+		clear(t.covCache)
+	}
+	t.covCache[key] = append([]*Record(nil), out...)
 }
 
 // ByClient returns the records installed by the given client.
@@ -262,8 +609,34 @@ func (t *table) ByClient(c message.ClientID) []*Record {
 	return out
 }
 
+// sortRecords sorts by ID with an in-place heapsort: the match hot path
+// sorts its result without the closure/interface allocation of sort.Slice.
 func sortRecords(recs []*Record) {
-	sort.Slice(recs, func(i, j int) bool { return recs[i].ID < recs[j].ID })
+	n := len(recs)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftRecords(recs, i, n)
+	}
+	for i := n - 1; i > 0; i-- {
+		recs[0], recs[i] = recs[i], recs[0]
+		siftRecords(recs, 0, i)
+	}
+}
+
+func siftRecords(recs []*Record, i, n int) {
+	for {
+		c := 2*i + 1
+		if c >= n {
+			return
+		}
+		if c+1 < n && recs[c+1].ID > recs[c].ID {
+			c++
+		}
+		if recs[i].ID >= recs[c].ID {
+			return
+		}
+		recs[i], recs[c] = recs[c], recs[i]
+		i = c
+	}
 }
 
 // SRT is the Subscription Routing Table: it stores advertisements with
@@ -319,6 +692,10 @@ func (s *SRT) ByClient(c message.ClientID) []*Record { return s.t.ByClient(c) }
 // valid only if the issuing publisher advertised it.
 func (s *SRT) Match(e predicate.Event) []*Record { return s.t.Match(e) }
 
+// MatchAny reports whether any advertisement matches the publication; the
+// publish path's conformance check needs existence, not the match set.
+func (s *SRT) MatchAny(e predicate.Event) bool { return s.t.MatchAny(e) }
+
 // PRT is the Publication Routing Table: it stores subscriptions with their
 // last hops and answers "which subscriptions match this publication?" to
 // route publications hop-by-hop toward subscribers.
@@ -354,6 +731,13 @@ func (p *PRT) All() []*Record { return p.t.All() }
 
 // Match returns subscriptions matching the publication.
 func (p *PRT) Match(e predicate.Event) []*Record { return p.t.Match(e) }
+
+// MatchInto appends subscriptions matching the publication to out; with a
+// reused buffer the counting hot path allocates nothing.
+func (p *PRT) MatchInto(e predicate.Event, out []*Record) []*Record { return p.t.MatchInto(e, out) }
+
+// MatchAny reports whether any subscription matches the publication.
+func (p *PRT) MatchAny(e predicate.Event) bool { return p.t.MatchAny(e) }
 
 // Intersecting returns subscriptions intersecting the advertisement filter.
 func (p *PRT) Intersecting(adv *predicate.Filter) []*Record { return p.t.Intersecting(adv) }

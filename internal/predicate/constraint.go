@@ -118,6 +118,35 @@ func (c *Constraint) tightenHi(b bound) {
 	}
 }
 
+// Matches reports whether a publication value satisfies the constraint.
+// It is the per-attribute primitive the counting matching index evaluates
+// against posting-list candidates.
+func (c *Constraint) Matches(v Value) bool { return c.matches(v) }
+
+// ValueKind returns the kind of value the constraint admits, or 0 for a
+// presence-only constraint (any valid value of any kind satisfies it).
+func (c *Constraint) ValueKind() Kind { return c.kind }
+
+// Interval returns the constraint's conservative interval hull: every
+// value the constraint admits lies within [lo, hi] (bounds compared
+// closed, exclusions ignored). loInf/hiInf mark unbounded ends, in which
+// case the corresponding Value is the zero Value. Index structures prune
+// with the hull and re-verify candidates with Matches/covers, so the
+// hull's looseness (open bounds, <> exclusions) never costs correctness.
+func (c *Constraint) Interval() (lo, hi Value, loInf, hiInf bool) {
+	if c.lo.inf {
+		loInf = true
+	} else {
+		lo = c.lo.v
+	}
+	if c.hi.inf {
+		hiInf = true
+	} else {
+		hi = c.hi.v
+	}
+	return lo, hi, loInf, hiInf
+}
+
 // matches reports whether a publication value satisfies the constraint.
 func (c *Constraint) matches(v Value) bool {
 	if c.empty || !v.IsValid() {

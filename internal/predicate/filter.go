@@ -1,8 +1,6 @@
 package predicate
 
 import (
-	"bytes"
-	"encoding/gob"
 	"encoding/json"
 	"fmt"
 	"strings"
@@ -43,6 +41,14 @@ func MustFilter(preds ...Predicate) *Filter {
 }
 
 func (f *Filter) normalize() error {
+	// A zero-constraint filter is inconsistent by construction: Matches
+	// would reject every event while a vacuous Covers would accept every
+	// filter, and the counting index (which walks per-attribute postings)
+	// would never examine it. Reject it here so no decode path — gob,
+	// JSON, or the compact binary codec — can materialize one.
+	if len(f.preds) == 0 {
+		return fmt.Errorf("filter needs at least one predicate")
+	}
 	f.cons = make(map[string]*Constraint, len(f.preds))
 	for _, p := range f.preds {
 		if err := p.Validate(); err != nil {
@@ -121,6 +127,12 @@ func (f *Filter) Covers(o *Filter) bool {
 	if f == nil || o == nil {
 		return false
 	}
+	// Degenerate zero-constraint filters (only constructible by bypassing
+	// NewFilter) match nothing, so they cover nothing and are covered by
+	// nothing — Matches, Covers, and Intersects must agree.
+	if len(f.cons) == 0 || len(o.cons) == 0 {
+		return false
+	}
 	// Every attribute f constrains must be constrained by o at least as
 	// tightly; an attribute constrained only by f could be absent (or
 	// wild) in publications matching o.
@@ -139,6 +151,11 @@ func (f *Filter) Covers(o *Filter) bool {
 // so attributes constrained by only one side never preclude intersection.
 func (f *Filter) Intersects(o *Filter) bool {
 	if f == nil || o == nil {
+		return false
+	}
+	// A degenerate zero-constraint filter matches no publication, so no
+	// publication can match both sides; see Covers.
+	if len(f.cons) == 0 || len(o.cons) == 0 {
 		return false
 	}
 	for attr, cf := range f.cons {
@@ -184,29 +201,22 @@ func (f *Filter) String() string {
 	return f.key
 }
 
-// filterWire is the serialized form of a Filter: predicates only, with
-// normalization recomputed on decode.
+// Constraint returns the filter's normalized constraint on attr, or nil
+// when the filter does not constrain it. The returned constraint is shared
+// and must be treated as read-only; the matching index holds these
+// pointers in its per-attribute postings.
+func (f *Filter) Constraint(attr string) *Constraint {
+	if f == nil {
+		return nil
+	}
+	return f.cons[attr]
+}
+
+// filterWire is the serialized JSON form of a Filter: predicates only,
+// with normalization recomputed on decode. (The binary wire form lives in
+// codec.go.)
 type filterWire struct {
 	Preds []Predicate `json:"preds"`
-}
-
-// GobEncode implements gob.GobEncoder.
-func (f *Filter) GobEncode() ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(filterWire{Preds: f.preds}); err != nil {
-		return nil, err
-	}
-	return buf.Bytes(), nil
-}
-
-// GobDecode implements gob.GobDecoder.
-func (f *Filter) GobDecode(data []byte) error {
-	var w filterWire
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
-		return err
-	}
-	f.preds = w.Preds
-	return f.normalize()
 }
 
 // MarshalJSON implements json.Marshaler.
@@ -225,8 +235,6 @@ func (f *Filter) UnmarshalJSON(data []byte) error {
 }
 
 var (
-	_ gob.GobEncoder   = (*Filter)(nil)
-	_ gob.GobDecoder   = (*Filter)(nil)
 	_ json.Marshaler   = (*Filter)(nil)
 	_ json.Unmarshaler = (*Filter)(nil)
 )

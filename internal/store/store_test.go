@@ -372,3 +372,33 @@ func TestRecordRoundTrip(t *testing.T) {
 		t.Fatalf("round trip diverged:\n in: %s\nout: %s", inJSON, outJSON)
 	}
 }
+
+// TestWALFrameSizeBudget pins the on-disk cost of the common WAL records.
+// Filters serialize through their compact-codec-backed JSON form; if a
+// change to Filter marshaling reintroduced per-value schema bloat (as the
+// old nested-gob encoding did), routing-churn frames would inflate and this
+// budget would fail before the regression reached a soak run.
+func TestWALFrameSizeBudget(t *testing.T) {
+	f := filter(t, "[class,=,'stock'],[price,>,100]")
+	cases := []struct {
+		name string
+		rec  Record
+		max  int
+	}{
+		{"prt-insert", Record{Op: OpPRTInsert, ID: "sub42", Client: "c7", Filter: f, Hop: "b3"}, 256},
+		{"prt-remove", Record{Op: OpPRTRemove, ID: "sub42"}, 64},
+		{"sent-mark", Record{Op: OpSentSubMark, ID: "sub42", Hop: "b3"}, 64},
+		{"decision", Record{Op: OpDecision, Tx: "tx9", Role: "target", Outcome: PhaseCommitted}, 96},
+	}
+	for _, tc := range cases {
+		payload, err := encodeRecord(tc.rec)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		framed := appendFrame(nil, payload)
+		if len(framed) > tc.max {
+			t.Errorf("%s frame is %d bytes, budget %d (payload %s)",
+				tc.name, len(framed), tc.max, payload)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var b []byte
+	b = AppendUvarint(b, 0)
+	b = AppendUvarint(b, 1<<40+17)
+	b = AppendString(b, "hello")
+	b = AppendString(b, "")
+	b = AppendBytes(b, []byte{1, 2, 3})
+	b = AppendBytes(b, nil)
+	b = AppendF64(b, -12.5)
+	b = AppendF64(b, math.Inf(1))
+	b = AppendBool(b, true)
+	b = AppendBool(b, false)
+
+	u, rest, err := Uvarint(b)
+	if err != nil || u != 0 {
+		t.Fatalf("uvarint: %v %v", u, err)
+	}
+	u, rest, err = Uvarint(rest)
+	if err != nil || u != 1<<40+17 {
+		t.Fatalf("uvarint: %v %v", u, err)
+	}
+	s, rest, err := String(rest)
+	if err != nil || s != "hello" {
+		t.Fatalf("string: %q %v", s, err)
+	}
+	s, rest, err = String(rest)
+	if err != nil || s != "" {
+		t.Fatalf("empty string: %q %v", s, err)
+	}
+	p, rest, err := Bytes(rest)
+	if err != nil || !bytes.Equal(p, []byte{1, 2, 3}) {
+		t.Fatalf("bytes: %v %v", p, err)
+	}
+	p, rest, err = Bytes(rest)
+	if err != nil || p != nil {
+		t.Fatalf("nil bytes: %v %v", p, err)
+	}
+	f, rest, err := F64(rest)
+	if err != nil || f != -12.5 {
+		t.Fatalf("f64: %v %v", f, err)
+	}
+	f, rest, err = F64(rest)
+	if err != nil || !math.IsInf(f, 1) {
+		t.Fatalf("f64 inf: %v %v", f, err)
+	}
+	v, rest, err := Bool(rest)
+	if err != nil || !v {
+		t.Fatalf("bool: %v %v", v, err)
+	}
+	v, rest, err = Bool(rest)
+	if err != nil || v {
+		t.Fatalf("bool: %v %v", v, err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d bytes left over", len(rest))
+	}
+}
+
+// TestTruncation feeds every proper prefix of an encoded sequence to the
+// decoders and requires a clean error, never a panic or a bogus value.
+func TestTruncation(t *testing.T) {
+	var b []byte
+	b = AppendString(b, "abcdef")
+	b = AppendF64(b, 3.25)
+	b = AppendUvarint(b, 300)
+	for i := 0; i < len(b); i++ {
+		pre := b[:i]
+		s, rest, err := String(pre)
+		if err == nil {
+			f, rest2, err2 := F64(rest)
+			if err2 == nil {
+				if _, _, err3 := Uvarint(rest2); err3 == nil {
+					t.Fatalf("prefix %d decoded fully (s=%q f=%v)", i, s, f)
+				}
+			}
+		}
+	}
+}
+
+// TestBytesIsCopy guards the contract that decoded byte slices do not
+// alias the input buffer (which stream decoders reuse between frames).
+func TestBytesIsCopy(t *testing.T) {
+	b := AppendBytes(nil, []byte{9, 9, 9})
+	out, _, err := Bytes(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-1] = 0
+	if out[2] != 9 {
+		t.Fatal("decoded bytes alias the input buffer")
+	}
+}
+
+func TestLengthBound(t *testing.T) {
+	b := AppendUvarint(nil, 1<<40) // absurd length prefix, no payload
+	if _, _, err := String(b); err == nil {
+		t.Fatal("oversized length prefix accepted")
+	}
+	if _, _, err := Bytes(b); err == nil {
+		t.Fatal("oversized length prefix accepted")
+	}
+}

@@ -56,6 +56,15 @@ MATCH_COUNT ?= 3
 MATCH_TIME  ?= 20000x
 MATCH_OUT   ?= BENCH_match.json
 
+# Replication-overhead knobs: the benchmark shuttles one subscriber across
+# the five-hop b1<->b13 corridor in an R=1 deployment and an R=3/W=2 one,
+# interleaved in chunks; benchjson takes the median over REPLICATION_COUNT
+# runs before judging the 5% move-latency budget. Each op is a full
+# movement transaction (~tens of ms), so the iteration count stays small.
+REPLICATION_COUNT ?= 7
+REPLICATION_TIME  ?= 40x
+REPLICATION_OUT   ?= BENCH_replication.json
+
 # Audit-stream knobs: the benchmark interleaves a journaled dispatch
 # pipeline with and without a live journal tap subscribed; benchjson takes
 # the median over AUDIT_STREAM_COUNT runs before judging the 5% budget on
@@ -64,7 +73,7 @@ AUDIT_STREAM_COUNT ?= 7
 AUDIT_STREAM_TIME  ?= 20000x
 AUDIT_STREAM_OUT   ?= BENCH_audit.json
 
-.PHONY: all vet build test race ci bench bench-dispatch bench-reliability bench-wal bench-telemetry bench-audit-stream bench-match audit audit-stream chaos chaos-recovery
+.PHONY: all vet build test race ci bench bench-dispatch bench-reliability bench-wal bench-telemetry bench-audit-stream bench-match bench-replication audit audit-stream chaos chaos-recovery chaos-coordinator
 
 all: ci
 
@@ -165,6 +174,18 @@ bench-match:
 	$(GO) run ./cmd/benchjson -require-match -out $(MATCH_OUT) bench-match.out.txt
 	@echo "wrote $(MATCH_OUT)"
 
+# bench-replication measures what quorum-replicating coordinator decisions
+# costs the movement hot path: R=1 (no remote round) vs R=3/W=2 (pipelined
+# quorum) move latency across the five-hop corridor, and emits
+# $(REPLICATION_OUT); benchjson exits non-zero when the median overhead
+# exceeds the 5% budget or the benchmark is missing.
+bench-replication:
+	$(GO) test ./internal/cluster/ -run '^$$' -bench '^BenchmarkReplicationOverhead$$' \
+		-benchtime $(REPLICATION_TIME) -count $(REPLICATION_COUNT) \
+		| tee bench-replication.out.txt
+	$(GO) run ./cmd/benchjson -require-replication -out $(REPLICATION_OUT) bench-replication.out.txt
+	@echo "wrote $(REPLICATION_OUT)"
+
 # chaos runs the seeded soak: CHAOS_MOVES movement transactions under
 # randomized loss/duplication/reordering/partitions plus broker crash and
 # freeze schedules, with the race detector on. The journal is replayed
@@ -182,6 +203,17 @@ chaos:
 # The audit holds restarted sites to the full convergence properties.
 chaos-recovery:
 	$(GO) run -race ./cmd/experiments -chaos -seed $(CHAOS_SEED) -moves $(CHAOS_MOVES) -data-dir $(CHAOS_DATA)
+
+# chaos-coordinator is the replication gate: the same seeded soak, but every
+# 12th move's TARGET COORDINATOR is crash-stopped mid-phase — cycling
+# through the 3PC phases, including right after the quorum-replicated
+# commit decision — and is NEVER restarted. Quorum replication must carry
+# every decision to a write quorum before it acts, and lease-based standby
+# takeover must finish every in-doubt move; the run fails unless at least
+# one killed-coordinator move committed via takeover, no broker restarted,
+# and the audit found zero violations.
+chaos-coordinator:
+	$(GO) run -race ./cmd/experiments -chaos -seed $(CHAOS_SEED) -moves $(CHAOS_MOVES) -kill-coordinator 12
 
 # audit records a mobility experiment to a JSONL journal, then replays it
 # through the offline auditor; padres-audit exits non-zero on any

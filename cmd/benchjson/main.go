@@ -20,9 +20,12 @@
 // instrumentation's dispatch overhead is within the same budget, with
 // -require-audit unless BenchmarkAuditStreamOverhead is present and the
 // live-audit journal tap's dispatch overhead is within the same budget,
-// and with -require-match unless the BenchmarkPRTMatch subscription-count
+// with -require-match unless the BenchmarkPRTMatch subscription-count
 // pair is present, near-flat, and allocation-free (plus a sublinear
-// BenchmarkPRTIntersecting pair when measured).
+// BenchmarkPRTIntersecting pair when measured), and with
+// -require-replication unless BenchmarkReplicationOverhead is present and
+// the R=3 quorum's move-latency overhead over the R=1 baseline is within
+// the same 5% budget.
 package main
 
 import (
@@ -72,6 +75,7 @@ type report struct {
 	WALOverhead         *reliability `json:"wal_overhead,omitempty"`
 	TelemetryOverhead   *reliability `json:"telemetry_overhead,omitempty"`
 	AuditOverhead       *reliability `json:"audit_overhead,omitempty"`
+	ReplicationOverhead *reliability `json:"replication_overhead,omitempty"`
 	MatchScaling        *matching    `json:"match_scaling,omitempty"`
 }
 
@@ -151,14 +155,16 @@ func main() {
 		"exit 2 unless the audit-stream-overhead benchmark is present and within budget")
 	requireMatch := flag.Bool("require-match", false,
 		"exit 2 unless the matching-scalability benchmarks are present and meet their targets")
+	requireRepl := flag.Bool("require-replication", false,
+		"exit 2 unless the replication-overhead benchmark is present and within budget")
 	flag.Parse()
-	if err := run(*out, *requireScaling, *requireReliability, *requireWAL, *requireTelemetry, *requireAudit, *requireMatch, flag.Args()); err != nil {
+	if err := run(*out, *requireScaling, *requireReliability, *requireWAL, *requireTelemetry, *requireAudit, *requireMatch, *requireRepl, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out string, requireScaling, requireReliability, requireWAL, requireTelemetry, requireAudit, requireMatch bool, args []string) error {
+func run(out string, requireScaling, requireReliability, requireWAL, requireTelemetry, requireAudit, requireMatch, requireRepl bool, args []string) error {
 	var in io.Reader = os.Stdin
 	if len(args) > 0 {
 		f, err := os.Open(args[0])
@@ -224,6 +230,17 @@ func run(out string, requireScaling, requireReliability, requireWAL, requireTele
 		if !a.WithinBudget {
 			os.Exit(2)
 		}
+	}
+	if q := rep.ReplicationOverhead; q != nil {
+		fmt.Fprintf(os.Stderr, "replication move-latency overhead: %.2f%% over %d runs (budget %.0f%%)\n",
+			q.OverheadPct, q.Runs, q.BudgetPct)
+		if !q.WithinBudget {
+			os.Exit(2)
+		}
+	}
+	if requireRepl && rep.ReplicationOverhead == nil {
+		fmt.Fprintln(os.Stderr, "benchjson: -require-replication set but BenchmarkReplicationOverhead not found")
+		os.Exit(2)
 	}
 	if requireWAL && rep.WALOverhead == nil {
 		fmt.Fprintln(os.Stderr, "benchjson: -require-wal set but BenchmarkWALOverhead not found")
@@ -356,6 +373,7 @@ func parse(in io.Reader) (*report, error) {
 	rep.WALOverhead = modePair(byName["BenchmarkWALOverhead"])
 	rep.TelemetryOverhead = modePair(byName["BenchmarkTelemetryOverhead"])
 	rep.AuditOverhead = modePair(byName["BenchmarkAuditStreamOverhead"])
+	rep.ReplicationOverhead = modePair(byName["BenchmarkReplicationOverhead"])
 
 	mSmall := byName["BenchmarkPRTMatch/subs=1024"]
 	mLarge := byName["BenchmarkPRTMatch/subs=102400"]

@@ -71,12 +71,13 @@ func run(args []string) error {
 		chaosRun = fs.Bool("chaos", false, "run the seeded chaos soak (reliable links under loss/dup/reorder/partition/crash) instead of a figure")
 		moves    = fs.Int("moves", 200, "chaos: number of movement transactions to drive")
 		chaosDir = fs.String("data-dir", "", "chaos: broker durable-store root; arms crash→restart recovery (crashed brokers rebuild routing state from snapshot+WAL and resolve in-doubt movements)")
+		killCoor = fs.Int("kill-coordinator", 0, "chaos: crash-stop every Nth move's target coordinator mid-phase, never restarting it; quorum replication and standby takeover must terminate every move (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *chaosRun {
-		return runChaos(*seed, *moves, *jnlPath, *chaosDir)
+		return runChaos(*seed, *moves, *killCoor, *jnlPath, *chaosDir)
 	}
 
 	var s experiment.Scale
@@ -149,8 +150,11 @@ func run(args []string) error {
 // exit status 0 only when every movement resolved legally and the journal
 // replay found zero violations. A data dir arms crash→restart recovery;
 // the dir is wiped first so stale broker state from an earlier run cannot
-// leak into this one's recovery.
-func runChaos(seed int64, moves int, jnlPath, dataDir string) error {
+// leak into this one's recovery. killCoordinator > 0 arms the
+// coordinator-kill schedule: every Nth move's target coordinator is
+// crash-stopped mid-phase and never restarted, and the gate additionally
+// requires that at least one post-decision kill was finished by a standby.
+func runChaos(seed int64, moves, killCoordinator int, jnlPath, dataDir string) error {
 	var jnl *journal.Journal
 	if jnlPath != "" {
 		jnl = journal.New(1 << 18)
@@ -167,10 +171,11 @@ func runChaos(seed int64, moves int, jnlPath, dataDir string) error {
 		}
 	}
 	res, err := chaos.Run(chaos.Options{
-		Seed:    seed,
-		Moves:   moves,
-		Journal: jnl,
-		DataDir: dataDir,
+		Seed:            seed,
+		Moves:           moves,
+		KillCoordinator: killCoordinator,
+		Journal:         jnl,
+		DataDir:         dataDir,
 		Logf: func(format string, args ...any) {
 			fmt.Printf("  "+format+"\n", args...)
 		},
@@ -190,6 +195,17 @@ func runChaos(seed int64, moves int, jnlPath, dataDir string) error {
 		res.Report.Write(os.Stdout)
 		return fmt.Errorf("chaos audit found %d violation(s), %d unexpected move errors",
 			len(res.Report.Violations()), res.MoveErrors)
+	}
+	if killCoordinator > 0 {
+		if res.CoordinatorKills == 0 {
+			return fmt.Errorf("kill-coordinator schedule never fired")
+		}
+		if res.Restarts != 0 {
+			return fmt.Errorf("%d restarts in a never-restart mode", res.Restarts)
+		}
+		if res.TakeoverCommits == 0 {
+			return fmt.Errorf("no killed-coordinator move committed via standby takeover")
+		}
 	}
 	return nil
 }

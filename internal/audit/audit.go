@@ -16,7 +16,11 @@
 //	    present at its final host;
 //	(d) movement atomicity — an aborted transaction leaves the moving
 //	    client's routing state exactly as it was before the transaction
-//	    prepared anything, and the client itself resumes.
+//	    prepared anything, and the client itself resumes;
+//	(e) replication safety — when a standby finishes an in-doubt movement,
+//	    every takeover is fenced by a generation strictly above the original
+//	    coordinator's, generations never repeat, and all takeovers agree
+//	    with the transaction's single resolved outcome.
 //
 // The auditor groups records by run (journal.BeginRun boundaries) because
 // transaction, client, and message identifiers are only unique within one
@@ -56,7 +60,7 @@ func isShadow(id string) bool { return strings.Contains(id, shadowSep) }
 // Violation is one verified property failure.
 type Violation struct {
 	Run    int64  `json:"run"`
-	Check  string `json:"check"` // delivery | phase-order | convergence | atomicity
+	Check  string `json:"check"` // delivery | phase-order | convergence | atomicity | replication
 	Tx     string `json:"tx,omitempty"`
 	Client string `json:"client,omitempty"`
 	Site   string `json:"site,omitempty"`
@@ -224,6 +228,7 @@ func auditRun(run int64, recs []journal.Record) RunReport {
 		if tx.aborted && !tx.committed {
 			rr.Violations = append(rr.Violations, checkAtomicity(run, tx, recs, crashed, crashedTx[tx.id])...)
 		}
+		rr.Violations = append(rr.Violations, checkReplication(run, tx)...)
 	}
 	var delivered int
 	rr.Violations = append(rr.Violations, checkDelivery(run, recs, &delivered, crashed)...)

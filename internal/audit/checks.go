@@ -3,6 +3,7 @@ package audit
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"padres/internal/journal"
@@ -302,6 +303,114 @@ func checkAtomicity(run int64, tx *txRecord, recs []journal.Record, crashed map[
 			Run: run, Check: "atomicity", Tx: tx.id, Client: tx.client,
 			Detail: "client did not return to the started state after the abort",
 		})
+	}
+	sortViolations(out)
+	return out
+}
+
+// repTakeover is one standby-takeover journal record, parsed: the fencing
+// generation the claimant won the lease at, the outcome it acted on, and
+// the standby site that performed the takeover.
+type repTakeover struct {
+	gen     uint64
+	outcome string
+	site    string
+}
+
+// detailField extracts the value of one "key=value" token from a journal
+// detail string, or "" when the key is absent.
+func detailField(detail, key string) string {
+	prefix := key + "="
+	for _, tok := range strings.Fields(detail) {
+		if strings.HasPrefix(tok, prefix) {
+			return tok[len(prefix):]
+		}
+	}
+	return ""
+}
+
+// parseTakeover reads the fields of a standby-takeover record
+// ("gen=%d outcome=%s"). An unparsable generation yields 0, which the check
+// flags — a takeover without a fence is a violation either way.
+func parseTakeover(r journal.Record) repTakeover {
+	gen, _ := strconv.ParseUint(detailField(r.Detail, "gen"), 10, 64)
+	return repTakeover{gen: gen, outcome: detailField(r.Detail, "outcome"), site: r.Site}
+}
+
+// checkReplication verifies property (e) — the quorum-replication layer's
+// safety rules — for one transaction, from its standby-takeover records:
+//
+//   - every takeover carries a fencing generation strictly above the
+//     original coordinator's (gen >= 1, the coordinator acts at gen 0);
+//   - no two takeovers share a generation (each granted lease claim must
+//     bump the fence, so a shared generation means fencing failed);
+//   - all takeovers agree on one outcome;
+//   - that outcome matches the transaction's resolution when it resolved
+//     to exactly one (double resolution is already a phase-order finding).
+//
+// Conflicting replica-decision records alone are deliberately NOT flagged:
+// a replica may durably hold "committed" from a quorum round that failed,
+// later superseded by the coordinator's abort. The invariant constrains
+// outcomes that were acted on — takeovers and the resolution — not every
+// record written along the way.
+func checkReplication(run int64, tx *txRecord) []Violation {
+	var takeovers []repTakeover
+	for _, s := range tx.steps {
+		if s.Kind == "standby-takeover" {
+			takeovers = append(takeovers, parseTakeover(s))
+		}
+	}
+	return replicationViolations(run, tx.id, tx.client, takeovers, tx.committed, tx.aborted)
+}
+
+// replicationViolations derives the replication findings from parsed
+// takeover evidence. Shared by the batch check and the streaming auditor so
+// both report the identical violation set; the derivation is independent of
+// the order the takeovers were observed in.
+func replicationViolations(run int64, txID, client string, takeovers []repTakeover, committed, aborted bool) []Violation {
+	if len(takeovers) == 0 {
+		return nil
+	}
+	var out []Violation
+	add := func(site, detail string) {
+		out = append(out, Violation{Run: run, Check: "replication", Tx: txID, Client: client, Site: site, Detail: detail})
+	}
+
+	byGen := make(map[uint64]int)
+	outcomes := make(map[string]bool)
+	for _, t := range takeovers {
+		if t.gen == 0 {
+			add(t.site, "standby takeover without a fencing generation (gen=0)")
+		}
+		byGen[t.gen]++
+		outcomes[t.outcome] = true
+	}
+	gens := make([]uint64, 0, len(byGen))
+	for g := range byGen {
+		gens = append(gens, g)
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] < gens[j] })
+	for _, g := range gens {
+		if n := byGen[g]; n > 1 {
+			add("", fmt.Sprintf("%d standby takeovers share fencing generation %d", n, g))
+		}
+	}
+
+	if len(outcomes) > 1 {
+		list := make([]string, 0, len(outcomes))
+		for oc := range outcomes {
+			list = append(list, oc)
+		}
+		sort.Strings(list)
+		add("", "standby takeovers disagree on outcome ("+strings.Join(list, " vs ")+")")
+	} else if committed != aborted { // resolved to exactly one outcome
+		oc := takeovers[0].outcome
+		switch {
+		case committed && oc != "committed":
+			add("", fmt.Sprintf("standby takeover resolved %s but the transaction committed", oc))
+		case aborted && oc != "aborted":
+			add("", fmt.Sprintf("standby takeover resolved %s but the transaction aborted", oc))
+		}
 	}
 	sortViolations(out)
 	return out

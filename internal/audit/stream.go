@@ -12,7 +12,7 @@ import (
 
 // This file is the online half of the auditor: audit.Stream ingests journal
 // tails from one or more sources (an in-process tap, or /journal/stream
-// feeds from a fleet of brokers) and verifies the same four properties the
+// feeds from a fleet of brokers) and verifies the same five properties the
 // batch Audit checks — while the system runs, with memory bounded by
 // in-flight work rather than run length.
 //
@@ -49,8 +49,8 @@ const (
 	StatusViolated CheckStatus = "VIOLATED"
 )
 
-// StreamChecks lists the four invariant checks in display order.
-var StreamChecks = []string{"delivery", "phase-order", "convergence", "atomicity"}
+// StreamChecks lists the five invariant checks in display order.
+var StreamChecks = []string{"delivery", "phase-order", "convergence", "atomicity", "replication"}
 
 // DefaultSettleHorizon is how many Lamport ticks the merged watermark must
 // pass an entity's last event before the entity is finalized. It absorbs
@@ -180,7 +180,8 @@ type streamTx struct {
 	net       map[netKey]int
 	cause     journal.Record // first reject/abort/timeout step, zero if none
 	hasCause  bool
-	doubleRes bool // both committed and aborted (flagged once)
+	doubleRes bool          // both committed and aborted (flagged once)
+	takeovers []repTakeover // parsed standby-takeover records
 }
 
 // siteKey identifies a client's state machine at one site.
@@ -493,6 +494,8 @@ func (s *Stream) process(r journal.Record) {
 			tx.committed = true
 		case "aborted":
 			tx.aborted = true
+		case "standby-takeover":
+			tx.takeovers = append(tx.takeovers, parseTakeover(r))
 		case "reject-received", "abort-received", "source-timeout":
 			if !tx.hasCause || c.less(cursorOf(tx.cause)) {
 				tx.cause, tx.hasCause = r, true
@@ -751,6 +754,11 @@ func (s *Stream) txViolations(rs *streamRun, tx *streamTx, crashed map[string]bo
 			}
 		}
 	}
+
+	// Replication safety is presence-based — every finding compares records
+	// that exist — so neither journal loss nor a crash excuses it. The shared
+	// derivation keeps the stream's findings identical to checkReplication's.
+	out = append(out, replicationViolations(rs.run, tx.id, tx.client, tx.takeovers, tx.committed, tx.aborted)...)
 	return out
 }
 

@@ -35,6 +35,7 @@ import (
 	"padres/internal/journal"
 	"padres/internal/matching"
 	"padres/internal/message"
+	"padres/internal/replication"
 	"padres/internal/store"
 	"padres/internal/telemetry"
 	"padres/internal/transport"
@@ -98,6 +99,11 @@ type Config struct {
 	// before aborting its prepared state locally (the non-blocking
 	// termination rule). 0 selects 3s. Ignored without DataDir.
 	RecoveryQueryTimeout time.Duration
+	// Replication, when non-nil and enabled, attaches a replication agent:
+	// coordinator decisions are quorum-replicated to the transaction's
+	// preference list and a standby replica finishes in-doubt movements if
+	// the coordinator dies without restarting.
+	Replication *replication.Config
 }
 
 // Broker is one content-based pub/sub broker.
@@ -138,6 +144,10 @@ type Broker struct {
 	indoubt []message.MoveHeader
 	// queryTimers arm the local-abort fallback per in-doubt movement.
 	queryTimers map[message.TxID]*time.Timer
+
+	// repl is the replication agent (nil without Config.Replication).
+	repl    *replication.Agent
+	replTel *telemetry.ReplicationMetrics
 }
 
 // New creates a broker and registers it with the transport. With
@@ -165,6 +175,7 @@ func New(cfg Config) (*Broker, error) {
 	for _, n := range cfg.Neighbors {
 		b.neighbors[n] = true
 	}
+	var rec *store.Recovery
 	if cfg.DataDir != "" {
 		b.storeTel = telemetry.NewStoreMetrics()
 		st, err := store.Open(cfg.DataDir, store.Options{
@@ -175,9 +186,11 @@ func New(cfg Config) (*Broker, error) {
 			return nil, fmt.Errorf("broker %s: %w", cfg.ID, err)
 		}
 		b.store = st
-		b.applyRecovery(st.Recovery())
+		rec = st.Recovery()
+		b.applyRecovery(rec)
 		st.SetSnapshotSource(b.buildSnapshot)
 	}
+	b.initReplication(rec)
 	cfg.Net.Register(cfg.ID.Node(), b.enqueue)
 	return b, nil
 }
@@ -233,6 +246,9 @@ func (b *Broker) Stop() {
 	b.spaceCond.Broadcast()
 	b.mu.Unlock()
 	<-b.done
+	if b.repl != nil {
+		b.repl.Stop()
+	}
 	if b.store != nil {
 		// Drain and fsync the write-ahead log after the dispatch goroutine
 		// has appended its last record.
@@ -491,6 +507,10 @@ func (b *Broker) process(env message.Envelope) {
 		b.handleMoveAck(m, env.From)
 	case message.MoveAbort:
 		b.handleMoveAbort(m, env.From)
+	case message.StandbyResolve:
+		b.handleStandbyResolve(m, env.From)
+	case message.ReplicateDecision, message.ReplicaAck, message.LeaseClaim:
+		b.handleReplication(env)
 	case message.MoveNegotiate, message.MoveReject, message.MoveState, message.MoveQuery:
 		b.forwardOrDeliverControl(env)
 	default:

@@ -300,13 +300,20 @@ func (b *Broker) InDoubtCount() int {
 	return n
 }
 
+// RecoveryWait returns the effective recovery-query timeout: how long an
+// in-doubt prepared movement waits for an answer before the local-abort
+// fallback fires.
+func (b *Broker) RecoveryWait() time.Duration {
+	if b.cfg.RecoveryQueryTimeout > 0 {
+		return b.cfg.RecoveryQueryTimeout
+	}
+	return 3 * time.Second
+}
+
 // queryInDoubt sends a MoveQuery toward the movement's target coordinator
 // and arms the local-abort fallback timer.
 func (b *Broker) queryInDoubt(hdr message.MoveHeader) {
-	timeout := b.cfg.RecoveryQueryTimeout
-	if timeout <= 0 {
-		timeout = 3 * time.Second
-	}
+	timeout := b.RecoveryWait()
 	b.mu.Lock()
 	if b.stopped {
 		b.mu.Unlock()
@@ -317,7 +324,17 @@ func (b *Broker) queryInDoubt(hdr message.MoveHeader) {
 	}
 	b.queryTimers[hdr.Tx] = time.AfterFunc(timeout, func() { b.queryTimedOut(hdr) })
 	b.mu.Unlock()
-	b.SendControl(message.MoveQuery{MoveHeader: hdr, From: b.cfg.ID})
+	_ = b.SendControl(message.MoveQuery{MoveHeader: hdr, From: b.cfg.ID})
+	// With replication on, also ask every standby replica: if the target
+	// coordinator died for good, the first live preference-list member
+	// resolves the movement instead; the local-abort timer above still
+	// bounds the wait when the whole list is unreachable.
+	for _, p := range b.ReplicationPeers(hdr) {
+		if p == hdr.Target || p == b.cfg.ID {
+			continue
+		}
+		_ = b.SendControl(message.MoveQuery{MoveHeader: hdr, From: b.cfg.ID, At: p})
+	}
 }
 
 // queryTimedOut is the non-blocking fallback: the coordinator never

@@ -70,6 +70,11 @@ func (b *Broker) handleMoveApprove(m message.MoveApprove, from message.NodeID) {
 // prepared one becomes canonical, as the acknowledgement travels from the
 // target back to the source.
 func (b *Broker) handleMoveAck(m message.MoveAck, from message.NodeID) {
+	if b.repl != nil && !b.repl.CheckAck(m) {
+		// The acknowledgement carries a generation below this broker's fence:
+		// it comes from a coordinator a standby has already superseded.
+		return
+	}
 	if m.Reconfigure {
 		b.commitReconfig(m.Tx)
 	}

@@ -29,7 +29,9 @@ import (
 	"padres/internal/journal"
 	"padres/internal/message"
 	"padres/internal/mon"
+	"padres/internal/overlay"
 	"padres/internal/predicate"
+	"padres/internal/replication"
 	"padres/internal/telemetry"
 	"padres/internal/transport"
 )
@@ -68,6 +70,23 @@ type Options struct {
 	// eligible, so the mover population survives; the auditor still has to
 	// excuse the stranded state.
 	CrashEvery int
+	// KillCoordinator arms the coordinator-kill mode: every N moves the
+	// movement is steered onto a sacrificial leaf broker and that broker —
+	// the transaction's TARGET COORDINATOR — is crash-stopped mid-phase,
+	// cycling through the four 3PC phases (negotiate received, approve
+	// sent, state received, ack sent). Victims are never restarted: the
+	// move must still terminate exactly once, through quorum-replicated
+	// decisions and standby takeover. The topology is grown with one extra
+	// leaf per planned kill, replication defaults on, and the generic
+	// CrashEvery schedule defaults off. 0 disables.
+	KillCoordinator int
+	// Replication configures decision replication (defaults on, with
+	// soak-speed lease timers, when KillCoordinator is armed; nil
+	// otherwise).
+	Replication *replication.Config
+	// RecoveryQueryTimeout bounds the recovery-query wait before a local
+	// abort (default 2.5s in coordinator-kill mode).
+	RecoveryQueryTimeout time.Duration
 	// DataDir, if set, gives every broker a durable store under it and arms
 	// crash→restart recovery: a crash-stopped broker is restarted from its
 	// own disk state after RestartAfter, backbone brokers join the
@@ -133,6 +152,33 @@ func (o Options) withDefaults() Options {
 	if o.FreezeFor <= 0 {
 		o.FreezeFor = 100 * time.Millisecond
 	}
+	if o.KillCoordinator > 0 {
+		if o.CrashEvery == 0 {
+			o.CrashEvery = -1 // keep the kill schedule the only crash source
+		}
+		if o.Replication == nil {
+			// Full-write quorum (W = R) forces the strict pre-ack replication
+			// round. That is deliberate: the kill schedule crash-stops the
+			// coordinator at EventAckSent, and only the strict path has a
+			// window where the decision is quorum-durable but the wire ack has
+			// not left — the window standby takeover exists to cover. Under
+			// the pipelined commit (W=2) the decision records and the ack
+			// share the coordinator's first link FIFO, so a coordinator death
+			// either drops both (clean abort) or delivers both (normal
+			// commit); there is no decided-but-unacknowledged state to take
+			// over.
+			o.Replication = &replication.Config{
+				Enabled:      true,
+				W:            3,
+				AckTimeout:   250 * time.Millisecond,
+				LeaseTimeout: 400 * time.Millisecond,
+				LeaseStagger: 150 * time.Millisecond,
+			}
+		}
+		if o.RecoveryQueryTimeout <= 0 {
+			o.RecoveryQueryTimeout = 2500 * time.Millisecond
+		}
+	}
 	if o.CrashEvery == 0 {
 		o.CrashEvery = 67
 	}
@@ -167,6 +213,12 @@ type Result struct {
 	Restarts   int // crash victims recovered from their durable stores
 	Freezes    int
 	Partitions int
+
+	// Coordinator-kill mode tallies (KillCoordinator > 0).
+	CoordinatorKills int           // target coordinators crash-stopped mid-phase
+	TakeoverCommits  int           // killed-coordinator moves that still committed
+	Takeovers        int           // standby-takeover journal records
+	MaxKillResolve   time.Duration // slowest killed-coordinator move resolution
 
 	// Transport telemetry after the run.
 	Retransmits   int64
@@ -234,6 +286,11 @@ func (r *Result) Summary() string {
 		r.Crashes, r.Restarts, r.Freezes, r.Partitions, r.InjectedDrops,
 		r.Retransmits, r.DupesDropped, r.DeadLetters,
 		r.JournalRecords, r.JournalDropped)
+	if r.CoordinatorKills > 0 {
+		fmt.Fprintf(&sb,
+			"  coordinator kills: %d (never restarted); %d moves committed via standby takeover, %d takeover records, slowest kill resolution %v\n",
+			r.CoordinatorKills, r.TakeoverCommits, r.Takeovers, r.MaxKillResolve.Round(time.Millisecond))
+	}
 	writeStats := func(kind string, stats []mon.StageStats) {
 		for _, s := range stats {
 			if s.Count == 0 {
@@ -299,16 +356,52 @@ func Run(opts Options) (*Result, error) {
 		close(liveDone)
 	}
 
+	// Coordinator-kill mode grows the overlay by one sacrificial leaf per
+	// planned kill: each kill permanently removes one broker, and the
+	// movement population must survive the full schedule.
+	var topo *overlay.Topology
+	var sacrificial []message.BrokerID
+	plannedKills := 0
+	if opts.KillCoordinator > 0 {
+		plannedKills = (opts.Moves - 1) / opts.KillCoordinator
+		var err error
+		topo, err = overlay.Extended(14 + plannedKills)
+		if err != nil {
+			return nil, err
+		}
+		for i := 15; i <= 14+plannedKills; i++ {
+			sacrificial = append(sacrificial, overlay.BrokerName(i))
+		}
+		// Replica placement avoids the sacrificial leaves: every one of them
+		// is scheduled to die, and an operator decommissioning a broker drains
+		// it from preference lists first. (Without this, a late kill can find
+		// its whole standby set already dead.)
+		if opts.Replication != nil && len(opts.Replication.Universe) == 0 {
+			doomed := make(map[message.BrokerID]bool, len(sacrificial))
+			for _, s := range sacrificial {
+				doomed[s] = true
+			}
+			for _, id := range topo.Brokers() {
+				if !doomed[id] {
+					opts.Replication.Universe = append(opts.Replication.Universe, id)
+				}
+			}
+		}
+	}
+
 	faults := opts.Faults
 	c, err := cluster.New(cluster.Options{
-		Protocol:      core.ProtocolReconfig,
-		MoveTimeout:   opts.MoveTimeout,
-		Journal:       j,
-		ReliableLinks: true,
-		Retransmit:    opts.Retransmit,
-		LinkFaults:    &faults,
-		DataDir:       opts.DataDir,
-		SnapshotEvery: opts.SnapshotEvery,
+		Protocol:             core.ProtocolReconfig,
+		Topology:             topo,
+		MoveTimeout:          opts.MoveTimeout,
+		RecoveryQueryTimeout: opts.RecoveryQueryTimeout,
+		Replication:          opts.Replication,
+		Journal:              j,
+		ReliableLinks:        true,
+		Retransmit:           opts.Retransmit,
+		LinkFaults:           &faults,
+		DataDir:              opts.DataDir,
+		SnapshotEvery:        opts.SnapshotEvery,
 	})
 	if err != nil {
 		return nil, err
@@ -323,7 +416,17 @@ func Run(opts Options) (*Result, error) {
 	// The sink survives broker restarts — the cluster re-installs it.
 	telReg := telemetry.NewRegistry()
 	telReg.SetJournal(j)
-	c.SetEventSink(core.PhaseSink(telReg.Spans()))
+	phaseSink := core.PhaseSink(telReg.Spans())
+	var killer *coordKiller
+	if opts.KillCoordinator > 0 {
+		killer = &coordKiller{in: in}
+		c.SetEventSink(func(e core.Event) {
+			phaseSink(e)
+			killer.observe(e)
+		})
+	} else {
+		c.SetEventSink(phaseSink)
+	}
 	if liveStream != nil {
 		// The auditor's verdicts join the soak's exposition, so the
 		// dead-instrument detector also proves the audit wiring is alive.
@@ -339,9 +442,16 @@ func Run(opts Options) (*Result, error) {
 	// movement paths, and the restart has to recover its routing tables and
 	// resolve whatever the crash caught in flight.
 	all := c.Brokers()
+	sacr := make(map[message.BrokerID]bool, len(sacrificial))
+	for _, id := range sacrificial {
+		sacr[id] = true
+	}
 	var crashable, hostable []message.BrokerID
 	var reservedBackbone int
 	for _, id := range all {
+		if sacr[id] {
+			continue // reserved for the coordinator-kill schedule
+		}
 		reserve := len(c.Topology().Neighbors(id)) == 1 && len(crashable) < 2
 		if !reserve && opts.DataDir != "" && len(c.Topology().Neighbors(id)) >= 3 && reservedBackbone < 2 {
 			reserve = true
@@ -405,6 +515,13 @@ func Run(opts Options) (*Result, error) {
 
 	res := &Result{}
 	topoLinks := overlayLinks(c)
+	killIdx := 0
+	killPhases := []core.EventKind{
+		core.EventNegotiateReceived, // coordinator dies holding message 1
+		core.EventApproveSent,       // dies with the approval unsent on the wire
+		core.EventStateReceived,     // dies holding the client state, pre-decision
+		core.EventAckSent,           // dies after the quorum-replicated commit
+	}
 	// Restarts fire on background timers mid-movement; the soak waits for
 	// all of them before the final settle.
 	var restartWG sync.WaitGroup
@@ -420,7 +537,9 @@ func Run(opts Options) (*Result, error) {
 		}
 		if opts.FreezeEvery > 0 && m > 0 && m%opts.FreezeEvery == 0 {
 			id := all[rng.Intn(len(all))]
-			if !in.Crashed(id) && !in.Frozen(id) {
+			// A frozen sacrificial leaf could not be crash-stopped cleanly
+			// when its kill move comes up, so the kill set is freeze-exempt.
+			if !in.Crashed(id) && !in.Frozen(id) && !sacr[id] {
 				if err := in.FreezeFor(id, opts.FreezeFor); err == nil {
 					res.Freezes++
 					opts.Logf("move %d: froze %s for %v", m, id, opts.FreezeFor)
@@ -451,13 +570,31 @@ func Run(opts Options) (*Result, error) {
 			}
 		}
 
-		mv := movers[m%len(movers)]
-		target := hostable[rng.Intn(len(hostable))]
-		for target == mv.Broker() {
+		moverIdx := m % len(movers)
+		mv := movers[moverIdx]
+		var target message.BrokerID
+		killing := false
+		if killer != nil && m > 0 && m%opts.KillCoordinator == 0 && killIdx < len(sacrificial) {
+			// Steer this move onto the next sacrificial leaf and arm the
+			// killer: the instant the chosen 3PC phase event fires at that
+			// target coordinator, its only overlay link is severed and the
+			// broker crash-stops — permanently.
+			target = sacrificial[killIdx]
+			phase := killPhases[killIdx%len(killPhases)]
+			killer.arm(target, c.Topology().Neighbors(target)[0], phase)
+			killing = true
+			opts.Logf("move %d: steering %s onto %s, coordinator kill armed at %s",
+				m, mv.ID(), target, phase)
+		} else {
 			target = hostable[rng.Intn(len(hostable))]
+			for target == mv.Broker() {
+				target = hostable[rng.Intn(len(hostable))]
+			}
 		}
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		moveStart := time.Now()
 		err := mv.Move(ctx, target)
+		moveElapsed := time.Since(moveStart)
 		cancel()
 		res.Moves++
 		switch {
@@ -470,6 +607,42 @@ func Run(opts Options) (*Result, error) {
 			res.MoveErrors++
 			opts.Logf("move %d: unexpected error: %v", m, err)
 		}
+		if killing {
+			if !killer.disarm() {
+				// The conversation never reached the armed phase (an earlier
+				// fault aborted it); the victim survives for the next round.
+				opts.Logf("move %d: kill did not fire (move resolved at %v)", m, moveElapsed)
+			} else {
+				killIdx++
+				res.CoordinatorKills++
+				res.Crashes++
+				if moveElapsed > res.MaxKillResolve {
+					res.MaxKillResolve = moveElapsed
+				}
+				opts.Logf("move %d: killed coordinator %s; move resolved %v in %v",
+					m, target, err, moveElapsed.Round(time.Millisecond))
+				if err == nil {
+					// Committed onto a dead coordinator — only standby
+					// takeover can have finished it. The mover is stranded
+					// there; retire it and recruit a replacement so the
+					// population survives the schedule.
+					res.TakeoverCommits++
+					repl, rerr := c.NewClient(
+						message.ClientID(fmt.Sprintf("mover%d-g%d", moverIdx, killIdx)),
+						hostable[rng.Intn(len(hostable))])
+					if rerr != nil {
+						return nil, fmt.Errorf("replacement mover: %w", rerr)
+					}
+					if _, rerr := repl.Subscribe(pubFilter); rerr != nil {
+						return nil, fmt.Errorf("replacement mover subscribe: %w", rerr)
+					}
+					movers[moverIdx] = repl
+				}
+			}
+		}
+	}
+	if killer != nil {
+		killer.wait() // every requested crash-stop finished
 	}
 
 	close(pumpStop)
@@ -523,6 +696,11 @@ func Run(opts Options) (*Result, error) {
 	res.InjectedDrops = tel.InjectedDrops.Value()
 	res.JournalRecords = j.Len()
 	res.JournalDropped = j.Dropped()
+	for _, rec := range j.Snapshot() {
+		if rec.Kind == replication.JournalTakeover {
+			res.Takeovers++
+		}
+	}
 
 	// Stop the live tail: close the tap, let the drain goroutine finish the
 	// buffered records, account for any overflow, and finalize.
@@ -575,6 +753,62 @@ func Run(opts Options) (*Result, error) {
 	}
 	return res, nil
 }
+
+// coordKiller crash-stops a movement's target coordinator the instant the
+// armed 3PC phase event fires at it. The event sink runs synchronously on
+// the coordinator's goroutine before the phase's outgoing message is
+// forwarded, so severing the victim's (single, leaf) overlay link in the
+// sink guarantees no outcome escapes the doomed coordinator; the crash-stop
+// itself blocks until the broker goroutine exits and therefore runs on its
+// own goroutine.
+type coordKiller struct {
+	in *failure.Injector
+	wg sync.WaitGroup
+
+	mu       sync.Mutex
+	victim   message.BrokerID
+	neighbor message.BrokerID
+	phase    core.EventKind
+	armed    bool
+	hasFired bool
+}
+
+// arm points the killer at the next victim and phase.
+func (k *coordKiller) arm(victim, neighbor message.BrokerID, phase core.EventKind) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.victim, k.neighbor, k.phase = victim, neighbor, phase
+	k.armed, k.hasFired = true, false
+}
+
+// disarm deactivates the killer and reports whether it fired while armed.
+func (k *coordKiller) disarm() bool {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.armed = false
+	return k.hasFired
+}
+
+// observe is the event-sink hook.
+func (k *coordKiller) observe(e core.Event) {
+	k.mu.Lock()
+	if !k.armed || k.hasFired || e.Broker != k.victim || e.Kind != k.phase {
+		k.mu.Unlock()
+		return
+	}
+	k.hasFired = true
+	victim, neighbor := k.victim, k.neighbor
+	k.mu.Unlock()
+	_ = k.in.Partition(victim, neighbor)
+	k.wg.Add(1)
+	go func() {
+		defer k.wg.Done()
+		_ = k.in.Crash(victim)
+	}()
+}
+
+// wait blocks until every requested crash-stop completed.
+func (k *coordKiller) wait() { k.wg.Wait() }
 
 // crashPool hands out crash victims and, once restarts recover them, takes
 // them back — the schedule and the restart timers share it.

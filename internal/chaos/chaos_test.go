@@ -131,6 +131,61 @@ func TestSoakRestartShort(t *testing.T) {
 	}
 }
 
+// TestSoakKillCoordinator runs the coordinator-kill soak: every 12th move
+// is steered onto a sacrificial leaf whose coordinator is crash-stopped
+// mid-phase (cycling through all four 3PC phases) and never restarted.
+// Quorum-replicated decisions plus standby takeover must terminate every
+// move exactly once — in particular, a coordinator that dies after deciding
+// commit must not stop the commit.
+func TestSoakKillCoordinator(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak skipped in -short mode")
+	}
+	opts := Options{
+		Seed:            23,
+		Moves:           60,
+		KillCoordinator: 12,
+	}
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(res.Summary())
+	if !res.Clean() {
+		t.Fatalf("kill-coordinator soak not clean:\n%s\nviolations: %v",
+			res.Summary(), res.Report.Violations())
+	}
+	if res.Moves != 60 {
+		t.Fatalf("drove %d moves, want 60", res.Moves)
+	}
+	if res.CoordinatorKills == 0 {
+		t.Fatal("kill schedule never fired")
+	}
+	if res.Restarts != 0 {
+		t.Fatalf("%d restarts in a never-restart mode", res.Restarts)
+	}
+	// The post-decision kills must have been finished by standbys: the
+	// commit survived its coordinator.
+	if res.TakeoverCommits == 0 {
+		t.Error("no killed-coordinator move committed via standby takeover")
+	}
+	if res.Takeovers == 0 {
+		t.Error("journal holds no standby-takeover records")
+	}
+	// Every killed-coordinator move must terminate inside the bounded
+	// window: lease-driven takeover well under RecoveryQueryTimeout, and the
+	// worst case (whole preference list unreachable) at the local-abort
+	// fallback of MoveTimeout + RecoveryQueryTimeout.
+	bound := 400*time.Millisecond + 2500*time.Millisecond + 2*time.Second
+	if res.MaxKillResolve >= bound {
+		t.Errorf("slowest kill resolution %v, want < %v", res.MaxKillResolve, bound)
+	}
+	// Lossless run: batch and live auditors must agree.
+	if res.JournalDropped == 0 && res.LiveDivergence != "" {
+		t.Errorf("live audit diverged from batch: %s", res.LiveDivergence)
+	}
+}
+
 // TestSoakDeterministic: the same seed must reproduce the same movement
 // outcome tally (the wall-clock interleaving may differ, but commit/abort
 // decisions are driven by the seeded faults).

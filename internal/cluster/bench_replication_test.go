@@ -1,0 +1,139 @@
+package cluster
+
+import (
+	"context"
+	"runtime/debug"
+	"sort"
+	"testing"
+	"time"
+
+	"padres/internal/client"
+	"padres/internal/message"
+	"padres/internal/predicate"
+	"padres/internal/replication"
+)
+
+// BenchmarkReplicationOverhead measures what quorum-replicating coordinator
+// decisions costs the movement hot path: the same subscriber shuttles
+// across the paper's five-hop b1↔b13 corridor in an R=1 deployment (the
+// coordinator's own durable append is the whole write set — no remote
+// round) and in an R=3/W=2 one, where every commit decision must survive at
+// a path replica before any effect of it reaches the source. With the
+// pipelined commit the replica's durable append rides ahead of the
+// acknowledgement on the same links, so the budget below prices exactly the
+// per-hop replication work, not a serial round trip.
+//
+// The two modes run as two independent clusters and the benchmark
+// alternates between them in small chunks inside one timed run, so slow
+// drift in machine load hits both modes equally instead of biasing
+// whichever mode happened to run later. Per-mode move latencies are
+// reported as the custom metrics off-ns/op and on-ns/op — the pair
+// benchjson reads for the <= 5% replication budget (BENCH_replication.json).
+func BenchmarkReplicationOverhead(b *testing.B) {
+	off := newRepBench(b, &replication.Config{Enabled: true, R: 1})
+	defer off.close()
+	on := newRepBench(b, &replication.Config{Enabled: true, R: 3, W: 2})
+	defer on.close()
+
+	defer debug.SetGCPercent(debug.SetGCPercent(400))
+
+	const chunk = 4
+	var offNs, onNs []float64
+	b.ResetTimer()
+	// Chunks are always full-size (the op count rounds b.N up) so every
+	// sample carries equal weight and no runt tail chunk adds noise.
+	for done, i := 0, 0; done < b.N; done, i = done+chunk, i+1 {
+		var offDur, onDur time.Duration
+		if i%2 == 1 {
+			onDur = on.run(b, chunk)
+			offDur = off.run(b, chunk)
+		} else {
+			offDur = off.run(b, chunk)
+			onDur = on.run(b, chunk)
+		}
+		offNs = append(offNs, float64(offDur.Nanoseconds())/chunk)
+		onNs = append(onNs, float64(onDur.Nanoseconds())/chunk)
+	}
+	b.StopTimer()
+	offTyp, onTyp := repMidmean(offNs), repMidmean(onNs)
+	b.ReportMetric(offTyp, "off-ns/op")
+	b.ReportMetric(onTyp, "on-ns/op")
+	b.ReportMetric((onTyp/offTyp-1)*100, "overhead-pct")
+}
+
+// repMidmean is the interquartile mean: the average of the middle half of
+// the samples, discarding the chunks an outlier landed in.
+func repMidmean(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	lo, hi := len(s)/4, len(s)-len(s)/4
+	if hi == lo {
+		lo, hi = 0, len(s)
+	}
+	var sum float64
+	for _, v := range s[lo:hi] {
+		sum += v
+	}
+	return sum / float64(hi-lo)
+}
+
+// repBench is one deployment with a publisher and one mobile subscriber
+// that shuttles between two adjacent edge brokers.
+type repBench struct {
+	c     *Cluster
+	sub   *client.Client
+	hosts [2]message.BrokerID
+	at    int
+}
+
+func newRepBench(b *testing.B, repl *replication.Config) *repBench {
+	b.Helper()
+	c, err := New(Options{
+		MoveTimeout: 10 * time.Second,
+		Replication: repl,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.Start()
+	rb := &repBench{c: c, hosts: [2]message.BrokerID{"b1", "b13"}}
+
+	pub, err := c.NewClient("pub", "b5")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := pub.Advertise(predicate.MustParse("[x,>,0]")); err != nil {
+		b.Fatal(err)
+	}
+	rb.sub, err = c.NewClient("sub", rb.hosts[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := rb.sub.Subscribe(predicate.MustParse("[x,>,0]")); err != nil {
+		b.Fatal(err)
+	}
+	if err := c.SettleFor(10 * time.Second); err != nil {
+		b.Fatal(err)
+	}
+	return rb
+}
+
+// run performs k committed moves, alternating the subscriber between the
+// two hosts, and returns the wall time of the batch.
+func (rb *repBench) run(b *testing.B, k int) time.Duration {
+	b.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	start := time.Now()
+	for i := 0; i < k; i++ {
+		rb.at = 1 - rb.at
+		if err := rb.sub.Move(ctx, rb.hosts[rb.at]); err != nil {
+			b.Fatalf("move %d to %s: %v", i, rb.hosts[rb.at], err)
+		}
+	}
+	return time.Since(start)
+}
+
+func (rb *repBench) close() {
+	rb.c.Stop()
+}

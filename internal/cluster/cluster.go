@@ -18,6 +18,7 @@ import (
 	"padres/internal/message"
 	"padres/internal/metrics"
 	"padres/internal/overlay"
+	"padres/internal/replication"
 	"padres/internal/transport"
 )
 
@@ -82,6 +83,11 @@ type Options struct {
 	// target coordinator's answer about an in-doubt movement before
 	// aborting locally (0 uses the broker default).
 	RecoveryQueryTimeout time.Duration
+	// Replication, when non-nil and enabled, quorum-replicates coordinator
+	// decisions over each transaction's preference list and lets a standby
+	// replica finish in-doubt movements after a coordinator death. An empty
+	// Universe is filled with the topology's brokers.
+	Replication *replication.Config
 }
 
 // Cluster is a running in-process deployment.
@@ -205,6 +211,23 @@ func (c *Cluster) newBroker(id message.BrokerID) (*broker.Broker, error) {
 	}
 	if c.opts.DataDir != "" {
 		cfg.DataDir = filepath.Join(c.opts.DataDir, string(id))
+	}
+	if c.opts.Replication != nil {
+		rc := *c.opts.Replication
+		if len(rc.Universe) == 0 {
+			rc.Universe = c.top.Brokers()
+		}
+		if rc.Adjacency == nil {
+			// The shared topology gives every broker the identical neighbor
+			// map, so path-aware preference lists (and the pipelined commit
+			// they enable) stay deterministic across the fleet.
+			adj := make(map[message.BrokerID][]message.BrokerID, c.top.Len())
+			for _, b := range c.top.Brokers() {
+				adj[b] = c.top.Neighbors(b)
+			}
+			rc.Adjacency = adj
+		}
+		cfg.Replication = &rc
 	}
 	return broker.New(cfg)
 }

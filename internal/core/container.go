@@ -179,6 +179,9 @@ type targetTx struct {
 	source    message.BrokerID
 	shellNode message.NodeID
 	timer     *time.Timer
+	// deciding marks the commit decision in flight (replication quorum
+	// round started); duplicate state transfers must not start another.
+	deciding bool
 
 	shellMu  sync.Mutex
 	shellBuf []message.Publish
@@ -399,6 +402,8 @@ func (ct *Container) handleControl(env message.Envelope) {
 		ct.onAbort(m)
 	case message.MoveQuery:
 		ct.onQuery(m)
+	case message.StandbyResolve:
+		ct.onStandbyResolve(m)
 	}
 }
 

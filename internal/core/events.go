@@ -46,6 +46,12 @@ const (
 	// in-doubt movement, and the coordinator's durable-outcome answer.
 	EventQueryReceived
 	EventQueryAnswered
+	// EventRecoveryFanout marks a prepared source coordinator suspecting a
+	// dead target: it queries the transaction's whole preference list.
+	EventRecoveryFanout
+	// EventStandbyResolved marks a standby coordinator's resolution arriving
+	// at a coordinator; Detail carries outcome, generation, and claimant.
+	EventStandbyResolved
 )
 
 var eventNames = map[EventKind]string{
@@ -69,6 +75,8 @@ var eventNames = map[EventKind]string{
 	EventClientState:       "client-state",
 	EventQueryReceived:     "query-received",
 	EventQueryAnswered:     "query-answered",
+	EventRecoveryFanout:    "recovery-fanout",
+	EventStandbyResolved:   "standby-resolved",
 }
 
 // String returns the event name.

@@ -123,13 +123,29 @@ func (ct *Container) onNegotiate(m message.MoveNegotiate) {
 }
 
 // onState processes message (4) at the target coordinator: the client state
-// has arrived; merge notifications, start the client, and acknowledge.
+// has arrived. With replication on, the commit decision is replicated to a
+// write quorum of the transaction's preference list before any effect of it
+// is acted on — a decision no quorum holds is never acted on, so a standby
+// that finds no record in a majority can safely conclude abort, and a
+// quorum failure aborts the movement. When the replicas sit on the
+// acknowledgement's own path (CommitPipelined), per-link FIFO enforces that
+// ordering for free and the MoveAck departs immediately, with only the
+// client start deferred to the quorum confirmation; otherwise the
+// coordinator waits out the quorum round trip before sending anything.
 func (ct *Container) onState(m message.MoveState) {
 	ct.emit(EventStateReceived, m.Tx, m.Client, "")
 	ct.mu.Lock()
 	ttx, ok := ct.target[m.Tx]
-	if !ok {
+	if ok && ttx.deciding {
+		// A duplicate state transfer must not start a second quorum round.
 		ct.mu.Unlock()
+		return
+	}
+	if ok {
+		ttx.deciding = true
+	}
+	ct.mu.Unlock()
+	if !ok {
 		// The transaction was aborted here (e.g. a timeout); tell the
 		// source so it resumes the client.
 		_ = ct.cfg.Broker.PersistDecision(m.MoveHeader, "target", store.PhaseAborted, false)
@@ -141,8 +157,6 @@ func (ct *Container) onState(m message.MoveState) {
 		})
 		return
 	}
-	delete(ct.target, m.Tx)
-	ct.mu.Unlock()
 	if ttx.timer != nil {
 		ttx.timer.Stop()
 	}
@@ -159,6 +173,9 @@ func (ct *Container) onState(m message.MoveState) {
 	}
 	if c == nil {
 		// Unrecoverable inconsistency; abort both sides.
+		ct.mu.Lock()
+		delete(ct.target, m.Tx)
+		ct.mu.Unlock()
 		ct.teardownShell(ttx)
 		_ = ct.cfg.Broker.PersistDecision(m.MoveHeader, "target", store.PhaseAborted, false)
 		_ = ct.cfg.Broker.SendControl(message.MoveAbort{
@@ -166,6 +183,77 @@ func (ct *Container) onState(m message.MoveState) {
 		})
 		return
 	}
+
+	// The transaction stays in ct.target until the decision is settled, so
+	// recovery queries arriving mid-quorum still see it as in flight and a
+	// concurrent abort can still roll the preparation back.
+	if ct.cfg.Broker.CommitPipelined(m.MoveHeader) {
+		// Pipelined commit: the ReplicateDecision messages leave first, the
+		// MoveAck second, on the same first-hop link — per-link FIFO and the
+		// path replica's durable-append-before-forward discipline put the
+		// decision at a full write quorum before the acknowledgement can
+		// reach anyone who acts on it, so the round trip leaves the
+		// movement's critical path. Only the client start (and the ack-sent
+		// journal step, which must never precede a still-possible abort)
+		// waits for the quorum confirmation; on quorum failure the
+		// acknowledgement provably died on its first hop, committing no
+		// routing reconfiguration anywhere, and the abort path below stays
+		// sound.
+		ct.cfg.Broker.ReplicateCommit(m.MoveHeader, func(ok bool) {
+			if ok {
+				if ct.attachCommit(m, ttx, c) {
+					ct.emit(EventAckSent, m.Tx, m.Client, "pipelined, quorum confirmed")
+				}
+				return
+			}
+			ct.quorumAbort(m, ttx)
+		})
+		_ = ct.cfg.Broker.SendControl(message.MoveAck{
+			MoveHeader:  m.MoveHeader,
+			Reconfigure: ct.cfg.Protocol == ProtocolReconfig,
+		})
+		return
+	}
+	if !ct.cfg.Broker.ReplicateCommit(m.MoveHeader, func(ok bool) {
+		if ok {
+			ct.commitState(m, ttx, c)
+			return
+		}
+		ct.quorumAbort(m, ttx)
+	}) {
+		ct.commitState(m, ttx, c)
+	}
+}
+
+// commitState finishes the target-side commit once the decision is safe to
+// act on (quorum reached, or replication off). It runs on whichever
+// goroutine observed the deciding acknowledgement; all the calls it makes
+// are goroutine-safe.
+func (ct *Container) commitState(m message.MoveState, ttx *targetTx, c *client.Client) {
+	if !ct.attachCommit(m, ttx, c) {
+		return
+	}
+	ct.emit(EventAckSent, m.Tx, m.Client, "")
+	_ = ct.cfg.Broker.SendControl(message.MoveAck{
+		MoveHeader:  m.MoveHeader,
+		Reconfigure: ct.cfg.Protocol == ProtocolReconfig,
+	})
+}
+
+// attachCommit settles the transaction and starts the client at this
+// coordinator: the shared tail of the strict commit (which sends the
+// acknowledgement after it) and the pipelined commit (which sent the
+// acknowledgement already and deferred only this part to the quorum
+// confirmation). Returns false when the transaction was aborted while the
+// quorum was in flight — the rollback already ran.
+func (ct *Container) attachCommit(m message.MoveState, ttx *targetTx, c *client.Client) bool {
+	ct.mu.Lock()
+	if cur, still := ct.target[m.Tx]; !still || cur != ttx {
+		ct.mu.Unlock()
+		return false
+	}
+	delete(ct.target, m.Tx)
+	ct.mu.Unlock()
 
 	// Hand the shell's identity to the real client stub, then merge all
 	// notification sources exactly once.
@@ -184,17 +272,41 @@ func (ct *Container) onState(m message.MoveState) {
 	_ = c.CompleteMove(ct.cfg.Broker.ID(), m.Buffered, shell)
 	ct.jnlClient(journal.KindClientArrive, m.Tx, m.Client, fmt.Sprintf("%d transferred, %d shell-buffered", len(m.Buffered), len(shell)))
 
-	// The commit decision becomes durable BEFORE the first acknowledgement
-	// leaves this coordinator: a recovery query finding no committed record
-	// can then safely conclude the movement never committed (the answer the
-	// non-blocking termination rule depends on). The synchronous fsync is
-	// once per movement, not per message.
+	// The commit decision becomes durable BEFORE the strict-mode
+	// acknowledgement leaves this coordinator: a recovery query finding no
+	// committed record can then safely conclude the movement never
+	// committed (the answer the non-blocking termination rule depends on).
+	// In pipelined mode the acknowledgement is already on the wire and that
+	// rule rests on the path replicas' records — FIFO put them durably in
+	// place ahead of it — so persisting here, at quorum confirmation, keeps
+	// the coordinator's durable outcome in step with the agent's: neither
+	// leaks a commit that a quorum failure would still turn into an abort.
+	// The synchronous fsync is once per movement, not per message.
 	_ = ct.cfg.Broker.PersistDecision(m.MoveHeader, "target", store.PhaseCommitted, true)
-	ct.emit(EventAckSent, m.Tx, m.Client, "")
-	_ = ct.cfg.Broker.SendControl(message.MoveAck{
+	return true
+}
+
+// quorumAbort aborts a movement whose commit decision could not reach a
+// write quorum: the client has not been started here, so the source can
+// safely resume it.
+func (ct *Container) quorumAbort(m message.MoveState, ttx *targetTx) {
+	ct.mu.Lock()
+	if cur, still := ct.target[m.Tx]; !still || cur != ttx {
+		ct.mu.Unlock()
+		return
+	}
+	delete(ct.target, m.Tx)
+	ct.mu.Unlock()
+	ct.emit(EventAbortSent, m.Tx, m.Client, "replication quorum failure")
+	_ = ct.cfg.Broker.PersistDecision(m.MoveHeader, "target", store.PhaseAborted, false)
+	ct.cfg.Broker.ReplicateAbort(m.MoveHeader)
+	_ = ct.cfg.Broker.SendControl(message.MoveAbort{
 		MoveHeader:  m.MoveHeader,
+		To:          m.Source,
+		Reason:      "replication quorum failure",
 		Reconfigure: ct.cfg.Protocol == ProtocolReconfig,
 	})
+	ct.rollbackTarget(ttx)
 }
 
 // --- source-side handlers ---------------------------------------------------
@@ -261,7 +373,80 @@ func (ct *Container) onApprove(m message.MoveApprove) {
 	})
 	// After the prepared point the source must wait for the outcome
 	// (commit via ack, or abort): unilateral rollback is no longer safe
-	// because the target may already have started the client.
+	// because the target may already have started the client. With
+	// replication on, the wait is bounded: a probe timer fans a recovery
+	// query out over the transaction's preference list, so a standby
+	// finishes the move if the target coordinator died for good.
+	if ct.cfg.Broker.ReplicationEnabled() {
+		ct.armPreparedProbe(st, m.MoveHeader)
+	}
+}
+
+// armPreparedProbe (re)arms the source-side timer that suspects a dead
+// target coordinator after the prepared point.
+func (ct *Container) armPreparedProbe(st *sourceTx, hdr message.MoveHeader) {
+	wait := ct.cfg.MoveTimeout
+	if wait <= 0 {
+		wait = 2 * time.Second
+	}
+	ct.mu.Lock()
+	if !ct.closed {
+		st.timer = time.AfterFunc(wait, func() { ct.preparedProbe(hdr) })
+	}
+	ct.mu.Unlock()
+}
+
+// preparedProbe fires when a prepared movement saw no outcome within the
+// move timeout: the source queries the target and every standby replica on
+// the preference list, then arms the local-abort fallback in case the whole
+// list is unreachable (the non-blocking termination rule).
+func (ct *Container) preparedProbe(hdr message.MoveHeader) {
+	ct.mu.Lock()
+	if ct.closed {
+		ct.mu.Unlock()
+		return
+	}
+	st, ok := ct.source[hdr.Tx]
+	if !ok || st.state != sourcePrepared {
+		ct.mu.Unlock()
+		return
+	}
+	st.timer = time.AfterFunc(ct.cfg.Broker.RecoveryWait(), func() { ct.preparedAbort(hdr) })
+	ct.mu.Unlock()
+
+	self := ct.cfg.Broker.ID()
+	ct.emit(EventRecoveryFanout, hdr.Tx, hdr.Client, "prepared timeout; querying preference list")
+	_ = ct.cfg.Broker.SendControl(message.MoveQuery{MoveHeader: hdr, From: self})
+	for _, p := range ct.cfg.Broker.ReplicationPeers(hdr) {
+		if p == hdr.Target || p == self {
+			continue
+		}
+		_ = ct.cfg.Broker.SendControl(message.MoveQuery{MoveHeader: hdr, From: self, At: p})
+	}
+}
+
+// preparedAbort is the source's last resort: the target coordinator and the
+// entire preference list stayed silent past the recovery-query timeout, so
+// the prepared movement is rolled back locally and the client resumed —
+// the same bounded-divergence trade the restarted-broker fallback makes.
+func (ct *Container) preparedAbort(hdr message.MoveHeader) {
+	ct.mu.Lock()
+	if ct.closed {
+		ct.mu.Unlock()
+		return
+	}
+	st, ok := ct.source[hdr.Tx]
+	if !ok || st.state != sourcePrepared {
+		ct.mu.Unlock()
+		return
+	}
+	ct.mu.Unlock()
+	_ = ct.cfg.Broker.SendControl(message.MoveAbort{
+		MoveHeader:  hdr,
+		To:          ct.cfg.Broker.ID(),
+		Reason:      "recovery query timeout",
+		Reconfigure: ct.cfg.Protocol == ProtocolReconfig,
+	})
 }
 
 // onReject processes message (3) at the source coordinator.
@@ -366,6 +551,14 @@ func (ct *Container) onAbort(m message.MoveAbort) {
 // normal conversation, and the querier's local-abort fallback bounds the
 // wait if it never does.
 func (ct *Container) onQuery(m message.MoveQuery) {
+	if m.At != "" && m.At != m.Target && m.At == ct.cfg.Broker.ID() {
+		// Addressed to this broker as a standby replica, not as the target
+		// coordinator: the replication agent answers from its record, or
+		// opens a takeover bid when it holds none.
+		if ct.cfg.Broker.ReplicationOnQuery(m) {
+			return
+		}
+	}
 	ct.emit(EventQueryReceived, m.Tx, m.Client, "from "+string(m.From))
 	ct.mu.Lock()
 	_, active := ct.target[m.Tx]
@@ -389,6 +582,47 @@ func (ct *Container) onQuery(m message.MoveQuery) {
 			Reconfigure: ct.cfg.Protocol == ProtocolReconfig,
 		})
 	}
+}
+
+// onStandbyResolve applies a standby coordinator's resolution at this
+// coordinator. The broker has already applied the hop-level routing effect;
+// here the transaction state resolves as if the original coordinator had
+// answered: a committed outcome behaves like the acknowledgement, anything
+// else like an abort. The source additionally re-announces the resolution
+// toward the (dead) target so every hop of the original path applies it,
+// and releases the standby replicas.
+func (ct *Container) onStandbyResolve(m message.StandbyResolve) {
+	ct.emit(EventStandbyResolved, m.Tx, m.Client,
+		fmt.Sprintf("outcome=%s gen=%d claimant=%s", m.Outcome, m.Gen, m.Claimant))
+	self := ct.cfg.Broker.ID()
+	reannounce := self == m.Source && m.To == self && ct.resolvedSource(m.Tx)
+	if m.Outcome == store.PhaseCommitted {
+		ct.onAck(message.MoveAck{
+			MoveHeader: m.MoveHeader, Reconfigure: ct.cfg.Protocol == ProtocolReconfig, Gen: m.Gen,
+		})
+	} else {
+		ct.onAbort(message.MoveAbort{
+			MoveHeader:  m.MoveHeader,
+			To:          self,
+			Reason:      "standby resolution",
+			Reconfigure: ct.cfg.Protocol == ProtocolReconfig,
+		})
+	}
+	if reannounce {
+		_ = ct.cfg.Broker.SendControl(message.StandbyResolve{
+			MoveHeader: m.MoveHeader, Outcome: m.Outcome, Gen: m.Gen,
+			Claimant: m.Claimant, To: m.Target,
+		})
+	}
+}
+
+// resolvedSource reports whether the transaction is still pending at this
+// source coordinator (a duplicate resolution must not re-announce again).
+func (ct *Container) resolvedSource(tx message.TxID) bool {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	_, ok := ct.source[tx]
+	return ok
 }
 
 // --- timeouts (non-blocking variant) -----------------------------------------
@@ -492,6 +726,12 @@ func (ct *Container) teardownShell(ttx *targetTx) {
 // --- helpers ------------------------------------------------------------------
 
 func (ct *Container) recordMovement(st *sourceTx, committed bool) {
+	// The movement is fully resolved at its source: stand the transaction's
+	// standby replicas down (the release is the conversation's final
+	// heartbeat; a replica that never receives it suspects the coordinator).
+	ct.cfg.Broker.ReplicationRelease(message.MoveHeader{
+		Tx: st.tx, Client: st.c.ID(), Source: ct.cfg.Broker.ID(), Target: st.target,
+	})
 	ct.reg.RecordMovement(metrics.Movement{
 		Tx:        st.tx,
 		Client:    st.c.ID(),

@@ -261,6 +261,7 @@ func AppendMessage(b []byte, m Message) ([]byte, error) {
 	case MoveAck:
 		b = appendHeader(b, v.MoveHeader)
 		b = wire.AppendBool(b, v.Reconfigure)
+		b = wire.AppendUvarint(b, v.Gen)
 	case MoveAbort:
 		b = appendHeader(b, v.MoveHeader)
 		b = wire.AppendString(b, string(v.To))
@@ -269,6 +270,33 @@ func AppendMessage(b []byte, m Message) ([]byte, error) {
 	case MoveQuery:
 		b = appendHeader(b, v.MoveHeader)
 		b = wire.AppendString(b, string(v.From))
+		b = wire.AppendString(b, string(v.At))
+	case ReplicateDecision:
+		b = appendHeader(b, v.MoveHeader)
+		b = wire.AppendString(b, v.Outcome)
+		b = wire.AppendUvarint(b, v.Gen)
+		b = wire.AppendString(b, string(v.Origin))
+		b = wire.AppendString(b, string(v.Replica))
+		b = wire.AppendString(b, string(v.Hint))
+		b = wire.AppendBool(b, v.Release)
+	case ReplicaAck:
+		b = appendHeader(b, v.MoveHeader)
+		b = wire.AppendUvarint(b, v.Gen)
+		b = wire.AppendString(b, string(v.Replica))
+		b = wire.AppendString(b, string(v.To))
+		b = wire.AppendString(b, v.Outcome)
+		b = wire.AppendBool(b, v.Grant)
+	case LeaseClaim:
+		b = appendHeader(b, v.MoveHeader)
+		b = wire.AppendUvarint(b, v.Gen)
+		b = wire.AppendString(b, string(v.Claimant))
+		b = wire.AppendString(b, string(v.Replica))
+	case StandbyResolve:
+		b = appendHeader(b, v.MoveHeader)
+		b = wire.AppendString(b, v.Outcome)
+		b = wire.AppendUvarint(b, v.Gen)
+		b = wire.AppendString(b, string(v.Claimant))
+		b = wire.AppendString(b, string(v.To))
 	case LinkAck:
 		b = wire.AppendUvarint(b, v.Cum)
 		b = wire.AppendUvarint(b, v.Epoch)
@@ -379,6 +407,9 @@ func ReadMessage(b []byte) (Message, []byte, error) {
 		if m.Reconfigure, b, err = wire.Bool(b); err != nil {
 			return nil, nil, err
 		}
+		if m.Gen, b, err = wire.Uvarint(b); err != nil {
+			return nil, nil, err
+		}
 		return m, b, nil
 	case KindMoveAbort:
 		var m MoveAbort
@@ -402,11 +433,100 @@ func ReadMessage(b []byte) (Message, []byte, error) {
 		if m.MoveHeader, b, err = readHeader(b); err != nil {
 			return nil, nil, err
 		}
-		var from string
+		var from, at string
 		if from, b, err = wire.String(b); err != nil {
 			return nil, nil, err
 		}
-		m.From = BrokerID(from)
+		if at, b, err = wire.String(b); err != nil {
+			return nil, nil, err
+		}
+		m.From, m.At = BrokerID(from), BrokerID(at)
+		return m, b, nil
+	case KindReplicateDecision:
+		var m ReplicateDecision
+		if m.MoveHeader, b, err = readHeader(b); err != nil {
+			return nil, nil, err
+		}
+		if m.Outcome, b, err = wire.String(b); err != nil {
+			return nil, nil, err
+		}
+		if m.Gen, b, err = wire.Uvarint(b); err != nil {
+			return nil, nil, err
+		}
+		var origin, replica, hint string
+		if origin, b, err = wire.String(b); err != nil {
+			return nil, nil, err
+		}
+		if replica, b, err = wire.String(b); err != nil {
+			return nil, nil, err
+		}
+		if hint, b, err = wire.String(b); err != nil {
+			return nil, nil, err
+		}
+		m.Origin, m.Replica, m.Hint = BrokerID(origin), BrokerID(replica), BrokerID(hint)
+		if m.Release, b, err = wire.Bool(b); err != nil {
+			return nil, nil, err
+		}
+		return m, b, nil
+	case KindReplicaAck:
+		var m ReplicaAck
+		if m.MoveHeader, b, err = readHeader(b); err != nil {
+			return nil, nil, err
+		}
+		if m.Gen, b, err = wire.Uvarint(b); err != nil {
+			return nil, nil, err
+		}
+		var replica, to string
+		if replica, b, err = wire.String(b); err != nil {
+			return nil, nil, err
+		}
+		if to, b, err = wire.String(b); err != nil {
+			return nil, nil, err
+		}
+		m.Replica, m.To = BrokerID(replica), BrokerID(to)
+		if m.Outcome, b, err = wire.String(b); err != nil {
+			return nil, nil, err
+		}
+		if m.Grant, b, err = wire.Bool(b); err != nil {
+			return nil, nil, err
+		}
+		return m, b, nil
+	case KindLeaseClaim:
+		var m LeaseClaim
+		if m.MoveHeader, b, err = readHeader(b); err != nil {
+			return nil, nil, err
+		}
+		if m.Gen, b, err = wire.Uvarint(b); err != nil {
+			return nil, nil, err
+		}
+		var claimant, replica string
+		if claimant, b, err = wire.String(b); err != nil {
+			return nil, nil, err
+		}
+		if replica, b, err = wire.String(b); err != nil {
+			return nil, nil, err
+		}
+		m.Claimant, m.Replica = BrokerID(claimant), BrokerID(replica)
+		return m, b, nil
+	case KindStandbyResolve:
+		var m StandbyResolve
+		if m.MoveHeader, b, err = readHeader(b); err != nil {
+			return nil, nil, err
+		}
+		if m.Outcome, b, err = wire.String(b); err != nil {
+			return nil, nil, err
+		}
+		if m.Gen, b, err = wire.Uvarint(b); err != nil {
+			return nil, nil, err
+		}
+		var claimant, to string
+		if claimant, b, err = wire.String(b); err != nil {
+			return nil, nil, err
+		}
+		if to, b, err = wire.String(b); err != nil {
+			return nil, nil, err
+		}
+		m.Claimant, m.To = BrokerID(claimant), BrokerID(to)
 		return m, b, nil
 	case KindLinkAck:
 		var m LinkAck

@@ -78,6 +78,23 @@ const (
 	// log asks the transaction's target coordinator (the commit decider) for
 	// the durable outcome.
 	KindMoveQuery
+	// KindReplicateDecision carries a coordinator's durable decision record
+	// to one member of the transaction's preference list, so a standby can
+	// answer recovery queries — and finish the move — if the coordinator
+	// dies without ever restarting.
+	KindReplicateDecision
+	// KindReplicaAck confirms a replica durably stored a replicated decision
+	// (or, with Grant set, grants a standby's lease claim).
+	KindReplicaAck
+	// KindLeaseClaim is a standby coordinator's takeover bid: sent to the
+	// other preference-list members after the original coordinator missed
+	// its window, asking for fencing grants at a higher generation.
+	KindLeaseClaim
+	// KindStandbyResolve is the standby's resolution order: it applies the
+	// decided outcome (commit or abort) at every broker hop it crosses,
+	// exactly like MoveAck/MoveAbort, but is addressed explicitly so it can
+	// reach queriers off the original source-target path.
+	KindStandbyResolve
 )
 
 var kindNames = map[Kind]string{
@@ -94,6 +111,11 @@ var kindNames = map[Kind]string{
 	KindMoveAbort:     "move-abort",
 	KindLinkAck:       "link-ack",
 	KindMoveQuery:     "move-query",
+
+	KindReplicateDecision: "replicate-decision",
+	KindReplicaAck:        "replica-ack",
+	KindLeaseClaim:        "lease-claim",
+	KindStandbyResolve:    "standby-resolve",
 }
 
 // String returns the kind name.
@@ -242,6 +264,11 @@ type MoveState struct {
 type MoveAck struct {
 	MoveHeader
 	Reconfigure bool
+	// Gen is the coordinator generation that issued the ack. 0 is the
+	// original target coordinator; a standby takeover issues resolutions at
+	// a strictly higher generation, and brokers that saw the takeover fence
+	// out lower-generation acks from the revived old coordinator.
+	Gen uint64
 }
 
 // MoveAbort rolls a prepared movement back. It travels along the path
@@ -267,6 +294,76 @@ type MoveQuery struct {
 	// From is the recovering broker that issued the query; abort replies
 	// travel toward it.
 	From BrokerID
+	// At addresses the query to a specific preference-list member instead
+	// of the target coordinator; empty keeps the original target-directed
+	// recovery probe.
+	At BrokerID
+}
+
+// ReplicateDecision replicates a coordinator's durable 3PC decision record
+// to one preference-list member before the coordinator acts on it. The
+// message is addressed directly (Replica), not path-routed, so it reaches
+// replicas off the source-target path.
+type ReplicateDecision struct {
+	MoveHeader
+	// Outcome is store.PhaseCommitted or store.PhaseAborted.
+	Outcome string
+	// Gen is the issuing coordinator's generation (0 = original target).
+	Gen uint64
+	// Origin is the coordinator asking for the ack.
+	Origin BrokerID
+	// Replica is the preference-list member this copy is addressed to.
+	Replica BrokerID
+	// Hint, when non-empty, marks a hinted handoff: Replica holds the
+	// record on behalf of the named (unreachable) preference-list member
+	// and re-delivers it when that member is reachable again.
+	Hint BrokerID
+	// Release tells the replica the transaction is fully resolved: it can
+	// drop lease timers and retire the record from active standby duty.
+	Release bool
+}
+
+// ReplicaAck answers a ReplicateDecision (durably stored) or a LeaseClaim
+// (with Grant set: the replica promises to reject lower-generation
+// decisions, and reports the outcome it knows, if any).
+type ReplicaAck struct {
+	MoveHeader
+	Gen     uint64
+	Replica BrokerID
+	// To is the coordinator (or claimant) the ack travels toward.
+	To BrokerID
+	// Outcome is the decision outcome this replica holds ("" if none).
+	Outcome string
+	// Grant marks a lease-claim grant rather than a replication ack.
+	Grant bool
+}
+
+// LeaseClaim is a standby's takeover bid for one in-doubt transaction: the
+// claimant asks each other preference-list member for a fencing grant at
+// generation Gen. A majority of grants makes the claimant the transaction's
+// coordinator; any grant carrying a known outcome decides the resolution.
+type LeaseClaim struct {
+	MoveHeader
+	Gen      uint64
+	Claimant BrokerID
+	// Replica is the preference-list member this claim is addressed to.
+	Replica BrokerID
+}
+
+// StandbyResolve is a standby coordinator's resolution order: commit or
+// abort, applied idempotently at every broker hop it crosses (like
+// MoveAck/MoveAbort with Reconfigure), addressed explicitly at To so it
+// can reach a recovering querier that is not on the source-target path.
+type StandbyResolve struct {
+	MoveHeader
+	// Outcome is store.PhaseCommitted or store.PhaseAborted.
+	Outcome string
+	// Gen is the resolving coordinator's generation.
+	Gen uint64
+	// Claimant is the standby that drove the resolution.
+	Claimant BrokerID
+	// To is the broker the resolution travels toward.
+	To BrokerID
 }
 
 // Kind implementations for control messages.
@@ -277,6 +374,12 @@ func (MoveState) Kind() Kind     { return KindMoveState }
 func (MoveAck) Kind() Kind       { return KindMoveAck }
 func (MoveAbort) Kind() Kind     { return KindMoveAbort }
 func (MoveQuery) Kind() Kind     { return KindMoveQuery }
+
+// Kind implementations for the replication protocol.
+func (ReplicateDecision) Kind() Kind { return KindReplicateDecision }
+func (ReplicaAck) Kind() Kind        { return KindReplicaAck }
+func (LeaseClaim) Kind() Kind        { return KindLeaseClaim }
+func (StandbyResolve) Kind() Kind    { return KindStandbyResolve }
 
 // LinkAck is the transport reliability layer's cumulative acknowledgement:
 // every sequence number up to and including Cum has been delivered in order
@@ -314,7 +417,18 @@ func Dest(m Message) (BrokerID, bool) {
 	case MoveAck:
 		return c.Source, true
 	case MoveQuery:
+		if c.At != "" {
+			return c.At, true
+		}
 		return c.Target, true
+	case ReplicateDecision:
+		return c.Replica, true
+	case ReplicaAck:
+		return c.To, true
+	case LeaseClaim:
+		return c.Replica, true
+	case StandbyResolve:
+		return c.To, true
 	default:
 		return "", false
 	}
@@ -383,6 +497,10 @@ var (
 	_ Message = MoveAbort{}
 	_ Message = MoveQuery{}
 	_ Message = LinkAck{}
+	_ Message = ReplicateDecision{}
+	_ Message = ReplicaAck{}
+	_ Message = LeaseClaim{}
+	_ Message = StandbyResolve{}
 )
 
 // IDGen produces process-unique identifiers with a fixed prefix, e.g.

@@ -163,6 +163,57 @@ func TestCodecRoundTrip(t *testing.T) {
 	}
 }
 
+// TestCodecReplicationRoundTrip pins the wire frames of the replication
+// message kinds field by field: these cross broker boundaries in TCP
+// deployments, so every field must survive the codec exactly.
+func TestCodecReplicationRoundTrip(t *testing.T) {
+	hdr := MoveHeader{Tx: "tx7", Client: "c3", Source: "b2", Target: "b14"}
+	roundTrip := func(m Message) Message {
+		t.Helper()
+		data, err := Marshal(Envelope{From: "b2", Msg: m})
+		if err != nil {
+			t.Fatalf("Marshal(%v): %v", m.Kind(), err)
+		}
+		env, err := Unmarshal(data)
+		if err != nil {
+			t.Fatalf("Unmarshal(%v): %v", m.Kind(), err)
+		}
+		return env.Msg
+	}
+
+	rd := ReplicateDecision{
+		MoveHeader: hdr, Outcome: "committed", Gen: 3,
+		Origin: "b14", Replica: "b9", Hint: "b5", Release: true,
+	}
+	if got, ok := roundTrip(rd).(ReplicateDecision); !ok || got != rd {
+		t.Fatalf("ReplicateDecision round trip = %+v, want %+v", got, rd)
+	}
+	ra := ReplicaAck{
+		MoveHeader: hdr, Gen: 2, Replica: "b9", To: "b14",
+		Outcome: "aborted", Grant: true,
+	}
+	if got, ok := roundTrip(ra).(ReplicaAck); !ok || got != ra {
+		t.Fatalf("ReplicaAck round trip = %+v, want %+v", got, ra)
+	}
+	lc := LeaseClaim{MoveHeader: hdr, Gen: 5, Claimant: "b9", Replica: "b4"}
+	if got, ok := roundTrip(lc).(LeaseClaim); !ok || got != lc {
+		t.Fatalf("LeaseClaim round trip = %+v, want %+v", got, lc)
+	}
+	sr := StandbyResolve{MoveHeader: hdr, Outcome: "committed", Gen: 5, Claimant: "b9", To: "b2"}
+	if got, ok := roundTrip(sr).(StandbyResolve); !ok || got != sr {
+		t.Fatalf("StandbyResolve round trip = %+v, want %+v", got, sr)
+	}
+	// The extended recovery/acknowledgement fields ride existing kinds.
+	mq := MoveQuery{MoveHeader: hdr, From: "b2", At: "b9"}
+	if got, ok := roundTrip(mq).(MoveQuery); !ok || got != mq {
+		t.Fatalf("MoveQuery round trip = %+v, want %+v", got, mq)
+	}
+	ma := MoveAck{MoveHeader: hdr, Reconfigure: true, Gen: 4}
+	if got, ok := roundTrip(ma).(MoveAck); !ok || got != ma {
+		t.Fatalf("MoveAck round trip = %+v, want %+v", got, ma)
+	}
+}
+
 func TestCodecFilterContent(t *testing.T) {
 	f := predicate.MustParse("[class,=,'stock'],[price,>,100]")
 	data, err := Marshal(Envelope{From: "b1", Msg: Subscribe{ID: "s1", Client: "c1", Filter: f}})

@@ -1,0 +1,781 @@
+package replication
+
+import (
+	"fmt"
+	"time"
+
+	"padres/internal/message"
+	"padres/internal/store"
+)
+
+// Journal record kinds the agent emits (CatProtocol; the audit layer's
+// "replication" check consumes the first three).
+const (
+	JournalDecision = "replica-decision"
+	JournalTakeover = "standby-takeover"
+	JournalFence    = "fence-reject"
+	JournalClaim    = "lease-claim"
+	JournalGrant    = "lease-grant"
+	JournalRelease  = "replica-release"
+	JournalHandoff  = "hinted-handoff"
+	JournalAnswer   = "replica-answer"
+)
+
+// --- coordinator side --------------------------------------------------------
+
+// ReplicateCommit replicates a commit decision to the transaction's
+// preference list and calls done(true) once a write quorum (W, counting the
+// coordinator's own pending durable append) holds the record, or done(false)
+// when quorum cannot be reached after one hinted-handoff retry. done runs at
+// most once, on the goroutine that observed the deciding acknowledgement or
+// timeout — never synchronously inside this call unless the quorum is
+// trivially satisfied (W <= 1 or no peers).
+func (a *Agent) ReplicateCommit(hdr message.MoveHeader, done func(ok bool)) {
+	a.replicate(hdr, store.PhaseCommitted, done)
+}
+
+// ReplicateAbort replicates an abort decision best-effort: replicas that
+// receive it can answer recovery queries authoritatively, but the abort is
+// safe to act on without quorum (a missing record already means abort).
+func (a *Agent) ReplicateAbort(hdr message.MoveHeader) {
+	a.replicate(hdr, store.PhaseAborted, nil)
+}
+
+func (a *Agent) replicate(hdr message.MoveHeader, outcome string, done func(ok bool)) {
+	prefs := a.Prefs(hdr)
+	peers := prefs[1:]
+	need := a.cfg.W - 1
+	if need > len(peers) {
+		need = len(peers)
+	}
+	a.mu.Lock()
+	if a.stopped {
+		a.mu.Unlock()
+		return
+	}
+	// Remember the coordinator's own copy so this agent can answer queries
+	// and grant outcome-carrying leases — but only once the outcome is
+	// final. An abort is final immediately (it is safe without quorum); a
+	// commit becomes final when the quorum round succeeds (finishPending),
+	// because a pre-quorum "committed" answer could leak an outcome the
+	// coordinator is about to renounce on quorum failure.
+	if done == nil {
+		a.noteRecordLocked(hdr, outcome, 0)
+	}
+	var p *pendingRep
+	if done != nil {
+		members := make(map[message.BrokerID]bool, len(peers))
+		for _, peer := range peers {
+			members[peer] = true
+		}
+		p = &pendingRep{
+			hdr: hdr, need: need, done: done, members: members,
+			acked: make(map[message.BrokerID]bool), round: 1,
+			started: time.Now(),
+		}
+		a.pending[hdr.Tx] = p
+	}
+	a.mu.Unlock()
+
+	for _, peer := range peers {
+		a.hooks.Send(message.ReplicateDecision{
+			MoveHeader: hdr, Outcome: outcome, Gen: 0,
+			Origin: a.hooks.Self, Replica: peer,
+		})
+		a.tel.Replicated.Inc()
+	}
+	if done == nil {
+		return
+	}
+	if need <= 0 {
+		a.finishPending(hdr.Tx, true)
+		return
+	}
+	a.mu.Lock()
+	if cur := a.pending[hdr.Tx]; cur == p && !p.fired {
+		p.timer = time.AfterFunc(a.cfg.AckTimeout, func() { a.replicationTimeout(hdr.Tx) })
+	}
+	a.mu.Unlock()
+}
+
+// replicationTimeout fires when a round misses quorum: round one retries via
+// hinted handoff to the next rendezvous-ranked brokers, round two fails.
+func (a *Agent) replicationTimeout(tx message.TxID) {
+	a.mu.Lock()
+	p, ok := a.pending[tx]
+	if !ok || p.fired || a.stopped {
+		a.mu.Unlock()
+		return
+	}
+	if p.round >= 2 {
+		a.mu.Unlock()
+		a.tel.QuorumFailures.Inc()
+		a.finishPending(tx, false)
+		return
+	}
+	p.round = 2
+	hdr := p.hdr
+	prefs := a.Prefs(hdr)
+	missing := make([]message.BrokerID, 0, len(prefs)-1)
+	for _, peer := range prefs[1:] {
+		if !p.acked[peer] {
+			missing = append(missing, peer)
+		}
+	}
+	// Fallbacks: rendezvous-ranked brokers beyond the preference list that
+	// have not already been asked.
+	used := make(map[message.BrokerID]bool, len(prefs))
+	for _, b := range prefs {
+		used[b] = true
+	}
+	var fallbacks []message.BrokerID
+	for _, b := range rankCandidates(hdr.Tx, hdr.Source, hdr.Target, a.cfg.Universe, a.cfg.Adjacency) {
+		if !used[b] {
+			fallbacks = append(fallbacks, b)
+		}
+	}
+	outcome := store.PhaseCommitted
+	if rec := a.records[tx]; rec != nil {
+		outcome = rec.outcome
+	}
+	type send struct{ m message.ReplicateDecision }
+	var sends []send
+	for i, down := range missing {
+		if i >= len(fallbacks) {
+			break
+		}
+		sends = append(sends, send{message.ReplicateDecision{
+			MoveHeader: hdr, Outcome: outcome, Gen: 0,
+			Origin: a.hooks.Self, Replica: fallbacks[i], Hint: down,
+		}})
+	}
+	p.timer = time.AfterFunc(a.cfg.AckTimeout, func() { a.replicationTimeout(tx) })
+	a.mu.Unlock()
+
+	for _, s := range sends {
+		a.hooks.Send(s.m)
+		a.tel.Handoffs.Inc()
+		a.journal(JournalHandoff, hdr, fmt.Sprintf("via=%s for=%s", s.m.Replica, s.m.Hint))
+	}
+}
+
+// finishPending resolves one coordinator replication round exactly once.
+func (a *Agent) finishPending(tx message.TxID, ok bool) {
+	a.mu.Lock()
+	p, present := a.pending[tx]
+	if !present || p.fired {
+		a.mu.Unlock()
+		return
+	}
+	p.fired = true
+	delete(a.pending, tx)
+	if p.timer != nil {
+		p.timer.Stop()
+	}
+	if ok {
+		a.tel.QuorumLatency.Observe(time.Since(p.started))
+		// The commit decision is now quorum-backed and about to be acted on:
+		// record the coordinator's own copy so queries and lease grants can
+		// report it.
+		a.noteRecordLocked(p.hdr, store.PhaseCommitted, 0)
+	}
+	done := p.done
+	a.mu.Unlock()
+	if done != nil {
+		done(ok)
+	}
+}
+
+// Release tells every standby replica the transaction is fully resolved: the
+// source coordinator calls it when a movement finishes (commit, abort, or
+// reject), which is the conversation's final heartbeat — replicas cancel
+// their lease timers and retire the record from active standby duty. The
+// release covers the hinted-handoff fallbacks too, so a hint holder that
+// adopted a record stands down with the rest.
+func (a *Agent) Release(hdr message.MoveHeader) {
+	prefs := a.QueryTargets(hdr)
+	a.mu.Lock()
+	stopped := a.stopped
+	a.mu.Unlock()
+	if stopped {
+		return
+	}
+	for _, peer := range prefs {
+		if peer == a.hooks.Self {
+			a.retire(hdr.Tx)
+			continue
+		}
+		a.hooks.Send(message.ReplicateDecision{
+			MoveHeader: hdr, Origin: a.hooks.Self, Replica: peer, Release: true,
+		})
+	}
+}
+
+// retire drops the transaction's lease/claim timers at this broker.
+func (a *Agent) retire(tx message.TxID) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.retireLocked(tx)
+}
+
+func (a *Agent) retireLocked(tx message.TxID) {
+	if rec, ok := a.records[tx]; ok && !rec.released {
+		rec.released = true
+		if rec.lease != nil {
+			rec.lease.Stop()
+		}
+		a.tel.DecisionsHeld.Dec()
+	}
+	if c, ok := a.claims[tx]; ok {
+		if c.timer != nil {
+			c.timer.Stop()
+		}
+		delete(a.claims, tx)
+	}
+	if t, ok := a.retries[tx]; ok {
+		t.Stop()
+		delete(a.retries, tx)
+	}
+	delete(a.tries, tx)
+}
+
+// --- replica side ------------------------------------------------------------
+
+// OnReplicateDecision handles a decision record (or release) addressed to
+// this broker. Runs on the broker dispatch goroutine.
+func (a *Agent) OnReplicateDecision(m message.ReplicateDecision) {
+	if m.Release {
+		a.journalIfHeld(m)
+		a.retire(m.Tx)
+		return
+	}
+	a.mu.Lock()
+	if a.stopped {
+		a.mu.Unlock()
+		return
+	}
+	if fence := a.fences[m.Tx]; m.Gen < fence {
+		a.mu.Unlock()
+		a.tel.FencingRejections.Inc()
+		a.journal(JournalFence, m.MoveHeader, fmt.Sprintf("kind=replicate-decision gen=%d fence=%d", m.Gen, fence))
+		return
+	}
+	fresh := a.noteRecordLocked(m.MoveHeader, m.Outcome, m.Gen)
+	if fresh {
+		a.armLeaseLocked(m.MoveHeader)
+	}
+	if m.Hint != "" && m.Hint != a.hooks.Self {
+		a.storeHintLocked(m)
+	}
+	a.mu.Unlock()
+
+	if fresh {
+		a.journal(JournalDecision, m.MoveHeader, fmt.Sprintf("outcome=%s gen=%d from=%s", m.Outcome, m.Gen, m.Origin))
+		if a.hooks.PersistReplica != nil {
+			// Durable before the acknowledgement leaves: an acked record must
+			// survive this replica's own crash, or the write quorum is a lie.
+			_ = a.hooks.PersistReplica(m.MoveHeader, m.Outcome, m.Gen)
+		}
+	}
+	a.hooks.Send(message.ReplicaAck{
+		MoveHeader: m.MoveHeader, Gen: m.Gen,
+		Replica: a.hooks.Self, To: m.Origin, Outcome: m.Outcome,
+	})
+}
+
+// journalIfHeld records the release of a decision this broker actually held.
+func (a *Agent) journalIfHeld(m message.ReplicateDecision) {
+	a.mu.Lock()
+	rec, ok := a.records[m.Tx]
+	held := ok && !rec.released
+	a.mu.Unlock()
+	if held {
+		a.journal(JournalRelease, m.MoveHeader, "released by "+string(m.Origin))
+	}
+}
+
+// noteRecordLocked upserts the decision record; returns true when the record
+// is new or carries a strictly newer generation. Caller holds a.mu.
+func (a *Agent) noteRecordLocked(hdr message.MoveHeader, outcome string, gen uint64) bool {
+	rec, ok := a.records[hdr.Tx]
+	if ok && rec.gen >= gen && rec.outcome == outcome && rec.hdr.Client != "" {
+		return false
+	}
+	if !ok {
+		rec = &repRecord{}
+		a.records[hdr.Tx] = rec
+		a.tel.DecisionsHeld.Inc()
+	}
+	if hdr.Client != "" {
+		rec.hdr = hdr
+	} else if rec.hdr.Tx == "" {
+		rec.hdr = hdr
+	}
+	rec.outcome = outcome
+	if gen > rec.gen {
+		rec.gen = gen
+	}
+	return true
+}
+
+// armLeaseLocked starts (or restarts) this replica's standby lease for the
+// transaction: base timeout plus this broker's rank stagger, so the first
+// live replica claims first. Caller holds a.mu.
+func (a *Agent) armLeaseLocked(hdr message.MoveHeader) {
+	rec := a.records[hdr.Tx]
+	if rec == nil || rec.released {
+		return
+	}
+	rank := a.rankOf(hdr)
+	if rank < 0 {
+		// Hint holders stand by too, behind every preferred replica.
+		rank = a.cfg.R
+	}
+	d := a.cfg.LeaseTimeout + time.Duration(rank)*a.cfg.LeaseStagger
+	if rec.lease != nil {
+		rec.lease.Stop()
+	}
+	tx := hdr.Tx
+	rec.lease = time.AfterFunc(d, func() { a.leaseExpired(tx) })
+}
+
+// storeHintLocked keeps a hinted-handoff copy for an unreachable replica and
+// arms its re-delivery timer. Caller holds a.mu.
+func (a *Agent) storeHintLocked(m message.ReplicateDecision) {
+	key := string(m.Tx) + "/" + string(m.Hint)
+	if _, dup := a.hints[key]; dup {
+		return
+	}
+	h := &hintState{msg: m}
+	a.hints[key] = h
+	a.tel.HandoffDepth.Set(int64(len(a.hints)))
+	h.timer = time.AfterFunc(a.cfg.HandoffRetry, func() { a.redeliverHint(key) })
+}
+
+// redeliverHint re-sends a held decision to its intended replica, a bounded
+// number of times (best effort: the replica may never come back).
+func (a *Agent) redeliverHint(key string) {
+	a.mu.Lock()
+	h, ok := a.hints[key]
+	if !ok || a.stopped {
+		a.mu.Unlock()
+		return
+	}
+	h.tries++
+	var m message.ReplicateDecision
+	deliver := false
+	if h.tries <= 3 {
+		m = h.msg
+		m.Replica = h.msg.Hint
+		m.Hint = ""
+		m.Origin = a.hooks.Self
+		deliver = true
+		h.timer = time.AfterFunc(a.cfg.HandoffRetry, func() { a.redeliverHint(key) })
+	} else {
+		delete(a.hints, key)
+		a.tel.HandoffDepth.Set(int64(len(a.hints)))
+	}
+	a.mu.Unlock()
+	if deliver {
+		a.hooks.Send(m)
+		a.tel.HandoffDeliveries.Inc()
+	}
+}
+
+// --- standby takeover --------------------------------------------------------
+
+// leaseExpired fires when no release arrived for a held decision: the
+// coordinator may have died before finishing the move, so this replica bids
+// for takeover with the outcome it holds.
+func (a *Agent) leaseExpired(tx message.TxID) {
+	a.mu.Lock()
+	rec, ok := a.records[tx]
+	if !ok || rec.released || a.stopped {
+		a.mu.Unlock()
+		return
+	}
+	hdr := rec.hdr
+	outcome := rec.outcome
+	a.mu.Unlock()
+	if hdr.Client == "" {
+		return // recovered record with no header; a query will supply one
+	}
+	a.startClaim(hdr, outcome)
+}
+
+// startClaim opens a takeover bid at a strictly higher generation than any
+// this broker has seen for the transaction. queriers are recovering brokers
+// whose queries triggered (or re-triggered) the bid; the resolution is
+// addressed to them as well.
+func (a *Agent) startClaim(hdr message.MoveHeader, outcome string, queriers ...message.BrokerID) {
+	a.mu.Lock()
+	if a.stopped {
+		a.mu.Unlock()
+		return
+	}
+	if c, dup := a.claims[hdr.Tx]; dup {
+		for _, q := range queriers {
+			c.queriers[q] = true
+		}
+		a.mu.Unlock()
+		return
+	}
+	gen := a.fences[hdr.Tx]
+	if rec := a.records[hdr.Tx]; rec != nil && rec.gen > gen {
+		gen = rec.gen
+	}
+	gen++
+	a.fences[hdr.Tx] = gen
+	prefs := a.Prefs(hdr)
+	c := &claimState{
+		hdr: hdr, gen: gen, grants: 1, // self-grant
+		need:     len(prefs)/2 + 1,
+		outcome:  outcome,
+		queriers: make(map[message.BrokerID]bool),
+	}
+	for _, q := range queriers {
+		c.queriers[q] = true
+	}
+	a.claims[hdr.Tx] = c
+	c.timer = time.AfterFunc(a.cfg.AckTimeout, func() { a.claimTimeout(hdr.Tx) })
+	a.mu.Unlock()
+
+	if a.hooks.PersistFence != nil {
+		a.hooks.PersistFence(hdr.Tx, gen)
+	}
+	a.tel.LeaseClaims.Inc()
+	a.journal(JournalClaim, hdr, fmt.Sprintf("gen=%d", gen))
+	for _, peer := range prefs {
+		if peer == a.hooks.Self {
+			continue
+		}
+		a.hooks.Send(message.LeaseClaim{
+			MoveHeader: hdr, Gen: gen, Claimant: a.hooks.Self, Replica: peer,
+		})
+	}
+	// A single-member preference list needs no remote grants; re-check the
+	// tally under the lock (grants may already have arrived concurrently).
+	a.mu.Lock()
+	reached := false
+	if cur := a.claims[hdr.Tx]; cur == c && !c.resolved {
+		reached = c.grants >= c.need
+	}
+	a.mu.Unlock()
+	if reached {
+		a.completeClaim(hdr.Tx)
+	}
+}
+
+// maxClaimTries bounds how often one replica re-bids for the same
+// transaction: past it the replica stops claiming (the record still answers
+// queries) so a standby whose whole peer set is dead cannot generate claim
+// traffic forever — the source's local-abort fallback owns termination then.
+const maxClaimTries = 5
+
+// claimTimeout abandons a bid that missed its majority and schedules the
+// next one at a higher generation (bounded).
+func (a *Agent) claimTimeout(tx message.TxID) {
+	a.mu.Lock()
+	c, ok := a.claims[tx]
+	if !ok || c.resolved || a.stopped {
+		a.mu.Unlock()
+		return
+	}
+	delete(a.claims, tx)
+	a.bidFailedLocked(c)
+	a.mu.Unlock()
+}
+
+// bidFailedLocked schedules the next takeover bid after a denied or
+// timed-out one, bounded by maxClaimTries: record holders re-arm their
+// standby lease, recordless claimants (whose bid a recovery query opened)
+// get a direct rank-staggered retry timer — without it, two recordless
+// standbys that collide at the same generation would both stop bidding and
+// leave termination to the source's local-abort fallback alone. Caller
+// holds a.mu, with the claim already removed from a.claims.
+func (a *Agent) bidFailedLocked(c *claimState) {
+	tx := c.hdr.Tx
+	a.tries[tx]++
+	if a.tries[tx] >= maxClaimTries {
+		return
+	}
+	if rec := a.records[tx]; rec != nil {
+		if !rec.released {
+			a.armLeaseLocked(c.hdr)
+		}
+		return
+	}
+	rank := a.rankOf(c.hdr)
+	if rank < 0 {
+		rank = a.cfg.R
+	}
+	d := a.cfg.LeaseTimeout + time.Duration(rank)*a.cfg.LeaseStagger
+	hdr, outcome := c.hdr, c.outcome
+	queriers := make([]message.BrokerID, 0, len(c.queriers))
+	for q := range c.queriers {
+		queriers = append(queriers, q)
+	}
+	if t := a.retries[tx]; t != nil {
+		t.Stop()
+	}
+	a.retries[tx] = time.AfterFunc(d, func() { a.rebid(hdr, outcome, queriers) })
+}
+
+// rebid reopens a recordless claimant's takeover bid after its retry delay.
+func (a *Agent) rebid(hdr message.MoveHeader, outcome string, queriers []message.BrokerID) {
+	a.mu.Lock()
+	delete(a.retries, hdr.Tx)
+	stale := a.stopped
+	if rec := a.records[hdr.Tx]; rec != nil && rec.released {
+		stale = true // resolved while the retry was pending
+	}
+	a.mu.Unlock()
+	if stale {
+		return
+	}
+	a.startClaim(hdr, outcome, queriers...)
+}
+
+// OnLeaseClaim handles another replica's takeover bid: grant it (and fence
+// this broker at the claimed generation) unless a higher generation is
+// already fenced, reporting any outcome this broker knows.
+func (a *Agent) OnLeaseClaim(m message.LeaseClaim) {
+	a.mu.Lock()
+	if a.stopped {
+		a.mu.Unlock()
+		return
+	}
+	if fence := a.fences[m.Tx]; m.Gen <= fence {
+		a.mu.Unlock()
+		a.tel.FencingRejections.Inc()
+		a.journal(JournalFence, m.MoveHeader, fmt.Sprintf("kind=lease-claim gen=%d fence=%d claimant=%s", m.Gen, fence, m.Claimant))
+		a.hooks.Send(message.ReplicaAck{
+			MoveHeader: m.MoveHeader, Gen: fence,
+			Replica: a.hooks.Self, To: m.Claimant, Grant: false,
+		})
+		return
+	}
+	a.fences[m.Tx] = m.Gen
+	outcome := ""
+	if rec := a.records[m.Tx]; rec != nil {
+		outcome = rec.outcome
+	}
+	// Defer to the claimant: this replica's own lease (if armed) stands down.
+	if rec := a.records[m.Tx]; rec != nil && rec.lease != nil {
+		rec.lease.Stop()
+	}
+	a.mu.Unlock()
+
+	if outcome == "" && a.hooks.KnownOutcome != nil {
+		if out, ok := a.hooks.KnownOutcome(m.Tx); ok {
+			outcome = out
+		}
+	}
+	if a.hooks.PersistFence != nil {
+		a.hooks.PersistFence(m.Tx, m.Gen)
+	}
+	a.journal(JournalGrant, m.MoveHeader, fmt.Sprintf("gen=%d claimant=%s outcome=%q", m.Gen, m.Claimant, outcome))
+	a.hooks.Send(message.ReplicaAck{
+		MoveHeader: m.MoveHeader, Gen: m.Gen,
+		Replica: a.hooks.Self, To: m.Claimant, Outcome: outcome, Grant: true,
+	})
+}
+
+// OnReplicaAck routes an acknowledgement to the coordinator round or the
+// takeover bid it answers.
+func (a *Agent) OnReplicaAck(m message.ReplicaAck) {
+	if m.Grant || a.claimFor(m.Tx) != nil {
+		a.onGrant(m)
+		return
+	}
+	a.mu.Lock()
+	p, ok := a.pending[m.Tx]
+	if !ok || p.fired || p.acked[m.Replica] || !p.members[m.Replica] {
+		// Hinted-handoff fallbacks acknowledge too, but only preference-list
+		// members count toward W: the takeover majority is computed over the
+		// preference list, and the two sets must overlap.
+		a.mu.Unlock()
+		return
+	}
+	p.acked[m.Replica] = true
+	reached := len(p.acked) >= p.need
+	a.mu.Unlock()
+	if reached {
+		a.finishPending(m.Tx, true)
+	}
+}
+
+func (a *Agent) claimFor(tx message.TxID) *claimState {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.claims[tx]
+}
+
+// onGrant tallies a lease-claim answer toward the bid's majority.
+func (a *Agent) onGrant(m message.ReplicaAck) {
+	a.mu.Lock()
+	c, ok := a.claims[m.Tx]
+	if !ok || c.resolved {
+		a.mu.Unlock()
+		return
+	}
+	if m.Grant && c.gen != m.Gen {
+		// A grant for a different generation answers a stale bid.
+		a.mu.Unlock()
+		return
+	}
+	if !m.Grant {
+		// Denied: a higher generation is fenced somewhere; abandon this bid
+		// and retry above the reported fence (bounded like claim timeouts).
+		delete(a.claims, m.Tx)
+		if c.timer != nil {
+			c.timer.Stop()
+		}
+		if m.Gen > a.fences[m.Tx] {
+			a.fences[m.Tx] = m.Gen
+		}
+		a.bidFailedLocked(c)
+		a.mu.Unlock()
+		return
+	}
+	c.grants++
+	if m.Outcome != "" && c.outcome == "" {
+		c.outcome = m.Outcome
+	}
+	reached := c.grants >= c.need
+	a.mu.Unlock()
+	if reached {
+		a.completeClaim(m.Tx)
+	}
+}
+
+// completeClaim finishes a takeover bid that reached its majority: decide
+// the outcome (any recorded outcome wins; none recorded in a majority means
+// the decision never reached a write quorum, so abort), persist it at the
+// claimed generation, and announce StandbyResolve toward the source, the
+// (dead) target, and every recovering querier.
+func (a *Agent) completeClaim(tx message.TxID) {
+	a.mu.Lock()
+	c, ok := a.claims[tx]
+	if !ok || c.resolved || a.stopped {
+		a.mu.Unlock()
+		return
+	}
+	c.resolved = true
+	if c.timer != nil {
+		c.timer.Stop()
+	}
+	delete(a.claims, tx)
+	outcome := c.outcome
+	if outcome == "" {
+		outcome = store.PhaseAborted
+	}
+	hdr := c.hdr
+	gen := c.gen
+	a.noteRecordLocked(hdr, outcome, gen)
+	a.retireLocked(tx)
+	queriers := make([]message.BrokerID, 0, len(c.queriers))
+	for q := range c.queriers {
+		queriers = append(queriers, q)
+	}
+	a.mu.Unlock()
+
+	if a.hooks.PersistReplica != nil {
+		_ = a.hooks.PersistReplica(hdr, outcome, gen)
+	}
+	a.tel.Takeovers.Inc()
+	a.journal(JournalTakeover, hdr, fmt.Sprintf("gen=%d outcome=%s", gen, outcome))
+
+	dests := append([]message.BrokerID{hdr.Source, hdr.Target}, queriers...)
+	seen := make(map[message.BrokerID]bool, len(dests))
+	for _, to := range dests {
+		if to == "" || seen[to] {
+			continue
+		}
+		seen[to] = true
+		a.hooks.Send(message.StandbyResolve{
+			MoveHeader: hdr, Outcome: outcome, Gen: gen,
+			Claimant: a.hooks.Self, To: to,
+		})
+	}
+}
+
+// ObserveResolve is called at every broker hop a StandbyResolve crosses: it
+// records the fencing generation (so stale lower-generation acks from a
+// revived coordinator are rejected here) and stands this broker's own
+// standby state down.
+func (a *Agent) ObserveResolve(m message.StandbyResolve) {
+	a.mu.Lock()
+	if m.Gen > a.fences[m.Tx] {
+		a.fences[m.Tx] = m.Gen
+	}
+	a.noteRecordLocked(m.MoveHeader, m.Outcome, m.Gen)
+	a.retireLocked(m.Tx)
+	a.mu.Unlock()
+	if a.hooks.PersistFence != nil {
+		a.hooks.PersistFence(m.Tx, m.Gen)
+	}
+}
+
+// CheckAck gates a MoveAck at this broker: an acknowledgement below the
+// fenced generation comes from a superseded coordinator and must not apply.
+func (a *Agent) CheckAck(m message.MoveAck) bool {
+	a.mu.Lock()
+	fence := a.fences[m.Tx]
+	a.mu.Unlock()
+	if m.Gen >= fence {
+		return true
+	}
+	a.tel.FencingRejections.Inc()
+	a.journal(JournalFence, m.MoveHeader, fmt.Sprintf("kind=move-ack gen=%d fence=%d", m.Gen, fence))
+	return false
+}
+
+// OnQuery handles a recovery query addressed to this broker as a
+// preference-list member or hinted-handoff fallback (not as the target
+// coordinator). A held record is answered immediately with a StandbyResolve
+// toward the querier; an unknown transaction at a preference-list member
+// means the coordinator is suspected dead with no decision recorded here, so
+// the query triggers a takeover bid whose resolution will reach the querier.
+// A recordless fallback stays silent — it is not part of the takeover
+// majority and claiming from outside the preference list would only add
+// contending bids. Returns false when replication cannot help (the container
+// falls through to its coordinator-side answer).
+func (a *Agent) OnQuery(m message.MoveQuery) bool {
+	a.mu.Lock()
+	if a.stopped {
+		a.mu.Unlock()
+		return false
+	}
+	rec, ok := a.records[m.Tx]
+	var outcome string
+	var gen uint64
+	if ok {
+		if rec.hdr.Client == "" {
+			rec.hdr = m.MoveHeader // recovered record: adopt the query's header
+		}
+		outcome, gen = rec.outcome, rec.gen
+	}
+	a.mu.Unlock()
+
+	if ok {
+		a.journal(JournalAnswer, m.MoveHeader, fmt.Sprintf("outcome=%s gen=%d to=%s", outcome, gen, m.From))
+		a.hooks.Send(message.StandbyResolve{
+			MoveHeader: m.MoveHeader, Outcome: outcome, Gen: gen,
+			Claimant: a.hooks.Self, To: m.From,
+		})
+		return true
+	}
+	if a.rankOf(m.MoveHeader) < 0 {
+		return true // recordless fallback: silent, the querier's own fallback bounds the wait
+	}
+	a.startClaim(m.MoveHeader, "", m.From)
+	return true
+}
+
+// journal emits a protocol record through the broker's flight recorder.
+func (a *Agent) journal(kind string, hdr message.MoveHeader, detail string) {
+	if a.hooks.Journal != nil {
+		a.hooks.Journal(kind, hdr.Tx, hdr.Client, detail)
+	}
+}

@@ -1,0 +1,465 @@
+// Package replication makes movement-transaction coordination survive
+// coordinator death without a restart. Every movement transaction gets a
+// deterministic preference list of R brokers (the target coordinator first,
+// then the brokers on the overlay path toward the source, then the live
+// overlay ranked by rendezvous hashing); the coordinator synchronously
+// replicates each durable 3PC decision record to a write quorum of that
+// list before acting on it, with hinted handoff when a preferred replica is
+// unreachable.
+//
+// Placing the standby replicas on the target→source path does more than cut
+// the quorum round trip to adjacent hops: when the write quorum is W=2, the
+// ReplicateDecision to the first path replica and the MoveAck to the source
+// leave the coordinator on the same link, in that order. Per-link FIFO
+// delivery and the replica's serial dispatch (which appends the record
+// durably before forwarding anything behind it) then guarantee that an
+// acknowledgement arriving anywhere beyond the first path replica implies
+// the decision already survives at a full write quorum — so the coordinator
+// may send the acknowledgement without first waiting for the replica's
+// answer (the pipelined commit, see Pipelined), and a quorum round that
+// fails can only mean the acknowledgement died on its first hop too.
+//
+// Replicas arm per-transaction lease timers on the decision records they
+// hold: the source's release message is the coordinator conversation's final
+// heartbeat, and a missed release means the coordinator may have died
+// mid-move. The first live replica whose (rank-staggered) lease fires claims
+// takeover with a LeaseClaim at a strictly higher coordinator generation; a
+// majority of grants fences the old coordinator — every grant is a durable
+// promise to reject lower-generation decisions — and the claimant then
+// drives the move to commit (any quorum-recorded outcome wins) or abort
+// (no recorded outcome anywhere in a majority means the decision cannot
+// have reached a write quorum) exactly once, announcing it with
+// StandbyResolve messages that apply hop-by-hop like MoveAck/MoveAbort.
+package replication
+
+import (
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+
+	"padres/internal/message"
+	"padres/internal/store"
+	"padres/internal/telemetry"
+)
+
+// Config tunes the replication layer. The zero value is disabled.
+type Config struct {
+	// Enabled turns decision replication and standby takeover on.
+	Enabled bool
+	// R is the preference-list length including the coordinator (default 3).
+	R int
+	// W is the write quorum including the coordinator's own durable append
+	// (default 2): a commit decision is acted on only after W-1 remote
+	// replica acknowledgements.
+	W int
+	// AckTimeout bounds one replication round; a round that misses quorum
+	// retries once via hinted handoff before reporting failure (default
+	// 500ms).
+	AckTimeout time.Duration
+	// LeaseTimeout is the base standby lease: how long the first-ranked
+	// replica waits for the source's release before claiming takeover
+	// (default 1s).
+	LeaseTimeout time.Duration
+	// LeaseStagger is added per preference-list rank so replicas claim in
+	// order rather than racing (default 250ms).
+	LeaseStagger time.Duration
+	// HandoffRetry is the interval at which a hint holder re-delivers a
+	// held decision to its intended replica (default 1s, bounded tries).
+	HandoffRetry time.Duration
+	// Universe is the set of brokers preference lists are drawn from
+	// (normally the whole overlay).
+	Universe []message.BrokerID
+	// Adjacency is the overlay's neighbor map, identical at every broker
+	// (the cluster fills it from the shared topology). With it, preference
+	// lists rank the brokers on the unique target→source overlay path ahead
+	// of the rendezvous-hashed remainder, which keeps replica round trips to
+	// adjacent hops and enables the pipelined commit. Nil disables
+	// path-aware ranking (pure rendezvous, as before).
+	Adjacency map[message.BrokerID][]message.BrokerID
+}
+
+func (c Config) withDefaults() Config {
+	if c.R <= 0 {
+		c.R = 3
+	}
+	if c.W <= 0 {
+		c.W = 2
+	}
+	if c.W > c.R {
+		c.W = c.R
+	}
+	if c.AckTimeout <= 0 {
+		c.AckTimeout = 500 * time.Millisecond
+	}
+	if c.LeaseTimeout <= 0 {
+		c.LeaseTimeout = time.Second
+	}
+	if c.LeaseStagger <= 0 {
+		c.LeaseStagger = 250 * time.Millisecond
+	}
+	if c.HandoffRetry <= 0 {
+		c.HandoffRetry = time.Second
+	}
+	return c
+}
+
+// rendezvous scores one (transaction, broker) pair with FNV-1a; the
+// preference list is the universe ranked by this score, so every broker
+// computes the same list from the transaction header alone.
+func rendezvous(tx message.TxID, b message.BrokerID) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(tx))
+	_, _ = h.Write([]byte{'/'})
+	_, _ = h.Write([]byte(b))
+	return h.Sum64()
+}
+
+// PreferenceList returns the transaction's replica set: the target
+// coordinator first, then the brokers on the target→source overlay path (in
+// path order, when adj is known), then the top rendezvous-ranked remainder
+// drawn from universe — excluding the source and target throughout (the
+// source already holds its own side of the transaction). Deterministic for
+// a given universe and adjacency, so every broker computes the same list
+// from the transaction header alone.
+func PreferenceList(tx message.TxID, source, target message.BrokerID, universe []message.BrokerID, adj map[message.BrokerID][]message.BrokerID, r int) []message.BrokerID {
+	if r <= 0 {
+		r = 1
+	}
+	ranked := rankCandidates(tx, source, target, universe, adj)
+	prefs := make([]message.BrokerID, 0, r)
+	prefs = append(prefs, target)
+	for _, b := range ranked {
+		if len(prefs) >= r {
+			break
+		}
+		prefs = append(prefs, b)
+	}
+	return prefs
+}
+
+// pathInterior returns the brokers strictly between target and source on
+// the overlay's unique acyclic path, ordered from the target side, or nil
+// when the adjacency map is missing or disconnected.
+func pathInterior(adj map[message.BrokerID][]message.BrokerID, target, source message.BrokerID) []message.BrokerID {
+	if len(adj) == 0 || target == source {
+		return nil
+	}
+	prev := map[message.BrokerID]message.BrokerID{target: target}
+	frontier := []message.BrokerID{target}
+	for len(frontier) > 0 && prev[source] == "" {
+		var next []message.BrokerID
+		for _, b := range frontier {
+			for _, n := range adj[b] {
+				if _, seen := prev[n]; seen {
+					continue
+				}
+				prev[n] = b
+				next = append(next, n)
+			}
+		}
+		frontier = next
+	}
+	if _, ok := prev[source]; !ok {
+		return nil
+	}
+	var rev []message.BrokerID
+	for b := prev[source]; b != target; b = prev[b] {
+		rev = append(rev, b)
+	}
+	out := make([]message.BrokerID, len(rev))
+	for i, b := range rev {
+		out[len(rev)-1-i] = b
+	}
+	return out
+}
+
+// rankCandidates returns the universe minus source and target: first the
+// target→source path interior in path order (replicas adjacent to the
+// coordinator, on the acknowledgement's route), then the rest ordered by
+// descending rendezvous score (ties broken by ID for determinism).
+func rankCandidates(tx message.TxID, source, target message.BrokerID, universe []message.BrokerID, adj map[message.BrokerID][]message.BrokerID) []message.BrokerID {
+	eligible := make(map[message.BrokerID]bool, len(universe))
+	for _, b := range universe {
+		if b != source && b != target {
+			eligible[b] = true
+		}
+	}
+	out := make([]message.BrokerID, 0, len(eligible))
+	for _, b := range pathInterior(adj, target, source) {
+		if eligible[b] {
+			out = append(out, b)
+			delete(eligible, b)
+		}
+	}
+	rest := make([]message.BrokerID, 0, len(eligible))
+	for b := range eligible {
+		rest = append(rest, b)
+	}
+	sort.Slice(rest, func(i, j int) bool {
+		si, sj := rendezvous(tx, rest[i]), rendezvous(tx, rest[j])
+		if si != sj {
+			return si > sj
+		}
+		return rest[i] < rest[j]
+	})
+	return append(out, rest...)
+}
+
+// Hooks are the broker-side callbacks the agent acts through. All of them
+// must be safe to call from timer goroutines as well as the broker's
+// dispatch goroutine; none may call back into the agent synchronously.
+type Hooks struct {
+	// Self is the broker this agent runs inside.
+	Self message.BrokerID
+	// Send transmits a control message (the broker self-injects it, so it
+	// forwards hop-by-hop toward its Dest like every other control message).
+	Send func(m message.Message)
+	// PersistReplica durably appends a replicated decision record before the
+	// replica acknowledges it (nil-safe: in-memory deployments skip it).
+	PersistReplica func(hdr message.MoveHeader, outcome string, gen uint64) error
+	// PersistFence durably appends a fencing generation.
+	PersistFence func(tx message.TxID, gen uint64)
+	// Journal records a protocol step in the flight recorder (nil-safe).
+	Journal func(kind string, tx message.TxID, client message.ClientID, detail string)
+	// KnownOutcome reports this broker's own durable coordinator decision
+	// for the transaction, if any (the target coordinator's agent consults
+	// it when granting a lease).
+	KnownOutcome func(tx message.TxID) (string, bool)
+	// Metrics receives the agent's instruments (nil allocates a private set).
+	Metrics *telemetry.ReplicationMetrics
+}
+
+// repRecord is one replicated decision held at this broker.
+type repRecord struct {
+	hdr      message.MoveHeader
+	outcome  string
+	gen      uint64
+	released bool
+	lease    *time.Timer
+}
+
+// pendingRep tracks one coordinator-side replication round awaiting quorum.
+// Only preference-list members count toward the write quorum: hinted-handoff
+// fallbacks seed standby knowledge for recovery queries, but a quorum built
+// on them would not overlap the takeover majority (which is computed over
+// the preference list), so their acknowledgements are informational.
+type pendingRep struct {
+	hdr     message.MoveHeader
+	need    int
+	members map[message.BrokerID]bool
+	acked   map[message.BrokerID]bool
+	done    func(ok bool)
+	fired   bool
+	round   int
+	started time.Time
+	timer   *time.Timer
+}
+
+// claimState tracks one standby takeover bid.
+type claimState struct {
+	hdr      message.MoveHeader
+	gen      uint64
+	grants   int
+	need     int
+	outcome  string
+	queriers map[message.BrokerID]bool
+	resolved bool
+	timer    *time.Timer
+}
+
+// hintState is one decision held on behalf of an unreachable replica.
+type hintState struct {
+	msg   message.ReplicateDecision
+	tries int
+	timer *time.Timer
+}
+
+// Agent runs the replication protocol for one broker: coordinator-side
+// quorum writes, replica-side record keeping and lease timers, and the
+// standby takeover path.
+type Agent struct {
+	cfg   Config
+	hooks Hooks
+	tel   *telemetry.ReplicationMetrics
+
+	mu      sync.Mutex
+	stopped bool
+	records map[message.TxID]*repRecord
+	pending map[message.TxID]*pendingRep
+	claims  map[message.TxID]*claimState
+	fences  map[message.TxID]uint64
+	hints   map[string]*hintState // key tx+"/"+replica
+	// tries counts failed takeover bids per transaction (record holders and
+	// recordless claimants alike); retries holds the direct re-bid timers of
+	// recordless claimants, who have no lease to re-arm.
+	tries   map[message.TxID]int
+	retries map[message.TxID]*time.Timer
+}
+
+// NewAgent builds an agent from the (defaulted) config.
+func NewAgent(cfg Config, hooks Hooks) *Agent {
+	tel := hooks.Metrics
+	if tel == nil {
+		tel = telemetry.NewReplicationMetrics()
+	}
+	return &Agent{
+		cfg:     cfg.withDefaults(),
+		hooks:   hooks,
+		tel:     tel,
+		records: make(map[message.TxID]*repRecord),
+		pending: make(map[message.TxID]*pendingRep),
+		claims:  make(map[message.TxID]*claimState),
+		fences:  make(map[message.TxID]uint64),
+		hints:   make(map[string]*hintState),
+		tries:   make(map[message.TxID]int),
+		retries: make(map[message.TxID]*time.Timer),
+	}
+}
+
+// Stop cancels every timer; in-flight rounds resolve as failures for their
+// callers when the broker shuts down, which is moot because the broker
+// drops all traffic after Stop anyway.
+func (a *Agent) Stop() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.stopped = true
+	for _, p := range a.pending {
+		if p.timer != nil {
+			p.timer.Stop()
+		}
+	}
+	for _, r := range a.records {
+		if r.lease != nil {
+			r.lease.Stop()
+		}
+	}
+	for _, c := range a.claims {
+		if c.timer != nil {
+			c.timer.Stop()
+		}
+	}
+	for _, h := range a.hints {
+		if h.timer != nil {
+			h.timer.Stop()
+		}
+	}
+	for _, t := range a.retries {
+		t.Stop()
+	}
+}
+
+// Metrics returns the agent's instruments.
+func (a *Agent) Metrics() *telemetry.ReplicationMetrics { return a.tel }
+
+// Prefs returns the transaction's full preference list (coordinator first).
+func (a *Agent) Prefs(hdr message.MoveHeader) []message.BrokerID {
+	return PreferenceList(hdr.Tx, hdr.Source, hdr.Target, a.cfg.Universe, a.cfg.Adjacency, a.cfg.R)
+}
+
+// Pipelined reports whether the coordinator may send the movement
+// acknowledgement without waiting for the quorum round: true when the write
+// quorum is exactly 2 and the first standby replica sits on the
+// target→source path, so the ReplicateDecision enqueued ahead of the
+// MoveAck on the same link is durably applied by the replica's serial
+// dispatch before the acknowledgement passes — FIFO makes "ack delivered
+// beyond the first hop" imply "write quorum holds the record", and a quorum
+// failure imply the acknowledgement died on its first hop with no routing
+// reconfiguration committed anywhere.
+func (a *Agent) Pipelined(hdr message.MoveHeader) bool {
+	if a.cfg.W != 2 {
+		return false
+	}
+	interior := pathInterior(a.cfg.Adjacency, hdr.Target, hdr.Source)
+	if len(interior) == 0 {
+		return false
+	}
+	prefs := a.Prefs(hdr)
+	return len(prefs) >= 2 && prefs[1] == interior[0]
+}
+
+// fallbacks returns the first R-1 rendezvous-ranked brokers beyond the
+// preference list: the only brokers hinted handoff can have parked a
+// decision record at, since one handoff round re-targets at most the R-1
+// missing replicas in fallback rank order.
+func (a *Agent) fallbacks(hdr message.MoveHeader) []message.BrokerID {
+	prefs := a.Prefs(hdr)
+	used := make(map[message.BrokerID]bool, len(prefs))
+	for _, b := range prefs {
+		used[b] = true
+	}
+	out := make([]message.BrokerID, 0, a.cfg.R-1)
+	for _, b := range rankCandidates(hdr.Tx, hdr.Source, hdr.Target, a.cfg.Universe, a.cfg.Adjacency) {
+		if used[b] {
+			continue
+		}
+		out = append(out, b)
+		if len(out) >= a.cfg.R-1 {
+			break
+		}
+	}
+	return out
+}
+
+// QueryTargets returns every broker a decision record for the transaction
+// can possibly live at — the preference list plus the hinted-handoff
+// fallback set — so a recovering source that fans its queries over this set
+// cannot local-abort past a surviving commit record.
+func (a *Agent) QueryTargets(hdr message.MoveHeader) []message.BrokerID {
+	return append(a.Prefs(hdr), a.fallbacks(hdr)...)
+}
+
+// rankOf returns this broker's 0-based rank among the transaction's standby
+// replicas (prefs[1:]), or -1 when it is not a member.
+func (a *Agent) rankOf(hdr message.MoveHeader) int {
+	prefs := a.Prefs(hdr)
+	for i, p := range prefs[1:] {
+		if p == a.hooks.Self {
+			return i
+		}
+	}
+	return -1
+}
+
+// FenceGen returns the highest fencing generation this broker has recorded
+// for the transaction (0 = unfenced).
+func (a *Agent) FenceGen(tx message.TxID) uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.fences[tx]
+}
+
+// HeldDecisions reports how many unreleased decision records the agent
+// holds (tests and metrics).
+func (a *Agent) HeldDecisions() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := 0
+	for _, r := range a.records {
+		if !r.released {
+			n++
+		}
+	}
+	return n
+}
+
+// Seed loads recovered replica and fence state at broker construction.
+// Recovered records answer queries but do not re-arm lease timers: their
+// headers are reconstructed from the query that asks about them.
+func (a *Agent) Seed(replicas map[message.TxID]store.ReplicaDecision, fences map[message.TxID]uint64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for tx, d := range replicas {
+		a.records[tx] = &repRecord{
+			hdr:     message.MoveHeader{Tx: tx},
+			outcome: d.Outcome,
+			gen:     d.Gen,
+		}
+		a.tel.DecisionsHeld.Inc()
+	}
+	for tx, g := range fences {
+		if g > a.fences[tx] {
+			a.fences[tx] = g
+		}
+	}
+}

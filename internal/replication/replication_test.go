@@ -1,0 +1,602 @@
+package replication
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"padres/internal/message"
+	"padres/internal/store"
+)
+
+// capture is a threadsafe Hooks.Send sink.
+type capture struct {
+	mu   sync.Mutex
+	msgs []message.Message
+}
+
+func (c *capture) send(m message.Message) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.msgs = append(c.msgs, m)
+}
+
+func (c *capture) all() []message.Message {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]message.Message, len(c.msgs))
+	copy(out, c.msgs)
+	return out
+}
+
+func (c *capture) reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.msgs = nil
+}
+
+// decisions returns the captured ReplicateDecision messages.
+func (c *capture) decisions() []message.ReplicateDecision {
+	var out []message.ReplicateDecision
+	for _, m := range c.all() {
+		if d, ok := m.(message.ReplicateDecision); ok {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func (c *capture) claimsSent() []message.LeaseClaim {
+	var out []message.LeaseClaim
+	for _, m := range c.all() {
+		if d, ok := m.(message.LeaseClaim); ok {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func (c *capture) resolves() []message.StandbyResolve {
+	var out []message.StandbyResolve
+	for _, m := range c.all() {
+		if d, ok := m.(message.StandbyResolve); ok {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func universe(ids ...string) []message.BrokerID {
+	out := make([]message.BrokerID, len(ids))
+	for i, id := range ids {
+		out[i] = message.BrokerID(id)
+	}
+	return out
+}
+
+func hdr() message.MoveHeader {
+	return message.MoveHeader{
+		Tx: "tx-1", Client: "c1",
+		Source: "bS", Target: "bT",
+	}
+}
+
+func TestPreferenceListDeterministicAndExclusive(t *testing.T) {
+	uni := universe("b1", "b2", "b3", "b4", "bS", "bT")
+	a := PreferenceList("tx-1", "bS", "bT", uni, nil, 3)
+	b := PreferenceList("tx-1", "bS", "bT", uni, nil, 3)
+	if len(a) != 3 {
+		t.Fatalf("preference list length = %d, want 3", len(a))
+	}
+	if a[0] != "bT" {
+		t.Fatalf("prefs[0] = %s, want the target coordinator bT", a[0])
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("preference list not deterministic: %v vs %v", a, b)
+		}
+	}
+	seen := map[message.BrokerID]bool{}
+	for _, p := range a {
+		if p == "bS" {
+			t.Fatalf("preference list %v includes the source", a)
+		}
+		if seen[p] {
+			t.Fatalf("preference list %v has duplicates", a)
+		}
+		seen[p] = true
+	}
+	// A different transaction should (with these six brokers) eventually pick
+	// a different standby set; at minimum it must stay valid.
+	other := PreferenceList("tx-2", "bS", "bT", uni, nil, 3)
+	if other[0] != "bT" || len(other) != 3 {
+		t.Fatalf("prefs for tx-2 malformed: %v", other)
+	}
+}
+
+func TestPreferenceListClampsToEligible(t *testing.T) {
+	// Only one eligible standby exists: list is target + that broker.
+	a := PreferenceList("tx-1", "bS", "bT", universe("bS", "bT", "b1"), nil, 3)
+	if len(a) != 2 || a[0] != "bT" || a[1] != "b1" {
+		t.Fatalf("prefs = %v, want [bT b1]", a)
+	}
+}
+
+func newTestAgent(self string, cfg Config, cap *capture) *Agent {
+	cfg.Enabled = true
+	return NewAgent(cfg, Hooks{
+		Self: message.BrokerID(self),
+		Send: cap.send,
+	})
+}
+
+func TestReplicateCommitReachesQuorum(t *testing.T) {
+	cap := &capture{}
+	cfg := Config{Universe: universe("b1", "b2", "b3", "b4", "bS", "bT"), AckTimeout: time.Second}
+	a := newTestAgent("bT", cfg, cap)
+	defer a.Stop()
+
+	done := make(chan bool, 1)
+	a.ReplicateCommit(hdr(), func(ok bool) { done <- ok })
+
+	decs := cap.decisions()
+	if len(decs) != 2 {
+		t.Fatalf("sent %d replicate-decisions, want 2 (R-1)", len(decs))
+	}
+	for _, d := range decs {
+		if d.Outcome != store.PhaseCommitted || d.Origin != "bT" || d.Gen != 0 {
+			t.Fatalf("bad replicate-decision %+v", d)
+		}
+	}
+	select {
+	case <-done:
+		t.Fatal("quorum reported before any replica acked")
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	// One remote ack satisfies W=2 (the coordinator's own copy counts).
+	a.OnReplicaAck(message.ReplicaAck{MoveHeader: hdr(), Replica: decs[0].Replica, To: "bT", Outcome: store.PhaseCommitted})
+	select {
+	case ok := <-done:
+		if !ok {
+			t.Fatal("quorum round failed, want success")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("quorum round never resolved")
+	}
+	// Duplicate acks must not fire done twice.
+	a.OnReplicaAck(message.ReplicaAck{MoveHeader: hdr(), Replica: decs[1].Replica, To: "bT", Outcome: store.PhaseCommitted})
+	select {
+	case <-done:
+		t.Fatal("done fired twice")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if got := a.Metrics().QuorumFailures.Value(); got != 0 {
+		t.Fatalf("quorum failures = %d, want 0", got)
+	}
+}
+
+func TestReplicationTimeoutHintedHandoffThenFailure(t *testing.T) {
+	cap := &capture{}
+	cfg := Config{
+		Universe:   universe("b1", "b2", "b3", "b4", "bS", "bT"),
+		AckTimeout: 30 * time.Millisecond,
+	}
+	a := newTestAgent("bT", cfg, cap)
+	defer a.Stop()
+
+	done := make(chan bool, 1)
+	a.ReplicateCommit(hdr(), func(ok bool) { done <- ok })
+
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("quorum reported success with no replica acks")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("quorum round never failed")
+	}
+
+	// Round two must have retried via hinted handoff: decisions addressed to
+	// fallback brokers carrying the unreachable replica's name as Hint.
+	var hinted int
+	for _, d := range cap.decisions() {
+		if d.Hint != "" {
+			hinted++
+			if d.Replica == d.Hint {
+				t.Fatalf("hinted handoff addressed to the down replica itself: %+v", d)
+			}
+		}
+	}
+	if hinted == 0 {
+		t.Fatal("no hinted-handoff decisions sent before quorum failure")
+	}
+	if got := a.Metrics().QuorumFailures.Value(); got != 1 {
+		t.Fatalf("quorum failures = %d, want 1", got)
+	}
+	if got := a.Metrics().Handoffs.Value(); got == 0 {
+		t.Fatal("handoff counter not incremented")
+	}
+}
+
+func TestReplicaHoldsDecisionAndClaimsTakeover(t *testing.T) {
+	cap := &capture{}
+	cfg := Config{
+		Universe:     universe("b1", "b2", "b3", "b4", "bS", "bT"),
+		AckTimeout:   200 * time.Millisecond,
+		LeaseTimeout: 30 * time.Millisecond,
+		LeaseStagger: 10 * time.Millisecond,
+	}
+	// Find the first-ranked standby for the transaction.
+	prefs := PreferenceList("tx-1", "bS", "bT", cfg.Universe, nil, 3)
+	self := prefs[1]
+	other := prefs[2]
+	a := newTestAgent(string(self), cfg, cap)
+	defer a.Stop()
+
+	var persisted []string
+	var pmu sync.Mutex
+	a.hooks.PersistReplica = func(h message.MoveHeader, outcome string, gen uint64) error {
+		pmu.Lock()
+		defer pmu.Unlock()
+		persisted = append(persisted, outcome)
+		return nil
+	}
+
+	a.OnReplicateDecision(message.ReplicateDecision{
+		MoveHeader: hdr(), Outcome: store.PhaseCommitted,
+		Origin: "bT", Replica: self,
+	})
+	if a.HeldDecisions() != 1 {
+		t.Fatalf("held decisions = %d, want 1", a.HeldDecisions())
+	}
+	pmu.Lock()
+	if len(persisted) != 1 {
+		pmu.Unlock()
+		t.Fatal("decision not persisted before ack")
+	}
+	pmu.Unlock()
+
+	// No release arrives: the lease fires and the replica bids for takeover.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && len(cap.claimsSent()) == 0 {
+		time.Sleep(5 * time.Millisecond)
+	}
+	claims := cap.claimsSent()
+	if len(claims) == 0 {
+		t.Fatal("lease expiry never produced a takeover bid")
+	}
+	if claims[0].Gen < 1 {
+		t.Fatalf("takeover bid at generation %d, want >= 1", claims[0].Gen)
+	}
+
+	// A single remote grant completes the majority (2 of 3 with self-grant).
+	a.OnReplicaAck(message.ReplicaAck{
+		MoveHeader: hdr(), Gen: claims[0].Gen,
+		Replica: other, To: self, Outcome: store.PhaseCommitted, Grant: true,
+	})
+	res := cap.resolves()
+	if len(res) == 0 {
+		t.Fatal("majority takeover produced no StandbyResolve")
+	}
+	wantTo := map[message.BrokerID]bool{"bS": false, "bT": false}
+	for _, r := range res {
+		if r.Outcome != store.PhaseCommitted {
+			t.Fatalf("resolution outcome %q, want committed", r.Outcome)
+		}
+		if r.Gen != claims[0].Gen {
+			t.Fatalf("resolution gen %d, want %d", r.Gen, claims[0].Gen)
+		}
+		if _, ok := wantTo[r.To]; ok {
+			wantTo[r.To] = true
+		}
+	}
+	for to, got := range wantTo {
+		if !got {
+			t.Fatalf("no StandbyResolve addressed to %s (got %v)", to, res)
+		}
+	}
+	if got := a.Metrics().Takeovers.Value(); got != 1 {
+		t.Fatalf("takeovers = %d, want 1", got)
+	}
+	if a.FenceGen("tx-1") != claims[0].Gen {
+		t.Fatalf("fence gen = %d, want %d", a.FenceGen("tx-1"), claims[0].Gen)
+	}
+}
+
+func TestTakeoverWithoutRecordedOutcomeAborts(t *testing.T) {
+	cap := &capture{}
+	cfg := Config{Universe: universe("b1", "b2", "b3", "b4", "bS", "bT"), AckTimeout: 200 * time.Millisecond}
+	prefs := PreferenceList("tx-1", "bS", "bT", cfg.Universe, nil, 3)
+	self, other := prefs[1], prefs[2]
+	a := newTestAgent(string(self), cfg, cap)
+	defer a.Stop()
+
+	// A recovering broker's query about an unknown transaction triggers a bid
+	// with no outcome in hand.
+	if !a.OnQuery(message.MoveQuery{MoveHeader: hdr(), From: "b9", At: self}) {
+		t.Fatal("OnQuery returned false for a preference-list query")
+	}
+	claims := cap.claimsSent()
+	if len(claims) == 0 {
+		t.Fatal("query about unknown transaction did not open a takeover bid")
+	}
+	a.OnReplicaAck(message.ReplicaAck{
+		MoveHeader: hdr(), Gen: claims[0].Gen,
+		Replica: other, To: self, Grant: true, // no outcome held there either
+	})
+	res := cap.resolves()
+	if len(res) == 0 {
+		t.Fatal("no resolution after majority")
+	}
+	toQuerier := false
+	for _, r := range res {
+		if r.Outcome != store.PhaseAborted {
+			t.Fatalf("no-outcome takeover resolved %q, want aborted (decision cannot have reached a write quorum)", r.Outcome)
+		}
+		if r.To == "b9" {
+			toQuerier = true
+		}
+	}
+	if !toQuerier {
+		t.Fatal("resolution never addressed to the recovering querier")
+	}
+}
+
+func TestLeaseClaimGrantAndFence(t *testing.T) {
+	cap := &capture{}
+	cfg := Config{Universe: universe("b1", "b2", "b3", "b4", "bS", "bT")}
+	prefs := PreferenceList("tx-1", "bS", "bT", cfg.Universe, nil, 3)
+	self := prefs[1]
+	a := newTestAgent(string(self), cfg, cap)
+	defer a.Stop()
+
+	a.OnReplicateDecision(message.ReplicateDecision{
+		MoveHeader: hdr(), Outcome: store.PhaseCommitted, Origin: "bT", Replica: self,
+	})
+	cap.reset()
+
+	// A valid claim is granted with the held outcome and fences this broker.
+	a.OnLeaseClaim(message.LeaseClaim{MoveHeader: hdr(), Gen: 3, Claimant: prefs[2], Replica: self})
+	var grant *message.ReplicaAck
+	for _, m := range cap.all() {
+		if ack, ok := m.(message.ReplicaAck); ok {
+			grant = &ack
+		}
+	}
+	if grant == nil || !grant.Grant || grant.Gen != 3 || grant.Outcome != store.PhaseCommitted {
+		t.Fatalf("grant = %+v, want Grant=true Gen=3 Outcome=committed", grant)
+	}
+	if a.FenceGen("tx-1") != 3 {
+		t.Fatalf("fence gen = %d, want 3", a.FenceGen("tx-1"))
+	}
+
+	// A claim at or below the fence is denied, answering with the fence.
+	cap.reset()
+	a.OnLeaseClaim(message.LeaseClaim{MoveHeader: hdr(), Gen: 3, Claimant: prefs[2], Replica: self})
+	var deny *message.ReplicaAck
+	for _, m := range cap.all() {
+		if ack, ok := m.(message.ReplicaAck); ok {
+			deny = &ack
+		}
+	}
+	if deny == nil || deny.Grant || deny.Gen != 3 {
+		t.Fatalf("deny = %+v, want Grant=false Gen=3", deny)
+	}
+	if got := a.Metrics().FencingRejections.Value(); got != 1 {
+		t.Fatalf("fencing rejections = %d, want 1", got)
+	}
+
+	// A fenced broker must also drop stale replicate-decisions and acks.
+	cap.reset()
+	a.OnReplicateDecision(message.ReplicateDecision{
+		MoveHeader: hdr(), Outcome: store.PhaseAborted, Gen: 1, Origin: "bT", Replica: self,
+	})
+	if len(cap.all()) != 0 {
+		t.Fatalf("stale replicate-decision below the fence was acknowledged: %v", cap.all())
+	}
+	if !a.CheckAck(message.MoveAck{MoveHeader: hdr(), Gen: 3}) {
+		t.Fatal("ack at the fence generation rejected")
+	}
+	if a.CheckAck(message.MoveAck{MoveHeader: hdr(), Gen: 0}) {
+		t.Fatal("stale generation-0 ack passed the fence")
+	}
+}
+
+func TestReleaseRetiresStandbyDuty(t *testing.T) {
+	cap := &capture{}
+	cfg := Config{
+		Universe:     universe("b1", "b2", "b3", "b4", "bS", "bT"),
+		LeaseTimeout: 30 * time.Millisecond,
+		LeaseStagger: 5 * time.Millisecond,
+	}
+	prefs := PreferenceList("tx-1", "bS", "bT", cfg.Universe, nil, 3)
+	self := prefs[1]
+	a := newTestAgent(string(self), cfg, cap)
+	defer a.Stop()
+
+	a.OnReplicateDecision(message.ReplicateDecision{
+		MoveHeader: hdr(), Outcome: store.PhaseCommitted, Origin: "bT", Replica: self,
+	})
+	if a.HeldDecisions() != 1 {
+		t.Fatalf("held = %d, want 1", a.HeldDecisions())
+	}
+	a.OnReplicateDecision(message.ReplicateDecision{
+		MoveHeader: hdr(), Origin: "bS", Replica: self, Release: true,
+	})
+	if a.HeldDecisions() != 0 {
+		t.Fatalf("held = %d after release, want 0", a.HeldDecisions())
+	}
+	// The released lease must not fire a takeover bid later.
+	cap.reset()
+	time.Sleep(100 * time.Millisecond)
+	if n := len(cap.claimsSent()); n != 0 {
+		t.Fatalf("released replica still bid for takeover (%d claims)", n)
+	}
+}
+
+func TestSourceSideReleaseFansOut(t *testing.T) {
+	cap := &capture{}
+	cfg := Config{Universe: universe("b1", "b2", "b3", "b4", "bS", "bT")}
+	a := newTestAgent("bS", cfg, cap)
+	defer a.Stop()
+
+	a.Release(hdr())
+	var releases int
+	for _, d := range cap.decisions() {
+		if d.Release {
+			releases++
+		}
+	}
+	// The release covers the preference list AND the hinted-handoff fallback
+	// set (R-1 extra brokers), so hint holders stand down too.
+	if want := len(a.QueryTargets(hdr())); releases != want {
+		t.Fatalf("source release sent %d messages, want one per possible record holder (%d)", releases, want)
+	}
+}
+
+// Two recordless standbys whose query-triggered bids collide at the same
+// generation must not both stop bidding: a denied recordless claimant has no
+// lease to re-arm, so it retries through a direct rank-staggered timer at a
+// generation above the reported fence.
+func TestRecordlessClaimRetriesAfterDenial(t *testing.T) {
+	cap := &capture{}
+	uni := universe("b1", "b2", "b3", "b4", "bS", "bT")
+	cfg := Config{
+		Universe:     uni,
+		AckTimeout:   time.Second, // bid fails through denial, not timeout
+		LeaseTimeout: 30 * time.Millisecond,
+		LeaseStagger: 10 * time.Millisecond,
+	}
+	prefs := PreferenceList("tx-1", "bS", "bT", uni, nil, 3)
+	self := prefs[1] // first-ranked standby, holding no record
+	a := newTestAgent(string(self), cfg, cap)
+	defer a.Stop()
+
+	if !a.OnQuery(message.MoveQuery{MoveHeader: hdr(), From: "bS", At: self}) {
+		t.Fatal("agent did not accept the query")
+	}
+	first := cap.claimsSent()
+	if len(first) == 0 || first[0].Gen != 1 {
+		t.Fatalf("recordless standby opened no gen-1 bid: %+v", first)
+	}
+	// The other standby bid concurrently and denies at its own fence.
+	a.OnReplicaAck(message.ReplicaAck{
+		MoveHeader: hdr(), Gen: 1, Replica: prefs[2], To: self, Grant: false,
+	})
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		var retried *message.LeaseClaim
+		for _, c := range cap.claimsSent() {
+			if c.Gen > 1 {
+				cc := c
+				retried = &cc
+			}
+		}
+		if retried != nil {
+			if retried.Gen < 2 {
+				t.Fatalf("retry bid at gen %d, want above the denied fence", retried.Gen)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("denied recordless claimant never re-bid")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// A fallback broker's acknowledgement must not satisfy the write quorum:
+// the takeover majority is computed over the preference list, and a quorum
+// built on hint holders would not overlap it.
+func TestFallbackAckDoesNotSatisfyQuorum(t *testing.T) {
+	cap := &capture{}
+	uni := universe("b1", "b2", "b3", "b4", "bS", "bT")
+	cfg := Config{Universe: uni, AckTimeout: 40 * time.Millisecond}
+	a := newTestAgent("bT", cfg, cap)
+	defer a.Stop()
+
+	done := make(chan bool, 1)
+	a.ReplicateCommit(hdr(), func(ok bool) { done <- ok })
+
+	// Ack from a broker outside the preference list (a hint holder).
+	prefs := a.Prefs(hdr())
+	member := make(map[message.BrokerID]bool)
+	for _, p := range prefs {
+		member[p] = true
+	}
+	var outsider message.BrokerID
+	for _, b := range uni {
+		if !member[b] && b != "bS" {
+			outsider = b
+			break
+		}
+	}
+	a.OnReplicaAck(message.ReplicaAck{MoveHeader: hdr(), Replica: outsider, To: "bT"})
+
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("quorum reported success on a fallback-only acknowledgement")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("quorum round never resolved")
+	}
+}
+
+// A recordless broker outside the preference list must not bid for takeover
+// when queried — it answers nothing, and the querier's local-abort fallback
+// bounds the wait.
+func TestRecordlessFallbackStaysSilentOnQuery(t *testing.T) {
+	cap := &capture{}
+	cfg := Config{Universe: universe("b1", "b2", "b3", "b4", "bS", "bT")}
+	prefs := PreferenceList("tx-1", "bS", "bT", universe("b1", "b2", "b3", "b4", "bS", "bT"), nil, 3)
+	member := make(map[message.BrokerID]bool)
+	for _, p := range prefs {
+		member[p] = true
+	}
+	var outsider message.BrokerID
+	for _, b := range cfg.Universe {
+		if !member[b] && b != "bS" {
+			outsider = b
+			break
+		}
+	}
+	a := newTestAgent(string(outsider), cfg, cap)
+	defer a.Stop()
+
+	if !a.OnQuery(message.MoveQuery{MoveHeader: hdr(), From: "bS", At: outsider}) {
+		t.Fatal("agent did not accept the query")
+	}
+	if n := len(cap.all()); n != 0 {
+		t.Fatalf("recordless fallback sent %d messages, want silence", n)
+	}
+	if n := len(cap.claimsSent()); n != 0 {
+		t.Fatalf("recordless fallback opened %d takeover bids", n)
+	}
+}
+
+func TestSeededRecordAnswersQuery(t *testing.T) {
+	cap := &capture{}
+	cfg := Config{Universe: universe("b1", "b2", "b3", "b4", "bS", "bT")}
+	prefs := PreferenceList("tx-1", "bS", "bT", cfg.Universe, nil, 3)
+	self := prefs[1]
+	a := newTestAgent(string(self), cfg, cap)
+	defer a.Stop()
+
+	a.Seed(map[message.TxID]store.ReplicaDecision{
+		"tx-1": {Outcome: store.PhaseCommitted, Gen: 2},
+	}, map[message.TxID]uint64{"tx-1": 2})
+
+	if !a.OnQuery(message.MoveQuery{MoveHeader: hdr(), From: "bS", At: self}) {
+		t.Fatal("seeded record did not answer the query")
+	}
+	res := cap.resolves()
+	if len(res) != 1 || res[0].Outcome != store.PhaseCommitted || res[0].Gen != 2 || res[0].To != "bS" {
+		t.Fatalf("query answer = %+v, want committed gen=2 to bS", res)
+	}
+	if a.FenceGen("tx-1") != 2 {
+		t.Fatalf("seeded fence = %d, want 2", a.FenceGen("tx-1"))
+	}
+}

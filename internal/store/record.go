@@ -44,6 +44,16 @@ const (
 	// which is what makes "no committed record" a safe abort answer to a
 	// recovery MoveQuery.
 	OpDecision Op = "decision"
+
+	// OpReplica is a replicated copy of another coordinator's decision
+	// record: this broker is a preference-list member holding {outcome,
+	// generation} for Tx so a standby can answer recovery queries — and
+	// drive the resolution — if the deciding coordinator never comes back.
+	OpReplica Op = "replica"
+	// OpFence persists a lease grant: this broker promised to reject
+	// coordinator messages for Tx below the granted generation. Fences
+	// survive restarts so a revived pre-takeover coordinator stays fenced.
+	OpFence Op = "fence"
 )
 
 // Reconfiguration phases persisted with OpTxCommit / OpTxAbort.
@@ -87,6 +97,10 @@ type Record struct {
 	// OpDecision payload.
 	Role    string `json:"role,omitempty"`    // "source" | "target"
 	Outcome string `json:"outcome,omitempty"` // PhaseCommitted | PhaseAborted
+
+	// OpReplica / OpFence payload: the coordinator generation the record
+	// was issued (or granted) at.
+	Gen uint64 `json:"cgen,omitempty"`
 }
 
 // TableRecord is one routing-table row in a snapshot or recovered state.
@@ -116,6 +130,13 @@ type ReconfigRecord struct {
 	InsertedAdvs []string `json:"iadvs,omitempty"`
 }
 
+// ReplicaDecision is the durable form of a replicated coordinator
+// decision: the outcome and the coordinator generation that issued it.
+type ReplicaDecision struct {
+	Outcome string `json:"outcome"`
+	Gen     uint64 `json:"gen,omitempty"`
+}
+
 // Snapshot is the full durable state of one broker at a checkpoint, and
 // doubles as the recovered-state type returned after log replay.
 type Snapshot struct {
@@ -128,6 +149,12 @@ type Snapshot struct {
 	// Outcomes maps transactions this broker's coordinator decided to
 	// PhaseCommitted / PhaseAborted — the durable answers to MoveQuery.
 	Outcomes map[string]string `json:"outcomes,omitempty"`
+	// Replicas maps transactions whose decision this broker replicates on
+	// behalf of other coordinators (preference-list membership).
+	Replicas map[string]ReplicaDecision `json:"replicas,omitempty"`
+	// Fences maps transactions to the highest coordinator generation this
+	// broker granted a lease at; lower-generation messages are rejected.
+	Fences map[string]uint64 `json:"fences,omitempty"`
 }
 
 // replayState applies WAL records on top of a snapshot. Tables become maps
@@ -137,6 +164,8 @@ type replayState struct {
 	sentSubs, sentAdvs map[string]map[string]bool
 	reconfigs          map[string]ReconfigRecord
 	outcomes           map[string]string
+	replicas           map[string]ReplicaDecision
+	fences             map[string]uint64
 }
 
 func newReplayState(snap *Snapshot) *replayState {
@@ -144,6 +173,7 @@ func newReplayState(snap *Snapshot) *replayState {
 		srt: make(map[string]TableRecord), prt: make(map[string]TableRecord),
 		sentSubs: make(map[string]map[string]bool), sentAdvs: make(map[string]map[string]bool),
 		reconfigs: make(map[string]ReconfigRecord), outcomes: make(map[string]string),
+		replicas: make(map[string]ReplicaDecision), fences: make(map[string]uint64),
 	}
 	if snap == nil {
 		return rs
@@ -165,6 +195,12 @@ func newReplayState(snap *Snapshot) *replayState {
 	}
 	for tx, out := range snap.Outcomes {
 		rs.outcomes[tx] = out
+	}
+	for tx, rd := range snap.Replicas {
+		rs.replicas[tx] = rd
+	}
+	for tx, g := range snap.Fences {
+		rs.fences[tx] = g
 	}
 	return rs
 }
@@ -223,6 +259,16 @@ func (rs *replayState) apply(rec Record) {
 		delete(rs.reconfigs, rec.Tx)
 	case OpDecision:
 		rs.outcomes[rec.Tx] = rec.Outcome
+	case OpReplica:
+		// Higher-generation decisions supersede; a duplicate at the same
+		// generation replays idempotently.
+		if cur, ok := rs.replicas[rec.Tx]; !ok || rec.Gen >= cur.Gen {
+			rs.replicas[rec.Tx] = ReplicaDecision{Outcome: rec.Outcome, Gen: rec.Gen}
+		}
+	case OpFence:
+		if rec.Gen > rs.fences[rec.Tx] {
+			rs.fences[rec.Tx] = rec.Gen
+		}
 	}
 }
 
@@ -268,6 +314,18 @@ func (rs *replayState) snapshot(gen uint64) *Snapshot {
 		snap.Outcomes = make(map[string]string, len(rs.outcomes))
 		for tx, out := range rs.outcomes {
 			snap.Outcomes[tx] = out
+		}
+	}
+	if len(rs.replicas) > 0 {
+		snap.Replicas = make(map[string]ReplicaDecision, len(rs.replicas))
+		for tx, rd := range rs.replicas {
+			snap.Replicas[tx] = rd
+		}
+	}
+	if len(rs.fences) > 0 {
+		snap.Fences = make(map[string]uint64, len(rs.fences))
+		for tx, g := range rs.fences {
+			snap.Fences[tx] = g
 		}
 	}
 	return snap

@@ -25,6 +25,7 @@ type Registry struct {
 	mu         sync.Mutex
 	brokers    map[string]*BrokerMetrics
 	stores     map[string]*StoreMetrics
+	repls      map[string]*ReplicationMetrics
 	transports []*TransportMetrics
 	extra      []func(io.Writer)
 	families   []func(*PromBuilder)
@@ -40,6 +41,7 @@ func NewRegistry() *Registry {
 	return &Registry{
 		brokers: make(map[string]*BrokerMetrics),
 		stores:  make(map[string]*StoreMetrics),
+		repls:   make(map[string]*ReplicationMetrics),
 		traces:  NewTraceStore(0, 0),
 		spans:   NewSpanRecorder(0),
 		started: time.Now(),
@@ -62,6 +64,18 @@ func (r *Registry) RegisterStore(id message.BrokerID, sm *StoreMetrics) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.stores[string(id)] = sm
+}
+
+// RegisterReplication attaches one broker's decision-replication
+// instruments under its ID; the padres_replication_* series appear on
+// /metrics alongside the broker's.
+func (r *Registry) RegisterReplication(id message.BrokerID, rm *ReplicationMetrics) {
+	if rm == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.repls[string(id)] = rm
 }
 
 // RegisterTransport attaches a transport's reliability instruments; the
@@ -132,6 +146,10 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 	for id, sm := range r.stores {
 		stores[id] = sm
 	}
+	repls := make(map[string]*ReplicationMetrics, len(r.repls))
+	for id, rm := range r.repls {
+		repls[id] = rm
+	}
 	transports := make([]*TransportMetrics, len(r.transports))
 	copy(transports, r.transports)
 	families := make([]func(*PromBuilder), len(r.families))
@@ -157,6 +175,9 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 		brokers[id].writeProm(pb, id)
 		if sm := stores[id]; sm != nil {
 			sm.writeProm(pb, id)
+		}
+		if rm := repls[id]; rm != nil {
+			rm.writeProm(pb, id)
 		}
 	}
 	for _, tm := range transports {

@@ -206,8 +206,10 @@ func MergeSnapshots(snaps ...HistogramSnapshot) (HistogramSnapshot, error) {
 }
 
 // kindSlots bounds the per-kind counter array; message kinds are small
-// consecutive integers.
-const kindSlots = 16
+// consecutive integers. Keep headroom above the highest defined kind
+// (currently KindStandbyResolve = 17) so new kinds are counted, not
+// silently dropped by the bounds check in CountSend.
+const kindSlots = 24
 
 // BrokerMetrics holds one broker's runtime instruments. All fields are
 // updated lock-free; the broker hot path touches only atomics.
@@ -439,6 +441,67 @@ func (sm *StoreMetrics) writeProm(pb *PromBuilder, broker string) {
 func (sm *StoreMetrics) writePrometheus(w io.Writer, broker string) {
 	pb := NewPromBuilder()
 	sm.writeProm(pb, broker)
+	pb.Emit(w)
+}
+
+// ReplicationMetrics holds one broker's movement-decision replication
+// instruments: quorum write latency, hinted-handoff depth, standby
+// takeovers, and generation fencing. Updated lock-free by the replication
+// agent; scrapes need no coordination.
+type ReplicationMetrics struct {
+	// QuorumLatency measures one decision's replication round: from the
+	// first ReplicateDecision send to the write quorum's last required ack.
+	QuorumLatency *Histogram
+	// Replicated counts decision records successfully replicated to a
+	// write quorum before the coordinator acted on them.
+	Replicated Counter
+	// QuorumFailures counts decisions whose write quorum never assembled
+	// within the replication timeout (the move aborts instead).
+	QuorumFailures Counter
+	// HandoffDepth mirrors the number of hinted-handoff records currently
+	// parked at this broker for unreachable preference-list members.
+	HandoffDepth Gauge
+	// Handoffs counts hinted handoffs accepted on behalf of down replicas.
+	Handoffs Counter
+	// HandoffDeliveries counts parked hints re-delivered to their owner.
+	HandoffDeliveries Counter
+	// Takeovers counts standby takeovers this broker completed (lease
+	// claimed, quorum granted, resolution driven to every participant).
+	Takeovers Counter
+	// LeaseClaims counts takeover bids this broker issued.
+	LeaseClaims Counter
+	// FencingRejections counts stale coordinator messages dropped because
+	// a higher-generation takeover had fenced them.
+	FencingRejections Counter
+	// DecisionsHeld mirrors the replica decision records currently held on
+	// behalf of other coordinators.
+	DecisionsHeld Gauge
+}
+
+// NewReplicationMetrics returns zeroed replication instruments.
+func NewReplicationMetrics() *ReplicationMetrics {
+	return &ReplicationMetrics{QuorumLatency: NewLatencyHistogram()}
+}
+
+// writeProm adds the replication instruments labelled with the broker ID.
+func (rm *ReplicationMetrics) writeProm(pb *PromBuilder, broker string) {
+	l := []Label{{"broker", broker}}
+	pb.Counter("padres_replication_replicated_total", "Decision records replicated to a write quorum.", l, rm.Replicated.Value())
+	pb.Counter("padres_replication_quorum_failures_total", "Decisions whose write quorum never assembled in time.", l, rm.QuorumFailures.Value())
+	pb.Gauge("padres_replication_handoff_depth", "Hinted-handoff records parked for unreachable replicas.", l, rm.HandoffDepth.Value())
+	pb.Counter("padres_replication_handoffs_total", "Hinted handoffs accepted on behalf of down replicas.", l, rm.Handoffs.Value())
+	pb.Counter("padres_replication_handoff_deliveries_total", "Parked hints re-delivered to their owning replica.", l, rm.HandoffDeliveries.Value())
+	pb.Counter("padres_replication_takeovers_total", "Standby takeovers completed by this broker.", l, rm.Takeovers.Value())
+	pb.Counter("padres_replication_lease_claims_total", "Takeover bids issued by this broker.", l, rm.LeaseClaims.Value())
+	pb.Counter("padres_replication_fencing_rejections_total", "Stale lower-generation coordinator messages dropped.", l, rm.FencingRejections.Value())
+	pb.Gauge("padres_replication_decisions_held", "Replica decision records held for other coordinators.", l, rm.DecisionsHeld.Value())
+	pb.Histogram("padres_replication_quorum_latency_seconds", "Decision replication round: first send to write-quorum ack.", l, rm.QuorumLatency.Snapshot())
+}
+
+// writePrometheus emits the replication instruments in Prometheus text form.
+func (rm *ReplicationMetrics) writePrometheus(w io.Writer, broker string) {
+	pb := NewPromBuilder()
+	rm.writeProm(pb, broker)
 	pb.Emit(w)
 }
 

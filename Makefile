@@ -65,6 +65,20 @@ REPLICATION_COUNT ?= 7
 REPLICATION_TIME  ?= 40x
 REPLICATION_OUT   ?= BENCH_replication.json
 
+# Sim knobs: the `sim` target sweeps SIM_SEEDS consecutive seeds of a
+# SIM_BROKERS-broker scripted catastrophe (publication storms + thundering
+# move herds + rolling partitions + staggered coordinator kills) in fully
+# simulated time, runs every seed twice, and fails unless each seed's
+# journal audits clean and reproduces byte-identically. bench-sim gates the
+# clock seam: every hot-path time read goes through sim.Clock, and the
+# indirection must cost the real-time dispatch path <= 5%.
+SIM_SEED    ?= 1
+SIM_SEEDS   ?= 10
+SIM_BROKERS ?= 500
+SIM_COUNT   ?= 5
+SIM_TIME    ?= 10000x
+SIM_OUT     ?= BENCH_sim.json
+
 # Audit-stream knobs: the benchmark interleaves a journaled dispatch
 # pipeline with and without a live journal tap subscribed; benchjson takes
 # the median over AUDIT_STREAM_COUNT runs before judging the 5% budget on
@@ -73,7 +87,7 @@ AUDIT_STREAM_COUNT ?= 7
 AUDIT_STREAM_TIME  ?= 20000x
 AUDIT_STREAM_OUT   ?= BENCH_audit.json
 
-.PHONY: all vet build test race ci bench bench-dispatch bench-reliability bench-wal bench-telemetry bench-audit-stream bench-match bench-replication audit audit-stream chaos chaos-recovery chaos-coordinator
+.PHONY: all vet build test race ci bench bench-dispatch bench-reliability bench-wal bench-telemetry bench-audit-stream bench-match bench-replication bench-sim audit audit-stream chaos chaos-recovery chaos-coordinator sim
 
 all: ci
 
@@ -231,3 +245,25 @@ audit-stream:
 	$(GO) run ./cmd/padres-audit -stream $(AUDIT_JOURNAL)
 
 ci: vet build race
+
+# sim is the determinism gate: a seed sweep of scripted catastrophes at
+# SIM_BROKERS brokers, entirely in simulated time on one goroutine. Every
+# seed must audit clean against the paper's mobility properties AND
+# reproduce its journal byte for byte when re-run; a failing seed is
+# printed as a reproducer command line.
+sim:
+	$(GO) run ./cmd/padres-sim -seed $(SIM_SEED) -seeds $(SIM_SEEDS) -brokers $(SIM_BROKERS) -verify-determinism
+
+# bench-sim measures what the simulator's clock seam costs the real-time
+# dispatch path (every hot-path Now/Since goes through the sim.Clock
+# interface now) plus the virtual event loop's raw throughput, and emits
+# $(SIM_OUT); benchjson exits non-zero when the seam's median overhead
+# exceeds the 5% budget or the benchmark is missing.
+bench-sim:
+	$(GO) test ./internal/broker/ -run '^$$' -bench '^BenchmarkSimClockOverhead$$' \
+		-benchtime $(SIM_TIME) -count $(SIM_COUNT) \
+		| tee bench-sim.out.txt
+	$(GO) test ./internal/sim/ -run '^$$' -bench 'BenchmarkSimEventLoop|BenchmarkSimTimerChurn' \
+		-benchtime 200000x | tee -a bench-sim.out.txt
+	$(GO) run ./cmd/benchjson -require-sim -out $(SIM_OUT) bench-sim.out.txt
+	@echo "wrote $(SIM_OUT)"

@@ -76,6 +76,7 @@ type report struct {
 	TelemetryOverhead   *reliability `json:"telemetry_overhead,omitempty"`
 	AuditOverhead       *reliability `json:"audit_overhead,omitempty"`
 	ReplicationOverhead *reliability `json:"replication_overhead,omitempty"`
+	SimOverhead         *reliability `json:"sim_overhead,omitempty"`
 	MatchScaling        *matching    `json:"match_scaling,omitempty"`
 }
 
@@ -155,16 +156,18 @@ func main() {
 		"exit 2 unless the audit-stream-overhead benchmark is present and within budget")
 	requireMatch := flag.Bool("require-match", false,
 		"exit 2 unless the matching-scalability benchmarks are present and meet their targets")
+	requireSim := flag.Bool("require-sim", false,
+		"fail unless BenchmarkSimClockOverhead is present and the simulator clock seam's dispatch overhead is within budget")
 	requireRepl := flag.Bool("require-replication", false,
 		"exit 2 unless the replication-overhead benchmark is present and within budget")
 	flag.Parse()
-	if err := run(*out, *requireScaling, *requireReliability, *requireWAL, *requireTelemetry, *requireAudit, *requireMatch, *requireRepl, flag.Args()); err != nil {
+	if err := run(*out, *requireScaling, *requireReliability, *requireWAL, *requireTelemetry, *requireAudit, *requireMatch, *requireRepl, *requireSim, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out string, requireScaling, requireReliability, requireWAL, requireTelemetry, requireAudit, requireMatch, requireRepl bool, args []string) error {
+func run(out string, requireScaling, requireReliability, requireWAL, requireTelemetry, requireAudit, requireMatch, requireRepl, requireSim bool, args []string) error {
 	var in io.Reader = os.Stdin
 	if len(args) > 0 {
 		f, err := os.Open(args[0])
@@ -237,6 +240,17 @@ func run(out string, requireScaling, requireReliability, requireWAL, requireTele
 		if !q.WithinBudget {
 			os.Exit(2)
 		}
+	}
+	if v := rep.SimOverhead; v != nil {
+		fmt.Fprintf(os.Stderr, "sim clock-seam dispatch overhead: %.2f%% over %d runs (budget %.0f%%)\n",
+			v.OverheadPct, v.Runs, v.BudgetPct)
+		if !v.WithinBudget {
+			os.Exit(2)
+		}
+	}
+	if requireSim && rep.SimOverhead == nil {
+		fmt.Fprintln(os.Stderr, "benchjson: -require-sim set but BenchmarkSimClockOverhead not found")
+		os.Exit(2)
 	}
 	if requireRepl && rep.ReplicationOverhead == nil {
 		fmt.Fprintln(os.Stderr, "benchjson: -require-replication set but BenchmarkReplicationOverhead not found")
@@ -374,6 +388,7 @@ func parse(in io.Reader) (*report, error) {
 	rep.TelemetryOverhead = modePair(byName["BenchmarkTelemetryOverhead"])
 	rep.AuditOverhead = modePair(byName["BenchmarkAuditStreamOverhead"])
 	rep.ReplicationOverhead = modePair(byName["BenchmarkReplicationOverhead"])
+	rep.SimOverhead = modePair(byName["BenchmarkSimClockOverhead"])
 
 	mSmall := byName["BenchmarkPRTMatch/subs=1024"]
 	mLarge := byName["BenchmarkPRTMatch/subs=102400"]

@@ -36,6 +36,7 @@ import (
 	"padres/internal/matching"
 	"padres/internal/message"
 	"padres/internal/replication"
+	"padres/internal/sim"
 	"padres/internal/store"
 	"padres/internal/telemetry"
 	"padres/internal/transport"
@@ -111,6 +112,12 @@ type Broker struct {
 	cfg    Config
 	tel    *telemetry.BrokerMetrics
 	jclock atomic.Pointer[brokerClock]
+	// clk is the broker's time source, inherited from the transport so one
+	// cluster-wide knob switches real and simulated time. sched is non-nil
+	// in scheduled (simulation) mode: the dispatch goroutine is replaced by
+	// per-message loop events and every timer lands on the event heap.
+	clk   sim.Clock
+	sched sim.Scheduler
 
 	srt *matching.SRT
 	prt *matching.PRT
@@ -126,6 +133,11 @@ type Broker struct {
 	spaceCond *sync.Cond // signalled when the bounded inbox frees a slot
 	stopped   bool
 	paused    bool
+	// busy marks a scheduled-mode dispatch in flight across a service-time
+	// delay; deferred counts dispatch events consumed while paused or busy,
+	// to be re-posted when the broker frees up. Scheduled mode only.
+	busy      bool
+	deferred  int
 	clients   map[message.NodeID]ClientDeliver
 	sentSubs  map[message.SubID]map[message.NodeID]bool
 	sentAdvs  map[message.AdvID]map[message.NodeID]bool
@@ -143,7 +155,7 @@ type Broker struct {
 	// indoubt lists movements recovered in prepared state, queried at Start.
 	indoubt []message.MoveHeader
 	// queryTimers arm the local-abort fallback per in-doubt movement.
-	queryTimers map[message.TxID]*time.Timer
+	queryTimers map[message.TxID]sim.Timer
 
 	// repl is the replication agent (nil without Config.Replication).
 	repl    *replication.Agent
@@ -169,6 +181,8 @@ func New(cfg Config) (*Broker, error) {
 		neighbors: make(map[message.BrokerID]bool, len(cfg.Neighbors)),
 		outcomes:  make(map[message.TxID]string),
 		done:      make(chan struct{}),
+		clk:       cfg.Net.Clock(),
+		sched:     cfg.Net.Scheduler(),
 	}
 	b.cond = sync.NewCond(&b.mu)
 	b.spaceCond = sync.NewCond(&b.mu)
@@ -213,7 +227,9 @@ func (b *Broker) SetControlSink(fn ControlSink) {
 // in-doubt movement transactions, begins resolving them by querying their
 // target coordinators.
 func (b *Broker) Start() {
-	go b.run()
+	if b.sched == nil {
+		go b.run()
+	}
 	b.mu.Lock()
 	pending := b.indoubt
 	b.indoubt = nil
@@ -245,6 +261,10 @@ func (b *Broker) Stop() {
 	b.cond.Signal()
 	b.spaceCond.Broadcast()
 	b.mu.Unlock()
+	if b.sched != nil {
+		// Scheduled mode has no dispatch goroutine to wait out.
+		close(b.done)
+	}
 	<-b.done
 	if b.repl != nil {
 		b.repl.Stop()
@@ -271,6 +291,13 @@ func (b *Broker) Unpause() {
 	defer b.mu.Unlock()
 	b.paused = false
 	b.cond.Signal()
+	if b.sched != nil {
+		// Re-post the dispatch events consumed while paused.
+		for i := 0; i < b.deferred; i++ {
+			b.sched.Post(b.dispatchOne)
+		}
+		b.deferred = 0
+	}
 }
 
 // AttachClient registers a locally connected client by its
@@ -400,11 +427,13 @@ type inboxItem struct {
 func (b *Broker) enqueue(env message.Envelope) {
 	it := inboxItem{env: env}
 	if b.tel.StageTimingEnabled() {
-		it.at = time.Now()
+		it.at = b.clk.Now()
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if cap := b.cfg.InboxCapacity; cap > 0 && len(b.inbox) >= cap && !b.stopped {
+	// Backpressure blocking would deadlock the single event-loop goroutine,
+	// so scheduled mode keeps the inbox unbounded.
+	if cap := b.cfg.InboxCapacity; b.sched == nil && cap > 0 && len(b.inbox) >= cap && !b.stopped {
 		b.tel.BackpressureWaits.Inc()
 		for len(b.inbox) >= cap && !b.stopped {
 			b.spaceCond.Wait()
@@ -418,7 +447,89 @@ func (b *Broker) enqueue(env message.Envelope) {
 	depth := int64(len(b.inbox))
 	b.tel.QueueDepth.Set(depth)
 	b.tel.QueueHighWater.Observe(depth)
+	if b.sched != nil {
+		// One dispatch event per queued item. Extra events (re-posted after
+		// a pause, say) find an empty inbox and no-op.
+		b.sched.Post(b.dispatchOne)
+		return
+	}
 	b.cond.Signal()
+}
+
+// dispatchOne is the scheduled-mode dispatcher: one loop event processes one
+// inbox item. A per-message service time does not sleep — it re-posts the
+// tail of the dispatch as a later event, leaving the loop free, so simulated
+// broker congestion behaves like the real dispatch goroutine's.
+func (b *Broker) dispatchOne() {
+	b.mu.Lock()
+	if b.stopped {
+		b.mu.Unlock()
+		return
+	}
+	if b.paused || b.busy {
+		b.deferred++
+		b.mu.Unlock()
+		return
+	}
+	if len(b.inbox) == 0 {
+		b.mu.Unlock()
+		return
+	}
+	it := b.inbox[0]
+	b.inbox = b.inbox[1:]
+	b.tel.QueueDepth.Set(int64(len(b.inbox)))
+	var cost time.Duration
+	if b.cfg.ServiceTime > 0 {
+		cost = b.cfg.ServiceTime
+		if it.env.Msg.Kind().IsControl() {
+			cost /= 4
+		}
+		b.busy = true
+	}
+	b.mu.Unlock()
+	if !it.at.IsZero() {
+		b.tel.InboxWait.Observe(b.clk.Since(it.at))
+	}
+	if cost > 0 {
+		b.sched.AfterFunc(cost, func() { b.finishDispatch(it.env) })
+		return
+	}
+	b.finishDispatch(it.env)
+}
+
+// finishDispatch journals, processes and accounts one envelope, then
+// releases any dispatch events deferred while the broker was busy.
+func (b *Broker) finishDispatch(env message.Envelope) {
+	b.mu.Lock()
+	if b.stopped {
+		b.mu.Unlock()
+		b.cfg.Net.Done(env.Msg)
+		return
+	}
+	b.mu.Unlock()
+	if j := b.journal(); j != nil {
+		j.Add(journal.Record{
+			Site: string(b.cfg.ID), Cat: journal.CatBroker, Kind: journal.KindDispatch,
+			Lamport: b.clock(j).Tick(), Tx: string(env.Msg.Tag()),
+			Ref: message.RefOf(env.Msg), From: string(env.From),
+			Detail: env.Msg.Kind().String(),
+		})
+	}
+	t0 := b.clk.Now()
+	b.process(env)
+	b.tel.DispatchLatency.Observe(b.clk.Since(t0))
+	b.tel.Processed.Inc()
+	b.tel.SRTSize.Set(int64(b.srt.Len()))
+	b.tel.PRTSize.Set(int64(b.prt.Len()))
+	b.cfg.Net.Done(env.Msg)
+	b.mu.Lock()
+	b.busy = false
+	again := b.deferred
+	b.deferred = 0
+	b.mu.Unlock()
+	for i := 0; i < again; i++ {
+		b.sched.Post(b.dispatchOne)
+	}
 }
 
 func (b *Broker) run() {
@@ -443,7 +554,7 @@ func (b *Broker) run() {
 		b.mu.Unlock()
 		env := it.env
 		if !it.at.IsZero() {
-			b.tel.InboxWait.Observe(time.Since(it.at))
+			b.tel.InboxWait.Observe(b.clk.Since(it.at))
 		}
 
 		if j := b.journal(); j != nil {
@@ -474,13 +585,13 @@ func (b *Broker) run() {
 			if env.Msg.Kind().IsControl() {
 				cost /= 4
 			}
-			time.Sleep(cost)
+			b.clk.Sleep(cost)
 		}
 		// Measure the real dispatch cost (matching and forwarding), not the
 		// simulated service delay above.
-		t0 := time.Now()
+		t0 := b.clk.Now()
 		b.process(env)
-		b.tel.DispatchLatency.Observe(time.Since(t0))
+		b.tel.DispatchLatency.Observe(b.clk.Since(t0))
 		b.tel.Processed.Inc()
 		b.tel.SRTSize.Set(int64(b.srt.Len()))
 		b.tel.PRTSize.Set(int64(b.prt.Len()))
@@ -618,7 +729,7 @@ func (b *Broker) inject(from message.NodeID, m message.Message, lamport uint64) 
 	env := message.Envelope{From: from, Msg: m}
 	if ts := b.cfg.Net.Tracer(); ts != nil {
 		env.Trace = message.TraceOf(m)
-		ts.RecordHop(env.Trace, from, b.cfg.ID.Node(), m.Kind(), time.Now())
+		ts.RecordHop(env.Trace, from, b.cfg.ID.Node(), m.Kind(), b.clk.Now())
 	}
 	if j := b.journal(); j != nil {
 		c := b.clock(j)

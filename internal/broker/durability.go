@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"padres/internal/message"
+	"padres/internal/sim"
 	"padres/internal/store"
 )
 
@@ -320,9 +321,9 @@ func (b *Broker) queryInDoubt(hdr message.MoveHeader) {
 		return
 	}
 	if b.queryTimers == nil {
-		b.queryTimers = make(map[message.TxID]*time.Timer)
+		b.queryTimers = make(map[message.TxID]sim.Timer)
 	}
-	b.queryTimers[hdr.Tx] = time.AfterFunc(timeout, func() { b.queryTimedOut(hdr) })
+	b.queryTimers[hdr.Tx] = b.clk.AfterFunc(timeout, func() { b.queryTimedOut(hdr) })
 	b.mu.Unlock()
 	_ = b.SendControl(message.MoveQuery{MoveHeader: hdr, From: b.cfg.ID})
 	// With replication on, also ask every standby replica: if the target

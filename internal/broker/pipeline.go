@@ -159,11 +159,11 @@ func (p *pipeline) worker() {
 	b := p.b
 	for t := range p.workCh {
 		if b.cfg.ServiceTime > 0 {
-			time.Sleep(b.cfg.ServiceTime)
+			b.clk.Sleep(b.cfg.ServiceTime)
 		}
-		t0 := time.Now()
+		t0 := b.clk.Now()
 		plan := &pubPlan{env: t.env, m: t.m, actions: b.planPublish(t.m, t.env.From)}
-		t1 := time.Now()
+		t1 := b.clk.Now()
 		b.tel.DispatchLatency.Observe(t1.Sub(t0))
 		if b.tel.StageTimingEnabled() {
 			plan.matchedAt = t1
@@ -181,7 +181,7 @@ func (p *pipeline) committer() {
 		if !plan.matchedAt.IsZero() {
 			// Time spent matched but waiting for earlier inbox slots to
 			// commit — the price of in-order egress.
-			p.commitWait.Observe(time.Since(plan.matchedAt))
+			p.commitWait.Observe(p.b.clk.Since(plan.matchedAt))
 		}
 		if len(plan.actions) == 0 {
 			p.finish(plan)
@@ -305,9 +305,9 @@ func (p *pipeline) flusher(dest message.NodeID, q *egressQueue) {
 		flushSends := func() {
 			if len(msgs) > 0 {
 				if b.tel.StageTimingEnabled() {
-					t0 := time.Now()
+					t0 := b.clk.Now()
 					b.sendBatch(dest, msgs)
-					p.egressFlush.Observe(time.Since(t0))
+					p.egressFlush.Observe(b.clk.Since(t0))
 				} else {
 					b.sendBatch(dest, msgs)
 				}

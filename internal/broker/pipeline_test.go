@@ -1,6 +1,7 @@
 package broker
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -17,8 +18,9 @@ import (
 )
 
 // newPipelinePair builds two linked brokers b1-b2 with the given dispatch
-// width and returns them (started, with cleanup registered).
-func newPipelinePair(t *testing.T, workers, inboxCap int) (*Broker, *Broker, *transport.Network) {
+// width and returns them (started, with cleanup registered) along with the
+// shared registry, whose in-flight accounting the tests use as a barrier.
+func newPipelinePair(t *testing.T, workers, inboxCap int) (*Broker, *Broker, *transport.Network, *metrics.Registry) {
 	t.Helper()
 	reg := metrics.NewRegistry()
 	net := transport.NewNetwork(reg)
@@ -52,7 +54,21 @@ func newPipelinePair(t *testing.T, workers, inboxCap int) (*Broker, *Broker, *tr
 	if err := net.AddLink("b1", "b2", transport.LinkOptions{CountTraffic: true}); err != nil {
 		t.Fatal(err)
 	}
-	return brokers["b1"], brokers["b2"], net
+	return brokers["b1"], brokers["b2"], net, reg
+}
+
+// settle blocks until every injected message has fully drained — processed,
+// forwarded, and delivered — using the registry's in-flight accounting.
+// Brokers release a message's token only after processing it (and a
+// publication's only after its last egress action), so quiescence implies
+// routing-table updates and client deliveries are visible.
+func settle(t *testing.T, reg *metrics.Registry) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := reg.AwaitQuiescent(ctx); err != nil {
+		t.Fatalf("pipeline never went quiescent: %v", err)
+	}
 }
 
 // testPipelineOrdering drives several publication sources through a
@@ -61,7 +77,7 @@ func newPipelinePair(t *testing.T, workers, inboxCap int) (*Broker, *Broker, *tr
 // from one source arrive in that source's publish order.
 func testPipelineOrdering(t *testing.T, workers int) {
 	t.Helper()
-	b1, b2, _ := newPipelinePair(t, workers, 0)
+	b1, b2, _, reg := newPipelinePair(t, workers, 0)
 
 	const sources = 4
 	const perSource = 200
@@ -104,12 +120,9 @@ func testPipelineOrdering(t *testing.T, workers int) {
 	}
 	b2.Inject(subNode, message.Subscribe{ID: "s1", Client: "sub", Filter: predicate.MustParse("[x,>,0]")})
 
-	deadline := time.Now().Add(10 * time.Second)
-	for b1.Stats().PRTSize < 1 {
-		if time.Now().After(deadline) {
-			t.Fatal("subscription never reached b1")
-		}
-		time.Sleep(time.Millisecond)
+	settle(t, reg)
+	if b1.Stats().PRTSize < 1 {
+		t.Fatal("subscription never reached b1")
 	}
 
 	var wg sync.WaitGroup
@@ -128,11 +141,9 @@ func testPipelineOrdering(t *testing.T, workers int) {
 	wg.Wait()
 
 	want := int64(sources * perSource)
-	for delivered.Load() < want {
-		if time.Now().After(deadline) {
-			t.Fatalf("delivered %d of %d", delivered.Load(), want)
-		}
-		time.Sleep(time.Millisecond)
+	settle(t, reg)
+	if got := delivered.Load(); got != want {
+		t.Fatalf("delivered %d of %d", got, want)
 	}
 
 	mu.Lock()
@@ -157,7 +168,7 @@ func TestPipelineOrderingParallel(t *testing.T) { testPipelineOrdering(t, 8) }
 // unsubscription enqueued after a burst of publications must not overtake
 // them — every publication published before the unsubscribe is delivered.
 func TestPipelineControlBarrier(t *testing.T) {
-	b1, _, _ := newPipelinePair(t, 8, 0)
+	b1, _, _, reg := newPipelinePair(t, 8, 0)
 
 	var delivered atomic.Int64
 	subNode := message.ClientNode("sub", "b1")
@@ -166,12 +177,9 @@ func TestPipelineControlBarrier(t *testing.T) {
 	b1.Inject(pubNode, message.Advertise{ID: "a1", Client: "pub", Filter: predicate.MustParse("[x,>,0]")})
 	b1.Inject(subNode, message.Subscribe{ID: "s1", Client: "sub", Filter: predicate.MustParse("[x,>,0]")})
 
-	deadline := time.Now().Add(10 * time.Second)
-	for b1.Stats().PRTSize < 1 {
-		if time.Now().After(deadline) {
-			t.Fatal("subscription never installed")
-		}
-		time.Sleep(time.Millisecond)
+	settle(t, reg)
+	if b1.Stats().PRTSize < 1 {
+		t.Fatal("subscription never installed")
 	}
 
 	const pubs = 500
@@ -186,11 +194,9 @@ func TestPipelineControlBarrier(t *testing.T) {
 	// entry is removed.
 	b1.Inject(subNode, message.Unsubscribe{ID: "s1", Client: "sub"})
 
-	for b1.Stats().PRTSize > 0 {
-		if time.Now().After(deadline) {
-			t.Fatal("unsubscribe never processed")
-		}
-		time.Sleep(time.Millisecond)
+	settle(t, reg)
+	if b1.Stats().PRTSize > 0 {
+		t.Fatal("unsubscribe never processed")
 	}
 	if got := delivered.Load(); got != pubs {
 		t.Fatalf("delivered %d of %d publications enqueued before the unsubscribe", got, pubs)
@@ -203,7 +209,7 @@ func TestPipelineControlBarrier(t *testing.T) {
 // backpressure counter must record the episode.
 func TestInboxBackpressure(t *testing.T) {
 	const capacity = 8
-	b1, _, _ := newPipelinePair(t, 1, capacity)
+	b1, _, _, reg := newPipelinePair(t, 1, capacity)
 
 	var delivered atomic.Int64
 	subNode := message.ClientNode("sub", "b1")
@@ -211,12 +217,9 @@ func TestInboxBackpressure(t *testing.T) {
 	b1.AttachClient(subNode, func(message.Publish) { delivered.Add(1) })
 	b1.Inject(pubNode, message.Advertise{ID: "a1", Client: "pub", Filter: predicate.MustParse("[x,>,0]")})
 	b1.Inject(subNode, message.Subscribe{ID: "s1", Client: "sub", Filter: predicate.MustParse("[x,>,0]")})
-	deadline := time.Now().Add(10 * time.Second)
-	for b1.Stats().PRTSize < 1 {
-		if time.Now().After(deadline) {
-			t.Fatal("subscription never installed")
-		}
-		time.Sleep(time.Millisecond)
+	settle(t, reg)
+	if b1.Stats().PRTSize < 1 {
+		t.Fatal("subscription never installed")
 	}
 
 	b1.Pause()
@@ -251,10 +254,8 @@ func TestInboxBackpressure(t *testing.T) {
 	case <-time.After(10 * time.Second):
 		t.Fatal("producer still blocked after Unpause")
 	}
-	for delivered.Load() < pubs {
-		if time.Now().After(deadline) {
-			t.Fatalf("delivered %d of %d", delivered.Load(), pubs)
-		}
-		time.Sleep(time.Millisecond)
+	settle(t, reg)
+	if got := delivered.Load(); got != pubs {
+		t.Fatalf("delivered %d of %d", got, pubs)
 	}
 }

@@ -23,8 +23,9 @@ func (b *Broker) initReplication(rec *store.Recovery) {
 	}
 	b.replTel = telemetry.NewReplicationMetrics()
 	b.repl = replication.NewAgent(*cfg, replication.Hooks{
-		Self: b.cfg.ID,
-		Send: func(m message.Message) { _ = b.SendControl(m) },
+		Self:  b.cfg.ID,
+		Clock: b.clk,
+		Send:  func(m message.Message) { _ = b.SendControl(m) },
 		PersistReplica: func(hdr message.MoveHeader, outcome string, gen uint64) error {
 			if b.store == nil {
 				return nil

@@ -1,8 +1,8 @@
 package broker
 
 import (
+	"sort"
 	"strings"
-	"time"
 
 	"padres/internal/journal"
 	"padres/internal/matching"
@@ -118,6 +118,7 @@ func (b *Broker) sentSubTargets(id message.SubID) []message.NodeID {
 			out = append(out, n)
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
@@ -162,6 +163,7 @@ func (b *Broker) sentAdvTargets(id message.AdvID) []message.NodeID {
 			out = append(out, n)
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
@@ -179,7 +181,7 @@ func (b *Broker) handleAdvertise(m message.Advertise, from message.NodeID) {
 
 	// Advertisements flood: forward to every neighbor except the one the
 	// advertisement came from (modulo covering quench).
-	for n := range b.neighbors {
+	for _, n := range b.cfg.Neighbors {
 		if n.Node() == from {
 			continue
 		}
@@ -382,16 +384,16 @@ func (b *Broker) maybeSendSub(id message.SubID, client message.ClientID, f *pred
 // parallel dispatch workers call it concurrently; the serial lane executes
 // the plan inline via handlePublish.
 func (b *Broker) planPublish(m message.Publish, from message.NodeID) []pubAction {
-	t0 := time.Now()
+	t0 := b.clk.Now()
 	// A publication is valid only if some advertisement (from its
 	// publisher's flooded advertisement tree) matches it.
 	if !b.srt.MatchAny(m.Event) {
-		b.tel.MatchLatency.Observe(time.Since(t0))
+		b.tel.MatchLatency.Observe(b.clk.Since(t0))
 		b.tel.DroppedPublications.Inc()
 		return nil
 	}
 	matched := b.prt.Match(m.Event)
-	b.tel.MatchLatency.Observe(time.Since(t0))
+	b.tel.MatchLatency.Observe(b.clk.Since(t0))
 	var actions []pubAction
 	seen := make(map[message.NodeID]bool)
 	for _, sub := range matched {

@@ -32,6 +32,7 @@ import (
 	"padres/internal/overlay"
 	"padres/internal/predicate"
 	"padres/internal/replication"
+	"padres/internal/sim"
 	"padres/internal/telemetry"
 	"padres/internal/transport"
 )
@@ -41,6 +42,12 @@ import (
 type Options struct {
 	// Seed drives every random choice (faults, schedules, targets).
 	Seed int64
+	// Clock is the soak's time source (nil selects the wall clock). The
+	// soak drives a live cluster with blocking moves, so it normally runs
+	// on real time; fully simulated catastrophes live in
+	// internal/sim/scenario. The seam exists so every sleep and timestamp
+	// in the harness flows through one clock.
+	Clock sim.Clock
 	// Moves is the number of movement transactions to drive (default 200).
 	Moves int
 	// Movers is the number of mobile subscribers (default 4).
@@ -119,6 +126,9 @@ type Options struct {
 }
 
 func (o Options) withDefaults() Options {
+	if o.Clock == nil {
+		o.Clock = sim.Wall
+	}
 	if o.Moves <= 0 {
 		o.Moves = 200
 	}
@@ -328,7 +338,8 @@ func (r *Result) Summary() string {
 func Run(opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	rng := rand.New(rand.NewSource(opts.Seed))
-	start := time.Now()
+	clk := opts.Clock
+	start := clk.Now()
 
 	j := opts.Journal
 	if j == nil {
@@ -402,6 +413,7 @@ func Run(opts Options) (*Result, error) {
 		LinkFaults:           &faults,
 		DataDir:              opts.DataDir,
 		SnapshotEvery:        opts.SnapshotEvery,
+		Clock:                opts.Clock,
 	})
 	if err != nil {
 		return nil, err
@@ -505,7 +517,7 @@ func Run(opts Options) (*Result, error) {
 			select {
 			case <-pumpStop:
 				return
-			case <-time.After(5 * time.Millisecond):
+			case <-clk.After(5 * time.Millisecond):
 				p := publishers[i%len(publishers)]
 				_, _ = p.Publish(predicate.Event{"x": predicate.Number(float64(1 + i%100))})
 				i++
@@ -556,7 +568,7 @@ func Run(opts Options) (*Result, error) {
 				opts.Logf("move %d: crashed %s", m, id)
 				if opts.DataDir != "" {
 					restartWG.Add(1)
-					time.AfterFunc(opts.RestartAfter, func() {
+					clk.AfterFunc(opts.RestartAfter, func() {
 						defer restartWG.Done()
 						if err := in.Restart(id, nil); err != nil {
 							opts.Logf("restart %s failed: %v", id, err)
@@ -592,9 +604,9 @@ func Run(opts Options) (*Result, error) {
 			}
 		}
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-		moveStart := time.Now()
+		moveStart := clk.Now()
 		err := mv.Move(ctx, target)
-		moveElapsed := time.Since(moveStart)
+		moveElapsed := clk.Since(moveStart)
 		cancel()
 		res.Moves++
 		switch {
@@ -654,7 +666,7 @@ func Run(opts Options) (*Result, error) {
 	if opts.FreezeFor > longest {
 		longest = opts.FreezeFor
 	}
-	time.Sleep(longest + 50*time.Millisecond)
+	clk.Sleep(longest + 50*time.Millisecond)
 	for _, l := range topoLinks {
 		if c.Network().Partitioned(l[0].Node(), l[1].Node()) {
 			_ = in.Heal(l[0], l[1])
@@ -671,17 +683,17 @@ func Run(opts Options) (*Result, error) {
 		// Every restarted broker must resolve its recovered in-doubt
 		// movements (query answered, or local abort on query timeout)
 		// before the audit judges convergence.
-		deadline := time.Now().Add(30 * time.Second)
+		deadline := clk.Now().Add(30 * time.Second)
 		for _, id := range all {
 			for {
 				b := c.Broker(id)
 				if b == nil || b.InDoubtCount() == 0 {
 					break
 				}
-				if time.Now().After(deadline) {
+				if clk.Now().After(deadline) {
 					return nil, fmt.Errorf("broker %s still in doubt after restart", id)
 				}
-				time.Sleep(10 * time.Millisecond)
+				clk.Sleep(10 * time.Millisecond)
 			}
 		}
 	}
@@ -732,7 +744,7 @@ func Run(opts Options) (*Result, error) {
 		res.DeadInstruments = []string{fmt.Sprintf("soak exposition unparseable: %v", err)}
 	} else {
 		res.DeadInstruments = mon.DeadInstruments(e)
-		fs := mon.Aggregate([]mon.Scrape{{Target: mon.Target{Name: "soak"}, Expo: e}}, time.Now())
+		fs := mon.Aggregate([]mon.Scrape{{Target: mon.Target{Name: "soak"}, Expo: e}}, clk.Now())
 		res.Stages = fs.Stages
 		res.Phases = fs.Phases
 		for _, aggErr := range fs.Errors {
@@ -741,7 +753,7 @@ func Run(opts Options) (*Result, error) {
 		}
 	}
 
-	res.Duration = time.Since(start)
+	res.Duration = clk.Since(start)
 	res.Report = audit.Audit(j.Snapshot())
 	// Differential gate: when neither the ring nor the tap lost records,
 	// the two auditors saw identical evidence and must agree exactly —

@@ -14,6 +14,7 @@ import (
 
 	"padres/internal/message"
 	"padres/internal/predicate"
+	"padres/internal/sim"
 )
 
 // State is a client state from the paper's Fig. 4.
@@ -122,6 +123,10 @@ type DeliveryObserver func(id message.ClientID, pub message.PubID, outcome Deliv
 type Client struct {
 	id  message.ClientID
 	gen *message.IDGen
+	// clk stamps state-transition observations; the hosting container sets
+	// it so simulated clients report virtual times. Defaults to the wall
+	// clock.
+	clk sim.Clock
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -147,6 +152,7 @@ func New(id message.ClientID) *Client {
 	c := &Client{
 		id:    id,
 		gen:   message.NewIDGen(string(id)),
+		clk:   sim.Wall,
 		state: StateInit,
 		subs:  make(map[message.SubID]*predicate.Filter),
 		advs:  make(map[message.AdvID]*predicate.Filter),
@@ -204,8 +210,17 @@ func (c *Client) setStateLocked(s State) {
 	from := c.state
 	c.state = s
 	if c.stateObs != nil {
-		c.stateObs(c.id, from, s, time.Now())
+		c.stateObs(c.id, from, s, c.clk.Now())
 	}
+}
+
+// SetClock points the client's observation timestamps at clk (nil resets
+// to the wall clock). Containers call it when homing a client so simulated
+// runs stamp virtual time.
+func (c *Client) SetClock(clk sim.Clock) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.clk = sim.Or(clk)
 }
 
 // SetDeliveryObserver installs (or, with nil, removes) the notification

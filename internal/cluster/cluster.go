@@ -19,6 +19,7 @@ import (
 	"padres/internal/metrics"
 	"padres/internal/overlay"
 	"padres/internal/replication"
+	"padres/internal/sim"
 	"padres/internal/transport"
 )
 
@@ -88,6 +89,11 @@ type Options struct {
 	// replica finish in-doubt movements after a coordinator death. An empty
 	// Universe is filled with the topology's brokers.
 	Replication *replication.Config
+	// Clock is the deployment's time source (nil selects the wall clock).
+	// Passing a *sim.VirtualClock switches the whole cluster — links,
+	// brokers, protocol timers, replication leases — into scheduled mode:
+	// no goroutines, every action a loop event, execution deterministic.
+	Clock sim.Clock
 }
 
 // Cluster is a running in-process deployment.
@@ -127,7 +133,7 @@ func New(opts Options) (*Cluster, error) {
 		containers: make(map[message.BrokerID]*core.Container),
 		opts:       opts,
 	}
-	c.net = transport.NewNetwork(c.reg)
+	c.net = transport.NewNetworkClocked(c.reg, opts.Clock)
 	if opts.Journal != nil {
 		// The run-config detail tells the auditor which engine produced the
 		// run (protocol, covering, blocking vs non-blocking 3PC).
@@ -256,6 +262,9 @@ func (c *Cluster) Stop() {
 
 // Registry returns the metrics registry.
 func (c *Cluster) Registry() *metrics.Registry { return c.reg }
+
+// Clock returns the deployment's time source.
+func (c *Cluster) Clock() sim.Clock { return c.net.Clock() }
 
 // Network returns the transport network.
 func (c *Cluster) Network() *transport.Network { return c.net }

@@ -38,6 +38,7 @@ import (
 	"padres/internal/journal"
 	"padres/internal/message"
 	"padres/internal/metrics"
+	"padres/internal/sim"
 	"padres/internal/transport"
 )
 
@@ -138,6 +139,8 @@ type Config struct {
 type Container struct {
 	cfg Config
 	reg *metrics.Registry
+	// clk is the container's time source, inherited from the transport.
+	clk sim.Clock
 
 	// events holds the installed EventSink; it is read lock-free because
 	// sinks are invoked from contexts that may hold the client stub's lock
@@ -169,7 +172,7 @@ type sourceTx struct {
 	advs   []message.AdvEntry
 	start  time.Time
 	done   chan error
-	timer  *time.Timer
+	timer  sim.Timer
 	state  sourceState
 }
 
@@ -178,7 +181,7 @@ type targetTx struct {
 	clientID  message.ClientID
 	source    message.BrokerID
 	shellNode message.NodeID
-	timer     *time.Timer
+	timer     sim.Timer
 	// deciding marks the commit decision in flight (replication quorum
 	// round started); duplicate state transfers must not start another.
 	deciding bool
@@ -211,6 +214,7 @@ func NewContainer(cfg Config) *Container {
 	ct := &Container{
 		cfg:    cfg,
 		reg:    cfg.Net.Registry(),
+		clk:    cfg.Net.Clock(),
 		hosted: make(map[message.ClientID]*client.Client),
 		source: make(map[message.TxID]*sourceTx),
 		target: make(map[message.TxID]*targetTx),
@@ -285,6 +289,7 @@ func (st *sourceTx) finish(err error) {
 // started state.
 func (ct *Container) NewClient(id message.ClientID) (*client.Client, error) {
 	c := client.New(id)
+	c.SetClock(ct.clk)
 	bid := ct.cfg.Broker.ID()
 	node := message.ClientNode(id, bid)
 	ct.cfg.Broker.AttachClient(node, c.DeliverLocal)
@@ -354,7 +359,7 @@ func (ct *Container) RequestMove(c *client.Client, target message.BrokerID) (<-c
 		target: target,
 		subs:   subs,
 		advs:   advs,
-		start:  time.Now(),
+		start:  ct.clk.Now(),
 		done:   make(chan error, 1),
 		state:  sourceWait,
 	}
@@ -371,7 +376,7 @@ func (ct *Container) RequestMove(c *client.Client, target message.BrokerID) (<-c
 		return nil, err
 	}
 	if ct.cfg.MoveTimeout > 0 {
-		st.timer = time.AfterFunc(ct.cfg.MoveTimeout, func() { ct.sourceTimeout(tx) })
+		st.timer = ct.clk.AfterFunc(ct.cfg.MoveTimeout, func() { ct.sourceTimeout(tx) })
 	}
 	ct.emitLocked(EventMoveRequested, tx, c.ID(), string(target))
 	ct.emitLocked(EventNegotiateSent, tx, c.ID(), "")

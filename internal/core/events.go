@@ -124,15 +124,37 @@ func (ct *Container) SetEventSink(sink EventSink) {
 // from any calling context (including client state observers that run under
 // the client stub's lock).
 func (ct *Container) emit(kind EventKind, tx message.TxID, cl message.ClientID, detail string) {
+	ct.emitStamped(0, kind, tx, cl, detail)
+}
+
+// reserveStamp ticks the site's Lamport clock now and returns the stamp for
+// a later emitStamped. The pipelined commit uses it to place its deferred
+// ack-sent record at the causal point where the acknowledgement actually
+// left, ahead of everything downstream of the wire message; 0 is returned
+// when no journal is armed.
+func (ct *Container) reserveStamp() uint64 {
+	j := ct.journal()
+	if j == nil {
+		return 0
+	}
+	return j.ClockOf(string(ct.cfg.Broker.ID())).Tick()
+}
+
+// emitStamped is emit with an optional pre-reserved Lamport stamp (0 ticks
+// the clock at append time, as emit always did).
+func (ct *Container) emitStamped(lam uint64, kind EventKind, tx message.TxID, cl message.ClientID, detail string) {
 	if j := ct.journal(); j != nil {
 		cat := journal.CatProtocol
 		if kind == EventClientState {
 			cat = journal.CatClient
 		}
 		site := string(ct.cfg.Broker.ID())
+		if lam == 0 {
+			lam = j.ClockOf(site).Tick()
+		}
 		j.Add(journal.Record{
 			Site: site, Cat: cat, Kind: kind.String(),
-			Lamport: j.ClockOf(site).Tick(), Tx: string(tx), Client: string(cl), Detail: detail,
+			Lamport: lam, Tx: string(tx), Client: string(cl), Detail: detail,
 		})
 	}
 	p := ct.events.Load()
@@ -144,7 +166,7 @@ func (ct *Container) emit(kind EventKind, tx message.TxID, cl message.ClientID, 
 		Tx:     tx,
 		Client: cl,
 		Broker: ct.cfg.Broker.ID(),
-		At:     time.Now(),
+		At:     ct.clk.Now(),
 		Detail: detail,
 	})
 }

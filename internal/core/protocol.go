@@ -199,10 +199,16 @@ func (ct *Container) onState(m message.MoveState) {
 		// acknowledgement provably died on its first hop, committing no
 		// routing reconfiguration anywhere, and the abort path below stays
 		// sound.
+		// The ack-sent stamp is reserved before the acknowledgement hits
+		// the wire so the deferred record sorts causally ahead of the
+		// source's ack-received, but it is only appended once the quorum
+		// confirms — an ack-sent record must never precede a still-possible
+		// abort.
+		ackStamp := ct.reserveStamp()
 		ct.cfg.Broker.ReplicateCommit(m.MoveHeader, func(ok bool) {
 			if ok {
 				if ct.attachCommit(m, ttx, c) {
-					ct.emit(EventAckSent, m.Tx, m.Client, "pipelined, quorum confirmed")
+					ct.emitStamped(ackStamp, EventAckSent, m.Tx, m.Client, "pipelined, quorum confirmed")
 				}
 				return
 			}
@@ -391,7 +397,7 @@ func (ct *Container) armPreparedProbe(st *sourceTx, hdr message.MoveHeader) {
 	}
 	ct.mu.Lock()
 	if !ct.closed {
-		st.timer = time.AfterFunc(wait, func() { ct.preparedProbe(hdr) })
+		st.timer = ct.clk.AfterFunc(wait, func() { ct.preparedProbe(hdr) })
 	}
 	ct.mu.Unlock()
 }
@@ -411,7 +417,7 @@ func (ct *Container) preparedProbe(hdr message.MoveHeader) {
 		ct.mu.Unlock()
 		return
 	}
-	st.timer = time.AfterFunc(ct.cfg.Broker.RecoveryWait(), func() { ct.preparedAbort(hdr) })
+	st.timer = ct.clk.AfterFunc(ct.cfg.Broker.RecoveryWait(), func() { ct.preparedAbort(hdr) })
 	ct.mu.Unlock()
 
 	self := ct.cfg.Broker.ID()
@@ -669,7 +675,7 @@ func (ct *Container) armTargetTimerLocked(ttx *targetTx) {
 	if ct.cfg.MoveTimeout <= 0 || ct.closed {
 		return
 	}
-	ttx.timer = time.AfterFunc(ct.cfg.MoveTimeout, func() { ct.targetTimeout(ttx.tx) })
+	ttx.timer = ct.clk.AfterFunc(ct.cfg.MoveTimeout, func() { ct.targetTimeout(ttx.tx) })
 }
 
 func (ct *Container) targetTimeout(tx message.TxID) {
@@ -739,7 +745,7 @@ func (ct *Container) recordMovement(st *sourceTx, committed bool) {
 		Target:    st.target,
 		Protocol:  ct.cfg.Protocol.String(),
 		Start:     st.start,
-		End:       time.Now(),
+		End:       ct.clk.Now(),
 		Committed: committed,
 	})
 }

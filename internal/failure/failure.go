@@ -123,7 +123,7 @@ func (in *Injector) FreezeFor(id message.BrokerID, d time.Duration) error {
 	if err := in.Freeze(id); err != nil {
 		return err
 	}
-	time.AfterFunc(d, func() { _ = in.Thaw(id) })
+	in.c.Clock().AfterFunc(d, func() { _ = in.Thaw(id) })
 	return nil
 }
 
@@ -174,7 +174,7 @@ func (in *Injector) PartitionFor(a, b message.BrokerID, d time.Duration) error {
 	if err := in.Partition(a, b); err != nil {
 		return err
 	}
-	time.AfterFunc(d, func() { _ = in.Heal(a, b) })
+	in.c.Clock().AfterFunc(d, func() { _ = in.Heal(a, b) })
 	return nil
 }
 
@@ -208,11 +208,11 @@ func (in *Injector) Chaos(opts ChaosOptions) error {
 		if err := in.Freeze(id); err != nil {
 			return err
 		}
-		time.Sleep(opts.FreezeFor)
+		in.c.Clock().Sleep(opts.FreezeFor)
 		if err := in.Thaw(id); err != nil {
 			return err
 		}
-		time.Sleep(opts.Between)
+		in.c.Clock().Sleep(opts.Between)
 	}
 	return nil
 }

@@ -172,6 +172,11 @@ type Journal struct {
 	sink    *bufio.Writer
 	sinkC   io.Closer
 	sinkErr error
+
+	// nowFn, when set, replaces time.Now for wall stamps so simulated runs
+	// stamp records with virtual time (a prerequisite for byte-identical
+	// replay). Nil means the real clock.
+	nowFn atomic.Pointer[func() time.Time]
 }
 
 // New returns a journal whose ring holds up to capacity records (<= 0
@@ -184,6 +189,20 @@ func New(capacity int) *Journal {
 	j := &Journal{ring: make([]Record, capacity)}
 	j.wall.Store(time.Now().UnixNano())
 	return j
+}
+
+// SetNowFunc replaces the wall-clock source used to stamp records. The
+// simulator points it at a virtual clock so that identical event orders
+// produce byte-identical journals; passing nil restores the real clock.
+func (j *Journal) SetNowFunc(fn func() time.Time) {
+	if j == nil {
+		return
+	}
+	if fn == nil {
+		j.nowFn.Store(nil)
+		return
+	}
+	j.nowFn.Store(&fn)
 }
 
 // Enabled reports whether the recorder is active (non-nil).
@@ -232,6 +251,9 @@ const wallEvery = 64
 // JSONL sink is attached (its lines are read back externally), coarse —
 // refreshed every wallEvery appends — in ring-only mode.
 func (j *Journal) now(seq uint64) time.Time {
+	if fn := j.nowFn.Load(); fn != nil {
+		return (*fn)()
+	}
 	if j.sinkOn.Load() || seq&(wallEvery-1) == 0 {
 		t := time.Now()
 		j.wall.Store(t.UnixNano())

@@ -2,6 +2,7 @@ package replication
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"padres/internal/message"
@@ -71,7 +72,7 @@ func (a *Agent) replicate(hdr message.MoveHeader, outcome string, done func(ok b
 		p = &pendingRep{
 			hdr: hdr, need: need, done: done, members: members,
 			acked: make(map[message.BrokerID]bool), round: 1,
-			started: time.Now(),
+			started: a.clk.Now(),
 		}
 		a.pending[hdr.Tx] = p
 	}
@@ -93,7 +94,7 @@ func (a *Agent) replicate(hdr message.MoveHeader, outcome string, done func(ok b
 	}
 	a.mu.Lock()
 	if cur := a.pending[hdr.Tx]; cur == p && !p.fired {
-		p.timer = time.AfterFunc(a.cfg.AckTimeout, func() { a.replicationTimeout(hdr.Tx) })
+		p.timer = a.clk.AfterFunc(a.cfg.AckTimeout, func() { a.replicationTimeout(hdr.Tx) })
 	}
 	a.mu.Unlock()
 }
@@ -149,7 +150,7 @@ func (a *Agent) replicationTimeout(tx message.TxID) {
 			Origin: a.hooks.Self, Replica: fallbacks[i], Hint: down,
 		}})
 	}
-	p.timer = time.AfterFunc(a.cfg.AckTimeout, func() { a.replicationTimeout(tx) })
+	p.timer = a.clk.AfterFunc(a.cfg.AckTimeout, func() { a.replicationTimeout(tx) })
 	a.mu.Unlock()
 
 	for _, s := range sends {
@@ -173,7 +174,7 @@ func (a *Agent) finishPending(tx message.TxID, ok bool) {
 		p.timer.Stop()
 	}
 	if ok {
-		a.tel.QuorumLatency.Observe(time.Since(p.started))
+		a.tel.QuorumLatency.Observe(a.clk.Since(p.started))
 		// The commit decision is now quorum-backed and about to be acted on:
 		// record the coordinator's own copy so queries and lease grants can
 		// report it.
@@ -336,7 +337,7 @@ func (a *Agent) armLeaseLocked(hdr message.MoveHeader) {
 		rec.lease.Stop()
 	}
 	tx := hdr.Tx
-	rec.lease = time.AfterFunc(d, func() { a.leaseExpired(tx) })
+	rec.lease = a.clk.AfterFunc(d, func() { a.leaseExpired(tx) })
 }
 
 // storeHintLocked keeps a hinted-handoff copy for an unreachable replica and
@@ -349,7 +350,7 @@ func (a *Agent) storeHintLocked(m message.ReplicateDecision) {
 	h := &hintState{msg: m}
 	a.hints[key] = h
 	a.tel.HandoffDepth.Set(int64(len(a.hints)))
-	h.timer = time.AfterFunc(a.cfg.HandoffRetry, func() { a.redeliverHint(key) })
+	h.timer = a.clk.AfterFunc(a.cfg.HandoffRetry, func() { a.redeliverHint(key) })
 }
 
 // redeliverHint re-sends a held decision to its intended replica, a bounded
@@ -370,7 +371,7 @@ func (a *Agent) redeliverHint(key string) {
 		m.Hint = ""
 		m.Origin = a.hooks.Self
 		deliver = true
-		h.timer = time.AfterFunc(a.cfg.HandoffRetry, func() { a.redeliverHint(key) })
+		h.timer = a.clk.AfterFunc(a.cfg.HandoffRetry, func() { a.redeliverHint(key) })
 	} else {
 		delete(a.hints, key)
 		a.tel.HandoffDepth.Set(int64(len(a.hints)))
@@ -437,7 +438,7 @@ func (a *Agent) startClaim(hdr message.MoveHeader, outcome string, queriers ...m
 		c.queriers[q] = true
 	}
 	a.claims[hdr.Tx] = c
-	c.timer = time.AfterFunc(a.cfg.AckTimeout, func() { a.claimTimeout(hdr.Tx) })
+	c.timer = a.clk.AfterFunc(a.cfg.AckTimeout, func() { a.claimTimeout(hdr.Tx) })
 	a.mu.Unlock()
 
 	if a.hooks.PersistFence != nil {
@@ -511,14 +512,11 @@ func (a *Agent) bidFailedLocked(c *claimState) {
 	}
 	d := a.cfg.LeaseTimeout + time.Duration(rank)*a.cfg.LeaseStagger
 	hdr, outcome := c.hdr, c.outcome
-	queriers := make([]message.BrokerID, 0, len(c.queriers))
-	for q := range c.queriers {
-		queriers = append(queriers, q)
-	}
+	queriers := sortedQueriers(c.queriers)
 	if t := a.retries[tx]; t != nil {
 		t.Stop()
 	}
-	a.retries[tx] = time.AfterFunc(d, func() { a.rebid(hdr, outcome, queriers) })
+	a.retries[tx] = a.clk.AfterFunc(d, func() { a.rebid(hdr, outcome, queriers) })
 }
 
 // rebid reopens a recordless claimant's takeover bid after its retry delay.
@@ -674,10 +672,7 @@ func (a *Agent) completeClaim(tx message.TxID) {
 	gen := c.gen
 	a.noteRecordLocked(hdr, outcome, gen)
 	a.retireLocked(tx)
-	queriers := make([]message.BrokerID, 0, len(c.queriers))
-	for q := range c.queriers {
-		queriers = append(queriers, q)
-	}
+	queriers := sortedQueriers(c.queriers)
 	a.mu.Unlock()
 
 	if a.hooks.PersistReplica != nil {
@@ -778,4 +773,15 @@ func (a *Agent) journal(kind string, hdr message.MoveHeader, detail string) {
 	if a.hooks.Journal != nil {
 		a.hooks.Journal(kind, hdr.Tx, hdr.Client, detail)
 	}
+}
+
+// sortedQueriers flattens a querier set in deterministic (sorted) order so
+// resolve fan-outs are reproducible under the simulated scheduler.
+func sortedQueriers(set map[message.BrokerID]bool) []message.BrokerID {
+	out := make([]message.BrokerID, 0, len(set))
+	for q := range set {
+		out = append(out, q)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }

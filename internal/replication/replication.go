@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"padres/internal/message"
+	"padres/internal/sim"
 	"padres/internal/store"
 	"padres/internal/telemetry"
 )
@@ -228,6 +229,10 @@ type Hooks struct {
 	KnownOutcome func(tx message.TxID) (string, bool)
 	// Metrics receives the agent's instruments (nil allocates a private set).
 	Metrics *telemetry.ReplicationMetrics
+	// Clock is the agent's time source for lease, retry and quorum timers
+	// (nil selects the wall clock). The broker passes its own, so simulated
+	// runs arm every replication timer on the event heap.
+	Clock sim.Clock
 }
 
 // repRecord is one replicated decision held at this broker.
@@ -236,7 +241,7 @@ type repRecord struct {
 	outcome  string
 	gen      uint64
 	released bool
-	lease    *time.Timer
+	lease    sim.Timer
 }
 
 // pendingRep tracks one coordinator-side replication round awaiting quorum.
@@ -253,7 +258,7 @@ type pendingRep struct {
 	fired   bool
 	round   int
 	started time.Time
-	timer   *time.Timer
+	timer   sim.Timer
 }
 
 // claimState tracks one standby takeover bid.
@@ -265,14 +270,14 @@ type claimState struct {
 	outcome  string
 	queriers map[message.BrokerID]bool
 	resolved bool
-	timer    *time.Timer
+	timer    sim.Timer
 }
 
 // hintState is one decision held on behalf of an unreachable replica.
 type hintState struct {
 	msg   message.ReplicateDecision
 	tries int
-	timer *time.Timer
+	timer sim.Timer
 }
 
 // Agent runs the replication protocol for one broker: coordinator-side
@@ -282,6 +287,7 @@ type Agent struct {
 	cfg   Config
 	hooks Hooks
 	tel   *telemetry.ReplicationMetrics
+	clk   sim.Clock
 
 	mu      sync.Mutex
 	stopped bool
@@ -294,7 +300,7 @@ type Agent struct {
 	// recordless claimants alike); retries holds the direct re-bid timers of
 	// recordless claimants, who have no lease to re-arm.
 	tries   map[message.TxID]int
-	retries map[message.TxID]*time.Timer
+	retries map[message.TxID]sim.Timer
 }
 
 // NewAgent builds an agent from the (defaulted) config.
@@ -307,13 +313,14 @@ func NewAgent(cfg Config, hooks Hooks) *Agent {
 		cfg:     cfg.withDefaults(),
 		hooks:   hooks,
 		tel:     tel,
+		clk:     sim.Or(hooks.Clock),
 		records: make(map[message.TxID]*repRecord),
 		pending: make(map[message.TxID]*pendingRep),
 		claims:  make(map[message.TxID]*claimState),
 		fences:  make(map[message.TxID]uint64),
 		hints:   make(map[string]*hintState),
 		tries:   make(map[message.TxID]int),
-		retries: make(map[message.TxID]*time.Timer),
+		retries: make(map[message.TxID]sim.Timer),
 	}
 }
 

@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"sync"
+)
+
+// Rand is the single seeded randomness source of a simulation. Every random
+// decision on a simulated path — link jitter, fault draws, scenario
+// placement — must flow from one Rand (or a stream Derived from it) so a
+// printed seed is a complete reproducer. It is mutex-guarded like the
+// transport's lockedRand so the same type also serves wall-clock runs where
+// callers race.
+type Rand struct {
+	mu   sync.Mutex
+	seed int64
+	r    *rand.Rand
+}
+
+// NewRand returns a source seeded with seed.
+func NewRand(seed int64) *Rand {
+	return &Rand{seed: seed, r: rand.New(rand.NewSource(seed))}
+}
+
+// Seed returns the seed this source was built from.
+func (l *Rand) Seed() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seed
+}
+
+// Int63n returns a uniform int64 in [0, n).
+func (l *Rand) Int63n(n int64) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.r.Int63n(n)
+}
+
+// Intn returns a uniform int in [0, n).
+func (l *Rand) Intn(n int) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.r.Intn(n)
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (l *Rand) Float64() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.r.Float64()
+}
+
+// Perm returns a random permutation of [0, n).
+func (l *Rand) Perm(n int) []int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.r.Perm(n)
+}
+
+// Derive returns the seed for an independent named sub-stream: the same
+// (seed, label) pair always yields the same child seed, regardless of how
+// many draws the parent has made. Use it to give each link or each scenario
+// phase its own stream so adding draws in one place cannot perturb another.
+func (l *Rand) Derive(label string) int64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(label))
+	l.mu.Lock()
+	seed := l.seed
+	l.mu.Unlock()
+	return seed ^ int64(h.Sum64())
+}
+
+// DeriveRand is Derive wrapped in a new source.
+func (l *Rand) DeriveRand(label string) *Rand {
+	return NewRand(l.Derive(label))
+}

@@ -1,0 +1,194 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+var epoch = time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func TestVirtualClockOrdering(t *testing.T) {
+	v := NewVirtualClock(epoch)
+	var got []int
+	v.AfterFunc(30*time.Millisecond, func() { got = append(got, 3) })
+	v.AfterFunc(10*time.Millisecond, func() { got = append(got, 1) })
+	v.AfterFunc(20*time.Millisecond, func() { got = append(got, 2) })
+	// Same instant: insertion order breaks the tie.
+	v.AfterFunc(20*time.Millisecond, func() { got = append(got, 20) })
+	if n := v.Run(0); n != 4 {
+		t.Fatalf("fired %d events, want 4", n)
+	}
+	want := []int{1, 2, 20, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if v.Now() != epoch.Add(30*time.Millisecond) {
+		t.Fatalf("now = %v, want epoch+30ms", v.Now())
+	}
+}
+
+func TestVirtualClockStopReset(t *testing.T) {
+	v := NewVirtualClock(epoch)
+	fired := 0
+	tm := v.AfterFunc(10*time.Millisecond, func() { fired++ })
+	if !tm.Stop() {
+		t.Fatal("Stop on pending timer should report true")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop should report false")
+	}
+	v.Run(0)
+	if fired != 0 {
+		t.Fatalf("stopped timer fired %d times", fired)
+	}
+	tm.Reset(5 * time.Millisecond)
+	v.Run(0)
+	if fired != 1 {
+		t.Fatalf("reset timer fired %d times, want 1", fired)
+	}
+}
+
+func TestVirtualClockNestedScheduling(t *testing.T) {
+	v := NewVirtualClock(epoch)
+	var trace []string
+	v.AfterFunc(10*time.Millisecond, func() {
+		trace = append(trace, "outer")
+		v.AfterFunc(5*time.Millisecond, func() { trace = append(trace, "inner") })
+		v.Post(func() { trace = append(trace, "post") })
+	})
+	v.Run(0)
+	if len(trace) != 3 || trace[0] != "outer" || trace[1] != "post" || trace[2] != "inner" {
+		t.Fatalf("trace = %v", trace)
+	}
+	if v.Now() != epoch.Add(15*time.Millisecond) {
+		t.Fatalf("now = %v", v.Now())
+	}
+}
+
+func TestVirtualClockRunFor(t *testing.T) {
+	v := NewVirtualClock(epoch)
+	fired := 0
+	v.AfterFunc(10*time.Millisecond, func() { fired++ })
+	v.AfterFunc(100*time.Millisecond, func() { fired++ })
+	if n := v.RunFor(50 * time.Millisecond); n != 1 {
+		t.Fatalf("RunFor fired %d, want 1", n)
+	}
+	if v.Now() != epoch.Add(50*time.Millisecond) {
+		t.Fatalf("now = %v, want horizon", v.Now())
+	}
+	if v.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", v.Pending())
+	}
+}
+
+func TestVirtualClockTicker(t *testing.T) {
+	v := NewVirtualClock(epoch)
+	tk := v.NewTicker(10 * time.Millisecond)
+	ticks := 0
+	done := false
+	var drain func()
+	drain = func() {
+		select {
+		case <-tk.C():
+			ticks++
+		default:
+		}
+		if !done {
+			v.AfterFunc(10*time.Millisecond, drain)
+		}
+	}
+	v.AfterFunc(10*time.Millisecond, drain)
+	v.AfterFunc(55*time.Millisecond, func() { done = true; tk.Stop() })
+	v.Run(200)
+	if ticks < 4 {
+		t.Fatalf("ticks = %d, want >= 4", ticks)
+	}
+	if v.Pending() != 0 {
+		t.Fatalf("pending after stop = %d", v.Pending())
+	}
+}
+
+func TestVirtualClockSleepFromForeignGoroutine(t *testing.T) {
+	v := NewVirtualClock(epoch)
+	woke := make(chan time.Time, 1)
+	go func() {
+		v.Sleep(25 * time.Millisecond)
+		woke <- v.Now()
+	}()
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case at := <-woke:
+			if at.Before(epoch.Add(25 * time.Millisecond)) {
+				t.Fatalf("woke at %v", at)
+			}
+			return
+		case <-deadline:
+			t.Fatal("sleeper never woke")
+		default:
+			if !v.Step() {
+				time.Sleep(time.Millisecond) // wait for the sleeper to schedule
+			}
+		}
+	}
+}
+
+func TestWallClockBasics(t *testing.T) {
+	c := Or(nil)
+	if c != Wall {
+		t.Fatal("Or(nil) != Wall")
+	}
+	if SchedulerOf(c) != nil {
+		t.Fatal("wall clock must not expose a scheduler")
+	}
+	t0 := c.Now()
+	fired := make(chan struct{})
+	tm := c.AfterFunc(time.Millisecond, func() { close(fired) })
+	select {
+	case <-fired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("wall AfterFunc never fired")
+	}
+	tm.Stop()
+	if c.Since(t0) < 0 {
+		t.Fatal("wall Since went backwards")
+	}
+}
+
+func TestSchedulerCapability(t *testing.T) {
+	v := NewVirtualClock(epoch)
+	s := SchedulerOf(v)
+	if s == nil {
+		t.Fatal("virtual clock must expose the scheduler capability")
+	}
+	ran := false
+	s.Post(func() { ran = true })
+	v.Run(0)
+	if !ran {
+		t.Fatal("posted event never ran")
+	}
+}
+
+func TestRandDerivation(t *testing.T) {
+	a := NewRand(42)
+	b := NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Int63n(1<<32) != b.Int63n(1<<32) {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if a.Derive("link:x") != b.Derive("link:x") {
+		t.Fatal("Derive not deterministic")
+	}
+	if a.Derive("link:x") == a.Derive("link:y") {
+		t.Fatal("Derive collision across labels")
+	}
+	// Derivation is independent of draw position.
+	c := NewRand(42)
+	c.Float64()
+	if c.Derive("link:x") != b.Derive("link:x") {
+		t.Fatal("Derive depends on draw position")
+	}
+}

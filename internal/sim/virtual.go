@@ -1,0 +1,313 @@
+package sim
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// VirtualClock is a discrete-event Clock: time advances only when the loop
+// pops the next scheduled event off a heap ordered by (time, insertion
+// sequence). Everything that would be a goroutine-plus-sleep in real time —
+// link deliveries, retransmit pacing, protocol timeouts, lease expiries —
+// becomes a heap event, so a whole cluster executes single-threaded in a
+// deterministic order that is a pure function of the scenario and the seed.
+//
+// The goroutine that calls Step/Run/RunFor is the event loop. Event
+// callbacks run on it and may schedule further events, but must never block
+// on virtual time (Sleep from a callback deadlocks by construction).
+type VirtualClock struct {
+	mu    sync.Mutex
+	now   time.Time
+	seq   uint64
+	h     eventHeap
+	fired uint64
+}
+
+// event is one heap entry. fn == nil marks a cancelled event that is
+// skipped (and freed) when popped.
+type event struct {
+	at  time.Time
+	seq uint64
+	fn  func()
+	idx int // heap index, -1 once popped
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}
+
+// NewVirtualClock returns a virtual clock whose epoch is start. Simulations
+// should pass a fixed instant so journal timestamps are reproducible.
+func NewVirtualClock(start time.Time) *VirtualClock {
+	return &VirtualClock{now: start}
+}
+
+// Now returns the current virtual time.
+func (v *VirtualClock) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// Since is Now().Sub(t) in virtual time.
+func (v *VirtualClock) Since(t time.Time) time.Duration { return v.Now().Sub(t) }
+
+// Until is t.Sub(Now()) in virtual time.
+func (v *VirtualClock) Until(t time.Time) time.Duration { return t.Sub(v.Now()) }
+
+// schedule inserts fn at absolute time at (clamped to now) and returns the
+// event handle.
+func (v *VirtualClock) schedule(at time.Time, fn func()) *event {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if at.Before(v.now) {
+		at = v.now
+	}
+	e := &event{at: at, seq: v.seq, fn: fn}
+	v.seq++
+	heap.Push(&v.h, e)
+	return e
+}
+
+// cancel marks e dead; reports whether it had not yet fired.
+func (v *VirtualClock) cancel(e *event) bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if e.fn == nil {
+		return false
+	}
+	e.fn = nil
+	if e.idx >= 0 {
+		heap.Remove(&v.h, e.idx)
+	}
+	return true
+}
+
+// Post schedules fn at the current virtual time, after events already queued
+// for this instant. It is the Scheduler capability used by components that
+// replace their goroutines with loop events.
+func (v *VirtualClock) Post(fn func()) { v.schedule(v.Now(), fn) }
+
+// At schedules fn at the absolute virtual time at.
+func (v *VirtualClock) At(at time.Time, fn func()) { v.schedule(at, fn) }
+
+// AfterFunc schedules fn after d and returns a cancelable Timer. fn runs on
+// the event-loop goroutine.
+func (v *VirtualClock) AfterFunc(d time.Duration, fn func()) Timer {
+	t := &virtualTimer{clk: v, fn: fn}
+	t.ev = v.schedule(v.Now().Add(d), fn)
+	return t
+}
+
+// After returns a channel that receives the virtual time after d.
+func (v *VirtualClock) After(d time.Duration) <-chan time.Time {
+	return v.NewTimer(d).C()
+}
+
+// NewTimer returns a channel-carrying one-shot timer.
+func (v *VirtualClock) NewTimer(d time.Duration) Timer {
+	ch := make(chan time.Time, 1)
+	t := &virtualTimer{clk: v, ch: ch}
+	t.fn = func() {
+		select {
+		case ch <- v.Now():
+		default:
+		}
+	}
+	t.ev = v.schedule(v.Now().Add(d), t.fn)
+	return t
+}
+
+// NewTicker returns a repeating timer; each firing re-arms the next.
+func (v *VirtualClock) NewTicker(d time.Duration) Ticker {
+	if d <= 0 {
+		panic("sim: non-positive ticker interval")
+	}
+	ch := make(chan time.Time, 1)
+	t := &virtualTicker{clk: v, ch: ch, d: d}
+	t.arm()
+	return t
+}
+
+// Sleep blocks the calling goroutine for d of virtual time. It must be
+// called from a foreign goroutine, never from an event callback: the loop
+// goroutine firing the wake event is the only thing that can unblock it.
+func (v *VirtualClock) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	ch := make(chan struct{})
+	v.schedule(v.Now().Add(d), func() { close(ch) })
+	<-ch
+}
+
+// Step fires the single earliest pending event, advancing virtual time to
+// it. It reports false when the heap is empty.
+func (v *VirtualClock) Step() bool {
+	for {
+		v.mu.Lock()
+		if len(v.h) == 0 {
+			v.mu.Unlock()
+			return false
+		}
+		e := heap.Pop(&v.h).(*event)
+		if e.fn == nil {
+			v.mu.Unlock()
+			continue // cancelled
+		}
+		v.now = e.at
+		fn := e.fn
+		e.fn = nil
+		v.fired++
+		v.mu.Unlock()
+		fn()
+		return true
+	}
+}
+
+// Run drains the heap, firing events in order until none remain or limit
+// events have fired (limit <= 0 means unlimited). It returns the number of
+// events fired by this call.
+func (v *VirtualClock) Run(limit int) int {
+	n := 0
+	for limit <= 0 || n < limit {
+		if !v.Step() {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// RunFor drains events scheduled within d from the current virtual time,
+// then advances the clock to the horizon even if the heap still holds later
+// events. It returns the number of events fired.
+func (v *VirtualClock) RunFor(d time.Duration) int {
+	horizon := v.Now().Add(d)
+	n := 0
+	for {
+		v.mu.Lock()
+		if len(v.h) == 0 || v.h[0].at.After(horizon) {
+			if horizon.After(v.now) {
+				v.now = horizon
+			}
+			v.mu.Unlock()
+			return n
+		}
+		v.mu.Unlock()
+		if !v.Step() {
+			return n
+		}
+		n++
+	}
+}
+
+// Pending returns the number of live events still scheduled.
+func (v *VirtualClock) Pending() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	n := 0
+	for _, e := range v.h {
+		if e.fn != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Fired returns the total number of events the loop has executed.
+func (v *VirtualClock) Fired() uint64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.fired
+}
+
+type virtualTimer struct {
+	clk *VirtualClock
+	mu  sync.Mutex
+	ev  *event
+	fn  func()
+	ch  chan time.Time
+}
+
+func (t *virtualTimer) C() <-chan time.Time {
+	if t.ch == nil {
+		return nil
+	}
+	return t.ch
+}
+
+func (t *virtualTimer) Stop() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.clk.cancel(t.ev)
+}
+
+func (t *virtualTimer) Reset(d time.Duration) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	active := t.clk.cancel(t.ev)
+	t.ev = t.clk.schedule(t.clk.Now().Add(d), t.fn)
+	return active
+}
+
+type virtualTicker struct {
+	clk     *VirtualClock
+	mu      sync.Mutex
+	ev      *event
+	d       time.Duration
+	ch      chan time.Time
+	stopped bool
+}
+
+func (t *virtualTicker) arm() {
+	t.ev = t.clk.schedule(t.clk.Now().Add(t.d), t.tick)
+}
+
+func (t *virtualTicker) tick() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.stopped {
+		return
+	}
+	select {
+	case t.ch <- t.clk.Now():
+	default:
+	}
+	t.arm()
+}
+
+func (t *virtualTicker) C() <-chan time.Time { return t.ch }
+
+func (t *virtualTicker) Stop() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.stopped = true
+	t.clk.cancel(t.ev)
+}

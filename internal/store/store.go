@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"padres/internal/sim"
 	"padres/internal/telemetry"
 )
 
@@ -22,6 +23,11 @@ type Options struct {
 	SnapshotEvery int
 	// Metrics, when set, receives WAL/snapshot/recovery instrumentation.
 	Metrics *telemetry.StoreMetrics
+	// Clock is the store's time source for commit-latency and checkpoint
+	// stamps (nil selects the wall clock). The group-commit flusher itself
+	// is demand-driven, so the clock is observational — but routing it here
+	// keeps simulated runs free of wall-clock reads.
+	Clock sim.Clock
 }
 
 const defaultSnapshotEvery = 4096
@@ -65,6 +71,7 @@ type Store struct {
 	dir  string
 	opts Options
 	rec  *Recovery
+	clk  sim.Clock
 
 	mu     sync.Mutex // guards queue, closed
 	queue  []appendReq
@@ -91,7 +98,7 @@ func Open(dir string, opts Options) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	s := &Store{dir: dir, opts: opts, flusherDone: make(chan struct{})}
+	s := &Store{dir: dir, opts: opts, clk: sim.Or(opts.Clock), flusherDone: make(chan struct{})}
 	s.cond = sync.NewCond(&s.mu)
 	if err := s.recover(); err != nil {
 		return nil, err
@@ -170,7 +177,7 @@ func (s *Store) Close() error {
 // enqueue hands one request to the flusher; false after Close.
 func (s *Store) enqueue(req appendReq) bool {
 	if s.opts.Metrics != nil && req.rec != nil {
-		req.at = time.Now()
+		req.at = s.clk.Now()
 	}
 	s.mu.Lock()
 	if s.closed {
@@ -225,7 +232,7 @@ func (s *Store) flusher() {
 				if m := s.opts.Metrics; m != nil {
 					// One clock read per group commit covers every record's
 					// enqueue-to-durable latency.
-					now := time.Now()
+					now := s.clk.Now()
 					for _, req := range batch {
 						if req.rec != nil && !req.at.IsZero() {
 							m.CommitLatency.Observe(now.Sub(req.at))
@@ -271,7 +278,7 @@ func (s *Store) writeAndSync(buf []byte, records int) error {
 	if _, err := s.file.Write(buf); err != nil {
 		return fmt.Errorf("store: wal write: %w", err)
 	}
-	t0 := time.Now()
+	t0 := s.clk.Now()
 	if err := s.file.Sync(); err != nil {
 		return fmt.Errorf("store: wal fsync: %w", err)
 	}
@@ -279,7 +286,7 @@ func (s *Store) writeAndSync(buf []byte, records int) error {
 		m.WALAppends.Add(int64(records))
 		m.WALBytes.Add(int64(len(buf)))
 		m.Fsyncs.Inc()
-		m.FsyncLatency.Observe(time.Since(t0))
+		m.FsyncLatency.Observe(s.clk.Since(t0))
 	}
 	return nil
 }
@@ -345,7 +352,7 @@ func (s *Store) checkpoint() error {
 	s.flusherState = newReplayState(snap)
 	if m := s.opts.Metrics; m != nil {
 		m.Snapshots.Inc()
-		m.LastSnapshotUnixNano.Set(time.Now().UnixNano())
+		m.LastSnapshotUnixNano.Set(s.clk.Now().UnixNano())
 		m.SnapshotGen.Set(int64(snap.Gen))
 	}
 	return nil
@@ -354,7 +361,7 @@ func (s *Store) checkpoint() error {
 // recover scans the directory, loads the best snapshot, replays and — if
 // torn — truncates its log, and leaves the store positioned to append.
 func (s *Store) recover() error {
-	t0 := time.Now()
+	t0 := s.clk.Now()
 	snaps, wals, err := s.scanDir()
 	if err != nil {
 		return err
@@ -430,7 +437,7 @@ func (s *Store) recover() error {
 	s.gen = gen
 	s.flusherState = rs
 	rec.State = rs.snapshot(gen)
-	rec.Duration = time.Since(t0)
+	rec.Duration = s.clk.Since(t0)
 	s.rec = rec
 	if m := s.opts.Metrics; m != nil {
 		m.RecoveryDuration.Set(int64(rec.Duration))

@@ -279,7 +279,7 @@ func (n *Network) resetBreaker(l *link) {
 	}
 	n.tel.LinksDown.Dec()
 	n.notifyLinkState(l.from, l.to, true)
-	r.kickLoop()
+	l.kickRetransmit()
 }
 
 // sendReliable assigns the next sequence number, parks the message in the
@@ -292,7 +292,7 @@ func (n *Network) sendReliable(l *link, msg message.Message) error {
 	// token released at the receiver's first accept or at dead-letter —
 	// keeps quiescence detection honest under loss.
 	env := n.prepareSend(l, l.from, l.to, msg, 2)
-	sentAt := time.Now()
+	sentAt := n.clk.Now()
 	r.mu.Lock()
 	if r.down {
 		r.mu.Unlock()
@@ -325,7 +325,7 @@ func (n *Network) sendReliable(l *link, msg message.Message) error {
 	epoch := r.epoch
 	r.mu.Unlock()
 	if wake {
-		r.kickLoop()
+		l.kickRetransmit()
 	}
 	l.enqueue(env, true, epoch)
 	return nil
@@ -342,7 +342,7 @@ func (n *Network) sendReliableBatch(l *link, msgs []message.Message) error {
 	for i, msg := range msgs {
 		envs[i] = n.prepareSend(l, l.from, l.to, msg, 2)
 	}
-	sentAt := time.Now()
+	sentAt := n.clk.Now()
 	r.mu.Lock()
 	if r.down {
 		r.mu.Unlock()
@@ -366,7 +366,7 @@ func (n *Network) sendReliableBatch(l *link, msgs []message.Message) error {
 	epoch := r.epoch
 	r.mu.Unlock()
 	if wake {
-		r.kickLoop()
+		l.kickRetransmit()
 	}
 	l.enqueueBatch(envs, epoch)
 	return nil
@@ -439,7 +439,7 @@ func (n *Network) deliverReliable(l *link, te timedEnvelope) {
 		// Fast path: nothing resequencing, this frame is the whole batch.
 		r.rmu.Unlock()
 		if armAck {
-			time.AfterFunc(r.ackDelay, func() { n.flushAck(l) })
+			n.clk.AfterFunc(r.ackDelay, func() { n.flushAck(l) })
 		}
 		n.reg.MsgDone(env.Msg) // at-least-once token: first accept
 		n.deliverDirect(l.to, env, true)
@@ -457,7 +457,7 @@ func (n *Network) deliverReliable(l *link, te timedEnvelope) {
 	}
 	r.rmu.Unlock()
 	if armAck {
-		time.AfterFunc(r.ackDelay, func() { n.flushAck(l) })
+		n.clk.AfterFunc(r.ackDelay, func() { n.flushAck(l) })
 	}
 	// Only the gap-filling frame still holds its at-least-once token; the
 	// drained buffered frames released theirs when they were accepted.
@@ -536,7 +536,7 @@ func (n *Network) handleAck(l *link, ack message.LinkAck) {
 		// RTT of the trimmed entries, but only the ones never retransmitted:
 		// after a retransmission the ack could answer either copy, so the
 		// sample would be ambiguous (Karn's rule).
-		now := time.Now()
+		now := n.clk.Now()
 		for k := 0; k < i; k++ {
 			p := &r.pend[k]
 			if p.attempts == 0 && !p.sentAt.IsZero() {
@@ -564,6 +564,51 @@ func (n *Network) handleAck(l *link, ack message.LinkAck) {
 	}
 	fwd.lm.ResendDepth.Set(int64(len(r.pend)))
 	r.mu.Unlock()
+}
+
+// kickRetransmit nudges the link's retransmit pacing after a queue change:
+// in real time it wakes the pacing goroutine, in scheduled mode it arms (or
+// relies on) the pacing event on the loop.
+func (l *link) kickRetransmit() {
+	if l.net.sched != nil {
+		l.armRetransmitEvent()
+		return
+	}
+	l.rel.kickLoop()
+}
+
+// armRetransmitEvent is the scheduled-mode pacer: stamp the deadlines the
+// send path left zero, post one loop event at the earliest, and have the
+// event resend what is due and re-arm itself while entries remain. It
+// shares the timerArmed flag with the goroutine pacer, so senders skip
+// redundant arms exactly as they skip redundant kicks.
+func (l *link) armRetransmitEvent() {
+	r := l.rel
+	r.mu.Lock()
+	if r.down || len(r.pend) == 0 || r.timerArmed {
+		r.mu.Unlock()
+		return
+	}
+	now := l.net.clk.Now()
+	var next time.Time
+	for i := range r.pend {
+		p := &r.pend[i]
+		if p.nextAt.IsZero() {
+			p.nextAt = now.Add(r.backoff(0))
+		}
+		if next.IsZero() || p.nextAt.Before(next) {
+			next = p.nextAt
+		}
+	}
+	r.timerArmed = true
+	r.mu.Unlock()
+	l.net.sched.AfterFunc(next.Sub(now), func() {
+		r.mu.Lock()
+		r.timerArmed = false
+		r.mu.Unlock()
+		l.resendDue()
+		l.armRetransmitEvent()
+	})
 }
 
 // retransmitLoop is the per-reliable-link pacing goroutine: it sleeps
@@ -632,7 +677,7 @@ func (l *link) retransmitLoop() {
 func (l *link) resendDue() {
 	r := l.rel
 	n := l.net
-	now := time.Now()
+	now := n.clk.Now()
 	var copies []message.Envelope
 	r.mu.Lock()
 	if r.down {

@@ -15,18 +15,33 @@ import (
 type fakeBroker struct {
 	mu       sync.Mutex
 	net      *Network
+	notify   chan struct{} // pulsed (cap 1) on every Inject / AttachClient
 	injected []message.Message
 	clients  map[message.NodeID]func(message.Publish)
 }
 
 func newFakeBroker(net *Network) *fakeBroker {
-	return &fakeBroker{net: net, clients: make(map[message.NodeID]func(message.Publish))}
+	return &fakeBroker{
+		net:     net,
+		notify:  make(chan struct{}, 1),
+		clients: make(map[message.NodeID]func(message.Publish)),
+	}
+}
+
+// pulse wakes any await helper; state is always updated before the pulse,
+// so a waiter that re-checks its condition never misses progress.
+func (f *fakeBroker) pulse() {
+	select {
+	case f.notify <- struct{}{}:
+	default:
+	}
 }
 
 func (f *fakeBroker) Inject(from message.NodeID, m message.Message) {
 	f.mu.Lock()
 	f.injected = append(f.injected, m)
 	f.mu.Unlock()
+	f.pulse()
 }
 
 func (f *fakeBroker) InjectRemote(from message.NodeID, m message.Message, lamport uint64) {
@@ -37,6 +52,14 @@ func (f *fakeBroker) AttachClient(n message.NodeID, deliver func(pub message.Pub
 	f.mu.Lock()
 	f.clients[n] = deliver
 	f.mu.Unlock()
+	f.pulse()
+}
+
+func (f *fakeBroker) hasClient(n message.NodeID) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	_, ok := f.clients[n]
+	return ok
 }
 
 func (f *fakeBroker) DetachClient(n message.NodeID) {
@@ -78,14 +101,32 @@ func newGateway(t *testing.T, local message.NodeID) (*Gateway, *fakeBroker, *Net
 	return g, fb, net
 }
 
+// awaitInjected waits on the broker's notification channel (no polling)
+// until n messages have been injected.
 func awaitInjected(t *testing.T, fb *fakeBroker, n int) {
 	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
+	timer := time.NewTimer(5 * time.Second)
+	defer timer.Stop()
 	for fb.injectedCount() < n {
-		if time.Now().After(deadline) {
+		select {
+		case <-fb.notify:
+		case <-timer.C:
 			t.Fatalf("timed out waiting for %d injected messages, have %d", n, fb.injectedCount())
 		}
-		time.Sleep(time.Millisecond)
+	}
+}
+
+// awaitClient waits until the gateway has attached the named client.
+func awaitClient(t *testing.T, fb *fakeBroker, n message.NodeID) {
+	t.Helper()
+	timer := time.NewTimer(5 * time.Second)
+	defer timer.Stop()
+	for !fb.hasClient(n) {
+		select {
+		case <-fb.notify:
+		case <-timer.C:
+			t.Fatal("client was never attached")
+		}
 	}
 }
 
@@ -139,12 +180,9 @@ func TestGatewayClientConnection(t *testing.T) {
 
 	// The broker delivers a notification to the remote client through the
 	// attached gateway callback; it must arrive on the socket.
-	deadline := time.Now().Add(5 * time.Second)
-	for !fb.deliver("c9", message.Publish{ID: "p1", Event: predicate.Event{"x": predicate.Number(2)}}) {
-		if time.Now().After(deadline) {
-			t.Fatal("client was never attached")
-		}
-		time.Sleep(time.Millisecond)
+	awaitClient(t, fb, "c9")
+	if !fb.deliver("c9", message.Publish{ID: "p1", Event: predicate.Event{"x": predicate.Number(2)}}) {
+		t.Fatal("client detached between attach and deliver")
 	}
 	env, err := dec.Decode()
 	if err != nil {

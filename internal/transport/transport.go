@@ -14,7 +14,6 @@ package transport
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -22,6 +21,7 @@ import (
 	"padres/internal/journal"
 	"padres/internal/message"
 	"padres/internal/metrics"
+	"padres/internal/sim"
 	"padres/internal/telemetry"
 )
 
@@ -73,8 +73,15 @@ type LinkOptions struct {
 // Network is an in-process transport connecting registered nodes through
 // latency-imposing FIFO links.
 type Network struct {
-	reg    *metrics.Registry
-	tel    *telemetry.TransportMetrics
+	reg *metrics.Registry
+	tel *telemetry.TransportMetrics
+	// clk is the network's time source; every latency stamp, retransmit
+	// deadline and RTT sample reads it. sched is non-nil when clk owns a
+	// serialized event loop (a sim.VirtualClock): links then post delivery
+	// and retransmit events instead of running goroutines, which makes frame
+	// arrival order a pure function of the seed.
+	clk    sim.Clock
+	sched  sim.Scheduler
 	tracer atomic.Pointer[telemetry.TraceStore]
 	jnl    atomic.Pointer[journal.Journal]
 	// linkState is invoked (outside all transport locks) when a reliable
@@ -98,11 +105,24 @@ type linkID struct {
 	to   message.NodeID
 }
 
-// NewNetwork returns an empty network reporting into reg.
+// NewNetwork returns an empty network reporting into reg, running on the
+// wall clock.
 func NewNetwork(reg *metrics.Registry) *Network {
+	return NewNetworkClocked(reg, nil)
+}
+
+// NewNetworkClocked returns an empty network whose time source is clk (nil
+// selects the wall clock). When clk is a sim.Scheduler — a virtual clock
+// with an event loop — the network runs in scheduled mode: links spawn no
+// goroutines and every delivery, retransmission and ack flush becomes a
+// loop event, so the whole transport is deterministic.
+func NewNetworkClocked(reg *metrics.Registry, clk sim.Clock) *Network {
+	clk = sim.Or(clk)
 	return &Network{
 		reg:   reg,
 		tel:   &telemetry.TransportMetrics{},
+		clk:   clk,
+		sched: sim.SchedulerOf(clk),
 		nodes: make(map[message.NodeID]Handler),
 		links: make(map[linkID]*link),
 	}
@@ -110,6 +130,15 @@ func NewNetwork(reg *metrics.Registry) *Network {
 
 // Registry returns the metrics registry the network reports into.
 func (n *Network) Registry() *metrics.Registry { return n.reg }
+
+// Clock returns the network's time source. Components attached to the
+// network (brokers, containers, replication agents) read their clock from
+// here so one cluster-wide knob switches real and simulated time.
+func (n *Network) Clock() sim.Clock { return n.clk }
+
+// Scheduler returns the event loop driving this network in scheduled mode,
+// or nil when it runs on real time.
+func (n *Network) Scheduler() sim.Scheduler { return n.sched }
 
 // Telemetry returns the transport's reliability instruments (retransmits,
 // dedup drops, dead letters, injected faults, link-state gauges).
@@ -312,7 +341,7 @@ func (n *Network) prepareSend(l *link, from, to message.NodeID, msg message.Mess
 	env := message.Envelope{From: from, Msg: msg}
 	if ts := n.tracer.Load(); ts != nil {
 		env.Trace = message.TraceOf(msg)
-		ts.RecordHop(env.Trace, from, to, msg.Kind(), time.Now())
+		ts.RecordHop(env.Trace, from, to, msg.Kind(), n.clk.Now())
 	}
 	if j := n.jnl.Load(); j != nil {
 		env.Lamport = j.ClockOf(string(from)).Tick()
@@ -399,33 +428,13 @@ func (n *Network) deliverDirect(to message.NodeID, env message.Envelope, counted
 	h(env)
 }
 
-// lockedRand is a mutex-guarded jitter source. math/rand.Rand is not safe
-// for concurrent use, and link jitter is drawn on the send path, which is
-// concurrent once brokers dispatch in parallel — so the guard is built into
-// the type rather than borrowed from whatever lock a caller happens to
-// hold.
-type lockedRand struct {
-	mu  sync.Mutex
-	rng *rand.Rand
-}
+// lockedRand is the transport's mutex-guarded randomness source: jitter and
+// fault draws happen on the send path, which is concurrent once brokers
+// dispatch in parallel. It is now sim.Rand — the single seeded-source type
+// every simulated path flows from — kept under its historical name here.
+type lockedRand = sim.Rand
 
-func newLockedRand(seed int64) *lockedRand {
-	return &lockedRand{rng: rand.New(rand.NewSource(seed))}
-}
-
-// Int63n returns a uniform random int64 in [0, n).
-func (r *lockedRand) Int63n(n int64) int64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.rng.Int63n(n)
-}
-
-// Float64 returns a uniform random float64 in [0, 1).
-func (r *lockedRand) Float64() float64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.rng.Float64()
-}
+func newLockedRand(seed int64) *lockedRand { return sim.NewRand(seed) }
 
 // link is one direction of a connection: an unbounded FIFO queue drained by
 // a dedicated goroutine that enforces per-message delivery times. Fault
@@ -480,11 +489,18 @@ func (n *Network) newLink(from, to message.NodeID, opts LinkOptions) *link {
 	if opts.Reliable {
 		l.rel = newRelState(opts.Retransmit, opts.Seed^int64(hashNodes(to, from)))
 		l.lm = n.tel.Link(string(from), string(to))
-		n.wg.Add(1)
-		go l.retransmitLoop()
+		if n.sched == nil {
+			n.wg.Add(1)
+			go l.retransmitLoop()
+		}
 	}
-	n.wg.Add(1)
-	go l.run()
+	// In scheduled mode the link has no goroutines: queueLocked posts one
+	// delivery event per admitted frame and retransmit pacing re-arms
+	// itself on the loop.
+	if n.sched == nil {
+		n.wg.Add(1)
+		go l.run()
+	}
 	return l
 }
 
@@ -602,13 +618,34 @@ func (l *link) queueLocked(env message.Envelope, counted bool, epoch uint64) {
 	if l.opts.Jitter > 0 {
 		delay += time.Duration(l.rng.Int63n(int64(l.opts.Jitter)))
 	}
-	at := time.Now().Add(delay)
+	at := l.net.clk.Now().Add(delay)
 	// FIFO: never deliver before an earlier message on the same link.
 	if at.Before(l.lastAt) {
 		at = l.lastAt
 	}
 	l.lastAt = at
 	l.queue = append(l.queue, timedEnvelope{env: env, deliverAt: at, counted: counted, epoch: epoch})
+	if l.net.sched != nil {
+		// One loop event per admitted frame; each pops the queue head, so a
+		// reorder fault's queue swap manifests exactly as it would under the
+		// drain goroutine.
+		l.net.sched.AfterFunc(l.net.clk.Until(at), l.drainOne)
+	}
+}
+
+// drainOne is the scheduled-mode counterpart of run(): deliver the frame at
+// the head of the queue. Events and admitted frames are 1:1; stop() empties
+// the queue, turning any still-scheduled events into no-ops.
+func (l *link) drainOne() {
+	l.mu.Lock()
+	if l.stopped || len(l.queue) == 0 {
+		l.mu.Unlock()
+		return
+	}
+	te := l.queue[0]
+	l.queue = l.queue[1:]
+	l.mu.Unlock()
+	l.net.deliver(l, te)
 }
 
 func (l *link) stop() {

@@ -14,19 +14,38 @@ import (
 
 // collector is a test handler accumulating envelopes.
 type collector struct {
-	mu   sync.Mutex
-	got  []message.Envelope
-	net  *Network
-	done bool // call Done on receipt
+	mu     sync.Mutex
+	got    []message.Envelope
+	notify chan struct{} // pulsed (cap 1) after each append; see awaitCount
+	net    *Network
+	done   bool // call Done on receipt
 }
 
 func (c *collector) handler(env message.Envelope) {
 	c.mu.Lock()
 	c.got = append(c.got, env)
+	if c.notify == nil {
+		c.notify = make(chan struct{}, 1)
+	}
+	select {
+	case c.notify <- struct{}{}:
+	default:
+	}
 	c.mu.Unlock()
 	if c.done {
 		c.net.Done(env.Msg)
 	}
+}
+
+// ch returns the notification channel, creating it on first use so the
+// zero-value collector literals used throughout the tests keep working.
+func (c *collector) ch() chan struct{} {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.notify == nil {
+		c.notify = make(chan struct{}, 1)
+	}
+	return c.notify
 }
 
 func (c *collector) count() int {
@@ -57,14 +76,21 @@ func newPair(t *testing.T, opts LinkOptions) (*Network, *collector, *metrics.Reg
 	return net, c, reg
 }
 
+// awaitCount waits, without polling, until the collector has received n
+// envelopes. The handler updates the count before pulsing the channel, and
+// the buffered pulse survives a race with the re-check, so no wakeup is
+// ever missed.
 func awaitCount(t *testing.T, c *collector, n int) {
 	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
+	ch := c.ch()
+	timer := time.NewTimer(5 * time.Second)
+	defer timer.Stop()
 	for c.count() < n {
-		if time.Now().After(deadline) {
+		select {
+		case <-ch:
+		case <-timer.C:
 			t.Fatalf("timed out waiting for %d messages, have %d", n, c.count())
 		}
-		time.Sleep(time.Millisecond)
 	}
 }
 
